@@ -1,0 +1,32 @@
+# Egeria reproduction — common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench docs corpora examples clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+corpora:
+	$(PYTHON) tools/export_corpora.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/custom_domain.py
+	$(PYTHON) examples/mine_keywords.py
+	$(PYTHON) examples/build_cuda_advisor.py
+	$(PYTHON) examples/profiler_report_qa.py
+	$(PYTHON) examples/reproduce_tables.py
+
+clean:
+	rm -rf benchmarks/out examples/out data/corpora .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,55 @@
+"""Ablation — leave-one-out over the five selectors.
+
+Quantifies each selector's marginal contribution to the cascade on the
+CUDA labeled chapter: dropping the keyword selector must cost the most
+recall (it alone carries ~60% in Table 8); dropping any selector never
+*increases* recall (the cascade is a union).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core.keywords import KeywordConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import default_selectors
+from repro.eval.metrics import precision_recall_f
+
+
+def test_selector_leave_one_out(benchmark, cuda):
+    sentences, labels = cuda.labeled_region()
+    texts = [s.text for s in sentences]
+    gold = {i for i, lab in enumerate(labels) if lab}
+    config = KeywordConfig()
+
+    def evaluate():
+        full = default_selectors(config)
+        results = {}
+        for dropped in [None] + [s.name for s in full]:
+            selectors = [s for s in default_selectors(config)
+                         if s.name != dropped]
+            recognizer = AdvisingSentenceRecognizer(
+                keywords=config, selectors=selectors)
+            predicted = {i for i, t in enumerate(texts)
+                         if recognizer.is_advising(t)}
+            results["(all)" if dropped is None else f"-{dropped}"] = \
+                precision_recall_f(predicted, gold)
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_table(
+        "Selector leave-one-out (CUDA chapter 5)",
+        ["config", "P", "R", "F"],
+        [[name, f"{p:.3f}", f"{r:.3f}", f"{f:.3f}"]
+         for name, (p, r, f) in results.items()],
+    )
+
+    full_recall = results["(all)"][1]
+    # dropping a selector can only lose recall
+    for name, (_, recall, _) in results.items():
+        assert recall <= full_recall + 1e-9, name
+    # the keyword selector carries the most recall
+    keyword_drop = full_recall - results["-keyword"][1]
+    for name in ("-comparative", "-imperative", "-subject", "-purpose"):
+        drop = full_recall - results[name][1]
+        assert keyword_drop >= drop, name

@@ -1,0 +1,57 @@
+"""Ablation — the similarity threshold of Stage II.
+
+§A.6: "The default similarity threshold to recommend a sentence is
+0.15.  A smaller threshold will lead to more sentence suggestions."
+Sweeps the threshold for the Divergent Branches issue and verifies
+the monotone precision/recall trade-off around the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_table
+
+from repro.corpus import PERFORMANCE_ISSUES, relevance_ground_truth
+from repro.eval.metrics import precision_recall_f
+from repro.profiler import generate_report
+
+THRESHOLDS = (0.05, 0.10, 0.15, 0.20, 0.30, 0.50)
+
+
+def test_threshold_sweep(benchmark, cuda, cuda_advisor):
+    issue = next(i for i in PERFORMANCE_ISSUES
+                 if i.issue_title == "Divergent Branches")
+    report = generate_report(issue.program)
+    query = next(i.query_text() for i in report.issues()
+                 if i.title == issue.issue_title)
+    gold = {s.index for s in relevance_ground_truth(cuda, issue)}
+
+    def sweep():
+        rows = []
+        for threshold in THRESHOLDS:
+            predicted = {
+                r.sentence.index
+                for r in cuda_advisor.query(query, threshold).recommendations
+            }
+            p, r, f = precision_recall_f(predicted, gold)
+            rows.append((threshold, len(predicted), p, r, f))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "Stage II threshold sweep (Divergent Branches issue)",
+        ["threshold", "suggested", "P", "R", "F"],
+        [[t, n, f"{p:.3f}", f"{r:.3f}", f"{f:.3f}"]
+         for t, n, p, r, f in rows],
+    )
+
+    counts = [n for _, n, *_ in rows]
+    recalls = [r for *_, r, _ in rows]
+    precisions = [p for _, _, p, _, _ in rows]
+    # smaller threshold => more suggestions, never fewer
+    assert counts == sorted(counts, reverse=True)
+    # recall non-increasing with threshold; precision non-decreasing
+    # until results dry up
+    assert recalls == sorted(recalls, reverse=True)
+    nonzero = [p for p, n in zip(precisions, counts) if n > 0]
+    assert nonzero[-1] >= nonzero[0]

@@ -1,0 +1,44 @@
+"""Figure 4 — sentences retrieved from CUDA guide chapter 5 for the
+case-study NVVP report.
+
+Feeds the norm.cu report to the CUDA Adviser and prints the
+recommended sentences grouped by section, the Figure 4 view.  The two
+key recommendations the paper calls out must be present: the
+``maxrregcount`` sentence (register usage issue) and the "controlling
+condition" sentence (divergent branches issue).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.profiler import case_study_report
+
+
+def test_fig4_report_answers(benchmark, cuda_advisor):
+    report_text = case_study_report().to_text()
+
+    answers = benchmark(cuda_advisor.query_report, report_text)
+
+    assert len(answers) == 2
+    register_answer, divergence_answer = answers
+
+    for answer in answers:
+        rows = [[r.sentence.section_path or "(doc)",
+                 f"{r.score:.2f}",
+                 r.sentence.text[:72]]
+                for r in answer.recommendations]
+        print_table(f"Figure 4 — answers for: {answer.query[:60]}...",
+                    ["section", "sim", "sentence"], rows)
+
+    register_texts = [s.text for s in register_answer.sentences]
+    assert any("maxrregcount" in t for t in register_texts), \
+        "the paper's register-usage recommendation must be retrieved"
+
+    divergence_texts = [s.text for s in divergence_answer.sentences]
+    assert any("controlling condition" in t for t in divergence_texts), \
+        "the paper's divergent-branches recommendation must be retrieved"
+
+    # the paper reports 5-25 suggestions per query in typical cases
+    for answer in answers:
+        assert 1 <= len(answer.recommendations) <= 60

@@ -1,0 +1,52 @@
+"""Figures 6/7 — the advising tool's web output.
+
+Figure 6 is the summary page (all advising sentences of the CUDA guide
+grouped by section); Figure 7 is an answer page for the query "How to
+increase warp execution efficiency" with the recommended sentences
+highlighted and context sentences below, hyperlinked to the sections.
+The rendered HTML is written next to the benchmark for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.render import render_answer, render_summary
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+QUERY = "How to increase warp execution efficiency"
+
+
+def test_fig6_summary_page(benchmark, cuda_advisor):
+    html = benchmark(render_summary, cuda_advisor)
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "fig6_summary.html")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"\nFigure 6 summary written to {path} ({len(html)} bytes)")
+
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Overall Performance Optimization Strategies" in html
+    # every advising sentence appears
+    assert "maxrregcount" in html
+    # section anchors exist for hyperlinking
+    assert 'id="sec-' in html
+
+
+def test_fig7_answer_page(benchmark, cuda_advisor):
+    answer = cuda_advisor.query(QUERY)
+
+    html = benchmark(render_answer, cuda_advisor, answer)
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "fig7_answer.html")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"\nFigure 7 answer written to {path} ({len(html)} bytes)")
+
+    assert answer.found
+    assert QUERY in html
+    assert 'class="highlight"' in html      # recommended, highlighted
+    assert 'href="#sec-' in html            # hyperlinks to sections
+    assert "similarity" in html             # scores shown

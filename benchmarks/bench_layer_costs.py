@@ -1,0 +1,71 @@
+"""Cost profile — why the selector cascade is layered.
+
+Measures the per-sentence cost of each NLP layer (stemming, parsing,
+SRL) and the fraction of corpus sentences whose classification stops
+at each layer.  The numbers justify the multilayer design: keyword
+matching is an order of magnitude cheaper than parsing, and the
+cascade lets the cheap layer absorb most of the advising sentences
+("no optimization without measuring" — the profiling-first rule).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.recognizer import AdvisingSentenceRecognizer
+
+N_SENTENCES = 300
+
+
+def test_layer_cost_profile(benchmark, cuda):
+    # profile the advice-dense chapter (the workload Stage I exists for)
+    chapter = cuda.document.find_section("5")
+    texts = [s.text
+             for s in chapter.iter_sentences()][:N_SENTENCES]
+    analyzer = SentenceAnalyzer()
+
+    def profile():
+        timings = {"stems": 0.0, "graph": 0.0, "frames": 0.0}
+        for text in texts:
+            analysis = analyzer.analyze(text)
+            start = time.perf_counter()
+            _ = analysis.stems
+            timings["stems"] += time.perf_counter() - start
+            start = time.perf_counter()
+            _ = analysis.graph
+            timings["graph"] += time.perf_counter() - start
+            start = time.perf_counter()
+            _ = analysis.frames
+            timings["frames"] += time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(profile, rounds=3, iterations=1)
+
+    recognizer = AdvisingSentenceRecognizer()
+    stop_counts = {"keyword": 0, "comparative": 0, "imperative": 0,
+                   "subject": 0, "purpose": 0, "(rejected)": 0}
+    for text in texts:
+        _, selector = recognizer.classify(text)
+        stop_counts[selector or "(rejected)"] += 1
+
+    per_sentence = {layer: 1e6 * total / len(texts)
+                    for layer, total in timings.items()}
+    print_table(
+        "Per-sentence layer cost (microseconds)",
+        ["layer", "us/sentence"],
+        [[layer, f"{cost:.0f}"] for layer, cost in per_sentence.items()],
+    )
+    print_table(
+        "Cascade stop distribution (first firing selector)",
+        ["stops at", "#sentences"],
+        [[name, count] for name, count in stop_counts.items()],
+    )
+
+    # the keyword layer must be much cheaper than parsing
+    assert per_sentence["stems"] < 0.5 * per_sentence["graph"]
+    # among accepted sentences the keyword selector absorbs the most
+    accepted = {k: v for k, v in stop_counts.items() if k != "(rejected)"}
+    assert max(accepted, key=accepted.get) == "keyword"

@@ -1,0 +1,54 @@
+"""Pipeline throughput — Stage I recognition and Stage II query speed.
+
+Not a paper table; quantifies the cost profile that motivates the
+layered selector design (cheap keyword layer first, parsing/SRL only
+when needed) and the worker-pool scaling of the recognizer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.recognizer import AdvisingSentenceRecognizer
+
+
+def test_stage1_throughput_serial(benchmark, cuda):
+    texts = [s.text for s in cuda.document.sentences[:400]]
+    recognizer = AdvisingSentenceRecognizer()
+
+    def classify_all():
+        return sum(1 for t in texts if recognizer.is_advising(t))
+
+    selected = benchmark.pedantic(classify_all, rounds=3, iterations=1)
+    rate = len(texts)
+    print(f"\nStage I serial: {selected}/{rate} sentences advising")
+    assert 0 < selected < rate
+
+
+@pytest.mark.skipif(os.cpu_count() is None or os.cpu_count() < 2,
+                    reason="needs multiple cores")
+def test_stage1_throughput_parallel(benchmark, cuda):
+    recognizer = AdvisingSentenceRecognizer(workers=os.cpu_count() or 2)
+
+    def recognize_document():
+        return recognizer.recognize(cuda.document)
+
+    results = benchmark.pedantic(recognize_document, rounds=1, iterations=1)
+    assert len(results) == len(cuda.document.sentences)
+
+
+def test_stage2_query_throughput(benchmark, cuda_advisor):
+    queries = [
+        "reduce instruction and memory latency",
+        "how to avoid divergent branches",
+        "improve global memory coalescing",
+        "increase occupancy and hide latency",
+    ]
+
+    def run_queries():
+        return [cuda_advisor.query(q) for q in queries]
+
+    answers = benchmark(run_queries)
+    assert all(a.found for a in answers)

@@ -1,0 +1,70 @@
+"""Scaling — Stage II retrieval cost as the collection grows.
+
+The retrieval layer must stay interactive as advisors are built from
+larger and larger document sets (multi-document advisors, evolving
+guides).  This bench indexes synthetic collections of increasing size
+and measures query latency; the sparse matrix-vector formulation
+should scale roughly linearly in the number of sentences, staying in
+the low-millisecond range at 10k sentences.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_table
+
+from repro.corpus.templates import FAMILIES, generate
+from repro.corpus.topics import CUDA_TOPICS
+from repro.retrieval import SentenceRetriever
+
+SIZES = (500, 2000, 10_000)
+QUERY = ("reduce divergent warps and improve coalescing of global "
+         "memory accesses")
+
+
+def _synthetic_sentences(n: int, seed: int = 7) -> list[str]:
+    rng = np.random.default_rng(seed)
+    families = sorted(FAMILIES)
+    out = []
+    for _ in range(n):
+        family = families[int(rng.integers(len(families)))]
+        topic = CUDA_TOPICS[int(rng.integers(len(CUDA_TOPICS)))]
+        out.append(generate(family, topic, rng).text)
+    return out
+
+
+def test_retrieval_scaling(benchmark):
+    def run():
+        rows = []
+        for size in SIZES:
+            sentences = _synthetic_sentences(size)
+            build_start = time.perf_counter()
+            retriever = SentenceRetriever(sentences)
+            build_seconds = time.perf_counter() - build_start
+
+            # warm once, then time queries
+            retriever.query(QUERY)
+            start = time.perf_counter()
+            repeats = 20
+            for _ in range(repeats):
+                results = retriever.query(QUERY)
+            query_ms = 1e3 * (time.perf_counter() - start) / repeats
+            rows.append((size, build_seconds, query_ms, len(results)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Stage II scaling (synthetic collections)",
+        ["sentences", "build (s)", "query (ms)", "#answers"],
+        [[size, f"{build:.2f}", f"{query:.2f}", answers]
+         for size, build, query, answers in rows],
+    )
+
+    # queries stay interactive at 10k sentences
+    assert rows[-1][2] < 100.0
+    # query cost grows sub-quadratically: 20x corpus => < 100x latency
+    assert rows[-1][2] < 100 * max(rows[0][2], 0.05)
+    # larger collections yield at least as many (thresholded) answers
+    assert rows[-1][3] >= rows[0][3]

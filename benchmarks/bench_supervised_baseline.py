@@ -1,0 +1,71 @@
+"""Extension — the supervised learning curve (§2's practicality argument).
+
+The paper rules out supervised classification because it "requires a
+large volume of labeled data".  This experiment quantifies the claim:
+a multinomial Naive Bayes classifier is trained on growing numbers of
+labeled CUDA-chapter sentences and compared with Egeria's
+zero-annotation recognizer on a held-out region.  Also evaluates the
+TextRank document-summarization baseline (§3.1: informative ≠
+advising).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.baselines import NaiveBayesClassifier, TextRankSummarizer
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.corpus import opencl_guide
+from repro.eval.metrics import precision_recall_f
+
+TRAIN_SIZES = (25, 50, 100, 200, 350)
+
+
+def test_supervised_learning_curve(benchmark):
+    guide = opencl_guide()
+    sentences, labels = guide.labeled_region()
+    texts = [s.text for s in sentences]
+    bools = [bool(label) for label in labels]
+    # train pool: front of the chapter; eval: the rest
+    eval_texts, eval_labels = texts[400:], bools[400:]
+    gold = {i for i, label in enumerate(eval_labels) if label}
+
+    def run():
+        rows = []
+        for size in TRAIN_SIZES:
+            classifier = NaiveBayesClassifier()
+            classifier.train(texts[:size], bools[:size])
+            predicted = {i for i, text in enumerate(eval_texts)
+                         if classifier.predict(text)}
+            rows.append((f"NaiveBayes@{size}",
+                         precision_recall_f(predicted, gold)))
+
+        egeria = AdvisingSentenceRecognizer()
+        predicted = {i for i, text in enumerate(eval_texts)
+                     if egeria.is_advising(text)}
+        rows.append(("Egeria (0 labels)",
+                     precision_recall_f(predicted, gold)))
+
+        summarizer = TextRankSummarizer()
+        selected = set(summarizer.summarize(eval_texts, len(gold)))
+        rows.append(("TextRank summary",
+                     precision_recall_f(selected, gold)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Supervised learning curve vs Egeria (OpenCL ch.2 held-out)",
+        ["method", "P", "R", "F"],
+        [[name, f"{p:.3f}", f"{r:.3f}", f"{f:.3f}"]
+         for name, (p, r, f) in rows],
+    )
+
+    scores = dict(rows)
+    egeria_f = scores["Egeria (0 labels)"][2]
+    # with few labels, supervision loses to the zero-annotation cascade
+    assert scores["NaiveBayes@25"][2] < egeria_f
+    assert scores["NaiveBayes@50"][2] < egeria_f
+    # the summarizer's "informative" sentences are not advising ones
+    assert scores["TextRank summary"][2] < 0.7 * egeria_f
+    # supervision improves with data (the paper's "large volume" point)
+    assert scores["NaiveBayes@350"][2] > scores["NaiveBayes@25"][2]

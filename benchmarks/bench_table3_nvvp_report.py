@@ -1,0 +1,35 @@
+"""Table 3 — NVVP report subsections for the case-study kernel.
+
+Regenerates the report for the sparse-matrix normalization program
+(norm.cu) and checks that the issue extraction recovers the two
+Table 3 subsections (register usage, divergent branches).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.profiler import NVVPReportParser, case_study_report
+
+
+def test_table3_case_study_report(benchmark):
+    report = case_study_report()
+    text = report.to_text()
+    parser = NVVPReportParser()
+
+    issues = benchmark(parser.extract_issues, text)
+
+    print_table(
+        "Table 3 — performance-issue subsections (norm.cu)",
+        ["subsection", "description (abridged)"],
+        [[i.title, i.description[:70] + "..."] for i in issues],
+    )
+
+    titles = [i.title for i in issues]
+    assert any("Register Usage" in t for t in titles)
+    assert "Divergent Branches" in titles
+    assert any("31 registers" in i.description for i in issues)
+    # queries are title + description
+    queries = parser.extract_queries(text)
+    assert len(queries) == 2
+    assert all(q.startswith(t) for q, t in zip(queries, titles))

@@ -1,0 +1,41 @@
+"""Table 4 — sentences retrieved for the student query
+"reduce instruction and memory latency".
+
+The paper's answer spans multiple optimization aspects (utilization,
+device memory accesses, instruction throughput); this bench asserts
+the same breadth: recommendations come from at least two distinct
+chapter-5 subsections and include at least one of the Table 4
+sentences embedded as corpus seeds.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+QUERY = "reduce instruction and memory latency"
+
+TABLE4_SEED_MARKERS = (
+    "called the latency",
+    "warp schedulers busy",
+    "can help reduce idling",
+    "reduce register pressure",
+    "maximize instruction throughput",
+)
+
+
+def test_table4_query(benchmark, cuda_advisor):
+    answer = benchmark(cuda_advisor.query, QUERY)
+
+    rows = [[r.sentence.section_path or "(doc)", f"{r.score:.2f}",
+             r.sentence.text[:70]]
+            for r in answer.recommendations]
+    print_table(f"Table 4 — answers for query: {QUERY!r}",
+                ["section", "sim", "sentence"], rows)
+
+    assert answer.found
+    sections = {r.sentence.section_number for r in answer.recommendations}
+    assert len(sections) >= 2, "answers should span multiple subsections"
+
+    texts = " ".join(s.text for s in answer.sentences)
+    assert any(marker in texts for marker in TABLE4_SEED_MARKERS), \
+        "at least one Table 4 sentence must be retrieved"

@@ -1,0 +1,68 @@
+"""Table 5 — user-study speedups.
+
+Paper numbers (37 students, 22 with the Egeria advisor; speedups of
+their optimized sparse-matrix kernels over the original):
+
+                     GTX 780            GTX 480
+                 average  median    average  median
+  Egeria used      6.27x   5.93x      4.15x   4.43x
+  Egeria not used  4.09x   3.58x      2.59x   2.39x
+
+The simulation preserves the shape: the Egeria group wins clearly on
+both devices, and both groups gain more on the GTX 780.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.eval.userstudy import UserStudyConfig, run_user_study
+
+PAPER = {
+    "egeria_gtx780": (6.27, 5.93),
+    "egeria_gtx480": (4.15, 4.43),
+    "control_gtx780": (4.09, 3.58),
+    "control_gtx480": (2.59, 2.39),
+}
+
+
+def test_table5_user_study(benchmark, cuda, cuda_advisor):
+    result = benchmark(
+        run_user_study, cuda, cuda_advisor, UserStudyConfig(seed=42))
+
+    summary = result.summary()
+    rows = []
+    for key, (paper_avg, paper_med) in PAPER.items():
+        stats = summary[key]
+        rows.append([
+            key,
+            f"{stats['average']:.2f}x", f"{stats['median']:.2f}x",
+            f"{paper_avg:.2f}x", f"{paper_med:.2f}x",
+        ])
+    print_table("Table 5 — speedups (measured vs paper)",
+                ["group/device", "avg", "median", "paper avg",
+                 "paper median"], rows)
+
+    # bootstrap confidence intervals + significance of the group gap
+    from repro.eval.bootstrap import bootstrap_ci, bootstrap_difference_pvalue
+
+    ci_egeria = bootstrap_ci(result.egeria_780)
+    ci_control = bootstrap_ci(result.control_780)
+    p_value = bootstrap_difference_pvalue(result.egeria_780,
+                                          result.control_780)
+    print(f"GTX780 mean 95% CI: egeria {ci_egeria}, control {ci_control}; "
+          f"bootstrap p(egeria<=control) = {p_value:.4f}")
+    assert p_value < 0.05, "group difference must be significant"
+
+    # shape assertions
+    assert summary["egeria_gtx780"]["average"] > \
+        1.2 * summary["control_gtx780"]["average"]
+    assert summary["egeria_gtx480"]["average"] > \
+        1.2 * summary["control_gtx480"]["average"]
+    assert summary["egeria_gtx780"]["average"] > \
+        summary["egeria_gtx480"]["average"]
+    assert summary["control_gtx780"]["average"] > \
+        summary["control_gtx480"]["average"]
+    # magnitude bands
+    assert 4.0 <= summary["egeria_gtx780"]["average"] <= 8.0
+    assert 2.0 <= summary["control_gtx780"]["average"] <= 6.0

@@ -1,0 +1,67 @@
+"""Table 6 — quality of answers on performance queries.
+
+For each of the six performance issues from the four NVVP reports,
+compares three methods against the relevance ground truth:
+
+* **Egeria** — two-stage advisor (Stage I + VSM/TF-IDF);
+* **Full-doc** — same retrieval over the whole guide (no Stage I);
+* **Keywords** — best stemmed keyword search (best of the issue's
+  candidate keywords by F, as the paper selected the underlined best).
+
+Paper shape: Egeria wins F on every issue (its P is far above
+full-doc's 0.15-0.31 at comparable recall; keywords lags on both).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.experiments import run_table6
+
+PAPER_EGERIA_F = {
+    "Low Warp Execution Efficiency": 0.8,
+    "Divergent Branches": 0.8,
+    "Global Memory Alignment and Access Pattern": 0.923,
+    "GPU Utilization is Limited by Memory Instruction Execution": 0.8,
+    "Instruction Latencies may be Limiting Performance": 0.769,
+    "GPU Utilization is Limited by Memory Bandwidth": 0.732,
+}
+
+
+def test_table6_answer_quality(benchmark):
+    rows = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+
+    print_table(
+        "Table 6 — answer quality (P/R/F per method)",
+        ["report", "issue", "#GT",
+         "EG P", "EG R", "EG F",
+         "FD P", "FD R", "FD F",
+         "KW P", "KW R", "KW F"],
+        [[row["program"], row["issue"][:36], row["ground_truth"],
+          *(f"{v:.3f}" for v in row["egeria"]),
+          *(f"{v:.3f}" for v in row["fulldoc"]),
+          *(f"{v:.3f}" for v in row["keywords"])]
+         for row in rows],
+    )
+    print("paper Egeria F per issue:",
+          {k[:24]: v for k, v in PAPER_EGERIA_F.items()})
+
+    for row in rows:
+        eg_p, _, eg_f = row["egeria"]
+        fd_p, _, fd_f = row["fulldoc"]
+        _, _, kw_f = row["keywords"]
+        # shape: Egeria's F at least matches both baselines per issue,
+        # and its precision dominates full-doc decisively
+        assert eg_f >= fd_f, row["issue"]
+        assert eg_f >= kw_f - 1e-9, row["issue"]
+        assert eg_p >= 3 * fd_p, row["issue"]
+        # ground truths stay in the paper's 2-18-ish band
+        assert 2 <= row["ground_truth"] <= 25
+
+    mean_f = {
+        method: sum(row[method][2] for row in rows) / len(rows)
+        for method in ("egeria", "fulldoc", "keywords")
+    }
+    print("mean F:", {k: round(v, 3) for k, v in mean_f.items()})
+    assert mean_f["egeria"] > 1.5 * mean_f["keywords"]
+    assert mean_f["egeria"] > 3.0 * mean_f["fulldoc"]

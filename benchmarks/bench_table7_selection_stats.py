@@ -1,0 +1,50 @@
+"""Table 7 — statistics of the advising-sentence selection.
+
+Paper numbers:
+
+  Documentation   sentences (pages)   Egeria's selection   ratio
+  CUDA Guide      2140 (275)          273                  7.8
+  OpenCL Guide    1944 (178)          440                  4.4
+  Xeon Guide       558 (47)            94                  5.9
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.experiments import run_table7
+
+PAPER = {
+    "CUDA C Programming Guide": (2140, 275, 273, 7.8),
+    "AMD OpenCL Optimization Guide": (1944, 178, 440, 4.4),
+    "Intel Xeon Phi Best Practice Guide": (558, 47, 94, 5.9),
+}
+
+
+def test_table7_selection_stats(benchmark):
+    rows = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+
+    table_rows = []
+    for row in rows:
+        paper_sents, paper_pages, paper_sel, paper_ratio = PAPER[row["guide"]]
+        table_rows.append([
+            row["guide"],
+            f"{row['sentences']} ({row['pages']})",
+            row["selected"], f"{row['ratio']:.1f}",
+            paper_sel, paper_ratio,
+        ])
+        # corpus sizes equal the paper's by construction
+        assert row["sentences"] == paper_sents
+        assert row["pages"] == paper_pages
+        # selection counts within 20% of the paper's
+        assert abs(row["selected"] - paper_sel) / paper_sel < 0.20, \
+            row["guide"]
+        # compression ratio in the paper's 4-8x band
+        assert 3.5 <= row["ratio"] <= 9.0, row["guide"]
+
+    print_table(
+        "Table 7 — selection statistics (measured vs paper)",
+        ["documentation", "sentences (pages)", "selected", "ratio",
+         "paper sel.", "paper ratio"],
+        table_rows,
+    )

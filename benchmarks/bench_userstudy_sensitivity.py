@@ -1,0 +1,50 @@
+"""Sensitivity — the Table 5 conclusion across simulation parameters.
+
+The user-study simulation has free parameters (work budget, student
+skill); the paper's conclusion should not hinge on one setting.  This
+sweep runs the study over a grid and checks that the Egeria group
+wins on both devices in every cell.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.eval.userstudy import UserStudyConfig, run_user_study
+
+BUDGETS = (18.0, 26.0, 34.0)
+SKILLS = (0.8, 0.9)
+
+
+def test_userstudy_parameter_sweep(benchmark, cuda, cuda_advisor):
+    def sweep():
+        rows = []
+        for budget in BUDGETS:
+            for skill in SKILLS:
+                config = UserStudyConfig(
+                    budget_mean=budget, skill_mean=skill, seed=42)
+                result = run_user_study(cuda, cuda_advisor, config)
+                summary = result.summary()
+                rows.append((
+                    budget, skill,
+                    summary["egeria_gtx780"]["average"],
+                    summary["control_gtx780"]["average"],
+                    summary["egeria_gtx480"]["average"],
+                    summary["control_gtx480"]["average"],
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "User-study sensitivity (Egeria vs control avg speedups)",
+        ["budget", "skill", "EG 780", "CT 780", "EG 480", "CT 480"],
+        [[budget, skill, f"{e7:.2f}", f"{c7:.2f}", f"{e4:.2f}",
+          f"{c4:.2f}"]
+         for budget, skill, e7, c7, e4, c4 in rows],
+    )
+
+    for budget, skill, e780, c780, e480, c480 in rows:
+        assert e780 > c780, (budget, skill, "GTX780")
+        assert e480 > c480, (budget, skill, "GTX480")
+        # device ordering holds everywhere too
+        assert e780 > e480 and c780 > c480, (budget, skill)

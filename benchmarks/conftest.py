@@ -1,0 +1,89 @@
+"""Shared fixtures for the experiment-reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the
+paper; heavyweight artifacts (corpora, advisors, Stage I runs) are
+session-scoped so the whole suite does each expensive step once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import FullDocMethod, KeywordsMethod
+from repro.core.egeria import Egeria
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.corpus import cuda_guide, opencl_guide, xeon_guide
+
+_WORKERS = min(4, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="session")
+def cuda():
+    return cuda_guide()
+
+
+@pytest.fixture(scope="session")
+def opencl():
+    return opencl_guide()
+
+
+@pytest.fixture(scope="session")
+def xeon():
+    return xeon_guide()
+
+
+@pytest.fixture(scope="session")
+def cuda_advisor(cuda):
+    """The CUDA Adviser of the case study (§4.1)."""
+    return Egeria(workers=_WORKERS).build_advisor(
+        cuda.document, name="CUDA Adviser")
+
+
+@pytest.fixture(scope="session")
+def cuda_fulldoc(cuda):
+    return FullDocMethod(cuda.document)
+
+
+@pytest.fixture(scope="session")
+def cuda_keywords(cuda):
+    return KeywordsMethod(cuda.document)
+
+
+@pytest.fixture(scope="session")
+def recognizer():
+    return AdvisingSentenceRecognizer(workers=_WORKERS)
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Uniform fixed-width table printer for all benches.
+
+    Besides printing, each table is exported as CSV under
+    ``benchmarks/out/`` so results can be consumed by plotting or
+    comparison scripts.
+    """
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    _export_csv(title, header, rows)
+
+
+def _export_csv(title: str, header: list[str], rows: list[list]) -> None:
+    import csv
+    import re
+
+    out_dir = os.path.join(os.path.dirname(__file__), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:60]
+    path = os.path.join(out_dir, f"{slug}.csv")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)

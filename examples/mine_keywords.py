@@ -1,0 +1,51 @@
+"""Mine domain keywords from a small labeled sample (§4.3 automated).
+
+The paper's Xeon experiment shows hand-tuned keywords lift recall;
+this example runs the data-driven equivalent: label the first 150
+sentences of the Xeon guide (about an hour of annotation in practice),
+mine discriminative phrases, and compare recognition quality on the
+rest of the guide.
+
+Run:  python examples/mine_keywords.py
+"""
+
+from repro.core.keyword_mining import KeywordMiner
+from repro.core.keywords import KeywordConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.corpus import xeon_guide
+from repro.eval.metrics import precision_recall_f
+
+SAMPLE = 150
+
+
+def main() -> None:
+    guide = xeon_guide()
+    sentences, labels = guide.labeled_region()
+    texts = [s.text for s in sentences]
+
+    miner = KeywordMiner(min_count=3)
+    mined = miner.mine(texts[:SAMPLE], labels[:SAMPLE], top_k=10)
+    print(f"Mined from {SAMPLE} labeled sentences:")
+    for keyword in mined:
+        print(f"  {keyword.phrase!r:40s} log-odds={keyword.log_odds:.2f} "
+              f"({keyword.advising_count} advising / "
+              f"{keyword.other_count} other)")
+
+    eval_texts = texts[SAMPLE:]
+    gold = {i for i, label in enumerate(labels[SAMPLE:]) if label}
+    configs = {
+        "default": KeywordConfig(),
+        "mined": miner.extend_config(
+            KeywordConfig(), texts[:SAMPLE], labels[:SAMPLE], top_k=10),
+    }
+    print(f"\nRecognition on the remaining {len(eval_texts)} sentences:")
+    for name, config in configs.items():
+        recognizer = AdvisingSentenceRecognizer(keywords=config)
+        predicted = {i for i, text in enumerate(eval_texts)
+                     if recognizer.is_advising(text)}
+        p, r, f = precision_recall_f(predicted, gold)
+        print(f"  {name:8s} P={p:.3f} R={r:.3f} F={f:.3f}")
+
+
+if __name__ == "__main__":
+    main()

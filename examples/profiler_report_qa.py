@@ -1,0 +1,41 @@
+"""Answer an NVVP profiler report with the advising tool (§3.2, §4.1).
+
+Generates the profiler report of the case-study sparse-matrix kernel
+(``norm.cu``, paper Table 3), feeds the report text to the CUDA
+Adviser, and prints one answer per extracted performance issue —
+the workflow the paper's students used first.
+
+Run:  python examples/profiler_report_qa.py
+"""
+
+import os
+
+from repro.core.egeria import Egeria
+from repro.corpus import cuda_guide
+from repro.profiler import case_study_report
+
+
+def main() -> None:
+    report = case_study_report()
+    text = report.to_text()
+    print("=== NVVP report (excerpt) ===")
+    print("\n".join(text.splitlines()[:16]))
+    print("...")
+
+    guide = cuda_guide()
+    advisor = Egeria(workers=max(1, (os.cpu_count() or 1) - 1)) \
+        .build_advisor(guide.document, name="CUDA Adviser")
+
+    print("\n=== Advising tool answers ===")
+    for answer in advisor.query_report(text):
+        issue_title = answer.query.split(".")[0]
+        print(f"\nIssue: {issue_title}")
+        print(f"  {answer.message}")
+        for rec in answer.recommendations[:4]:
+            section = rec.sentence.section_path or "(doc)"
+            print(f"  ({rec.score:.2f}) [{section}]")
+            print(f"      {rec.sentence.text[:100]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Reproduce the paper's evaluation tables programmatically.
+
+Thin driver over :mod:`repro.experiments` — the same functions the
+benchmark suite asserts against and the ``egeria experiments`` CLI
+prints.  Useful as a template for downstream comparisons.
+
+Run:  python examples/reproduce_tables.py
+"""
+
+from repro.experiments import run_table5, run_table6, run_table7, run_table8
+
+
+def main() -> None:
+    print("== Table 7: selection statistics ==")
+    for row in run_table7():
+        print(f"  {row['guide'][:36]:36s} {row['sentences']:5d} sentences "
+              f"-> {row['selected']:3d} advising "
+              f"(ratio {row['ratio']:.1f})")
+
+    print("\n== Table 8: recognition (Egeria row) ==")
+    for guide, methods in run_table8().items():
+        scores = methods["Egeria"]
+        print(f"  {guide:8s} P={scores['p']:.3f} R={scores['r']:.3f} "
+              f"F={scores['f']:.3f}")
+
+    print("\n== Table 6: answer quality (F per method) ==")
+    for row in run_table6():
+        print(f"  {row['issue'][:48]:48s} "
+              f"EG={row['egeria'][2]:.2f} "
+              f"FD={row['fulldoc'][2]:.2f} "
+              f"KW={row['keywords'][2]:.2f}")
+
+    print("\n== Table 5: user study speedups ==")
+    for group, stats in run_table5().items():
+        print(f"  {group:16s} avg={stats['average']:.2f}x "
+              f"median={stats['median']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` (and ``python setup.py develop``) work on
+offline environments whose pip/setuptools cannot build editable
+wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Egeria — automatic synthesis of HPC advising tools (SC'17 reproduction).
+
+This package reimplements, from scratch, the full system described in
+
+    Hui Guan, Xipeng Shen, Hamid Krim.
+    "Egeria: A Framework for Automatic Synthesis of HPC Advising Tools
+    through Multi-Layered Natural Language Processing." SC'17.
+
+including every substrate the paper depends on (tokenization, stemming,
+lemmatization, part-of-speech tagging, dependency parsing, semantic role
+labeling, TF-IDF/VSM retrieval, HTML document loading, NVVP-style profiler
+reports) and its evaluation harness (baselines, metrics, rater simulation,
+user-study simulation).
+
+The top-level API re-exports the pieces most users need:
+
+>>> from repro import Egeria, Document
+>>> doc = Document.from_sentences(
+...     ["Use shared memory to reduce global memory traffic."])
+>>> advisor = Egeria().build_advisor(doc)
+>>> answer = advisor.query("how to reduce memory traffic")
+
+Exports are resolved lazily (PEP 562) so that low-level substrates can
+be imported without pulling in the whole stack.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    "Egeria": ("repro.core.egeria", "Egeria"),
+    "AdvisingTool": ("repro.core.advisor", "AdvisingTool"),
+    "Answer": ("repro.core.advisor", "Answer"),
+    "AdvisingSentenceRecognizer": ("repro.core.recognizer",
+                                   "AdvisingSentenceRecognizer"),
+    "KnowledgeRecommender": ("repro.core.recommender",
+                             "KnowledgeRecommender"),
+    "Document": ("repro.docs.document", "Document"),
+    "Section": ("repro.docs.document", "Section"),
+    "Sentence": ("repro.docs.document", "Sentence"),
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

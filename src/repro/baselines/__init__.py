@@ -1,0 +1,33 @@
+"""Baseline methods the paper compares Egeria against.
+
+§4.2 (answer quality, Table 6):
+
+* :class:`~repro.baselines.keywords_method.KeywordsMethod` — stemmed
+  keyword search directly on the original document;
+* :class:`~repro.baselines.fulldoc_method.FullDocMethod` — the same
+  VSM/TF-IDF recommendation as Egeria's Stage II but over the whole
+  document (no advising-sentence recognition).
+
+§4.3 (recognition quality, Table 8):
+
+* :class:`~repro.baselines.single_selector.SingleSelectorRecognizer` —
+  each of the five selectors used alone;
+* :class:`~repro.baselines.keyword_all.KeywordAllRecognizer` — the
+  keyword selector with the union of every keyword set.
+"""
+
+from repro.baselines.keywords_method import KeywordsMethod
+from repro.baselines.fulldoc_method import FullDocMethod
+from repro.baselines.keyword_all import KeywordAllRecognizer
+from repro.baselines.single_selector import SingleSelectorRecognizer
+from repro.baselines.summarizer import TextRankSummarizer
+from repro.baselines.supervised import NaiveBayesClassifier
+
+__all__ = [
+    "KeywordsMethod",
+    "FullDocMethod",
+    "KeywordAllRecognizer",
+    "SingleSelectorRecognizer",
+    "TextRankSummarizer",
+    "NaiveBayesClassifier",
+]

@@ -1,0 +1,42 @@
+"""Full-doc baseline (paper §4.2).
+
+"This method also queries the original programming guide without first
+extracting advising sentences.  Unlike the keywords method, this
+method does not use keywords, but uses the same knowledge
+recommendation method as Egeria uses — that is, through the use of VSM
+and TF-IDF techniques."
+
+Because advising sentences are a subset of the document, this method
+finds everything Egeria finds, plus many relevant-but-not-advising
+sentences — hence its high recall / low precision in Table 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.recommender import Recommendation
+from repro.docs.document import Document
+from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class FullDocMethod:
+    """Stage II retrieval over the whole document (no Stage I)."""
+
+    def __init__(
+        self, document: Document, threshold: float = DEFAULT_THRESHOLD
+    ) -> None:
+        self.document = document
+        self.sentences = document.sentences
+        self._retriever = SentenceRetriever(
+            [s.text for s in self.sentences],
+            normalizer=NormalizationPipeline(),
+            threshold=threshold,
+        )
+
+    def query(self, text: str, threshold: float | None = None
+              ) -> list[Recommendation]:
+        """All document sentences scoring >= threshold, best first."""
+        return [
+            Recommendation(self.sentences[i], score)
+            for i, score in self._retriever.query(text, threshold)
+        ]

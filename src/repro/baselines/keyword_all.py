@@ -1,0 +1,24 @@
+"""KeywordAll baseline (paper Table 8, sixth row).
+
+"...we apply the first selector (the keyword-based selector) but use
+the union of all the keywords used in all selectors as the replacement
+of the FLAGGING_WORDS."  High recall, poor precision: any sentence
+mentioning *programmer* or *use* gets selected.
+"""
+
+from __future__ import annotations
+
+from repro.core.keywords import KeywordConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import KeywordSelector
+
+
+class KeywordAllRecognizer(AdvisingSentenceRecognizer):
+    """Keyword selector over the union of all five keyword sets."""
+
+    def __init__(self, keywords: KeywordConfig | None = None,
+                 workers: int = 1) -> None:
+        config = keywords or KeywordConfig()
+        selector = KeywordSelector(config, words=config.all_keywords())
+        super().__init__(keywords=config, selectors=[selector],
+                         workers=workers)

@@ -1,0 +1,60 @@
+"""Keywords baseline (paper §4.2).
+
+"This method uses keywords in the input query to directly search the
+original programming guide to find relevant sentences.  Both the
+keywords and the words in the document are reduced to their stem forms
+to allow matchings among different variants of a word."
+
+A multi-word keyword ("warp execution efficiency") requires every
+component term to appear (stemmed) in the sentence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.docs.document import Document, Sentence
+from repro.retrieval.index import InvertedIndex
+
+
+class KeywordsMethod:
+    """Stemmed keyword search over the full document."""
+
+    def __init__(self, document: Document, use_stemming: bool = True) -> None:
+        self.document = document
+        self.sentences = document.sentences
+        self.use_stemming = use_stemming
+        analyzer = None if use_stemming else _no_stem_analyzer
+        self._index = InvertedIndex(
+            [s.text for s in self.sentences], analyzer=analyzer)
+
+    def search(self, keyword: str) -> list[Sentence]:
+        """Sentences containing every term of *keyword* (stemmed)."""
+        hits = self._index.search_phrase_terms(keyword.split())
+        return [self.sentences[i] for i in hits]
+
+    def best_keyword(
+        self,
+        candidates: Sequence[str],
+        gold: set[int],
+    ) -> tuple[str, float]:
+        """Pick the candidate keyword with the highest F-measure
+        against *gold* sentence indices — replicating how the paper
+        "tried a number of keywords for each performance issue" and
+        reports the best."""
+        from repro.eval.metrics import precision_recall_f
+
+        best_kw, best_f = candidates[0], -1.0
+        for keyword in candidates:
+            predicted = {s.index for s in self.search(keyword)}
+            _, _, f_measure = precision_recall_f(predicted, gold)
+            if f_measure > best_f:
+                best_kw, best_f = keyword, f_measure
+        return best_kw, best_f
+
+
+def _no_stem_analyzer(text: str) -> list[str]:
+    """Lowercased whole-word analyzer for the no-stemming ablation
+    (§4.2: 'Without stemming ... the overall results would be even
+    worse')."""
+    return [t.lower() for t in text.split()]

@@ -1,0 +1,54 @@
+"""Single-selector baselines (paper Table 8, rows 1-5).
+
+Each of Egeria's five selectors used alone: high precision on its own
+category, low recall overall — the evidence for the multilayered
+design (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.keywords import KeywordConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import (
+    ImperativeSelector,
+    KeywordSelector,
+    PurposeSelector,
+    SubjectSelector,
+    XcompSelector,
+)
+
+_SELECTOR_TYPES = {
+    "keyword": KeywordSelector,
+    "comparative": XcompSelector,
+    "imperative": ImperativeSelector,
+    "subject": SubjectSelector,
+    "purpose": PurposeSelector,
+}
+
+
+class SingleSelectorRecognizer(AdvisingSentenceRecognizer):
+    """Recognizer running exactly one of the five selectors."""
+
+    def __init__(self, selector_name: str,
+                 keywords: KeywordConfig | None = None,
+                 workers: int = 1) -> None:
+        try:
+            selector_type = _SELECTOR_TYPES[selector_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown selector {selector_name!r}; choose from "
+                f"{sorted(_SELECTOR_TYPES)}") from None
+        config = keywords or KeywordConfig()
+        super().__init__(keywords=config,
+                         selectors=[selector_type(config)],
+                         workers=workers)
+
+
+def all_single_selector_recognizers(
+    keywords: KeywordConfig | None = None,
+) -> dict[str, SingleSelectorRecognizer]:
+    """One recognizer per selector, keyed by name (Table 8 rows)."""
+    return {
+        name: SingleSelectorRecognizer(name, keywords=keywords)
+        for name in _SELECTOR_TYPES
+    }

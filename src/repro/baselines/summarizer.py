@@ -1,0 +1,62 @@
+"""TextRank extractive summarizer (document-summarization baseline).
+
+§3.1 distinguishes advising-sentence recognition from document
+summarization: "It focuses on finding the most informative sentences,
+which may not be advising sentences."  This baseline makes that
+argument measurable: a standard TextRank summarizer (Mihalcea & Tarau
+2004 — PageRank over the sentence cosine-similarity graph) selects the
+same *number* of sentences Egeria selects, and its precision/recall
+against the advising labels quantifies how different "informative"
+is from "advising".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.retrieval.tfidf import TfidfModel
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class TextRankSummarizer:
+    """Rank sentences by PageRank centrality in the similarity graph."""
+
+    def __init__(
+        self,
+        normalizer: Callable[[str], list[str]] | None = None,
+        similarity_threshold: float = 0.1,
+        damping: float = 0.85,
+    ) -> None:
+        self.normalizer = normalizer or NormalizationPipeline()
+        self.similarity_threshold = similarity_threshold
+        self.damping = damping
+
+    def rank(self, sentences: Sequence[str]) -> np.ndarray:
+        """TextRank score per sentence."""
+        docs = [self.normalizer(s) for s in sentences]
+        tfidf = TfidfModel(docs)
+        vectors = np.stack([tfidf.transform_dense(d) for d in docs]) \
+            if docs else np.zeros((0, 0))
+        norms = np.linalg.norm(vectors, axis=1)
+        norms[norms == 0.0] = 1.0
+        unit = vectors / norms[:, None]
+        similarity = unit @ unit.T
+        np.fill_diagonal(similarity, 0.0)
+        similarity[similarity < self.similarity_threshold] = 0.0
+
+        graph = nx.from_numpy_array(similarity)
+        scores = nx.pagerank(graph, alpha=self.damping, weight="weight")
+        return np.array([scores[i] for i in range(len(sentences))])
+
+    def summarize(
+        self, sentences: Sequence[str], k: int
+    ) -> list[int]:
+        """Indices of the top-k most central sentences (sorted)."""
+        if not sentences or k <= 0:
+            return []
+        scores = self.rank(sentences)
+        top = np.argsort(-scores, kind="stable")[:k]
+        return sorted(int(i) for i in top)

@@ -1,0 +1,91 @@
+"""Supervised baseline: multinomial Naive Bayes sentence classifier.
+
+§2 dismisses supervised learning for advising-sentence recognition on
+practicality grounds: "This method requires a large volume of labeled
+data ... Given the scarcity of labeled data in HPC advising and the
+large amount of manual labeling efforts this method requires, this
+method is not a practical option."
+
+This classifier makes the trade-off measurable: trained on *n* labeled
+sentences and evaluated against Egeria's zero-training recognizer, it
+shows how much annotation the supervised route needs before it matches
+the keyword/syntax/semantics cascade — the learning-curve experiment
+``bench_supervised_baseline.py`` reproduces the paper's argument
+quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class NaiveBayesClassifier:
+    """Multinomial NB over normalized (stemmed) token counts."""
+
+    def __init__(
+        self,
+        normalizer: Callable[[str], list[str]] | None = None,
+        alpha: float = 1.0,
+    ) -> None:
+        self.normalizer = normalizer or NormalizationPipeline()
+        self.alpha = alpha
+        self._log_prior: dict[bool, float] = {}
+        self._log_likelihood: dict[bool, dict[str, float]] = {}
+        self._default_ll: dict[bool, float] = {}
+        self._trained = False
+
+    def train(
+        self, sentences: Sequence[str], labels: Sequence[bool]
+    ) -> None:
+        if len(sentences) != len(labels):
+            raise ValueError("sentences and labels length mismatch")
+        if not sentences:
+            raise ValueError("cannot train on an empty corpus")
+        token_counts: dict[bool, Counter] = {True: Counter(),
+                                             False: Counter()}
+        class_counts: Counter = Counter()
+        for text, label in zip(sentences, labels):
+            class_counts[bool(label)] += 1
+            token_counts[bool(label)].update(self.normalizer(text))
+
+        vocabulary = set(token_counts[True]) | set(token_counts[False])
+        v = max(len(vocabulary), 1)
+        total = sum(class_counts.values())
+        for label in (True, False):
+            # Laplace-smoothed prior so a single-class sample stays sane
+            self._log_prior[label] = math.log(
+                (class_counts[label] + self.alpha)
+                / (total + 2 * self.alpha))
+            denom = sum(token_counts[label].values()) + self.alpha * v
+            self._log_likelihood[label] = {
+                token: math.log((count + self.alpha) / denom)
+                for token, count in token_counts[label].items()
+            }
+            self._default_ll[label] = math.log(self.alpha / denom)
+        self._trained = True
+
+    def log_odds(self, text: str) -> float:
+        """log P(advising|text) - log P(other|text) (unnormalized)."""
+        if not self._trained:
+            raise RuntimeError("classifier not trained")
+        score = self._log_prior[True] - self._log_prior[False]
+        for token in self.normalizer(text):
+            score += self._log_likelihood[True].get(
+                token, self._default_ll[True])
+            score -= self._log_likelihood[False].get(
+                token, self._default_ll[False])
+        return score
+
+    def predict(self, text: str) -> bool:
+        return self.log_odds(text) > 0.0
+
+    def accuracy(
+        self, sentences: Sequence[str], labels: Sequence[bool]
+    ) -> float:
+        correct = sum(self.predict(t) == bool(l)
+                      for t, l in zip(sentences, labels))
+        return correct / len(sentences) if sentences else 0.0

@@ -1,0 +1,299 @@
+"""Command-line interface for the Egeria framework.
+
+Subcommands:
+
+* ``egeria build GUIDE.html -o summary.html`` — synthesize an advisor
+  from an HTML/Markdown guide and write the advising summary page;
+* ``egeria query GUIDE.html "how to ..."`` — one-shot question
+  answering against a guide;
+* ``egeria report GUIDE.html REPORT.txt`` — answer an NVVP-style
+  profiler report;
+* ``egeria demo [cuda|opencl|xeon]`` — build an advisor from one of
+  the bundled corpora and answer a sample query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.egeria import Egeria
+from repro.core.keywords import KeywordConfig
+from repro.core.render import render_answer, render_summary
+from repro.docs.document import Document
+from repro.docs.html_loader import HTMLDocumentLoader
+from repro.docs.markdown_loader import MarkdownDocumentLoader
+
+
+def _load_document(path: str) -> Document:
+    if path.endswith((".html", ".htm")):
+        return HTMLDocumentLoader().load_file(path)
+    if path.endswith((".md", ".markdown")):
+        return MarkdownDocumentLoader().load_file(path)
+    with open(path, encoding="utf-8") as handle:
+        return Document.from_text(handle.read(), title=path)
+
+
+def _load_config(args: argparse.Namespace):
+    from repro.core.config import EgeriaConfig
+
+    if getattr(args, "config", None):
+        return EgeriaConfig.load(args.config)
+    return EgeriaConfig()
+
+
+def _resolve_workers(args: argparse.Namespace) -> int:
+    if getattr(args, "workers", None):
+        return args.workers
+    return _load_config(args).workers
+
+
+def _build_or_load_advisor(args: argparse.Namespace,
+                           threshold: float | None = None):
+    """Build an advisor from a guide file, or load a saved .json one."""
+    if args.guide.endswith(".json"):
+        from repro.core.persistence import load_advisor
+
+        return load_advisor(args.guide)
+    config = _load_config(args)
+    document = _load_document(args.guide)
+    return Egeria(
+        keywords=_load_keywords(args),
+        threshold=threshold if threshold is not None else config.threshold,
+        workers=_resolve_workers(args),
+    ).build_advisor(document)
+
+
+def _load_keywords(args: argparse.Namespace) -> KeywordConfig:
+    config = _load_config(args).keyword_config()
+    if getattr(args, "extra_keywords", None):
+        config = config.extend(
+            flagging_words=tuple(args.extra_keywords))
+    return config
+
+
+def _print_answer(answer) -> None:
+    print(f"Q: {answer.query}")
+    print(f"   {answer.message}")
+    for rec in answer.recommendations:
+        section = rec.sentence.section_path or "(doc)"
+        print(f"   ({rec.score:.2f}) [{section}] {rec.sentence.text}")
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    document = _load_document(args.guide)
+    advisor = Egeria(keywords=_load_keywords(args),
+                     workers=_resolve_workers(args)).build_advisor(document)
+    stats = advisor.selection_stats()
+    print(f"{document.title}: {stats['document_sentences']:.0f} sentences, "
+          f"{stats['advising_sentences']:.0f} advising "
+          f"(ratio {stats['ratio']:.1f})")
+    if args.save:
+        from repro.core.persistence import save_advisor
+
+        save_advisor(advisor, args.save)
+        print(f"advisor saved to {args.save}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_summary(advisor))
+        print(f"summary written to {args.output}")
+    else:
+        for heading, sentences in advisor.summary_by_section():
+            print(f"\n[{heading}]")
+            for sentence in sentences:
+                print(f"  - {sentence.text}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    advisor = _build_or_load_advisor(args, threshold=args.threshold)
+    answer = advisor.query(args.question)
+    _print_answer(answer)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_answer(advisor, answer))
+        print(f"answer page written to {args.output}")
+    return 0 if answer.found else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    advisor = _build_or_load_advisor(args, threshold=args.threshold)
+    if args.report.endswith(".pdf"):
+        with open(args.report, "rb") as handle:
+            answers = advisor.query_report_pdf(handle.read())
+    else:
+        with open(args.report, encoding="utf-8") as handle:
+            answers = advisor.query_report(handle.read())
+    if not answers:
+        print("no performance issues found in the report")
+        return 1
+    for answer in answers:
+        _print_answer(answer)
+        print()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.web.server import run
+
+    config = _load_config(args)
+    advisor = _build_or_load_advisor(args)
+    run(advisor,
+        host=args.host or config.host,
+        port=args.port or config.port)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.corpus import GUIDE_BUILDERS
+
+    guide = GUIDE_BUILDERS[args.corpus]()
+    advisor = Egeria(workers=_resolve_workers(args)).build_advisor(
+        guide.document)
+    stats = advisor.selection_stats()
+    print(f"{guide.spec.name}: {stats['document_sentences']:.0f} sentences, "
+          f"{stats['advising_sentences']:.0f} advising "
+          f"(ratio {stats['ratio']:.1f})")
+    question = args.question or "how to improve memory throughput"
+    _print_answer(advisor.query(question))
+    return 0
+
+
+def cmd_shell(args: argparse.Namespace) -> int:
+    """Interactive QA loop — the paper's 'question-answer agent that
+    interactively offers suggestions' (§1)."""
+    advisor = _build_or_load_advisor(args)
+    print(f"{advisor.name}: {len(advisor.advising_sentences)} advising "
+          f"sentences loaded. Type a question, or 'quit'.")
+    while True:
+        try:
+            line = input("egeria> ").strip()
+        except EOFError:
+            break
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit", "q"):
+            break
+        _print_answer(advisor.query(line))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentRegistry
+
+    if args.name == "list":
+        for name, (_, description) in ExperimentRegistry.items():
+            print(f"{name:8s} {description}")
+        return 0
+    try:
+        runner, description = ExperimentRegistry[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; try 'list'")
+        return 1
+    print(f"# {args.name}: {description}")
+    result = runner()
+    _print_experiment(args.name, result)
+    return 0
+
+
+def _print_experiment(name: str, result) -> None:
+    if name == "table5":
+        print(f"{'group/device':18s} {'average':>8s} {'median':>8s}")
+        for key, stats in result.items():
+            print(f"{key:18s} {stats['average']:7.2f}x "
+                  f"{stats['median']:7.2f}x")
+    elif name == "table6":
+        print(f"{'issue':46s} {'#GT':>3s}  {'Egeria P/R/F':20s} "
+              f"{'Full-doc P/R/F':20s} {'Keywords P/R/F':20s}")
+        for row in result:
+            def fmt(t):
+                return "/".join(f"{v:.2f}" for v in t)
+            print(f"{row['issue'][:46]:46s} {row['ground_truth']:3d}  "
+                  f"{fmt(row['egeria']):20s} {fmt(row['fulldoc']):20s} "
+                  f"{fmt(row['keywords']):20s}")
+    elif name == "table7":
+        print(f"{'guide':36s} {'sentences (pages)':>18s} "
+              f"{'selected':>8s} {'ratio':>6s}")
+        for row in result:
+            print(f"{row['guide']:36s} "
+                  f"{row['sentences']:>11d} ({row['pages']:>3d}) "
+                  f"{row['selected']:8d} {row['ratio']:6.1f}")
+    elif name == "table8":
+        for guide, methods in result.items():
+            print(f"\n[{guide}]")
+            print(f"{'method':12s} {'sel':>4s} {'corr':>4s} "
+                  f"{'P':>6s} {'R':>6s} {'F':>6s}")
+            for method, scores in methods.items():
+                print(f"{method:12s} {scores['selected']:4d} "
+                      f"{scores['correct']:4d} {scores['p']:6.3f} "
+                      f"{scores['r']:6.3f} {scores['f']:6.3f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="egeria",
+        description="Synthesize and query HPC advising tools (SC'17 "
+                    "Egeria reproduction).")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for Stage I")
+    parser.add_argument("--config", default=None,
+                        help="JSON configuration file (host/port/workers/"
+                             "threshold/keyword extensions)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build an advisor; print or "
+                             "write the advising summary")
+    p_build.add_argument("guide", help="guide file (.html/.md/.txt)")
+    p_build.add_argument("-o", "--output", help="write summary HTML here")
+    p_build.add_argument("--save", help="persist the advisor as JSON")
+    p_build.add_argument("--extra-keywords", nargs="*",
+                         help="extra flagging keywords/phrases")
+    p_build.set_defaults(func=cmd_build)
+
+    p_query = sub.add_parser("query", help="ask a guide a question")
+    p_query.add_argument("guide")
+    p_query.add_argument("question")
+    p_query.add_argument("-o", "--output", help="write answer HTML here")
+    p_query.add_argument("--threshold", type=float, default=None)
+    p_query.add_argument("--extra-keywords", nargs="*")
+    p_query.set_defaults(func=cmd_query)
+
+    p_report = sub.add_parser("report", help="answer an NVVP-style report")
+    p_report.add_argument("guide")
+    p_report.add_argument("report", help="profiler report text file")
+    p_report.add_argument("--threshold", type=float, default=None)
+    p_report.add_argument("--extra-keywords", nargs="*")
+    p_report.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser("serve", help="serve an advisor as a website")
+    p_serve.add_argument("guide")
+    p_serve.add_argument("--host", default=None)
+    p_serve.add_argument("--port", type=int, default=None)
+    p_serve.add_argument("--extra-keywords", nargs="*")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_demo = sub.add_parser("demo", help="run against a bundled corpus")
+    p_demo.add_argument("corpus", choices=("cuda", "opencl", "xeon", "mpi"))
+    p_demo.add_argument("question", nargs="?", default=None)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_exp = sub.add_parser(
+        "experiments", help="reproduce a paper table (or 'list')")
+    p_exp.add_argument("name", nargs="?", default="list")
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_shell = sub.add_parser("shell", help="interactive QA session")
+    p_shell.add_argument("guide", help="guide file or saved advisor .json")
+    p_shell.add_argument("--extra-keywords", nargs="*")
+    p_shell.set_defaults(func=cmd_shell)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Egeria core: the paper's primary contribution.
+
+Stage I (:mod:`repro.core.recognizer`) recognizes advising sentences
+with five keyword/syntax/semantics selectors
+(:mod:`repro.core.selectors`, configured by
+:mod:`repro.core.keywords`); Stage II (:mod:`repro.core.recommender`)
+retrieves the advising sentences relevant to a query with VSM/TF-IDF.
+:class:`repro.core.egeria.Egeria` synthesizes an
+:class:`repro.core.advisor.AdvisingTool` from a document — the
+framework's end-to-end entry point.
+"""
+
+from repro.core.keywords import KeywordConfig, DEFAULT_KEYWORDS
+from repro.core.analysis import SentenceAnalysis, SentenceAnalyzer
+from repro.core.selectors import (
+    Selector,
+    KeywordSelector,
+    XcompSelector,
+    ImperativeSelector,
+    SubjectSelector,
+    PurposeSelector,
+    default_selectors,
+)
+from repro.core.recognizer import AdvisingSentenceRecognizer, RecognitionResult
+from repro.core.recommender import KnowledgeRecommender, Recommendation
+from repro.core.advisor import AdvisingTool, Answer
+from repro.core.egeria import Egeria
+
+__all__ = [
+    "KeywordConfig",
+    "DEFAULT_KEYWORDS",
+    "SentenceAnalysis",
+    "SentenceAnalyzer",
+    "Selector",
+    "KeywordSelector",
+    "XcompSelector",
+    "ImperativeSelector",
+    "SubjectSelector",
+    "PurposeSelector",
+    "default_selectors",
+    "AdvisingSentenceRecognizer",
+    "RecognitionResult",
+    "KnowledgeRecommender",
+    "Recommendation",
+    "AdvisingTool",
+    "Answer",
+    "Egeria",
+]

@@ -1,0 +1,185 @@
+"""The advising tool Egeria synthesizes (QA agent).
+
+An :class:`AdvisingTool` owns the document, its recognized advising
+sentences, and a :class:`~repro.core.recommender.KnowledgeRecommender`.
+It answers
+
+* free-text queries (``query``), and
+* NVVP profiler reports (``query_report``) — each ``Optimization:``
+  subsection becomes one sub-query (paper §4.1, Table 3);
+
+and can produce the full advising summary grouped by section
+(paper Figure 4 / Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.recommender import KnowledgeRecommender, Recommendation
+from repro.docs.document import Document, Section, Sentence
+from repro.profiler.parser import NVVPReportParser
+
+
+@dataclass
+class Answer:
+    """The tool's response to one query."""
+
+    query: str
+    recommendations: list[Recommendation] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.recommendations)
+
+    @property
+    def sentences(self) -> list[Sentence]:
+        return [r.sentence for r in self.recommendations]
+
+    @property
+    def message(self) -> str:
+        if not self.found:
+            return "No relevant sentences found"
+        return f"{len(self.recommendations)} relevant sentences found"
+
+    def to_dict(self) -> dict:
+        """JSON-compatible view (used by the web API)."""
+        return {
+            "query": self.query,
+            "found": self.found,
+            "answers": [
+                {
+                    "sentence": rec.sentence.text,
+                    "score": round(rec.score, 4),
+                    "section": rec.sentence.section_path,
+                    "matched_terms": list(
+                        getattr(rec, "matched_terms", ())),
+                }
+                for rec in self.recommendations
+            ],
+        }
+
+
+class AdvisingTool:
+    """A synthesized advising tool for one HPC document."""
+
+    def __init__(
+        self,
+        document: Document,
+        advising_sentences: Sequence[Sentence],
+        threshold: float = 0.15,
+        name: str | None = None,
+    ) -> None:
+        self.document = document
+        self.advising_sentences = list(advising_sentences)
+        self.name = name or f"{document.title} Adviser"
+        self.recommender = KnowledgeRecommender(
+            self.advising_sentences, document=document, threshold=threshold)
+        self._report_parser = NVVPReportParser()
+
+    # -- querying ---------------------------------------------------------
+
+    def query(self, text: str, threshold: float | None = None,
+              expand_synonyms: bool = False) -> Answer:
+        """Answer a free-text optimization question.
+
+        With ``expand_synonyms`` the query is first widened with the
+        domain synonym clusters of :mod:`repro.retrieval.synonyms`
+        ("thread divergence" also searches "divergent branches") —
+        useful for loosely phrased questions.
+        """
+        if expand_synonyms:
+            from repro.retrieval.synonyms import SynonymExpander
+
+            text_for_search = SynonymExpander().expand(text)
+        else:
+            text_for_search = text
+        return Answer(
+            text, self.recommender.recommend(text_for_search, threshold))
+
+    def query_report(
+        self, report_text: str, threshold: float | None = None
+    ) -> list[Answer]:
+        """Answer an NVVP report: one answer per extracted issue."""
+        answers: list[Answer] = []
+        for issue_query in self._report_parser.extract_queries(report_text):
+            answers.append(self.query(issue_query, threshold))
+        return answers
+
+    def query_report_pdf(
+        self, pdf_data: bytes, threshold: float | None = None
+    ) -> list[Answer]:
+        """Answer an uploaded NVVP report PDF (the paper's §3.2 upload
+        path: "a PDF file output from NVIDIA NVPP")."""
+        from repro.pdf.reader import extract_text
+
+        return self.query_report(extract_text(pdf_data), threshold)
+
+    # -- summary -----------------------------------------------------------
+
+    def summary_by_section(self) -> list[tuple[str, list[Sentence]]]:
+        """Advising sentences grouped under their section headings, in
+        document order — the Figure 4/6 'reminding summary' view."""
+        groups: dict[str, list[Sentence]] = {}
+        order: list[str] = []
+        for sentence in self.advising_sentences:
+            heading = sentence.section_path or "(document)"
+            if heading not in groups:
+                groups[heading] = []
+                order.append(heading)
+            groups[heading].append(sentence)
+        return [(heading, groups[heading]) for heading in order]
+
+    def context_of(self, sentence: Sentence) -> list[Sentence]:
+        """All advising sentences in the same subsection as *sentence* —
+        the optional 'other advising sentences in the same subsections'
+        view of §4.1."""
+        return [
+            s for s in self.advising_sentences
+            if s.section_number == sentence.section_number
+            and s.section_title == sentence.section_title
+        ]
+
+    # -- incremental updates -----------------------------------------------
+
+    def extend(self, document: Document,
+               recognizer=None) -> int:
+        """Fold another document into this advisor.
+
+        HPC guides evolve quickly (§1: "rapid changes ... of modern
+        systems"); ``extend`` runs Stage I on the new document only and
+        rebuilds the (cheap) Stage II index over the merged collection.
+        Returns the number of newly recognized advising sentences.
+        """
+        from repro.core.recognizer import AdvisingSentenceRecognizer
+
+        recognizer = recognizer or AdvisingSentenceRecognizer()
+        wrapper = Section(title=document.title, level=1)
+        wrapper.subsections = list(document.sections)
+        self.document.sections.append(wrapper)
+        self.document.reindex()
+        fresh = recognizer.advising_sentences(document)
+        fresh_texts = {s.text for s in fresh}
+        # map new advising sentences onto the merged document's objects
+        added = [
+            sentence for sentence in wrapper.iter_sentences()
+            if sentence.text in fresh_texts
+        ]
+        self.advising_sentences.extend(added)
+        self.recommender = KnowledgeRecommender(
+            self.advising_sentences, document=self.document,
+            threshold=self.recommender.threshold)
+        return len(added)
+
+    # -- stats -----------------------------------------------------------------
+
+    def selection_stats(self) -> dict[str, float]:
+        """Document vs selection sizes (paper Table 7)."""
+        total = len(self.document)
+        selected = len(self.advising_sentences)
+        return {
+            "document_sentences": total,
+            "advising_sentences": selected,
+            "ratio": (total / selected) if selected else float("inf"),
+        }

@@ -1,0 +1,57 @@
+"""Per-sentence NLP analysis shared by the selectors.
+
+Selector evaluation is staged exactly like the paper's layers: the
+keyword selector needs only stems; the syntactic selectors need the
+dependency parse; the purpose selector needs SRL.  ``SentenceAnalysis``
+computes each layer lazily and caches it, so a sentence accepted by
+Selector 1 never pays for parsing — the property that makes the
+five-selector cascade cheap on large guides.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.parsing.graph import DependencyGraph
+from repro.parsing.parser import DependencyParser
+from repro.srl.labeler import Frame, SemanticRoleLabeler
+from repro.textproc.porter import PorterStemmer
+from repro.textproc.word_tokenizer import WordTokenizer
+
+
+class SentenceAnalysis:
+    """Lazy layered view of one sentence."""
+
+    def __init__(self, text: str, analyzer: "SentenceAnalyzer") -> None:
+        self.text = text
+        self._analyzer = analyzer
+
+    @cached_property
+    def tokens(self) -> list[str]:
+        return self._analyzer.tokenizer.tokenize(self.text)
+
+    @cached_property
+    def stems(self) -> list[str]:
+        stemmer = self._analyzer.stemmer
+        return [stemmer.stem(t) for t in self.tokens]
+
+    @cached_property
+    def graph(self) -> DependencyGraph:
+        return self._analyzer.parser.parse(self.tokens)
+
+    @cached_property
+    def frames(self) -> list[Frame]:
+        return self._analyzer.labeler.label(self.graph)
+
+
+class SentenceAnalyzer:
+    """Factory owning the (reusable, stateless) NLP components."""
+
+    def __init__(self) -> None:
+        self.tokenizer = WordTokenizer()
+        self.stemmer = PorterStemmer()
+        self.parser = DependencyParser()
+        self.labeler = SemanticRoleLabeler()
+
+    def analyze(self, text: str) -> SentenceAnalysis:
+        return SentenceAnalysis(text, self)

@@ -1,0 +1,108 @@
+"""Configuration files for Egeria deployments.
+
+The artifact description (§A) has users "setup the host IP address
+(host) and the port number (port) in configuration files" and
+"customize the set of keywords used in the selectors by modifying the
+configuration file: Config.py".  This module is the equivalent: a JSON
+config holding server settings, pipeline knobs, and per-domain keyword
+extensions.
+
+Example ``egeria.json``::
+
+    {
+      "host": "0.0.0.0",
+      "port": 8080,
+      "workers": 4,
+      "threshold": 0.15,
+      "keywords": {
+        "flagging_words": ["have to be"],
+        "key_subjects": ["user", "one"]
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.keywords import KeywordConfig
+
+_KEYWORD_FIELDS = ("flagging_words", "xcomp_governors",
+                   "imperative_words", "key_subjects", "key_predicates")
+
+
+@dataclass(frozen=True)
+class EgeriaConfig:
+    """Deployment configuration."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    workers: int = 1
+    threshold: float = 0.15
+    keyword_extensions: dict[str, tuple[str, ...]] = field(
+        default_factory=dict)
+
+    def keyword_config(self, base: KeywordConfig | None = None
+                       ) -> KeywordConfig:
+        """The Table 2 sets extended with this config's additions."""
+        config = base or KeywordConfig()
+        if self.keyword_extensions:
+            config = config.extend(**{
+                name: tuple(values)
+                for name, values in self.keyword_extensions.items()
+            })
+        return config
+
+    # -- (de)serialization ------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EgeriaConfig":
+        unknown = set(data) - {"host", "port", "workers", "threshold",
+                               "keywords"}
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        keyword_extensions: dict[str, tuple[str, ...]] = {}
+        for name, values in (data.get("keywords") or {}).items():
+            if name not in _KEYWORD_FIELDS:
+                raise ValueError(
+                    f"unknown keyword set {name!r}; expected one of "
+                    f"{_KEYWORD_FIELDS}")
+            if not isinstance(values, list) or not all(
+                    isinstance(v, str) for v in values):
+                raise ValueError(f"keyword set {name!r} must be a list "
+                                 "of strings")
+            keyword_extensions[name] = tuple(values)
+        threshold = float(data.get("threshold", 0.15))
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        workers = int(data.get("workers", 1))
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return cls(
+            host=str(data.get("host", "127.0.0.1")),
+            port=int(data.get("port", 8000)),
+            workers=workers,
+            threshold=threshold,
+            keyword_extensions=keyword_extensions,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "EgeriaConfig":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> dict:
+        return {
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "threshold": self.threshold,
+            "keywords": {name: list(values)
+                         for name, values in
+                         self.keyword_extensions.items()},
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)

@@ -1,0 +1,105 @@
+"""The Egeria framework: advisor synthesis entry point.
+
+"Through Egeria, one can easily construct an advising tool for a
+certain HPC domain by providing Egeria with a programming guide or
+other documents of that type" (§1).  The class wires Stage I and
+Stage II together:
+
+>>> from repro import Egeria, Document
+>>> doc = Document.from_sentences([
+...     "Use shared memory to reduce global memory traffic.",
+...     "The warp size is 32 threads.",
+... ])
+>>> advisor = Egeria().build_advisor(doc)
+>>> len(advisor.advising_sentences)
+1
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections.abc import Sequence
+
+from repro.core.advisor import AdvisingTool  # noqa: F401 (re-export)
+from repro.core.keywords import KeywordConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import Selector
+from repro.docs.document import Document
+from repro.docs.html_loader import HTMLDocumentLoader
+from repro.docs.markdown_loader import MarkdownDocumentLoader
+
+
+logger = logging.getLogger("repro.core.egeria")
+
+
+class Egeria:
+    """Framework object: configuration + advisor factory."""
+
+    def __init__(
+        self,
+        keywords: KeywordConfig | None = None,
+        selectors: Sequence[Selector] | None = None,
+        threshold: float = 0.15,
+        workers: int = 1,
+    ) -> None:
+        self.keywords = keywords or KeywordConfig()
+        self.threshold = threshold
+        self.recognizer = AdvisingSentenceRecognizer(
+            keywords=self.keywords, selectors=selectors, workers=workers)
+
+    # -- advisor synthesis ---------------------------------------------------
+
+    def build_advisor(
+        self, document: Document, name: str | None = None
+    ) -> AdvisingTool:
+        """Synthesize an advising tool from a loaded document."""
+        started = time.perf_counter()
+        advising = self.recognizer.advising_sentences(document)
+        elapsed = time.perf_counter() - started
+        total = len(document)
+        logger.info(
+            "built advisor for %r: %d/%d sentences advising "
+            "(%.1fx compression) in %.2fs",
+            document.title, len(advising), total,
+            (total / len(advising)) if advising else float("inf"),
+            elapsed)
+        return AdvisingTool(
+            document, advising, threshold=self.threshold, name=name)
+
+    def build_advisor_from_html(
+        self, html: str, title: str | None = None
+    ) -> AdvisingTool:
+        """Load HTML guide text and synthesize an advising tool."""
+        document = HTMLDocumentLoader().load(html, title=title)
+        return self.build_advisor(document)
+
+    def build_advisor_from_markdown(
+        self, text: str, title: str | None = None
+    ) -> AdvisingTool:
+        """Load a Markdown guide and synthesize an advising tool."""
+        document = MarkdownDocumentLoader().load(text, title=title)
+        return self.build_advisor(document)
+
+    def build_advisor_multi(
+        self,
+        documents: Sequence[Document],
+        name: str | None = None,
+    ) -> AdvisingTool:
+        """Synthesize one advising tool from several documents.
+
+        The paper's framing is plural — "a programming guide or other
+        documents of that type" (§1).  Each input document becomes a
+        top-level section (titled by the document), so answers still
+        point back to their source; Stage I and Stage II operate on
+        the merged collection.
+        """
+        from repro.docs.document import Section
+
+        merged = Document(name or "combined")
+        for document in documents:
+            wrapper = Section(title=document.title, level=1)
+            wrapper.subsections = list(document.sections)
+            merged.sections.append(wrapper)
+        merged.reindex()
+        return self.build_advisor(merged, name=name)

@@ -1,0 +1,102 @@
+"""Keyword sets used by the selectors (paper Table 2).
+
+The five sets are reproduced verbatim from the paper.  They are held
+in a :class:`KeywordConfig` so users can extend them per domain — the
+paper itself reports that adding ``'have to be'`` to FLAGGING_WORDS
+and ``'user'``/``'one'`` to KEY_SUBJECTS lifts Xeon-guide recall from
+0.708 to 0.892 (§4.3); the benchmark ``bench_table8_recognition``
+reproduces that tuning experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+#: Table 2 — FLAGGING WORDS (Selector 1; matched after stemming).
+FLAGGING_WORDS: tuple[str, ...] = (
+    "better", "best performance", "higher performance",
+    "maximum performance", "peak performance", "improve the performance",
+    "higher impact", "more appropriate", "should", "high bandwidth",
+    "benefit", "high throughput", "prefer", "effective way", "one way to",
+    "the key to", "contribute to", "can be used to", "can lead to",
+    "reduce", "can help", "can be important", "can be useful",
+    "is important", "help avoid", "can avoid", "instead", "is desirable",
+    "good choice", "ideal choice", "good idea", "good start", "encouraged",
+)
+
+#: Table 2 — XCOMP GOVERNORS (Selector 2; matched on governor lemma).
+XCOMP_GOVERNORS: tuple[str, ...] = (
+    "prefer", "best", "faster", "better", "efficient", "beneficial",
+    "appropriate", "recommended", "encouraged", "leveraged", "important",
+    "useful", "required", "controlled",
+)
+
+#: Table 2 — IMPERATIVE WORDS (Selector 3; matched on root-verb lemma).
+IMPERATIVE_WORDS: tuple[str, ...] = (
+    "use", "avoid", "create", "make", "map", "align", "add", "change",
+    "ensure", "call", "unroll", "move", "select", "schedule", "switch",
+    "transform", "pack",
+)
+
+#: Table 2 — KEY SUBJECTS (Selector 4; matched on subject lemma).
+KEY_SUBJECTS: tuple[str, ...] = (
+    "programmer", "developer", "application", "solution", "algorithm",
+    "optimization", "guideline", "technique",
+)
+
+#: Table 2 — KEY PREDICATES (Selector 5; matched on the purpose
+#: clause's predicate lemma).
+KEY_PREDICATES: tuple[str, ...] = (
+    "maximize", "minimize", "recommend", "accomplish", "achieve", "avoid",
+)
+
+
+@dataclass(frozen=True)
+class KeywordConfig:
+    """The five keyword sets, extendable per HPC domain."""
+
+    flagging_words: frozenset[str] = field(
+        default_factory=lambda: frozenset(FLAGGING_WORDS))
+    xcomp_governors: frozenset[str] = field(
+        default_factory=lambda: frozenset(XCOMP_GOVERNORS))
+    imperative_words: frozenset[str] = field(
+        default_factory=lambda: frozenset(IMPERATIVE_WORDS))
+    key_subjects: frozenset[str] = field(
+        default_factory=lambda: frozenset(KEY_SUBJECTS))
+    key_predicates: frozenset[str] = field(
+        default_factory=lambda: frozenset(KEY_PREDICATES))
+
+    def extend(
+        self,
+        flagging_words: tuple[str, ...] = (),
+        xcomp_governors: tuple[str, ...] = (),
+        imperative_words: tuple[str, ...] = (),
+        key_subjects: tuple[str, ...] = (),
+        key_predicates: tuple[str, ...] = (),
+    ) -> "KeywordConfig":
+        """A new config with extra keywords added to the given sets."""
+        return replace(
+            self,
+            flagging_words=self.flagging_words | set(flagging_words),
+            xcomp_governors=self.xcomp_governors | set(xcomp_governors),
+            imperative_words=self.imperative_words | set(imperative_words),
+            key_subjects=self.key_subjects | set(key_subjects),
+            key_predicates=self.key_predicates | set(key_predicates),
+        )
+
+    def all_keywords(self) -> frozenset[str]:
+        """Union of every keyword across the five sets (used by the
+        KeywordAll baseline of paper Table 8)."""
+        return (self.flagging_words | self.xcomp_governors
+                | self.imperative_words | self.key_subjects
+                | self.key_predicates)
+
+
+#: The paper's default configuration.
+DEFAULT_KEYWORDS = KeywordConfig()
+
+#: The Xeon-guide tuning reported in §4.3.
+XEON_TUNED_KEYWORDS = DEFAULT_KEYWORDS.extend(
+    flagging_words=("have to be",),
+    key_subjects=("user", "one"),
+)

@@ -1,0 +1,98 @@
+"""Advisor persistence: save a synthesized advising tool to JSON.
+
+The paper's artifact ships three pre-built advising tools (cuda,
+opencl, xeon) so users don't re-run the NLP pipeline; this module
+provides the equivalent: Stage I's output (the advising sentences with
+their section structure) plus the configuration serialize to a single
+JSON file, and loading rebuilds a working :class:`AdvisingTool`
+(Stage II's TF-IDF index is recomputed on load — it is cheap, unlike
+Stage I).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.advisor import AdvisingTool
+from repro.docs.document import Document, Section, Sentence
+
+FORMAT_VERSION = 1
+
+
+def _section_to_dict(section: Section) -> dict:
+    return {
+        "number": section.number,
+        "title": section.title,
+        "level": section.level,
+        "sentences": [s.text for s in section.sentences],
+        "subsections": [_section_to_dict(sub)
+                        for sub in section.subsections],
+    }
+
+
+def _section_from_dict(data: dict) -> Section:
+    section = Section(
+        number=data["number"],
+        title=data["title"],
+        level=data["level"],
+        sentences=[Sentence(text, -1) for text in data["sentences"]],
+    )
+    section.subsections = [_section_from_dict(sub)
+                           for sub in data["subsections"]]
+    return section
+
+
+def advisor_to_dict(tool: AdvisingTool) -> dict:
+    """Serialize *tool* to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": tool.name,
+        "threshold": tool.recommender.threshold,
+        "document": {
+            "title": tool.document.title,
+            "pages": tool.document.pages,
+            "sections": [_section_to_dict(s) for s in tool.document.sections],
+        },
+        "advising_sentence_indices": [
+            s.index for s in tool.advising_sentences],
+    }
+
+
+def advisor_from_dict(data: dict) -> AdvisingTool:
+    """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported advisor format version: {version!r}")
+    document = Document(
+        title=data["document"]["title"],
+        pages=data["document"].get("pages", 0),
+        sections=[_section_from_dict(s)
+                  for s in data["document"]["sections"]],
+    )
+    document.reindex()
+    sentences = document.sentences
+    indices = data["advising_sentence_indices"]
+    n = len(sentences)
+    bad = [i for i in indices if not 0 <= i < n]
+    if bad:
+        raise ValueError(f"advising indices out of range: {bad[:5]}")
+    advising = [sentences[i] for i in indices]
+    return AdvisingTool(
+        document, advising,
+        threshold=data.get("threshold", 0.15),
+        name=data.get("name"),
+    )
+
+
+def save_advisor(tool: AdvisingTool, path: str) -> None:
+    """Write *tool* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(advisor_to_dict(tool), handle, ensure_ascii=False,
+                  indent=1)
+
+
+def load_advisor(path: str) -> AdvisingTool:
+    """Load an advisor previously written by :func:`save_advisor`."""
+    with open(path, encoding="utf-8") as handle:
+        return advisor_from_dict(json.load(handle))

@@ -1,0 +1,154 @@
+"""Stage I — advising sentence recognition.
+
+Runs the selector cascade over every sentence of a document.  The
+output doubles as the "reminding summary of all the essential
+guidelines contained in the input document" (§2) and as the sentence
+collection Stage II retrieves from.
+
+Large guides are embarrassingly parallel across sentences; the
+recognizer supports multiprocessing workers (the artifact's "number of
+worker processes" knob) with per-worker pipeline initialization so the
+NLP components are built once per process, not per sentence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.keywords import KeywordConfig
+from repro.core.selectors import Selector, default_selectors
+from repro.docs.document import Document, Sentence
+
+
+@dataclass(frozen=True)
+class RecognitionResult:
+    """Per-sentence outcome of Stage I."""
+
+    sentence: Sentence
+    is_advising: bool
+    selector: str | None   # name of the first selector that fired
+
+
+# -- worker-process machinery (top level so it pickles) -------------------
+
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_worker(keywords: KeywordConfig) -> None:
+    _WORKER_STATE["analyzer"] = SentenceAnalyzer()
+    _WORKER_STATE["selectors"] = default_selectors(keywords)
+
+
+def _classify_batch(texts: list[str]) -> list[tuple[bool, str | None]]:
+    analyzer: SentenceAnalyzer = _WORKER_STATE["analyzer"]  # type: ignore[assignment]
+    selectors: list[Selector] = _WORKER_STATE["selectors"]  # type: ignore[assignment]
+    out: list[tuple[bool, str | None]] = []
+    for text in texts:
+        analysis = analyzer.analyze(text)
+        fired: str | None = None
+        for selector in selectors:
+            if selector.matches(analysis):
+                fired = selector.name
+                break
+        out.append((fired is not None, fired))
+    return out
+
+
+class AdvisingSentenceRecognizer:
+    """The five-selector cascade over documents."""
+
+    def __init__(
+        self,
+        keywords: KeywordConfig | None = None,
+        selectors: Sequence[Selector] | None = None,
+        workers: int = 1,
+        cache_size: int = 50_000,
+    ) -> None:
+        self.keywords = keywords or KeywordConfig()
+        self.selectors = (list(selectors) if selectors is not None
+                          else default_selectors(self.keywords))
+        self.workers = max(1, workers)
+        self._analyzer = SentenceAnalyzer()
+        # guide corpora repeat boilerplate sentences (~35% duplicates
+        # in the bundled guides); classification is pure, so memoize
+        self._cache: dict[str, tuple[bool, str | None]] = {}
+        self._cache_size = cache_size
+
+    # -- single sentence ----------------------------------------------------
+
+    def classify(self, text: str) -> tuple[bool, str | None]:
+        """Classify one sentence; returns (is_advising, selector name)."""
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        analysis = self._analyzer.analyze(text)
+        outcome: tuple[bool, str | None] = (False, None)
+        for selector in self.selectors:
+            if selector.matches(analysis):
+                outcome = (True, selector.name)
+                break
+        if len(self._cache) < self._cache_size:
+            self._cache[text] = outcome
+        return outcome
+
+    def is_advising(self, text: str) -> bool:
+        return self.classify(text)[0]
+
+    def explain(self, text: str) -> dict[str, bool]:
+        """Which selectors fire on *text* (all of them, not just the
+        first) — the diagnostic view behind a classification."""
+        analysis = self._analyzer.analyze(text)
+        return {selector.name: selector.matches(analysis)
+                for selector in self.selectors}
+
+    # -- documents -------------------------------------------------------------
+
+    def recognize(self, document: Document) -> list[RecognitionResult]:
+        """Classify every sentence of *document* (optionally parallel)."""
+        sentences = document.sentences
+        texts = [s.text for s in sentences]
+        if self.workers == 1 or len(texts) < 64:
+            outcomes = [self.classify(t) for t in texts]
+        else:
+            outcomes = self._recognize_parallel(texts)
+        return [
+            RecognitionResult(sentence, advising, selector)
+            for sentence, (advising, selector) in zip(sentences, outcomes)
+        ]
+
+    def _recognize_parallel(
+        self, texts: list[str]
+    ) -> list[tuple[bool, str | None]]:
+        chunk = max(16, len(texts) // (self.workers * 4))
+        batches = [texts[i:i + chunk] for i in range(0, len(texts), chunk)]
+        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+        with ctx.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self.keywords,),
+        ) as pool:
+            results = pool.map(_classify_batch, batches)
+        out: list[tuple[bool, str | None]] = []
+        for batch in results:
+            out.extend(batch)
+        return out
+
+    def advising_sentences(self, document: Document) -> list[Sentence]:
+        """Just the sentences recognized as advising."""
+        return [r.sentence for r in self.recognize(document) if r.is_advising]
+
+    def summary(
+        self, results: Iterable[RecognitionResult]
+    ) -> dict[str, int]:
+        """Counts per firing selector plus totals (Table 7/8 inputs)."""
+        counts: dict[str, int] = {"total": 0, "advising": 0}
+        for result in results:
+            counts["total"] += 1
+            if result.is_advising:
+                counts["advising"] += 1
+                assert result.selector is not None
+                counts[result.selector] = counts.get(result.selector, 0) + 1
+        return counts

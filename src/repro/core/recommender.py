@@ -1,0 +1,73 @@
+"""Stage II — knowledge recommendation.
+
+"From the advising sentences found by the first stage, it tries to
+identify those that are closely related with a given query" (§3.2)
+using VSM representations with TF-IDF weighting and cosine similarity.
+Sentences scoring at least the threshold (default 0.15) are
+recommended, best first; there is no fixed result-count cap ("We do
+not limit the number of sentences the tool can suggest", §4.1).
+
+Per the artifact description (§A.6), the vocabulary is built on the
+advising summary while IDF statistics come from the whole document.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.docs.document import Document, Sentence
+from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
+from repro.textproc.normalize import NormalizationPipeline
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended sentence with its similarity score and the
+    normalized terms it shares with the query (the evidence a UI can
+    highlight)."""
+
+    sentence: Sentence
+    score: float
+    matched_terms: tuple[str, ...] = ()
+
+
+class KnowledgeRecommender:
+    """Thresholded VSM/TF-IDF retrieval over advising sentences."""
+
+    def __init__(
+        self,
+        advising_sentences: Sequence[Sentence],
+        document: Document | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        self.sentences = list(advising_sentences)
+        self.threshold = threshold
+        self._normalizer = NormalizationPipeline()
+        fit_corpus = (
+            [s.text for s in document.iter_sentences()]
+            if document is not None else None
+        )
+        self._retriever = SentenceRetriever(
+            [s.text for s in self.sentences],
+            normalizer=self._normalizer,
+            fit_corpus=fit_corpus,
+            threshold=threshold,
+        )
+        self._sentence_terms = [
+            frozenset(self._normalizer(s.text)) for s in self.sentences]
+
+    def recommend(
+        self, query: str, threshold: float | None = None
+    ) -> list[Recommendation]:
+        """Advising sentences relevant to *query*, best first.
+
+        An empty list means "No relevant sentences found" (§4.1).
+        """
+        query_terms = frozenset(self._normalizer(query))
+        return [
+            Recommendation(
+                self.sentences[index], score,
+                tuple(sorted(query_terms & self._sentence_terms[index])))
+            for index, score in self._retriever.query(query, threshold)
+        ]

@@ -1,0 +1,136 @@
+"""HTML rendering of advising summaries and answers.
+
+The advising tool "is shown in an HTML web page with the hyper
+references associated with the sentences that link to the paragraph in
+the original document" (§3.2); answers highlight the recommended
+sentences and show the other advising sentences of the same
+subsections as context (Figure 7).  This module generates equivalent
+static HTML.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.core.advisor import AdvisingTool, Answer
+from repro.textproc.porter import PorterStemmer
+from repro.textproc.word_tokenizer import WordTokenizer
+
+_STEMMER = PorterStemmer()
+_TOKENIZER = WordTokenizer()
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; margin: 2em; max-width: 60em; }}
+h2 {{ border-bottom: 1px solid #ccc; }}
+.highlight {{ background: #fff3a0; }}
+.score {{ color: #888; font-size: smaller; }}
+li {{ margin: 0.4em 0; }}
+.query {{ background: #eef; padding: 0.6em; border-radius: 4px; }}
+.match {{ font-weight: bold; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+{body}
+</body>
+</html>
+"""
+
+
+def _anchor(section_number: str) -> str:
+    return f"sec-{section_number or 'doc'}"
+
+
+def _mark_matches(text: str, matched_terms: tuple[str, ...]) -> str:
+    """Escape *text*, bolding the words whose stems match the query.
+
+    The matched terms are stage-II normalized stems; a word is marked
+    when its stem is among them — giving the user the term-level
+    evidence behind each recommendation.
+    """
+    if not matched_terms:
+        return _html.escape(text)
+    targets = set(matched_terms)
+    spans = _TOKENIZER.span_tokenize(text)
+    parts: list[str] = []
+    cursor = 0
+    for start, end in spans:
+        token = text[start:end]
+        parts.append(_html.escape(text[cursor:start]))
+        if _STEMMER.stem(token) in targets:
+            parts.append(f'<span class="match">{_html.escape(token)}</span>')
+        else:
+            parts.append(_html.escape(token))
+        cursor = end
+    parts.append(_html.escape(text[cursor:]))
+    return "".join(parts)
+
+
+def render_summary(tool: AdvisingTool) -> str:
+    """The Figure 6 view: all advising sentences grouped by section,
+    each section heading carrying a link anchor."""
+    parts: list[str] = []
+    for heading, sentences in tool.summary_by_section():
+        anchor = _anchor(sentences[0].section_number if sentences else "")
+        parts.append(f'<h2 id="{anchor}">{_html.escape(heading)}</h2>')
+        parts.append("<ul>")
+        for sentence in sentences:
+            parts.append(f"<li>{_html.escape(sentence.text)}</li>")
+        parts.append("</ul>")
+    return _PAGE.format(title=_html.escape(tool.name), body="\n".join(parts))
+
+
+def render_answer(
+    tool: AdvisingTool, answer: Answer, with_context: bool = True
+) -> str:
+    """The Figure 7 view: recommended sentences highlighted, optional
+    same-subsection advising sentences as context, hyperlinks back to
+    the section anchors of the summary page."""
+    parts: list[str] = [
+        f'<p class="query"><strong>Query:</strong> '
+        f"{_html.escape(answer.query)}</p>"
+    ]
+    if not answer.found:
+        parts.append("<p><em>No relevant sentences found.</em></p>")
+        return _PAGE.format(title=_html.escape(tool.name),
+                            body="\n".join(parts))
+
+    # group recommendations by section, preserving rank order per group
+    seen_sections: list[str] = []
+    by_section: dict[str, list] = {}
+    for rec in answer.recommendations:
+        key = rec.sentence.section_path or "(document)"
+        if key not in by_section:
+            by_section[key] = []
+            seen_sections.append(key)
+        by_section[key].append(rec)
+
+    for heading in seen_sections:
+        recommended = by_section[heading]
+        anchor = _anchor(recommended[0].sentence.section_number)
+        parts.append(
+            f'<h2><a href="#{anchor}">{_html.escape(heading)}</a></h2>')
+        parts.append("<ul>")
+        shown = set()
+        for rec in recommended:
+            matched = getattr(rec, "matched_terms", ())
+            body = _mark_matches(rec.sentence.text, matched)
+            parts.append(
+                f'<li class="highlight">{body} '
+                f'<span class="score">(similarity {rec.score:.2f})'
+                f"</span></li>")
+            shown.add(rec.sentence.index)
+        if with_context:
+            for context_sentence in tool.context_of(
+                    recommended[0].sentence):
+                if context_sentence.index in shown:
+                    continue
+                parts.append(
+                    f"<li>{_html.escape(context_sentence.text)}</li>")
+        parts.append("</ul>")
+    return _PAGE.format(title=_html.escape(tool.name), body="\n".join(parts))

@@ -1,0 +1,186 @@
+"""The five advising-sentence selectors (paper Table 1, rules #1-#5).
+
+The selectors run "in a series.  From the first to the fifth, they try
+to check whether the given sentence meets a certain condition.  As
+long as the sentence meets the condition of one of the selectors, it
+is considered to be an 'advising sentence'" (§3.1.2).
+
+Each selector implements one Table 1 rule:
+
+1. :class:`KeywordSelector` — ∃ w ∈ S, w ∈ FLAGGING_WORDS (stemmed
+   keyword/phrase matching);
+2. :class:`XcompSelector` — xcomp(governor, *) with lemma(governor) ∈
+   XCOMP_GOVERNORS (comparative and passive categories II+III);
+3. :class:`ImperativeSelector` — root verb v with lemma(v) ∈
+   IMPERATIVE_WORDS and v not in nsubj/nsubjpass relations
+   (category IV);
+4. :class:`SubjectSelector` — nsubj(governor, n) with lemma(n) ∈
+   KEY_SUBJECTS (category V);
+5. :class:`PurposeSelector` — an AM-PNC argument whose predicate
+   lemma ∈ KEY_PREDICATES (category VI).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.analysis import SentenceAnalysis
+from repro.core.keywords import KeywordConfig
+from repro.textproc.porter import PorterStemmer
+
+
+class Selector(ABC):
+    """One recognition rule; ``matches`` decides per sentence."""
+
+    #: short identifier used in reports and the Table 8 benchmark
+    name: str = "selector"
+
+    @abstractmethod
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        """True if the sentence satisfies this selector's rule."""
+
+
+class KeywordSelector(Selector):
+    """Rule #1 — flagging words, matched on stems.
+
+    Multi-word keywords ("good choice", "can be used to") are stemmed
+    word-by-word and matched as contiguous stem subsequences, exactly
+    mirroring "We do that for all the words in FLAGGING_WORDS and
+    those in the given sentence before conducting the keyword
+    matching" (§3.1.2).
+    """
+
+    name = "keyword"
+
+    def __init__(self, keywords: KeywordConfig | None = None,
+                 words: frozenset[str] | None = None) -> None:
+        config = keywords or KeywordConfig()
+        stemmer = PorterStemmer()
+        source = words if words is not None else config.flagging_words
+        self._phrases: list[tuple[str, ...]] = [
+            tuple(stemmer.stem(w) for w in phrase.split())
+            for phrase in source
+        ]
+        self._singles: frozenset[str] = frozenset(
+            p[0] for p in self._phrases if len(p) == 1)
+        self._multi = [p for p in self._phrases if len(p) > 1]
+
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        stems = analysis.stems
+        if any(s in self._singles for s in stems):
+            return True
+        for phrase in self._multi:
+            k = len(phrase)
+            for i in range(len(stems) - k + 1):
+                if tuple(stems[i:i + k]) == phrase:
+                    return True
+        return False
+
+
+class XcompSelector(Selector):
+    """Rule #2 — open clausal complement with a flagged governor."""
+
+    name = "comparative"
+
+    def __init__(self, keywords: KeywordConfig | None = None) -> None:
+        self._governors = (keywords or KeywordConfig()).xcomp_governors
+
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        graph = analysis.graph
+        for dep in graph.relations("xcomp"):
+            governor = graph.tokens[dep.governor]
+            if governor.lemma in self._governors \
+                    or governor.lower in self._governors:
+                return True
+        return False
+
+
+class ImperativeSelector(Selector):
+    """Rule #3 — subjectless imperative root verb from the list.
+
+    Clause-level verbs coordinated with the root ("..., so avoid
+    incurring pinning costs") count as roots too: the paper's own
+    category IV example is exactly such a conjoined imperative.
+    """
+
+    name = "imperative"
+
+    def __init__(self, keywords: KeywordConfig | None = None) -> None:
+        self._verbs = (keywords or KeywordConfig()).imperative_words
+
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        graph = analysis.graph
+        root = graph.root
+        if root is None:
+            return False
+        candidates = [root] + [
+            graph.tokens[d.dependent]
+            for d in graph.relations("conj")
+            if d.governor == root.index
+        ]
+        for verb in candidates:
+            if verb.tag != "VB":
+                continue
+            if verb.lemma not in self._verbs:
+                continue
+            if graph.subject_of(verb.index) is None:
+                return True
+        return False
+
+
+class SubjectSelector(Selector):
+    """Rule #4 — sentence subject from KEY_SUBJECTS."""
+
+    name = "subject"
+
+    def __init__(self, keywords: KeywordConfig | None = None) -> None:
+        self._subjects = (keywords or KeywordConfig()).key_subjects
+
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        graph = analysis.graph
+        for dep in graph.dependencies:
+            if dep.relation != "nsubj":
+                continue
+            subject = graph.tokens[dep.dependent]
+            if subject.lemma in self._subjects \
+                    or subject.lower in self._subjects:
+                return True
+        return False
+
+
+class PurposeSelector(Selector):
+    """Rule #5 — purpose clause whose predicate is a key predicate."""
+
+    name = "purpose"
+
+    def __init__(self, keywords: KeywordConfig | None = None) -> None:
+        self._predicates = (keywords or KeywordConfig()).key_predicates
+
+    def matches(self, analysis: SentenceAnalysis) -> bool:
+        graph = analysis.graph
+        for frame in analysis.frames:
+            for argument in frame.arguments:
+                if argument.role != "AM-PNC":
+                    continue
+                # rule 5(2-3): the argument must contain a predicate
+                # whose lemma is in the key-predicate set
+                for index in range(argument.start, argument.end + 1):
+                    token = graph.tokens[index]
+                    if token.tag.startswith("VB") \
+                            and token.lemma in self._predicates:
+                        return True
+        return False
+
+
+def default_selectors(
+    keywords: KeywordConfig | None = None,
+) -> list[Selector]:
+    """The paper's five selectors, in cascade order."""
+    config = keywords or KeywordConfig()
+    return [
+        KeywordSelector(config),
+        XcompSelector(config),
+        ImperativeSelector(config),
+        SubjectSelector(config),
+        PurposeSelector(config),
+    ]

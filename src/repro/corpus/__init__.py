@@ -1,0 +1,50 @@
+"""Labeled guide corpora (stand-ins for the vendor documents).
+
+The paper evaluates on three proprietary-ish vendor documents (NVIDIA
+CUDA Programming Guide, AMD OpenCL Optimization Guide, Intel Xeon Phi
+Best Practice Guide) that cannot be shipped here.  This package builds
+faithful *synthetic* counterparts:
+
+* every sentence the paper itself quotes from those guides is embedded
+  verbatim (seed sentences);
+* the rest is template-generated guide prose over per-domain topic
+  vocabularies, with the same mixture of advising categories,
+  expository/spec sentences, and deliberately hard cases;
+* every sentence carries a ground-truth advising label assigned **at
+  generation time by its template family** — never by running Egeria's
+  selectors, so evaluation is not circular;
+* corpus sizes match paper Table 7 and the labeled-chapter statistics
+  of §4.3.
+
+See :mod:`repro.corpus.guides` for the three builders and
+:mod:`repro.corpus.queries` for the Table 6 performance issues and
+their relevance ground truth.
+"""
+
+from repro.corpus.builder import GuideSpec, LabeledGuide, build_guide
+from repro.corpus.guides import (
+    cuda_guide,
+    opencl_guide,
+    xeon_guide,
+    mpi_guide,
+    GUIDE_BUILDERS,
+)
+from repro.corpus.queries import (
+    PERFORMANCE_ISSUES,
+    PerformanceIssueSpec,
+    relevance_ground_truth,
+)
+
+__all__ = [
+    "GuideSpec",
+    "LabeledGuide",
+    "build_guide",
+    "cuda_guide",
+    "opencl_guide",
+    "xeon_guide",
+    "mpi_guide",
+    "GUIDE_BUILDERS",
+    "PERFORMANCE_ISSUES",
+    "PerformanceIssueSpec",
+    "relevance_ground_truth",
+]

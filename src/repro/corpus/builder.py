@@ -1,0 +1,184 @@
+"""Guide corpus builder.
+
+Assembles a labeled :class:`~repro.docs.document.Document` from
+chapter specifications: each chapter draws sentences from the template
+families in configured proportions, and may embed hand-written *seed
+sentences* (the sentences the paper quotes verbatim from the real
+guides) at its front.
+
+Every sentence carries generation-time metadata (ground-truth advising
+label, topic, template family) in :class:`SentenceMeta`; the label is
+decided by the template family (or by the seed author), never by the
+recognizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.templates import FAMILIES, generate
+from repro.corpus.topics import Topic
+from repro.docs.document import Document, Section, Sentence
+
+
+@dataclass(frozen=True)
+class SeedSentence:
+    """A hand-written sentence with explicit label and topic."""
+
+    text: str
+    advising: bool
+    topic: str
+    hard: bool = False
+
+
+@dataclass(frozen=True)
+class ChapterSpec:
+    """One chapter: how many sentences, from which families/topics."""
+
+    number: str
+    title: str
+    n_sentences: int
+    #: family -> sampling weight (families from templates.FAMILIES)
+    family_mix: dict[str, float]
+    #: restrict topics (None = guide-level topic set)
+    topics: tuple[Topic, ...] | None = None
+    #: hand-written sentences placed at the front of the chapter;
+    #: they count toward n_sentences
+    seeds: tuple[SeedSentence, ...] = ()
+    #: subsection headings to spread sentences over (number suffix,
+    #: title); the chapter's own number is prefixed
+    subsections: tuple[tuple[str, str], ...] = ()
+    #: marks the chapter used for labeled evaluation (paper §4.3)
+    labeled: bool = False
+
+
+@dataclass(frozen=True)
+class GuideSpec:
+    """A whole guide: name, page count, topics and chapters."""
+
+    name: str
+    pages: int
+    topics: tuple[Topic, ...]
+    chapters: tuple[ChapterSpec, ...]
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SentenceMeta:
+    """Generation-time metadata for one sentence."""
+
+    advising: bool
+    topic: str
+    family: str
+    hard: bool
+
+
+@dataclass
+class LabeledGuide:
+    """A built guide: document + aligned metadata."""
+
+    spec: GuideSpec
+    document: Document
+    meta: list[SentenceMeta] = field(default_factory=list)
+
+    # -- label queries ------------------------------------------------------
+
+    def labels(self) -> list[bool]:
+        return [m.advising for m in self.meta]
+
+    def advising_indices(self) -> list[int]:
+        return [i for i, m in enumerate(self.meta) if m.advising]
+
+    def labeled_chapter(self) -> Section | None:
+        """The chapter marked for labeled evaluation."""
+        for spec in self.spec.chapters:
+            if spec.labeled:
+                return self.document.find_section(spec.number)
+        return None
+
+    def labeled_region(self) -> tuple[list[Sentence], list[bool]]:
+        """Sentences and labels of the labeled chapter (whole guide if
+        no chapter is marked — the Xeon case)."""
+        chapter = self.labeled_chapter()
+        if chapter is None:
+            return self.document.sentences, self.labels()
+        sentences = list(chapter.iter_sentences())
+        labels = [self.meta[s.index].advising for s in sentences]
+        return sentences, labels
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "sentences": len(self.meta),
+            "advising": sum(self.labels()),
+            "pages": self.spec.pages,
+        }
+
+
+def build_guide(spec: GuideSpec) -> LabeledGuide:
+    """Deterministically build the guide described by *spec*."""
+    rng = np.random.default_rng(spec.seed)
+    sections: list[Section] = []
+    meta: list[SentenceMeta] = []
+
+    for chapter_spec in spec.chapters:
+        chapter = Section(
+            number=chapter_spec.number, title=chapter_spec.title, level=1)
+        sections.append(chapter)
+        targets: list[Section] = []
+        if chapter_spec.subsections:
+            for suffix, sub_title in chapter_spec.subsections:
+                sub = Section(
+                    number=f"{chapter_spec.number}.{suffix}",
+                    title=sub_title,
+                    level=2,
+                )
+                chapter.subsections.append(sub)
+                targets.append(sub)
+        else:
+            targets.append(chapter)
+
+        placements = _spread(chapter_spec.n_sentences, len(targets))
+        sentence_budget = iter(range(chapter_spec.n_sentences))
+        seeds = list(chapter_spec.seeds)
+        topics = chapter_spec.topics or spec.topics
+        families = sorted(chapter_spec.family_mix)
+        weights = np.array(
+            [chapter_spec.family_mix[f] for f in families], dtype=float)
+        weights /= weights.sum()
+
+        for target, count in zip(targets, placements):
+            for _ in range(count):
+                next(sentence_budget)
+                if seeds:
+                    seed = seeds.pop(0)
+                    target.sentences.append(Sentence(seed.text, -1))
+                    meta.append(SentenceMeta(
+                        seed.advising, seed.topic, "seed", seed.hard))
+                    continue
+                family = families[int(rng.choice(len(families), p=weights))]
+                topic = topics[int(rng.integers(len(topics)))]
+                generated = generate(family, topic, rng)
+                target.sentences.append(Sentence(generated.text, -1))
+                meta.append(SentenceMeta(
+                    generated.advising, generated.topic,
+                    generated.family, generated.hard))
+
+    document = Document(title=spec.name, sections=sections)
+    document.reindex()
+    guide = LabeledGuide(spec=spec, document=document, meta=meta)
+    assert len(guide.meta) == len(document.sentences)
+    return guide
+
+
+def _spread(total: int, buckets: int) -> list[int]:
+    """Distribute *total* sentences over *buckets* subsections."""
+    base, extra = divmod(total, buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+def validate_family_mix(mix: dict[str, float]) -> None:
+    unknown = set(mix) - set(FAMILIES)
+    if unknown:
+        raise ValueError(f"unknown template families: {sorted(unknown)}")

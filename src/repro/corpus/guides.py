@@ -1,0 +1,582 @@
+"""The three guide corpora (CUDA, OpenCL, Xeon Phi).
+
+Sizes and labeled-chapter statistics match the paper:
+
+* CUDA Programming Guide — 2140 sentences / 275 pages; labeled
+  chapter 5 *Performance Guidelines* with 177 sentences, 52 advising;
+* AMD OpenCL Optimization Guide — 1944 sentences / 178 pages; labeled
+  chapter 2 *OpenCL Performance and Optimization for GCN Devices*
+  with 556 sentences, 128 advising;
+* Intel Xeon Phi Best Practice Guide — 558 sentences / 47 pages,
+  labeled in full with 120 advising.
+
+Seed sentences are the ones the paper quotes verbatim (Table 1,
+Figure 4, Table 4, §4.2/§4.3 examples), placed in their original
+sections with hand-assigned labels and topics.
+
+Guides are deterministic (fixed seeds) and cached per process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.corpus.builder import (
+    ChapterSpec,
+    GuideSpec,
+    LabeledGuide,
+    SeedSentence,
+    build_guide,
+)
+from repro.corpus.topics import (
+    CUDA_TOPICS,
+    DIVERGENCE,
+    HOST_TRANSFER,
+    INSTRUCTION_THROUGHPUT,
+    MEMORY_BANDWIDTH,
+    MEMORY_COALESCING,
+    MPI_TOPICS,
+    OCCUPANCY_LATENCY,
+    OPENCL_TOPICS,
+    REGISTER_USAGE,
+    XEON_TOPICS,
+)
+
+# -- family mixes -----------------------------------------------------------
+
+# Mostly expository chapters (intro, API reference, hardware):
+_REFERENCE_MIX = {
+    "expository": 0.86,
+    "keyword": 0.045,
+    "imperative": 0.02,
+    "subject": 0.02,
+    "comparative": 0.015,
+    "purpose": 0.01,
+    "hard_advising": 0.01,
+    "bait": 0.02,
+}
+
+# CUDA ch.5: 52/177 advising (29%, 21 from seeds), low miss rate
+# (Egeria recall .923), keyword-heavy (Table 8: keyword selector alone
+# recall .596)
+_CUDA_PERF_MIX = {
+    "expository": 0.758,
+    "keyword": 0.101,
+    "comparative": 0.011,
+    "imperative": 0.006,
+    "subject": 0.018,
+    "purpose": 0.034,
+    "hard_advising": 0.012,
+    "bait": 0.060,
+}
+
+# OpenCL ch.2: 128/556 advising (23%), higher miss rate (recall .797)
+_OPENCL_PERF_MIX = {
+    "expository": 0.753,
+    "keyword": 0.070,
+    "comparative": 0.020,
+    "imperative": 0.027,
+    "subject": 0.022,
+    "purpose": 0.017,
+    "hard_advising": 0.036,
+    "bait": 0.055,
+}
+
+# other chapters of the (optimization-focused) OpenCL guide: slightly
+# denser advice than ch.2 — the guide's Table 7 selection ratio of 4.4
+# implies advice throughout, unlike the CUDA reference chapters
+_OPENCL_BODY_MIX = {
+    "expository": 0.700,
+    "keyword": 0.105,
+    "comparative": 0.025,
+    "imperative": 0.032,
+    "subject": 0.027,
+    "purpose": 0.022,
+    "hard_advising": 0.036,
+    "bait": 0.053,
+}
+
+# Xeon guide: 120/558 advising (21.5%), highest miss rate (recall .708)
+_XEON_MIX = {
+    "expository": 0.780,
+    "keyword": 0.070,
+    "comparative": 0.013,
+    "imperative": 0.015,
+    "subject": 0.020,
+    "purpose": 0.016,
+    "hard_advising": 0.058,
+    "bait": 0.028,
+}
+
+
+# -- CUDA seed sentences (paper Figure 4 / Table 4 / §4.2) -----------------
+
+_CUDA_CH5_SEEDS = (
+    # 5.1 Overall Performance Optimization Strategies
+    SeedSentence(
+        "Performance optimization revolves around three basic strategies: "
+        "Maximize parallel execution to achieve maximum utilization; "
+        "Optimize memory usage to achieve maximum memory throughput; "
+        "Optimize instruction usage to achieve maximum instruction "
+        "throughput.", True, "occupancy_latency"),
+    SeedSentence(
+        "Which strategies will yield the best performance gain for a "
+        "particular portion of an application depends on the performance "
+        "limiters for that portion; optimizing instruction usage of a "
+        "kernel that is mostly limited by memory accesses will not yield "
+        "any significant performance gain, for example.", True,
+        "instruction_throughput"),
+    SeedSentence(
+        "Optimization efforts should therefore be constantly directed by "
+        "measuring and monitoring the performance limiters, for example "
+        "using the CUDA profiler.", True, "occupancy_latency"),
+    # 5.2.3 Multiprocessor Level
+    SeedSentence(
+        "At an even lower level, the application should maximize parallel "
+        "execution between the various functional units within a "
+        "multiprocessor.", True, "occupancy_latency"),
+    SeedSentence(
+        "The number of clock cycles it takes for a warp to be ready to "
+        "execute its next instruction is called the latency, and full "
+        "utilization is achieved when all warp schedulers always have some "
+        "instruction to issue for some warp at every clock cycle during "
+        "that latency period, or in other words, when latency is "
+        "completely hidden.", True, "occupancy_latency", hard=True),
+    SeedSentence(
+        "The number of instructions required to hide a latency of L clock "
+        "cycles depends on the respective throughputs of these "
+        "instructions; assuming maximum throughput for all instructions, "
+        "it is 8L for devices of compute capability 3.x since a "
+        "multiprocessor issues a pair of instructions per warp over one "
+        "clock cycle for four warps at a time.", True, "occupancy_latency",
+        hard=True),
+    SeedSentence(
+        "The number of warps required to keep the warp schedulers busy "
+        "during such high latency periods depends on the kernel code and "
+        "its degree of instruction-level parallelism.", True,
+        "occupancy_latency", hard=True),
+    SeedSentence(
+        "Having multiple resident blocks per multiprocessor can help "
+        "reduce idling in this case, as warps from different blocks do "
+        "not need to wait for each other at synchronization points.",
+        True, "occupancy_latency"),
+    SeedSentence(
+        "Register usage can be controlled using the maxrregcount compiler "
+        "option or launch bounds as described in Launch Bounds.",
+        True, "register_usage"),
+    SeedSentence(
+        "Applications can also parameterize execution configurations based "
+        "on register file size and shared memory size, which depends on "
+        "the compute capability of the device, as well as on the number of "
+        "multiprocessors and memory bandwidth of the device, all of which "
+        "can be queried using the runtime.", True, "register_usage"),
+    SeedSentence(
+        "The number of threads per block should be chosen as a multiple "
+        "of the warp size to avoid wasting computing resources with "
+        "under-populated warps as much as possible.", True,
+        "occupancy_latency"),
+    # 5.3.2 Device Memory Accesses
+    SeedSentence(
+        "For example, for global memory, as a general rule, the more "
+        "scattered the addresses are, the more reduced the throughput is.",
+        True, "memory_coalescing", hard=True),
+    SeedSentence(
+        "In general, the more transactions are necessary, the more unused "
+        "words are transferred in addition to the words accessed by the "
+        "threads, reducing the instruction throughput accordingly.",
+        True, "memory_coalescing", hard=True),
+    SeedSentence(
+        "To maximize global memory throughput, it is therefore important "
+        "to maximize coalescing by: Following the most optimal access "
+        "patterns based on Compute Capability 2.x and Compute Capability "
+        "3.x, Using data types that meet the size and alignment "
+        "requirement detailed in Device Memory Accesses, Padding data in "
+        "some cases, for example, when accessing a two-dimensional array "
+        "as described in Device Memory Accesses.", True,
+        "memory_coalescing"),
+    SeedSentence(
+        "Also, it is designed for streaming fetches with a constant "
+        "latency; a cache hit reduces DRAM bandwidth demand but not fetch "
+        "latency.", True, "memory_bandwidth"),
+    # 5.4 Maximize Instruction Throughput
+    SeedSentence(
+        "To maximize instruction throughput the application should: "
+        "Minimize the use of arithmetic instructions with low throughput; "
+        "this includes trading precision for speed when it does not affect "
+        "the end result, such as using intrinsic instead of regular "
+        "functions, single-precision instead of double-precision, or "
+        "flushing denormalized numbers to zero; Minimize divergent warps "
+        "caused by control flow instructions as detailed in Control Flow "
+        "Instructions; Reduce the number of instructions, for example, by "
+        "optimizing out synchronization points whenever possible or by "
+        "using restricted pointers.", True, "instruction_throughput"),
+    # 5.4.1 Arithmetic Instructions
+    SeedSentence(
+        "cuobjdump can be used to inspect a particular implementation in "
+        "a cubin object.", True, "instruction_throughput"),
+    SeedSentence(
+        "As the slow path requires more registers than the fast path, an "
+        "attempt has been made to reduce register pressure in the slow "
+        "path by storing some intermediate variables in local memory, "
+        "which may affect performance because of local memory high "
+        "latency and bandwidth.", True, "register_usage"),
+    SeedSentence(
+        "This last case can be avoided by using single-precision "
+        "floating-point constants, defined with an f suffix such as "
+        "3.141592653589793f, 1.0f, 0.5f.", True, "instruction_throughput",
+        hard=True),
+    # 5.4.2 Control Flow Instructions
+    SeedSentence(
+        "To obtain best performance in cases where the control flow "
+        "depends on the thread ID, the controlling condition should be "
+        "written so as to minimize the number of divergent warps.",
+        True, "divergence"),
+    SeedSentence(
+        "The programmer can also control loop unrolling using the #pragma "
+        "unroll directive.", True, "instruction_throughput"),
+    SeedSentence(
+        "Any flow control instruction (if, switch, do, for, while) can "
+        "significantly impact the effective instruction throughput by "
+        "causing threads of the same warp to diverge (i.e., to follow "
+        "different execution paths).", False, "divergence", hard=True),
+    SeedSentence(
+        "If this happens, the different execution paths have to be "
+        "serialized, increasing the total number of instructions executed "
+        "for this warp.", False, "divergence"),
+    SeedSentence(
+        "Execution time varies depending on the instruction, but it is "
+        "typically about 22 clock cycles for devices of compute capability "
+        "2.x and about 11 clock cycles for devices of compute capability "
+        "3.x, which translates to 22 warps for devices of compute "
+        "capability 2.x and 44 warps for devices of compute capability "
+        "3.x and higher.", False, "occupancy_latency"),
+    # additional guide-genre prose (advising and expository)
+    SeedSentence(
+        "Also, because of the overhead associated with each transfer, "
+        "batching many small transfers into a single large transfer "
+        "always performs better than making each transfer separately.",
+        True, "host_transfer"),
+    SeedSentence(
+        "On systems with a front-side bus, higher performance for data "
+        "transfers between host and device is achieved by using "
+        "page-locked host memory.", True, "host_transfer"),
+    SeedSentence(
+        "When using mapped page-locked memory, there is no need to "
+        "allocate any device memory and explicitly copy data between "
+        "device and host memory.", True, "host_transfer", hard=True),
+    SeedSentence(
+        "Assuming the mapped memory is read or written only once, using "
+        "mapped page-locked memory instead of explicit copies between "
+        "device and host memory can be a win for performance.",
+        True, "host_transfer"),
+    SeedSentence(
+        "Synchronization points impose an ordering on memory operations "
+        "and can force the hardware to idle; reduce their number "
+        "whenever the algorithm allows.", True, "instruction_throughput"),
+    SeedSentence(
+        "It is therefore recommended to use signed integers rather than "
+        "unsigned integers as loop counters.", True,
+        "instruction_throughput"),
+    SeedSentence(
+        "At points where threads of the same block need to synchronize, "
+        "they should use __syncthreads() and share data through shared "
+        "memory.", True, "occupancy_latency"),
+    SeedSentence(
+        "A common programming pattern is to stage data coming from "
+        "device memory into shared memory: each thread of a block loads "
+        "data from device memory to shared memory, synchronizes, "
+        "processes, and writes the results back.", True,
+        "memory_bandwidth", hard=True),
+    SeedSentence(
+        "Performance optimization is an iterative process: measure, "
+        "identify the limiter, tune, and measure again.",
+        True, "occupancy_latency", hard=True),
+    SeedSentence(
+        "The effective bandwidth of each memory space depends "
+        "significantly on the memory access pattern as described in the "
+        "following sections.", False, "memory_coalescing"),
+    SeedSentence(
+        "To achieve high bandwidth, shared memory is divided into "
+        "equally-sized memory modules, called banks, which can be "
+        "accessed simultaneously.", False, "memory_bandwidth", hard=True),
+    SeedSentence(
+        "For devices of compute capability 2.x and higher, the same "
+        "on-chip memory is used for both L1 and shared memory, and the "
+        "split is configurable for each kernel call.",
+        False, "memory_bandwidth"),
+    SeedSentence(
+        "Any access to a register costs zero extra clock cycles per "
+        "instruction, but delays may occur due to register "
+        "read-after-write dependencies and bank conflicts.",
+        False, "register_usage"),
+    SeedSentence(
+        "The throughput of memory accesses by a kernel can vary by an "
+        "order of magnitude depending on the access pattern for each "
+        "type of memory.", False, "memory_coalescing"),
+    SeedSentence(
+        "Sometimes the compiler may unroll loops or optimize out if or "
+        "switch statements by using branch predication instead; in these "
+        "cases no warp can ever diverge.", False, "divergence",
+        hard=True),
+)
+
+_CUDA_SPEC = GuideSpec(
+    name="CUDA C Programming Guide",
+    pages=275,
+    topics=CUDA_TOPICS,
+    seed=1701,
+    chapters=(
+        ChapterSpec("1", "Introduction", 150, _REFERENCE_MIX,
+                    subsections=(("1", "From Graphics Processing to "
+                                  "General Purpose Parallel Computing"),
+                                 ("2", "CUDA: A General-Purpose Parallel "
+                                  "Computing Platform"),
+                                 ("3", "A Scalable Programming Model"))),
+        ChapterSpec("2", "Programming Model", 280, _REFERENCE_MIX,
+                    subsections=(("1", "Kernels"),
+                                 ("2", "Thread Hierarchy"),
+                                 ("3", "Memory Hierarchy"),
+                                 ("4", "Heterogeneous Programming"))),
+        ChapterSpec("3", "Programming Interface", 620, _REFERENCE_MIX,
+                    subsections=(("1", "Compilation with NVCC"),
+                                 ("2", "CUDA C Runtime"),
+                                 ("3", "Versioning and Compatibility"),
+                                 ("4", "Compute Modes"),
+                                 ("5", "Mode Switches"))),
+        ChapterSpec("4", "Hardware Implementation", 300, _REFERENCE_MIX,
+                    subsections=(("1", "SIMT Architecture"),
+                                 ("2", "Hardware Multithreading"))),
+        ChapterSpec("5", "Performance Guidelines", 177, _CUDA_PERF_MIX,
+                    seeds=_CUDA_CH5_SEEDS, labeled=True,
+                    subsections=(("1", "Overall Performance Optimization "
+                                  "Strategies"),
+                                 ("2", "Maximize Utilization"),
+                                 ("3", "Maximize Memory Throughput"),
+                                 ("4", "Maximize Instruction Throughput"))),
+        ChapterSpec("6", "C Language Extensions", 400, _REFERENCE_MIX,
+                    subsections=(("1", "Function Type Qualifiers"),
+                                 ("2", "Variable Type Qualifiers"),
+                                 ("3", "Built-in Variables"))),
+        ChapterSpec("7", "Mathematical Functions", 213, _REFERENCE_MIX,
+                    subsections=(("1", "Standard Functions"),
+                                 ("2", "Intrinsic Functions"))),
+    ),
+)
+
+# -- OpenCL seed sentences (paper Table 1 category examples, §4.3) ---------
+
+_OPENCL_CH2_SEEDS = (
+    SeedSentence(
+        "This can be a good choice when the host does not read the memory "
+        "object to avoid the host having to make a copy of the data to "
+        "transfer.", True, "host_transfer"),
+    SeedSentence(
+        "Thus, a developer may prefer using buffers instead of images if "
+        "no sampling operation is needed.", True, "memory_bandwidth"),
+    SeedSentence(
+        "This synchronization guarantee can often be leveraged to avoid "
+        "explicit clWaitForEvents() calls between command submissions.",
+        True, "host_transfer"),
+    SeedSentence(
+        "Pinning takes time, so avoid incurring pinning costs where CPU "
+        "overhead must be avoided.", True, "host_transfer"),
+    SeedSentence(
+        "For peak performance on all devices, developers can choose to "
+        "use conditional compilation for key code loops in the kernel, or "
+        "in some cases even provide two separate kernels.", True,
+        "instruction_throughput"),
+    SeedSentence(
+        "As shown below, programmers must carefully control the bank bits "
+        "to avoid bank conflicts as much as possible.", True, "wavefront"),
+    SeedSentence(
+        "Native functions are generally supported in hardware and can run "
+        "substantially faster, although at somewhat lower accuracy.",
+        True, "instruction_throughput", hard=True),
+    SeedSentence(
+        "The scalar instructions can use up to two SGPR sources per "
+        "cycle.", False, "wavefront"),
+    SeedSentence(
+        "All allocations are aligned on the 16-byte boundary.",
+        False, "memory_coalescing"),
+)
+
+_OPENCL_SPEC = GuideSpec(
+    name="AMD OpenCL Optimization Guide",
+    pages=178,
+    topics=OPENCL_TOPICS,
+    seed=2042,
+    chapters=(
+        ChapterSpec("1", "OpenCL Performance and Optimization", 560,
+                    _OPENCL_BODY_MIX,
+                    subsections=(("1", "AMD CodeXL"),
+                                 ("2", "Estimating Performance"),
+                                 ("3", "OpenCL Memory Objects"),
+                                 ("4", "OpenCL Data Transfer Optimization"))),
+        ChapterSpec("2", "OpenCL Performance and Optimization for GCN "
+                    "Devices", 556, _OPENCL_PERF_MIX,
+                    seeds=_OPENCL_CH2_SEEDS, labeled=True,
+                    subsections=(("1", "Global Memory Optimization"),
+                                 ("2", "Local Memory (LDS) Optimization"),
+                                 ("3", "Constant Memory Optimization"),
+                                 ("4", "Instruction Selection "
+                                  "Optimizations"),
+                                 ("5", "Additional Performance Guidance"))),
+        ChapterSpec("3", "OpenCL Static C++ Programming Language", 400,
+                    _OPENCL_BODY_MIX,
+                    subsections=(("1", "Overview"),
+                                 ("2", "Additions and Changes"))),
+        ChapterSpec("4", "OpenCL 2.0", 428, _OPENCL_BODY_MIX,
+                    subsections=(("1", "Shared Virtual Memory"),
+                                 ("2", "Generic Address Space"),
+                                 ("3", "Device-side Enqueue"))),
+    ),
+)
+
+# -- Xeon Phi guide ----------------------------------------------------------
+
+# PRACE-style best-practice prose addresses the reader as "users"/"one"
+# and uses "have to be" obligations — the exact pocket of sentences the
+# paper's §4.3 keyword tuning recovers (recall .708 -> .892).
+_XEON_SEEDS = (
+    SeedSentence(
+        "To achieve good vectorization, the data should be aligned on "
+        "64-byte boundaries.", True, "vectorization"),
+    SeedSentence(
+        "Users have to be careful when placing more than two threads per "
+        "core on memory-bound workloads.", True, "affinity", hard=True),
+    SeedSentence(
+        "One can use the KMP_AFFINITY environment variable to pin threads "
+        "to hardware contexts.", True, "affinity", hard=True),
+    SeedSentence(
+        "Users have to be aware that the in-order cores stall on any "
+        "cache miss, so prefetching matters far more here.",
+        True, "vectorization", hard=True),
+    SeedSentence(
+        "One can query the vectorization report to see which loops the "
+        "compiler refused to vectorize.", True, "vectorization",
+        hard=True),
+    SeedSentence(
+        "Loop bounds have to be known at compile time for the best "
+        "unrolling decisions.", True, "vectorization", hard=True),
+    SeedSentence(
+        "Users have to be explicit about streaming stores, or the "
+        "write-allocate traffic doubles the bandwidth demand.",
+        True, "memory_bandwidth", hard=True),
+    SeedSentence(
+        "One can set the scatter affinity policy when the working set "
+        "per thread exceeds the per-core cache share.",
+        True, "affinity", hard=True),
+    SeedSentence(
+        "Offload buffers have to be reused across invocations, or the "
+        "allocation cost dominates the transfer time.",
+        True, "host_transfer", hard=True),
+    SeedSentence(
+        "One can run the native build first, since it exposes threading "
+        "bugs without the offload machinery.", True, "affinity",
+        hard=True),
+    SeedSentence(
+        "Users have to be patient with the first-touch policy and "
+        "initialize arrays inside the parallel region.",
+        True, "memory_bandwidth", hard=True),
+    SeedSentence(
+        "The coprocessor has in-order cores with four hardware threads "
+        "each.", False, "affinity"),
+    SeedSentence(
+        "Each core includes a 512-bit wide vector processing unit.",
+        False, "vectorization"),
+)
+
+_XEON_SPEC = GuideSpec(
+    name="Intel Xeon Phi Best Practice Guide",
+    pages=47,
+    topics=XEON_TOPICS,
+    seed=3117,
+    chapters=(
+        ChapterSpec("1", "Introduction and Architecture", 120, _XEON_MIX,
+                    seeds=_XEON_SEEDS, labeled=False,
+                    subsections=(("1", "Overview"),
+                                 ("2", "Many Integrated Core Architecture"))),
+        ChapterSpec("2", "Programming Models", 150, _XEON_MIX,
+                    subsections=(("1", "Native Execution"),
+                                 ("2", "Offload Execution"))),
+        ChapterSpec("3", "Vectorization and Tuning", 168, _XEON_MIX,
+                    subsections=(("1", "Vectorization Basics"),
+                                 ("2", "Compiler Reports"),
+                                 ("3", "Memory Tuning"))),
+        ChapterSpec("4", "Thread Parallelism", 120, _XEON_MIX,
+                    subsections=(("1", "OpenMP Tuning"),
+                                 ("2", "Affinity Control"))),
+    ),
+)
+
+
+# -- MPI guide (generality experiment: a non-GPU domain) --------------------
+
+_MPI_SEEDS = (
+    SeedSentence(
+        "Ranks should aggregate small messages into fewer large messages "
+        "to reduce latency overhead.", True, "mpi_messaging"),
+    SeedSentence(
+        "One can overlap communication with computation using "
+        "nonblocking calls.", True, "mpi_messaging", hard=True),
+    SeedSentence(
+        "Use derived datatypes to avoid manual packing of strided data.",
+        True, "mpi_messaging"),
+    SeedSentence(
+        "The eager protocol copies small messages into internal buffers.",
+        False, "mpi_messaging"),
+    SeedSentence(
+        "A communicator contains an ordered set of processes.",
+        False, "mpi_collectives"),
+)
+
+_MPI_SPEC = GuideSpec(
+    name="MPI Performance Tuning Guide",
+    pages=52,
+    topics=MPI_TOPICS,
+    seed=4242,
+    chapters=(
+        ChapterSpec("1", "Point-to-Point Communication", 220, _XEON_MIX,
+                    seeds=_MPI_SEEDS, labeled=False,
+                    subsections=(("1", "Message Protocols"),
+                                 ("2", "Nonblocking Communication"))),
+        ChapterSpec("2", "Collective Operations", 200, _XEON_MIX,
+                    subsections=(("1", "Reductions"),
+                                 ("2", "Synchronization"))),
+        ChapterSpec("3", "Parallel I/O", 180, _XEON_MIX,
+                    subsections=(("1", "Collective I/O"),
+                                 ("2", "File Views"))),
+    ),
+)
+
+
+@lru_cache(maxsize=None)
+def cuda_guide() -> LabeledGuide:
+    """The CUDA corpus (cached)."""
+    return build_guide(_CUDA_SPEC)
+
+
+@lru_cache(maxsize=None)
+def opencl_guide() -> LabeledGuide:
+    """The OpenCL corpus (cached)."""
+    return build_guide(_OPENCL_SPEC)
+
+
+@lru_cache(maxsize=None)
+def xeon_guide() -> LabeledGuide:
+    """The Xeon Phi corpus (cached; labeled in full)."""
+    return build_guide(_XEON_SPEC)
+
+
+@lru_cache(maxsize=None)
+def mpi_guide() -> LabeledGuide:
+    """The MPI corpus (cached) — the non-GPU generality experiment."""
+    return build_guide(_MPI_SPEC)
+
+
+GUIDE_BUILDERS = {
+    "cuda": cuda_guide,
+    "opencl": opencl_guide,
+    "xeon": xeon_guide,
+    "mpi": mpi_guide,
+}

@@ -1,0 +1,252 @@
+"""Sentence template engine for guide generation.
+
+Template families and their ground-truth labels:
+
+* ``ADVISING_*`` — advising sentences in the paper's six categories
+  (Table 1).  Label: advising.
+* ``HARD_ADVISING`` — advice phrased *without* any of the flagged
+  patterns (the recall-limiting cases §4.3 discusses, e.g. "Native
+  functions are generally supported in hardware and can run
+  substantially faster").  Label: advising.
+* ``EXPOSITORY`` — architecture facts, definitions, quantitative
+  examples.  Label: not advising.  They share topic vocabulary with
+  advising sentences, which is what defeats the full-doc and keywords
+  baselines (relevant-but-not-advising).
+* ``BAIT`` — non-advising sentences that superficially carry flagged
+  material (key subjects in non-advisory roles, keywords inside
+  descriptions), producing the selector false positives the paper
+  reports.  Label: not advising.
+
+The ground-truth label is a property of the template family, decided
+here at authoring time — the generator never consults the selectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.topics import Topic
+
+
+@dataclass(frozen=True)
+class GeneratedSentence:
+    """One generated sentence with its provenance."""
+
+    text: str
+    advising: bool
+    topic: str
+    family: str          # template family id
+    hard: bool = False   # deliberately difficult case
+
+
+# Each template is a callable slotting topic terms; {thing}/{action}/{goal}
+# are drawn from the topic's pools.
+
+ADVISING_KEYWORD = (
+    "For best performance, {action}.",
+    "To get higher performance, applications should {action}.",
+    "It is a good idea to {action} whenever the kernel is memory bound.",
+    "A good choice is to {action} for kernels dominated by {thing}.",
+    "One way to {goal} is to {action}.",
+    "{Action} can lead to much better behavior of {thing}.",
+    "Restructuring the code to {action} can help {goal}.",
+    "{Thing} can be used to {goal} in many kernels.",
+    "It is desirable to {action} before tuning anything else.",
+    "Tuning {thing} should be the first step, because it tends to "
+    "{goal} with little effort.",
+    "{Action} is encouraged on all recent devices.",
+    "The key to good throughput is to {action}.",
+    "Programmers benefit from {gerund_action}, especially when {thing} "
+    "dominate the profile.",
+    "Using this feature is more appropriate than relying on {thing}.",
+    "Prefer small launch configurations instead of oversubscribing "
+    "{thing}.",
+)
+
+ADVISING_COMPARATIVE = (
+    "A developer may prefer {gerund_action} when {thing} limit "
+    "performance.",
+    "It is recommended to {action} on this architecture.",
+    "It is important to {action} before launching long kernels.",
+    "It is often beneficial to {action} in bandwidth-bound code.",
+    "This mechanism can be leveraged to {goal} without extra "
+    "synchronization.",
+    "It is best to {action} when the occupancy is already high.",
+    "It is useful to {action} while profiling {thing}.",
+    "It is required to {action} on devices without caches.",
+)
+
+ADVISING_IMPERATIVE = (
+    "Use {thing} to {goal}.",
+    "Avoid {thing} inside the innermost loop.",
+    "Align {thing} to the transaction size to {goal}.",
+    "Make {thing} contiguous so the hardware can combine them.",
+    "Ensure that {thing} stay within one cache line.",
+    "Unroll the loop over {thing} to {goal}.",
+    "Move the computation of {thing} outside the kernel to {goal}.",
+    "Schedule transfers early, and {action}.",
+    "Pack small records together, then {action}.",
+    "Map read-only data through {thing} to {goal}.",
+)
+
+ADVISING_SUBJECT = (
+    "Developers can {action} to {goal}.",
+    "The programmer can also {action} when {thing} become the "
+    "bottleneck.",
+    "Applications can {action} based on the compute capability of the "
+    "device.",
+    "A common technique is {gerund_action}, which tends to {goal}.",
+    "This optimization {goal_third}s best when combined with "
+    "{gerund_action}.",
+    "An effective solution is {gerund_action} of {thing}.",
+    "The general guideline is that applications {action_plain} whenever "
+    "{thing} saturate.",
+)
+
+ADVISING_PURPOSE = (
+    "To {goal}, {action}.",
+    "{Action} in order to {goal}.",
+    "The first step in improving {thing} is to {goal_as_action}.",
+    "{Action} so as to {goal}.",
+    "Stage intermediate values in registers to {goal}.",
+    "Pad {thing} to avoid conflicts and to {goal}.",
+    "Restructure {thing} to {goal} as much as possible.",
+)
+
+HARD_ADVISING = (
+    # advice without any flagged word, pattern, subject, or purpose —
+    # the recall-limiting cases
+    "Native functions are generally supported in hardware and run "
+    "substantially faster, although at somewhat lower accuracy.",
+    "Kernels that keep {thing} within one cache line see markedly "
+    "higher effective bandwidth.",
+    "In practice, {gerund_action} pays off once {thing} dominate the "
+    "execution profile.",
+    "Caches on recent devices make {gerund_action} less critical, yet "
+    "the gap remains visible on large inputs.",
+    "Code that touches {thing} sparingly tends to scale further on "
+    "wide machines.",
+    "There is rarely a downside to {gerund_action} on current "
+    "hardware.",
+    "Experienced teams usually {action_plain} before resorting to "
+    "assembly-level tuning.",
+    "Hardware with relaxed alignment rules still rewards programs "
+    "that {action_plain}.",
+)
+
+EXPOSITORY = (
+    "The device has {n} {thing} per compute unit.",
+    "{Thing} are issued over {n} clock cycles on this generation.",
+    "Each multiprocessor contains {n} schedulers that select among "
+    "{thing}.",
+    "{Thing} refer to the transactions the hardware issues for a warp.",
+    "In the example above, the kernel performs {n} operations on "
+    "{thing}.",
+    "Execution time varies depending on the instruction mix and on "
+    "{thing}.",
+    "For devices of compute capability 2.x, {thing} are cached in L1.",
+    "The figure shows how {thing} map onto the physical units.",
+    "{Thing} occupy one slot in the scoreboard until completion.",
+    "On this architecture, {thing} share a port with the load unit.",
+    "The counter reports the number of {thing} per kernel launch.",
+    "Version 6.5 of the toolkit changed how {thing} are measured.",
+    "A warp consists of 32 threads that execute {thing} in lockstep.",
+    "The table lists the throughput of {thing} for each generation.",
+    "When a request misses, the hardware forwards it to the next "
+    "level and records {thing}.",
+    "Chapter {n} describes {thing} in full detail.",
+    "{Thing} were introduced with the second hardware generation.",
+)
+
+BAIT = (
+    # key subject in a non-advisory role (paper's own false-positive
+    # example has subject 'programmer')
+    "This section provides some guidance for experienced programmers "
+    "who are programming a GPU for the first time.",
+    "Developers familiar with {thing} recognize this behavior from "
+    "older architectures.",
+    "The application in this example measures {thing} rather than "
+    "tuning them.",
+    "Many programmers assume {thing} are free, which the profiler "
+    "disproves.",
+    # flagged keyword inside a purely descriptive statement
+    "Whether {gerund_action} helps depends entirely on the input "
+    "distribution; the guide makes no recommendation here.",
+    "The benchmark gains nothing from {gerund_action} in this "
+    "configuration.",
+    "Earlier drafts of this chapter described {gerund_action}, which "
+    "was moved to the appendix.",
+)
+
+
+def _gerund(action: str) -> str:
+    """Naive gerundization of a verb-initial action phrase."""
+    head, _, rest = action.partition(" ")
+    lowered = head.lower()
+    if lowered.endswith("e") and not lowered.endswith(("ee", "le")):
+        gerund = lowered[:-1] + "ing"
+    elif lowered.endswith(("n", "p", "t")) and len(lowered) > 2 \
+            and lowered[-2] in "aeiou" and lowered[-3] not in "aeiou":
+        gerund = lowered + lowered[-1] + "ing"
+    else:
+        gerund = lowered + "ing"
+    return f"{gerund} {rest}" if rest else gerund
+
+
+def _plural_agree(action: str) -> str:
+    """Use the bare action after a plural subject ("applications X")."""
+    return action
+
+
+def fill(template: str, topic: Topic, rng: np.random.Generator) -> str:
+    """Instantiate *template* with terms from *topic*."""
+    thing = topic.things[int(rng.integers(len(topic.things)))]
+    action = topic.actions[int(rng.integers(len(topic.actions)))]
+    goal = topic.goals[int(rng.integers(len(topic.goals)))]
+    n = int(rng.integers(2, 64))
+    text = template
+    replacements = {
+        "{thing}": thing,
+        "{Thing}": thing[0].upper() + thing[1:],
+        "{action}": action,
+        "{Action}": action[0].upper() + action[1:],
+        "{action_plain}": _plural_agree(action),
+        "{gerund_action}": _gerund(action),
+        "{goal}": goal,
+        "{goal_as_action}": goal,
+        "{goal_third}": goal.split()[0],
+        "{n}": str(n),
+    }
+    for slot, value in replacements.items():
+        text = text.replace(slot, value)
+    return text
+
+
+#: family name -> (templates, advising?, hard?)
+FAMILIES: dict[str, tuple[tuple[str, ...], bool, bool]] = {
+    "keyword": (ADVISING_KEYWORD, True, False),
+    "comparative": (ADVISING_COMPARATIVE, True, False),
+    "imperative": (ADVISING_IMPERATIVE, True, False),
+    "subject": (ADVISING_SUBJECT, True, False),
+    "purpose": (ADVISING_PURPOSE, True, False),
+    "hard_advising": (HARD_ADVISING, True, True),
+    "expository": (EXPOSITORY, False, False),
+    "bait": (BAIT, False, True),
+}
+
+
+def generate(
+    family: str, topic: Topic, rng: np.random.Generator
+) -> GeneratedSentence:
+    """One sentence from the given template family and topic."""
+    templates, advising, hard = FAMILIES[family]
+    template = templates[int(rng.integers(len(templates)))]
+    return GeneratedSentence(
+        text=fill(template, topic, rng),
+        advising=advising,
+        topic=topic.name,
+        family=family,
+        hard=hard,
+    )

@@ -1,0 +1,208 @@
+"""Topic definitions and per-domain vocabularies for corpus generation.
+
+A *topic* is an optimization concern (memory coalescing, divergence,
+occupancy, ...).  Generated sentences are tagged with their topic; the
+Table 6 relevance ground truth is defined topic-wise (an advising
+sentence is relevant to a performance issue iff its topic is in the
+issue's relevant-topic set — mirroring how the paper's human raters
+judged relevance by subject matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One optimization concern with its term pool."""
+
+    name: str
+    #: noun phrases usable as objects/subjects in templates
+    things: tuple[str, ...]
+    #: actions (verb phrases, imperative-compatible) for the topic
+    actions: tuple[str, ...]
+    #: metrics/goals associated with the topic
+    goals: tuple[str, ...]
+
+
+# -- shared GPU topics ------------------------------------------------------
+
+MEMORY_COALESCING = Topic(
+    "memory_coalescing",
+    things=("global memory accesses", "memory transactions",
+            "load instructions", "access patterns", "base addresses",
+            "strided accesses", "scattered addresses", "memory requests"),
+    actions=("align the base address on a 128-byte segment",
+             "coalesce accesses of threads in the same warp",
+             "rearrange memory access instructions",
+             "pad two-dimensional arrays to the aligned pitch",
+             "use data types that meet the size and alignment requirement"),
+    goals=("maximize coalescing", "achieve aligned accesses",
+           "minimize wasted transactions"),
+)
+
+DIVERGENCE = Topic(
+    "divergence",
+    things=("divergent branches", "flow control instructions",
+            "branching behavior", "divergent warps", "predicated "
+            "instructions", "serialization of execution paths"),
+    actions=("write the controlling condition to follow the thread index",
+             "remove the if-else block from the inner loop",
+             "reorder tasks so threads in a warp take the same path",
+             "move uniform branches out of the kernel"),
+    goals=("minimize the number of divergent warps",
+           "maximize warp execution efficiency",
+           "avoid divergent branches"),
+)
+
+OCCUPANCY_LATENCY = Topic(
+    "occupancy_latency",
+    things=("instruction latency", "resident warps", "occupancy",
+            "warp schedulers", "instruction-level parallelism",
+            "synchronization points", "memory latency"),
+    actions=("increase the number of resident blocks per multiprocessor",
+             "tune the dimensions of thread blocks and grids",
+             "choose the number of threads per block as a multiple of the "
+             "warp size", "expose more independent instructions per thread"),
+    goals=("hide instruction latency", "maximize utilization",
+           "achieve full occupancy"),
+)
+
+REGISTER_USAGE = Topic(
+    "register_usage",
+    things=("register usage", "register pressure", "register spilling",
+            "the maxrregcount compiler option", "launch bounds",
+            "local memory traffic"),
+    actions=("control register usage with the maxrregcount compiler option",
+             "use launch bounds to bound register allocation",
+             "store rarely used temporaries in shared memory"),
+    goals=("avoid register spilling", "minimize register pressure"),
+)
+
+MEMORY_BANDWIDTH = Topic(
+    "memory_bandwidth",
+    things=("memory throughput", "device memory bandwidth",
+            "data transfers", "the texture cache", "shared memory tiles",
+            "redundant global loads", "cache lines"),
+    actions=("stage reused data in shared memory tiles",
+             "use the texture cache for scattered read-only data",
+             "fuse kernels to eliminate intermediate stores",
+             "compress data to shrink the transferred volume"),
+    goals=("maximize memory throughput", "minimize data transfers with "
+           "low bandwidth", "achieve peak bandwidth"),
+)
+
+INSTRUCTION_THROUGHPUT = Topic(
+    "instruction_throughput",
+    things=("arithmetic instructions", "intrinsic functions",
+            "single-precision operations", "denormalized numbers",
+            "synchronization instructions", "the special function units"),
+    actions=("use intrinsic functions instead of regular functions",
+             "trade precision for speed with single-precision constants",
+             "unroll the innermost loop with the #pragma unroll directive",
+             "flush denormalized numbers to zero"),
+    goals=("maximize instruction throughput",
+           "minimize the use of low-throughput instructions",
+           "reduce the number of executed instructions"),
+)
+
+HOST_TRANSFER = Topic(
+    "host_transfer",
+    things=("host-device transfers", "pinned memory", "the PCIe bus",
+            "asynchronous copies", "mapped memory", "staging buffers"),
+    actions=("use pinned memory for frequently transferred buffers",
+             "batch many small transfers into one large transfer",
+             "overlap transfers with kernel execution using streams"),
+    goals=("minimize transfer overhead", "achieve overlap of copy and "
+           "compute", "avoid redundant host synchronization"),
+)
+
+# -- domain-specific extra topics -----------------------------------------
+
+OPENCL_WAVEFRONT = Topic(
+    "wavefront",
+    things=("wavefronts", "work-groups", "the GCN compute units",
+            "LDS bank conflicts", "vector general-purpose registers",
+            "the scalar unit"),
+    actions=("choose the work-group size as a multiple of the wavefront "
+             "size", "pad LDS arrays to avoid bank conflicts",
+             "vectorize loads into float4 accesses"),
+    goals=("avoid LDS bank conflicts", "maximize wavefront occupancy",
+           "achieve full compute-unit utilization"),
+)
+
+XEON_VECTORIZATION = Topic(
+    "vectorization",
+    things=("the 512-bit vector units", "vectorized loops",
+            "compiler vectorization reports", "data alignment",
+            "the #pragma simd directive", "gather and scatter instructions"),
+    actions=("align data on 64-byte boundaries for the vector units",
+             "use the #pragma simd directive on the hot loop",
+             "restructure the loop so the compiler can vectorize it"),
+    goals=("achieve full vector-unit utilization",
+           "maximize vectorization coverage", "avoid gather instructions"),
+)
+
+XEON_AFFINITY = Topic(
+    "affinity",
+    things=("thread affinity", "the KMP_AFFINITY variable",
+            "hardware threads per core", "NUMA placement",
+            "the scatter affinity policy", "core binding"),
+    actions=("pin threads with the KMP_AFFINITY environment variable",
+             "use the scatter policy to spread threads across cores",
+             "run four hardware threads per core for latency hiding"),
+    goals=("avoid thread migration", "achieve balanced core utilization",
+           "maximize memory locality"),
+)
+
+MPI_MESSAGING = Topic(
+    "mpi_messaging",
+    things=("small messages", "nonblocking sends", "message aggregation",
+            "the eager protocol", "communication buffers",
+            "the rendezvous threshold", "derived datatypes"),
+    actions=("aggregate small messages into fewer large messages",
+             "post receives before the matching sends arrive",
+             "overlap communication with computation using nonblocking "
+             "calls", "use derived datatypes instead of manual packing"),
+    goals=("minimize message latency", "achieve communication overlap",
+           "avoid unexpected-message buffering"),
+)
+
+MPI_COLLECTIVES = Topic(
+    "mpi_collectives",
+    things=("collective operations", "allreduce calls", "barriers",
+            "the communicator layout", "process topologies",
+            "reduction trees"),
+    actions=("replace point-to-point exchanges with collective "
+             "operations", "remove unnecessary barriers between phases",
+             "reorder ranks to match the network topology"),
+    goals=("minimize collective completion time",
+           "avoid global synchronization", "achieve balanced reductions"),
+)
+
+MPI_IO = Topic(
+    "mpi_io",
+    things=("collective writes", "file views", "two-phase buffering",
+            "independent reads", "stripe alignment", "aggregator nodes"),
+    actions=("use collective writes instead of independent writes",
+             "set the file view to match the data layout",
+             "align stripes with the parallel file system"),
+    goals=("maximize aggregate write bandwidth",
+           "minimize file-system contention", "achieve contiguous access"),
+)
+
+#: Topics per domain (the CUDA set covers the six Table 6 issues).
+CUDA_TOPICS = (
+    MEMORY_COALESCING, DIVERGENCE, OCCUPANCY_LATENCY, REGISTER_USAGE,
+    MEMORY_BANDWIDTH, INSTRUCTION_THROUGHPUT, HOST_TRANSFER,
+)
+OPENCL_TOPICS = (
+    MEMORY_COALESCING, DIVERGENCE, OCCUPANCY_LATENCY, MEMORY_BANDWIDTH,
+    INSTRUCTION_THROUGHPUT, HOST_TRANSFER, OPENCL_WAVEFRONT,
+)
+XEON_TOPICS = (
+    XEON_VECTORIZATION, XEON_AFFINITY, MEMORY_BANDWIDTH,
+    OCCUPANCY_LATENCY, HOST_TRANSFER,
+)
+MPI_TOPICS = (MPI_MESSAGING, MPI_COLLECTIVES, MPI_IO, MEMORY_BANDWIDTH)

@@ -1,0 +1,26 @@
+"""Document model and loaders.
+
+Egeria is "equipped with a document loader ... [that] extracts out all
+the contained sentences, and at the same time, infers the document
+structure (e.g., chapter, section, etc.) based on the indices or the
+HTML header tags" (paper §3.2).  This package provides that loader for
+HTML and Markdown inputs plus the in-memory document model the rest of
+the system operates on.
+"""
+
+from repro.docs.document import Document, Section, Sentence
+from repro.docs.html_loader import HTMLDocumentLoader, load_html
+from repro.docs.markdown_loader import MarkdownDocumentLoader, load_markdown
+from repro.docs.text_loader import TextDocumentLoader, load_text
+
+__all__ = [
+    "Document",
+    "Section",
+    "Sentence",
+    "HTMLDocumentLoader",
+    "load_html",
+    "MarkdownDocumentLoader",
+    "load_markdown",
+    "TextDocumentLoader",
+    "load_text",
+]

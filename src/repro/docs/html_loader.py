@@ -1,0 +1,137 @@
+"""HTML document loader (stdlib ``html.parser`` based).
+
+Parses vendor-guide-style HTML: ``<h1>``-``<h6>`` headings define the
+section tree (a numeric prefix like ``5.4.2.`` in the heading text
+becomes the section number), and ``<p>`` / ``<li>`` / ``<td>`` text is
+sentence-split into the owning section.  Script/style content and
+``<pre>`` code blocks are skipped, mirroring how the paper's loader
+extracts "a sequence of text blocks".
+"""
+
+from __future__ import annotations
+
+import re
+from html.parser import HTMLParser
+
+from repro.docs.document import Document, Section, Sentence
+from repro.textproc.sentence_tokenizer import SentenceTokenizer
+
+_HEADING = re.compile(r"^h([1-6])$")
+_NUMBER_PREFIX = re.compile(r"^\s*(\d+(?:\.\d+)*)\.?\s+(.*)$")
+_SKIP_CONTENT = frozenset({"script", "style", "pre", "code"})
+_TEXT_BLOCK_CLOSERS = frozenset({"p", "li", "td", "dd", "blockquote"})
+
+
+class _GuideHTMLParser(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.title = ""
+        self.root_sections: list[Section] = []
+        self._stack: list[Section] = []
+        self._skip_depth = 0
+        self._in_title = False
+        self._text_parts: list[str] = []
+        self._heading_level: int | None = None
+        self._tokenizer = SentenceTokenizer()
+
+    # -- tag events -------------------------------------------------------
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag in _SKIP_CONTENT:
+            self._skip_depth += 1
+            return
+        if tag == "title":
+            self._in_title = True
+            return
+        match = _HEADING.match(tag)
+        if match:
+            self._flush_text_block()
+            self._heading_level = int(match.group(1))
+            self._text_parts = []
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in _SKIP_CONTENT:
+            self._skip_depth = max(0, self._skip_depth - 1)
+            return
+        if tag == "title":
+            self._in_title = False
+            return
+        if _HEADING.match(tag) and self._heading_level is not None:
+            self._open_section(
+                " ".join("".join(self._text_parts).split()),
+                self._heading_level,
+            )
+            self._heading_level = None
+            self._text_parts = []
+            return
+        if tag in _TEXT_BLOCK_CLOSERS:
+            self._flush_text_block()
+
+    def handle_data(self, data: str) -> None:
+        if self._skip_depth:
+            return
+        if self._in_title:
+            self.title += data.strip()
+            return
+        self._text_parts.append(data)
+
+    # -- assembly ------------------------------------------------------------
+
+    def _open_section(self, heading: str, level: int) -> None:
+        number, title = "", heading
+        match = _NUMBER_PREFIX.match(heading)
+        if match:
+            number, title = match.group(1), match.group(2)
+        section = Section(number=number, title=title, level=level)
+        while self._stack and self._stack[-1].level >= level:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].subsections.append(section)
+        else:
+            self.root_sections.append(section)
+        self._stack.append(section)
+
+    def _current_section(self) -> Section:
+        if not self._stack:
+            # preamble text before any heading
+            section = Section(title="", level=0)
+            self.root_sections.append(section)
+            self._stack.append(section)
+        return self._stack[-1]
+
+    def _flush_text_block(self) -> None:
+        text = " ".join("".join(self._text_parts).split())
+        self._text_parts = []
+        if not text:
+            return
+        section = self._current_section()
+        for sentence_text in self._tokenizer.tokenize(text):
+            section.sentences.append(Sentence(text=sentence_text, index=-1))
+
+    def close(self) -> None:
+        self._flush_text_block()
+        super().close()
+
+
+class HTMLDocumentLoader:
+    """Load an HTML string or file into a :class:`Document`."""
+
+    def load(self, html: str, title: str | None = None) -> Document:
+        parser = _GuideHTMLParser()
+        parser.feed(html)
+        parser.close()
+        document = Document(
+            title=title or parser.title or "untitled",
+            sections=parser.root_sections,
+        )
+        document.reindex()
+        return document
+
+    def load_file(self, path: str, title: str | None = None) -> Document:
+        with open(path, encoding="utf-8") as handle:
+            return self.load(handle.read(), title=title)
+
+
+def load_html(html: str, title: str | None = None) -> Document:
+    """Convenience wrapper around :class:`HTMLDocumentLoader`."""
+    return HTMLDocumentLoader().load(html, title=title)

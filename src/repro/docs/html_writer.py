@@ -1,0 +1,51 @@
+"""Render a :class:`Document` back to guide-style HTML.
+
+Together with :mod:`repro.docs.html_loader` this closes the loop: the
+synthetic corpora can be exported as the HTML files the paper's tools
+actually consumed, and the loader path is exercised at full document
+scale (see ``tests/test_html_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.docs.document import Document, Section
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head><meta charset="utf-8"><title>{title}</title></head>
+<body>
+{body}
+</body>
+</html>
+"""
+
+
+def _render_section(section: Section, depth: int = 1) -> list[str]:
+    parts: list[str] = []
+    level = min(max(section.level if section.level > 0 else depth, 1), 6)
+    heading = section.heading
+    if heading:
+        parts.append(f"<h{level}>{_html.escape(heading)}</h{level}>")
+    if section.sentences:
+        text = " ".join(_html.escape(s.text) for s in section.sentences)
+        parts.append(f"<p>{text}</p>")
+    for sub in section.subsections:
+        parts.extend(_render_section(sub, depth + 1))
+    return parts
+
+
+def document_to_html(document: Document) -> str:
+    """Serialize *document* as guide-style HTML."""
+    parts: list[str] = []
+    for section in document.sections:
+        parts.extend(_render_section(section))
+    return _PAGE.format(title=_html.escape(document.title or "untitled"),
+                        body="\n".join(parts))
+
+
+def save_html(document: Document, path: str) -> None:
+    """Write :func:`document_to_html` output to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document_to_html(document))

@@ -1,0 +1,104 @@
+"""Markdown document loader.
+
+ATX headings (``#`` .. ``######``) define the section tree; paragraph
+and list-item text is sentence-split.  Fenced code blocks are skipped.
+Provided so advising tools can be synthesized from Markdown-format
+guides (e.g. best-practice documents kept in repositories).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.docs.document import Document, Section, Sentence
+from repro.textproc.sentence_tokenizer import SentenceTokenizer
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_NUMBER_PREFIX = re.compile(r"^\s*(\d+(?:\.\d+)*)\.?\s+(.*)$")
+_FENCE = re.compile(r"^(```|~~~)")
+_LIST_ITEM = re.compile(r"^\s*(?:[-*+]|\d+\.)\s+(.*)$")
+
+
+class MarkdownDocumentLoader:
+    """Load Markdown text into a :class:`Document`."""
+
+    def __init__(self) -> None:
+        self._tokenizer = SentenceTokenizer()
+
+    def load(self, text: str, title: str | None = None) -> Document:
+        root_sections: list[Section] = []
+        stack: list[Section] = []
+        doc_title = title or "untitled"
+        in_fence = False
+        paragraph: list[str] = []
+
+        def current() -> Section:
+            if not stack:
+                section = Section(title="", level=0)
+                root_sections.append(section)
+                stack.append(section)
+            return stack[-1]
+
+        def flush() -> None:
+            if not paragraph:
+                return
+            text_block = " ".join(" ".join(paragraph).split())
+            paragraph.clear()
+            if not text_block:
+                return
+            section = current()
+            for sentence in self._tokenizer.tokenize(text_block):
+                section.sentences.append(Sentence(text=sentence, index=-1))
+
+        for line in text.splitlines():
+            if _FENCE.match(line):
+                flush()
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            heading = _HEADING.match(line)
+            if heading:
+                flush()
+                level = len(heading.group(1))
+                raw = heading.group(2)
+                number, heading_title = "", raw
+                numbered = _NUMBER_PREFIX.match(raw)
+                if numbered:
+                    number, heading_title = numbered.group(1), numbered.group(2)
+                if level == 1 and title is None and doc_title == "untitled":
+                    doc_title = heading_title
+                section = Section(number=number, title=heading_title,
+                                  level=level)
+                while stack and stack[-1].level >= level:
+                    stack.pop()
+                if stack:
+                    stack[-1].subsections.append(section)
+                else:
+                    root_sections.append(section)
+                stack.append(section)
+                continue
+            item = _LIST_ITEM.match(line)
+            if item:
+                flush()
+                paragraph.append(item.group(1))
+                flush()
+                continue
+            if not line.strip():
+                flush()
+                continue
+            paragraph.append(line.strip())
+        flush()
+
+        document = Document(title=doc_title, sections=root_sections)
+        document.reindex()
+        return document
+
+    def load_file(self, path: str, title: str | None = None) -> Document:
+        with open(path, encoding="utf-8") as handle:
+            return self.load(handle.read(), title=title)
+
+
+def load_markdown(text: str, title: str | None = None) -> Document:
+    """Convenience wrapper around :class:`MarkdownDocumentLoader`."""
+    return MarkdownDocumentLoader().load(text, title=title)

@@ -1,0 +1,105 @@
+"""Plain-text document loader with structure inference.
+
+The paper's loader "infers the document structure (e.g., chapter,
+section, etc.) based on the indices or the HTML header tags" (§3.2).
+For plain-text guides (man pages, README-style best-practice notes)
+there are no tags, so the indices carry the structure: a line like
+
+    5.4.2. Control Flow Instructions
+
+is recognized as a heading from its dotted number, short length, and
+lack of terminal punctuation; ALL-CAPS lines are treated as unnumbered
+headings.  Everything else is paragraph text, sentence-split into the
+current section.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.docs.document import Document, Section, Sentence
+from repro.textproc.sentence_tokenizer import SentenceTokenizer
+
+_NUMBERED_HEADING = re.compile(
+    r"^\s*(\d+(?:\.\d+)*)\.?\s+(\S.{0,79}?)\s*$")
+_CAPS_HEADING = re.compile(r"^\s*([A-Z][A-Z0-9 \-]{3,60})\s*$")
+
+
+def _looks_like_heading(line: str) -> tuple[str, str] | None:
+    """(number, title) for a heading line, else None."""
+    match = _NUMBERED_HEADING.match(line)
+    if match:
+        title = match.group(2)
+        # headings don't end in sentence punctuation and are short
+        if not title.endswith((".", ",", ";", ":")) and len(title) < 80:
+            return match.group(1), title
+    caps = _CAPS_HEADING.match(line)
+    if caps and not line.rstrip().endswith("."):
+        return "", caps.group(1).title()
+    return None
+
+
+class TextDocumentLoader:
+    """Load plain text into a :class:`Document` with inferred sections."""
+
+    def __init__(self) -> None:
+        self._tokenizer = SentenceTokenizer()
+
+    def load(self, text: str, title: str | None = None) -> Document:
+        root_sections: list[Section] = []
+        stack: list[Section] = []
+        paragraph: list[str] = []
+
+        def current() -> Section:
+            if not stack:
+                section = Section(title="", level=0)
+                root_sections.append(section)
+                stack.append(section)
+            return stack[-1]
+
+        def flush() -> None:
+            if not paragraph:
+                return
+            block = " ".join(" ".join(paragraph).split())
+            paragraph.clear()
+            if not block:
+                return
+            section = current()
+            for sentence in self._tokenizer.tokenize(block):
+                section.sentences.append(Sentence(text=sentence, index=-1))
+
+        for line in text.splitlines():
+            if not line.strip():
+                flush()
+                continue
+            heading = _looks_like_heading(line)
+            if heading is not None:
+                flush()
+                number, heading_title = heading
+                level = number.count(".") + 1 if number else 1
+                section = Section(number=number, title=heading_title,
+                                  level=level)
+                while stack and stack[-1].level >= level:
+                    stack.pop()
+                if stack:
+                    stack[-1].subsections.append(section)
+                else:
+                    root_sections.append(section)
+                stack.append(section)
+                continue
+            paragraph.append(line.strip())
+        flush()
+
+        document = Document(title=title or "untitled",
+                            sections=root_sections)
+        document.reindex()
+        return document
+
+    def load_file(self, path: str, title: str | None = None) -> Document:
+        with open(path, encoding="utf-8") as handle:
+            return self.load(handle.read(), title=title or path)
+
+
+def load_text(text: str, title: str | None = None) -> Document:
+    """Convenience wrapper around :class:`TextDocumentLoader`."""
+    return TextDocumentLoader().load(text, title=title)

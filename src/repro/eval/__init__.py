@@ -1,0 +1,44 @@
+"""Evaluation harness: metrics, rater simulation, user-study simulation.
+
+Implements the measurement apparatus of §4: precision/recall/F-measure
+(the information-retrieval metrics of Tables 6 and 8), Fleiss' kappa
+(rater agreement, [13] in the paper), simulated expert raters with
+majority voting (the labeling protocol), and the agent-based
+user-study simulation behind Table 5.
+"""
+
+from repro.eval.metrics import (
+    precision_recall_f,
+    precision_recall_f_labels,
+    PRF,
+)
+from repro.eval.kappa import fleiss_kappa
+from repro.eval.raters import simulate_raters, majority_vote
+from repro.eval.userstudy import UserStudyConfig, UserStudyResult, run_user_study
+from repro.eval.bootstrap import (
+    BootstrapCI,
+    bootstrap_ci,
+    bootstrap_difference_pvalue,
+)
+from repro.eval.significance import McNemarResult, mcnemar
+from repro.eval.curves import PRCurve, pr_curve, mean_average_precision
+
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_ci",
+    "bootstrap_difference_pvalue",
+    "McNemarResult",
+    "mcnemar",
+    "PRCurve",
+    "pr_curve",
+    "mean_average_precision",
+    "precision_recall_f",
+    "precision_recall_f_labels",
+    "PRF",
+    "fleiss_kappa",
+    "simulate_raters",
+    "majority_vote",
+    "UserStudyConfig",
+    "UserStudyResult",
+    "run_user_study",
+]

@@ -1,0 +1,68 @@
+"""Ranking-quality curves: precision-recall sweeps and average precision.
+
+Table 6 evaluates at the fixed 0.15 threshold; these helpers evaluate
+the *ranking* itself — precision/recall at every cutoff and the
+average precision (AP) summary — removing the threshold from the
+comparison between Egeria's two-stage retrieval and the baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """Precision/recall at each rank cutoff of a scored ranking."""
+
+    precisions: tuple[float, ...]
+    recalls: tuple[float, ...]
+    average_precision: float
+
+    def precision_at(self, k: int) -> float:
+        if not self.precisions or k <= 0:
+            return 0.0
+        return self.precisions[min(k, len(self.precisions)) - 1]
+
+    def recall_at(self, k: int) -> float:
+        if not self.recalls or k <= 0:
+            return 0.0
+        return self.recalls[min(k, len(self.recalls)) - 1]
+
+
+def pr_curve(
+    ranked_items: Sequence[int],
+    gold: set[int],
+) -> PRCurve:
+    """Curve over a ranking (best first) against *gold* items.
+
+    ``average_precision`` is the standard AP: the mean of precision at
+    each rank where a relevant item appears, with unretrieved relevant
+    items contributing zero.
+    """
+    precisions: list[float] = []
+    recalls: list[float] = []
+    hits = 0
+    ap_sum = 0.0
+    for rank, item in enumerate(ranked_items, start=1):
+        if item in gold:
+            hits += 1
+            ap_sum += hits / rank
+        precisions.append(hits / rank)
+        recalls.append(hits / len(gold) if gold else 0.0)
+    average_precision = ap_sum / len(gold) if gold else 0.0
+    return PRCurve(tuple(precisions), tuple(recalls), average_precision)
+
+
+def mean_average_precision(
+    rankings: Sequence[Sequence[int]],
+    golds: Sequence[set[int]],
+) -> float:
+    """MAP over several queries."""
+    if len(rankings) != len(golds):
+        raise ValueError("rankings and golds length mismatch")
+    if not rankings:
+        return 0.0
+    return sum(pr_curve(r, g).average_precision
+               for r, g in zip(rankings, golds)) / len(rankings)

@@ -1,0 +1,59 @@
+"""Precision / recall / F-measure (paper §4.2).
+
+"The three metrics we use are commonly used in information retrieval:
+precision P (#true positive/#answers), recall R (#true
+positive/#groundTruth), and the combined metric F-measure
+F = 2*P*R/(P+R)."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PRF:
+    """A precision/recall/F triple with the supporting counts."""
+
+    precision: float
+    recall: float
+    f_measure: float
+    true_positives: int = 0
+    predicted: int = 0
+    gold: int = 0
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f_measure)
+
+
+def precision_recall_f(
+    predicted: set, gold: set
+) -> tuple[float, float, float]:
+    """P, R, F for predicted vs gold element sets."""
+    true_positives = len(predicted & gold)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(gold) if gold else 0.0
+    f_measure = (2 * precision * recall / (precision + recall)
+                 if precision + recall > 0 else 0.0)
+    return precision, recall, f_measure
+
+
+def prf(predicted: set, gold: set) -> PRF:
+    """Like :func:`precision_recall_f` but returning a :class:`PRF`."""
+    precision, recall, f_measure = precision_recall_f(predicted, gold)
+    return PRF(precision, recall, f_measure,
+               true_positives=len(predicted & gold),
+               predicted=len(predicted), gold=len(gold))
+
+
+def precision_recall_f_labels(
+    predicted: Sequence[bool], gold: Sequence[bool]
+) -> tuple[float, float, float]:
+    """P, R, F for aligned binary label sequences."""
+    if len(predicted) != len(gold):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} vs {len(gold)}")
+    predicted_set = {i for i, flag in enumerate(predicted) if flag}
+    gold_set = {i for i, flag in enumerate(gold) if flag}
+    return precision_recall_f(predicted_set, gold_set)

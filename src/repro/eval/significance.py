@@ -1,0 +1,57 @@
+"""Paired significance tests for classifier comparisons.
+
+McNemar's test on paired binary decisions: when two recognizers
+classify the same sentences, the discordant pairs (one right, the
+other wrong) carry the evidence that one method is genuinely better —
+the right statistic for Table 8-style comparisons on a shared corpus.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from scipy.stats import binom
+
+
+@dataclass(frozen=True)
+class McNemarResult:
+    """Discordant-pair counts and the exact binomial p-value."""
+
+    b: int  # method A correct, method B wrong
+    c: int  # method A wrong, method B correct
+    p_value: float
+
+    @property
+    def n_discordant(self) -> int:
+        return self.b + self.c
+
+
+def mcnemar(
+    gold: Sequence[bool],
+    predictions_a: Sequence[bool],
+    predictions_b: Sequence[bool],
+) -> McNemarResult:
+    """Exact McNemar test on paired classifications.
+
+    Returns the two-sided p-value for the hypothesis that methods A
+    and B have equal error rates; small p with ``b > c`` means A is
+    significantly better.
+    """
+    if not (len(gold) == len(predictions_a) == len(predictions_b)):
+        raise ValueError("gold and prediction lengths must match")
+    b = c = 0
+    for truth, a_pred, b_pred in zip(gold, predictions_a, predictions_b):
+        a_correct = a_pred == truth
+        b_correct = b_pred == truth
+        if a_correct and not b_correct:
+            b += 1
+        elif b_correct and not a_correct:
+            c += 1
+    n = b + c
+    if n == 0:
+        return McNemarResult(0, 0, 1.0)
+    # exact binomial: P(X <= min(b,c)) * 2 under X ~ Binom(n, 0.5)
+    k = min(b, c)
+    p_value = min(1.0, 2.0 * float(binom.cdf(k, n, 0.5)))
+    return McNemarResult(b, c, p_value)

@@ -1,0 +1,22 @@
+"""Experiment reproductions as library functions.
+
+Each function reproduces one table of the paper's evaluation and
+returns structured results; the benchmark suite asserts their shape
+and ``egeria experiments <name>`` prints them from the command line.
+"""
+
+from repro.experiments.tables import (
+    ExperimentRegistry,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+__all__ = [
+    "ExperimentRegistry",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+]

@@ -1,0 +1,134 @@
+"""Table 5-8 reproduction logic.
+
+Shared by ``benchmarks/bench_table*.py`` (which add shape assertions
+and timing) and the ``egeria experiments`` CLI subcommand (which
+prints the rows).  Every function is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.baselines import FullDocMethod, KeywordAllRecognizer, KeywordsMethod
+from repro.baselines.single_selector import all_single_selector_recognizers
+from repro.core.egeria import Egeria
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.corpus import (
+    PERFORMANCE_ISSUES,
+    cuda_guide,
+    opencl_guide,
+    relevance_ground_truth,
+    xeon_guide,
+)
+from repro.eval.metrics import precision_recall_f
+from repro.eval.userstudy import UserStudyConfig, run_user_study
+from repro.profiler import generate_report
+
+_DEFAULT_WORKERS = max(1, min(4, (os.cpu_count() or 1)))
+
+
+def _build_cuda_advisor(workers: int = _DEFAULT_WORKERS):
+    guide = cuda_guide()
+    advisor = Egeria(workers=workers).build_advisor(
+        guide.document, name="CUDA Adviser")
+    return guide, advisor
+
+
+def run_table5(seed: int = 42, workers: int = _DEFAULT_WORKERS) -> dict:
+    """Table 5 — user-study speedups per group per device."""
+    guide, advisor = _build_cuda_advisor(workers)
+    result = run_user_study(guide, advisor, UserStudyConfig(seed=seed))
+    return result.summary()
+
+
+def run_table6(workers: int = _DEFAULT_WORKERS) -> list[dict]:
+    """Table 6 — answer quality P/R/F per issue per method."""
+    guide, advisor = _build_cuda_advisor(workers)
+    fulldoc = FullDocMethod(guide.document)
+    keywords = KeywordsMethod(guide.document)
+    rows: list[dict] = []
+    for issue in PERFORMANCE_ISSUES:
+        report = generate_report(issue.program)
+        query = next(i.query_text() for i in report.issues()
+                     if i.title == issue.issue_title)
+        gold = {s.index for s in relevance_ground_truth(guide, issue)}
+
+        egeria_pred = {r.sentence.index
+                       for r in advisor.query(query).recommendations}
+        fulldoc_pred = {r.sentence.index for r in fulldoc.query(query)}
+        best_kw, _ = keywords.best_keyword(issue.keywords, gold)
+        keyword_pred = {s.index for s in keywords.search(best_kw)}
+
+        rows.append({
+            "program": issue.program,
+            "issue": issue.issue_title,
+            "ground_truth": len(gold),
+            "egeria": precision_recall_f(egeria_pred, gold),
+            "fulldoc": precision_recall_f(fulldoc_pred, gold),
+            "keywords": precision_recall_f(keyword_pred, gold),
+            "best_keyword": best_kw,
+        })
+    return rows
+
+
+def run_table7(workers: int = _DEFAULT_WORKERS) -> list[dict]:
+    """Table 7 — selection statistics for the three guides."""
+    recognizer = AdvisingSentenceRecognizer(workers=workers)
+    rows: list[dict] = []
+    for builder in (cuda_guide, opencl_guide, xeon_guide):
+        guide = builder()
+        selected = sum(
+            1 for r in recognizer.recognize(guide.document)
+            if r.is_advising)
+        stats = guide.stats()
+        rows.append({
+            "guide": guide.spec.name,
+            "sentences": stats["sentences"],
+            "pages": stats["pages"],
+            "selected": selected,
+            "ratio": stats["sentences"] / selected if selected else 0.0,
+        })
+    return rows
+
+
+def run_table8() -> dict[str, dict[str, dict]]:
+    """Table 8 — recognition P/R/F per method on the labeled regions.
+
+    Returns ``{guide: {method: {selected, correct, p, r, f}}}``.
+    """
+    regions: dict[str, tuple[list[str], set[int]]] = {}
+    for name, builder in (("cuda", cuda_guide), ("opencl", opencl_guide),
+                          ("xeon", xeon_guide)):
+        sentences, labels = builder().labeled_region()
+        texts = [s.text for s in sentences]
+        gold = {i for i, label in enumerate(labels) if label}
+        regions[name] = (texts, gold)
+
+    methods: dict[str, AdvisingSentenceRecognizer] = dict(
+        all_single_selector_recognizers())
+    methods["KeywordAll"] = KeywordAllRecognizer()
+    methods["Egeria"] = AdvisingSentenceRecognizer()
+
+    results: dict[str, dict[str, dict]] = {}
+    for guide_name, (texts, gold) in regions.items():
+        results[guide_name] = {}
+        for method_name, recognizer in methods.items():
+            predicted = {i for i, text in enumerate(texts)
+                         if recognizer.is_advising(text)}
+            p, r, f = precision_recall_f(predicted, gold)
+            results[guide_name][method_name] = {
+                "selected": len(predicted),
+                "correct": len(predicted & gold),
+                "p": p, "r": r, "f": f,
+            }
+    return results
+
+
+#: name -> (runner, description) for the CLI.
+ExperimentRegistry: dict[str, tuple[Callable[[], object], str]] = {
+    "table5": (run_table5, "user-study speedups (simulated)"),
+    "table6": (run_table6, "answer quality vs baselines"),
+    "table7": (run_table7, "advising-sentence selection statistics"),
+    "table8": (run_table8, "recognition quality per method"),
+}

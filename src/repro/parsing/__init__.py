@@ -1,0 +1,27 @@
+"""Syntactic analysis substrate (CoreNLP dependency-parser replacement).
+
+Provides Penn-tag-driven NP/VP chunking and a deterministic
+head-attachment dependency parser that emits the Stanford-typed
+dependency subset Egeria's selectors consume:
+
+``root``, ``nsubj``, ``nsubjpass``, ``xcomp``, ``dobj``, ``aux``,
+``auxpass``, ``det``, ``amod``, ``prep``, ``pobj``, ``mark``, ``neg``,
+``cc``, ``conj``, ``advmod``, ``compound``.
+"""
+
+from repro.parsing.graph import Token, Dependency, DependencyGraph
+from repro.parsing.chunker import Chunk, Chunker
+from repro.parsing.parser import DependencyParser, parse
+from repro.parsing.mst import MSTParser, chu_liu_edmonds
+
+__all__ = [
+    "Token",
+    "Dependency",
+    "DependencyGraph",
+    "Chunk",
+    "Chunker",
+    "DependencyParser",
+    "parse",
+    "MSTParser",
+    "chu_liu_edmonds",
+]

@@ -1,0 +1,120 @@
+"""Regex-over-tags shallow chunker (NP / VP / PP).
+
+The dependency parser builds its attachment decisions on top of a flat
+chunk layer, the classic shallow-parsing architecture: a tag-pattern
+grammar finds base noun phrases (with their head noun), verb groups
+(with auxiliaries, negation and the main verb), and prepositional
+chunk starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parsing.graph import Token
+from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS
+
+_NP_MODIFIER_TAGS = frozenset(
+    {"DT", "PDT", "PRP$", "CD", "JJ", "JJR", "JJS", "VBN", "NN", "NNS",
+     "NNP", "NNPS", "SYM"}
+)
+_AUX_WORDS = frozenset(
+    {"be", "am", "is", "are", "was", "were", "been", "being",
+     "have", "has", "had", "having", "do", "does", "did"}
+)
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous chunk: ``kind`` is 'NP', 'VG' (verb group) or 'PP'."""
+
+    kind: str
+    start: int  # inclusive token index
+    end: int    # inclusive token index
+    head: int   # head token index
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index <= self.end
+
+
+class Chunker:
+    """Find base NPs and verb groups over a tagged token sequence."""
+
+    def chunk(self, tokens: list[Token]) -> list[Chunk]:
+        chunks: list[Chunk] = []
+        i = 0
+        n = len(tokens)
+        while i < n:
+            tok = tokens[i]
+            if tok.tag in VERB_TAGS or tok.tag == "MD":
+                chunk = self._verb_group(tokens, i)
+                chunks.append(chunk)
+                i = chunk.end + 1
+                continue
+            if tok.tag in _NP_MODIFIER_TAGS or tok.tag == "PRP":
+                chunk = self._noun_phrase(tokens, i)
+                if chunk is not None:
+                    chunks.append(chunk)
+                    i = chunk.end + 1
+                    continue
+            i += 1
+        return chunks
+
+    # -- chunk builders ----------------------------------------------------
+
+    @staticmethod
+    def _noun_phrase(tokens: list[Token], start: int) -> Chunk | None:
+        """Greedy base-NP: modifiers then a noun head; PRP is its own NP."""
+        if tokens[start].tag == "PRP":
+            return Chunk("NP", start, start, start)
+        i = start
+        n = len(tokens)
+        last_noun = None
+        while i < n and tokens[i].tag in _NP_MODIFIER_TAGS:
+            if tokens[i].tag in NOUN_TAGS:
+                last_noun = i
+            i += 1
+        if last_noun is None:
+            # a lone demonstrative before a verb is pronominal
+            # ("This can be a good choice")
+            if i == start + 1 and tokens[start].tag in ("DT", "PDT"):
+                return Chunk("NP", start, start, start)
+            # all modifiers, no noun head: adjective phrase, not an NP
+            return None
+        return Chunk("NP", start, last_noun, last_noun)
+
+    @staticmethod
+    def _verb_group(tokens: list[Token], start: int) -> Chunk:
+        """Verb group: (MD | be/have/do | RB)* main-verb.
+
+        The group extends through modals, auxiliary verbs and adverbs
+        and ends at the first non-auxiliary verb — its head.  A verb
+        *after* the main verb ("prefer using", "avoid incurring")
+        starts its own group so the parser can attach it as an open
+        clausal complement.
+        """
+        i = start
+        n = len(tokens)
+        last_verb = start
+        while i < n:
+            token = tokens[i]
+            tag = token.tag
+            if tag == "MD" or (tag in VERB_TAGS
+                               and token.lower in _AUX_WORDS):
+                last_verb = i
+                i += 1
+                continue
+            if tag in VERB_TAGS:
+                # first non-auxiliary verb is the head; group ends here
+                last_verb = i
+                i += 1
+                break
+            if tag in ("RB", "RBR", "RBS") or token.lower == "n't":
+                j = i + 1
+                if j < n and (tokens[j].tag in VERB_TAGS
+                              or tokens[j].tag == "MD"):
+                    i += 1
+                    continue
+                break
+            break
+        return Chunk("VG", start, last_verb, last_verb)

@@ -1,0 +1,159 @@
+"""Dependency-graph data structures.
+
+Relations follow the Stanford typed-dependency convention the paper
+uses: ``relation(governor, dependent)``, with a virtual ``ROOT``
+governor (index ``-1``) for the sentence head, e.g.
+``root(ROOT, prefer)``, ``nsubj(prefer, developer)``,
+``xcomp(prefer, using)`` (paper §3.1.2, Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ROOT_INDEX = -1
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token of a parsed sentence."""
+
+    index: int
+    text: str
+    tag: str
+    lemma: str
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.text}/{self.tag}"
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A typed binary relation ``relation(governor, dependent)``."""
+
+    relation: str
+    governor: int  # token index, or ROOT_INDEX
+    dependent: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.relation}({self.governor}, {self.dependent})"
+
+
+@dataclass
+class DependencyGraph:
+    """Tokens plus the set of dependency relations over them."""
+
+    tokens: list[Token]
+    dependencies: list[Dependency] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, relation: str, governor: int, dependent: int) -> None:
+        """Add ``relation(governor, dependent)`` (idempotent)."""
+        dep = Dependency(relation, governor, dependent)
+        if dep not in self.dependencies:
+            self.dependencies.append(dep)
+
+    # -- queries ---------------------------------------------------------
+
+    def token(self, index: int) -> Token:
+        return self.tokens[index]
+
+    @property
+    def root(self) -> Token | None:
+        """The sentence-head token, or None for fragment sentences."""
+        for dep in self.dependencies:
+            if dep.relation == "root":
+                return self.tokens[dep.dependent]
+        return None
+
+    def relations(self, relation: str) -> list[Dependency]:
+        """All dependencies of the given *relation* type."""
+        return [d for d in self.dependencies if d.relation == relation]
+
+    def dependents(self, governor: int, relation: str | None = None
+                   ) -> list[Token]:
+        """Dependents of token *governor*, optionally filtered by type."""
+        return [
+            self.tokens[d.dependent]
+            for d in self.dependencies
+            if d.governor == governor
+            and (relation is None or d.relation == relation)
+        ]
+
+    def governors(self, dependent: int, relation: str | None = None
+                  ) -> list[Token]:
+        """Governors of token *dependent* (excluding virtual ROOT)."""
+        return [
+            self.tokens[d.governor]
+            for d in self.dependencies
+            if d.dependent == dependent
+            and d.governor != ROOT_INDEX
+            and (relation is None or d.relation == relation)
+        ]
+
+    def has_relation(self, dependent: int, relation: str) -> bool:
+        """True if token *dependent* participates as dependent in *relation*."""
+        return any(
+            d.dependent == dependent and d.relation == relation
+            for d in self.dependencies
+        )
+
+    def subjects(self) -> list[Token]:
+        """All nsubj/nsubjpass dependents in the sentence."""
+        return [
+            self.tokens[d.dependent]
+            for d in self.dependencies
+            if d.relation in ("nsubj", "nsubjpass")
+        ]
+
+    def subject_of(self, governor: int) -> Token | None:
+        """The (passive or active) subject of token *governor*, if any."""
+        for d in self.dependencies:
+            if d.governor == governor and d.relation in ("nsubj", "nsubjpass"):
+                return self.tokens[d.dependent]
+        return None
+
+    def to_tuples(self) -> list[tuple[str, str, str]]:
+        """Human-readable ``(relation, governor_text, dependent_text)``."""
+        out = []
+        for d in self.dependencies:
+            gov = "ROOT" if d.governor == ROOT_INDEX else self.tokens[d.governor].text
+            out.append((d.relation, gov, self.tokens[d.dependent].text))
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "\n".join(
+            f"{rel}({gov}, {dep})" for rel, gov, dep in self.to_tuples()
+        )
+
+    def to_dot(self, title: str = "") -> str:
+        """Graphviz DOT rendering of the dependency structure.
+
+        Nodes are tokens (labeled ``text/TAG``), edges are labeled
+        with the relation — the format behind diagrams like the
+        paper's Figure 2.
+        """
+        lines = ["digraph dependencies {"]
+        if title:
+            escaped = title.replace('"', '\\"')
+            lines.append(f'  label="{escaped}";')
+        lines.append("  rankdir=LR;")
+        lines.append('  node [shape=box, fontsize=10];')
+        lines.append('  ROOT [shape=ellipse];')
+        for token in self.tokens:
+            text = token.text.replace('"', '\\"')
+            lines.append(
+                f'  t{token.index} [label="{text}\\n{token.tag}"];')
+        for dep in self.dependencies:
+            governor = "ROOT" if dep.governor == ROOT_INDEX \
+                else f"t{dep.governor}"
+            lines.append(
+                f'  {governor} -> t{dep.dependent} '
+                f'[label="{dep.relation}", fontsize=9];')
+        lines.append("}")
+        return "\n".join(lines)

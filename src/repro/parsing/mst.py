@@ -1,0 +1,361 @@
+"""Graph-based dependency parsing: Chu-Liu-Edmonds + perceptron.
+
+An alternative parser to the deterministic head-attachment one
+(McDonald et al. 2005 style): every possible head->dependent arc is
+scored by a sparse-feature perceptron, and the maximum spanning
+arborescence is decoded with the Chu-Liu-Edmonds algorithm.  Trained
+from *silver* parses produced by the rule parser (the same
+self-training recipe as the perceptron tagger), it provides
+
+* an ablation point for how much Egeria's recognition depends on the
+  specific parser, and
+* a second opinion for parser-disagreement diagnostics.
+
+Arc labels are assigned afterwards by the deterministic relation
+rules, so downstream selectors can consume either parser's output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.parsing.graph import ROOT_INDEX, DependencyGraph, Token
+from repro.parsing.parser import DependencyParser
+from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS
+
+NEG = -1e9
+
+
+def chu_liu_edmonds(scores: np.ndarray) -> list[int]:
+    """Maximum spanning arborescence rooted at node 0.
+
+    ``scores[h, d]`` is the score of arc ``h -> d``; node 0 is the
+    virtual root (it has no head).  Returns ``heads`` with
+    ``heads[0] == -1`` and ``heads[d]`` the chosen head of ``d``.
+    Runs the classic recursive cycle-contraction algorithm.
+    """
+    n = scores.shape[0]
+    scores = scores.copy()
+    np.fill_diagonal(scores, NEG)
+    scores[:, 0] = NEG  # nothing points at the root
+
+    heads = [-1] * n
+    for d in range(1, n):
+        heads[d] = int(np.argmax(scores[:, d]))
+
+    cycle = _find_cycle(heads)
+    if cycle is None:
+        return heads
+
+    cycle_set = set(cycle)
+    cycle_score = sum(scores[heads[d], d] for d in cycle)
+
+    # contract the cycle into a single node c (reuse index mapping)
+    rest = [v for v in range(n) if v not in cycle_set]
+    index = {v: i for i, v in enumerate(rest)}
+    c = len(rest)
+    m = c + 1
+    contracted = np.full((m, m), NEG)
+
+    enter_choice: dict[int, int] = {}   # outside head -> cycle node
+    leave_choice: dict[int, int] = {}   # outside dep -> cycle node
+
+    for h in rest:
+        for d in rest:
+            contracted[index[h], index[d]] = scores[h, d]
+    for h in rest:
+        # arcs entering the cycle: break one cycle arc
+        best_value, best_node = NEG, None
+        for d in cycle:
+            value = scores[h, d] - scores[heads[d], d]
+            if value > best_value:
+                best_value, best_node = value, d
+        contracted[index[h], c] = best_value + cycle_score
+        enter_choice[h] = best_node
+    for d in rest:
+        best_value, best_node = NEG, None
+        for h in cycle:
+            if scores[h, d] > best_value:
+                best_value, best_node = scores[h, d], h
+        contracted[c, index[d]] = best_value
+        leave_choice[d] = best_node
+
+    sub_heads = chu_liu_edmonds(contracted)
+
+    # expand
+    result = [-1] * n
+    # head of the contracted node: breaks one arc of the cycle
+    outer_head_idx = sub_heads[c]
+    outer_head = rest[outer_head_idx]
+    entry_node = enter_choice[outer_head]
+    for d in cycle:
+        result[d] = heads[d]
+    result[entry_node] = outer_head
+    for d in rest:
+        if d == 0:
+            continue
+        h_idx = sub_heads[index[d]]
+        result[d] = leave_choice[d] if h_idx == c else rest[h_idx]
+    return result
+
+
+def _find_cycle(heads: Sequence[int]) -> list[int] | None:
+    """Any cycle in the head function, as an ordered node list."""
+    n = len(heads)
+    color = [0] * n  # 0 unvisited, 1 in progress, 2 done
+    for start in range(1, n):
+        if color[start]:
+            continue
+        path = []
+        v = start
+        while v > 0 and color[v] == 0:
+            color[v] = 1
+            path.append(v)
+            v = heads[v]
+        if v > 0 and color[v] == 1:
+            cycle_start = path.index(v)
+            for u in path:
+                color[u] = 2
+            return path[cycle_start:]
+        for u in path:
+            color[u] = 2
+    return None
+
+
+class MSTParser:
+    """Perceptron-scored MST dependency parser."""
+
+    def __init__(self) -> None:
+        self.weights: dict[str, float] = defaultdict(float)
+        self._totals: dict[str, float] = defaultdict(float)
+        self._steps: dict[str, int] = defaultdict(int)
+        self._step = 0
+        self._rule_parser = DependencyParser()
+        self._trained = False
+
+    # -- features -----------------------------------------------------------
+
+    @staticmethod
+    def _arc_features(tokens: list[Token], h: int, d: int) -> list[str]:
+        """Sparse features of the arc h -> d (h == -1 for ROOT)."""
+        head_tag = "ROOT" if h < 0 else tokens[h].tag
+        head_lemma = "ROOT" if h < 0 else tokens[h].lemma
+        dep = tokens[d]
+        direction = "R" if h < d else "L"
+        distance = min(abs(d - (h if h >= 0 else 0)), 6)
+        return [
+            f"ht:{head_tag}|dt:{dep.tag}|{direction}",
+            f"ht:{head_tag}|dt:{dep.tag}|{direction}|{distance}",
+            f"hl:{head_lemma}|dt:{dep.tag}",
+            f"ht:{head_tag}|dl:{dep.lemma}",
+            f"hl:{head_lemma}|dl:{dep.lemma}",
+            f"dt:{dep.tag}|{direction}",
+        ]
+
+    def _score(self, features: Iterable[str]) -> float:
+        return sum(self.weights[f] for f in features)
+
+    # -- decoding -------------------------------------------------------------
+
+    def _score_matrix(self, tokens: list[Token]) -> np.ndarray:
+        n = len(tokens)
+        scores = np.full((n + 1, n + 1), NEG)
+        for d in range(n):
+            scores[0, d + 1] = self._score(self._arc_features(tokens, -1, d))
+            for h in range(n):
+                if h == d:
+                    continue
+                scores[h + 1, d + 1] = self._score(
+                    self._arc_features(tokens, h, d))
+        return scores
+
+    def predict_heads(self, tokens: list[Token]) -> list[int]:
+        """Head index per token (-1 = ROOT), single-root enforced.
+
+        If unconstrained decoding yields several root children, each
+        candidate root is tried with the other root arcs masked and
+        the highest-scoring tree wins (the standard single-root CLE
+        retrofit).
+        """
+        if not tokens:
+            return []
+        if len(tokens) == 1:
+            return [-1]
+        scores = self._score_matrix(tokens)
+        heads = chu_liu_edmonds(scores)
+        root_children = [d for d in range(1, len(heads)) if heads[d] == 0]
+        if len(root_children) > 1:
+            best_heads, best_value = heads, NEG
+            for root in root_children:
+                constrained = scores.copy()
+                constrained[0, :] = NEG
+                constrained[0, root] = scores[0, root]
+                candidate = chu_liu_edmonds(constrained)
+                value = sum(constrained[candidate[d], d]
+                            for d in range(1, len(candidate)))
+                if value > best_value:
+                    best_heads, best_value = candidate, value
+            heads = best_heads
+        return [h - 1 for h in heads[1:]]
+
+    def parse(self, sentence: str | list[str]) -> DependencyGraph:
+        """Parse to a :class:`DependencyGraph` with rule-based labels."""
+        base = self._rule_parser.parse(sentence)  # reuse tokens/lemmas
+        tokens = base.tokens
+        graph = DependencyGraph(tokens)
+        if not tokens:
+            return graph
+        heads = self.predict_heads(tokens)
+        for d, h in enumerate(heads):
+            if h < 0:
+                graph.add("root", ROOT_INDEX, d)
+            else:
+                graph.add(self._label(tokens, h, d), h, d)
+        return graph
+
+    @staticmethod
+    def _label(tokens: list[Token], h: int, d: int) -> str:
+        """Deterministic relation label from the tag pair."""
+        head, dep = tokens[h], tokens[d]
+        if dep.tag in ("DT", "PDT", "PRP$"):
+            return "det"
+        if dep.tag in ("JJ", "JJR", "JJS") and head.tag in NOUN_TAGS:
+            return "amod"
+        if dep.tag == "CD":
+            return "num"
+        if dep.tag in NOUN_TAGS and head.tag in NOUN_TAGS:
+            return "compound"
+        if dep.tag == "IN":
+            return "prep"
+        if dep.tag == "TO":
+            return "mark"
+        if dep.tag in ("RB", "RBR", "RBS"):
+            return "advmod"
+        if dep.tag == "MD":
+            return "aux"
+        if head.tag in VERB_TAGS and dep.tag in NOUN_TAGS | {"PRP"}:
+            return "nsubj" if d < h else "dobj"
+        if head.tag in VERB_TAGS and dep.tag in VERB_TAGS:
+            return "xcomp" if d > h else "dep"
+        return "dep"
+
+    # -- training ---------------------------------------------------------------
+
+    def train_from_parser(
+        self,
+        sentences: Iterable[str | list[str]],
+        iterations: int = 3,
+        seed: int = 1,
+    ) -> None:
+        """Structured-perceptron training on the rule parser's silver
+        head assignments."""
+        examples: list[tuple[list[Token], list[int]]] = []
+        for sentence in sentences:
+            graph = self._rule_parser.parse(sentence)
+            if len(graph.tokens) < 2:
+                continue
+            gold = self._silver_heads(graph)
+            examples.append((graph.tokens, gold))
+
+        rng = np.random.default_rng(seed)
+        order = np.arange(len(examples))
+        for _ in range(iterations):
+            rng.shuffle(order)
+            for idx in order:
+                tokens, gold = examples[idx]
+                predicted = self.predict_heads(tokens)
+                self._step += 1
+                for d, (gold_h, pred_h) in enumerate(zip(gold, predicted)):
+                    if gold_h == pred_h:
+                        continue
+                    for feat in self._arc_features(tokens, gold_h, d):
+                        self._update(feat, +1.0)
+                    for feat in self._arc_features(tokens, pred_h, d):
+                        self._update(feat, -1.0)
+        self._average()
+        self._trained = True
+
+    @staticmethod
+    def _silver_heads(graph: DependencyGraph) -> list[int]:
+        """Head function from a rule-parser graph (first governor wins;
+        unattached tokens fall back to the root or token 0)."""
+        n = len(graph.tokens)
+        heads = [None] * n
+        root = graph.root
+        for dep in graph.dependencies:
+            if dep.relation == "root":
+                heads[dep.dependent] = -1
+            elif heads[dep.dependent] is None and dep.governor != dep.dependent:
+                heads[dep.dependent] = dep.governor
+        anchor = root.index if root is not None else 0
+        for i in range(n):
+            if heads[i] is None:
+                heads[i] = -1 if i == anchor else anchor
+        # break any accidental cycles by re-rooting offenders
+        for i in range(n):
+            seen = set()
+            v = i
+            while v != -1 and v not in seen:
+                seen.add(v)
+                v = heads[v]
+            if v != -1:  # cycle detected
+                heads[v] = -1 if v == anchor else anchor
+                if heads[v] == v:
+                    heads[v] = -1
+        return heads
+
+    def _update(self, feature: str, delta: float) -> None:
+        self._totals[feature] += (self._step - self._steps[feature]) \
+            * self.weights[feature]
+        self._steps[feature] = self._step
+        self.weights[feature] += delta
+
+    def _average(self) -> None:
+        for feature in list(self.weights):
+            total = self._totals[feature] + (
+                self._step - self._steps[feature]) * self.weights[feature]
+            self.weights[feature] = total / max(self._step, 1)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize the trained arc weights as JSON."""
+        import json
+
+        if not self._trained:
+            raise RuntimeError("cannot save an untrained parser")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"weights": dict(self.weights)}, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "MSTParser":
+        """Load a parser previously written by :meth:`save`."""
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        parser = cls()
+        parser.weights.update(payload["weights"])
+        parser._trained = True
+        return parser
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def unlabeled_attachment(
+        self, sentences: Iterable[str | list[str]]
+    ) -> float:
+        """UAS agreement with the rule parser's silver heads."""
+        correct = total = 0
+        for sentence in sentences:
+            graph = self._rule_parser.parse(sentence)
+            if len(graph.tokens) < 2:
+                continue
+            gold = self._silver_heads(graph)
+            predicted = self.predict_heads(graph.tokens)
+            for g, p in zip(gold, predicted):
+                total += 1
+                correct += g == p
+        return correct / total if total else 0.0

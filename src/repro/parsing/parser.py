@@ -1,0 +1,520 @@
+"""Deterministic head-attachment dependency parser.
+
+The parser assigns Stanford-typed dependencies over the chunk layer:
+
+1. tag tokens (rule tagger) and compute lemmas;
+2. chunk into base NPs and verb groups (VGs);
+3. attach intra-NP relations (``det``, ``amod``, ``compound``, ``num``);
+4. attach verb-group internals (``aux``, ``auxpass``, ``neg``);
+5. pick the sentence **root** (first finite, non-subordinate,
+   non-infinitival verb group; else the first VG; imperatives are
+   naturally root-initial) and link coordinated main verbs with
+   ``conj``;
+6. attach **subjects** (``nsubj`` / ``nsubjpass`` for passive groups);
+7. attach objects (``dobj``), prepositions (``prep`` / ``pobj`` /
+   ``mark``) and clausal complements: an infinitive or gerund directly
+   after a verbal/adjectival governor is an **xcomp** (open clausal
+   complement — the relation Selector 2 inspects); an infinitive
+   separated from the governor by other material is an ``advcl``
+   (adverbial/purpose clause — the structure Selector 5's SRL reads).
+
+The output is intentionally a *subset* of a full Stanford parse: the
+relations Egeria consumes, computed with transparent rules.
+"""
+
+from __future__ import annotations
+
+from repro.parsing.chunker import Chunk, Chunker
+from repro.parsing.graph import ROOT_INDEX, DependencyGraph, Token
+from repro.tagging.tagger import RuleTagger
+from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS, to_wordnet_pos
+from repro.textproc.lemmatizer import Lemmatizer
+from repro.textproc.word_tokenizer import word_tokenize
+
+_SUBORDINATORS = frozenset(
+    {"if", "because", "since", "while", "whereas", "although", "though",
+     "unless", "until", "when", "whenever", "where", "wherever", "as",
+     "before", "after", "that", "whether", "so"}
+)
+_RELATIVIZERS = frozenset({"that", "which", "who", "whom", "whose"})
+_BE_LEMMA = "be"
+_COPULAR_TAGS = frozenset({"JJ", "JJR", "JJS", "VBN"})
+
+
+class DependencyParser:
+    """Parse sentences into :class:`DependencyGraph` objects."""
+
+    def __init__(self) -> None:
+        self._tagger = RuleTagger()
+        self._chunker = Chunker()
+        self._lemmatizer = Lemmatizer()
+
+    # -- public API -----------------------------------------------------
+
+    def parse(self, sentence: str | list[str]) -> DependencyGraph:
+        """Parse a raw sentence string or a pre-tokenized token list."""
+        raw_tokens = (word_tokenize(sentence)
+                      if isinstance(sentence, str) else list(sentence))
+        tagged = self._tagger.tag(raw_tokens)
+        tokens = [
+            Token(i, text, tag, self._lemma(text, tag))
+            for i, (text, tag) in enumerate(tagged)
+        ]
+        graph = DependencyGraph(tokens)
+        if not tokens:
+            return graph
+        chunks = self._chunker.chunk(tokens)
+        nps = [c for c in chunks if c.kind == "NP"]
+        vgs = [c for c in chunks if c.kind == "VG"]
+
+        self._attach_np_internals(graph, nps)
+        self._attach_vg_internals(graph, vgs)
+        root_vg = self._select_root(graph, tokens, vgs)
+        self._attach_subjects(graph, tokens, nps, vgs)
+        self._attach_objects_and_preps(graph, tokens, nps, vgs)
+        self._attach_clausal_complements(graph, tokens, vgs, nps)
+        self._attach_conjunctions(graph, tokens, vgs, root_vg)
+        return graph
+
+    def _lemma(self, text: str, tag: str) -> str:
+        pos = to_wordnet_pos(tag)
+        if pos in ("v", "n", "a"):
+            return self._lemmatizer.lemmatize(text, pos)
+        return text.lower()
+
+    # -- NP internals ------------------------------------------------------
+
+    @staticmethod
+    def _attach_np_internals(graph: DependencyGraph, nps: list[Chunk]) -> None:
+        for np in nps:
+            head = np.head
+            for i in range(np.start, np.end + 1):
+                if i == head:
+                    continue
+                tag = graph.tokens[i].tag
+                if tag in ("DT", "PDT", "PRP$"):
+                    graph.add("det", head, i)
+                elif tag in ("JJ", "JJR", "JJS", "VBN"):
+                    graph.add("amod", head, i)
+                elif tag == "CD":
+                    graph.add("num", head, i)
+                elif tag in NOUN_TAGS or tag == "SYM":
+                    graph.add("compound", head, i)
+
+    # -- VG internals --------------------------------------------------------
+
+    @staticmethod
+    def _attach_vg_internals(graph: DependencyGraph, vgs: list[Chunk]) -> None:
+        for vg in vgs:
+            head = vg.head
+            head_token = graph.tokens[head]
+            passive = head_token.tag == "VBN" and any(
+                graph.tokens[i].lemma == _BE_LEMMA
+                for i in range(vg.start, head)
+            )
+            for i in range(vg.start, head):
+                token = graph.tokens[i]
+                if token.lower in ("not", "n't", "never"):
+                    graph.add("neg", head, i)
+                elif token.tag == "MD":
+                    graph.add("aux", head, i)
+                elif token.tag in VERB_TAGS:
+                    if passive and token.lemma == _BE_LEMMA:
+                        graph.add("auxpass", head, i)
+                    else:
+                        graph.add("aux", head, i)
+
+    @staticmethod
+    def is_passive_group(graph: DependencyGraph, vg: Chunk) -> bool:
+        """True if the verb group is a be-passive (``be`` + VBN head)."""
+        head_token = graph.tokens[vg.head]
+        return head_token.tag == "VBN" and any(
+            graph.tokens[i].lemma == _BE_LEMMA
+            for i in range(vg.start, vg.head)
+        )
+
+    # -- root selection ---------------------------------------------------------
+
+    def _select_root(
+        self,
+        graph: DependencyGraph,
+        tokens: list[Token],
+        vgs: list[Chunk],
+    ) -> Chunk | None:
+        if not vgs:
+            return None
+        best = None
+        for vg in vgs:
+            if self._is_infinitival(tokens, vg):
+                continue
+            if self._is_subordinate(tokens, vg):
+                continue
+            if tokens[vg.head].tag == "VBG" and vg.start == vg.head:
+                # bare gerund group ("using buffers") is never the root
+                continue
+            best = vg
+            break
+        if best is None:
+            best = vgs[0]
+        graph.add("root", ROOT_INDEX, best.head)
+        return best
+
+    @staticmethod
+    def _is_infinitival(tokens: list[Token], vg: Chunk) -> bool:
+        j = vg.start - 1
+        while j >= 0 and tokens[j].tag in ("RB", "RBR"):
+            j -= 1
+        return j >= 0 and tokens[j].tag == "TO"
+
+    @staticmethod
+    def _is_subordinate(tokens: list[Token], vg: Chunk) -> bool:
+        """A VG is subordinate if a subordinator/relativizer precedes it
+        in the same comma-delimited segment."""
+        j = vg.start - 1
+        while j >= 0:
+            token = tokens[j]
+            if token.tag in (",", ".", ":", "(", ")"):
+                return False
+            if token.tag in VERB_TAGS or token.tag == "MD":
+                # crossed into an earlier clause; any subordinator
+                # further left governs that verb, not this one
+                return False
+            if token.lower in _RELATIVIZERS and token.tag in ("WDT", "WP"):
+                return True
+            if token.lower in _SUBORDINATORS and token.tag == "IN":
+                return True
+            if token.tag == "WRB":  # when / where / why / how clauses
+                return True
+            j -= 1
+        return False
+
+    # -- subjects ------------------------------------------------------------
+
+    def _attach_subjects(
+        self,
+        graph: DependencyGraph,
+        tokens: list[Token],
+        nps: list[Chunk],
+        vgs: list[Chunk],
+    ) -> None:
+        for vg in vgs:
+            if self._is_infinitival(tokens, vg):
+                continue  # infinitives have no overt subject
+            head_tag = tokens[vg.head].tag
+            if head_tag == "VBG" and vg.start == vg.head:
+                continue  # bare gerunds have no overt subject
+            subject_np = self._find_subject_np(tokens, nps, vgs, vg)
+            if subject_np is not None:
+                relation = ("nsubjpass" if self.is_passive_group(graph, vg)
+                            else "nsubj")
+                graph.add(relation, vg.head, subject_np.head)
+                continue
+            # gerund subject: "Pinning takes time"
+            j = vg.start - 1
+            while j >= 0 and tokens[j].tag in ("RB", "RBR"):
+                j -= 1
+            if j >= 0 and tokens[j].tag == "VBG":
+                relation = ("nsubjpass" if self.is_passive_group(graph, vg)
+                            else "nsubj")
+                graph.add(relation, vg.head, j)
+
+    def _find_subject_np(
+        self,
+        tokens: list[Token],
+        nps: list[Chunk],
+        vgs: list[Chunk],
+        vg: Chunk,
+    ) -> Chunk | None:
+        """Subject NP for *vg*: the leftmost NP in the same
+        comma-delimited segment that is neither a prepositional object
+        nor a verb object; falls back to the directly adjacent NP."""
+        segment_start = 0
+        for i in range(vg.start - 1, -1, -1):
+            if tokens[i].tag in (",", ";", ":", "(", ")"):
+                segment_start = i + 1
+                break
+        in_segment = [np for np in nps
+                      if np.start >= segment_start and np.end < vg.start]
+        for np in in_segment:  # leftmost first
+            if self._np_in_pp(tokens, np) or self._np_is_object(tokens, np):
+                continue
+            # no other finite verb group may intervene between NP and
+            # VG (relative-clause verbs and bare gerunds don't count:
+            # "The first step in maximizing ... is ...")
+            if any(other.head > np.end and other.end < vg.start
+                   and not self._is_relative_clause_verb(tokens, other)
+                   and not (tokens[other.head].tag == "VBG"
+                            and other.start == other.head)
+                   for other in vgs):
+                continue
+            return np
+        # fallback: directly adjacent NP (only adverbs/relativizers gap)
+        candidates = [np for np in nps if np.end < vg.start]
+        if not candidates:
+            return None
+        np = max(candidates, key=lambda c: c.end)
+        for i in range(np.end + 1, vg.start):
+            token = tokens[i]
+            if token.tag in ("RB", "RBR", "RBS"):
+                continue
+            if token.tag in ("WDT", "WP") and token.lower in _RELATIVIZERS:
+                continue
+            return None
+        if self._np_is_object(tokens, np):
+            return None
+        return np
+
+    @staticmethod
+    def _np_in_pp(tokens: list[Token], np: Chunk) -> bool:
+        j = np.start - 1
+        return j >= 0 and tokens[j].tag in ("IN", "TO")
+
+    @staticmethod
+    def _np_is_object(tokens: list[Token], np: Chunk) -> bool:
+        j = np.start - 1
+        while j >= 0 and tokens[j].tag in ("RB", "RBR"):
+            j -= 1
+        return j >= 0 and tokens[j].tag in VERB_TAGS
+
+    @staticmethod
+    def _is_relative_clause_verb(tokens: list[Token], vg: Chunk) -> bool:
+        j = vg.start - 1
+        while j >= 0 and tokens[j].tag in ("RB", "RBR"):
+            j -= 1
+        return j >= 0 and tokens[j].tag in ("WDT", "WP")
+
+    # -- objects and prepositional attachment -------------------------------
+
+    def _attach_objects_and_preps(
+        self,
+        graph: DependencyGraph,
+        tokens: list[Token],
+        nps: list[Chunk],
+        vgs: list[Chunk],
+    ) -> None:
+        n = len(tokens)
+        np_by_start = {np.start: np for np in nps}
+        vg_heads = {vg.head for vg in vgs}
+
+        # dobj: NP directly after a VG head (allowing adverbs)
+        for vg in vgs:
+            i = vg.end + 1
+            while i < n and tokens[i].tag in ("RB", "RBR"):
+                i += 1
+            np = np_by_start.get(i)
+            if np is not None and not self.is_passive_group(graph, vg):
+                graph.add("dobj", vg.head, np.head)
+
+        # prep / pobj / mark
+        for i, token in enumerate(tokens):
+            if token.tag == "IN":
+                # subordinating use -> mark on the next VG head
+                next_vg = next((vg for vg in vgs if vg.start > i), None)
+                next_np = next((np for np in nps if np.start > i), None)
+                is_subordinating = (
+                    token.lower in _SUBORDINATORS
+                    and next_vg is not None
+                    and (next_np is None or next_vg.start <= next_np.start
+                         or self._np_is_subject_of(tokens, next_np, next_vg))
+                )
+                if is_subordinating:
+                    graph.add("mark", next_vg.head, i)
+                    continue
+                governor = self._prep_governor(tokens, nps, vg_heads, i)
+                if governor is not None:
+                    graph.add("prep", governor, i)
+                if next_np is not None and self._adjacent(tokens, i, next_np):
+                    graph.add("pobj", i, next_np.head)
+            elif token.tag == "TO":
+                # mark on the following infinitive verb
+                j = i + 1
+                while j < n and tokens[j].tag in ("RB", "RBR"):
+                    j += 1
+                if j < n and tokens[j].tag in VERB_TAGS:
+                    graph.add("mark", j, i)
+
+    @staticmethod
+    def _np_is_subject_of(tokens: list[Token], np: Chunk, vg: Chunk) -> bool:
+        if np.end >= vg.start:
+            return False
+        return all(
+            tokens[i].tag in ("RB", "RBR", "RBS", "WDT", "WP")
+            for i in range(np.end + 1, vg.start)
+        )
+
+    @staticmethod
+    def _adjacent(tokens: list[Token], i: int, np: Chunk) -> bool:
+        return all(tokens[j].tag in ("RB",) for j in range(i + 1, np.start))
+
+    @staticmethod
+    def _prep_governor(
+        tokens: list[Token],
+        nps: list[Chunk],
+        vg_heads: set[int],
+        i: int,
+    ) -> int | None:
+        """Nearest NP head or verb head to the left of preposition *i*."""
+        for j in range(i - 1, -1, -1):
+            if j in vg_heads:
+                return j
+            np = next((np for np in nps if np.head == j), None)
+            if np is not None:
+                return j
+            if tokens[j].tag in (",", ";", ":"):
+                continue
+        return None
+
+    # -- clausal complements ---------------------------------------------------
+
+    def _attach_clausal_complements(
+        self,
+        graph: DependencyGraph,
+        tokens: list[Token],
+        vgs: list[Chunk],
+        nps: list[Chunk],
+    ) -> None:
+        n = len(tokens)
+        # candidate governors: verb-group heads and predicative
+        # adjectives/participles after a copula ("is important",
+        # "is recommended")
+        governors: list[int] = [vg.head for vg in vgs]
+        for vg in vgs:
+            if tokens[vg.head].lemma == _BE_LEMMA:
+                j = vg.end + 1
+                while j < n and tokens[j].tag in ("RB", "RBR"):
+                    j += 1
+                if j < n and tokens[j].tag in _COPULAR_TAGS:
+                    governors.append(j)
+
+        vg_start = {vg.start: vg for vg in vgs}
+        for gov in sorted(set(governors)):
+            j = gov + 1
+            while j < n and tokens[j].tag in ("RB", "RBR"):
+                j += 1
+            if j >= n:
+                continue
+            # gerund complement directly after the governor:
+            # "prefer using", "avoid incurring"
+            if tokens[j].tag == "VBG" and j != gov:
+                graph.add("xcomp", gov, j)
+                continue
+            # infinitive directly after the governor:
+            # "leveraged to avoid", "recommended to queue",
+            # "important to maximize"
+            if tokens[j].tag == "TO":
+                k = j + 1
+                while k < n and tokens[k].tag in ("RB", "RBR"):
+                    k += 1
+                if k < n and tokens[k].tag in VERB_TAGS:
+                    graph.add("xcomp", gov, k)
+                continue
+
+        # infinitives NOT adjacent to their governor are adverbial
+        # (purpose) clauses on the nearest preceding verb:
+        # "use conditional compilation to improve performance"
+        xcomp_deps = {d.dependent for d in graph.relations("xcomp")}
+        for i, token in enumerate(tokens):
+            if token.tag != "TO":
+                continue
+            k = i + 1
+            while k < n and tokens[k].tag in ("RB", "RBR"):
+                k += 1
+            if k >= n or tokens[k].tag not in VERB_TAGS:
+                continue
+            if k in xcomp_deps:
+                continue
+            anchor = self._nearest_verbal_anchor(tokens, vgs, i)
+            if anchor is not None and anchor != k:
+                graph.add("advcl", anchor, k)
+
+    @staticmethod
+    def _nearest_verbal_anchor(
+        tokens: list[Token], vgs: list[Chunk], i: int
+    ) -> int | None:
+        best = None
+        for vg in vgs:
+            if vg.head < i:
+                best = vg.head
+            else:
+                break
+        return best
+
+    # -- coordination -----------------------------------------------------------
+
+    def _attach_conjunctions(
+        self,
+        graph: DependencyGraph,
+        tokens: list[Token],
+        vgs: list[Chunk],
+        root_vg: Chunk | None,
+    ) -> None:
+        self._attach_np_coordination(graph, tokens)
+        if root_vg is None:
+            return
+        n = len(tokens)
+        for vg in vgs:
+            if vg.head <= root_vg.head:
+                continue
+            if self._is_infinitival(tokens, vg):
+                continue
+            if self._is_subordinate(tokens, vg):
+                continue
+            if graph.has_relation(vg.head, "xcomp") \
+                    or graph.has_relation(vg.head, "advcl"):
+                continue
+            # coordinated main verb if a CC (or ", so") links back
+            j = vg.start - 1
+            seen_cc = None
+            while j >= 0:
+                token = tokens[j]
+                if token.tag == "CC":
+                    seen_cc = j
+                    break
+                if token.tag in (",", ":"):
+                    j -= 1
+                    continue
+                break
+            if seen_cc is not None:
+                graph.add("cc", root_vg.head, seen_cc)
+                graph.add("conj", root_vg.head, vg.head)
+
+
+    @staticmethod
+    def _attach_np_coordination(
+        graph: DependencyGraph, tokens: list[Token]
+    ) -> None:
+        """cc/conj for coordinated noun phrases ("buffers and images",
+        "the host and the device")."""
+        n = len(tokens)
+        noun_like = NOUN_TAGS | {"PRP"}
+        for i, token in enumerate(tokens):
+            if token.tag != "CC" or token.lower not in ("and", "or",
+                                                        "nor"):
+                continue
+            if i == 0 or i + 1 >= n:
+                continue
+            left = tokens[i - 1]
+            if left.tag not in noun_like:
+                continue
+            # find the head of the NP to the right (skip determiners
+            # and modifiers)
+            j = i + 1
+            head = None
+            while j < n and tokens[j].tag in ("DT", "PRP$", "JJ", "JJR",
+                                              "JJS", "CD", "VBN",
+                                              *NOUN_TAGS):
+                if tokens[j].tag in noun_like:
+                    head = j
+                j += 1
+            if head is None:
+                continue
+            graph.add("cc", left.index, i)
+            graph.add("conj", left.index, head)
+
+
+_DEFAULT = DependencyParser()
+
+
+def parse(sentence: str | list[str]) -> DependencyGraph:
+    """Parse *sentence* with a shared :class:`DependencyParser`."""
+    return _DEFAULT.parse(sentence)

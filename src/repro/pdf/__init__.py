@@ -1,0 +1,31 @@
+"""Minimal PDF substrate (Textract replacement for NVVP reports).
+
+The paper's advising tools accept "a performance report of a program
+execution" uploaded as "a PDF file output from NVIDIA NVVP" (§3.2);
+the artifact handled the parsing with Textract.  Neither NVVP nor
+Textract is available offline, so this package provides both ends of
+that pipeline:
+
+* :mod:`repro.pdf.writer` — a small PDF 1.4 generator (text pages,
+  Helvetica, optional FlateDecode compression) used to produce
+  synthetic NVVP report PDFs;
+* :mod:`repro.pdf.reader` — a text extractor that parses PDF objects,
+  inflates FlateDecode streams, and interprets the text-showing
+  operators (``Tj``, ``TJ``, ``'``) with line-break heuristics;
+* :mod:`repro.pdf.nvvp` — the glue: render an
+  :class:`~repro.profiler.report.NVVPReport` to PDF and extract
+  performance issues back out of any such PDF.
+"""
+
+from repro.pdf.writer import PDFWriter, text_to_pdf
+from repro.pdf.reader import PDFReader, extract_text
+from repro.pdf.nvvp import report_to_pdf, issues_from_pdf
+
+__all__ = [
+    "PDFWriter",
+    "text_to_pdf",
+    "PDFReader",
+    "extract_text",
+    "report_to_pdf",
+    "issues_from_pdf",
+]

@@ -1,0 +1,29 @@
+"""NVVP report <-> PDF glue.
+
+Implements the paper's upload path end to end: the profiler report is
+rendered to a PDF (what NVVP exports), and the advising tool extracts
+the performance issues back out of the PDF before forming queries.
+"""
+
+from __future__ import annotations
+
+from repro.pdf.reader import extract_text
+from repro.pdf.writer import text_to_pdf
+from repro.profiler.parser import NVVPReportParser
+from repro.profiler.report import NVVPReport, PerformanceIssue
+
+
+def report_to_pdf(report: NVVPReport, compress: bool = True) -> bytes:
+    """Render *report* as a PDF file (bytes)."""
+    return text_to_pdf(report.to_text(), compress=compress)
+
+
+def issues_from_pdf(data: bytes) -> list[PerformanceIssue]:
+    """Extract the performance issues from an NVVP report PDF."""
+    text = extract_text(data)
+    return NVVPReportParser().extract_issues(text)
+
+
+def queries_from_pdf(data: bytes) -> list[str]:
+    """Extract retrieval queries (title + description) from a PDF."""
+    return [issue.query_text() for issue in issues_from_pdf(data)]

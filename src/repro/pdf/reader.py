@@ -1,0 +1,199 @@
+"""Minimal PDF text extractor.
+
+Scope: text-based PDFs in the style vendor tools export — content
+streams (optionally FlateDecode-compressed) that draw text with the
+``Tj`` / ``TJ`` / ``'`` operators.  The extractor
+
+1. scans the file for ``N 0 obj ... endobj`` objects (robust to
+   broken cross-reference tables — files are scanned, not trusted);
+2. inflates streams whose dictionary declares ``/FlateDecode``;
+3. tokenizes each content stream and interprets the text operators,
+   emitting a newline on ``T*``, ``Td``/``TD`` with a negative y, and
+   the ``'`` (move-and-show) operator;
+4. decodes literal strings (with ``\\``-escapes and octal codes) and
+   hex strings.
+
+Good enough to round-trip :mod:`repro.pdf.writer` output and typical
+report exports; images, encodings beyond Latin-1, and encrypted files
+are out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+_OBJ_RE = re.compile(rb"(\d+)\s+(\d+)\s+obj(.*?)endobj", re.DOTALL)
+_STREAM_RE = re.compile(rb"stream\r?\n(.*?)\r?\nendstream", re.DOTALL)
+_STREAM_START_RE = re.compile(rb"stream\r?\n")
+_LENGTH_RE = re.compile(rb"/Length\s+(\d+)")
+
+
+class PDFReader:
+    """Extract text from PDF bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        if not data.startswith(b"%PDF"):
+            raise ValueError("not a PDF file (missing %PDF header)")
+        self.data = data
+
+    @classmethod
+    def from_file(cls, path: str) -> "PDFReader":
+        with open(path, "rb") as handle:
+            return cls(handle.read())
+
+    # -- public API --------------------------------------------------------
+
+    def extract_text(self) -> str:
+        """All text drawn by the document's content streams."""
+        chunks: list[str] = []
+        for stream in self._content_streams():
+            text = _interpret_content(stream)
+            if text:
+                chunks.append(text)
+        return "\n".join(chunks)
+
+    # -- object layer ---------------------------------------------------------
+
+    def _content_streams(self) -> list[bytes]:
+        streams: list[bytes] = []
+        for match in _OBJ_RE.finditer(self.data):
+            body = match.group(3)
+            start_match = _STREAM_START_RE.search(body)
+            if start_match is None:
+                continue
+            header = body[: start_match.start()]
+            # prefer the declared /Length: binary stream data may end
+            # in \r or contain 'endstream'-lookalike bytes that defeat
+            # a delimiter regex
+            length_match = _LENGTH_RE.search(header)
+            if length_match is not None:
+                start = start_match.end()
+                raw = body[start: start + int(length_match.group(1))]
+            else:
+                stream_match = _STREAM_RE.search(body)
+                if stream_match is None:
+                    continue
+                raw = stream_match.group(1)
+            if b"/FlateDecode" in header:
+                try:
+                    raw = zlib.decompress(raw)
+                except zlib.error:
+                    continue  # not a content stream we can read
+            # only keep streams that look like text content
+            if b"BT" in raw and (b"Tj" in raw or b"TJ" in raw
+                                 or b"'" in raw):
+                streams.append(raw)
+        return streams
+
+
+# -- content-stream interpretation ----------------------------------------
+
+_TOKEN_RE = re.compile(
+    rb"""
+      \((?:[^()\\]|\\.)*\)          # literal string (with escapes)
+    | <[0-9A-Fa-f\s]*>              # hex string
+    | \[|\]
+    | /[^\s/\[\]()<>]*              # name
+    | [-+]?\d*\.?\d+                # number
+    | [A-Za-z'"*]+                  # operator
+    """,
+    re.VERBOSE,
+)
+
+
+def _decode_literal(raw: bytes) -> str:
+    """Decode a PDF literal string body (without the parentheses)."""
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i:i + 1]
+        if ch == b"\\" and i + 1 < len(raw):
+            nxt = raw[i + 1:i + 2]
+            if nxt in b"nrtbf":
+                out.append({"n": "\n", "r": "\r", "t": "\t",
+                            "b": "\b", "f": "\f"}[nxt.decode()])
+                i += 2
+                continue
+            if nxt.isdigit():
+                octal = raw[i + 1:i + 4]
+                digits = bytes(c for c in octal if chr(c).isdigit())
+                out.append(chr(int(digits[:3], 8)))
+                i += 1 + len(digits[:3])
+                continue
+            out.append(nxt.decode("latin-1"))
+            i += 2
+            continue
+        out.append(ch.decode("latin-1"))
+        i += 1
+    return "".join(out)
+
+
+def _decode_hex(raw: bytes) -> str:
+    digits = re.sub(rb"\s", b"", raw)
+    if len(digits) % 2:
+        digits += b"0"
+    return bytes.fromhex(digits.decode("ascii")).decode("latin-1")
+
+
+def _interpret_content(stream: bytes) -> str:
+    """Run the text operators of one content stream."""
+    lines: list[str] = []
+    current: list[str] = []
+    operand_strings: list[str] = []
+    numbers: list[float] = []
+    in_array = False
+
+    def end_line() -> None:
+        lines.append("".join(current))
+        current.clear()
+
+    for match in _TOKEN_RE.finditer(stream):
+        token = match.group(0)
+        if token.startswith(b"("):
+            operand_strings.append(_decode_literal(token[1:-1]))
+        elif token.startswith(b"<"):
+            operand_strings.append(_decode_hex(token[1:-1]))
+        elif token == b"[":
+            in_array = True
+        elif token == b"]":
+            in_array = False
+        elif token.startswith(b"/"):
+            continue
+        elif re.fullmatch(rb"[-+]?\d*\.?\d+", token):
+            numbers.append(float(token))
+        else:
+            operator = token.decode("latin-1")
+            if operator == "Tj":
+                if operand_strings:
+                    current.append(operand_strings[-1])
+            elif operator == "TJ":
+                current.append("".join(operand_strings))
+            elif operator == "'":
+                end_line()
+                if operand_strings:
+                    current.append(operand_strings[-1])
+            elif operator == '"':
+                end_line()
+                if operand_strings:
+                    current.append(operand_strings[-1])
+            elif operator == "T*":
+                end_line()
+            elif operator in ("Td", "TD"):
+                if len(numbers) >= 2 and numbers[-1] < 0:
+                    end_line()
+            elif operator == "ET":
+                if current:
+                    end_line()
+            operand_strings = []
+            numbers = []
+            if not in_array:
+                continue
+    if current:
+        end_line()
+    return "\n".join(lines)
+
+
+def extract_text(data: bytes) -> str:
+    """Extract text from PDF *data* bytes."""
+    return PDFReader(data).extract_text()

@@ -1,0 +1,138 @@
+"""Minimal PDF 1.4 writer.
+
+Generates standards-conforming single- or multi-page text PDFs: one
+content stream per page drawing lines of text with the ``Tj`` operator
+in Helvetica, a correct cross-reference table, and optional
+FlateDecode-compressed content streams.  Feature-scoped to what the
+NVVP-report round trip needs, but the output opens in any PDF viewer.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+PAGE_WIDTH = 612   # US Letter, points
+PAGE_HEIGHT = 792
+MARGIN = 54
+FONT_SIZE = 10
+LEADING = 13
+
+_LINES_PER_PAGE = (PAGE_HEIGHT - 2 * MARGIN) // LEADING
+
+
+def _escape_text(text: str) -> str:
+    """Escape a string for a PDF literal string object."""
+    out = []
+    for ch in text:
+        if ch in "\\()":
+            out.append("\\" + ch)
+        elif ord(ch) < 32 or ord(ch) > 126:
+            out.append(f"\\{ord(ch) & 0xFF:03o}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+class PDFWriter:
+    """Accumulate text lines, then serialize a PDF document."""
+
+    def __init__(self, compress: bool = True) -> None:
+        self.compress = compress
+        self._lines: list[str] = []
+
+    # -- content -----------------------------------------------------------
+
+    def add_line(self, line: str = "") -> None:
+        """Append one line of text (empty string = blank line)."""
+        self._lines.append(line)
+
+    def add_text(self, text: str) -> None:
+        """Append multi-line *text*."""
+        for line in text.splitlines():
+            self.add_line(line)
+
+    # -- serialization --------------------------------------------------------
+
+    def tobytes(self) -> bytes:
+        """Serialize the accumulated text as a PDF file."""
+        pages = [self._lines[i:i + _LINES_PER_PAGE]
+                 for i in range(0, max(len(self._lines), 1),
+                                _LINES_PER_PAGE)]
+        objects: list[bytes] = []
+
+        # object numbering: 1 catalog, 2 pages tree, 3 font,
+        # then (content, page) pairs
+        n_pages = len(pages)
+        page_object_numbers = [4 + 2 * i + 1 for i in range(n_pages)]
+        kids = " ".join(f"{num} 0 R" for num in page_object_numbers)
+
+        objects.append(b"<< /Type /Catalog /Pages 2 0 R >>")
+        objects.append(
+            f"<< /Type /Pages /Kids [{kids}] /Count {n_pages} >>"
+            .encode("ascii"))
+        objects.append(
+            b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>")
+
+        for index, page_lines in enumerate(pages):
+            stream = self._page_stream(page_lines)
+            if self.compress:
+                data = zlib.compress(stream)
+                header = (f"<< /Length {len(data)} /Filter /FlateDecode >>"
+                          .encode("ascii"))
+            else:
+                data = stream
+                header = f"<< /Length {len(data)} >>".encode("ascii")
+            objects.append(
+                header + b"\nstream\n" + data + b"\nendstream")
+            objects.append(
+                (f"<< /Type /Page /Parent 2 0 R "
+                 f"/MediaBox [0 0 {PAGE_WIDTH} {PAGE_HEIGHT}] "
+                 f"/Contents {4 + 2 * index} 0 R "
+                 f"/Resources << /Font << /F1 3 0 R >> >> >>")
+                .encode("ascii"))
+
+        return self._assemble(objects)
+
+    def write(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.tobytes())
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _page_stream(lines: list[str]) -> bytes:
+        parts = ["BT", f"/F1 {FONT_SIZE} Tf", f"{LEADING} TL",
+                 f"{MARGIN} {PAGE_HEIGHT - MARGIN} Td"]
+        for line in lines:
+            if line:
+                parts.append(f"({_escape_text(line)}) Tj")
+            parts.append("T*")
+        parts.append("ET")
+        return "\n".join(parts).encode("latin-1")
+
+    @staticmethod
+    def _assemble(objects: list[bytes]) -> bytes:
+        buffer = bytearray(b"%PDF-1.4\n%\xe2\xe3\xcf\xd3\n")
+        offsets: list[int] = []
+        for number, body in enumerate(objects, start=1):
+            offsets.append(len(buffer))
+            buffer += f"{number} 0 obj\n".encode("ascii")
+            buffer += body
+            buffer += b"\nendobj\n"
+        xref_offset = len(buffer)
+        buffer += f"xref\n0 {len(objects) + 1}\n".encode("ascii")
+        buffer += b"0000000000 65535 f \n"
+        for offset in offsets:
+            buffer += f"{offset:010d} 00000 n \n".encode("ascii")
+        buffer += (
+            f"trailer\n<< /Size {len(objects) + 1} /Root 1 0 R >>\n"
+            f"startxref\n{xref_offset}\n%%EOF\n"
+        ).encode("ascii")
+        return bytes(buffer)
+
+
+def text_to_pdf(text: str, compress: bool = True) -> bytes:
+    """One-call conversion of plain text to PDF bytes."""
+    writer = PDFWriter(compress=compress)
+    writer.add_text(text)
+    return writer.tobytes()

@@ -1,0 +1,43 @@
+"""Profiler-report substrate (NVIDIA Visual Profiler stand-in).
+
+The paper's advising tools accept NVVP performance reports as queries
+(§3.2, §4.1): the tool regex-scans the report for subsections carrying
+the ``Optimization:`` marker and turns each into a retrieval query.
+Real NVVP needs NVIDIA hardware, so this package provides
+
+* a faithful textual **report model** (four sections: overview,
+  instruction & memory latency, compute resources, memory bandwidth),
+* a **generator** producing the reports of the paper's four benchmark
+  programs and the case-study kernel,
+* the **parser** that extracts performance issues exactly the way the
+  paper describes, and
+* an analytical **GPU kernel cost model** used by the user-study
+  simulation (paper Table 5) to translate applied optimizations into
+  speedups on two device models.
+"""
+
+from repro.profiler.report import NVVPReport, PerformanceIssue, ReportSection
+from repro.profiler.generator import (
+    REPORT_PROGRAMS,
+    generate_report,
+    case_study_report,
+)
+from repro.profiler.parser import NVVPReportParser, extract_issues
+from repro.profiler.perf_report import HotSpot, PerfReportParser
+from repro.profiler.gpu_model import GPUDevice, GPUKernelModel, OPTIMIZATIONS
+
+__all__ = [
+    "NVVPReport",
+    "PerformanceIssue",
+    "ReportSection",
+    "REPORT_PROGRAMS",
+    "generate_report",
+    "case_study_report",
+    "NVVPReportParser",
+    "extract_issues",
+    "HotSpot",
+    "PerfReportParser",
+    "GPUDevice",
+    "GPUKernelModel",
+    "OPTIMIZATIONS",
+]

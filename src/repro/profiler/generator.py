@@ -1,0 +1,119 @@
+"""Synthetic NVVP report generator.
+
+Produces the profiler reports the paper evaluates with: the four CUDA
+benchmark programs of §4.2 (Table 6) and the case-study sparse-matrix
+normalization kernel of §4.1 (Table 3).  Issue titles match the
+paper's tables verbatim; descriptions paraphrase the NVVP guided-
+analysis text the paper excerpts.
+"""
+
+from __future__ import annotations
+
+from repro.profiler.report import (
+    NVVPReport,
+    PerformanceIssue,
+    ReportSection,
+    SECTION_NAMES,
+)
+
+_LATENCY, _COMPUTE, _BANDWIDTH = SECTION_NAMES[1], SECTION_NAMES[2], SECTION_NAMES[3]
+
+# program name -> list of (section, title, description)
+REPORT_PROGRAMS: dict[str, list[tuple[str, str, str]]] = {
+    # a K-Nearest Neighbor program with thread divergence in the kernel
+    "knnjoin": [
+        (_COMPUTE,
+         "Low Warp Execution Efficiency",
+         "Threads in a warp should have the same branching behavior; "
+         "reduce intra-warp divergence and divergent branches to "
+         "increase warp execution efficiency."),
+        (_COMPUTE,
+         "Divergent Branches",
+         "Divergent branches lower warp execution efficiency; rewrite "
+         "controlling conditions and remove divergent branches in the "
+         "kernel."),
+    ],
+    # knnjoin after task reordering to reduce thread divergence
+    "knnjoin_opt": [
+        (_BANDWIDTH,
+         "Global Memory Alignment and Access Pattern",
+         "Global memory accesses should be aligned and coalesced; "
+         "improve the alignment and access pattern of global memory "
+         "operations, pad arrays to the aligned pitch."),
+    ],
+    # a matrix transpose with many non-coalesced memory accesses
+    "trans": [
+        (_COMPUTE,
+         "GPU Utilization is Limited by Memory Instruction Execution",
+         "Too many memory instructions and transactions are executed; "
+         "rearrange memory access instructions, combine loads into "
+         "fewer transactions, and coalesce accesses of threads in a "
+         "warp."),
+        (_LATENCY,
+         "Instruction Latencies may be Limiting Performance",
+         "Increase resident warps, occupancy and instruction-level "
+         "parallelism to hide instruction latency; tune the dimensions "
+         "of thread blocks and expose independent instructions per "
+         "thread."),
+    ],
+    # trans after optimizing memory accesses via 2D surface memory
+    "trans_opt": [
+        (_BANDWIDTH,
+         "GPU Utilization is Limited by Memory Bandwidth",
+         "The kernel is memory bandwidth bound; reduce data transfers "
+         "from device memory, stage reused data in shared memory tiles, "
+         "use caches to increase memory throughput."),
+    ],
+    # the case-study sparse matrix normalization kernel (norm.cu)
+    "norm": [
+        (_COMPUTE,
+         "GPU Utilization May Be Limited By Register Usage",
+         "Theoretical occupancy is less than 100% but is large enough "
+         "that increasing occupancy may not improve performance. The "
+         "kernel uses 31 registers for each thread (7936 registers for "
+         "each block); register usage limits the number of resident "
+         "blocks per multiprocessor."),
+        (_COMPUTE,
+         "Divergent Branches",
+         "Compute resources are used most efficiently when all threads "
+         "in a warp have the same branching behavior. When this does not "
+         "occur the branch is said to be divergent. Divergent branches "
+         "lower warp execution efficiency which leads to inefficient use "
+         "of the GPU's compute resources."),
+    ],
+}
+
+
+def generate_report(program: str) -> NVVPReport:
+    """Build the :class:`NVVPReport` for one of the known programs."""
+    try:
+        issue_specs = REPORT_PROGRAMS[program]
+    except KeyError:
+        raise ValueError(
+            f"unknown program {program!r}; known: "
+            f"{sorted(REPORT_PROGRAMS)}") from None
+    sections = {name: ReportSection(name) for name in SECTION_NAMES}
+    for section_name, title, description in issue_specs:
+        sections[section_name].issues.append(
+            PerformanceIssue(title, description))
+    # the Overview section summarizes every issue title
+    sections["Overview"].issues = [
+        PerformanceIssue(title, "") for _, title, _ in issue_specs
+    ]
+    kernel = {
+        "knnjoin": "knn_join_kernel",
+        "knnjoin_opt": "knn_join_kernel",
+        "trans": "transpose_kernel",
+        "trans_opt": "transpose_kernel",
+        "norm": "normalize_kernel",
+    }[program]
+    return NVVPReport(
+        program=f"{program}.cu",
+        kernel=kernel,
+        sections=[sections[name] for name in SECTION_NAMES],
+    )
+
+
+def case_study_report() -> NVVPReport:
+    """The §4.1 case-study report (sparse-matrix normalization)."""
+    return generate_report("norm")

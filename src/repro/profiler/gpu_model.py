@@ -1,0 +1,174 @@
+"""Analytical GPU kernel cost model.
+
+Substitute for the physical GPUs of the paper's user study (GeForce
+GTX 780 and GTX 480, Table 5).  A kernel's execution time is modeled
+as a sum of cost components (global-memory traffic, divergence
+serialization, latency stalls, arithmetic, occupancy limits, loop
+overhead, host transfer); each known optimization multiplicatively
+shrinks the components it targets.  Device models differ in their
+component mix and in how much they reward each optimization —
+reproducing the paper's observation that the same optimizations yield
+larger speedups on the newer GTX 780 than on the GTX 480.
+
+The model is deliberately simple: the user-study simulation only needs
+the *relative* structure (more relevant optimizations found => larger
+speedup; diminishing returns; device-dependent ceilings).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+COMPONENTS = (
+    "global_memory",
+    "divergence",
+    "latency",
+    "compute",
+    "occupancy",
+    "loop_overhead",
+    "transfer",
+)
+
+#: optimization name -> {component: fractional reduction}
+OPTIMIZATIONS: dict[str, dict[str, float]] = {
+    # rearrange memory access instructions for coalescing
+    "coalesce_memory": {"global_memory": 0.85},
+    # tile into shared memory to cut redundant global loads
+    "use_shared_memory": {"global_memory": 0.65},
+    # remove the if-else block (paper Figure 5)
+    "remove_divergence": {"divergence": 0.90},
+    # tune the dimensions of thread blocks and grids
+    "tune_block_dims": {"latency": 0.60, "occupancy": 0.40},
+    # #pragma unroll on the key loops
+    "loop_unrolling": {"loop_overhead": 0.70, "compute": 0.20},
+    # maxrregcount / launch bounds to lift occupancy
+    "reduce_register_pressure": {"occupancy": 0.50},
+    # intrinsic / single-precision arithmetic
+    "use_intrinsics": {"compute": 0.50},
+    # pinned host memory for transfers
+    "use_pinned_memory": {"transfer": 0.60},
+}
+
+#: The optimizations actually relevant to the case-study kernel —
+#: what a perfectly-informed student could apply.
+RELEVANT_OPTIMIZATIONS = frozenset(OPTIMIZATIONS)
+
+#: Plausible-looking but irrelevant optimizations students may burn
+#: time on (they do not change the model's components).
+IRRELEVANT_OPTIMIZATIONS = frozenset(
+    {"texture_memory_for_writes", "dynamic_parallelism",
+     "warp_shuffle_reduction", "constant_memory_lut",
+     "async_compute_streams", "half_precision_storage"}
+)
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """A device model: component cost mix + optimization effectiveness."""
+
+    name: str
+    weights: dict[str, float]
+    effectiveness: float = 1.0  # scales every optimization's reduction
+
+    def __post_init__(self) -> None:
+        missing = set(COMPONENTS) - set(self.weights)
+        if missing:
+            raise ValueError(f"missing component weights: {sorted(missing)}")
+
+
+#: GeForce GTX 780 (Kepler): memory-dominated kernel profile, full
+#: optimization effectiveness.
+GTX_780 = GPUDevice(
+    "GeForce GTX 780",
+    weights={
+        "global_memory": 50.0,
+        "divergence": 22.0,
+        "latency": 10.0,
+        "compute": 8.0,
+        "occupancy": 5.0,
+        "loop_overhead": 3.0,
+        "transfer": 2.0,
+    },
+    effectiveness=1.0,
+)
+
+#: GeForce GTX 480 (Fermi): flatter profile (L1-cached global loads)
+#: and lower optimization headroom.
+GTX_480 = GPUDevice(
+    "GeForce GTX 480",
+    weights={
+        "global_memory": 42.0,
+        "divergence": 20.0,
+        "latency": 12.0,
+        "compute": 12.0,
+        "occupancy": 7.0,
+        "loop_overhead": 4.0,
+        "transfer": 3.0,
+    },
+    effectiveness=0.93,
+)
+
+DEVICES = {"GTX780": GTX_780, "GTX480": GTX_480}
+
+
+@dataclass
+class GPUKernelModel:
+    """Execution-time model of the case-study kernel on one device."""
+
+    device: GPUDevice
+    optimizations: dict[str, dict[str, float]] = field(
+        default_factory=lambda: dict(OPTIMIZATIONS))
+
+    @property
+    def baseline_time(self) -> float:
+        return float(sum(self.device.weights.values()))
+
+    def time(self, applied: Iterable[str]) -> float:
+        """Modeled execution time after applying *applied* optimizations.
+
+        Unknown/irrelevant optimization names are ignored (they change
+        nothing — exactly the paper's "trying many irrelevant
+        optimizations" failure mode).
+        """
+        factors = {component: 1.0 for component in COMPONENTS}
+        for name in set(applied):
+            effects = self.optimizations.get(name)
+            if not effects:
+                continue
+            for component, reduction in effects.items():
+                factors[component] *= 1.0 - reduction * self.device.effectiveness
+        return float(sum(
+            self.device.weights[c] * factors[c] for c in COMPONENTS))
+
+    def speedup(self, applied: Iterable[str]) -> float:
+        """Speedup over the unoptimized kernel."""
+        return self.baseline_time / self.time(applied)
+
+    def speedups_batch(self, applied_sets: list[set[str]]) -> np.ndarray:
+        """Vectorized speedups for many optimization sets at once.
+
+        Builds a (n_sets, n_opts) indicator matrix and evaluates all
+        component factors with one ``logaddexp``-free product in log
+        space — the vectorized formulation for parameter sweeps.
+        """
+        names = sorted(self.optimizations)
+        indicator = np.zeros((len(applied_sets), len(names)))
+        for row, applied in enumerate(applied_sets):
+            for col, name in enumerate(names):
+                if name in applied:
+                    indicator[row, col] = 1.0
+        # per-optimization log-factors per component
+        n_components = len(COMPONENTS)
+        log_factors = np.zeros((len(names), n_components))
+        for col, name in enumerate(names):
+            for k, component in enumerate(COMPONENTS):
+                reduction = self.optimizations[name].get(component, 0.0)
+                log_factors[col, k] = np.log1p(
+                    -reduction * self.device.effectiveness)
+        total_log = indicator @ log_factors          # (n_sets, n_components)
+        weights = np.array([self.device.weights[c] for c in COMPONENTS])
+        times = np.exp(total_log) @ weights
+        return self.baseline_time / times

@@ -1,0 +1,69 @@
+"""NVVP report parser.
+
+"When fed with an NVVP report, our CUDA Adviser searches within each
+section and takes subsections that contain the 'Optimization:'
+identifier as performance issue-related contents ...  Each title and
+its description are combined to form a query" (paper §4.1).  The
+parser implements exactly that regular-expression-based extraction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.profiler.report import PerformanceIssue
+
+_OPTIMIZATION_LINE = re.compile(r"^Optimization:\s*(?P<title>.+?)\s*$")
+_SECTION_LINE = re.compile(r"^Section:\s*(?P<name>.+?)\s*$")
+
+
+class NVVPReportParser:
+    """Extract performance issues from NVVP report text."""
+
+    def extract_issues(self, text: str) -> list[PerformanceIssue]:
+        """All ``Optimization:``-marked issues with their descriptions.
+
+        The description is the indented text following the marker line,
+        up to the next marker, section header or blank-line boundary.
+        """
+        issues: list[PerformanceIssue] = []
+        title: str | None = None
+        description: list[str] = []
+
+        def flush() -> None:
+            nonlocal title, description
+            if title is not None:
+                issues.append(
+                    PerformanceIssue(title, " ".join(description).strip()))
+            title, description = None, []
+
+        for line in text.splitlines():
+            marker = _OPTIMIZATION_LINE.match(line.strip()) \
+                if line.strip().startswith("Optimization:") else None
+            if marker:
+                flush()
+                title = marker.group("title")
+                continue
+            if _SECTION_LINE.match(line.strip()):
+                flush()
+                continue
+            if title is not None:
+                stripped = line.strip()
+                if stripped:
+                    description.append(stripped)
+                elif description:
+                    flush()
+        flush()
+        return issues
+
+    def extract_queries(self, text: str) -> list[str]:
+        """Query strings (title + description) for the recommender."""
+        return [issue.query_text() for issue in self.extract_issues(text)]
+
+
+_DEFAULT = NVVPReportParser()
+
+
+def extract_issues(text: str) -> list[PerformanceIssue]:
+    """Extract issues with a shared parser instance."""
+    return _DEFAULT.extract_issues(text)

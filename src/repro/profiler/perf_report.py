@@ -1,0 +1,105 @@
+"""Linux ``perf``-style CPU profiler report support.
+
+The paper's future work: "Support to other commonly used profiling
+reports will be added in the future" (§3.2).  This module implements
+that extension for the most common CPU-side profile format: a
+``perf report``-like table of overhead percentages per symbol plus
+annotated bottleneck notes.
+
+The parser converts a hot-spot table into retrieval queries the same
+way the NVVP path does: each hot symbol with notable overhead becomes
+a query combining its name heuristically mapped to optimization
+vocabulary (e.g. a symbol containing ``memcpy`` queries memory
+transfer advice, a ``spin``/``lock`` symbol queries synchronization
+advice).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_ROW = re.compile(
+    r"^\s*(?P<overhead>\d{1,3}\.\d{2})%\s+(?P<command>\S+)\s+"
+    r"(?P<object>\S+)\s+\[[.k]\]\s+(?P<symbol>\S+)\s*$")
+
+#: symbol-substring -> optimization topic phrasing for the query
+SYMBOL_HINTS: tuple[tuple[str, str], ...] = (
+    ("memcpy", "reduce memory copies and data transfers"),
+    ("memmove", "reduce memory copies and data transfers"),
+    ("malloc", "reduce allocation overhead and memory management cost"),
+    ("free", "reduce allocation overhead and memory management cost"),
+    ("lock", "reduce lock contention and synchronization overhead"),
+    ("spin", "reduce lock contention and synchronization overhead"),
+    ("mutex", "reduce lock contention and synchronization overhead"),
+    ("barrier", "reduce synchronization overhead at barriers"),
+    ("wait", "reduce idle waiting and synchronization overhead"),
+    ("sqrt", "reduce expensive arithmetic instructions"),
+    ("exp", "reduce expensive arithmetic instructions"),
+    ("pow", "reduce expensive arithmetic instructions"),
+    ("gather", "improve memory access patterns and vectorization"),
+    ("scatter", "improve memory access patterns and vectorization"),
+    ("stall", "hide latency and reduce pipeline stalls"),
+    ("cache", "improve cache utilization and locality"),
+    ("tlb", "improve page locality and reduce TLB misses"),
+)
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of a perf-style overhead table."""
+
+    overhead: float   # percent
+    command: str
+    shared_object: str
+    symbol: str
+
+    def query_text(self) -> str:
+        """A retrieval query for this hot spot."""
+        hints = [phrase for fragment, phrase in SYMBOL_HINTS
+                 if fragment in self.symbol.lower()]
+        hint_text = "; ".join(hints) if hints else \
+            "optimize the hot function"
+        return (f"{self.symbol} consumes {self.overhead:.2f}% of "
+                f"execution time; {hint_text}.")
+
+
+class PerfReportParser:
+    """Parse ``perf report``-style text into hot spots and queries."""
+
+    def __init__(self, min_overhead: float = 5.0) -> None:
+        self.min_overhead = min_overhead
+
+    def extract_hotspots(self, text: str) -> list[HotSpot]:
+        """All table rows at or above the overhead threshold."""
+        spots: list[HotSpot] = []
+        for line in text.splitlines():
+            match = _ROW.match(line)
+            if match is None:
+                continue
+            overhead = float(match.group("overhead"))
+            if overhead < self.min_overhead:
+                continue
+            spots.append(HotSpot(
+                overhead=overhead,
+                command=match.group("command"),
+                shared_object=match.group("object"),
+                symbol=match.group("symbol"),
+            ))
+        spots.sort(key=lambda s: -s.overhead)
+        return spots
+
+    def extract_queries(self, text: str) -> list[str]:
+        return [spot.query_text() for spot in self.extract_hotspots(text)]
+
+
+def format_perf_report(rows: list[tuple[float, str, str, str]]) -> str:
+    """Render rows as perf-style text (for tests and examples)."""
+    lines = [
+        "# Overhead  Command  Shared Object  Symbol",
+        "# ........  .......  .............  ......",
+    ]
+    for overhead, command, shared_object, symbol in rows:
+        lines.append(f"  {overhead:6.2f}%  {command}  {shared_object}  "
+                     f"[.] {symbol}")
+    return "\n".join(lines)

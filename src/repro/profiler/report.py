@@ -1,0 +1,84 @@
+"""NVVP-style performance report model.
+
+An NVVP report "usually has four sections.  The first section provides
+an overview of the performance issues while the later three sections
+each describe the problems in each of the three main aspects:
+instruction and memory latency; compute resources; memory bandwidth"
+(paper §4.1).  Issue subsections carry the ``Optimization:`` marker
+the advising tool keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SECTION_NAMES = (
+    "Overview",
+    "Instruction and Memory Latency",
+    "Compute Resources",
+    "Memory Bandwidth",
+)
+
+
+@dataclass(frozen=True)
+class PerformanceIssue:
+    """One issue subsection of an NVVP report."""
+
+    title: str
+    description: str
+
+    def query_text(self) -> str:
+        """Title and description combined, as the paper forms queries:
+        'Each title and its description are combined to form a query'."""
+        return f"{self.title}. {self.description}"
+
+
+@dataclass
+class ReportSection:
+    """One of the four report sections; may be empty ("Some of the
+    later three sections could be empty if no issues exist")."""
+
+    name: str
+    issues: list[PerformanceIssue] = field(default_factory=list)
+
+
+@dataclass
+class NVVPReport:
+    """A complete report for one program execution."""
+
+    program: str
+    kernel: str
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def issues(self) -> list[PerformanceIssue]:
+        """All issues across the three analysis sections (not Overview —
+        the overview repeats them in summary form)."""
+        out: list[PerformanceIssue] = []
+        for section in self.sections:
+            if section.name == "Overview":
+                continue
+            out.extend(section.issues)
+        return out
+
+    def to_text(self) -> str:
+        """Render the textual report the parser consumes."""
+        lines = [
+            f"NVIDIA Visual Profiler Report",
+            f"Program: {self.program}",
+            f"Kernel: {self.kernel}",
+            "=" * 60,
+        ]
+        for section in self.sections:
+            lines.append("")
+            lines.append(f"Section: {section.name}")
+            lines.append("-" * 60)
+            if not section.issues:
+                lines.append("No issues identified in this section.")
+                continue
+            for issue in section.issues:
+                if section.name == "Overview":
+                    lines.append(f"* {issue.title}")
+                    continue
+                lines.append(f"Optimization: {issue.title}")
+                lines.append(f"  {issue.description}")
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Text-retrieval substrate (gensim replacement).
+
+Implements the two techniques Stage II of Egeria is built on (paper
+§3.2): the vector space model (VSM) representation and TF-IDF
+weighting (Eq. 1), with cosine similarity (Eq. 2) — plus an inverted
+index (for the keywords baseline) and Okapi BM25 (for the ablation
+benchmarks).
+"""
+
+from repro.retrieval.dictionary import Dictionary
+from repro.retrieval.tfidf import TfidfModel
+from repro.retrieval.vsm import VectorSpaceModel, SentenceRetriever
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.bm25 import BM25
+from repro.retrieval.lsi import LsiModel
+from repro.retrieval.feedback import RocchioRetriever
+from repro.retrieval.synonyms import SynonymExpander
+
+__all__ = [
+    "Dictionary",
+    "TfidfModel",
+    "VectorSpaceModel",
+    "SentenceRetriever",
+    "InvertedIndex",
+    "BM25",
+    "LsiModel",
+    "RocchioRetriever",
+    "SynonymExpander",
+]

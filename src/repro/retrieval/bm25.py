@@ -1,0 +1,82 @@
+"""Okapi BM25 ranking (ablation alternative to TF-IDF/VSM).
+
+Not part of the paper's system; used by the ablation benchmark to
+quantify how much Stage II's quality depends on the specific weighting
+scheme.  Standard Robertson/Sparck-Jones formulation with the usual
+``k1``/``b`` parameters, vectorized over the whole collection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.retrieval.dictionary import Dictionary
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class BM25:
+    """BM25 scorer over a sentence collection."""
+
+    def __init__(
+        self,
+        sentences: Sequence[str],
+        normalizer: Callable[[str], list[str]] | None = None,
+        k1: float = 1.5,
+        b: float = 0.75,
+    ) -> None:
+        self.sentences = list(sentences)
+        self.normalizer = normalizer or NormalizationPipeline()
+        self.k1 = k1
+        self.b = b
+        docs = [self.normalizer(s) for s in self.sentences]
+        self.dictionary = Dictionary(docs)
+        n_docs = max(len(docs), 1)
+        n_terms = len(self.dictionary)
+
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        lengths = np.zeros(n_docs)
+        for i, doc in enumerate(docs):
+            lengths[i] = len(doc)
+            for token_id, count in self.dictionary.doc2bow(doc):
+                rows.append(i)
+                cols.append(token_id)
+                data.append(count)
+        tf = sp.csr_matrix((data, (rows, cols)), shape=(n_docs, n_terms))
+
+        avgdl = lengths.mean() if lengths.size and lengths.mean() > 0 else 1.0
+        # idf with the standard +0.5 smoothing, floored at 0
+        df = np.zeros(n_terms)
+        for token_id, count in self.dictionary.dfs.items():
+            df[token_id] = count
+        idf = np.log((n_docs - df + 0.5) / (df + 0.5) + 1.0)
+
+        # precompute the BM25 term weights row by row (sparse-safe)
+        tf = tf.tocoo()
+        denom_norm = self.k1 * (1.0 - self.b + self.b * lengths / avgdl)
+        weights = (
+            tf.data * (self.k1 + 1.0)
+            / (tf.data + denom_norm[tf.row])
+            * idf[tf.col]
+        )
+        self._matrix = sp.csr_matrix(
+            (weights, (tf.row, tf.col)), shape=(n_docs, n_terms))
+
+    def scores(self, query: str) -> np.ndarray:
+        """BM25 score of every sentence for *query*."""
+        indicator = np.zeros(len(self.dictionary))
+        for token in self.normalizer(query):
+            token_id = self.dictionary.token2id.get(token)
+            if token_id is not None:
+                indicator[token_id] += 1.0
+        return self._matrix @ indicator
+
+    def query(self, text: str, top_k: int = 10) -> list[tuple[int, float]]:
+        """Top-k ``(sentence_index, score)`` pairs, best first."""
+        scores = self.scores(text)
+        order = np.argsort(-scores, kind="stable")[:top_k]
+        return [(int(i), float(scores[i])) for i in order if scores[i] > 0.0]

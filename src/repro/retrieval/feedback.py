@@ -1,0 +1,69 @@
+"""Rocchio pseudo-relevance feedback for Stage II.
+
+A classic text-retrieval extension the paper leaves as future work:
+run the query once, assume the top-k results are relevant, move the
+query vector toward their centroid (``q' = a*q + b*centroid(top-k)``),
+and re-score.  Helps when the user's phrasing and the guide's phrasing
+differ ("thread divergence" vs "divergent warps").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.retrieval.vsm import DEFAULT_THRESHOLD, VectorSpaceModel
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class RocchioRetriever:
+    """VSM retrieval with one round of pseudo-relevance feedback."""
+
+    def __init__(
+        self,
+        sentences: Sequence[str],
+        normalizer: Callable[[str], list[str]] | None = None,
+        alpha: float = 1.0,
+        beta: float = 0.6,
+        feedback_k: int = 5,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        self.sentences = list(sentences)
+        self.normalizer = normalizer or NormalizationPipeline()
+        self.alpha = alpha
+        self.beta = beta
+        self.feedback_k = feedback_k
+        self.threshold = threshold
+        tokens = [self.normalizer(s) for s in self.sentences]
+        self.vsm = VectorSpaceModel(tokens)
+        # dense, L2-normalized document matrix for centroid computation
+        matrix = self.vsm._matrix  # already row-normalized
+        self._dense_docs = np.asarray(matrix.todense())
+
+    def _query_vector(self, text: str) -> np.ndarray:
+        vector = self.vsm.tfidf.transform_dense(self.normalizer(text))
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector
+
+    def query(
+        self, text: str, threshold: float | None = None
+    ) -> list[tuple[int, float]]:
+        """Feedback-expanded retrieval, best first."""
+        cutoff = self.threshold if threshold is None else threshold
+        query_vec = self._query_vector(text)
+        first_pass = self._dense_docs @ query_vec
+        top = np.argsort(-first_pass, kind="stable")[: self.feedback_k]
+        top = top[first_pass[top] > 0]
+        if top.size:
+            centroid = self._dense_docs[top].mean(axis=0)
+            expanded = self.alpha * query_vec + self.beta * centroid
+            norm = np.linalg.norm(expanded)
+            if norm > 0:
+                expanded /= norm
+        else:
+            expanded = query_vec
+        scores = self._dense_docs @ expanded
+        hits = np.flatnonzero(scores >= cutoff)
+        order = hits[np.argsort(-scores[hits], kind="stable")]
+        return [(int(i), float(scores[i])) for i in order]

@@ -1,0 +1,89 @@
+"""Inverted index for keyword search.
+
+Backs the *keywords method* baseline of paper §4.2: stem-level exact
+matching of query keywords against sentences, with optional
+require-all/any-of semantics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+
+from repro.textproc.porter import PorterStemmer
+from repro.textproc.word_tokenizer import word_tokenize
+
+
+def _default_analyzer(text: str) -> list[str]:
+    stemmer = _STEMMER
+    return [stemmer.stem(t) for t in word_tokenize(text) if t.isalnum()
+            or any(c.isalnum() for c in t)]
+
+
+_STEMMER = PorterStemmer()
+
+
+class InvertedIndex:
+    """Map analyzed terms to the set of sentence indices containing them."""
+
+    def __init__(
+        self,
+        sentences: Sequence[str],
+        analyzer: Callable[[str], list[str]] | None = None,
+    ) -> None:
+        self.sentences = list(sentences)
+        self.analyzer = analyzer or _default_analyzer
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        for i, sentence in enumerate(self.sentences):
+            for term in self.analyzer(sentence):
+                self._postings[term].add(i)
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        return set(self._postings)
+
+    def postings(self, term: str) -> set[int]:
+        """Sentence indices containing the analyzed form of *term*."""
+        analyzed = self.analyzer(term)
+        if not analyzed:
+            return set()
+        return set(self._postings.get(analyzed[0], set()))
+
+    def search_any(self, query: str) -> list[int]:
+        """Sentences containing *any* query term (sorted indices)."""
+        result: set[int] = set()
+        for term in self.analyzer(query):
+            result |= self._postings.get(term, set())
+        return sorted(result)
+
+    def search_all(self, query: str) -> list[int]:
+        """Sentences containing *every* query term (sorted indices)."""
+        terms = self.analyzer(query)
+        if not terms:
+            return []
+        result: set[int] | None = None
+        for term in terms:
+            postings = self._postings.get(term, set())
+            result = postings if result is None else result & postings
+            if not result:
+                return []
+        return sorted(result or [])
+
+    def search_phrase_terms(self, terms: Sequence[str]) -> list[int]:
+        """Sentences containing all *terms* (each analyzed separately).
+
+        Used by the keywords baseline where a "keyword" may be a
+        multi-word phrase like "warp execution efficiency".
+        """
+        result: set[int] | None = None
+        for term in terms:
+            hits: set[int] = set()
+            for analyzed in self.analyzer(term):
+                hits |= self._postings.get(analyzed, set())
+            result = hits if result is None else result & hits
+            if not result:
+                return []
+        return sorted(result or [])

@@ -1,0 +1,92 @@
+"""Domain synonym expansion for queries.
+
+Plain VSM has no notion of synonymy, so "thread divergence" and
+"divergent branches" only partially overlap (see
+``bench_robustness.py``).  This module holds a compact HPC synonym
+inventory — term clusters that guide authors use interchangeably —
+and expands a query with the cluster-mates of every term it mentions.
+A natural future-work extension of the paper's Stage II.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.textproc.porter import PorterStemmer
+
+#: Clusters of interchangeable guide vocabulary (surface forms).
+SYNONYM_CLUSTERS: tuple[tuple[str, ...], ...] = (
+    ("divergence", "divergent", "branching"),
+    ("warp", "wavefront"),
+    ("coalesce", "coalesced", "coalescing", "contiguous", "aligned"),
+    ("latency", "stall", "stalls"),
+    ("throughput", "bandwidth"),
+    ("occupancy", "utilization"),
+    ("transfer", "copy", "transfers", "copies"),
+    ("kernel", "function"),
+    ("register", "registers"),
+    ("shared", "local"),          # CUDA shared memory ~ OpenCL local
+    ("pinned", "page-locked"),
+    ("unroll", "unrolling"),
+    ("block", "workgroup", "work-group"),
+    ("thread", "work-item"),
+    ("hide", "overlap"),
+)
+
+
+class SynonymExpander:
+    """Expand query text with domain synonyms (stem-level matching)."""
+
+    def __init__(
+        self,
+        clusters: tuple[tuple[str, ...], ...] = SYNONYM_CLUSTERS,
+    ) -> None:
+        self._stemmer = PorterStemmer()
+        #: stem -> set of surface synonyms to inject
+        self._expansion: dict[str, set[str]] = {}
+        for cluster in clusters:
+            stems = {self._stemmer.stem(term) for term in cluster}
+            for stem in stems:
+                bucket = self._expansion.setdefault(stem, set())
+                bucket.update(cluster)
+
+    def expand(self, query: str) -> str:
+        """*query* plus the synonyms of every matched term, appended.
+
+        Synonyms whose stem already occurs in the query are skipped —
+        the stemmed VSM gains nothing from surface variants.
+        """
+        seen_stems: set[str] = set()
+        for raw in query.split():
+            token = raw.strip(".,;:!?()[]\"'").lower()
+            if not token:
+                continue
+            seen_stems.add(self._stemmer.stem(token))
+            for part in token.split("-"):
+                if part:
+                    seen_stems.add(self._stemmer.stem(part))
+        additions: set[str] = set()
+        for stem in seen_stems:
+            for synonym in self._expansion.get(stem, ()):
+                if self._stemmer.stem(synonym) not in seen_stems:
+                    additions.add(synonym)
+        if not additions:
+            return query
+        return query + " " + " ".join(sorted(additions))
+
+
+def expanding_normalizer(
+    base: Callable[[str], list[str]],
+    expander: SynonymExpander | None = None,
+) -> Callable[[str], list[str]]:
+    """Wrap a normalizer so queries are synonym-expanded first.
+
+    Intended for the *query* side only; indexing sentences through
+    this would blur the collection.
+    """
+    expander = expander or SynonymExpander()
+
+    def normalize(text: str) -> list[str]:
+        return base(expander.expand(text))
+
+    return normalize

@@ -1,0 +1,122 @@
+"""Vector space model with cosine similarity (paper Eq. 2).
+
+:class:`VectorSpaceModel` holds an L2-normalized sparse TF-IDF matrix
+over a sentence collection; a query is vectorized the same way and
+similarities reduce to one sparse matrix-vector product — the
+vectorized formulation the hpc-parallel guides prescribe for the hot
+path (scoring every sentence against every query).
+
+:class:`SentenceRetriever` is the user-facing wrapper that owns the
+normalization pipeline and implements the paper's thresholded
+retrieval (sentences with similarity >= 0.15 are recommended, §3.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.retrieval.tfidf import TfidfModel
+from repro.textproc.normalize import NormalizationPipeline
+
+#: The paper's default similarity threshold (§3.2 / §A.6).
+DEFAULT_THRESHOLD = 0.15
+
+
+class VectorSpaceModel:
+    """Sparse TF-IDF sentence matrix with cosine scoring."""
+
+    def __init__(
+        self,
+        sentences_tokens: Sequence[list[str]],
+        tfidf: TfidfModel | None = None,
+        fit_corpus: Iterable[list[str]] | None = None,
+    ) -> None:
+        """Index *sentences_tokens*.
+
+        ``fit_corpus`` optionally supplies a larger corpus for IDF
+        fitting (paper §A.6: vocabulary from the summary, weights from
+        the whole document); defaults to the indexed sentences.
+        """
+        corpus = list(fit_corpus) if fit_corpus is not None else list(
+            sentences_tokens)
+        self.tfidf = tfidf if tfidf is not None else TfidfModel(corpus)
+        self._matrix = self._build_matrix(sentences_tokens)
+
+    def _build_matrix(
+        self, sentences_tokens: Sequence[list[str]]
+    ) -> sp.csr_matrix:
+        n_terms = len(self.tfidf.dictionary)
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for row, tokens in enumerate(sentences_tokens):
+            for token_id, weight in self.tfidf.transform(tokens):
+                rows.append(row)
+                cols.append(token_id)
+                data.append(weight)
+        matrix = sp.csr_matrix(
+            (data, (rows, cols)),
+            shape=(len(sentences_tokens), n_terms),
+            dtype=np.float64,
+        )
+        # L2-normalize rows once so cosine is a plain dot product
+        norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+        norms[norms == 0.0] = 1.0
+        inv = sp.diags(1.0 / norms)
+        return (inv @ matrix).tocsr()
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def similarities(self, query_tokens: list[str]) -> np.ndarray:
+        """Cosine similarity of the query against every sentence."""
+        vector = self.tfidf.transform_dense(query_tokens)
+        norm = np.linalg.norm(vector)
+        if norm == 0.0:
+            return np.zeros(self._matrix.shape[0])
+        return self._matrix @ (vector / norm)
+
+
+class SentenceRetriever:
+    """Thresholded sentence retrieval over raw sentence strings."""
+
+    def __init__(
+        self,
+        sentences: Sequence[str],
+        normalizer: Callable[[str], list[str]] | None = None,
+        fit_corpus: Sequence[str] | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> None:
+        self.sentences = list(sentences)
+        self.normalizer = normalizer or NormalizationPipeline()
+        self.threshold = threshold
+        tokens = [self.normalizer(s) for s in self.sentences]
+        corpus_tokens = (
+            [self.normalizer(s) for s in fit_corpus]
+            if fit_corpus is not None else None
+        )
+        self.vsm = VectorSpaceModel(tokens, fit_corpus=corpus_tokens)
+
+    def query(
+        self, text: str, threshold: float | None = None
+    ) -> list[tuple[int, float]]:
+        """Indices and scores of sentences relevant to *text*.
+
+        Returns ``(sentence_index, similarity)`` pairs with similarity
+        >= threshold, best first.  An empty result means "no relevant
+        sentences found" (paper §4.1).
+        """
+        cutoff = self.threshold if threshold is None else threshold
+        scores = self.vsm.similarities(self.normalizer(text))
+        hits = np.flatnonzero(scores >= cutoff)
+        order = hits[np.argsort(-scores[hits], kind="stable")]
+        return [(int(i), float(scores[i])) for i in order]
+
+    def query_sentences(
+        self, text: str, threshold: float | None = None
+    ) -> list[str]:
+        """Like :meth:`query` but returning the sentence strings."""
+        return [self.sentences[i] for i, _ in self.query(text, threshold)]

@@ -1,0 +1,31 @@
+"""Semantic role labeling substrate (SENNA replacement).
+
+A rule-based shallow semantic parser over the dependency layer.  It
+identifies verbal predicates and labels their arguments with
+PropBank/CoNLL-style roles: ``V`` (predicate), ``A0`` (subject/agent),
+``A1`` (object/theme), ``AM-MOD`` (modal), ``AM-NEG`` (negation) and —
+the role Egeria's Selector 5 depends on — ``AM-PNC`` (purpose).
+
+The paper notes that general SRL accuracy is the weak link of NLP
+pipelines but that *purpose* roles are recognized far more reliably
+(88.2% vs ~75% overall for SENNA); this implementation mirrors that
+profile: purpose detection is the carefully engineered part, the rest
+is deliberately shallow.
+"""
+
+from repro.srl.labeler import Argument, Frame, SemanticRoleLabeler, label
+from repro.srl.frames import frame_id, FRAME_INVENTORY
+from repro.srl.purpose import find_purpose_clauses, PurposeClause
+from repro.srl.conll import frames_to_conll
+
+__all__ = [
+    "frames_to_conll",
+    "Argument",
+    "Frame",
+    "SemanticRoleLabeler",
+    "label",
+    "frame_id",
+    "FRAME_INVENTORY",
+    "find_purpose_clauses",
+    "PurposeClause",
+]

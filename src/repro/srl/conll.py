@@ -1,0 +1,70 @@
+"""CoNLL-2005-style column output for SRL frames.
+
+SENNA — the labeler the paper used — emits its analyses in the
+CoNLL shared-task column format: one row per token, one "SRL" column
+per predicate, arguments bracketed ``(A1*`` ... ``*)``.  The paper's
+Figure 3 reproduces exactly such a table.  This module renders our
+frames the same way, for interoperability and for regenerating the
+figure faithfully.
+"""
+
+from __future__ import annotations
+
+from repro.parsing.graph import DependencyGraph
+from repro.srl.labeler import Frame
+
+
+def frames_to_conll(graph: DependencyGraph, frames: list[Frame]) -> str:
+    """Column-format rendering: token column + one column per frame."""
+    n = len(graph.tokens)
+    columns: list[list[str]] = []
+    for frame in frames:
+        column = ["*"] * n
+        column[frame.predicate.index] = f"(V*{frame.sense})"
+        for argument in frame.arguments:
+            start, end = argument.start, argument.end
+            if start == end:
+                column[start] = f"({argument.role}*)"
+            else:
+                column[start] = f"({argument.role}*"
+                column[end] = "*)"
+        columns.append(column)
+
+    widths = [max((len(col[i]) for col in columns), default=1)
+              for i in range(n)]
+    token_width = max((len(t.text) for t in graph.tokens), default=4)
+    lines = []
+    for i, token in enumerate(graph.tokens):
+        cells = [token.text.ljust(token_width)]
+        for column in columns:
+            cells.append(column[i].ljust(max(widths[i], 1)))
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def parse_conll_roles(text: str) -> list[dict[str, list[int]]]:
+    """Inverse of :func:`frames_to_conll` (role -> token indices).
+
+    Returns one dict per predicate column; used to round-trip-test the
+    writer and to ingest external CoNLL-format annotations.
+    """
+    rows = [line.split() for line in text.splitlines() if line.strip()]
+    if not rows:
+        return []
+    n_columns = max(len(row) for row in rows) - 1
+    results: list[dict[str, list[int]]] = [dict() for _ in range(n_columns)]
+    open_role: list[str | None] = [None] * n_columns
+    for index, row in enumerate(rows):
+        cells = row[1:] + ["*"] * (n_columns - (len(row) - 1))
+        for column, cell in enumerate(cells):
+            label = None
+            if cell.startswith("("):
+                label = cell[1:].split("*", 1)[0]
+                open_role[column] = label
+            role = open_role[column]
+            if role is not None:
+                key = "V" if role.startswith("V") else role
+                results[column].setdefault(key, []).append(index)
+            if cell.endswith(")"):
+                open_role[column] = None
+    return results

@@ -1,0 +1,100 @@
+"""PropBank-style frame inventory.
+
+A compact frameset covering the verbs that matter in HPC-guide prose —
+in particular the paper's ``KEY_PREDICATES`` (maximize, minimize,
+recommend, accomplish, achieve, avoid) — with argument glosses in the
+PropBank style.  Verbs outside the inventory get a generic ``.01``
+frame, matching how SENNA-style labelers always emit a sense id.
+"""
+
+from __future__ import annotations
+
+#: lemma -> (frame id, {role: gloss})
+FRAME_INVENTORY: dict[str, tuple[str, dict[str, str]]] = {
+    "maximize": ("maximize.01", {
+        "A0": "causer of maximization, agent",
+        "A1": "thing which is being the most",
+    }),
+    "minimize": ("minimize.01", {
+        "A0": "causer of smallness, agent",
+        "A1": "thing which is being the least",
+    }),
+    "recommend": ("recommend.01", {
+        "A0": "recommender",
+        "A1": "thing recommended",
+        "A2": "recommended to",
+    }),
+    "accomplish": ("accomplish.01", {
+        "A0": "accomplisher",
+        "A1": "thing accomplished",
+    }),
+    "achieve": ("achieve.01", {
+        "A0": "achiever",
+        "A1": "thing achieved",
+    }),
+    "avoid": ("avoid.01", {
+        "A0": "avoider",
+        "A1": "thing avoided",
+    }),
+    "be": ("be.01", {
+        "A1": "topic",
+        "A2": "comment",
+    }),
+    "use": ("use.01", {
+        "A0": "user",
+        "A1": "thing used",
+        "A2": "purpose",
+    }),
+    "reduce": ("reduce.01", {
+        "A0": "reducer",
+        "A1": "thing decreasing",
+        "A2": "amount decreased by",
+    }),
+    "improve": ("improve.01", {
+        "A0": "improver",
+        "A1": "thing improved",
+    }),
+    "increase": ("increase.01", {
+        "A0": "causer of increase",
+        "A1": "thing increasing",
+    }),
+    "optimize": ("optimize.01", {
+        "A0": "optimizer",
+        "A1": "thing optimized",
+    }),
+    "prefer": ("prefer.01", {
+        "A0": "preferrer",
+        "A1": "thing preferred",
+    }),
+    "ensure": ("ensure.01", {
+        "A0": "guarantor",
+        "A1": "thing guaranteed",
+    }),
+    "leverage": ("leverage.01", {
+        "A0": "user",
+        "A1": "thing leveraged",
+    }),
+    "hide": ("hide.01", {
+        "A0": "hider",
+        "A1": "thing hidden",
+    }),
+    "overlap": ("overlap.01", {
+        "A0": "agent",
+        "A1": "first thing overlapping",
+        "A2": "second thing overlapping",
+    }),
+}
+
+
+def frame_id(lemma: str) -> str:
+    """PropBank-style sense id for *lemma* (generic ``.01`` fallback)."""
+    entry = FRAME_INVENTORY.get(lemma)
+    return entry[0] if entry is not None else f"{lemma}.01"
+
+
+def role_gloss(lemma: str, role: str) -> str | None:
+    """Argument gloss for *role* of *lemma*, if the frame defines one."""
+    entry = FRAME_INVENTORY.get(lemma)
+    if entry is None:
+        return None
+    return entry[1].get(role)

@@ -1,0 +1,292 @@
+"""Shallow semantic role labeler.
+
+For every verbal predicate in a parsed sentence, emit a
+:class:`Frame` with PropBank/CoNLL-style arguments:
+
+* ``V`` — the predicate itself (with its frame sense id);
+* ``A0`` — the subject/agent span (``nsubj``; for passives the
+  ``nsubjpass`` surface subject is the theme and labeled ``A1``);
+* ``A1`` — the object/theme span (``dobj``, or passive subject);
+* ``AM-MOD`` — modal auxiliary; ``AM-NEG`` — negation;
+* ``AM-PNC`` — purpose clause (from :mod:`repro.srl.purpose`).
+
+This replicates the *output interface* of SENNA as the paper uses it
+(Figure 3): Egeria's Selector 5 reads only ``AM-PNC`` arguments and
+checks their predicate lemma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parsing.graph import DependencyGraph, Token
+from repro.parsing.parser import DependencyParser
+from repro.srl.frames import frame_id
+from repro.srl.purpose import find_purpose_clauses
+from repro.tagging.tagset import VERB_TAGS
+
+
+@dataclass(frozen=True)
+class Argument:
+    """A labeled argument span."""
+
+    role: str
+    start: int  # inclusive token index
+    end: int    # inclusive token index
+    text: str
+
+    def contains_lemma(self, graph: DependencyGraph, lemma: str) -> bool:
+        return any(
+            t.lemma == lemma for t in graph.tokens[self.start: self.end + 1])
+
+
+@dataclass
+class Frame:
+    """One predicate and its labeled arguments."""
+
+    predicate: Token
+    sense: str
+    arguments: list[Argument] = field(default_factory=list)
+
+    def argument(self, role: str) -> Argument | None:
+        for arg in self.arguments:
+            if arg.role == role:
+                return arg
+        return None
+
+    def roles(self) -> set[str]:
+        return {a.role for a in self.arguments}
+
+
+class SemanticRoleLabeler:
+    """Label predicates and arguments over dependency parses."""
+
+    def __init__(self) -> None:
+        self._parser = DependencyParser()
+
+    def label_sentence(self, sentence: str) -> list[Frame]:
+        """Parse *sentence* and label it."""
+        return self.label(self._parser.parse(sentence))
+
+    def label(self, graph: DependencyGraph) -> list[Frame]:
+        """Label an already-parsed sentence."""
+        frames: list[Frame] = []
+        purposes = find_purpose_clauses(graph)
+        purpose_preds = {p.predicate.index for p in purposes}
+
+        for token in graph.tokens:
+            if token.tag not in VERB_TAGS:
+                continue
+            if token.lemma in ("be", "have", "do") and not self._is_main(
+                    graph, token):
+                continue
+            if graph.has_relation(token.index, "aux") \
+                    or graph.has_relation(token.index, "auxpass"):
+                continue  # auxiliaries are not predicates
+            frame = Frame(token, frame_id(token.lemma))
+            self._attach_core_arguments(graph, frame)
+            self._attach_modifiers(graph, frame)
+            self._split_trailing_adjuncts(graph, frame)
+            # attach purpose clauses anchored at this predicate
+            for clause in purposes:
+                if clause.anchor is not None \
+                        and clause.anchor.index == token.index \
+                        and clause.predicate.index != token.index:
+                    frame.arguments.append(Argument(
+                        "AM-PNC", clause.start, clause.end,
+                        clause.text(graph)))
+            frames.append(frame)
+
+        # a fronted purpose clause (anchor == root) is already covered
+        return frames
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _is_main(graph: DependencyGraph, token: Token) -> bool:
+        """A be/have/do form is a predicate only when it heads a clause."""
+        root = graph.root
+        if root is not None and root.index == token.index:
+            return True
+        return any(
+            d.relation in ("conj", "advcl", "xcomp")
+            and d.dependent == token.index
+            for d in graph.dependencies
+        )
+
+    def _attach_core_arguments(
+        self, graph: DependencyGraph, frame: Frame
+    ) -> None:
+        pred = frame.predicate.index
+        passive = graph.has_relation(pred, "auxpass") or any(
+            d.relation == "nsubjpass" and d.governor == pred
+            for d in graph.dependencies
+        )
+        for dep in graph.dependencies:
+            if dep.governor != pred:
+                continue
+            if dep.relation == "nsubj":
+                frame.arguments.append(
+                    self._span_argument(graph, "A0", dep.dependent, pred))
+            elif dep.relation == "nsubjpass":
+                frame.arguments.append(
+                    self._span_argument(graph, "A1", dep.dependent, pred))
+            elif dep.relation == "dobj" and not passive:
+                frame.arguments.append(
+                    self._span_argument(graph, "A1", dep.dependent, pred))
+        if passive:
+            # demoted agent of a passive: "controlled by the programmer"
+            agent = self._passive_agent(graph, pred)
+            if agent is not None:
+                frame.arguments.append(
+                    self._span_argument(graph, "A0", agent, pred))
+
+    @staticmethod
+    def _passive_agent(graph: DependencyGraph, pred: int) -> int | None:
+        """Head of a 'by'-phrase attached at or right after a passive
+        predicate, or None."""
+        for i in range(pred + 1, min(pred + 3, len(graph.tokens))):
+            token = graph.tokens[i]
+            if token.lower == "by" and token.tag == "IN":
+                objects = graph.dependents(i, "pobj")
+                if objects:
+                    return objects[0].index
+        return None
+
+    #: nouns whose PP reads as a location on the hardware/software map
+    _LOCATION_NOUNS = frozenset(
+        {"memory", "cache", "register", "device", "host", "kernel",
+         "loop", "block", "multiprocessor", "core", "unit", "queue",
+         "buffer", "warp", "bank", "chip", "thread", "section",
+         "hardware", "file", "array"})
+    _LOCATION_PREPS = frozenset({"in", "on", "within", "inside", "into",
+                                 "at"})
+    _TEMPORAL_PREPS = frozenset({"during", "before", "after", "until",
+                                 "while"})
+    _TEMPORAL_NOUNS = frozenset(
+        {"cycle", "time", "launch", "execution", "startup", "runtime",
+         "iteration", "phase", "period", "initialization"})
+
+    def _attach_modifiers(self, graph: DependencyGraph, frame: Frame) -> None:
+        pred = frame.predicate.index
+        for dep in graph.dependencies:
+            if dep.governor != pred:
+                continue
+            token = graph.tokens[dep.dependent]
+            if dep.relation == "aux" and token.tag == "MD":
+                frame.arguments.append(
+                    Argument("AM-MOD", token.index, token.index, token.text))
+            elif dep.relation == "neg":
+                frame.arguments.append(
+                    Argument("AM-NEG", token.index, token.index, token.text))
+            elif dep.relation == "prep":
+                self._attach_pp_modifier(graph, frame, token)
+
+    def _split_trailing_adjuncts(
+        self, graph: DependencyGraph, frame: Frame
+    ) -> None:
+        """Carve locative/temporal PPs out of core-argument spans.
+
+        The parser attaches "in shared memory" to the object noun, so
+        a span like "the tile in shared memory during kernel
+        execution" arrives as one A1; PropBank-style output separates
+        the adjuncts (A1 = "the tile", AM-LOC = "in shared memory",
+        AM-TMP = "during kernel execution").
+        """
+        new_arguments: list[Argument] = []
+        for arg_index, arg in enumerate(list(frame.arguments)):
+            if arg.role not in ("A0", "A1"):
+                continue
+            cut: int | None = None
+            for i in range(arg.start, arg.end + 1):
+                token = graph.tokens[i]
+                if token.tag != "IN":
+                    continue
+                role = self._classify_pp(graph, token)
+                if role is None:
+                    continue
+                objects = graph.dependents(token.index, "pobj")
+                span_end = objects[0].index if objects else arg.end
+                span_end = min(span_end, arg.end)
+                new_arguments.append(Argument(
+                    role, i, span_end,
+                    " ".join(t.text
+                             for t in graph.tokens[i: span_end + 1])))
+                if cut is None:
+                    cut = i
+            if cut is not None and cut > arg.start:
+                frame.arguments[arg_index] = Argument(
+                    arg.role, arg.start, cut - 1,
+                    " ".join(t.text
+                             for t in graph.tokens[arg.start: cut]))
+        frame.arguments.extend(new_arguments)
+
+    def _classify_pp(
+        self, graph: DependencyGraph, prep: Token
+    ) -> str | None:
+        objects = graph.dependents(prep.index, "pobj")
+        if not objects:
+            return None
+        head = objects[0]
+        if prep.lower in self._TEMPORAL_PREPS \
+                or head.lemma in self._TEMPORAL_NOUNS:
+            return "AM-TMP"
+        if prep.lower in self._LOCATION_PREPS \
+                and head.lemma in self._LOCATION_NOUNS:
+            return "AM-LOC"
+        return None
+
+    def _attach_pp_modifier(
+        self, graph: DependencyGraph, frame: Frame, prep: Token
+    ) -> None:
+        """Classify a predicate-attached PP as AM-LOC / AM-TMP."""
+        objects = graph.dependents(prep.index, "pobj")
+        if not objects:
+            return
+        head = objects[0]
+        span_end = head.index
+        role: str | None = None
+        if prep.lower in self._TEMPORAL_PREPS \
+                or head.lemma in self._TEMPORAL_NOUNS:
+            role = "AM-TMP"
+        elif prep.lower in self._LOCATION_PREPS \
+                and head.lemma in self._LOCATION_NOUNS:
+            role = "AM-LOC"
+        if role is None:
+            return
+        text = " ".join(
+            t.text for t in graph.tokens[prep.index: span_end + 1])
+        frame.arguments.append(
+            Argument(role, prep.index, span_end, text))
+
+    @staticmethod
+    def _span_argument(
+        graph: DependencyGraph, role: str, head: int, pred: int
+    ) -> Argument:
+        """Argument span = the head plus its transitive NP dependents,
+        clipped so the span never crosses the predicate."""
+        indices = {head}
+        frontier = [head]
+        while frontier:
+            current = frontier.pop()
+            for dep in graph.dependencies:
+                if dep.governor == current and dep.relation in (
+                        "det", "amod", "compound", "num", "prep", "pobj"):
+                    if dep.dependent not in indices:
+                        indices.add(dep.dependent)
+                        frontier.append(dep.dependent)
+        start, end = min(indices), max(indices)
+        if head < pred:
+            end = min(end, pred - 1)
+        elif head > pred:
+            start = max(start, pred + 1)
+        text = " ".join(t.text for t in graph.tokens[start: end + 1])
+        return Argument(role, start, end, text)
+
+
+_DEFAULT = SemanticRoleLabeler()
+
+
+def label(sentence: str) -> list[Frame]:
+    """Label *sentence* with a shared :class:`SemanticRoleLabeler`."""
+    return _DEFAULT.label_sentence(sentence)

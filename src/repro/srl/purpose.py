@@ -1,0 +1,161 @@
+"""Purpose-clause (AM-PNC) detection.
+
+Selector 5 of Egeria fires on sentences whose *purpose* argument
+contains one of the ``KEY_PREDICATES`` (paper Table 1, category VI;
+e.g. "The first step in maximizing overall memory throughput ... is
+**to minimize data transfers with low bandwidth**").
+
+A clause is a purpose argument when it is:
+
+* an infinitival adverbial clause (``advcl`` over a ``to``-infinitive):
+  "pad the data **to avoid bank conflicts**";
+* the infinitival complement of a copula (``xcomp`` of *be*):
+  "the first step is **to minimize data transfers**" (paper Fig. 3
+  labels exactly this AM-PNC);
+* a fronted infinitive: "**To obtain best performance**, minimize
+  divergent warps";
+* an explicit purpose idiom: "in order to", "so as to",
+  "for the purpose of", "with the goal of";
+* a ``for`` + gerund adjunct: "**for maximizing** throughput".
+
+Each detected clause carries its predicate (the infinitive/gerund
+head), the anchor verb it modifies, and its token span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parsing.graph import DependencyGraph, Token
+from repro.tagging.tagset import VERB_TAGS
+
+_PURPOSE_IDIOMS: tuple[tuple[str, ...], ...] = (
+    ("in", "order", "to"),
+    ("so", "as", "to"),
+    ("for", "the", "purpose", "of"),
+    ("with", "the", "goal", "of"),
+    ("with", "the", "aim", "of"),
+)
+
+
+@dataclass(frozen=True)
+class PurposeClause:
+    """A detected AM-PNC argument."""
+
+    predicate: Token        # head verb of the purpose clause
+    anchor: Token | None    # the verb the purpose modifies (None: fronted)
+    start: int              # span start (token index, inclusive)
+    end: int                # span end (token index, inclusive)
+
+    def text(self, graph: DependencyGraph) -> str:
+        return " ".join(
+            t.text for t in graph.tokens[self.start: self.end + 1])
+
+
+def find_purpose_clauses(graph: DependencyGraph) -> list[PurposeClause]:
+    """All purpose clauses in a parsed sentence."""
+    clauses: list[PurposeClause] = []
+    seen: set[int] = set()
+
+    def add(pred_index: int, anchor: Token | None) -> None:
+        if pred_index in seen:
+            return
+        seen.add(pred_index)
+        start, end = _clause_span(graph, pred_index)
+        clauses.append(
+            PurposeClause(graph.tokens[pred_index], anchor, start, end))
+
+    # 1. advcl infinitives (to-infinitive adverbial clauses)
+    for dep in graph.relations("advcl"):
+        if _is_infinitive(graph, dep.dependent):
+            add(dep.dependent, graph.tokens[dep.governor])
+
+    # 2. xcomp of a copula ("is to minimize ...")
+    for dep in graph.relations("xcomp"):
+        governor = graph.tokens[dep.governor]
+        if governor.lemma == "be" and _is_infinitive(graph, dep.dependent):
+            add(dep.dependent, governor)
+
+    # 3. fronted infinitive before the root clause
+    root = graph.root
+    if root is not None:
+        for i, token in enumerate(graph.tokens):
+            if i >= root.index:
+                break
+            if token.tag == "TO" and i + 1 < len(graph.tokens):
+                j = i + 1
+                while j < len(graph.tokens) and graph.tokens[j].tag in ("RB",):
+                    j += 1
+                if j < len(graph.tokens) and graph.tokens[j].tag in VERB_TAGS \
+                        and j < root.index and j not in seen \
+                        and _comma_before(graph, root.index, j):
+                    add(j, root)
+            # only scan the pre-root region
+    # 4. explicit idioms ("in order to VB", "so as to VB", ...)
+    lowers = [t.lower for t in graph.tokens]
+    for idiom in _PURPOSE_IDIOMS:
+        for i in range(len(lowers) - len(idiom)):
+            if tuple(lowers[i: i + len(idiom)]) == idiom:
+                j = i + len(idiom)
+                while j < len(graph.tokens) and graph.tokens[j].tag in ("RB",):
+                    j += 1
+                if j < len(graph.tokens) and (
+                        graph.tokens[j].tag in VERB_TAGS):
+                    add(j, _nearest_verb_left(graph, i))
+
+    # 5. "for" + gerund adjunct ("for maximizing throughput")
+    for i, token in enumerate(graph.tokens[:-1]):
+        if token.lower == "for" and graph.tokens[i + 1].tag == "VBG":
+            add(i + 1, _nearest_verb_left(graph, i))
+
+    clauses.sort(key=lambda c: c.start)
+    return clauses
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _is_infinitive(graph: DependencyGraph, index: int) -> bool:
+    """Token *index* is a verb marked with ``to``."""
+    if graph.tokens[index].tag not in VERB_TAGS:
+        return False
+    return any(t.tag == "TO" for t in graph.dependents(index, "mark"))
+
+
+def _comma_before(graph: DependencyGraph, root_index: int, pred: int) -> bool:
+    """A comma separates the fronted clause from the main clause."""
+    return any(
+        graph.tokens[k].tag == ","
+        for k in range(pred + 1, root_index)
+    )
+
+
+def _nearest_verb_left(graph: DependencyGraph, index: int) -> Token | None:
+    for i in range(index - 1, -1, -1):
+        if graph.tokens[i].tag in VERB_TAGS:
+            return graph.tokens[i]
+    return None
+
+
+def _clause_span(graph: DependencyGraph, pred: int) -> tuple[int, int]:
+    """Token span of the clause headed at *pred*.
+
+    Starts at the ``to``/idiom marker (if adjacent to the left) and
+    runs right until a clause boundary: sentence end, comma/semicolon,
+    coordinating conjunction at clause level, or a subordinator.
+    """
+    start = pred
+    j = pred - 1
+    while j >= 0 and graph.tokens[j].tag in ("TO", "RB", "IN"):
+        start = j
+        j -= 1
+    n = len(graph.tokens)
+    end = pred
+    for k in range(pred + 1, n):
+        tag = graph.tokens[k].tag
+        if tag in (",", ";", ":", "."):
+            break
+        if tag == "CC":
+            break
+        end = k
+    return start, end

@@ -1,0 +1,35 @@
+"""Part-of-speech tagging substrate (CoreNLP-tagger replacement).
+
+Two taggers are provided:
+
+* :class:`~repro.tagging.tagger.RuleTagger` — deterministic
+  lexicon + morphology + contextual-rule tagger; the default tagger
+  used by the dependency parser.
+* :class:`~repro.tagging.perceptron.PerceptronTagger` — a trainable
+  averaged-perceptron tagger (Collins 2002) shipped with an embedded
+  hand-tagged HPC-guide corpus; used for ablation and as a
+  cross-check of the rule tagger.
+
+Both emit Penn Treebank tags (see :mod:`repro.tagging.tagset`).
+"""
+
+from repro.tagging.tagset import PTB_TAGS, is_verb_tag, is_noun_tag, to_wordnet_pos
+from repro.tagging.tagger import RuleTagger, pos_tag
+from repro.tagging.perceptron import PerceptronTagger
+from repro.tagging.brill import BrillTagger, BrillTrainer
+from repro.tagging.evaluation import TaggerReport, evaluate_tagger, compare_taggers
+
+__all__ = [
+    "PTB_TAGS",
+    "is_verb_tag",
+    "is_noun_tag",
+    "to_wordnet_pos",
+    "RuleTagger",
+    "pos_tag",
+    "PerceptronTagger",
+    "BrillTagger",
+    "BrillTrainer",
+    "TaggerReport",
+    "evaluate_tagger",
+    "compare_taggers",
+]

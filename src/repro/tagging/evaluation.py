@@ -1,0 +1,88 @@
+"""Tagger evaluation tooling: accuracy, per-tag P/R/F, confusion pairs.
+
+Shared harness for comparing the three taggers (rule, perceptron,
+Brill) on gold corpora — the kind of report one needs before trusting
+a tagger swap in the recognition pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+TaggedSentence = Sequence[tuple[str, str]]
+
+
+@dataclass
+class TaggerReport:
+    """Evaluation result of one tagger on one gold corpus."""
+
+    accuracy: float
+    total: int
+    per_tag: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict)
+    confusions: list[tuple[str, str, int]] = field(default_factory=list)
+
+    def worst_tags(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k gold tags with the lowest F-measure."""
+        ranked = sorted(
+            ((tag, f) for tag, (_, _, f) in self.per_tag.items()),
+            key=lambda item: item[1])
+        return ranked[:k]
+
+
+def evaluate_tagger(
+    tagger, gold: Sequence[TaggedSentence]
+) -> TaggerReport:
+    """Tag every gold sentence and compile a :class:`TaggerReport`.
+
+    *tagger* needs a ``tag(tokens) -> list[(word, tag)]`` method — all
+    three taggers in :mod:`repro.tagging` qualify.
+    """
+    correct = total = 0
+    gold_counts: Counter = Counter()
+    predicted_counts: Counter = Counter()
+    true_positive: Counter = Counter()
+    confusion: Counter = Counter()
+
+    for sentence in gold:
+        words = [word for word, _ in sentence]
+        predictions = tagger.tag(words)
+        for (_, gold_tag), (_, guess) in zip(sentence, predictions):
+            total += 1
+            gold_counts[gold_tag] += 1
+            predicted_counts[guess] += 1
+            if gold_tag == guess:
+                correct += 1
+                true_positive[gold_tag] += 1
+            else:
+                confusion[(gold_tag, guess)] += 1
+
+    per_tag: dict[str, tuple[float, float, float]] = {}
+    for tag in gold_counts:
+        tp = true_positive[tag]
+        precision = tp / predicted_counts[tag] if predicted_counts[tag] else 0.0
+        recall = tp / gold_counts[tag]
+        f_measure = (2 * precision * recall / (precision + recall)
+                     if precision + recall else 0.0)
+        per_tag[tag] = (precision, recall, f_measure)
+
+    confusions = sorted(
+        ((gold_tag, guess, count)
+         for (gold_tag, guess), count in confusion.items()),
+        key=lambda item: -item[2])
+    return TaggerReport(
+        accuracy=correct / total if total else 0.0,
+        total=total,
+        per_tag=per_tag,
+        confusions=confusions,
+    )
+
+
+def compare_taggers(
+    taggers: dict[str, object], gold: Sequence[TaggedSentence]
+) -> dict[str, TaggerReport]:
+    """Evaluate several taggers on the same corpus."""
+    return {name: evaluate_tagger(tagger, gold)
+            for name, tagger in taggers.items()}

@@ -1,0 +1,178 @@
+"""Tagging lexicon: word -> default tag plus ambiguity classes.
+
+Seeded from the base-form word lists shared with the lemmatizer, the
+closed-class function words of English, and the recurring vocabulary
+of GPU / many-core programming guides.  For ambiguous words the
+lexicon records the *set* of admissible tags; the contextual layer of
+the rule tagger picks among them.
+"""
+
+from __future__ import annotations
+
+from repro.textproc.wordlists import BASE_ADJECTIVES, BASE_NOUNS, BASE_VERBS
+
+# -- closed classes ------------------------------------------------------
+
+DETERMINERS = {
+    "the": "DT", "a": "DT", "an": "DT", "this": "DT", "that": "DT",
+    "these": "DT", "those": "DT", "each": "DT", "every": "DT",
+    "some": "DT", "any": "DT", "no": "DT", "all": "PDT", "both": "DT",
+    "either": "DT", "neither": "DT", "another": "DT", "such": "PDT",
+}
+
+PRONOUNS = {
+    "i": "PRP", "you": "PRP", "he": "PRP", "she": "PRP", "it": "PRP",
+    "we": "PRP", "they": "PRP", "them": "PRP", "him": "PRP",
+    "her": "PRP$", "us": "PRP", "me": "PRP", "one": "PRP",
+    "my": "PRP$", "your": "PRP$", "his": "PRP$", "its": "PRP$",
+    "our": "PRP$", "their": "PRP$", "itself": "PRP", "themselves": "PRP",
+    "oneself": "PRP", "yourself": "PRP",
+}
+
+MODALS = {
+    "can": "MD", "could": "MD", "may": "MD", "might": "MD",
+    "must": "MD", "shall": "MD", "should": "MD", "will": "MD",
+    "would": "MD", "cannot": "MD",
+}
+
+PREPOSITIONS = {
+    "in": "IN", "on": "IN", "at": "IN", "by": "IN", "for": "IN",
+    "with": "IN", "about": "IN", "against": "IN", "between": "IN",
+    "into": "IN", "through": "IN", "during": "IN", "before": "IN",
+    "after": "IN", "above": "IN", "below": "IN", "from": "IN",
+    "up": "IN", "down": "IN", "of": "IN", "off": "IN", "over": "IN",
+    "under": "IN", "within": "IN", "without": "IN", "across": "IN",
+    "per": "IN", "via": "IN", "upon": "IN", "among": "IN",
+    "toward": "IN", "towards": "IN", "onto": "IN", "throughout": "IN",
+    "outside": "IN", "inside": "IN", "beyond": "IN", "behind": "IN",
+    "if": "IN", "because": "IN", "since": "IN", "while": "IN",
+    "whereas": "IN", "although": "IN", "though": "IN", "unless": "IN",
+    "until": "IN", "whether": "IN", "as": "IN", "than": "IN",
+    "instead": "RB", "rather": "RB",
+}
+
+CONJUNCTIONS = {"and": "CC", "or": "CC", "but": "CC", "nor": "CC",
+                "yet": "CC", "so": "CC", "plus": "CC"}
+
+NUMBER_WORDS = {
+    "zero": "CD", "one": "CD", "two": "CD", "three": "CD", "four": "CD",
+    "five": "CD", "six": "CD", "seven": "CD", "eight": "CD",
+    "nine": "CD", "ten": "CD", "dozen": "CD", "hundred": "CD",
+    "thousand": "CD", "million": "CD", "billion": "CD",
+}
+
+WH_WORDS = {
+    "which": "WDT", "what": "WP", "who": "WP", "whom": "WP",
+    "whose": "WP$", "when": "WRB", "where": "WRB", "why": "WRB",
+    "how": "WRB",
+}
+
+ADVERBS = {
+    "not": "RB", "n't": "RB", "never": "RB", "always": "RB",
+    "often": "RB", "usually": "RB", "typically": "RB",
+    "frequently": "RB", "generally": "RB", "also": "RB",
+    "therefore": "RB", "thus": "RB", "hence": "RB", "however": "RB",
+    "moreover": "RB", "furthermore": "RB", "otherwise": "RB",
+    "then": "RB", "here": "RB", "there": "EX", "again": "RB",
+    "too": "RB", "very": "RB", "quite": "RB", "well": "RB",
+    "even": "RB", "still": "RB", "already": "RB", "just": "RB",
+    "only": "RB", "much": "RB", "more": "RBR", "most": "RBS",
+    "less": "RBR", "least": "RBS", "further": "RB",
+    "significantly": "RB", "substantially": "RB", "roughly": "RB",
+    "approximately": "RB", "efficiently": "RB", "effectively": "RB",
+    "carefully": "RB", "explicitly": "RB", "implicitly": "RB",
+    "automatically": "RB", "dynamically": "RB", "statically": "RB",
+    "concurrently": "RB", "sequentially": "RB", "independently": "RB",
+    "directly": "RB", "indirectly": "RB", "easily": "RB",
+    "possibly": "RB", "potentially": "RB", "particularly": "RB",
+    "especially": "RB", "ideally": "RB", "alternatively": "RB",
+    "consequently": "RB", "accordingly": "RB", "additionally": "RB",
+    "instead": "RB", "first": "RB", "second": "RB", "finally": "RB",
+    "once": "RB", "twice": "RB", "together": "RB", "whenever": "WRB",
+    "wherever": "WRB", "below": "RB", "above": "RB",
+}
+
+BE_FORMS = {
+    "be": "VB", "am": "VBP", "is": "VBZ", "are": "VBP", "was": "VBD",
+    "were": "VBD", "been": "VBN", "being": "VBG",
+}
+
+HAVE_FORMS = {"have": "VBP", "has": "VBZ", "had": "VBD", "having": "VBG"}
+DO_FORMS = {"do": "VBP", "does": "VBZ", "did": "VBD", "done": "VBN",
+            "doing": "VBG"}
+
+COMPARATIVES = {
+    "better": "JJR", "best": "JJS", "worse": "JJR", "worst": "JJS",
+    "faster": "JJR", "fastest": "JJS", "slower": "JJR", "slowest": "JJS",
+    "higher": "JJR", "highest": "JJS", "lower": "JJR", "lowest": "JJS",
+    "larger": "JJR", "largest": "JJS", "smaller": "JJR",
+    "smallest": "JJS", "greater": "JJR", "greatest": "JJS",
+    "fewer": "JJR", "fewest": "JJS", "bigger": "JJR", "biggest": "JJS",
+    "earlier": "JJR", "easier": "JJR", "simpler": "JJR",
+    "cheaper": "JJR", "deeper": "JJR", "shorter": "JJR",
+    "longer": "JJR", "wider": "JJR", "tighter": "JJR",
+}
+
+SPECIAL = {
+    "to": "TO",
+    "'s": "POS",
+    "e.g": "FW", "i.e": "FW", "etc": "FW", "vs": "FW",
+}
+
+# Common irregular past/participle forms in guide prose.
+IRREGULAR_VERB_TAGS = {
+    "written": "VBN", "wrote": "VBD", "chosen": "VBN", "chose": "VBD",
+    "given": "VBN", "gave": "VBD", "taken": "VBN", "took": "VBD",
+    "made": "VBN", "found": "VBN", "kept": "VBN", "held": "VBN",
+    "led": "VBN", "left": "VBN", "met": "VBN", "read": "VBN",
+    "run": "VB", "ran": "VBD", "set": "VB", "shown": "VBN",
+    "known": "VBN", "seen": "VBN", "spent": "VBN", "built": "VBN",
+    "hidden": "VBN", "meant": "VBN", "put": "VB", "split": "VB",
+    "understood": "VBN", "said": "VBD", "became": "VBD", "began": "VBD",
+    "grew": "VBD", "grown": "VBN", "fell": "VBD", "fallen": "VBN",
+}
+
+# HPC proper nouns / product names commonly capitalized in guides.
+PROPER_NOUNS = {
+    "nvidia", "amd", "intel", "cuda", "opencl", "openmp", "mpi",
+    "xeon", "phi", "gpu", "gpus", "cpu", "cpus", "api", "sdk",
+    "simd", "simt", "sm", "dram", "sram", "pcie", "numa", "gcn",
+    "nvvp", "nvprof", "sgpr", "vgpr", "hbm", "isa", "os", "fpga",
+}
+
+
+def _build_default_lexicon() -> dict[str, str]:
+    lexicon: dict[str, str] = {}
+    # open classes first so closed classes can override
+    for noun in BASE_NOUNS:
+        lexicon[noun] = "NN"
+    for adjective in BASE_ADJECTIVES:
+        lexicon[adjective] = "JJ"
+    for verb in BASE_VERBS:
+        # default verbs to base form; contextual rules adjust
+        lexicon[verb] = "VB"
+    # noun/verb clashes: words in both lists default to NN; the
+    # contextual layer re-tags verbs in verbal positions.
+    for word in BASE_NOUNS & BASE_VERBS:
+        lexicon[word] = "NN"
+    # adjective/verb clashes default to the adjectival reading, which
+    # dominates in guide prose ("the slow path", "a clean design").
+    for word in BASE_ADJECTIVES & BASE_VERBS:
+        lexicon[word] = "JJ"
+    lexicon["other"] = "JJ"
+    for table in (
+        DETERMINERS, PRONOUNS, MODALS, PREPOSITIONS, CONJUNCTIONS,
+        NUMBER_WORDS, WH_WORDS, ADVERBS, BE_FORMS, HAVE_FORMS, DO_FORMS,
+        COMPARATIVES, SPECIAL, IRREGULAR_VERB_TAGS,
+    ):
+        lexicon.update(table)
+    for name in PROPER_NOUNS:
+        lexicon[name] = "NNP"
+    return lexicon
+
+
+#: word -> most likely tag (out of context).
+DEFAULT_TAGS: dict[str, str] = _build_default_lexicon()
+
+#: words that admit both noun and verb readings.
+NOUN_VERB_AMBIGUOUS: frozenset[str] = frozenset(BASE_NOUNS & BASE_VERBS)

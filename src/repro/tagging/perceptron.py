@@ -1,0 +1,245 @@
+"""Averaged perceptron POS tagger (Collins 2002).
+
+A trainable tagger with the same feature template family as the
+well-known textblob/NLTK ``PerceptronTagger``.  It serves two roles in
+the reproduction:
+
+* an *ablation point*: the paper's argument is that Egeria tolerates
+  imperfect NLP; swapping taggers quantifies how recognition quality
+  depends on tagging accuracy;
+* *self-training*: :meth:`PerceptronTagger.train_from_tagger`
+  bootstraps from the deterministic rule tagger over an unlabeled
+  corpus, mirroring how statistical NLP tools are built on silver
+  annotations.
+
+Weights are plain dicts; averaging uses the standard lazy-update
+trick so training is O(features touched), not O(all weights).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+START = ("-START-", "-START2-")
+END = ("-END-", "-END2-")
+
+
+def _normalize(word: str) -> str:
+    """Feature-space normalization of a raw token."""
+    if "-" in word and word[0] != "-":
+        return "!HYPHEN"
+    if word.isdigit():
+        return "!DIGITS" if len(word) == 4 else "!YEAR" if False else "!DIGITS"
+    if word[0].isdigit():
+        return "!DIGITS"
+    return word.lower()
+
+
+class AveragedPerceptron:
+    """Multiclass averaged perceptron over sparse binary features."""
+
+    def __init__(self) -> None:
+        self.weights: dict[str, dict[str, float]] = {}
+        self.classes: set[str] = set()
+        self._totals: dict[tuple[str, str], float] = defaultdict(float)
+        self._tstamps: dict[tuple[str, str], int] = defaultdict(int)
+        self.i = 0
+
+    def predict(self, features: dict[str, int]) -> str:
+        scores: dict[str, float] = defaultdict(float)
+        for feat, value in features.items():
+            if feat not in self.weights or value == 0:
+                continue
+            for label, weight in self.weights[feat].items():
+                scores[label] += value * weight
+        # deterministic tie-break on label name
+        return max(self.classes, key=lambda label: (scores[label], label))
+
+    def update(self, truth: str, guess: str, features: dict[str, int]) -> None:
+        self.i += 1
+        if truth == guess:
+            return
+        for feat in features:
+            weights = self.weights.setdefault(feat, {})
+            self._upd_feat(truth, feat, weights.get(truth, 0.0), 1.0)
+            self._upd_feat(guess, feat, weights.get(guess, 0.0), -1.0)
+
+    def _upd_feat(self, label: str, feat: str, weight: float, delta: float) -> None:
+        key = (feat, label)
+        self._totals[key] += (self.i - self._tstamps[key]) * weight
+        self._tstamps[key] = self.i
+        self.weights[feat][label] = weight + delta
+
+    def average_weights(self) -> None:
+        for feat, weights in self.weights.items():
+            new: dict[str, float] = {}
+            for label, weight in weights.items():
+                key = (feat, label)
+                total = self._totals[key] + (self.i - self._tstamps[key]) * weight
+                averaged = round(total / max(self.i, 1), 3)
+                if averaged:
+                    new[label] = averaged
+            self.weights[feat] = new
+
+
+class PerceptronTagger:
+    """Trainable POS tagger with greedy left-to-right decoding."""
+
+    def __init__(self) -> None:
+        self.model = AveragedPerceptron()
+        self.tagdict: dict[str, str] = {}
+        self._trained = False
+
+    # -- training --------------------------------------------------------
+
+    def train(
+        self,
+        sentences: Sequence[Sequence[tuple[str, str]]],
+        iterations: int = 5,
+        seed: int = 1,
+    ) -> None:
+        """Train on tagged sentences for *iterations* epochs."""
+        self._make_tagdict(sentences)
+        self.model.classes = {tag for sent in sentences for _, tag in sent}
+        rng = np.random.default_rng(seed)
+        order = np.arange(len(sentences))
+        for _ in range(iterations):
+            rng.shuffle(order)
+            for idx in order:
+                sentence = sentences[idx]
+                words = [w for w, _ in sentence]
+                context = (
+                    list(START) + [_normalize(w) for w in words] + list(END)
+                )
+                prev, prev2 = START
+                for i, (word, truth) in enumerate(sentence):
+                    guess = self.tagdict.get(word.lower())
+                    if guess is None:
+                        feats = self._features(i, word, context, prev, prev2)
+                        guess = self.model.predict(feats)
+                        self.model.update(truth, guess, feats)
+                    prev2, prev = prev, guess
+        self.model.average_weights()
+        self._trained = True
+
+    def train_from_tagger(
+        self,
+        tagger,
+        sentences: Iterable[Sequence[str]],
+        iterations: int = 5,
+        seed: int = 1,
+    ) -> None:
+        """Self-train on *tagger*'s silver annotations of raw sentences."""
+        silver = [tagger.tag(list(tokens)) for tokens in sentences]
+        silver = [s for s in silver if s]
+        self.train(silver, iterations=iterations, seed=seed)
+
+    # -- inference ---------------------------------------------------------
+
+    def tag(self, tokens: Sequence[str]) -> list[tuple[str, str]]:
+        """Tag a tokenized sentence; requires a trained model."""
+        if not self._trained:
+            raise RuntimeError("PerceptronTagger.tag called before train()")
+        output: list[tuple[str, str]] = []
+        context = list(START) + [_normalize(w) for w in tokens] + list(END)
+        prev, prev2 = START
+        for i, word in enumerate(tokens):
+            tag = self.tagdict.get(word.lower())
+            if tag is None:
+                feats = self._features(i, word, context, prev, prev2)
+                tag = self.model.predict(feats)
+            output.append((word, tag))
+            prev2, prev = prev, tag
+        return output
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Serialize the trained model (weights + tagdict) as JSON."""
+        import json
+
+        if not self._trained:
+            raise RuntimeError("cannot save an untrained tagger")
+        payload = {
+            "weights": self.model.weights,
+            "classes": sorted(self.model.classes),
+            "tagdict": self.tagdict,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "PerceptronTagger":
+        """Load a tagger previously written by :meth:`save`."""
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        tagger = cls()
+        tagger.model.weights = {
+            feat: dict(label_weights)
+            for feat, label_weights in payload["weights"].items()
+        }
+        tagger.model.classes = set(payload["classes"])
+        tagger.tagdict = dict(payload["tagdict"])
+        tagger._trained = True
+        return tagger
+
+    def accuracy(
+        self, sentences: Sequence[Sequence[tuple[str, str]]]
+    ) -> float:
+        """Token-level accuracy against gold *sentences*."""
+        correct = total = 0
+        for sentence in sentences:
+            words = [w for w, _ in sentence]
+            predicted = self.tag(words)
+            for (_, gold), (_, guess) in zip(sentence, predicted):
+                total += 1
+                correct += gold == guess
+        return correct / total if total else 0.0
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_tagdict(
+        self, sentences: Sequence[Sequence[tuple[str, str]]]
+    ) -> None:
+        """Freeze unambiguous frequent words into a lookup dict."""
+        counts: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for sentence in sentences:
+            for word, tag in sentence:
+                counts[word.lower()][tag] += 1
+        freq_thresh, ambiguity_thresh = 3, 0.97
+        for word, tag_freqs in counts.items():
+            tag, mode = max(tag_freqs.items(), key=lambda kv: kv[1])
+            total = sum(tag_freqs.values())
+            if total >= freq_thresh and mode / total >= ambiguity_thresh:
+                self.tagdict[word] = tag
+
+    @staticmethod
+    def _features(
+        i: int, word: str, context: list[str], prev: str, prev2: str
+    ) -> dict[str, int]:
+        features: dict[str, int] = defaultdict(int)
+
+        def add(name: str, *args: str) -> None:
+            features[" ".join((name,) + args)] += 1
+
+        i += len(START)
+        add("bias")
+        add("i suffix", word[-3:])
+        add("i pref1", word[0])
+        add("i-1 tag", prev)
+        add("i-2 tag", prev2)
+        add("i tag+i-2 tag", prev, prev2)
+        add("i word", context[i])
+        add("i-1 tag+i word", prev, context[i])
+        add("i-1 word", context[i - 1])
+        add("i-1 suffix", context[i - 1][-3:])
+        add("i-2 word", context[i - 2])
+        add("i+1 word", context[i + 1])
+        add("i+1 suffix", context[i + 1][-3:])
+        add("i+2 word", context[i + 2])
+        return dict(features)

@@ -1,0 +1,381 @@
+"""Deterministic rule tagger: lexicon -> morphology -> context rules.
+
+Three layers, mirroring the multi-layered philosophy of the paper:
+
+1. **Lexicon** — closed-class words and the known open-class
+   vocabulary get their out-of-context default tag.
+2. **Morphology** — unknown words are tagged from suffix/shape
+   evidence (``-ing`` => VBG, ``-tion`` => NN, capitalized => NNP,
+   digits => CD, code tokens => SYM, ...).
+3. **Contextual rules** — Brill-style transformation rules repair the
+   classic ambiguities of guide prose: imperative-initial verbs,
+   verbs after modals/``to``, nouns after determiners, participles
+   after *be*/*have*, gerund-vs-noun, etc.
+
+The result is a tagger with no training data requirement whose error
+modes are stable and inspectable — which is what the downstream
+dependency heuristics need.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tagging.lexicon import DEFAULT_TAGS, NOUN_VERB_AMBIGUOUS
+from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS
+from repro.textproc.wordlists import BASE_VERBS
+from repro.textproc.word_tokenizer import word_tokenize
+
+_PUNCT_TAGS = {
+    ".": ".", "!": ".", "?": ".",
+    ",": ",", ";": ":", ":": ":", "...": ":",
+    "(": "(", ")": ")", "[": "(", "]": ")", "{": "(", "}": ")",
+    '"': "''", "'": "''", "`": "``",
+    "%": "SYM", "/": "SYM", "+": "SYM", "*": "SYM", "=": "SYM",
+    "<": "SYM", ">": "SYM", "&": "CC", "|": "SYM", "~": "SYM",
+    "^": "SYM", "$": "$", "@": "SYM", "-": ":",
+}
+
+_CODE_RE = re.compile(
+    r"^(?:[A-Za-z_][A-Za-z0-9_]*\(\)|__[A-Za-z0-9_]+(?:__)?|#[A-Za-z]+"
+    r"|-{1,2}[A-Za-z][A-Za-z0-9_-]*|[A-Za-z]+(?:_[A-Za-z0-9]+)+)$"
+)
+_NUMBER_RE = re.compile(r"^\d+(?:\.\d+)*(?:f|\.x)?$|^\d+-[A-Za-z]+$")
+
+# suffix -> tag for unknown words, longest suffix first
+_SUFFIX_TAGS: tuple[tuple[str, str], ...] = (
+    ("ational", "JJ"),
+    ("ization", "NN"),
+    ("ability", "NN"),
+    ("fulness", "NN"),
+    ("ousness", "NN"),
+    ("iveness", "NN"),
+    ("ically", "RB"),
+    ("ations", "NNS"),
+    ("ution", "NN"),
+    ("ement", "NN"),
+    ("ching", "VBG"),
+    ("sion", "NN"),
+    ("tion", "NN"),
+    ("ness", "NN"),
+    ("ment", "NN"),
+    ("ance", "NN"),
+    ("ence", "NN"),
+    ("ship", "NN"),
+    ("ties", "NNS"),
+    ("ible", "JJ"),
+    ("able", "JJ"),
+    ("ious", "JJ"),
+    ("eous", "JJ"),
+    ("ical", "JJ"),
+    ("less", "JJ"),
+    ("ngly", "RB"),
+    ("ally", "RB"),
+    ("ward", "RB"),
+    ("wise", "RB"),
+    ("ity", "NN"),
+    ("ism", "NN"),
+    ("ist", "NN"),
+    ("ing", "VBG"),
+    ("ely", "RB"),
+    ("tly", "RB"),
+    ("ily", "RB"),
+    ("ous", "JJ"),
+    ("ive", "JJ"),
+    ("ful", "JJ"),
+    ("ish", "JJ"),
+    ("ary", "JJ"),
+    ("ate", "VB"),
+    ("ize", "VB"),
+    ("ify", "VB"),
+    ("est", "JJS"),
+    ("ed", "VBN"),
+    ("er", "NN"),
+    ("ly", "RB"),
+    ("al", "JJ"),
+    ("ic", "JJ"),
+)
+
+_BE_LEMMAS = {"be", "am", "is", "are", "was", "were", "been", "being"}
+_HAVE_LEMMAS = {"have", "has", "had", "having"}
+
+
+class RuleTagger:
+    """Lexicon + morphology + contextual-rule POS tagger.
+
+    >>> RuleTagger().tag(["Use", "shared", "memory", "."])
+    [('Use', 'VB'), ('shared', 'JJ'), ('memory', 'NN'), ('.', '.')]
+    """
+
+    def tag_sentence(self, sentence: str) -> list[tuple[str, str]]:
+        """Tokenize *sentence* and tag the tokens."""
+        return self.tag(word_tokenize(sentence))
+
+    def tag(self, tokens: list[str]) -> list[tuple[str, str]]:
+        """Tag an already-tokenized sentence."""
+        tags = [self._initial_tag(tok, i) for i, tok in enumerate(tokens)]
+        tags = self._apply_context_rules(tokens, tags)
+        return list(zip(tokens, tags))
+
+    # -- layer 1/2: initial tag ----------------------------------------
+
+    def _initial_tag(self, token: str, index: int) -> str:
+        if token in _PUNCT_TAGS:
+            return _PUNCT_TAGS[token]
+        if _NUMBER_RE.match(token):
+            return "CD"
+        if _CODE_RE.match(token):
+            return "SYM"
+        lowered = token.lower()
+        if lowered in DEFAULT_TAGS:
+            tag = DEFAULT_TAGS[lowered]
+            # inflected forms of known verbs
+            return tag
+        # inflected variants of known base verbs
+        verb_tag = self._verb_inflection_tag(lowered)
+        if verb_tag is not None:
+            return verb_tag
+        # plural of known nouns
+        if lowered.endswith("s") and lowered[:-1] in DEFAULT_TAGS \
+                and DEFAULT_TAGS[lowered[:-1]] in NOUN_TAGS:
+            return "NNS"
+        if lowered.endswith("es") and lowered[:-2] in DEFAULT_TAGS \
+                and DEFAULT_TAGS[lowered[:-2]] in NOUN_TAGS:
+            return "NNS"
+        if lowered.endswith("ies") and lowered[:-3] + "y" in DEFAULT_TAGS \
+                and DEFAULT_TAGS[lowered[:-3] + "y"] in NOUN_TAGS:
+            return "NNS"
+        # comparatives of known adjectives
+        if lowered.endswith("er") and lowered[:-2] in DEFAULT_TAGS \
+                and DEFAULT_TAGS[lowered[:-2]] == "JJ":
+            return "JJR"
+        if lowered.endswith("est") and lowered[:-3] in DEFAULT_TAGS \
+                and DEFAULT_TAGS[lowered[:-3]] == "JJ":
+            return "JJS"
+        # shape: capitalized mid-sentence word
+        if token[0].isupper() and index > 0:
+            return "NNP"
+        # morphology for unknown words
+        for suffix, tag in _SUFFIX_TAGS:
+            if lowered.endswith(suffix) and len(lowered) > len(suffix) + 1:
+                if tag == "NNS" or (tag == "NN" and lowered.endswith("s")
+                                    and not lowered.endswith("ss")):
+                    return "NNS" if lowered.endswith("s") else tag
+                return tag
+        if lowered.endswith("s") and not lowered.endswith("ss"):
+            return "NNS"
+        return "NN"
+
+    @staticmethod
+    def _verb_inflection_tag(lowered: str) -> str | None:
+        """Tag inflections of verbs from the base-verb inventory.
+
+        Inflections of noun/verb-ambiguous bases ("accesses", "uses")
+        return ``None`` so the noun-plural logic keeps the nominal
+        default; contextual rule R9 flips them in verbal positions.
+        """
+        if lowered.endswith("ing"):
+            stem = lowered[:-3]
+            for cand in (stem, stem + "e",
+                         stem[:-1] if stem[-1:] * 2 == stem[-2:] else stem):
+                if cand in BASE_VERBS:
+                    return "VBG"
+        if lowered.endswith("ed"):
+            stem = lowered[:-2]
+            for cand in (stem, stem + "e",
+                         stem[:-1] if len(stem) > 1 and stem[-1] == stem[-2] else stem):
+                if cand in BASE_VERBS:
+                    return "VBN"
+            if lowered.endswith("ied") and lowered[:-3] + "y" in BASE_VERBS:
+                return "VBN"
+        third_person_base = None
+        if lowered.endswith("ies") and lowered[:-3] + "y" in BASE_VERBS:
+            third_person_base = lowered[:-3] + "y"
+        elif lowered.endswith("es") and lowered[:-2] in BASE_VERBS:
+            third_person_base = lowered[:-2]
+        elif lowered.endswith("s") and lowered[:-1] in BASE_VERBS:
+            third_person_base = lowered[:-1]
+        if third_person_base is not None:
+            if third_person_base in NOUN_VERB_AMBIGUOUS:
+                return None  # prefer nominal default; R9 may flip it
+            return "VBZ"
+        return None
+
+    # -- layer 3: contextual rules --------------------------------------
+
+    def _apply_context_rules(
+        self, tokens: list[str], tags: list[str]
+    ) -> list[str]:
+        n = len(tokens)
+        lowers = [t.lower() for t in tokens]
+
+        def prev_tag(i: int) -> str:
+            return tags[i - 1] if i > 0 else "<S>"
+
+        def next_tag(i: int) -> str:
+            return tags[i + 1] if i + 1 < n else "</S>"
+
+        for i in range(n):
+            tag = tags[i]
+            low = lowers[i]
+
+            # R1: "to" + base verb => keep TO VB; "to" + noun-tagged
+            # known verb => re-tag as VB ("to queue commands")
+            if prev_tag(i) == "TO" and low in BASE_VERBS and tag in NOUN_TAGS:
+                tags[i] = "VB"
+                continue
+            # R2: modal (+ optional adverbs) + anything verb-capable => VB
+            j = i - 1
+            while j >= 0 and tags[j] in ("RB", "RBR", "RBS"):
+                j -= 1
+            if j >= 0 and tags[j] == "MD":
+                if low in BASE_VERBS or tag in VERB_TAGS:
+                    tags[i] = "VB"
+                    continue
+                # "can be X" handled by R5 later; "should NN" is rare
+            # R2b: a base-verb-capable token tagged VB directly before
+            # a modal is actually the head noun ("this guarantee can")
+            if tag == "VB" and next_tag(i) == "MD":
+                tags[i] = "NN"
+                continue
+            # R3: sentence-initial noun/verb-ambiguous word heads an
+            # imperative ("Schedule the copy early", "Use textures")
+            # when no other finite verb follows in the sentence.
+            if i == 0 and low in NOUN_VERB_AMBIGUOUS and next_tag(i) in (
+                    "DT", "PRP$", "JJ", "PDT", "NN", "NNS", "CD", "RB"):
+                has_finite = any(t in ("MD", "VBZ", "VBP", "VBD")
+                                 for t in tags[1:])
+                if not has_finite:
+                    tags[i] = "VB"
+                    continue
+            # R4: determiner/possessive + verb-tagged => noun reading
+            if prev_tag(i) in ("DT", "PRP$", "PDT") and tag == "VB":
+                tags[i] = "NN"
+                continue
+            # R5: be-form + VBG stays VBG (progressive); be-form +
+            # VB/VBD/-ed adjective of a known verb => VBN (passive)
+            if i > 0 and lowers[i - 1] in _BE_LEMMAS | {"being", "been"}:
+                if tag == "VBD" or (tag in ("VB", "JJ") and low.endswith("ed")):
+                    tags[i] = "VBN"
+                    continue
+            # R6: have-form + VBD => VBN (perfect)
+            if i > 0 and lowers[i - 1] in _HAVE_LEMMAS and tag == "VBD":
+                tags[i] = "VBN"
+                continue
+            # R7: VBN directly before a noun is usually adjectival
+            # ("shared memory", "pinned memory", "aligned accesses")
+            if tag == "VBN" and next_tag(i) in NOUN_TAGS:
+                tags[i] = "JJ"
+                continue
+            # R8: VBG before a noun where the previous word is a
+            # determiner/preposition reads as adjectival/nominal
+            # gerund ("the controlling condition", "by storing")
+            if tag == "VBG" and prev_tag(i) in ("DT", "PRP$") \
+                    and next_tag(i) in NOUN_TAGS:
+                tags[i] = "JJ"
+                continue
+            # R9: noun-verb ambiguous word (base or -s inflection)
+            # after a nominal/pronominal subject and followed by
+            # object-ish material: verbal reading ("developers
+            # schedule work", "the kernel uses 31 registers")
+            base = None
+            if low in NOUN_VERB_AMBIGUOUS:
+                base = low
+            elif low.endswith("es") and low[:-2] in NOUN_VERB_AMBIGUOUS:
+                base = low[:-2]
+            elif low.endswith("s") and low[:-1] in NOUN_VERB_AMBIGUOUS:
+                base = low[:-1]
+            if base is not None and tag in NOUN_TAGS:
+                # guard 1: if the preceding noun is itself the object
+                # of a verb/TO two back, we are inside an object NP
+                # ("minimize data transfers with ...") — do not flip
+                inside_object = i >= 2 and (tags[i - 2] in VERB_TAGS
+                                            or tags[i - 2] == "TO")
+                # guard 2: walk left over NP material; if the NP is
+                # governed by a preposition we are inside a PP
+                # ("for key code loops in the kernel") — do not flip
+                j = i - 1
+                while j >= 0 and tags[j] in ("DT", "PRP$", "JJ", "JJR",
+                                             "JJS", "CD", "NN", "NNS",
+                                             "NNP", "SYM"):
+                    j -= 1
+                inside_pp = j >= 0 and tags[j] in ("IN", "TO")
+                if not inside_object and not inside_pp \
+                        and prev_tag(i) in ("PRP", "NN", "NNS", "NNP") \
+                        and next_tag(i) in ("DT", "PRP$", "JJ", "CD",
+                                            "IN", "TO", "RB", "NN", "NNS"):
+                    tags[i] = "VBZ" if low != base else "VBP"
+                    continue
+            # R9b: plural subject + base verb => VBP ("branches lower
+            # warp efficiency", "kernels that exhibit ... scale well")
+            if tag == "VB" and i > 0 and prev_tag(i) in ("NNS", "WDT", "WP"):
+                tags[i] = "VBP"
+                continue
+            # R9c: comparative form that is also a verb, between a
+            # plural subject and an object NP, reads verbally
+            # ("divergent branches lower warp efficiency")
+            if tag == "JJR" and low in BASE_VERBS \
+                    and prev_tag(i) == "NNS" \
+                    and next_tag(i) in ("NN", "NNS", "JJ", "DT", "PRP$"):
+                tags[i] = "VBP"
+                continue
+            # R11: RB between DT and NN is adjectival ("the first step")
+            if tag in ("RB",) and prev_tag(i) in ("DT", "PRP$") \
+                    and next_tag(i) in NOUN_TAGS:
+                tags[i] = "JJ"
+                continue
+            # R12: comparative adverb before a noun is JJR ("more
+            # registers", "fewer instructions")
+            if tag == "RBR" and next_tag(i) in NOUN_TAGS:
+                tags[i] = "JJR"
+                continue
+            # R13: adjective between DT and IN reads as a noun head
+            # ("a multiple of the warp size")
+            if tag == "JJ" and prev_tag(i) in ("DT",) and next_tag(i) == "IN":
+                tags[i] = "NN"
+                continue
+            # R14: VBG heading a nominal compound => NN ("incurring
+            # pinning costs", "loop unrolling using a directive")
+            if tag == "VBG" and prev_tag(i) in ("NN", "JJ", "VBG"):
+                if next_tag(i) in NOUN_TAGS or next_tag(i) not in (
+                        "DT", "PRP$", "NN", "NNS", "PRP"):
+                    tags[i] = "NN"
+                    continue
+            # R15: VBG object at clause end => NN ("help reduce idling.")
+            if tag == "VBG" and prev_tag(i) in VERB_TAGS \
+                    and next_tag(i) in (".", ",", ":", "</S>"):
+                tags[i] = "NN"
+                continue
+            # R16: comparative adjective in adverbial position
+            # ("run substantially faster")
+            if tag == "JJR" and prev_tag(i) in ("RB",) \
+                    and next_tag(i) in (".", ",", ":", "</S>"):
+                tags[i] = "RBR"
+                continue
+            # R17: singular-noun subject + base verb + adverbial/clause
+            # end => VBP ("... intensity scale well")
+            if tag == "VB" and prev_tag(i) == "NN" and next_tag(i) in (
+                    "RB", ".", "</S>"):
+                tags[i] = "VBP"
+                continue
+            # R18: pronominal "one" before a modal/verb ("One can use
+            # the KMP_AFFINITY variable")
+            if low == "one" and tag == "CD" and next_tag(i) in (
+                    "MD", "VBZ", "VBP"):
+                tags[i] = "PRP"
+                continue
+            # R10: "that"/"which" after noun is a relative pronoun WDT
+            if low == "that" and prev_tag(i) in NOUN_TAGS:
+                tags[i] = "WDT"
+                continue
+        return tags
+
+
+_DEFAULT = RuleTagger()
+
+
+def pos_tag(tokens: list[str] | str) -> list[tuple[str, str]]:
+    """Tag *tokens* (a token list or a raw sentence string)."""
+    if isinstance(tokens, str):
+        return _DEFAULT.tag_sentence(tokens)
+    return _DEFAULT.tag(tokens)

@@ -1,0 +1,67 @@
+"""Penn Treebank tagset subset and tag predicates.
+
+The dependency parser and SRL only need coarse category queries
+("is this a verb?"), so the helpers here centralize tag-class logic.
+"""
+
+from __future__ import annotations
+
+#: The PTB tags this substrate can emit.
+PTB_TAGS: frozenset[str] = frozenset(
+    {
+        "CC",   # coordinating conjunction
+        "CD",   # cardinal number
+        "DT",   # determiner
+        "EX",   # existential there
+        "FW",   # foreign word
+        "IN",   # preposition / subordinating conjunction
+        "JJ", "JJR", "JJS",      # adjective, comparative, superlative
+        "LS",   # list item marker
+        "MD",   # modal
+        "NN", "NNS", "NNP", "NNPS",  # nouns
+        "PDT",  # predeterminer
+        "POS",  # possessive ending
+        "PRP", "PRP$",  # pronouns
+        "RB", "RBR", "RBS",  # adverbs
+        "RP",   # particle
+        "SYM",  # symbol / code token
+        "TO",   # to
+        "UH",   # interjection
+        "VB", "VBD", "VBG", "VBN", "VBP", "VBZ",  # verbs
+        "WDT", "WP", "WP$", "WRB",  # wh-words
+        ".", ",", ":", "(", ")", "``", "''", "$", "#",  # punctuation
+    }
+)
+
+VERB_TAGS: frozenset[str] = frozenset({"VB", "VBD", "VBG", "VBN", "VBP", "VBZ"})
+NOUN_TAGS: frozenset[str] = frozenset({"NN", "NNS", "NNP", "NNPS"})
+ADJ_TAGS: frozenset[str] = frozenset({"JJ", "JJR", "JJS"})
+ADV_TAGS: frozenset[str] = frozenset({"RB", "RBR", "RBS", "WRB"})
+
+
+def is_verb_tag(tag: str) -> bool:
+    """True for any PTB verb tag (VB/VBD/VBG/VBN/VBP/VBZ)."""
+    return tag in VERB_TAGS
+
+
+def is_noun_tag(tag: str) -> bool:
+    """True for any PTB noun tag (NN/NNS/NNP/NNPS)."""
+    return tag in NOUN_TAGS
+
+
+def is_adj_tag(tag: str) -> bool:
+    """True for any PTB adjective tag (JJ/JJR/JJS)."""
+    return tag in ADJ_TAGS
+
+
+def to_wordnet_pos(tag: str) -> str:
+    """Map a PTB tag to the lemmatizer's WordNet-style POS letter."""
+    if tag in VERB_TAGS or tag == "MD":
+        return "v"
+    if tag in NOUN_TAGS:
+        return "n"
+    if tag in ADJ_TAGS:
+        return "a"
+    if tag in ADV_TAGS:
+        return "r"
+    return "x"

@@ -1,0 +1,30 @@
+"""Text processing substrate (NLTK replacement).
+
+Provides the low-level text machinery Egeria builds on: sentence
+segmentation, word tokenization, Porter2 stemming, rule-based English
+lemmatization, stopword filtering, and a composable normalization
+pipeline used by both the recognizer (Stage I) and the retrieval layer
+(Stage II).
+"""
+
+from repro.textproc.sentence_tokenizer import SentenceTokenizer, sent_tokenize
+from repro.textproc.word_tokenizer import WordTokenizer, word_tokenize
+from repro.textproc.porter import PorterStemmer, stem
+from repro.textproc.lemmatizer import Lemmatizer, lemmatize
+from repro.textproc.stopwords import STOPWORDS, is_stopword
+from repro.textproc.normalize import NormalizationPipeline, normalize_tokens
+
+__all__ = [
+    "SentenceTokenizer",
+    "sent_tokenize",
+    "WordTokenizer",
+    "word_tokenize",
+    "PorterStemmer",
+    "stem",
+    "Lemmatizer",
+    "lemmatize",
+    "STOPWORDS",
+    "is_stopword",
+    "NormalizationPipeline",
+    "normalize_tokens",
+]

@@ -1,0 +1,196 @@
+"""Rule-and-exception English lemmatizer (WordNet-lemmatizer stand-in).
+
+Egeria needs lemmas in three places (paper §3.1.2): Selector 2 matches
+``lemma(governor)`` against ``XCOMP_GOVERNORS``; Selector 3 matches the
+root verb's lemma against ``IMPERATIVE_WORDS``; Selector 4 matches the
+subject noun's lemma against ``KEY_SUBJECTS``.  All three only require
+inflectional lemmatization (runs/ran/running -> run; developers ->
+developer), which a rule system with irregular tables handles well for
+guide-genre English.
+
+Candidates produced by suffix rules are validated against the base-form
+word lists in :mod:`repro.textproc.wordlists`; when no candidate
+validates, the most conservative transformation is returned.
+"""
+
+from __future__ import annotations
+
+from repro.textproc.wordlists import (
+    BASE_ADJECTIVES,
+    BASE_NOUNS,
+    BASE_VERBS,
+    IRREGULAR_ADJECTIVES,
+    IRREGULAR_NOUNS,
+    IRREGULAR_VERBS,
+)
+
+VOWELS = set("aeiou")
+
+# (suffix, replacements-to-try) for verbs; first validated wins.
+_VERB_RULES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("ies", ("y",)),
+    ("ied", ("y",)),
+    ("sses", ("ss",)),
+    ("ches", ("ch",)),
+    ("shes", ("sh",)),
+    ("xes", ("x",)),
+    ("zes", ("z", "ze")),
+    ("es", ("e", "")),
+    ("s", ("",)),
+    ("ing", ("", "e")),
+    ("ed", ("", "e")),
+)
+
+_NOUN_RULES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("ies", ("y",)),
+    ("ves", ("f", "fe")),
+    ("ches", ("ch",)),
+    ("shes", ("sh",)),
+    ("sses", ("ss",)),
+    ("xes", ("x",)),
+    ("oes", ("o",)),
+    ("es", ("e", "")),
+    ("s", ("",)),
+)
+
+_ADJ_RULES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("iest", ("y",)),
+    ("ier", ("y",)),
+    ("est", ("", "e")),
+    ("er", ("", "e")),
+)
+
+_DOUBLED = tuple(c + c for c in "bdfglmnprstz")
+
+
+class Lemmatizer:
+    """Lemmatize English words by part of speech.
+
+    ``pos`` uses the WordNet convention: ``"v"`` (verb), ``"n"``
+    (noun), ``"a"`` (adjective); anything else returns the lowercased
+    word unchanged.
+
+    >>> Lemmatizer().lemmatize("leveraged", "v")
+    'leverage'
+    >>> Lemmatizer().lemmatize("developers", "n")
+    'developer'
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, str], str] = {}
+
+    def lemmatize(self, word: str, pos: str = "n") -> str:
+        word = word.lower()
+        key = (word, pos)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if pos == "v":
+            result = self._lemmatize_verb(word)
+        elif pos == "n":
+            result = self._lemmatize_noun(word)
+        elif pos == "a":
+            result = self._lemmatize_adjective(word)
+        else:
+            result = word
+        self._cache[key] = result
+        return result
+
+    # -- per-POS logic ---------------------------------------------------
+
+    def _lemmatize_verb(self, word: str) -> str:
+        if word in IRREGULAR_VERBS:
+            return IRREGULAR_VERBS[word]
+        if word in BASE_VERBS:
+            return word
+        candidate = self._apply_rules(word, _VERB_RULES, BASE_VERBS,
+                                      undouble=True)
+        return candidate if candidate is not None else self._fallback_verb(word)
+
+    def _lemmatize_noun(self, word: str) -> str:
+        if word in IRREGULAR_NOUNS:
+            return IRREGULAR_NOUNS[word]
+        if word in BASE_NOUNS:
+            return word
+        candidate = self._apply_rules(word, _NOUN_RULES, BASE_NOUNS)
+        if candidate is not None:
+            return candidate
+        # conservative: strip plural -s / -es heuristically
+        if word.endswith("ies") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith(("ches", "shes", "sses", "xes", "zes")):
+            return word[:-2]
+        if word.endswith("s") and not word.endswith(("ss", "us", "is")):
+            return word[:-1]
+        return word
+
+    def _lemmatize_adjective(self, word: str) -> str:
+        if word in IRREGULAR_ADJECTIVES:
+            return IRREGULAR_ADJECTIVES[word]
+        if word in BASE_ADJECTIVES:
+            return word
+        candidate = self._apply_rules(word, _ADJ_RULES, BASE_ADJECTIVES,
+                                      undouble=True)
+        return candidate if candidate is not None else word
+
+    # -- machinery ---------------------------------------------------------
+
+    @staticmethod
+    def _apply_rules(
+        word: str,
+        rules: tuple[tuple[str, tuple[str, ...]], ...],
+        valid: frozenset[str],
+        undouble: bool = False,
+    ) -> str | None:
+        for suffix, replacements in rules:
+            if not word.endswith(suffix) or len(word) <= len(suffix):
+                continue
+            stem_part = word[: -len(suffix)]
+            for replacement in replacements:
+                candidate = stem_part + replacement
+                if candidate in valid:
+                    return candidate
+                if undouble and candidate.endswith(_DOUBLED):
+                    undoubled = candidate[:-1]
+                    if undoubled in valid:
+                        return undoubled
+        return None
+
+    @staticmethod
+    def _fallback_verb(word: str) -> str:
+        """Heuristic verb lemma when the word list does not validate."""
+        if word.endswith("ies") and len(word) > 4:
+            return word[:-3] + "y"
+        if word.endswith(("ches", "shes", "sses", "xes")):
+            return word[:-2]
+        if word.endswith("ing") and len(word) > 5:
+            stem_part = word[:-3]
+            if stem_part.endswith(_DOUBLED):
+                return stem_part[:-1]
+            # CVC pattern usually wants the silent e back ("writing")
+            if (len(stem_part) >= 2 and stem_part[-1] not in VOWELS
+                    and stem_part[-2] in VOWELS
+                    and stem_part[-1] not in "wxy"):
+                return stem_part
+            return stem_part
+        if word.endswith("ed") and len(word) > 4:
+            stem_part = word[:-2]
+            if stem_part.endswith(_DOUBLED):
+                return stem_part[:-1]
+            if stem_part.endswith(("at", "iz", "iv", "us", "ag", "in",
+                                   "ar", "or", "ut", "id")):
+                return stem_part + "e"
+            return stem_part
+        if word.endswith("es") and len(word) > 3:
+            return word[:-1]
+        if word.endswith("s") and not word.endswith("ss") and len(word) > 3:
+            return word[:-1]
+        return word
+
+
+_DEFAULT = Lemmatizer()
+
+
+def lemmatize(word: str, pos: str = "n") -> str:
+    """Lemmatize *word* with a shared :class:`Lemmatizer`."""
+    return _DEFAULT.lemmatize(word, pos)

@@ -1,0 +1,89 @@
+"""Token normalization pipeline for retrieval.
+
+Stage II (knowledge recommendation) vectorizes sentences after a
+normalization pass: lowercase, tokenize, drop punctuation/stopwords,
+stem.  The pipeline is composable so experiments can ablate individual
+steps (e.g. the paper's observation that dropping stemming from the
+keywords baseline lowers recall, §4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.textproc.porter import PorterStemmer
+from repro.textproc.stopwords import is_stopword
+from repro.textproc.word_tokenizer import WordTokenizer
+
+_PUNCT = set(".,;:!?()[]{}\"'`%/+*=<>&|~^$@-") | {"..."}
+
+
+def _is_punct(token: str) -> bool:
+    return all(ch in _PUNCT or ch in ".,;:!?()[]{}\"'`%/+*=<>&|~^$@-"
+               for ch in token) if token else True
+
+
+class NormalizationPipeline:
+    """Configurable text -> token-stream normalizer.
+
+    Parameters
+    ----------
+    lowercase, drop_punct, drop_stopwords, stem:
+        Toggles for each normalization step, all on by default.
+    min_length:
+        Tokens shorter than this (after normalization) are dropped.
+    extra_filters:
+        Optional extra predicates; a token must pass all of them.
+    """
+
+    def __init__(
+        self,
+        lowercase: bool = True,
+        drop_punct: bool = True,
+        drop_stopwords: bool = True,
+        stem: bool = True,
+        min_length: int = 1,
+        extra_filters: Iterable[Callable[[str], bool]] = (),
+    ) -> None:
+        self.lowercase = lowercase
+        self.drop_punct = drop_punct
+        self.drop_stopwords = drop_stopwords
+        self.stem = stem
+        self.min_length = min_length
+        self.extra_filters = tuple(extra_filters)
+        self._tokenizer = WordTokenizer()
+        self._stemmer = PorterStemmer()
+
+    def __call__(self, text: str) -> list[str]:
+        return self.normalize(text)
+
+    def normalize(self, text: str) -> list[str]:
+        """Normalize raw *text* to a token list."""
+        return self.normalize_tokens(self._tokenizer.tokenize(text))
+
+    def normalize_tokens(self, tokens: Iterable[str]) -> list[str]:
+        """Normalize an already-tokenized sequence."""
+        out: list[str] = []
+        for token in tokens:
+            if self.drop_punct and _is_punct(token):
+                continue
+            if self.drop_stopwords and is_stopword(token):
+                continue
+            if self.lowercase:
+                token = token.lower()
+            if self.stem:
+                token = self._stemmer.stem(token)
+            if len(token) < self.min_length:
+                continue
+            if any(not keep(token) for keep in self.extra_filters):
+                continue
+            out.append(token)
+        return out
+
+
+_DEFAULT = NormalizationPipeline()
+
+
+def normalize_tokens(text: str) -> list[str]:
+    """Normalize *text* with the default pipeline (all steps on)."""
+    return _DEFAULT.normalize(text)

@@ -1,0 +1,346 @@
+"""Porter2 ("English Snowball") stemmer.
+
+A complete from-scratch implementation of the Porter2 stemming
+algorithm (Martin Porter, 2001), the same algorithm NLTK's
+``SnowballStemmer("english")`` implements.  Egeria relies on stemming
+in two places: the keyword selectors of Stage I (both the keyword
+lists and the sentences are stemmed before matching, paper §3.1.2) and
+the token normalization feeding the TF-IDF vector space of Stage II.
+
+The implementation follows the published algorithm definition step by
+step; each step is a separate method so tests can exercise them
+individually.
+"""
+
+from __future__ import annotations
+
+VOWELS = frozenset("aeiouy")
+
+DOUBLES = ("bb", "dd", "ff", "gg", "mm", "nn", "pp", "rr", "tt")
+
+LI_ENDINGS = frozenset("cdeghkmnrt")
+
+# Words stemmed as special cases before the algorithm proper.
+_EXCEPTIONAL_FORMS = {
+    "skis": "ski",
+    "skies": "sky",
+    "dying": "die",
+    "lying": "lie",
+    "tying": "tie",
+    "idly": "idl",
+    "gently": "gentl",
+    "ugly": "ugli",
+    "early": "earli",
+    "only": "onli",
+    "singly": "singl",
+    # invariant forms
+    "sky": "sky",
+    "news": "news",
+    "howe": "howe",
+    "atlas": "atlas",
+    "cosmos": "cosmos",
+    "bias": "bias",
+    "andes": "andes",
+}
+
+# Words left untouched after step 1a.
+_EXCEPTIONAL_AFTER_1A = frozenset(
+    {"inning", "outing", "canning", "herring", "earring",
+     "proceed", "exceed", "succeed"}
+)
+
+_STEP2_SUFFIXES = (
+    # (suffix, replacement); longest match wins, checked in this order
+    ("ization", "ize"),
+    ("ational", "ate"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("iveness", "ive"),
+    ("tional", "tion"),
+    ("biliti", "ble"),
+    ("lessli", "less"),
+    ("entli", "ent"),
+    ("ation", "ate"),
+    ("alism", "al"),
+    ("aliti", "al"),
+    ("ousli", "ous"),
+    ("iviti", "ive"),
+    ("fulli", "ful"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("abli", "able"),
+    ("izer", "ize"),
+    ("ator", "ate"),
+    ("alli", "al"),
+    ("bli", "ble"),
+)
+
+_STEP3_SUFFIXES = (
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("alize", "al"),
+    ("icate", "ic"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "ement", "ance", "ence", "able", "ible", "ment",
+    "ant", "ent", "ism", "ate", "iti", "ous", "ive", "ize",
+    "ion", "al", "er", "ic",
+)
+
+
+class PorterStemmer:
+    """Porter2 English stemmer.
+
+    Instances are stateless and cheap; a module-level singleton backs
+    the :func:`stem` convenience function.  Results are memoised per
+    instance because Egeria re-stems the same vocabulary many times
+    while scanning a document.
+    """
+
+    def __init__(self, cache_size: int = 100_000) -> None:
+        self._cache: dict[str, str] = {}
+        self._cache_size = cache_size
+
+    # -- public API ----------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter2 stem of *word* (lowercased first)."""
+        word = word.lower()
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        result = self._stem(word)
+        if len(self._cache) < self._cache_size:
+            self._cache[word] = result
+        return result
+
+    # -- algorithm -----------------------------------------------------
+
+    def _stem(self, word: str) -> str:
+        if len(word) <= 2:
+            return word
+        if word in _EXCEPTIONAL_FORMS:
+            return _EXCEPTIONAL_FORMS[word]
+
+        word = self._preprocess(word)
+        r1, r2 = self._regions(word)
+
+        word = self._step0(word)
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step1a(word)
+        if word in _EXCEPTIONAL_AFTER_1A:
+            return word.replace("Y", "y")
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step1b(word, r1)
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step1c(word)
+        word = self._step2(word, r1)
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step3(word, r1, r2)
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step4(word, r2)
+        word, r1, r2 = self._resync(word, r1, r2)
+        word = self._step5(word, r1, r2)
+        return word.replace("Y", "y")
+
+    @staticmethod
+    def _resync(word: str, r1: int, r2: int) -> tuple[str, int, int]:
+        """Clamp region offsets after the word shrank."""
+        n = len(word)
+        return word, min(r1, n), min(r2, n)
+
+    # -- prelude --------------------------------------------------------
+
+    @staticmethod
+    def _preprocess(word: str) -> str:
+        if word.startswith("'"):
+            word = word[1:]
+        if word.startswith("y"):
+            word = "Y" + word[1:]
+        chars = list(word)
+        for i in range(1, len(chars)):
+            if chars[i] == "y" and chars[i - 1] in VOWELS:
+                chars[i] = "Y"
+        return "".join(chars)
+
+    @staticmethod
+    def _regions(word: str) -> tuple[int, int]:
+        """Compute R1 and R2 start offsets.
+
+        R1 is the region after the first non-vowel following a vowel;
+        R2 is computed the same way within R1.  Words beginning with
+        ``gener``, ``commun`` or ``arsen`` get a fixed R1.
+        """
+        n = len(word)
+        lowered = word.lower()
+        r1 = n
+        for prefix in ("gener", "commun", "arsen"):
+            if lowered.startswith(prefix):
+                r1 = len(prefix)
+                break
+        else:
+            for i in range(1, n):
+                if lowered[i] not in VOWELS and lowered[i - 1] in VOWELS:
+                    r1 = i + 1
+                    break
+        r2 = n
+        for i in range(r1 + 1, n):
+            if lowered[i] not in VOWELS and lowered[i - 1] in VOWELS:
+                r2 = i + 1
+                break
+        return r1, r2
+
+    @staticmethod
+    def _contains_vowel(fragment: str) -> bool:
+        return any(c in VOWELS for c in fragment.lower())
+
+    @classmethod
+    def _ends_short_syllable(cls, word: str) -> bool:
+        """True if *word* ends with a "short syllable".
+
+        A short syllable is (a) a vowel followed by a non-vowel other
+        than w, x or Y, preceded by a non-vowel; or (b) a vowel at the
+        beginning of the word followed by a non-vowel.
+        """
+        n = len(word)
+        lowered = word.lower()
+        if n == 2:
+            return lowered[0] in VOWELS and lowered[1] not in VOWELS
+        if n >= 3:
+            c1, v, c2 = lowered[-3], lowered[-2], word[-1]
+            return (
+                c1 not in VOWELS
+                and v in VOWELS
+                and c2.lower() not in VOWELS
+                and c2 not in ("w", "x", "Y")
+            )
+        return False
+
+    @classmethod
+    def _is_short(cls, word: str, r1: int) -> bool:
+        return r1 >= len(word) and cls._ends_short_syllable(word)
+
+    # -- steps ----------------------------------------------------------
+
+    @staticmethod
+    def _step0(word: str) -> str:
+        for suffix in ("'s'", "'s", "'"):
+            if word.endswith(suffix):
+                return word[: -len(suffix)]
+        return word
+
+    @classmethod
+    def _step1a(cls, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ied") or word.endswith("ies"):
+            return word[:-2] if len(word) > 4 else word[:-1]
+        if word.endswith("us") or word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            # delete if the preceding word part contains a vowel not
+            # immediately before the s
+            if cls._contains_vowel(word[:-2]):
+                return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str, r1: int) -> str:
+        for suffix in ("eedly", "eed"):
+            if word.endswith(suffix):
+                if len(word) - len(suffix) >= r1:
+                    return word[: -len(suffix)] + "ee"
+                return word
+        for suffix in ("ingly", "edly", "ing", "ed"):
+            if word.endswith(suffix):
+                stem_part = word[: -len(suffix)]
+                if not cls._contains_vowel(stem_part):
+                    return word
+                word = stem_part
+                if word.endswith(("at", "bl", "iz")):
+                    return word + "e"
+                if word.endswith(DOUBLES):
+                    return word[:-1]
+                new_r1, _ = cls._regions(word)
+                if cls._is_short(word, new_r1):
+                    return word + "e"
+                return word
+        return word
+
+    @staticmethod
+    def _step1c(word: str) -> str:
+        if (
+            len(word) > 2
+            and word[-1] in ("y", "Y")
+            and word[-2].lower() not in VOWELS
+        ):
+            return word[:-1] + "i"
+        return word
+
+    @classmethod
+    def _step2(cls, word: str, r1: int) -> str:
+        for suffix, replacement in _STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                if len(word) - len(suffix) >= r1:
+                    return word[: -len(suffix)] + replacement
+                return word
+        if word.endswith("ogi"):
+            if len(word) - 3 >= r1 and word[-4:-3] == "l":
+                return word[:-1]
+            return word
+        if word.endswith("li"):
+            if len(word) - 2 >= r1 and word[-3:-2] in LI_ENDINGS:
+                return word[:-2]
+            return word
+        return word
+
+    @classmethod
+    def _step3(cls, word: str, r1: int, r2: int) -> str:
+        for suffix, replacement in _STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                if len(word) - len(suffix) >= r1:
+                    return word[: -len(suffix)] + replacement
+                return word
+        if word.endswith("ative"):
+            if len(word) - 5 >= r2 and len(word) - 5 >= r1:
+                return word[:-5]
+        return word
+
+    @staticmethod
+    def _step4(word: str, r2: int) -> str:
+        for suffix in _STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                if len(word) - len(suffix) >= r2:
+                    if suffix == "ion":
+                        if word[-4:-3] in ("s", "t"):
+                            return word[:-3]
+                        return word
+                    return word[: -len(suffix)]
+                return word
+        return word
+
+    @classmethod
+    def _step5(cls, word: str, r1: int, r2: int) -> str:
+        if word.endswith("e"):
+            if len(word) - 1 >= r2:
+                return word[:-1]
+            if len(word) - 1 >= r1 and not cls._ends_short_syllable(word[:-1]):
+                return word[:-1]
+            return word
+        if word.endswith("l"):
+            if len(word) - 1 >= r2 and word[-2:-1] == "l":
+                return word[:-1]
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem *word* with a shared :class:`PorterStemmer` instance."""
+    return _DEFAULT.stem(word)

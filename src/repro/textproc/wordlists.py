@@ -1,0 +1,190 @@
+"""Base-form word inventories shared by the lemmatizer and POS lexicon.
+
+These lists are *not* an attempt at a full English dictionary; they
+cover (a) high-frequency English and (b) the working vocabulary of GPU
+/ many-core programming guides — the genre Egeria processes.  The
+lemmatizer uses them to validate candidate base forms (e.g. undoing
+consonant doubling in "controlled" -> "control" only because "control"
+is a known verb), and the tagger seeds its lexicon from them.
+"""
+
+from __future__ import annotations
+
+#: Verbs in base form.
+BASE_VERBS: frozenset[str] = frozenset("""
+accept access accomplish achieve add adjust affect align allocate allow
+analyze apply argue arrange assign assume attempt avoid balance batch be
+become begin benefit bind block build cache calculate call cause change
+check choose combine come compile compute configure consider consist
+contain contribute control convert coalesce copy correspond cost count
+create deal declare decompose decrease define degrade demand depend
+describe design detect determine develop diverge divide do download
+drop eliminate emit enable encounter encourage ensure evaluate examine
+exceed execute exhibit expect explain exploit expose express extract
+favor fetch fill find finish fit flush follow force fuse gather
+generate get give group grow guarantee guide handle happen have help
+hide hold hint identify ignore impact implement improve include
+increase incur indicate infer initialize insert inspect install
+instantiate interleave introduce invoke involve issue iterate keep
+kernel know launch lead let leverage limit list load lock look loop
+lower maintain make manage map mask match maximize mean measure meet
+merge minimize miss mitigate move need note notice observe obtain occupy
+occur offer offload operate optimize order organize overlap overload
+override pack pad parallelize parameterize partition pass perform pin
+place point prefer prefetch prepare present prevent process produce
+profile program provide put query queue read rearrange recommend
+reduce refactor refer reference relate release rely remain remove
+reorder replace report represent require reserve reside resolve
+restrict result retrieve return reuse run sample saturate save scale
+schedule search select send serialize serve set share show simplify
+skip slow specify speed spill split stage start stall store stream stride
+submit suffer suggest supply support switch synchronize take target
+tell tend terminate test tile trade transfer transform translate
+transpose try tune turn unroll update upload use utilize vary
+vectorize wait want waste wrap write yield
+""".split())
+
+#: Nouns in base form (singular).
+BASE_NOUNS: frozenset[str] = frozenset("""
+access accelerator address algorithm alignment allocation amount
+application approach architecture argument arithmetic array aspect
+atomics attempt bandwidth bank barrier batch behavior benchmark benefit block
+bottleneck boundary buffer bus byte cache call capability case chapter
+chip choice chunk clock coalescing code command compiler computation
+compute concurrency condition configuration conflict constant
+constraint contention context control copy core cost counter cycle
+data deadlock degree demand dependence dependency design detail developer
+device difference dimension directive divergence document domain
+driver effect efficiency element engine environment event example
+execution expert factor feature fetch figure file flag float flow
+footprint form fraction function gain gap grid group guarantee guide guideline
+half hardware heuristic hierarchy host image impact implementation
+improvement index instance instruction integer intensity interface
+issue item iteration kernel key latency launch layout level library
+limit limiter line list load locality lock loop machine manner matrix
+maximum memory method metric microprocessor minimum mode model module
+multiprocessor number object occupancy operation opportunity
+optimization option order overhead page parallelism parameter part
+partition pass path pattern peak penalty performance phase pipeline
+pitfall place platform point pointer policy pool port portion
+practice precision predicate pressure principle problem procedure
+process processor profile profiler program programmer programming
+purpose quarter query queue range rate ratio read reason reference
+region register report request requirement resource result reuse
+row rule runtime sampler scalar scenario schedule scheduler scheme
+section segment sequence series set shape size software solution
+source space speed speedup stage stall standard start state statement
+step storage strategy stream stride string structure style subsection
+subset suggestion support surface synchronization system table target
+task technique term texture thread throughput tile time tool topic
+total trade-off traffic transaction transfer transformation transpose
+tuning type unit usage use user utilization value variable variant
+vector vendor version warp wavefront way word work workgroup workload
+write
+""".split())
+
+#: Adjectives in base form.
+BASE_ADJECTIVES: frozenset[str] = frozenset("""
+able active actual additional adjacent advisable aligned appropriate
+arithmetic asynchronous atomic automatic available bad basic best
+better big busy careful certain cheap clean clear coalesced common
+compact comparable compatible complete complex concurrent conditional
+consecutive considerable consistent constant contiguous correct
+costly critical crucial current custom dedicated deep default
+denormalized dense dependent desirable detailed different difficult
+direct divergent double due dynamic early easy effective efficient
+empty enough entire equal essential excessive expensive explicit
+extra fast fast-path feasible few final fine fine-grained first
+flexible following frequent full fundamental general generic global
+good great half hard helpful heterogeneous hierarchical high
+high-level hot ideal identical idle important inactive independent
+indirect individual inefficient inexpensive initial inner intensive
+intermediate internal intrinsic invalid irregular key large last late
+lazy likely limited linear local logical long low main major many
+massive maximum minimal minimum misaligned modern multiple naive
+native natural necessary negative new next nominal normal notable
+null numeric obvious occasional old optimal optional original outer
+overall own parallel partial particular passive peak pinned poor
+portable possible potential practical precise preferable present
+previous primary prior private profitable proper random rapid rare
+raw read-only ready recent rectangular redundant regular related
+relative relevant reliable remote resident responsible restricted
+rich right robust rough same scalar scarce scattered second
+sequential serial severe shared short significant similar simple
+single slow small smart sparse special specific square standard
+static steady straightforward strong structured subsequent
+substantial successive sufficient suitable superior synchronous
+temporal temporary theoretical third tight tiny total traditional
+transparent true typical unaligned uncached underlying uniform
+unique unnecessary unused useful useless usual valid variable
+various vectorized viable virtual visible warp-level wasteful whole
+wide wise worth wrong
+""".split())
+
+#: Irregular verb forms -> base.
+IRREGULAR_VERBS: dict[str, str] = {
+    "am": "be", "is": "be", "are": "be", "was": "be", "were": "be",
+    "been": "be", "being": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "goes": "go", "went": "go", "gone": "go",
+    "ran": "run", "running": "run", "runs": "run",
+    "wrote": "write", "written": "write",
+    "read": "read", "led": "lead", "made": "make", "making": "make",
+    "took": "take", "taken": "take", "taking": "take",
+    "gave": "give", "given": "give", "giving": "give",
+    "got": "get", "gotten": "get", "getting": "get",
+    "held": "hold", "kept": "keep", "met": "meet",
+    "found": "find", "left": "leave", "lost": "lose",
+    "chose": "choose", "chosen": "choose", "choosing": "choose",
+    "came": "come", "coming": "come",
+    "became": "become", "becoming": "become",
+    "began": "begin", "begun": "begin", "beginning": "begin",
+    "brought": "bring", "built": "build", "bought": "buy",
+    "caught": "catch", "dealt": "deal", "drew": "draw", "drawn": "draw",
+    "fell": "fall", "fallen": "fall", "felt": "feel",
+    "grew": "grow", "grown": "grow", "knew": "know", "known": "know",
+    "meant": "mean", "paid": "pay", "put": "put",
+    "said": "say", "saw": "see", "seen": "see", "sent": "send",
+    "set": "set", "showed": "show", "shown": "show",
+    "spent": "spend", "split": "split", "spoke": "speak",
+    "spoken": "speak", "stood": "stand", "thought": "think",
+    "told": "tell", "understood": "understand", "wrote": "write",
+    "hid": "hide", "hidden": "hide", "hiding": "hide",
+    "let": "let", "letting": "let", "cut": "cut", "cutting": "cut",
+    "cost": "cost", "hit": "hit", "fit": "fit",
+    "spilt": "spill", "sped": "speed",
+}
+
+#: Irregular noun plurals -> singular.
+IRREGULAR_NOUNS: dict[str, str] = {
+    "children": "child", "people": "person", "men": "man",
+    "women": "woman", "feet": "foot", "mice": "mouse",
+    "indices": "index", "matrices": "matrix", "vertices": "vertex",
+    "indexes": "index", "analyses": "analysis", "bases": "basis",
+    "criteria": "criterion", "phenomena": "phenomenon",
+    "data": "data", "media": "media", "hierarchies": "hierarchy",
+    "dependencies": "dependency", "capabilities": "capability",
+    "latencies": "latency", "strategies": "strategy",
+    "boundaries": "boundary", "libraries": "library",
+    "memories": "memory", "policies": "policy",
+    "penalties": "penalty", "priorities": "priority",
+    "utilities": "utility", "efficiencies": "efficiency",
+    "caches": "cache",
+    "halves": "half", "leaves": "leaf", "lives": "life",
+}
+
+#: Irregular adjective comparative/superlative -> base.
+IRREGULAR_ADJECTIVES: dict[str, str] = {
+    "better": "good", "best": "good",
+    "worse": "bad", "worst": "bad",
+    "more": "many", "most": "many",
+    "less": "little", "least": "little",
+    "further": "far", "furthest": "far",
+    "larger": "large", "largest": "large",
+    "smaller": "small", "smallest": "small",
+    "higher": "high", "highest": "high",
+    "lower": "low", "lowest": "low",
+    "faster": "fast", "fastest": "fast",
+    "slower": "slow", "slowest": "slow",
+}

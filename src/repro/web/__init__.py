@@ -1,0 +1,14 @@
+"""Web application layer (Flask/Gunicorn replacement).
+
+"Egeria itself is a web-based tool" (§3.2): the synthesized advising
+tool is served as a website whose front page lists the advising
+summary (Figure 6), with a search box for queries and an upload button
+for NVVP report PDFs (Figure 7 shows an answer page).  The artifact
+used Flask + Gunicorn; this package provides an equivalent pure-stdlib
+WSGI application plus a development server.
+"""
+
+from repro.web.app import AdvisorApp
+from repro.web.server import serve
+
+__all__ = ["AdvisorApp", "serve"]

@@ -1,0 +1,168 @@
+"""WSGI application serving an advising tool.
+
+Routes (mirroring the artifact's web UI):
+
+* ``GET /`` — the advising summary page with search box and upload
+  form (Figure 6);
+* ``GET /query?q=...`` — HTML answer page for a free-text query
+  (Figure 7);
+* ``POST /upload`` — an NVVP report (PDF or plain text body, or a
+  multipart form with a ``report`` file field); responds with the
+  answer pages for every extracted issue;
+* ``GET /api/query?q=...`` — JSON answers for programmatic use;
+* ``GET /health`` — liveness probe.
+
+The application object is a standard WSGI callable, so it runs under
+any WSGI server (the bundled :func:`repro.web.server.serve`, gunicorn,
+etc.) and is unit-testable by direct invocation.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import re
+from urllib.parse import parse_qs
+
+from repro.core.advisor import AdvisingTool, Answer
+from repro.core.render import render_answer, render_summary
+
+_SEARCH_FORM = """
+<form action="/query" method="get" style="margin:1em 0">
+  <input type="text" name="q" size="50" placeholder="optimization question">
+  <button type="submit">Ask</button>
+</form>
+<form action="/upload" method="post" enctype="multipart/form-data"
+      style="margin:1em 0">
+  <input type="file" name="report">
+  <button type="submit">Upload report</button>
+</form>
+"""
+
+
+class AdvisorApp:
+    """WSGI app wrapping one :class:`AdvisingTool`."""
+
+    def __init__(self, advisor: AdvisingTool) -> None:
+        self.advisor = advisor
+        self._summary_html: str | None = None
+
+    # -- WSGI entry point -----------------------------------------------
+
+    def __call__(self, environ, start_response):
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        try:
+            if path == "/" and method == "GET":
+                return self._respond(start_response, self.summary_page())
+            if path == "/query" and method == "GET":
+                return self._query(environ, start_response)
+            if path == "/api/query" and method == "GET":
+                return self._api_query(environ, start_response)
+            if path == "/upload" and method == "POST":
+                return self._upload(environ, start_response)
+            if path == "/health" and method == "GET":
+                return self._respond(start_response, '{"status": "ok"}',
+                                     content_type="application/json")
+            return self._respond(start_response, "not found",
+                                 status="404 Not Found",
+                                 content_type="text/plain")
+        except Exception as error:  # pragma: no cover - defensive
+            return self._respond(
+                start_response, f"internal error: {error}",
+                status="500 Internal Server Error",
+                content_type="text/plain")
+
+    # -- handlers -----------------------------------------------------------
+
+    def summary_page(self) -> str:
+        if self._summary_html is None:
+            summary = render_summary(self.advisor)
+            self._summary_html = summary.replace(
+                "<h1>", _SEARCH_FORM + "<h1>", 1)
+        return self._summary_html
+
+    def _query(self, environ, start_response):
+        query = self._query_param(environ, "q")
+        if not query:
+            return self._respond(start_response,
+                                 "missing query parameter 'q'",
+                                 status="400 Bad Request",
+                                 content_type="text/plain")
+        answer = self.advisor.query(query)
+        return self._respond(start_response,
+                             render_answer(self.advisor, answer))
+
+    def _api_query(self, environ, start_response):
+        query = self._query_param(environ, "q")
+        if not query:
+            return self._respond(start_response,
+                                 json.dumps({"error": "missing 'q'"}),
+                                 status="400 Bad Request",
+                                 content_type="application/json")
+        answer = self.advisor.query(query)
+        return self._respond(start_response, json.dumps(answer.to_dict()),
+                             content_type="application/json")
+
+    def _upload(self, environ, start_response):
+        body = self._read_body(environ)
+        content_type = environ.get("CONTENT_TYPE", "")
+        if content_type.startswith("multipart/form-data"):
+            body = _extract_multipart_file(body, content_type) or b""
+        if body.startswith(b"%PDF"):
+            answers = self.advisor.query_report_pdf(body)
+        else:
+            answers = self.advisor.query_report(
+                body.decode("utf-8", errors="replace"))
+        if not answers:
+            return self._respond(
+                start_response,
+                "<p>No performance issues found in the report.</p>")
+        pages = [render_answer(self.advisor, answer) for answer in answers]
+        combined = "\n<hr>\n".join(pages)
+        return self._respond(start_response, combined)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _query_param(environ, name: str) -> str:
+        params = parse_qs(environ.get("QUERY_STRING", ""))
+        values = params.get(name, [])
+        return values[0].strip() if values else ""
+
+    @staticmethod
+    def _read_body(environ) -> bytes:
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except ValueError:
+            length = 0
+        stream = environ.get("wsgi.input")
+        return stream.read(length) if (stream and length) else b""
+
+    @staticmethod
+    def _respond(start_response, body: str, status: str = "200 OK",
+                 content_type: str = "text/html; charset=utf-8"):
+        data = body.encode("utf-8")
+        start_response(status, [
+            ("Content-Type", content_type),
+            ("Content-Length", str(len(data))),
+        ])
+        return [data]
+
+
+def _extract_multipart_file(body: bytes, content_type: str) -> bytes | None:
+    """Pull the first file payload out of a multipart/form-data body."""
+    match = re.search(r'boundary="?([^";,\s]+)"?', content_type)
+    if match is None:
+        return None
+    boundary = b"--" + match.group(1).encode("ascii")
+    for part in body.split(boundary):
+        header_end = part.find(b"\r\n\r\n")
+        if header_end < 0:
+            continue
+        headers = part[:header_end]
+        if b"filename=" not in headers:
+            continue
+        payload = part[header_end + 4:]
+        return payload.rstrip(b"\r\n-")
+    return None

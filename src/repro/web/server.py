@@ -1,0 +1,42 @@
+"""Development WSGI server for the advising web app.
+
+Equivalent to the artifact's ``./run.sh`` (which launched the Flask
+app under Gunicorn with a configurable host/port): builds the advisor
+once, then serves it.
+"""
+
+from __future__ import annotations
+
+from wsgiref.simple_server import WSGIServer, make_server
+
+from repro.core.advisor import AdvisingTool
+from repro.web.app import AdvisorApp
+
+
+def serve(
+    advisor: AdvisingTool,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+) -> WSGIServer:
+    """Create (but do not start) a WSGI server for *advisor*.
+
+    Call ``serve_forever()`` on the returned server to run it, or
+    ``handle_request()`` to process a single request (useful in
+    tests).  Binding to port 0 picks a free port
+    (``server.server_port`` reports it).
+    """
+    app = AdvisorApp(advisor)
+    return make_server(host, port, app)
+
+
+def run(advisor: AdvisingTool, host: str = "127.0.0.1",
+        port: int = 8000) -> None:  # pragma: no cover - interactive
+    """Serve *advisor* until interrupted."""
+    server = serve(advisor, host, port)
+    print(f"Serving {advisor.name!r} on http://{host}:{server.server_port}/")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,84 @@
+"""Bootstrap CI and significance-test tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.bootstrap import (
+    BootstrapCI,
+    bootstrap_ci,
+    bootstrap_difference_pvalue,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_estimate(self) -> None:
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, size=40)
+        ci = bootstrap_ci(data)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(data.mean())
+
+    def test_interval_narrows_with_sample_size(self) -> None:
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(5, 1, size=10), seed=1)
+        large = bootstrap_ci(rng.normal(5, 1, size=400), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_median_statistic(self) -> None:
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+        ci = bootstrap_ci(data, statistic=np.median, seed=2)
+        assert ci.estimate == 3.0
+
+    def test_constant_data_degenerate_interval(self) -> None:
+        ci = bootstrap_ci([7.0] * 20)
+        assert ci.low == ci.high == ci.estimate == 7.0
+
+    def test_empty_raises(self) -> None:
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_deterministic_given_seed(self) -> None:
+        data = list(range(30))
+        a = bootstrap_ci(data, seed=9)
+        b = bootstrap_ci(data, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_str_format(self) -> None:
+        text = str(BootstrapCI(1.0, 0.5, 1.5, 0.95))
+        assert "[0.50, 1.50]" in text
+
+    def test_coverage_property(self) -> None:
+        """~95% of CIs from N(0,1) samples cover the true mean 0."""
+        rng = np.random.default_rng(3)
+        covered = 0
+        trials = 60
+        for trial in range(trials):
+            sample = rng.normal(0.0, 1.0, size=30)
+            ci = bootstrap_ci(sample, n_resamples=500, seed=trial)
+            covered += ci.low <= 0.0 <= ci.high
+        assert covered / trials >= 0.85
+
+
+class TestDifferenceTest:
+    def test_clear_difference_small_pvalue(self) -> None:
+        rng = np.random.default_rng(4)
+        a = rng.normal(6.0, 0.5, size=22)
+        b = rng.normal(4.0, 0.5, size=15)
+        assert bootstrap_difference_pvalue(a, b) < 0.01
+
+    def test_no_difference_large_pvalue(self) -> None:
+        rng = np.random.default_rng(5)
+        a = rng.normal(5.0, 1.0, size=20)
+        b = rng.normal(5.0, 1.0, size=20)
+        assert bootstrap_difference_pvalue(a, b, seed=5) > 0.05
+
+    def test_direction_matters(self) -> None:
+        a = [1.0, 1.1, 0.9]
+        b = [5.0, 5.1, 4.9]
+        assert bootstrap_difference_pvalue(a, b) > 0.95
+
+    def test_empty_raises(self) -> None:
+        with pytest.raises(ValueError):
+            bootstrap_difference_pvalue([], [1.0])

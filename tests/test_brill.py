@@ -1,0 +1,101 @@
+"""Brill transformation-based tagger tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tagging.brill import BrillTagger, BrillTrainer, TransformationRule
+from repro.tagging.tagger import RuleTagger
+from repro.tagging.train_data import GOLD_SENTENCES, train_test_split
+
+
+class _LexiconOnlyBaseline:
+    """Deliberately weak baseline: most-frequent-tag lookup with a NN
+    default — what Brill's original setup starts from."""
+
+    def __init__(self, gold):
+        from collections import Counter, defaultdict
+        counts = defaultdict(Counter)
+        for sentence in gold:
+            for word, tag in sentence:
+                counts[word.lower()][tag] += 1
+        self._table = {w: c.most_common(1)[0][0] for w, c in counts.items()}
+
+    def tag(self, tokens):
+        return [(t, self._table.get(t.lower(), "NN")) for t in tokens]
+
+
+class TestTransformationRule:
+    def test_prev_tag_template(self) -> None:
+        rule = TransformationRule("NN", "VB", "prev_tag", "MD")
+        words = ["can", "use"]
+        assert rule.applies(words, ["MD", "NN"], 1)
+        assert not rule.applies(words, ["DT", "NN"], 1)
+
+    def test_only_fires_on_from_tag(self) -> None:
+        rule = TransformationRule("NN", "VB", "prev_tag", "MD")
+        assert not rule.applies(["can", "use"], ["MD", "VB"], 1)
+
+    def test_word_templates(self) -> None:
+        rule = TransformationRule("NN", "VB", "prev_word", "to")
+        assert rule.applies(["to", "queue"], ["TO", "NN"], 1)
+
+    def test_next_templates(self) -> None:
+        rule = TransformationRule("VB", "NN", "next_tag", "MD")
+        assert rule.applies(["guarantee", "can"], ["VB", "MD"], 0)
+
+    def test_boundary_safety(self) -> None:
+        rule = TransformationRule("NN", "VB", "prev_tag", "MD")
+        assert not rule.applies(["use"], ["NN"], 0)
+
+
+class TestBrillTrainer:
+    def test_improves_weak_baseline(self) -> None:
+        # lexicon from a fragment of the corpus: plenty of NN-default
+        # errors left for the transformation rules to fix
+        baseline = _LexiconOnlyBaseline(GOLD_SENTENCES[:8])
+        untrained = BrillTagger(baseline, [])
+        before = untrained.accuracy(GOLD_SENTENCES)
+        trained = BrillTrainer(baseline, max_rules=25).train(GOLD_SENTENCES)
+        after = trained.accuracy(GOLD_SENTENCES)
+        assert after > before
+
+    def test_learns_sensible_rules(self) -> None:
+        baseline = _LexiconOnlyBaseline(GOLD_SENTENCES[:8])
+        tagger = BrillTrainer(baseline, max_rules=25).train(GOLD_SENTENCES)
+        assert tagger.rules, "should learn at least one rule"
+        # rules are transformations between distinct tags
+        for rule in tagger.rules:
+            assert rule.from_tag != rule.to_tag
+
+    def test_generalizes_to_heldout(self) -> None:
+        train, test = train_test_split()
+        baseline = _LexiconOnlyBaseline(train[:8])
+        untrained = BrillTagger(baseline, [])
+        trained = BrillTrainer(baseline, max_rules=25).train(train)
+        assert trained.accuracy(test) >= untrained.accuracy(test)
+
+    def test_max_rules_respected(self) -> None:
+        baseline = _LexiconOnlyBaseline(GOLD_SENTENCES)
+        tagger = BrillTrainer(baseline, max_rules=3).train(GOLD_SENTENCES)
+        assert len(tagger.rules) <= 3
+
+    def test_rule_tagger_baseline_hard_to_improve(self) -> None:
+        """Starting from the strong RuleTagger, learned rules cannot
+        degrade training accuracy (greedy scores are net-positive)."""
+        baseline = RuleTagger()
+        before = BrillTagger(baseline, []).accuracy(GOLD_SENTENCES)
+        trained = BrillTrainer(baseline, max_rules=10).train(GOLD_SENTENCES)
+        after = trained.accuracy(GOLD_SENTENCES)
+        assert after >= before
+
+    def test_tag_output_shape(self) -> None:
+        baseline = _LexiconOnlyBaseline(GOLD_SENTENCES)
+        tagger = BrillTrainer(baseline, max_rules=5).train(GOLD_SENTENCES)
+        out = tagger.tag(["Use", "textures", "."])
+        assert [w for w, _ in out] == ["Use", "textures", "."]
+
+    def test_empty_corpus(self) -> None:
+        baseline = _LexiconOnlyBaseline(GOLD_SENTENCES)
+        tagger = BrillTrainer(baseline).train([])
+        assert tagger.rules == []

@@ -1,0 +1,118 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+GUIDE_MD = """# 1. Test Guide
+
+Use pinned memory for frequent transfers. The bus width is 256 bits.
+Avoid divergent branches in hot loops.
+"""
+
+GUIDE_HTML = """<html><head><title>T</title></head><body>
+<h1>1. Guide</h1><p>Use shared memory to reduce traffic.
+The chip has 16 SMs.</p></body></html>"""
+
+
+@pytest.fixture()
+def md_guide(tmp_path):
+    path = tmp_path / "guide.md"
+    path.write_text(GUIDE_MD, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def html_guide(tmp_path):
+    path = tmp_path / "guide.html"
+    path.write_text(GUIDE_HTML, encoding="utf-8")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_args(self) -> None:
+        args = build_parser().parse_args(["build", "g.md", "-o", "out.html"])
+        assert args.guide == "g.md" and args.output == "out.html"
+
+    def test_demo_choices(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "fortran"])
+
+
+class TestBuild:
+    def test_build_prints_summary(self, md_guide, capsys) -> None:
+        assert main(["build", md_guide]) == 0
+        out = capsys.readouterr().out
+        assert "2 advising" in out
+        assert "pinned memory" in out
+
+    def test_build_writes_html(self, md_guide, tmp_path, capsys) -> None:
+        out_path = tmp_path / "summary.html"
+        assert main(["build", md_guide, "-o", str(out_path)]) == 0
+        html = out_path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "pinned memory" in html
+
+    def test_build_html_guide(self, html_guide, capsys) -> None:
+        assert main(["build", html_guide]) == 0
+        assert "1 advising" in capsys.readouterr().out
+
+    def test_build_plain_text(self, tmp_path, capsys) -> None:
+        path = tmp_path / "guide.txt"
+        path.write_text("Use textures for scattered reads. X is Y.",
+                        encoding="utf-8")
+        assert main(["build", str(path)]) == 0
+
+    def test_extra_keywords(self, tmp_path, capsys) -> None:
+        path = tmp_path / "guide.md"
+        path.write_text("# G\n\nZorbs flibber the warp nicely.\n",
+                        encoding="utf-8")
+        assert main(["build", str(path)]) == 0
+        assert "0 advising" in capsys.readouterr().out
+        assert main(["build", str(path),
+                     "--extra-keywords", "flibber"]) == 0
+        assert "1 advising" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_found(self, md_guide, capsys) -> None:
+        assert main(["query", md_guide, "speed up transfers"]) == 0
+        out = capsys.readouterr().out
+        assert "pinned memory" in out
+
+    def test_query_not_found_exit_code(self, md_guide, capsys) -> None:
+        assert main(["query", md_guide, "quantum pastry catering"]) == 1
+        assert "No relevant sentences found" in capsys.readouterr().out
+
+    def test_query_writes_answer_page(self, md_guide, tmp_path) -> None:
+        out_path = tmp_path / "answer.html"
+        main(["query", md_guide, "transfers", "-o", str(out_path)])
+        assert "highlight" in out_path.read_text(encoding="utf-8")
+
+    def test_threshold_flag(self, md_guide, capsys) -> None:
+        assert main(["query", md_guide, "transfers",
+                     "--threshold", "0.99"]) == 1
+
+
+class TestReport:
+    def test_report_answers(self, md_guide, tmp_path, capsys) -> None:
+        report = tmp_path / "report.txt"
+        report.write_text(
+            "Section: Compute Resources\n"
+            "Optimization: Transfer Overhead\n"
+            "  Reduce transfer time using pinned memory.\n",
+            encoding="utf-8")
+        assert main(["report", md_guide, str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "pinned memory" in out
+
+    def test_report_without_issues(self, md_guide, tmp_path, capsys) -> None:
+        report = tmp_path / "report.txt"
+        report.write_text("nothing here\n", encoding="utf-8")
+        assert main(["report", md_guide, str(report)]) == 1

@@ -1,0 +1,91 @@
+"""EgeriaConfig (deployment configuration file) tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import EgeriaConfig
+from repro.core.keywords import KeywordConfig
+
+
+class TestFromDict:
+    def test_defaults(self) -> None:
+        config = EgeriaConfig.from_dict({})
+        assert config.host == "127.0.0.1"
+        assert config.port == 8000
+        assert config.workers == 1
+        assert config.threshold == 0.15
+
+    def test_full(self) -> None:
+        config = EgeriaConfig.from_dict({
+            "host": "0.0.0.0", "port": 8080, "workers": 4,
+            "threshold": 0.2,
+            "keywords": {"flagging_words": ["have to be"],
+                         "key_subjects": ["user", "one"]},
+        })
+        assert config.port == 8080
+        assert config.keyword_extensions["key_subjects"] == ("user", "one")
+
+    def test_unknown_key_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"hots": "typo"})
+
+    def test_unknown_keyword_set_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"keywords": {"nope": ["x"]}})
+
+    def test_keyword_values_must_be_strings(self) -> None:
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict(
+                {"keywords": {"flagging_words": [1, 2]}})
+
+    def test_threshold_range(self) -> None:
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"threshold": 1.5})
+
+    def test_workers_positive(self) -> None:
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"workers": 0})
+
+
+class TestKeywordConfig:
+    def test_extensions_applied(self) -> None:
+        config = EgeriaConfig.from_dict(
+            {"keywords": {"key_subjects": ["user"]}})
+        keywords = config.keyword_config()
+        assert "user" in keywords.key_subjects
+        assert "developer" in keywords.key_subjects  # base preserved
+
+    def test_no_extensions_identity(self) -> None:
+        base = KeywordConfig()
+        assert EgeriaConfig().keyword_config(base) is base
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path) -> None:
+        config = EgeriaConfig.from_dict({
+            "port": 9999,
+            "keywords": {"flagging_words": ["we suggest"]},
+        })
+        path = tmp_path / "egeria.json"
+        config.save(str(path))
+        loaded = EgeriaConfig.load(str(path))
+        assert loaded == config
+
+    def test_cli_uses_config(self, tmp_path, capsys) -> None:
+        from repro.cli import main
+
+        config_path = tmp_path / "egeria.json"
+        config_path.write_text(json.dumps({
+            "keywords": {"flagging_words": ["flibber"]},
+        }), encoding="utf-8")
+        guide = tmp_path / "g.md"
+        guide.write_text("# G\n\nZorbs flibber the warp nicely.\n",
+                         encoding="utf-8")
+        assert main(["build", str(guide)]) == 0
+        assert "0 advising" in capsys.readouterr().out
+        assert main(["--config", str(config_path),
+                     "build", str(guide)]) == 0
+        assert "1 advising" in capsys.readouterr().out

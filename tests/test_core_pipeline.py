@@ -1,0 +1,245 @@
+"""Integration tests for Stage I + Stage II + advisor + renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AdvisingTool, Document, Egeria
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.recommender import KnowledgeRecommender
+from repro.core.render import render_answer, render_summary
+from repro.docs.document import Section, Sentence
+from repro.profiler import generate_report
+
+ADVISING = [
+    "Use shared memory to reduce global memory traffic.",
+    "To maximize instruction throughput the application should minimize "
+    "divergent warps.",
+    "Developers should align accesses on the 16-byte boundary.",
+    "Register usage can be controlled using the maxrregcount compiler "
+    "option to avoid spilling.",
+]
+NON_ADVISING = [
+    "The warp size is 32 threads.",
+    "Each multiprocessor contains several load units.",
+    "Global memory resides in device DRAM chips.",
+    "Execution time varies depending on the instruction.",
+]
+
+
+def small_document() -> Document:
+    return Document.from_sentences(ADVISING + NON_ADVISING, title="Mini Guide")
+
+
+class TestRecognizer:
+    def test_classify_advising(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        for text in ADVISING:
+            advising, selector = recognizer.classify(text)
+            assert advising, text
+            assert selector is not None
+
+    def test_classify_non_advising(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        for text in NON_ADVISING:
+            assert not recognizer.is_advising(text), text
+
+    def test_recognize_document(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        results = recognizer.recognize(small_document())
+        assert len(results) == len(ADVISING) + len(NON_ADVISING)
+        advising = [r for r in results if r.is_advising]
+        assert len(advising) == len(ADVISING)
+
+    def test_summary_counts(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        results = recognizer.recognize(small_document())
+        summary = recognizer.summary(results)
+        assert summary["total"] == 8
+        assert summary["advising"] == 4
+        per_selector = sum(v for k, v in summary.items()
+                           if k not in ("total", "advising"))
+        assert per_selector == summary["advising"]
+
+    def test_parallel_matches_serial(self) -> None:
+        # replicate sentences to exceed the parallel threshold
+        sentences = (ADVISING + NON_ADVISING) * 10
+        document = Document.from_sentences(sentences)
+        serial = AdvisingSentenceRecognizer(workers=1).recognize(document)
+        parallel = AdvisingSentenceRecognizer(workers=2).recognize(document)
+        assert [r.is_advising for r in serial] == \
+            [r.is_advising for r in parallel]
+
+
+class TestRecommender:
+    def _advising_sentences(self) -> list[Sentence]:
+        return [Sentence(t, i) for i, t in enumerate(ADVISING)]
+
+    def test_recommend_relevant(self) -> None:
+        rec = KnowledgeRecommender(self._advising_sentences())
+        out = rec.recommend("how to reduce divergent warps")
+        assert out
+        assert "divergent" in out[0].sentence.text
+
+    def test_threshold_respected(self) -> None:
+        rec = KnowledgeRecommender(self._advising_sentences(), threshold=0.99)
+        assert rec.recommend("divergent warps") == []
+
+    def test_scores_sorted(self) -> None:
+        rec = KnowledgeRecommender(self._advising_sentences())
+        out = rec.recommend("memory traffic alignment register")
+        scores = [r.score for r in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_fit_corpus_from_document(self) -> None:
+        doc = small_document()
+        sentences = [s for s in doc.sentences if s.text in ADVISING]
+        rec = KnowledgeRecommender(sentences, document=doc)
+        assert rec.recommend("shared memory traffic")
+
+
+class TestAdvisorTool:
+    def _tool(self) -> AdvisingTool:
+        return Egeria().build_advisor(small_document())
+
+    def test_build(self) -> None:
+        tool = self._tool()
+        assert len(tool.advising_sentences) == len(ADVISING)
+        assert "Mini Guide" in tool.name
+
+    def test_query(self) -> None:
+        answer = self._tool().query("reduce divergent warps")
+        assert answer.found
+        assert "relevant sentences found" in answer.message
+
+    def test_query_no_answer(self) -> None:
+        answer = self._tool().query("quantum chromodynamics pastry")
+        assert not answer.found
+        assert answer.message == "No relevant sentences found"
+
+    def test_query_report(self) -> None:
+        tool = self._tool()
+        report = generate_report("norm").to_text()
+        answers = tool.query_report(report)
+        assert len(answers) == 2  # register usage + divergent branches
+        # the divergent-branches issue should hit the warp sentence
+        divergent_answer = answers[1]
+        assert any("divergent" in s.text for s in divergent_answer.sentences)
+
+    def test_selection_stats(self) -> None:
+        stats = self._tool().selection_stats()
+        assert stats["document_sentences"] == 8
+        assert stats["advising_sentences"] == 4
+        assert stats["ratio"] == pytest.approx(2.0)
+
+    def test_summary_by_section(self) -> None:
+        tool = self._tool()
+        groups = tool.summary_by_section()
+        assert sum(len(sents) for _, sents in groups) == 4
+
+    def test_context_of(self) -> None:
+        tool = self._tool()
+        first = tool.advising_sentences[0]
+        context = tool.context_of(first)
+        assert first in context
+
+
+class TestSectionedDocument:
+    def _doc(self) -> Document:
+        s1 = Section(number="5.1", title="Memory", level=2, sentences=[
+            Sentence("Use shared memory to reduce global traffic.", -1),
+            Sentence("Global memory resides in DRAM.", -1),
+        ])
+        s2 = Section(number="5.2", title="Control Flow", level=2, sentences=[
+            Sentence("Avoid divergent branches in hot loops.", -1),
+        ])
+        top = Section(number="5", title="Performance", level=1,
+                      subsections=[s1, s2])
+        doc = Document(title="Guide", sections=[top])
+        doc.reindex()
+        return doc
+
+    def test_sections_preserved_in_answers(self) -> None:
+        tool = Egeria().build_advisor(self._doc())
+        answer = tool.query("divergent branches")
+        assert answer.found
+        assert answer.sentences[0].section_number == "5.2"
+
+    def test_render_summary_html(self) -> None:
+        tool = Egeria().build_advisor(self._doc())
+        html = render_summary(tool)
+        assert "<h2" in html and "5.1. Memory" in html
+        assert "Use shared memory" in html
+
+    def test_render_answer_html(self) -> None:
+        tool = Egeria().build_advisor(self._doc())
+        answer = tool.query("divergent branches")
+        html = render_answer(tool, answer)
+        assert "highlight" in html
+        assert "similarity" in html
+        assert "5.2. Control Flow" in html
+
+    def test_render_empty_answer(self) -> None:
+        tool = Egeria().build_advisor(self._doc())
+        html = render_answer(tool, tool.query("zebra crossing"))
+        assert "No relevant sentences found" in html
+
+
+class TestEgeriaFactory:
+    def test_from_html(self) -> None:
+        html = ("<html><body><h1>1. Guide</h1>"
+                "<p>Use pinned memory for transfers. "
+                "The bus is PCIe.</p></body></html>")
+        tool = Egeria().build_advisor_from_html(html)
+        assert len(tool.document) == 2
+        assert len(tool.advising_sentences) == 1
+
+    def test_from_markdown(self) -> None:
+        md = "# 1. Guide\n\nAvoid divergent branches. The warp size is 32.\n"
+        tool = Egeria().build_advisor_from_markdown(md)
+        assert len(tool.advising_sentences) == 1
+
+    def test_custom_threshold(self) -> None:
+        tool = Egeria(threshold=0.9).build_advisor(small_document())
+        assert tool.query("divergent warps").recommendations == []
+
+
+class TestLogging:
+    def test_build_advisor_logs_summary(self, caplog) -> None:
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.core.egeria"):
+            Egeria().build_advisor(small_document())
+        messages = [r.message for r in caplog.records]
+        assert any("built advisor" in m for m in messages)
+        assert any("4/8 sentences advising" in m for m in messages)
+
+
+class TestClassificationCache:
+    def test_cache_consistent(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        text = "Use shared memory to reduce traffic."
+        first = recognizer.classify(text)
+        second = recognizer.classify(text)
+        assert first == second == (True, "imperative") or first == second
+
+    def test_cache_speeds_duplicates(self) -> None:
+        import time
+
+        recognizer = AdvisingSentenceRecognizer()
+        text = ("The number of threads per block should be chosen as a "
+                "multiple of the warp size to avoid wasting resources.")
+        start = time.perf_counter()
+        recognizer.classify(text)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(50):
+            recognizer.classify(text)
+        warm = (time.perf_counter() - start) / 50
+        assert warm < cold / 5
+
+    def test_cache_bounded(self) -> None:
+        recognizer = AdvisingSentenceRecognizer(cache_size=2)
+        for i in range(5):
+            recognizer.classify(f"The value is {i}.")
+        assert len(recognizer._cache) <= 2

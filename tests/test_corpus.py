@@ -1,0 +1,206 @@
+"""Corpus generation tests: determinism, stats, labels, ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    PERFORMANCE_ISSUES,
+    cuda_guide,
+    opencl_guide,
+    relevance_ground_truth,
+    xeon_guide,
+)
+from repro.corpus.builder import (
+    ChapterSpec,
+    GuideSpec,
+    SeedSentence,
+    build_guide,
+    validate_family_mix,
+)
+from repro.corpus.templates import FAMILIES, GeneratedSentence, generate
+from repro.corpus.topics import CUDA_TOPICS, MEMORY_COALESCING
+
+
+class TestTemplates:
+    def test_families_cover_all_categories(self) -> None:
+        assert set(FAMILIES) == {
+            "keyword", "comparative", "imperative", "subject", "purpose",
+            "hard_advising", "expository", "bait"}
+
+    def test_labels_by_family(self) -> None:
+        rng = np.random.default_rng(0)
+        for family, (_, advising, _) in FAMILIES.items():
+            sentence = generate(family, MEMORY_COALESCING, rng)
+            assert sentence.advising == advising
+            assert sentence.family == family
+
+    def test_no_unfilled_slots(self) -> None:
+        rng = np.random.default_rng(1)
+        for family in FAMILIES:
+            for _ in range(30):
+                sentence = generate(family, MEMORY_COALESCING, rng)
+                assert "{" not in sentence.text, sentence.text
+                assert "}" not in sentence.text
+
+    def test_deterministic(self) -> None:
+        a = generate("keyword", MEMORY_COALESCING, np.random.default_rng(7))
+        b = generate("keyword", MEMORY_COALESCING, np.random.default_rng(7))
+        assert a == b
+
+    def test_topic_recorded(self) -> None:
+        rng = np.random.default_rng(2)
+        s = generate("expository", MEMORY_COALESCING, rng)
+        assert s.topic == "memory_coalescing"
+
+
+class TestBuilder:
+    def _tiny_spec(self) -> GuideSpec:
+        return GuideSpec(
+            name="Tiny Guide",
+            pages=3,
+            topics=CUDA_TOPICS,
+            seed=5,
+            chapters=(
+                ChapterSpec(
+                    "1", "Only Chapter", 40,
+                    {"expository": 0.5, "keyword": 0.5},
+                    seeds=(SeedSentence("Hand written advice should win.",
+                                        True, "memory_coalescing"),),
+                    subsections=(("1", "Sub A"), ("2", "Sub B")),
+                    labeled=True),
+            ),
+        )
+
+    def test_sentence_count_exact(self) -> None:
+        guide = build_guide(self._tiny_spec())
+        assert len(guide.document) == 40
+        assert len(guide.meta) == 40
+
+    def test_seed_first(self) -> None:
+        guide = build_guide(self._tiny_spec())
+        assert guide.document.sentences[0].text == \
+            "Hand written advice should win."
+        assert guide.meta[0].family == "seed"
+        assert guide.meta[0].advising
+
+    def test_subsections_created(self) -> None:
+        guide = build_guide(self._tiny_spec())
+        assert guide.document.find_section("1.1") is not None
+        assert guide.document.find_section("1.2") is not None
+
+    def test_deterministic_builds(self) -> None:
+        a = build_guide(self._tiny_spec())
+        b = build_guide(self._tiny_spec())
+        assert [s.text for s in a.document.sentences] == \
+            [s.text for s in b.document.sentences]
+
+    def test_labeled_region(self) -> None:
+        guide = build_guide(self._tiny_spec())
+        sentences, labels = guide.labeled_region()
+        assert len(sentences) == len(labels) == 40
+
+    def test_validate_family_mix(self) -> None:
+        with pytest.raises(ValueError):
+            validate_family_mix({"nonexistent_family": 1.0})
+        validate_family_mix({"keyword": 1.0})
+
+
+class TestGuides:
+    """Paper Table 7 / §4.3 statistics."""
+
+    def test_cuda_stats(self) -> None:
+        guide = cuda_guide()
+        stats = guide.stats()
+        assert stats["sentences"] == 2140
+        assert stats["pages"] == 275
+        sentences, labels = guide.labeled_region()
+        assert len(sentences) == 177
+        # paper: 52 advising in chapter 5; generation lands within ±5
+        assert abs(sum(labels) - 52) <= 5
+
+    def test_opencl_stats(self) -> None:
+        guide = opencl_guide()
+        stats = guide.stats()
+        assert stats["sentences"] == 1944
+        assert stats["pages"] == 178
+        sentences, labels = guide.labeled_region()
+        assert len(sentences) == 556
+        assert abs(sum(labels) - 128) <= 8
+
+    def test_xeon_stats(self) -> None:
+        guide = xeon_guide()
+        stats = guide.stats()
+        assert stats["sentences"] == 558
+        assert stats["pages"] == 47
+        sentences, labels = guide.labeled_region()
+        assert len(sentences) == 558
+        assert abs(sum(labels) - 120) <= 8
+
+    def test_paper_seed_sentences_present(self) -> None:
+        cuda_texts = [s.text for s in cuda_guide().document.sentences]
+        assert any("maxrregcount compiler option" in t for t in cuda_texts)
+        assert any("controlling condition should be written" in t
+                   for t in cuda_texts)
+        opencl_texts = [s.text for s in opencl_guide().document.sentences]
+        assert any("clWaitForEvents()" in t for t in opencl_texts)
+
+    def test_seeds_in_correct_chapter(self) -> None:
+        guide = cuda_guide()
+        reg = next(s for s in guide.document.sentences
+                   if s.text.startswith("Register usage can be controlled"))
+        assert reg.section_number.startswith("5.")
+
+    def test_labels_not_from_selectors(self) -> None:
+        """Ground-truth labels disagree with the recognizer on some
+        sentences — proof the labels are independent of Egeria."""
+        from repro.core.recognizer import AdvisingSentenceRecognizer
+        guide = xeon_guide()
+        recognizer = AdvisingSentenceRecognizer()
+        sentences, labels = guide.labeled_region()
+        mismatches = 0
+        for sentence, label in zip(sentences[:150], labels[:150]):
+            if recognizer.is_advising(sentence.text) != label:
+                mismatches += 1
+        assert mismatches > 0
+
+    def test_caching(self) -> None:
+        assert cuda_guide() is cuda_guide()
+
+
+class TestGroundTruth:
+    def test_counts_in_paper_band(self) -> None:
+        """Paper Table 6 ground truths range 2..18 per issue."""
+        guide = cuda_guide()
+        for issue in PERFORMANCE_ISSUES:
+            count = len(relevance_ground_truth(guide, issue))
+            assert 2 <= count <= 25, (issue.issue_title, count)
+
+    def test_ground_truth_sentences_are_advising(self) -> None:
+        guide = cuda_guide()
+        advising = set(guide.advising_indices())
+        for issue in PERFORMANCE_ISSUES:
+            for sentence in relevance_ground_truth(guide, issue):
+                assert sentence.index in advising
+
+    def test_issue_programs_have_reports(self) -> None:
+        from repro.profiler import REPORT_PROGRAMS
+        for issue in PERFORMANCE_ISSUES:
+            assert issue.program in REPORT_PROGRAMS
+
+    def test_issue_titles_match_reports(self) -> None:
+        from repro.profiler import generate_report
+        for issue in PERFORMANCE_ISSUES:
+            report = generate_report(issue.program)
+            titles = [i.title for i in report.issues()]
+            assert issue.issue_title in titles
+
+    def test_divergence_issue_hits_paper_sentence(self) -> None:
+        """The Figure 4 'controlling condition' sentence must be ground
+        truth for the Divergent Branches issue."""
+        guide = cuda_guide()
+        issue = next(i for i in PERFORMANCE_ISSUES
+                     if i.issue_title == "Divergent Branches")
+        texts = [s.text for s in relevance_ground_truth(guide, issue)]
+        assert any("controlling condition" in t for t in texts)

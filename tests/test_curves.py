@@ -1,0 +1,74 @@
+"""Precision-recall curve and average-precision tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.curves import mean_average_precision, pr_curve
+
+
+class TestPRCurve:
+    def test_perfect_ranking(self) -> None:
+        curve = pr_curve([1, 2, 3], {1, 2, 3})
+        assert curve.average_precision == pytest.approx(1.0)
+        assert curve.precisions == (1.0, 1.0, 1.0)
+        assert curve.recalls[-1] == pytest.approx(1.0)
+
+    def test_worst_ranking(self) -> None:
+        curve = pr_curve([9, 8, 7], {1, 2})
+        assert curve.average_precision == 0.0
+        assert all(p == 0.0 for p in curve.precisions)
+
+    def test_known_ap(self) -> None:
+        # relevant at ranks 1 and 3 of 3, gold size 2:
+        # AP = (1/1 + 2/3) / 2
+        curve = pr_curve([1, 9, 2], {1, 2})
+        assert curve.average_precision == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_unretrieved_relevant_penalized(self) -> None:
+        full = pr_curve([1, 2], {1, 2})
+        partial = pr_curve([1], {1, 2})
+        assert partial.average_precision < full.average_precision
+
+    def test_precision_recall_at_k(self) -> None:
+        curve = pr_curve([1, 9, 2], {1, 2})
+        assert curve.precision_at(1) == 1.0
+        assert curve.precision_at(2) == 0.5
+        assert curve.recall_at(3) == 1.0
+        assert curve.precision_at(0) == 0.0
+        assert curve.precision_at(99) == curve.precisions[-1]
+
+    def test_empty_gold(self) -> None:
+        curve = pr_curve([1, 2], set())
+        assert curve.average_precision == 0.0
+
+    def test_empty_ranking(self) -> None:
+        curve = pr_curve([], {1})
+        assert curve.average_precision == 0.0
+        assert curve.precisions == ()
+
+    @given(st.lists(st.integers(0, 20), unique=True, max_size=15),
+           st.sets(st.integers(0, 20), max_size=8))
+    def test_bounds(self, ranking: list[int], gold: set[int]) -> None:
+        curve = pr_curve(ranking, gold)
+        assert 0.0 <= curve.average_precision <= 1.0
+        for p, r in zip(curve.precisions, curve.recalls):
+            assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0
+        # recall is non-decreasing
+        assert list(curve.recalls) == sorted(curve.recalls)
+
+
+class TestMAP:
+    def test_mean(self) -> None:
+        value = mean_average_precision(
+            [[1, 2], [9, 8]], [{1, 2}, {1}])
+        assert value == pytest.approx(0.5)
+
+    def test_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            mean_average_precision([[1]], [{1}, {2}])
+
+    def test_empty(self) -> None:
+        assert mean_average_precision([], []) == 0.0

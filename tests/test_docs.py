@@ -1,0 +1,177 @@
+"""Document model and loader tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docs import (
+    Document,
+    HTMLDocumentLoader,
+    Section,
+    Sentence,
+    load_html,
+    load_markdown,
+)
+
+HTML = """
+<html><head><title>CUDA C Programming Guide</title></head><body>
+<h1>5. Performance Guidelines</h1>
+<p>Optimize memory usage to achieve maximum memory throughput.
+Optimize instruction usage to achieve maximum instruction throughput.</p>
+<h2>5.1. Overall Performance Optimization Strategies</h2>
+<p>Performance optimization revolves around three basic strategies.</p>
+<h2>5.2. Maximize Utilization</h2>
+<h3>5.2.3. Multiprocessor Level</h3>
+<p>The application should maximize parallel execution.</p>
+<ul><li>Register usage can be controlled using the compiler option.</li></ul>
+<pre>int x = kernel&lt;&lt;&lt;1,1&gt;&gt;&gt;();</pre>
+<script>ignore_me();</script>
+<h2>5.4. Maximize Instruction Throughput</h2>
+<p>Minimize divergent warps caused by control flow instructions.</p>
+</body></html>
+"""
+
+MD = """
+# 2. OpenCL Performance and Optimization
+
+Intro sentence one. Intro sentence two.
+
+## 2.1. Global Memory Optimization
+
+Coalesce memory accesses whenever possible.
+
+- Use buffers instead of images when no sampling is needed.
+
+```
+code_block_should_be_skipped();
+```
+
+## 2.2. Work-group Size
+
+Choose the work-group size as a multiple of the wavefront size.
+"""
+
+
+class TestDocumentModel:
+    def test_from_sentences(self) -> None:
+        doc = Document.from_sentences(["One.", "Two."], title="T")
+        assert len(doc) == 2
+        assert [s.text for s in doc.iter_sentences()] == ["One.", "Two."]
+
+    def test_from_text(self) -> None:
+        doc = Document.from_text("Use textures. They are cached.")
+        assert len(doc) == 2
+
+    def test_reindex_assigns_sections(self) -> None:
+        inner = Section(number="1.1", title="Inner",
+                        sentences=[Sentence("A.", -1)], level=2)
+        outer = Section(number="1", title="Outer", level=1,
+                        sentences=[Sentence("B.", -1)], subsections=[inner])
+        doc = Document(title="t", sections=[outer])
+        doc.reindex()
+        sentences = doc.sentences
+        assert sentences[0].text == "B." and sentences[0].index == 0
+        assert sentences[1].section_number == "1.1"
+
+    def test_find_section(self) -> None:
+        doc = load_html(HTML)
+        section = doc.find_section("5.2.3")
+        assert section is not None and "Multiprocessor" in section.title
+        assert doc.find_section("9.9") is None
+
+    def test_section_of(self) -> None:
+        doc = load_html(HTML)
+        sentence = doc.sentences[0]
+        section = doc.section_of(sentence)
+        assert section is not None
+
+    def test_section_heading(self) -> None:
+        assert Section(number="5.4", title="X").heading == "5.4. X"
+        assert Section(title="Only").heading == "Only"
+
+    def test_sentence_section_path(self) -> None:
+        s = Sentence("x", 0, section_number="5.4", section_title="Y")
+        assert s.section_path == "5.4. Y"
+
+
+class TestHTMLLoader:
+    def test_title(self) -> None:
+        assert load_html(HTML).title == "CUDA C Programming Guide"
+
+    def test_section_numbers_inferred(self) -> None:
+        doc = load_html(HTML)
+        numbers = [sec.number for sec in doc.iter_sections()]
+        assert "5" in numbers and "5.2.3" in numbers
+
+    def test_nesting(self) -> None:
+        doc = load_html(HTML)
+        top = doc.sections[0]
+        assert top.number == "5"
+        sub_numbers = [s.number for s in top.subsections]
+        assert "5.1" in sub_numbers and "5.4" in sub_numbers
+        five_two = next(s for s in top.subsections if s.number == "5.2")
+        assert [s.number for s in five_two.subsections] == ["5.2.3"]
+
+    def test_sentences_split_and_attributed(self) -> None:
+        doc = load_html(HTML)
+        texts = [s.text for s in doc.iter_sentences()]
+        assert any("maximum memory throughput" in t for t in texts)
+        reg = next(s for s in doc.iter_sentences()
+                   if "Register usage" in s.text)
+        assert reg.section_number == "5.2.3"
+
+    def test_pre_and_script_skipped(self) -> None:
+        doc = load_html(HTML)
+        for sentence in doc.iter_sentences():
+            assert "kernel<<<" not in sentence.text
+            assert "ignore_me" not in sentence.text
+
+    def test_global_indices_sequential(self) -> None:
+        doc = load_html(HTML)
+        indices = [s.index for s in doc.iter_sentences()]
+        assert indices == list(range(len(indices)))
+
+    def test_load_file(self, tmp_path) -> None:
+        path = tmp_path / "guide.html"
+        path.write_text(HTML, encoding="utf-8")
+        doc = HTMLDocumentLoader().load_file(str(path))
+        assert len(doc) > 0
+
+    def test_empty_html(self) -> None:
+        doc = load_html("<html><body></body></html>")
+        assert len(doc) == 0
+
+    def test_preamble_text_without_heading(self) -> None:
+        doc = load_html("<p>Stray sentence.</p>")
+        assert len(doc) == 1
+
+
+class TestMarkdownLoader:
+    def test_title_from_h1(self) -> None:
+        doc = load_markdown(MD)
+        assert "OpenCL" in doc.title
+
+    def test_sections(self) -> None:
+        doc = load_markdown(MD)
+        numbers = [s.number for s in doc.iter_sections()]
+        assert "2" in numbers and "2.1" in numbers and "2.2" in numbers
+
+    def test_sentences(self) -> None:
+        doc = load_markdown(MD)
+        texts = [s.text for s in doc.iter_sentences()]
+        assert any("Coalesce memory accesses" in t for t in texts)
+        assert any("buffers instead of images" in t for t in texts)
+
+    def test_code_fence_skipped(self) -> None:
+        doc = load_markdown(MD)
+        for sentence in doc.iter_sentences():
+            assert "code_block_should_be_skipped" not in sentence.text
+
+    def test_list_items_are_sentences(self) -> None:
+        doc = load_markdown(MD)
+        section = doc.find_section("2.1")
+        assert section is not None
+        assert len(section.sentences) == 2
+
+    def test_empty(self) -> None:
+        assert len(load_markdown("")) == 0

@@ -1,0 +1,28 @@
+"""Run the executable examples embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.egeria
+import repro.tagging.tagger
+import repro.textproc.word_tokenizer
+
+MODULES = (
+    repro,
+    repro.core.egeria,
+    repro.tagging.tagger,
+    repro.textproc.word_tokenizer,
+)
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module) -> None:
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module should carry doctests"

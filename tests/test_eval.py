@@ -1,0 +1,131 @@
+"""Metrics, kappa, rater-simulation and user-study tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.kappa import fleiss_kappa
+from repro.eval.metrics import precision_recall_f, precision_recall_f_labels, prf
+from repro.eval.raters import majority_vote, simulate_raters
+
+
+class TestMetrics:
+    def test_perfect(self) -> None:
+        assert precision_recall_f({1, 2}, {1, 2}) == (1.0, 1.0, 1.0)
+
+    def test_disjoint(self) -> None:
+        assert precision_recall_f({1}, {2}) == (0.0, 0.0, 0.0)
+
+    def test_partial(self) -> None:
+        p, r, f = precision_recall_f({1, 2, 3, 4}, {1, 2})
+        assert p == 0.5 and r == 1.0
+        assert f == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+    def test_empty_prediction(self) -> None:
+        assert precision_recall_f(set(), {1}) == (0.0, 0.0, 0.0)
+
+    def test_empty_gold(self) -> None:
+        p, r, f = precision_recall_f({1}, set())
+        assert r == 0.0 and f == 0.0
+
+    def test_label_variant(self) -> None:
+        p, r, f = precision_recall_f_labels(
+            [True, True, False], [True, False, False])
+        assert p == 0.5 and r == 1.0
+
+    def test_label_length_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            precision_recall_f_labels([True], [True, False])
+
+    def test_prf_counts(self) -> None:
+        result = prf({1, 2, 3}, {2, 3, 4})
+        assert result.true_positives == 2
+        assert result.predicted == 3 and result.gold == 3
+
+    @given(st.sets(st.integers(0, 30)), st.sets(st.integers(0, 30)))
+    def test_bounds(self, predicted: set, gold: set) -> None:
+        p, r, f = precision_recall_f(predicted, gold)
+        assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f <= 1.0
+        assert min(p, r) - 1e-9 <= f <= max(p, r) + 1e-9 or f == 0.0
+
+    @given(st.sets(st.integers(0, 20), min_size=1))
+    def test_identity(self, items: set) -> None:
+        assert precision_recall_f(items, items) == (1.0, 1.0, 1.0)
+
+
+class TestFleissKappa:
+    def test_perfect_agreement(self) -> None:
+        ratings = [[1, 1, 1], [0, 0, 0], [1, 1, 1]]
+        assert fleiss_kappa(ratings) == pytest.approx(1.0)
+
+    def test_total_disagreement_binary(self) -> None:
+        # two raters always disagreeing: kappa strongly negative
+        ratings = [[0, 1], [1, 0], [0, 1], [1, 0]]
+        assert fleiss_kappa(ratings) < 0.0
+
+    def test_known_value(self) -> None:
+        """Spot value computed by hand for a 4-item, 3-rater table."""
+        ratings = [[1, 1, 1], [1, 1, 0], [0, 0, 0], [0, 0, 0]]
+        kappa = fleiss_kappa(ratings)
+        assert 0.5 < kappa < 1.0
+
+    def test_requires_two_raters(self) -> None:
+        with pytest.raises(ValueError):
+            fleiss_kappa([[1], [0]])
+
+    def test_requires_2d(self) -> None:
+        with pytest.raises(ValueError):
+            fleiss_kappa([1, 0, 1])
+
+    def test_single_category(self) -> None:
+        assert fleiss_kappa([[1, 1], [1, 1]]) == 1.0
+
+
+class TestRaterSimulation:
+    def test_shapes(self) -> None:
+        labels = [True] * 50 + [False] * 150
+        hard = [False] * 200
+        ratings = simulate_raters(labels, hard, n_raters=3, seed=1)
+        assert ratings.shape == (200, 3)
+
+    def test_majority_recovers_truth_on_easy(self) -> None:
+        labels = [True] * 100 + [False] * 300
+        hard = [False] * 400
+        ratings = simulate_raters(labels, hard, seed=2)
+        voted = majority_vote(ratings)
+        agreement = np.mean([v == t for v, t in zip(voted, labels)])
+        assert agreement > 0.97
+
+    def test_kappa_in_paper_band(self) -> None:
+        """κ lands in the >0.8 band the paper reports (§4.2, §4.3)."""
+        rng = np.random.default_rng(3)
+        labels = (rng.random(600) < 0.25).tolist()
+        hard = (rng.random(600) < 0.1).tolist()
+        ratings = simulate_raters(labels, hard, seed=3)
+        kappa = fleiss_kappa(ratings.tolist())
+        assert 0.75 <= kappa <= 0.98
+
+    def test_hard_items_disagree_more(self) -> None:
+        labels = [True] * 400
+        easy = simulate_raters(labels, [False] * 400, seed=4)
+        hard = simulate_raters(labels, [True] * 400, seed=4)
+        easy_disagreement = (easy.min(axis=1) != easy.max(axis=1)).mean()
+        hard_disagreement = (hard.min(axis=1) != hard.max(axis=1)).mean()
+        assert hard_disagreement > easy_disagreement
+
+    def test_mismatched_lengths(self) -> None:
+        with pytest.raises(ValueError):
+            simulate_raters([True], [False, False])
+
+    def test_majority_tie_breaks_false(self) -> None:
+        ratings = np.array([[0, 1], [1, 0]])
+        assert majority_vote(ratings) == [False, False]
+
+    def test_deterministic_given_seed(self) -> None:
+        labels, hard = [True] * 20, [False] * 20
+        a = simulate_raters(labels, hard, seed=9)
+        b = simulate_raters(labels, hard, seed=9)
+        assert np.array_equal(a, b)

@@ -1,0 +1,71 @@
+"""repro.experiments registry and result-shape tests.
+
+Full experiment content is validated by the benchmark suite; these
+tests check the library-level contract (shapes, determinism, CLI
+wiring) on the cheaper experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentRegistry, run_table5, run_table7
+
+
+class TestRegistry:
+    def test_names(self) -> None:
+        assert set(ExperimentRegistry) == {
+            "table5", "table6", "table7", "table8"}
+
+    def test_entries_are_callable_with_description(self) -> None:
+        for runner, description in ExperimentRegistry.values():
+            assert callable(runner)
+            assert isinstance(description, str) and description
+
+
+class TestTable5:
+    def test_summary_shape(self) -> None:
+        summary = run_table5(seed=7, workers=1)
+        assert set(summary) == {
+            "egeria_gtx780", "egeria_gtx480",
+            "control_gtx780", "control_gtx480"}
+        for stats in summary.values():
+            assert stats["average"] >= 1.0
+            assert stats["median"] >= 1.0
+
+    def test_deterministic(self) -> None:
+        assert run_table5(seed=3, workers=1) == run_table5(seed=3, workers=1)
+
+    def test_seed_changes_results(self) -> None:
+        assert run_table5(seed=1, workers=1) != run_table5(seed=2, workers=1)
+
+
+class TestTable7:
+    def test_rows(self) -> None:
+        rows = run_table7(workers=1)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["selected"] > 0
+            assert row["ratio"] == pytest.approx(
+                row["sentences"] / row["selected"])
+
+
+class TestCLIWiring:
+    def test_experiments_list(self, capsys) -> None:
+        from repro.cli import main
+
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "table8" in out
+
+    def test_unknown_experiment(self, capsys) -> None:
+        from repro.cli import main
+
+        assert main(["experiments", "bogus"]) == 1
+
+    def test_table7_via_cli(self, capsys) -> None:
+        from repro.cli import main
+
+        assert main(["experiments", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "CUDA C Programming Guide" in out

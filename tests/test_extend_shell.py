@@ -1,0 +1,82 @@
+"""Incremental advisor extension and interactive-shell tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, Egeria
+from repro.cli import main
+
+
+class TestExtend:
+    def _base(self):
+        return Egeria().build_advisor(Document.from_sentences(
+            ["Use shared memory to cut global traffic.",
+             "The warp size is 32 threads.",
+             "Avoid divergent branches in loops."],
+            title="v1 Guide"))
+
+    def test_extend_adds_advising_sentences(self) -> None:
+        advisor = self._base()
+        before = len(advisor.advising_sentences)
+        added = advisor.extend(Document.from_sentences(
+            ["Prefer pinned memory for frequent transfers.",
+             "The PCIe bus is 16 lanes wide."],
+            title="v2 Addendum"))
+        assert added == 1
+        assert len(advisor.advising_sentences) == before + 1
+
+    def test_new_content_queryable(self) -> None:
+        advisor = self._base()
+        assert not advisor.query("pinned transfers").found
+        advisor.extend(Document.from_sentences(
+            ["Prefer pinned memory for frequent transfers.",
+             "The PCIe bus is 16 lanes wide."],
+            title="v2 Addendum"))
+        answer = advisor.query("pinned transfers")
+        assert answer.found
+        assert "pinned memory" in answer.sentences[0].text
+
+    def test_old_content_still_queryable(self) -> None:
+        advisor = self._base()
+        advisor.extend(Document.from_sentences(
+            ["Prefer pinned memory for transfers."], title="v2"))
+        assert advisor.query("divergent branches").found
+
+    def test_document_grows(self) -> None:
+        advisor = self._base()
+        advisor.extend(Document.from_sentences(["One more sentence."]))
+        assert len(advisor.document) == 4
+
+    def test_indices_consistent_after_extend(self) -> None:
+        advisor = self._base()
+        advisor.extend(Document.from_sentences(
+            ["Prefer pinned memory for transfers."], title="v2"))
+        indices = [s.index for s in advisor.document.sentences]
+        assert indices == list(range(len(indices)))
+        for sentence in advisor.advising_sentences:
+            assert advisor.document.sentences[sentence.index] is sentence
+
+
+class TestShell:
+    def test_session(self, tmp_path, capsys, monkeypatch) -> None:
+        guide = tmp_path / "g.md"
+        guide.write_text(
+            "# G\n\nUse pinned memory for transfers. The bus is wide.\n",
+            encoding="utf-8")
+        inputs = iter(["speed up transfers", "", "quit"])
+        monkeypatch.setattr("builtins.input", lambda _: next(inputs))
+        assert main(["shell", str(guide)]) == 0
+        out = capsys.readouterr().out
+        assert "pinned memory" in out
+
+    def test_eof_terminates(self, tmp_path, monkeypatch) -> None:
+        guide = tmp_path / "g.md"
+        guide.write_text("# G\n\nAvoid divergent branches.\n",
+                         encoding="utf-8")
+
+        def raise_eof(_):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        assert main(["shell", str(guide)]) == 0

@@ -1,0 +1,104 @@
+"""Keyword-mining tests: discriminative phrase discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keyword_mining import KeywordMiner, _contains
+from repro.core.keywords import KeywordConfig
+from repro.core.selectors import KeywordSelector
+from repro.core.analysis import SentenceAnalyzer
+
+ADVISING = [
+    "You have to be careful with thread placement on this device.",
+    "Users have to be careful when oversubscribing cores.",
+    "Buffers have to be aligned before the transfer starts.",
+    "We suggest enabling huge pages for large working sets.",
+    "We suggest pinning the communication threads.",
+    "We suggest batching kernel launches.",
+] * 2
+OTHER = [
+    "The device has sixty cores with four threads each.",
+    "Each core contains a vector unit and a scalar unit.",
+    "The ring interconnect carries coherence traffic.",
+    "The tag directory tracks cache line ownership.",
+    "Memory controllers are interleaved across the ring.",
+    "The documentation describes the instruction encodings.",
+] * 2
+
+
+class TestMiner:
+    def test_finds_discriminative_phrases(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        mined = KeywordMiner(min_count=3).mine(sentences, labels, top_k=10)
+        phrases = [k.phrase for k in mined]
+        assert any("have to be" in p for p in phrases)
+        assert any("suggest" in p for p in phrases)
+
+    def test_no_non_advising_phrases(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        mined = KeywordMiner(min_count=3).mine(sentences, labels)
+        for keyword in mined:
+            assert keyword.log_odds > 0
+            assert keyword.advising_count >= keyword.other_count
+
+    def test_min_count_respected(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        mined = KeywordMiner(min_count=3).mine(sentences, labels)
+        for keyword in mined:
+            assert keyword.advising_count >= 3
+
+    def test_subsumed_ngrams_dropped(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        mined = KeywordMiner(min_count=3).mine(sentences, labels, top_k=20)
+        stems = [k.stems for k in mined]
+        for i, inner in enumerate(stems):
+            for j, outer in enumerate(stems):
+                if i != j and len(inner) < len(outer):
+                    # an earlier-ranked containing phrase would have
+                    # suppressed this one
+                    if _contains(outer, inner):
+                        assert j > i
+
+    def test_length_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            KeywordMiner().mine(["a"], [True, False])
+
+    def test_contains_helper(self) -> None:
+        assert _contains(("a", "b", "c"), ("b", "c"))
+        assert not _contains(("a", "b"), ("b", "a"))
+        assert not _contains(("a",), ("a", "b"))
+
+
+class TestConfigExtension:
+    def test_mined_keywords_lift_selector_recall(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        config = KeywordConfig()
+        miner = KeywordMiner(min_count=3)
+        extended = miner.extend_config(config, sentences, labels, top_k=8)
+        assert len(extended.flagging_words) > len(config.flagging_words)
+
+        analyzer = SentenceAnalyzer()
+        base_selector = KeywordSelector(config)
+        mined_selector = KeywordSelector(extended)
+        base_hits = sum(base_selector.matches(analyzer.analyze(s))
+                        for s in ADVISING)
+        mined_hits = sum(mined_selector.matches(analyzer.analyze(s))
+                         for s in ADVISING)
+        assert mined_hits > base_hits
+
+    def test_mined_keywords_do_not_flood_negatives(self) -> None:
+        sentences = ADVISING + OTHER
+        labels = [True] * len(ADVISING) + [False] * len(OTHER)
+        extended = KeywordMiner(min_count=3).extend_config(
+            KeywordConfig(), sentences, labels, top_k=8)
+        analyzer = SentenceAnalyzer()
+        selector = KeywordSelector(extended)
+        false_hits = sum(selector.matches(analyzer.analyze(s))
+                         for s in OTHER)
+        assert false_hits <= len(OTHER) // 4

@@ -1,0 +1,96 @@
+"""Trained-model persistence (perceptron tagger, MST parser) + web fuzz."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parsing.mst import MSTParser
+from repro.tagging.perceptron import PerceptronTagger
+from repro.tagging.train_data import GOLD_SENTENCES
+
+
+class TestPerceptronPersistence:
+    def test_round_trip_predictions(self, tmp_path) -> None:
+        tagger = PerceptronTagger()
+        tagger.train(GOLD_SENTENCES, iterations=4, seed=2)
+        path = tmp_path / "tagger.json"
+        tagger.save(str(path))
+        loaded = PerceptronTagger.load(str(path))
+        words = ["Use", "shared", "memory", "to", "hide", "latency", "."]
+        assert loaded.tag(words) == tagger.tag(words)
+
+    def test_accuracy_preserved(self, tmp_path) -> None:
+        tagger = PerceptronTagger()
+        tagger.train(GOLD_SENTENCES, iterations=4)
+        path = tmp_path / "tagger.json"
+        tagger.save(str(path))
+        loaded = PerceptronTagger.load(str(path))
+        assert loaded.accuracy(GOLD_SENTENCES) == pytest.approx(
+            tagger.accuracy(GOLD_SENTENCES))
+
+    def test_untrained_save_rejected(self, tmp_path) -> None:
+        with pytest.raises(RuntimeError):
+            PerceptronTagger().save(str(tmp_path / "x.json"))
+
+
+class TestMSTPersistence:
+    def test_round_trip_heads(self, tmp_path) -> None:
+        parser = MSTParser()
+        texts = ["Use shared memory to hide latency.",
+                 "The kernel uses registers.",
+                 "Avoid divergent branches."] * 5
+        parser.train_from_parser(texts, iterations=2)
+        path = tmp_path / "mst.json"
+        parser.save(str(path))
+        loaded = MSTParser.load(str(path))
+        graph = parser.parse("Avoid divergent branches in loops.")
+        graph2 = loaded.parse("Avoid divergent branches in loops.")
+        assert graph.to_tuples() == graph2.to_tuples()
+
+    def test_untrained_save_rejected(self, tmp_path) -> None:
+        with pytest.raises(RuntimeError):
+            MSTParser().save(str(tmp_path / "x.json"))
+
+
+class TestWebFuzz:
+    """The WSGI app must answer any request without raising."""
+
+    def test_random_requests(self) -> None:
+        import io
+
+        from repro import Document, Egeria
+        from repro.web import AdvisorApp
+
+        app = AdvisorApp(Egeria().build_advisor(Document.from_sentences(
+            ["Use pinned memory.", "The bus is wide.",
+             "Avoid divergent branches."])))
+
+        cases = [
+            ("GET", "/", ""),
+            ("GET", "//", ""),
+            ("GET", "/query", "q="),
+            ("GET", "/query", "q=%20%20"),
+            ("GET", "/query", "nonsense=1&q=memory&q=other"),
+            ("POST", "/upload", ""),
+            ("POST", "/upload", None),
+            ("DELETE", "/", ""),
+            ("GET", "/api/query", "q=" + "x" * 5000),
+            ("GET", "/../etc/passwd", ""),
+        ]
+        for method, path, query in cases:
+            environ = {
+                "REQUEST_METHOD": method,
+                "PATH_INFO": path,
+                "QUERY_STRING": query or "",
+                "CONTENT_LENGTH": "0",
+                "wsgi.input": io.BytesIO(b""),
+            }
+            captured = {}
+
+            def start_response(status, headers):
+                captured["status"] = status
+
+            body = b"".join(app(environ, start_response))
+            assert captured["status"].split()[0] in (
+                "200", "400", "404"), (method, path, captured["status"])
+            assert isinstance(body, bytes)

@@ -1,0 +1,147 @@
+"""Chu-Liu-Edmonds and MST-parser tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus import cuda_guide
+from repro.parsing.mst import MSTParser, chu_liu_edmonds, _find_cycle
+
+
+def _tree_is_valid(heads: list[int]) -> bool:
+    """heads[0] == -1; every other node reaches the root acyclically."""
+    if heads[0] != -1:
+        return False
+    n = len(heads)
+    for start in range(1, n):
+        seen = set()
+        v = start
+        while v > 0:
+            if v in seen:
+                return False
+            seen.add(v)
+            v = heads[v]
+    return True
+
+
+class TestChuLiuEdmonds:
+    def test_trivial_two_nodes(self) -> None:
+        scores = np.array([[0.0, 5.0], [0.0, 0.0]])
+        assert chu_liu_edmonds(scores) == [-1, 0]
+
+    def test_chain_preferred(self) -> None:
+        # 0->1 strong, 1->2 strong, 0->2 weak
+        scores = np.full((3, 3), -100.0)
+        scores[0, 1] = 10.0
+        scores[1, 2] = 10.0
+        scores[0, 2] = 1.0
+        assert chu_liu_edmonds(scores) == [-1, 0, 1]
+
+    def test_cycle_broken_optimally(self) -> None:
+        # 1 and 2 prefer each other (cycle); root arc must break it
+        scores = np.full((3, 3), -100.0)
+        scores[1, 2] = 10.0
+        scores[2, 1] = 10.0
+        scores[0, 1] = 5.0
+        scores[0, 2] = 1.0
+        heads = chu_liu_edmonds(scores)
+        assert _tree_is_valid(heads)
+        # optimal: 0->1 (5) + 1->2 (10) = 15
+        assert heads == [-1, 0, 1]
+
+    def test_three_node_cycle(self) -> None:
+        scores = np.full((4, 4), -100.0)
+        scores[1, 2] = 8.0
+        scores[2, 3] = 8.0
+        scores[3, 1] = 8.0
+        scores[0, 1] = 3.0
+        scores[0, 2] = 2.0
+        scores[0, 3] = 1.0
+        heads = chu_liu_edmonds(scores)
+        assert _tree_is_valid(heads)
+        # entering at 1 keeps the two best cycle arcs
+        assert heads == [-1, 0, 1, 2]
+
+    def test_find_cycle(self) -> None:
+        assert _find_cycle([-1, 0, 1]) is None
+        cycle = _find_cycle([-1, 2, 1])
+        assert set(cycle) == {1, 2}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 7), st.integers(0, 10_000))
+    def test_always_valid_tree(self, n: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(n, n))
+        heads = chu_liu_edmonds(scores)
+        assert _tree_is_valid(heads)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 5), st.integers(0, 10_000))
+    def test_optimal_vs_bruteforce(self, n: int, seed: int) -> None:
+        """CLE matches exhaustive arborescence search on small n."""
+        import itertools
+
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(n, n))
+        matrix = scores.copy()
+        np.fill_diagonal(matrix, -1e9)
+        matrix[:, 0] = -1e9
+
+        best = -1e18
+        for assignment in itertools.product(range(n), repeat=n - 1):
+            heads = [-1] + list(assignment)
+            if not _tree_is_valid(heads):
+                continue
+            value = sum(matrix[heads[d], d] for d in range(1, n))
+            best = max(best, value)
+
+        cle_heads = chu_liu_edmonds(scores)
+        cle_value = sum(matrix[cle_heads[d], d] for d in range(1, n))
+        assert cle_value == pytest.approx(best, abs=1e-9)
+
+
+class TestMSTParser:
+    @pytest.fixture(scope="class")
+    def trained(self) -> MSTParser:
+        guide = cuda_guide()
+        texts = [s.text for s in guide.document.sentences[:160]]
+        parser = MSTParser()
+        parser.train_from_parser(texts, iterations=3)
+        return parser
+
+    def test_untrained_produces_valid_tree(self) -> None:
+        parser = MSTParser()
+        graph = parser.parse("Use shared memory to reduce traffic.")
+        roots = graph.relations("root")
+        assert len(roots) == 1
+        assert len(graph.dependencies) == len(graph.tokens)
+
+    def test_training_beats_untrained(self, trained: MSTParser) -> None:
+        guide = cuda_guide()
+        heldout = [s.text for s in guide.document.sentences[200:260]]
+        untrained_uas = MSTParser().unlabeled_attachment(heldout)
+        trained_uas = trained.unlabeled_attachment(heldout)
+        assert trained_uas > untrained_uas
+
+    def test_reasonable_agreement_with_rule_parser(
+            self, trained: MSTParser) -> None:
+        guide = cuda_guide()
+        heldout = [s.text for s in guide.document.sentences[200:260]]
+        assert trained.unlabeled_attachment(heldout) > 0.6
+
+    def test_parse_labels_plausible(self, trained: MSTParser) -> None:
+        graph = trained.parse("The kernel uses registers.")
+        relations = {d.relation for d in graph.dependencies}
+        assert "root" in relations
+        assert relations <= {"root", "det", "amod", "num", "compound",
+                             "prep", "mark", "advmod", "aux", "nsubj",
+                             "dobj", "xcomp", "dep"}
+
+    def test_empty_and_single_token(self) -> None:
+        parser = MSTParser()
+        assert parser.parse("").dependencies == []
+        graph = parser.parse("Optimize.")
+        assert graph.relations("root")

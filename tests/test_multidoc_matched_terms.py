@@ -1,0 +1,83 @@
+"""Multi-document advisors and recommendation term evidence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, Egeria
+
+
+class TestMultiDocument:
+    def _docs(self):
+        cuda = Document.from_sentences(
+            ["Use shared memory to cut global traffic.",
+             "The warp size is 32 threads."],
+            title="CUDA Guide")
+        opencl = Document.from_sentences(
+            ["Prefer buffers instead of images when no sampling is "
+             "needed.",
+             "Wavefronts contain 64 work items."],
+            title="OpenCL Guide")
+        return [cuda, opencl]
+
+    def test_merged_advisor(self) -> None:
+        advisor = Egeria().build_advisor_multi(self._docs(),
+                                               name="GPU Adviser")
+        assert advisor.name == "GPU Adviser"
+        assert len(advisor.document) == 4
+        assert len(advisor.advising_sentences) == 2
+
+    def test_answers_point_to_source_document(self) -> None:
+        advisor = Egeria().build_advisor_multi(self._docs())
+        answer = advisor.query("buffers instead of images")
+        assert answer.found
+        sentence = answer.sentences[0]
+        assert sentence.section_title in ("OpenCL Guide", "untitled",
+                                          "OpenCL Guide")
+        assert "buffers" in sentence.text
+
+    def test_queries_span_documents(self) -> None:
+        advisor = Egeria().build_advisor_multi(self._docs())
+        memory = advisor.query("shared memory traffic")
+        buffers = advisor.query("image sampling buffers")
+        assert memory.found and buffers.found
+        assert memory.sentences[0].text != buffers.sentences[0].text
+
+    def test_empty_document_list(self) -> None:
+        advisor = Egeria().build_advisor_multi([])
+        assert len(advisor.document) == 0
+        assert not advisor.query("anything").found
+
+
+class TestMatchedTerms:
+    def test_terms_reported(self) -> None:
+        doc = Document.from_sentences(
+            ["Use shared memory to cut global traffic.",
+             "Avoid divergent branches in loops.",
+             "The warp size is 32 threads."])
+        advisor = Egeria().build_advisor(doc)
+        answer = advisor.query("how to reduce global memory traffic")
+        rec = answer.recommendations[0]
+        assert "memori" in rec.matched_terms
+        assert "traffic" in rec.matched_terms
+
+    def test_terms_subset_of_sentence(self) -> None:
+        doc = Document.from_sentences(
+            ["Align accesses to coalesce memory transactions.",
+             "Avoid divergent branches in loops."])
+        advisor = Egeria().build_advisor(doc)
+        from repro.textproc.normalize import NormalizationPipeline
+        normalize = NormalizationPipeline()
+        for rec in advisor.query("coalesce memory accesses").recommendations:
+            sentence_terms = set(normalize(rec.sentence.text))
+            assert set(rec.matched_terms) <= sentence_terms
+
+    def test_no_spurious_terms(self) -> None:
+        doc = Document.from_sentences(
+            ["Use pinned memory for transfers.",
+             "Avoid divergent branches in loops.",
+             "The warp size is 32 threads."])
+        advisor = Egeria().build_advisor(doc)
+        answer = advisor.query("pinned memory")
+        terms = answer.recommendations[0].matched_terms
+        assert "transfer" not in terms

@@ -1,0 +1,230 @@
+"""Dependency parser tests, anchored on the paper's own examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parsing import Chunker, DependencyParser, parse
+from repro.parsing.graph import ROOT_INDEX, Dependency, DependencyGraph, Token
+
+
+def tuples(sentence: str) -> list[tuple[str, str, str]]:
+    return parse(sentence).to_tuples()
+
+
+class TestGraphStructures:
+    def _graph(self) -> DependencyGraph:
+        tokens = [
+            Token(0, "Use", "VB", "use"),
+            Token(1, "textures", "NNS", "texture"),
+            Token(2, ".", ".", "."),
+        ]
+        g = DependencyGraph(tokens)
+        g.add("root", ROOT_INDEX, 0)
+        g.add("dobj", 0, 1)
+        return g
+
+    def test_root(self) -> None:
+        g = self._graph()
+        assert g.root is not None and g.root.text == "Use"
+
+    def test_add_idempotent(self) -> None:
+        g = self._graph()
+        g.add("dobj", 0, 1)
+        assert len(g.relations("dobj")) == 1
+
+    def test_dependents_and_governors(self) -> None:
+        g = self._graph()
+        assert [t.text for t in g.dependents(0, "dobj")] == ["textures"]
+        assert [t.text for t in g.governors(1)] == ["Use"]
+
+    def test_subject_queries_empty(self) -> None:
+        g = self._graph()
+        assert g.subjects() == []
+        assert g.subject_of(0) is None
+
+    def test_to_tuples_root_label(self) -> None:
+        g = self._graph()
+        assert ("root", "ROOT", "Use") in g.to_tuples()
+
+    def test_dependency_str(self) -> None:
+        d = Dependency("nsubj", 2, 1)
+        assert "nsubj" in str(d)
+
+
+class TestChunker:
+    def test_np_with_head(self) -> None:
+        parser = DependencyParser()
+        graph = parser.parse("The first step is easy.")
+        # 'step' must head an NP: it has det and amod dependents
+        dets = graph.relations("det")
+        assert any(graph.tokens[d.governor].text == "step" for d in dets)
+
+    def test_lone_demonstrative_np(self) -> None:
+        g = parse("This can be a good choice.")
+        subj = g.subject_of(g.root.index)
+        assert subj is not None and subj.text == "This"
+
+    def test_verb_group_stops_at_main_verb(self) -> None:
+        g = parse("A developer may prefer using buffers.")
+        assert g.root.text == "prefer"
+        assert ("xcomp", "prefer", "using") in g.to_tuples()
+
+
+class TestPaperFigure2:
+    """The two dependency examples the paper shows in Figure 2."""
+
+    def test_fig2a_xcomp_prefer_using(self) -> None:
+        rels = tuples(
+            "Thus, a developer may prefer using buffers instead of images "
+            "if no sampling operation is needed.")
+        assert ("xcomp", "prefer", "using") in rels
+        assert ("nsubj", "prefer", "developer") in rels
+        assert ("root", "ROOT", "prefer") in rels
+        assert ("det", "developer", "a") in rels
+
+    def test_fig2b_xcomp_leveraged_avoid(self) -> None:
+        rels = tuples(
+            "This synchronization guarantee can often be leveraged to "
+            "avoid explicit clWaitForEvents() calls between command "
+            "submissions.")
+        assert ("xcomp", "leveraged", "avoid") in rels
+        assert ("nsubjpass", "leveraged", "guarantee") in rels
+        assert ("root", "ROOT", "leveraged") in rels
+
+    def test_recommended_to_queue(self) -> None:
+        rels = tuples("It is recommended to queue commands to the device.")
+        assert ("xcomp", "recommended", "queue") in rels
+
+
+class TestSubjects:
+    def test_simple_nsubj(self) -> None:
+        rels = tuples("The kernel uses 31 registers.")
+        assert ("nsubj", "uses", "kernel") in rels
+
+    def test_nsubjpass(self) -> None:
+        rels = tuples("All allocations are aligned on the 16-byte boundary.")
+        assert ("nsubjpass", "aligned", "allocations") in rels
+
+    def test_subject_skips_pp_object(self) -> None:
+        rels = tuples(
+            "The first step in maximizing overall memory throughput for "
+            "the application is to minimize data transfers.")
+        assert ("nsubj", "is", "step") in rels
+
+    def test_gerund_subject(self) -> None:
+        rels = tuples("Pinning takes time.")
+        assert ("nsubj", "takes", "Pinning") in rels
+
+    def test_imperative_has_no_subject(self) -> None:
+        g = parse("Avoid divergent branches in the kernel.")
+        assert g.root.text == "Avoid"
+        assert g.subject_of(g.root.index) is None
+
+    def test_subject_in_subordinate_clause(self) -> None:
+        rels = tuples("This helps when the host does not read the object.")
+        assert ("nsubj", "read", "host") in rels
+
+    def test_developers_subject(self) -> None:
+        rels = tuples(
+            "For peak performance on all devices, developers can choose "
+            "to use conditional compilation.")
+        assert ("nsubj", "choose", "developers") in rels
+
+
+class TestRootSelection:
+    def test_imperative_root(self) -> None:
+        assert parse("Use shared memory.").root.text == "Use"
+
+    def test_root_after_fronted_purpose(self) -> None:
+        g = parse("To obtain best performance, minimize divergent warps.")
+        assert g.root.text == "minimize"
+
+    def test_relative_clause_not_root(self) -> None:
+        g = parse("Kernels that exhibit high intensity scale well.")
+        assert g.root.text == "scale"
+
+    def test_coordinated_imperative_conj(self) -> None:
+        rels = tuples("Pinning takes time, so avoid incurring pinning costs.")
+        assert ("root", "ROOT", "takes") in rels
+        assert ("conj", "takes", "avoid") in rels
+
+    def test_fragment_without_verb(self) -> None:
+        g = parse("Performance guidelines.")
+        assert g.root is None
+
+
+class TestComplements:
+    def test_adjacent_infinitive_is_xcomp(self) -> None:
+        rels = tuples("This guarantee can be leveraged to avoid extra calls.")
+        assert ("xcomp", "leveraged", "avoid") in rels
+
+    def test_separated_infinitive_is_advcl(self) -> None:
+        rels = tuples("Use conditional compilation to improve performance.")
+        assert ("advcl", "Use", "improve") in rels
+        assert ("xcomp", "Use", "improve") not in rels
+
+    def test_copular_adjective_xcomp(self) -> None:
+        rels = tuples("It is important to maximize coalescing.")
+        assert ("xcomp", "important", "maximize") in rels
+
+    def test_gerund_complement(self) -> None:
+        rels = tuples("Developers should avoid incurring pinning costs.")
+        assert ("xcomp", "avoid", "incurring") in rels
+
+    def test_dobj(self) -> None:
+        rels = tuples("Unroll the inner loop.")
+        assert ("dobj", "Unroll", "loop") in rels
+
+    def test_prep_pobj(self) -> None:
+        rels = tuples("Store the data in shared memory.")
+        assert ("prep", "data", "in") in rels
+        assert ("pobj", "in", "memory") in rels
+
+    def test_mark_on_infinitive(self) -> None:
+        rels = tuples("The goal is to minimize transfers.")
+        assert ("mark", "minimize", "to") in rels
+
+    def test_neg(self) -> None:
+        rels = tuples("The host does not read the object.")
+        assert ("neg", "read", "not") in rels
+
+
+class TestLemmas:
+    @pytest.mark.parametrize("sentence,token,lemma", [
+        ("This can be leveraged to avoid calls.", "leveraged", "leverage"),
+        ("Developers choose buffers.", "Developers", "developer"),
+        ("It is recommended to queue commands.", "recommended", "recommend"),
+        ("The kernel uses registers.", "uses", "use"),
+    ])
+    def test_token_lemmas(self, sentence: str, token: str, lemma: str) -> None:
+        g = parse(sentence)
+        tok = next(t for t in g.tokens if t.text == token)
+        assert tok.lemma == lemma
+
+
+class TestRobustness:
+    def test_empty_sentence(self) -> None:
+        g = parse("")
+        assert g.tokens == [] and g.dependencies == []
+
+    def test_pretokenized_input(self) -> None:
+        g = parse(["Use", "textures", "."])
+        assert g.root.text == "Use"
+
+    @given(st.text(min_size=0, max_size=100))
+    def test_never_raises(self, text: str) -> None:
+        g = parse(text)
+        # every dependency index is valid
+        for d in g.dependencies:
+            assert -1 <= d.governor < len(g.tokens)
+            assert 0 <= d.dependent < len(g.tokens)
+
+    @given(st.lists(st.sampled_from(
+        ["use", "the", "memory", "to", "avoid", "fast", "kernels", ","]),
+        min_size=1, max_size=10))
+    def test_single_root_at_most(self, words: list[str]) -> None:
+        g = parse(" ".join(words))
+        assert len(g.relations("root")) <= 1

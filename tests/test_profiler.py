@@ -1,0 +1,166 @@
+"""Profiler substrate tests: report model, generator, parser, GPU model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiler import (
+    GPUKernelModel,
+    NVVPReportParser,
+    REPORT_PROGRAMS,
+    case_study_report,
+    extract_issues,
+    generate_report,
+)
+from repro.profiler.gpu_model import (
+    DEVICES,
+    GTX_480,
+    GTX_780,
+    GPUDevice,
+    IRRELEVANT_OPTIMIZATIONS,
+    OPTIMIZATIONS,
+)
+from repro.profiler.report import SECTION_NAMES
+
+
+class TestReportModel:
+    def test_four_sections(self) -> None:
+        report = generate_report("knnjoin")
+        assert [s.name for s in report.sections] == list(SECTION_NAMES)
+
+    def test_issue_query_text(self) -> None:
+        issue = generate_report("trans").issues()[0]
+        assert issue.title in issue.query_text()
+        assert issue.description in issue.query_text()
+
+    def test_overview_not_in_issues(self) -> None:
+        report = generate_report("norm")
+        # Overview repeats titles; issues() must not double-count
+        assert len(report.issues()) == 2
+
+    def test_empty_sections_rendered(self) -> None:
+        text = generate_report("trans_opt").to_text()
+        assert "No issues identified" in text
+
+
+class TestGenerator:
+    def test_all_programs(self) -> None:
+        for program in REPORT_PROGRAMS:
+            report = generate_report(program)
+            assert report.issues()
+
+    def test_unknown_program(self) -> None:
+        with pytest.raises(ValueError):
+            generate_report("nonexistent")
+
+    def test_table6_issue_titles(self) -> None:
+        """Issue titles must match the paper's Table 6 rows."""
+        titles = {p: [i.title for i in generate_report(p).issues()]
+                  for p in REPORT_PROGRAMS}
+        assert "Low Warp Execution Efficiency" in titles["knnjoin"]
+        assert "Divergent Branches" in titles["knnjoin"]
+        assert any("Alignment" in t for t in titles["knnjoin_opt"])
+        assert any("Memory Instruction" in t for t in titles["trans"])
+        assert any("Instruction Latencies" in t for t in titles["trans"])
+        assert any("Memory Bandwidth" in t for t in titles["trans_opt"])
+
+    def test_case_study_table3(self) -> None:
+        """Table 3: register usage + divergent branches for norm.cu."""
+        titles = [i.title for i in case_study_report().issues()]
+        assert any("Register Usage" in t for t in titles)
+        assert "Divergent Branches" in titles
+
+
+class TestParser:
+    def test_roundtrip_generated_report(self) -> None:
+        for program in REPORT_PROGRAMS:
+            report = generate_report(program)
+            parsed = extract_issues(report.to_text())
+            assert [i.title for i in parsed] == [
+                i.title for i in report.issues()]
+
+    def test_descriptions_recovered(self) -> None:
+        report = generate_report("norm")
+        parsed = extract_issues(report.to_text())
+        assert "31 registers" in parsed[0].description
+
+    def test_extract_queries(self) -> None:
+        parser = NVVPReportParser()
+        queries = parser.extract_queries(generate_report("knnjoin").to_text())
+        assert len(queries) == 2
+        assert all(isinstance(q, str) and q for q in queries)
+
+    def test_empty_text(self) -> None:
+        assert extract_issues("") == []
+
+    def test_text_without_markers(self) -> None:
+        assert extract_issues("Just some text.\nAnother line.") == []
+
+
+class TestGPUModel:
+    def test_no_optimizations_speedup_one(self) -> None:
+        model = GPUKernelModel(GTX_780)
+        assert model.speedup(set()) == pytest.approx(1.0)
+
+    def test_monotone_in_optimizations(self) -> None:
+        model = GPUKernelModel(GTX_780)
+        applied: set[str] = set()
+        last = 1.0
+        for name in sorted(OPTIMIZATIONS):
+            applied.add(name)
+            current = model.speedup(applied)
+            assert current >= last - 1e-12
+            last = current
+
+    def test_irrelevant_optimizations_no_effect(self) -> None:
+        model = GPUKernelModel(GTX_480)
+        assert model.speedup(IRRELEVANT_OPTIMIZATIONS) == pytest.approx(1.0)
+
+    def test_duplicate_application_idempotent(self) -> None:
+        model = GPUKernelModel(GTX_780)
+        once = model.speedup(["remove_divergence"])
+        twice = model.speedup(["remove_divergence", "remove_divergence"])
+        assert once == pytest.approx(twice)
+
+    def test_device_ordering(self) -> None:
+        """Same optimizations speed up the GTX 780 more (Table 5)."""
+        full = set(OPTIMIZATIONS)
+        assert GPUKernelModel(GTX_780).speedup(full) \
+            > GPUKernelModel(GTX_480).speedup(full)
+
+    def test_full_speedup_in_paper_band(self) -> None:
+        """Full optimization lands in the right magnitude bands."""
+        s780 = GPUKernelModel(GTX_780).speedup(set(OPTIMIZATIONS))
+        s480 = GPUKernelModel(GTX_480).speedup(set(OPTIMIZATIONS))
+        assert 5.0 <= s780 <= 9.0
+        assert 3.5 <= s480 <= 6.0
+
+    def test_batch_matches_scalar(self) -> None:
+        model = GPUKernelModel(GTX_780)
+        sets = [set(), {"coalesce_memory"},
+                {"coalesce_memory", "remove_divergence"},
+                set(OPTIMIZATIONS)]
+        batch = model.speedups_batch(sets)
+        scalar = [model.speedup(s) for s in sets]
+        assert np.allclose(batch, scalar)
+
+    def test_invalid_device_weights(self) -> None:
+        with pytest.raises(ValueError):
+            GPUDevice("bad", weights={"global_memory": 1.0})
+
+    def test_devices_registry(self) -> None:
+        assert DEVICES["GTX780"] is GTX_780
+        assert DEVICES["GTX480"] is GTX_480
+
+    @given(st.sets(st.sampled_from(sorted(OPTIMIZATIONS))))
+    def test_speedup_at_least_one(self, applied: set[str]) -> None:
+        assert GPUKernelModel(GTX_780).speedup(applied) >= 1.0 - 1e-12
+
+    @given(st.sets(st.sampled_from(sorted(OPTIMIZATIONS)), min_size=1))
+    def test_supersets_never_slower(self, applied: set[str]) -> None:
+        model = GPUKernelModel(GTX_480)
+        subset = set(list(applied)[:-1])
+        assert model.speedup(applied) >= model.speedup(subset) - 1e-12

@@ -1,0 +1,138 @@
+"""Direct tests for the HTML renderer, analysis layer, and chunker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, Egeria
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.render import render_answer, render_summary
+from repro.docs.document import Section, Sentence
+from repro.parsing.chunker import Chunker
+from repro.parsing.graph import Token
+
+
+def sectioned_tool():
+    first = Section(number="1.1", title="Memory", level=2, sentences=[
+        Sentence("Use shared memory to cut global traffic.", -1),
+        Sentence("Prefer coalesced accesses for bandwidth.", -1),
+    ])
+    second = Section(number="1.2", title="Control <Flow>", level=2,
+                     sentences=[
+                         Sentence("Avoid divergent branches & jumps.", -1)])
+    top = Section(number="1", title="Guide", level=1,
+                  subsections=[first, second])
+    document = Document(title="G", sections=[top])
+    document.reindex()
+    return Egeria().build_advisor(document)
+
+
+class TestRenderSummary:
+    def test_sections_in_order(self) -> None:
+        html = render_summary(sectioned_tool())
+        assert html.index("1.1. Memory") < html.index("1.2. Control")
+
+    def test_html_escaping(self) -> None:
+        html = render_summary(sectioned_tool())
+        assert "Control &lt;Flow&gt;" in html
+        assert "&amp; jumps" in html
+        assert "<Flow>" not in html
+
+    def test_anchors_unique_per_section(self) -> None:
+        html = render_summary(sectioned_tool())
+        assert html.count('id="sec-1.1"') == 1
+        assert html.count('id="sec-1.2"') == 1
+
+
+class TestRenderAnswer:
+    def test_highlight_and_context(self) -> None:
+        tool = sectioned_tool()
+        answer = tool.query("shared memory traffic")
+        html = render_answer(tool, answer, with_context=True)
+        assert html.count('class="highlight"') >= 1
+        # the non-recommended advising sentence of the same section
+        # appears as (unhighlighted) context
+        assert "coalesced accesses" in html
+
+    def test_without_context(self) -> None:
+        tool = sectioned_tool()
+        answer = tool.query("shared memory traffic")
+        html = render_answer(tool, answer, with_context=False)
+        highlighted = html.count('class="highlight"')
+        assert highlighted == len(answer.recommendations)
+
+    def test_query_escaped(self) -> None:
+        tool = sectioned_tool()
+        answer = tool.query("divergent <script>alert(1)</script>")
+        html = render_answer(tool, answer)
+        assert "<script>" not in html
+
+    def test_similarity_scores_formatted(self) -> None:
+        tool = sectioned_tool()
+        html = render_answer(tool, tool.query("divergent branches"))
+        assert "similarity 0." in html
+
+    def test_matched_terms_bolded(self) -> None:
+        tool = sectioned_tool()
+        html = render_answer(tool, tool.query("divergent branches"))
+        assert '<span class="match">divergent</span>' in html
+        assert '<span class="match">branches</span>' in html
+
+    def test_unmatched_words_not_bolded(self) -> None:
+        tool = sectioned_tool()
+        html = render_answer(tool, tool.query("divergent branches"))
+        assert '<span class="match">Avoid</span>' not in html
+
+
+class TestSentenceAnalysis:
+    def test_layers_cached(self) -> None:
+        analyzer = SentenceAnalyzer()
+        analysis = analyzer.analyze("Use shared memory.")
+        assert analysis.tokens is analysis.tokens
+        assert analysis.graph is analysis.graph
+        assert analysis.frames is analysis.frames
+
+    def test_layers_consistent(self) -> None:
+        analyzer = SentenceAnalyzer()
+        analysis = analyzer.analyze("Avoid divergent branches.")
+        assert len(analysis.stems) == len(analysis.tokens)
+        assert len(analysis.graph.tokens) == len(analysis.tokens)
+
+    def test_stems_are_stemmed(self) -> None:
+        analyzer = SentenceAnalyzer()
+        analysis = analyzer.analyze("maximizing accesses")
+        assert "maxim" in analysis.stems
+        assert "access" in analysis.stems
+
+
+class TestChunkerDirect:
+    def _tokens(self, tagged: list[tuple[str, str]]) -> list[Token]:
+        return [Token(i, w, t, w.lower()) for i, (w, t) in enumerate(tagged)]
+
+    def test_np_head_is_last_noun(self) -> None:
+        chunks = Chunker().chunk(self._tokens([
+            ("the", "DT"), ("warp", "NN"), ("size", "NN"), (".", ".")]))
+        np = next(c for c in chunks if c.kind == "NP")
+        assert np.head == 2  # "size"
+
+    def test_verb_group_spans_auxiliaries(self) -> None:
+        chunks = Chunker().chunk(self._tokens([
+            ("can", "MD"), ("be", "VB"), ("controlled", "VBN")]))
+        vg = next(c for c in chunks if c.kind == "VG")
+        assert (vg.start, vg.end, vg.head) == (0, 2, 2)
+
+    def test_main_verb_terminates_group(self) -> None:
+        chunks = Chunker().chunk(self._tokens([
+            ("may", "MD"), ("prefer", "VB"), ("using", "VBG")]))
+        vgs = [c for c in chunks if c.kind == "VG"]
+        assert len(vgs) == 2
+        assert vgs[0].head == 1 and vgs[1].head == 2
+
+    def test_contains_protocol(self) -> None:
+        chunks = Chunker().chunk(self._tokens([
+            ("the", "DT"), ("kernel", "NN")]))
+        np = chunks[0]
+        assert 0 in np and 1 in np and 5 not in np
+
+    def test_empty(self) -> None:
+        assert Chunker().chunk([]) == []

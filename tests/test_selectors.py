@@ -1,0 +1,200 @@
+"""Selector tests — one block per Table 1 rule, on the paper's examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.keywords import DEFAULT_KEYWORDS, KeywordConfig
+from repro.core.selectors import (
+    ImperativeSelector,
+    KeywordSelector,
+    PurposeSelector,
+    SubjectSelector,
+    XcompSelector,
+    default_selectors,
+)
+
+ANALYZER = SentenceAnalyzer()
+
+
+def analyze(text: str):
+    return ANALYZER.analyze(text)
+
+
+class TestKeywordConfig:
+    def test_table2_sizes(self) -> None:
+        assert len(DEFAULT_KEYWORDS.flagging_words) == 33
+        assert len(DEFAULT_KEYWORDS.xcomp_governors) == 14
+        assert len(DEFAULT_KEYWORDS.imperative_words) == 17
+        assert len(DEFAULT_KEYWORDS.key_subjects) == 8
+        assert len(DEFAULT_KEYWORDS.key_predicates) == 6
+
+    def test_extend_immutable(self) -> None:
+        extended = DEFAULT_KEYWORDS.extend(key_subjects=("user", "one"))
+        assert "user" in extended.key_subjects
+        assert "user" not in DEFAULT_KEYWORDS.key_subjects
+
+    def test_all_keywords_union(self) -> None:
+        union = DEFAULT_KEYWORDS.all_keywords()
+        assert "should" in union and "maximize" in union and "use" in union
+
+
+class TestKeywordSelector:
+    """Rule #1: flagging words after stemming."""
+
+    SELECTOR = KeywordSelector(DEFAULT_KEYWORDS)
+
+    @pytest.mark.parametrize("sentence", [
+        # paper category I example
+        "This can be a good choice when the host does not read the "
+        "memory object to avoid the host having to make a copy.",
+        "Using textures is encouraged for scattered reads.",
+        "Padding the array should reduce bank conflicts.",
+        "For peak performance, overlap transfers with compute.",
+        # stemmed variant matching: 'benefits' ~ 'benefit'
+        "Loop unrolling benefits kernels with small trip counts.",
+        # multi-word: 'can be used to'
+        "Shared memory can be used to stage data for reuse.",
+    ])
+    def test_positive(self, sentence: str) -> None:
+        assert self.SELECTOR.matches(analyze(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        "The warp size is 32 threads.",
+        "Each multiprocessor has sixteen load units.",
+        "Global memory resides in device DRAM.",
+    ])
+    def test_negative(self, sentence: str) -> None:
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+    def test_phrase_must_be_contiguous(self) -> None:
+        # contains 'good' and 'choice' but not adjacent
+        sentence = "A good kernel makes this choice irrelevant."
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+
+class TestXcompSelector:
+    """Rule #2: xcomp(governor, *) with a flagged governor."""
+
+    SELECTOR = XcompSelector(DEFAULT_KEYWORDS)
+
+    @pytest.mark.parametrize("sentence", [
+        # paper category II example
+        "Thus, a developer may prefer using buffers instead of images "
+        "if no sampling operation is needed.",
+        # paper category III example
+        "This synchronization guarantee can often be leveraged to avoid "
+        "explicit clWaitForEvents() calls between command submissions.",
+        "It is recommended to queue work in large batches.",
+        "It is important to maximize coalescing of global accesses.",
+    ])
+    def test_positive(self, sentence: str) -> None:
+        assert self.SELECTOR.matches(analyze(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        "The kernel uses 31 registers for each thread.",
+        "Threads continue executing independently.",
+        # xcomp present but governor not flagged
+        "The scheduler starts issuing instructions immediately.",
+    ])
+    def test_negative(self, sentence: str) -> None:
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+
+class TestImperativeSelector:
+    """Rule #3: subjectless imperative root from IMPERATIVE_WORDS."""
+
+    SELECTOR = ImperativeSelector(DEFAULT_KEYWORDS)
+
+    @pytest.mark.parametrize("sentence", [
+        "Use pinned memory for frequent transfers.",
+        "Avoid divergent branches inside hot loops.",
+        "Unroll the innermost loop with #pragma unroll.",
+        "Align the base address on a 16-byte boundary.",
+        "Ensure that accesses within a warp are contiguous.",
+        # paper category IV example: conjoined imperative
+        "Pinning takes time, so avoid incurring pinning costs where "
+        "CPU overhead must be avoided.",
+    ])
+    def test_positive(self, sentence: str) -> None:
+        assert self.SELECTOR.matches(analyze(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        # root verb not in list
+        "Profile the application with the visual profiler.",
+        # has a subject -> not imperative
+        "The compiler uses registers for temporaries.",
+        # 'use' with subject
+        "Applications use streams for overlap.",
+        "The warp size is 32 threads.",
+    ])
+    def test_negative(self, sentence: str) -> None:
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+
+class TestSubjectSelector:
+    """Rule #4: nsubj lemma in KEY_SUBJECTS."""
+
+    SELECTOR = SubjectSelector(DEFAULT_KEYWORDS)
+
+    @pytest.mark.parametrize("sentence", [
+        # paper category V example
+        "For peak performance on all devices, developers can choose to "
+        "use conditional compilation for key code loops in the kernel.",
+        "The programmer can also control loop unrolling using a directive.",
+        "Applications can parameterize execution configurations.",
+        "This technique exploits the texture cache.",
+    ])
+    def test_positive(self, sentence: str) -> None:
+        assert self.SELECTOR.matches(analyze(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        "The warp scheduler issues one instruction per cycle.",
+        "Shared memory is divided into banks.",
+    ])
+    def test_negative(self, sentence: str) -> None:
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+    def test_plural_subject_lemmatized(self) -> None:
+        assert self.SELECTOR.matches(
+            analyze("Programmers must pad shared arrays."))
+
+
+class TestPurposeSelector:
+    """Rule #5: AM-PNC purpose containing a key predicate."""
+
+    SELECTOR = PurposeSelector(DEFAULT_KEYWORDS)
+
+    @pytest.mark.parametrize("sentence", [
+        # paper category VI example
+        "The first step in maximizing overall memory throughput for the "
+        "application is to minimize data transfers with low bandwidth.",
+        "Pad the shared array to avoid bank conflicts.",
+        "Tile the computation in order to maximize data reuse.",
+        "Stage partial results in registers to minimize global traffic.",
+    ])
+    def test_positive(self, sentence: str) -> None:
+        assert self.SELECTOR.matches(analyze(sentence))
+
+    @pytest.mark.parametrize("sentence", [
+        # purpose clause but predicate not in KEY_PREDICATES
+        "Flush the cache to observe cold-start behavior.",
+        # key predicate but not in a purpose clause
+        "The runtime minimizes launch overhead automatically.",
+        "The warp size is 32 threads.",
+    ])
+    def test_negative(self, sentence: str) -> None:
+        assert not self.SELECTOR.matches(analyze(sentence))
+
+
+class TestCascade:
+    def test_default_order(self) -> None:
+        names = [s.name for s in default_selectors()]
+        assert names == ["keyword", "comparative", "imperative",
+                         "subject", "purpose"]
+
+    def test_custom_keywords_respected(self) -> None:
+        config = KeywordConfig().extend(key_subjects=("user",))
+        selector = SubjectSelector(config)
+        assert selector.matches(analyze("Users should pin host buffers."))

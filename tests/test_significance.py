@@ -1,0 +1,66 @@
+"""McNemar paired-test tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import mcnemar
+
+
+class TestMcNemar:
+    def test_identical_methods(self) -> None:
+        gold = [True, False, True, False]
+        preds = [True, False, False, False]
+        result = mcnemar(gold, preds, preds)
+        assert result.b == result.c == 0
+        assert result.p_value == 1.0
+
+    def test_counts(self) -> None:
+        gold = [True] * 10
+        a = [True] * 8 + [False] * 2     # 8 correct
+        b = [True] * 4 + [False] * 6     # 4 correct
+        result = mcnemar(gold, a, b)
+        assert result.b == 4 and result.c == 0
+
+    def test_clear_winner_significant(self) -> None:
+        rng = np.random.default_rng(0)
+        gold = (rng.random(400) < 0.3).tolist()
+        good = [g if rng.random() < 0.95 else not g for g in gold]
+        bad = [g if rng.random() < 0.70 else not g for g in gold]
+        result = mcnemar(gold, good, bad)
+        assert result.b > result.c
+        assert result.p_value < 0.001
+
+    def test_equal_methods_not_significant(self) -> None:
+        rng = np.random.default_rng(1)
+        gold = (rng.random(300) < 0.3).tolist()
+        a = [g if rng.random() < 0.85 else not g for g in gold]
+        b = [g if rng.random() < 0.85 else not g for g in gold]
+        result = mcnemar(gold, a, b)
+        assert result.p_value > 0.01
+
+    def test_pvalue_bounds(self) -> None:
+        gold = [True, False]
+        result = mcnemar(gold, [True, True], [False, False])
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_length_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            mcnemar([True], [True, False], [True, False])
+
+    def test_egeria_vs_keywordall_on_xeon(self) -> None:
+        """End-to-end: the Table 8 gap is statistically significant."""
+        from repro.baselines import KeywordAllRecognizer
+        from repro.core.recognizer import AdvisingSentenceRecognizer
+        from repro.corpus import xeon_guide
+
+        sentences, labels = xeon_guide().labeled_region()
+        texts = [s.text for s in sentences]
+        egeria = AdvisingSentenceRecognizer()
+        keyword_all = KeywordAllRecognizer()
+        pred_a = [egeria.is_advising(t) for t in texts]
+        pred_b = [keyword_all.is_advising(t) for t in texts]
+        result = mcnemar(labels, pred_a, pred_b)
+        assert result.b > result.c
+        assert result.p_value < 0.01

@@ -1,0 +1,182 @@
+"""Semantic role labeling tests, anchored on the paper's Figure 3."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parsing import parse
+from repro.srl import (
+    FRAME_INVENTORY,
+    SemanticRoleLabeler,
+    find_purpose_clauses,
+    frame_id,
+    label,
+)
+from repro.srl.frames import role_gloss
+
+
+def frame_for(sentence: str, predicate: str):
+    for frame in label(sentence):
+        if frame.predicate.text == predicate:
+            return frame
+    raise AssertionError(f"no frame for predicate {predicate!r}")
+
+
+class TestFrames:
+    def test_inventory_ids(self) -> None:
+        assert frame_id("maximize") == "maximize.01"
+        assert frame_id("minimize") == "minimize.01"
+
+    def test_unknown_lemma_generic_sense(self) -> None:
+        assert frame_id("frobnicate") == "frobnicate.01"
+
+    def test_role_glosses(self) -> None:
+        assert role_gloss("maximize", "A1") == "thing which is being the most"
+        assert role_gloss("maximize", "A9") is None
+        assert role_gloss("frobnicate", "A0") is None
+
+    def test_key_predicates_covered(self) -> None:
+        for lemma in ("maximize", "minimize", "recommend", "accomplish",
+                      "achieve", "avoid"):
+            assert lemma in FRAME_INVENTORY
+
+
+class TestPaperFigure3:
+    SENTENCE = ("The first step in maximizing overall memory throughput "
+                "for the application is to minimize data transfers with "
+                "low bandwidth.")
+
+    def test_be_predicate_has_purpose(self) -> None:
+        frame = frame_for(self.SENTENCE, "is")
+        purpose = frame.argument("AM-PNC")
+        assert purpose is not None
+        assert "minimize" in purpose.text
+        assert "low bandwidth" in purpose.text
+
+    def test_minimize_frame(self) -> None:
+        frame = frame_for(self.SENTENCE, "minimize")
+        assert frame.sense == "minimize.01"
+        a1 = frame.argument("A1")
+        assert a1 is not None and "data transfers" in a1.text
+
+    def test_maximize_frame(self) -> None:
+        frame = frame_for(self.SENTENCE, "maximizing")
+        assert frame.sense == "maximize.01"
+        a1 = frame.argument("A1")
+        assert a1 is not None and "memory throughput" in a1.text
+
+
+class TestPurposeDetection:
+    def test_trailing_infinitive_advcl(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("Pad the data in some cases to avoid bank conflicts."))
+        assert len(clauses) == 1
+        assert clauses[0].predicate.lemma == "avoid"
+
+    def test_fronted_infinitive(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("To obtain best performance, minimize divergent warps."))
+        assert any(c.predicate.lemma == "obtain" for c in clauses)
+
+    def test_in_order_to(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("Use scalar loads in order to achieve peak bandwidth."))
+        assert any(c.predicate.lemma == "achieve" for c in clauses)
+
+    def test_so_as_to(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("The condition should be written so as to minimize "
+                  "the number of divergent warps."))
+        assert any(c.predicate.lemma == "minimize" for c in clauses)
+
+    def test_copular_infinitive(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("The goal is to minimize transfers."))
+        assert any(c.predicate.lemma == "minimize" for c in clauses)
+
+    def test_no_purpose_in_plain_sentence(self) -> None:
+        clauses = find_purpose_clauses(
+            parse("The kernel uses 31 registers for each thread."))
+        assert clauses == []
+
+    def test_xcomp_of_noncopula_not_purpose(self) -> None:
+        # "prefer using buffers" is an xcomp complement, not a purpose
+        clauses = find_purpose_clauses(
+            parse("A developer may prefer using buffers."))
+        assert all(c.predicate.lemma != "use" for c in clauses)
+
+    def test_clause_text_extraction(self) -> None:
+        graph = parse("Pad the data to avoid bank conflicts.")
+        clause = find_purpose_clauses(graph)[0]
+        assert clause.text(graph) == "to avoid bank conflicts"
+
+
+class TestCoreArguments:
+    def test_agent_and_theme(self) -> None:
+        frame = frame_for(
+            "Programmers must carefully control the bank bits.", "control")
+        a0 = frame.argument("A0")
+        a1 = frame.argument("A1")
+        assert a0 is not None and "Programmers" in a0.text
+        assert a1 is not None and "bank bits" in a1.text
+
+    def test_modal_modifier(self) -> None:
+        frame = frame_for(
+            "Programmers must carefully control the bank bits.", "control")
+        mod = frame.argument("AM-MOD")
+        assert mod is not None and mod.text == "must"
+
+    def test_negation(self) -> None:
+        frame = frame_for("The host does not read the object.", "read")
+        assert frame.argument("AM-NEG") is not None
+
+    def test_passive_subject_is_theme(self) -> None:
+        frame = frame_for(
+            "All allocations are aligned on the boundary.", "aligned")
+        a1 = frame.argument("A1")
+        assert a1 is not None and "allocations" in a1.text
+        assert frame.argument("A0") is None
+
+    def test_auxiliaries_not_predicates(self) -> None:
+        frames = label("Register usage can be controlled using the option.")
+        predicates = {f.predicate.text for f in frames}
+        assert "can" not in predicates
+        assert "be" not in predicates
+        assert "controlled" in predicates
+
+    def test_imperative_has_no_agent(self) -> None:
+        frame = frame_for("Avoid divergent branches.", "Avoid")
+        assert frame.argument("A0") is None
+        a1 = frame.argument("A1")
+        assert a1 is not None and "branches" in a1.text
+
+    def test_contains_lemma(self) -> None:
+        graph = parse("Pad the data to avoid bank conflicts.")
+        labeler = SemanticRoleLabeler()
+        frames = labeler.label(graph)
+        pad = next(f for f in frames if f.predicate.lemma == "pad")
+        purpose = pad.argument("AM-PNC")
+        assert purpose is not None
+        assert purpose.contains_lemma(graph, "avoid")
+        assert not purpose.contains_lemma(graph, "maximize")
+
+
+class TestRobustness:
+    def test_empty(self) -> None:
+        assert label("") == []
+
+    def test_verbless_fragment(self) -> None:
+        assert label("Performance guidelines overview") == []
+
+    @given(st.text(min_size=0, max_size=80))
+    def test_never_raises(self, text: str) -> None:
+        frames = label(text)
+        for frame in frames:
+            for arg in frame.arguments:
+                assert arg.start <= arg.end
+
+    def test_roles_helper(self) -> None:
+        frame = frame_for("Programmers should avoid bank conflicts.", "avoid")
+        assert "A0" in frame.roles()

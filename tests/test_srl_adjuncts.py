@@ -1,0 +1,71 @@
+"""AM-LOC / AM-TMP adjunct-role tests (SRL extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.srl import label
+
+
+def frame_for(sentence: str, predicate: str):
+    for frame in label(sentence):
+        if frame.predicate.text == predicate:
+            return frame
+    raise AssertionError(f"no frame for {predicate!r}")
+
+
+class TestLocative:
+    def test_location_split_from_object(self) -> None:
+        frame = frame_for("Store the tile in shared memory.", "Store")
+        a1 = frame.argument("A1")
+        loc = frame.argument("AM-LOC")
+        assert a1 is not None and a1.text == "the tile"
+        assert loc is not None and loc.text == "in shared memory"
+
+    def test_location_inside_loop(self) -> None:
+        frame = frame_for(
+            "Avoid divergent branches in the innermost loop.", "Avoid")
+        loc = frame.argument("AM-LOC")
+        assert loc is not None and "innermost loop" in loc.text
+
+    def test_non_location_pp_kept_in_argument(self) -> None:
+        frame = frame_for(
+            "Minimize data transfers with low bandwidth.", "Minimize")
+        a1 = frame.argument("A1")
+        assert a1 is not None and "with low bandwidth" in a1.text
+        assert frame.argument("AM-LOC") is None
+
+
+class TestTemporal:
+    def test_during_phrase(self) -> None:
+        frame = frame_for(
+            "Store the tile in shared memory during kernel execution.",
+            "Store")
+        tmp = frame.argument("AM-TMP")
+        assert tmp is not None and "during kernel execution" in tmp.text
+
+    def test_before_phrase(self) -> None:
+        frame = frame_for("Flush the buffers before the launch.", "Flush")
+        tmp = frame.argument("AM-TMP")
+        assert tmp is not None and "before the launch" in tmp.text
+
+    def test_multiple_adjuncts_coexist(self) -> None:
+        frame = frame_for(
+            "Store the tile in shared memory during kernel execution.",
+            "Store")
+        roles = frame.roles()
+        assert {"A1", "AM-LOC", "AM-TMP"} <= roles
+
+
+class TestSpanIntegrity:
+    def test_spans_do_not_cross_sentence(self) -> None:
+        for frame in label("Pad the array in shared memory to avoid "
+                           "bank conflicts."):
+            for arg in frame.arguments:
+                assert 0 <= arg.start <= arg.end
+
+    def test_purpose_still_detected_with_adjuncts(self) -> None:
+        frame = frame_for(
+            "Pad the array in shared memory to avoid bank conflicts.",
+            "Pad")
+        assert frame.argument("AM-PNC") is not None

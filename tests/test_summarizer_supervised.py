@@ -1,0 +1,103 @@
+"""TextRank-summarizer and Naive-Bayes baseline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveBayesClassifier, TextRankSummarizer
+from repro.corpus import xeon_guide
+from repro.eval.metrics import precision_recall_f
+
+SENTS = [
+    "Memory coalescing improves global memory throughput on every "
+    "generation of the device memory system.",
+    "Global memory throughput depends on coalescing of the memory "
+    "accesses issued by a warp.",
+    "Coalesced memory accesses maximize the useful memory throughput.",
+    "Use pinned memory for transfers.",
+    "A completely unrelated remark about documentation style.",
+]
+
+
+class TestTextRank:
+    def test_central_sentences_rank_high(self) -> None:
+        ranker = TextRankSummarizer()
+        scores = ranker.rank(SENTS)
+        # the coalescing cluster (0-2) is mutually similar => central
+        assert scores[:3].mean() > scores[4]
+
+    def test_summarize_returns_k_sorted(self) -> None:
+        summarizer = TextRankSummarizer()
+        top = summarizer.summarize(SENTS, 2)
+        assert len(top) == 2
+        assert top == sorted(top)
+
+    def test_k_larger_than_corpus(self) -> None:
+        assert len(TextRankSummarizer().summarize(SENTS, 100)) == len(SENTS)
+
+    def test_empty(self) -> None:
+        assert TextRankSummarizer().summarize([], 3) == []
+        assert TextRankSummarizer().summarize(SENTS, 0) == []
+
+    def test_informative_is_not_advising(self) -> None:
+        """§3.1: summarization selects informative sentences, which may
+        not be advising — its F against advising labels must be far
+        below Egeria's on the same guide."""
+        guide = xeon_guide()
+        sentences, labels = guide.labeled_region()
+        texts = [s.text for s in sentences[:250]]
+        gold = {i for i, lab in enumerate(labels[:250]) if lab}
+        k = len(gold)
+        selected = set(TextRankSummarizer().summarize(texts, k))
+        _, _, f_textrank = precision_recall_f(selected, gold)
+        assert f_textrank < 0.55  # Egeria reaches ~0.8 on this guide
+
+
+class TestNaiveBayes:
+    def _data(self):
+        guide = xeon_guide()
+        sentences, labels = guide.labeled_region()
+        texts = [s.text for s in sentences]
+        return texts, [bool(l) for l in labels]
+
+    def test_training_and_prediction(self) -> None:
+        texts, labels = self._data()
+        clf = NaiveBayesClassifier()
+        clf.train(texts[:300], labels[:300])
+        assert clf.accuracy(texts[:300], labels[:300]) > 0.85
+
+    def test_generalizes(self) -> None:
+        texts, labels = self._data()
+        clf = NaiveBayesClassifier()
+        clf.train(texts[:300], labels[:300])
+        heldout = clf.accuracy(texts[300:], labels[300:])
+        majority = 1 - np.mean(labels[300:])
+        assert heldout > majority
+
+    def test_more_data_helps(self) -> None:
+        texts, labels = self._data()
+        small = NaiveBayesClassifier()
+        small.train(texts[:40], labels[:40])
+        large = NaiveBayesClassifier()
+        large.train(texts[:400], labels[:400])
+        eval_t, eval_l = texts[400:], labels[400:]
+        assert large.accuracy(eval_t, eval_l) >= \
+            small.accuracy(eval_t, eval_l) - 0.02
+
+    def test_untrained_raises(self) -> None:
+        with pytest.raises(RuntimeError):
+            NaiveBayesClassifier().predict("anything")
+
+    def test_empty_training_raises(self) -> None:
+        with pytest.raises(ValueError):
+            NaiveBayesClassifier().train([], [])
+
+    def test_length_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            NaiveBayesClassifier().train(["a"], [True, False])
+
+    def test_single_class_training(self) -> None:
+        clf = NaiveBayesClassifier()
+        clf.train(["use textures", "use buffers"], [True, True])
+        assert clf.predict("use textures") is True

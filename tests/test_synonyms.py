@@ -1,0 +1,70 @@
+"""Domain-synonym expansion tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, Egeria
+from repro.retrieval.synonyms import SynonymExpander, expanding_normalizer
+from repro.textproc.normalize import NormalizationPipeline
+
+
+class TestExpander:
+    def test_expands_matched_terms(self) -> None:
+        expanded = SynonymExpander().expand("thread divergence problem")
+        # same-stem variants are skipped; new stems are added
+        assert "branching" in expanded
+        assert "work-item" in expanded
+
+    def test_original_query_preserved(self) -> None:
+        query = "thread divergence problem"
+        assert SynonymExpander().expand(query).startswith(query)
+
+    def test_no_match_no_change(self) -> None:
+        query = "completely unrelated pastry recipe"
+        assert SynonymExpander().expand(query) == query
+
+    def test_no_duplicate_stems_added(self) -> None:
+        expanded = SynonymExpander().expand("divergent branches diverge")
+        tail = expanded[len("divergent branches diverge"):]
+        assert "divergent" not in tail.split()
+
+    def test_cross_vendor_vocabulary(self) -> None:
+        expanded = SynonymExpander().expand("warp scheduling")
+        assert "wavefront" in expanded
+
+    def test_hyphenated_terms(self) -> None:
+        expanded = SynonymExpander().expand("work-group size tuning")
+        assert "workgroup" in expanded or "block" in expanded
+
+
+class TestExpandingNormalizer:
+    def test_tokens_include_synonyms(self) -> None:
+        base = NormalizationPipeline()
+        normalize = expanding_normalizer(base)
+        tokens = normalize("thread divergence")
+        assert "diverg" in tokens
+        assert "branch" in tokens
+
+
+class TestAdvisorIntegration:
+    def _tool(self):
+        return Egeria().build_advisor(Document.from_sentences([
+            "Avoid divergent branches by rewriting the controlling "
+            "condition.",
+            "Use shared memory tiles for data reuse.",
+            "The warp size is 32 threads.",
+        ]))
+
+    def test_expansion_finds_reworded_advice(self) -> None:
+        tool = self._tool()
+        plain = tool.query("thread divergence")
+        expanded = tool.query("thread divergence", expand_synonyms=True)
+        assert len(expanded.recommendations) >= len(plain.recommendations)
+        texts = [s.text for s in expanded.sentences]
+        assert any("divergent branches" in t for t in texts)
+
+    def test_answer_reports_original_query(self) -> None:
+        tool = self._tool()
+        answer = tool.query("thread divergence", expand_synonyms=True)
+        assert answer.query == "thread divergence"

@@ -1,0 +1,97 @@
+"""One test per contextual tagging rule (R1-R18 in tagger.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tagging import pos_tag
+
+
+def tag_of(sentence: str, word: str) -> str:
+    for token, tag in pos_tag(sentence):
+        if token == word:
+            return tag
+    raise AssertionError(f"{word!r} not found in {sentence!r}")
+
+
+class TestContextualRules:
+    def test_r1_to_plus_ambiguous_verb(self) -> None:
+        # "queue" defaults to noun; after TO it must be VB
+        assert tag_of("It is best to queue commands early.", "queue") == "VB"
+
+    def test_r2_modal_plus_verb(self) -> None:
+        assert tag_of("The driver can batch requests.", "batch") == "VB"
+
+    def test_r2_modal_adverb_verb(self) -> None:
+        assert tag_of("This can significantly impact latency.",
+                      "impact") == "VB"
+
+    def test_r2b_noun_before_modal(self) -> None:
+        assert tag_of("This guarantee can be leveraged.",
+                      "guarantee") == "NN"
+
+    def test_r3_imperative_initial(self) -> None:
+        assert tag_of("Schedule the copy early.", "Schedule") == "VB"
+
+    def test_r3_blocked_by_finite_verb(self) -> None:
+        # "Access patterns can hurt." -> 'Access' stays nominal
+        assert tag_of("Access patterns can hurt performance.",
+                      "Access") in ("NN", "NNP")
+
+    def test_r4_determiner_noun_reading(self) -> None:
+        assert tag_of("The use of textures helps.", "use") == "NN"
+
+    def test_r5_passive_participle(self) -> None:
+        assert tag_of("The data is copied to the device.",
+                      "copied") == "VBN"
+
+    def test_r7_participial_adjective(self) -> None:
+        assert tag_of("Pinned memory is faster.", "Pinned") == "JJ"
+
+    def test_r9_nominal_vs_verbal_uses(self) -> None:
+        assert tag_of("The kernel uses 31 registers.", "uses") == "VBZ"
+        assert tag_of("Minimize data transfers with low bandwidth.",
+                      "transfers") == "NNS"
+
+    def test_r9_pp_guard(self) -> None:
+        assert tag_of("Tune for key code loops in the kernel.",
+                      "loops") == "NNS"
+
+    def test_r9b_plural_subject_base_verb(self) -> None:
+        assert tag_of("Divergent branches lower warp efficiency.",
+                      "lower") == "VBP"
+
+    def test_r10_relative_pronoun(self) -> None:
+        assert tag_of("Kernels that exhibit locality scale well.",
+                      "that") == "WDT"
+
+    def test_r11_rb_between_dt_and_nn(self) -> None:
+        assert tag_of("The first step is profiling.", "first") == "JJ"
+
+    def test_r12_comparative_before_noun(self) -> None:
+        assert tag_of("The slow path needs more registers.",
+                      "more") == "JJR"
+
+    def test_r13_adjective_as_noun_head(self) -> None:
+        assert tag_of("Choose a multiple of the warp size.",
+                      "multiple") == "NN"
+
+    def test_r14_gerund_compound(self) -> None:
+        assert tag_of("Avoid incurring pinning costs.", "pinning") == "NN"
+
+    def test_r15_gerund_object_at_end(self) -> None:
+        assert tag_of("This can help reduce idling.", "idling") == "NN"
+
+    def test_r16_comparative_adverbial(self) -> None:
+        assert tag_of("Native functions can run substantially faster.",
+                      "faster") == "RBR"
+
+    def test_r17_singular_subject_base_verb(self) -> None:
+        assert tag_of("Kernels with high intensity scale well.",
+                      "scale") == "VBP"
+
+    def test_r18_pronominal_one(self) -> None:
+        assert tag_of("One can use the affinity variable.", "One") == "PRP"
+
+    def test_r18_cardinal_one_untouched(self) -> None:
+        assert tag_of("Issue one instruction per cycle.", "one") == "CD"

@@ -1,0 +1,172 @@
+"""POS tagging tests: rule tagger, perceptron tagger, tagset helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tagging import (
+    PerceptronTagger,
+    RuleTagger,
+    is_noun_tag,
+    is_verb_tag,
+    pos_tag,
+    to_wordnet_pos,
+)
+from repro.tagging.tagset import PTB_TAGS
+from repro.tagging.train_data import GOLD_SENTENCES, train_test_split
+
+
+class TestTagset:
+    def test_verb_tags(self) -> None:
+        for tag in ("VB", "VBD", "VBG", "VBN", "VBP", "VBZ"):
+            assert is_verb_tag(tag)
+        assert not is_verb_tag("NN")
+
+    def test_noun_tags(self) -> None:
+        for tag in ("NN", "NNS", "NNP", "NNPS"):
+            assert is_noun_tag(tag)
+        assert not is_noun_tag("VB")
+
+    def test_wordnet_mapping(self) -> None:
+        assert to_wordnet_pos("VBD") == "v"
+        assert to_wordnet_pos("NNS") == "n"
+        assert to_wordnet_pos("JJR") == "a"
+        assert to_wordnet_pos("RB") == "r"
+        assert to_wordnet_pos(",") == "x"
+
+    def test_all_emitted_tags_in_tagset(self) -> None:
+        tagger = RuleTagger()
+        for sent in GOLD_SENTENCES:
+            for _, tag in tagger.tag([w for w, _ in sent]):
+                assert tag in PTB_TAGS, tag
+
+
+class TestRuleTagger:
+    def test_gold_accuracy_above_95(self) -> None:
+        tagger = RuleTagger()
+        correct = total = 0
+        for sent in GOLD_SENTENCES:
+            predicted = tagger.tag([w for w, _ in sent])
+            for (_, gold), (_, guess) in zip(sent, predicted):
+                total += 1
+                correct += gold == guess
+        assert correct / total >= 0.95
+
+    def test_imperative_initial_verb(self) -> None:
+        tags = dict(pos_tag("Use shared memory."))
+        assert tags["Use"] == "VB"
+
+    def test_modal_plus_verb(self) -> None:
+        tagged = pos_tag("The runtime can reduce latency.")
+        assert ("reduce", "VB") in tagged
+
+    def test_modal_adverb_verb(self) -> None:
+        tagged = pos_tag("Flow control can significantly impact throughput.")
+        assert ("impact", "VB") in tagged
+
+    def test_to_infinitive(self) -> None:
+        tagged = pos_tag("It is important to queue commands early.")
+        assert ("to", "TO") in tagged
+        assert ("queue", "VB") in tagged
+
+    def test_determiner_noun_reading(self) -> None:
+        tagged = pos_tag("The use of textures helps.")
+        assert ("use", "NN") in tagged
+
+    def test_passive_participle(self) -> None:
+        tagged = pos_tag("This guarantee can be leveraged to avoid calls.")
+        assert ("leveraged", "VBN") in tagged
+        assert ("guarantee", "NN") in tagged
+
+    def test_participial_adjective_before_noun(self) -> None:
+        tagged = pos_tag("Pinned memory is faster.")
+        assert tagged[0] == ("Pinned", "JJ")
+
+    def test_noun_verb_ambiguity_verbal(self) -> None:
+        tagged = pos_tag("The kernel uses 31 registers.")
+        assert ("uses", "VBZ") in tagged
+
+    def test_noun_verb_ambiguity_nominal(self) -> None:
+        tagged = pos_tag("Minimize data transfers with low bandwidth.")
+        assert ("transfers", "NNS") in tagged
+
+    def test_numbers(self) -> None:
+        tagged = pos_tag("Use 256 threads and capability 3.x devices.")
+        assert ("256", "CD") in tagged
+        assert ("3.x", "CD") in tagged
+
+    def test_code_tokens_sym(self) -> None:
+        tagged = pos_tag("Avoid explicit clWaitForEvents() calls.")
+        assert ("clWaitForEvents()", "SYM") in tagged
+
+    def test_proper_nouns(self) -> None:
+        tagged = pos_tag("NVIDIA publishes the CUDA guide.")
+        tags = dict(tagged)
+        assert tags["NVIDIA"] == "NNP"
+        assert tags["CUDA"] == "NNP"
+
+    def test_unknown_word_suffix_morphology(self) -> None:
+        tags = dict(pos_tag("The quxification of zorbs is blargly slow."))
+        assert tags["quxification"] == "NN"
+        assert tags["zorbs"] == "NNS"
+        assert tags["blargly"] == "RB"
+
+    def test_relative_pronoun(self) -> None:
+        tagged = pos_tag("Kernels that exhibit locality scale well.")
+        assert ("that", "WDT") in tagged
+
+    def test_empty_input(self) -> None:
+        assert RuleTagger().tag([]) == []
+
+    def test_figure2a_sentence(self) -> None:
+        """The paper's Figure 2a sentence tags sanely."""
+        tagged = pos_tag(
+            "Thus, a developer may prefer using buffers instead of images "
+            "if no sampling operation is needed.")
+        tags = dict(tagged)
+        assert tags["developer"] == "NN"
+        assert tags["prefer"] == "VB"
+        assert tags["using"] == "VBG"
+
+
+class TestPerceptronTagger:
+    def test_requires_training(self) -> None:
+        with pytest.raises(RuntimeError):
+            PerceptronTagger().tag(["hello"])
+
+    def test_fits_training_data(self) -> None:
+        tagger = PerceptronTagger()
+        tagger.train(GOLD_SENTENCES, iterations=8)
+        assert tagger.accuracy(GOLD_SENTENCES) >= 0.97
+
+    def test_heldout_beats_chance(self) -> None:
+        train, test = train_test_split()
+        tagger = PerceptronTagger()
+        tagger.train(train, iterations=8)
+        assert tagger.accuracy(test) >= 0.5
+
+    def test_deterministic_given_seed(self) -> None:
+        a, b = PerceptronTagger(), PerceptronTagger()
+        a.train(GOLD_SENTENCES, iterations=3, seed=7)
+        b.train(GOLD_SENTENCES, iterations=3, seed=7)
+        words = ["Use", "shared", "memory", "."]
+        assert a.tag(words) == b.tag(words)
+
+    def test_self_training_from_rule_tagger(self) -> None:
+        sentences = [
+            ["Use", "pinned", "memory", "."],
+            ["Avoid", "divergent", "branches", "."],
+            ["The", "kernel", "uses", "registers", "."],
+            ["Developers", "should", "profile", "first", "."],
+        ] * 3
+        tagger = PerceptronTagger()
+        tagger.train_from_tagger(RuleTagger(), sentences, iterations=5)
+        tagged = tagger.tag(["Use", "pinned", "memory", "."])
+        assert tagged[0][1] == "VB"
+
+    def test_tag_output_shape(self) -> None:
+        tagger = PerceptronTagger()
+        tagger.train(GOLD_SENTENCES, iterations=2)
+        out = tagger.tag(["Profile", "the", "kernel", "."])
+        assert [w for w, _ in out] == ["Profile", "the", "kernel", "."]
+        assert all(isinstance(t, str) for _, t in out)

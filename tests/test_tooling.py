@@ -1,0 +1,114 @@
+"""DOT export, tagger evaluation, and CoNLL-format tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parsing import parse
+from repro.srl import SemanticRoleLabeler
+from repro.srl.conll import frames_to_conll, parse_conll_roles
+from repro.tagging import PerceptronTagger, RuleTagger
+from repro.tagging.evaluation import compare_taggers, evaluate_tagger
+from repro.tagging.train_data import GOLD_SENTENCES
+
+
+class TestDotExport:
+    def test_valid_dot(self) -> None:
+        graph = parse("Use shared memory.")
+        dot = graph.to_dot(title="example")
+        assert dot.startswith("digraph dependencies {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="example"' in dot
+
+    def test_all_tokens_and_edges_present(self) -> None:
+        graph = parse("A developer may prefer using buffers.")
+        dot = graph.to_dot()
+        for token in graph.tokens:
+            assert f"t{token.index} [label=" in dot
+        assert 'label="xcomp"' in dot
+        assert "ROOT ->" in dot
+
+    def test_quotes_escaped(self) -> None:
+        graph = parse('Use "fast" mode.')
+        dot = graph.to_dot(title='with "quotes"')
+        assert '\\"fast\\"' in dot or "fast" in dot  # never raw `"fast"`
+        assert 'label="with \\"quotes\\""' in dot
+
+
+class TestTaggerEvaluation:
+    def test_report_fields(self) -> None:
+        report = evaluate_tagger(RuleTagger(), GOLD_SENTENCES)
+        assert 0.9 < report.accuracy <= 1.0
+        assert report.total == sum(len(s) for s in GOLD_SENTENCES)
+        assert "NN" in report.per_tag
+        for precision, recall, f_measure in report.per_tag.values():
+            assert 0.0 <= precision <= 1.0
+            assert 0.0 <= recall <= 1.0
+            assert 0.0 <= f_measure <= 1.0
+
+    def test_confusions_sorted(self) -> None:
+        report = evaluate_tagger(RuleTagger(), GOLD_SENTENCES)
+        counts = [count for _, _, count in report.confusions]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_worst_tags(self) -> None:
+        report = evaluate_tagger(RuleTagger(), GOLD_SENTENCES)
+        worst = report.worst_tags(3)
+        assert len(worst) <= 3
+        f_values = [f for _, f in worst]
+        assert f_values == sorted(f_values)
+
+    def test_compare_taggers(self) -> None:
+        perceptron = PerceptronTagger()
+        perceptron.train(GOLD_SENTENCES, iterations=4)
+        reports = compare_taggers(
+            {"rule": RuleTagger(), "perceptron": perceptron},
+            GOLD_SENTENCES)
+        assert set(reports) == {"rule", "perceptron"}
+        assert reports["perceptron"].accuracy >= 0.95  # fits training set
+
+    def test_empty_corpus(self) -> None:
+        report = evaluate_tagger(RuleTagger(), [])
+        assert report.accuracy == 0.0 and report.total == 0
+
+
+class TestConll:
+    SENTENCE = ("The first step in maximizing overall memory throughput "
+                "for the application is to minimize data transfers with "
+                "low bandwidth.")
+
+    def _frames(self):
+        labeler = SemanticRoleLabeler()
+        graph = parse(self.SENTENCE)
+        return graph, labeler.label(graph)
+
+    def test_figure3_format(self) -> None:
+        graph, frames = self._frames()
+        table = frames_to_conll(graph, frames)
+        lines = table.splitlines()
+        assert len(lines) == len(graph.tokens)
+        assert any("(V*maximize.01)" in line for line in lines)
+        assert any("(AM-PNC*" in line for line in lines)
+
+    def test_single_token_argument_closed_inline(self) -> None:
+        graph = parse("Programmers should avoid conflicts.")
+        labeler = SemanticRoleLabeler()
+        table = frames_to_conll(graph, labeler.label(graph))
+        assert "(A0*)" in table
+
+    def test_round_trip_roles(self) -> None:
+        graph, frames = self._frames()
+        table = frames_to_conll(graph, frames)
+        recovered = parse_conll_roles(table)
+        assert len(recovered) == len(frames)
+        for frame, roles in zip(frames, recovered):
+            assert roles["V"] == [frame.predicate.index]
+            for argument in frame.arguments:
+                indices = roles[argument.role]
+                assert indices[0] == argument.start
+                assert indices[-1] == argument.end
+
+    def test_empty(self) -> None:
+        graph = parse("")
+        assert frames_to_conll(graph, []) == ""
+        assert parse_conll_roles("") == []

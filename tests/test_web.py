@@ -1,0 +1,168 @@
+"""Web application tests (direct WSGI invocation, no sockets)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import Document, Egeria
+from repro.pdf import report_to_pdf
+from repro.profiler import case_study_report
+from repro.web import AdvisorApp, serve
+
+SENTENCES = [
+    "Use launch bounds to control register usage and avoid spilling.",
+    "Rewrite divergent branches so threads follow the thread index.",
+    "Stage reused data in shared memory tiles to maximize bandwidth.",
+    "The warp size is 32 threads.",
+]
+
+
+@pytest.fixture(scope="module")
+def app() -> AdvisorApp:
+    advisor = Egeria().build_advisor(
+        Document.from_sentences(SENTENCES, title="Test Guide"))
+    return AdvisorApp(advisor)
+
+
+def call(app: AdvisorApp, method: str = "GET", path: str = "/",
+         query: str = "", body: bytes = b"", content_type: str = ""):
+    """Invoke the WSGI app; return (status, headers, body_text)."""
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_LENGTH": str(len(body)),
+        "CONTENT_TYPE": content_type,
+        "wsgi.input": io.BytesIO(body),
+    }
+    captured: dict = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    text = b"".join(chunks).decode("utf-8")
+    return captured["status"], captured["headers"], text
+
+
+class TestRoutes:
+    def test_index_summary(self, app) -> None:
+        status, headers, body = call(app)
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("text/html")
+        assert "launch bounds" in body
+        assert "<form" in body  # search + upload forms injected
+
+    def test_index_cached(self, app) -> None:
+        _, _, first = call(app)
+        _, _, second = call(app)
+        assert first == second
+
+    def test_query_page(self, app) -> None:
+        status, _, body = call(app, query="q=divergent+branches",
+                               path="/query")
+        assert status == "200 OK"
+        assert "highlight" in body
+        assert "divergent branches" in body
+
+    def test_query_missing_param(self, app) -> None:
+        status, _, _ = call(app, path="/query")
+        assert status == "400 Bad Request"
+
+    def test_unknown_route(self, app) -> None:
+        status, _, _ = call(app, path="/nope")
+        assert status == "404 Not Found"
+
+    def test_health(self, app) -> None:
+        status, headers, body = call(app, path="/health")
+        assert status == "200 OK"
+        assert json.loads(body)["status"] == "ok"
+
+    def test_method_mismatch(self, app) -> None:
+        status, _, _ = call(app, method="POST", path="/query")
+        assert status == "404 Not Found"
+
+
+class TestApiQuery:
+    def test_json_payload(self, app) -> None:
+        status, headers, body = call(app, path="/api/query",
+                                     query="q=register+usage+spilling")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["found"]
+        assert payload["answers"][0]["score"] > 0.15
+        assert "launch bounds" in payload["answers"][0]["sentence"]
+
+    def test_json_no_result(self, app) -> None:
+        _, _, body = call(app, path="/api/query", query="q=zebra+pastry")
+        payload = json.loads(body)
+        assert payload["found"] is False and payload["answers"] == []
+
+    def test_json_missing_param(self, app) -> None:
+        status, _, _ = call(app, path="/api/query")
+        assert status == "400 Bad Request"
+
+
+class TestUpload:
+    def test_pdf_body(self, app) -> None:
+        pdf = report_to_pdf(case_study_report())
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=pdf, content_type="application/pdf")
+        assert status == "200 OK"
+        assert "launch bounds" in body or "divergent" in body
+
+    def test_text_body(self, app) -> None:
+        report = case_study_report().to_text().encode("utf-8")
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=report, content_type="text/plain")
+        assert status == "200 OK"
+        assert "highlight" in body
+
+    def test_multipart_upload(self, app) -> None:
+        pdf = report_to_pdf(case_study_report())
+        boundary = "XBOUNDARYX"
+        body = (
+            f"--{boundary}\r\n"
+            'Content-Disposition: form-data; name="report"; '
+            'filename="report.pdf"\r\n'
+            "Content-Type: application/pdf\r\n\r\n"
+        ).encode("ascii") + pdf + f"\r\n--{boundary}--\r\n".encode("ascii")
+        status, _, text = call(
+            app, method="POST", path="/upload", body=body,
+            content_type=f"multipart/form-data; boundary={boundary}")
+        assert status == "200 OK"
+        assert "divergent" in text.lower()
+
+    def test_empty_report(self, app) -> None:
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=b"no issues here",
+                               content_type="text/plain")
+        assert status == "200 OK"
+        assert "No performance issues" in body
+
+
+class TestServer:
+    def test_serve_binds_and_answers(self) -> None:
+        import http.client
+        import threading
+
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        server = serve(advisor, port=0)
+        port = server.server_port
+        thread = threading.Thread(target=server.handle_request)
+        thread.start()
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+            conn.request("GET", "/health")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert b"ok" in response.read()
+        finally:
+            thread.join(timeout=5)
+            server.server_close()

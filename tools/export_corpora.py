@@ -1,0 +1,50 @@
+"""Export the bundled corpora as HTML guide files.
+
+Writes the four deterministic guide corpora to ``data/corpora/`` in
+the HTML format the paper's loaders consume, along with a labels file
+(one ``index<TAB>0|1`` line per sentence) so external tools can use
+the ground truth.  Run from the repository root:
+
+    python tools/export_corpora.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.corpus import GUIDE_BUILDERS
+from repro.docs.html_writer import document_to_html
+
+
+def export(out_dir: Path) -> list[Path]:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, builder in GUIDE_BUILDERS.items():
+        guide = builder()
+        html_path = out_dir / f"{name}_guide.html"
+        html_path.write_text(document_to_html(guide.document),
+                             encoding="utf-8")
+        written.append(html_path)
+        labels_path = out_dir / f"{name}_labels.tsv"
+        lines = [
+            f"{i}\t{int(meta.advising)}\t{meta.topic}\t{meta.family}"
+            for i, meta in enumerate(guide.meta)
+        ]
+        labels_path.write_text(
+            "index\tadvising\ttopic\tfamily\n" + "\n".join(lines) + "\n",
+            encoding="utf-8")
+        written.append(labels_path)
+    return written
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent / "data" / "corpora"
+    for path in export(out_dir):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
