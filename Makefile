@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench docs corpora examples clean
+.PHONY: install test bench chaos ci docs corpora examples clean
 
 install:
 	pip install -e .[dev]
@@ -12,6 +12,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# tier-1 suite + the fault-injection robustness check under the canned
+# fault plan (20% SRL failures + one simulated worker crash)
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_robustness.py --quick \
+		--fault-plan tools/chaos_plan.json
+
+ci:
+	sh tools/ci.sh
 
 docs:
 	$(PYTHON) tools/gen_api_docs.py

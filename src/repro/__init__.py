@@ -39,6 +39,9 @@ _EXPORTS = {
     "Document": ("repro.docs.document", "Document"),
     "Section": ("repro.docs.document", "Section"),
     "Sentence": ("repro.docs.document", "Sentence"),
+    "FaultPlan": ("repro.resilience.faults", "FaultPlan"),
+    "DegradationEvent": ("repro.resilience.degrade", "DegradationEvent"),
+    "inject_faults": ("repro.resilience.faults", "inject"),
 }
 
 __all__ = [*_EXPORTS, "__version__"]

@@ -48,6 +48,30 @@ def _resolve_workers(args: argparse.Namespace) -> int:
     return _load_config(args).workers
 
 
+def _resolve_resilience(args: argparse.Namespace) -> dict:
+    """The degrade/max_retries knobs: CLI flag beats config file."""
+    config = _load_config(args)
+    degrade = getattr(args, "degrade", None)
+    max_retries = getattr(args, "max_retries", None)
+    return {
+        "degrade": config.degrade if degrade is None else degrade,
+        "max_retries": (config.max_retries if max_retries is None
+                        else max_retries),
+    }
+
+
+def _build_egeria(args: argparse.Namespace,
+                  threshold: float | None = None,
+                  keywords=None) -> Egeria:
+    config = _load_config(args)
+    return Egeria(
+        keywords=keywords if keywords is not None else _load_keywords(args),
+        threshold=threshold if threshold is not None else config.threshold,
+        workers=_resolve_workers(args),
+        **_resolve_resilience(args),
+    )
+
+
 def _build_or_load_advisor(args: argparse.Namespace,
                            threshold: float | None = None):
     """Build an advisor from a guide file, or load a saved .json one."""
@@ -55,13 +79,8 @@ def _build_or_load_advisor(args: argparse.Namespace,
         from repro.core.persistence import load_advisor
 
         return load_advisor(args.guide)
-    config = _load_config(args)
     document = _load_document(args.guide)
-    return Egeria(
-        keywords=_load_keywords(args),
-        threshold=threshold if threshold is not None else config.threshold,
-        workers=_resolve_workers(args),
-    ).build_advisor(document)
+    return _build_egeria(args, threshold=threshold).build_advisor(document)
 
 
 def _load_keywords(args: argparse.Namespace) -> KeywordConfig:
@@ -82,12 +101,14 @@ def _print_answer(answer) -> None:
 
 def cmd_build(args: argparse.Namespace) -> int:
     document = _load_document(args.guide)
-    advisor = Egeria(keywords=_load_keywords(args),
-                     workers=_resolve_workers(args)).build_advisor(document)
+    advisor = _build_egeria(args).build_advisor(document)
     stats = advisor.selection_stats()
     print(f"{document.title}: {stats['document_sentences']:.0f} sentences, "
           f"{stats['advising_sentences']:.0f} advising "
           f"(ratio {stats['ratio']:.1f})")
+    if advisor.degradation_events or advisor.quarantined:
+        print(f"degraded build: {len(advisor.degradation_events)} events, "
+              f"{len(advisor.quarantined)} quarantined sentences")
     if args.save:
         from repro.core.persistence import save_advisor
 
@@ -138,9 +159,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     config = _load_config(args)
     advisor = _build_or_load_advisor(args)
+    deadline_ms = args.deadline_ms or config.deadline_ms
     run(advisor,
         host=args.host or config.host,
-        port=args.port or config.port)
+        port=args.port or config.port,
+        max_body_bytes=config.max_body_bytes,
+        request_deadline_s=deadline_ms / 1000.0)
     return 0
 
 
@@ -148,7 +172,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     from repro.corpus import GUIDE_BUILDERS
 
     guide = GUIDE_BUILDERS[args.corpus]()
-    advisor = Egeria(workers=_resolve_workers(args)).build_advisor(
+    advisor = _build_egeria(args, keywords=KeywordConfig()).build_advisor(
         guide.document)
     stats = advisor.selection_stats()
     print(f"{guide.spec.name}: {stats['document_sentences']:.0f} sentences, "
@@ -238,7 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for Stage I")
     parser.add_argument("--config", default=None,
                         help="JSON configuration file (host/port/workers/"
-                             "threshold/keyword extensions)")
+                             "threshold/keyword extensions/resilience)")
+    parser.add_argument("--fault-plan", default=None,
+                        help="JSON fault-plan file; activates chaos-mode "
+                             "fault injection for the whole command")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="per-batch worker re-dispatch attempts in "
+                             "Stage I (default from config: 2)")
+    parser.add_argument("--deadline-ms", type=int, default=None,
+                        help="per-request time budget for 'serve' "
+                             "(default from config: 10000)")
+    parser.add_argument("--degrade", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="enable the NLP degradation ladder "
+                             "(--no-degrade = fail fast)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an advisor; print or "
@@ -292,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    plan_path = args.fault_plan or _load_config(args).fault_plan
+    if plan_path:
+        from repro.resilience.faults import FaultPlan, inject
+
+        with inject(FaultPlan.load(plan_path)):
+            return args.func(args)
     return args.func(args)
 
 

@@ -20,18 +20,31 @@ from dataclasses import dataclass, field
 from repro.core.recommender import KnowledgeRecommender, Recommendation
 from repro.docs.document import Document, Section, Sentence
 from repro.profiler.parser import NVVPReportParser
+from repro.resilience.degrade import DegradationEvent, summarize_events
 
 
 @dataclass
 class Answer:
-    """The tool's response to one query."""
+    """The tool's response to one query.
+
+    ``degraded_events`` records resilience fallbacks taken while
+    answering (e.g. the retrieval layer failed and an empty/partial
+    answer was returned); ``error`` carries the underlying exception
+    text so callers can see what was skipped.
+    """
 
     query: str
     recommendations: list[Recommendation] = field(default_factory=list)
+    degraded_events: tuple[DegradationEvent, ...] = ()
+    error: str | None = None
 
     @property
     def found(self) -> bool:
         return bool(self.recommendations)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_events)
 
     @property
     def sentences(self) -> list[Sentence]:
@@ -39,13 +52,15 @@ class Answer:
 
     @property
     def message(self) -> str:
+        if self.degraded and not self.found:
+            return "No answer available (retrieval degraded)"
         if not self.found:
             return "No relevant sentences found"
         return f"{len(self.recommendations)} relevant sentences found"
 
     def to_dict(self) -> dict:
         """JSON-compatible view (used by the web API)."""
-        return {
+        payload = {
             "query": self.query,
             "found": self.found,
             "answers": [
@@ -59,6 +74,9 @@ class Answer:
                 for rec in self.recommendations
             ],
         }
+        if self.degraded:
+            payload["degraded"] = [e.to_dict() for e in self.degraded_events]
+        return payload
 
 
 class AdvisingTool:
@@ -70,10 +88,18 @@ class AdvisingTool:
         advising_sentences: Sequence[Sentence],
         threshold: float = 0.15,
         name: str | None = None,
+        degradation_events: tuple[DegradationEvent, ...] = (),
+        quarantined: Sequence = (),
     ) -> None:
         self.document = document
         self.advising_sentences = list(advising_sentences)
         self.name = name or f"{document.title} Adviser"
+        #: Stage I degradations recorded while this tool was built
+        self.degradation_events = tuple(degradation_events)
+        #: quarantined RecognitionResults from the build (if any)
+        self.quarantined = tuple(quarantined)
+        #: answer-time degradations accumulated across queries
+        self.answer_events: list[DegradationEvent] = []
         self.recommender = KnowledgeRecommender(
             self.advising_sentences, document=document, threshold=threshold)
         self._report_parser = NVVPReportParser()
@@ -88,6 +114,9 @@ class AdvisingTool:
         domain synonym clusters of :mod:`repro.retrieval.synonyms`
         ("thread divergence" also searches "divergent branches") —
         useful for loosely phrased questions.
+
+        A retrieval-layer failure yields a degraded :class:`Answer`
+        (empty, with the event attached) rather than an exception.
         """
         if expand_synonyms:
             from repro.retrieval.synonyms import SynonymExpander
@@ -95,8 +124,16 @@ class AdvisingTool:
             text_for_search = SynonymExpander().expand(text)
         else:
             text_for_search = text
-        return Answer(
-            text, self.recommender.recommend(text_for_search, threshold))
+        try:
+            recommendations = self.recommender.recommend(
+                text_for_search, threshold)
+        except Exception as error:
+            event = DegradationEvent(
+                layer="retrieval", point="recommend", error=repr(error))
+            self.answer_events.append(event)
+            return Answer(text, [], degraded_events=(event,),
+                          error=repr(error))
+        return Answer(text, recommendations)
 
     def query_report(
         self, report_text: str, threshold: float | None = None
@@ -182,4 +219,22 @@ class AdvisingTool:
             "document_sentences": total,
             "advising_sentences": selected,
             "ratio": (total / selected) if selected else float("inf"),
+        }
+
+    def health(self) -> dict:
+        """Resilience view of this tool: build-time and answer-time
+        degradation counters (the ``/healthz`` payload core)."""
+        build_events = self.degradation_events
+        return {
+            "status": "degraded" if (build_events or self.quarantined)
+                      else "ok",
+            "advising_sentences": len(self.advising_sentences),
+            "document_sentences": len(self.document),
+            "degradation": {
+                "build_events": len(build_events),
+                "build_by_layer": summarize_events(build_events),
+                "quarantined_sentences": len(self.quarantined),
+                "answer_events": len(self.answer_events),
+                "answer_by_layer": summarize_events(self.answer_events),
+            },
         }

@@ -14,13 +14,21 @@ from functools import cached_property
 
 from repro.parsing.graph import DependencyGraph
 from repro.parsing.parser import DependencyParser
+from repro.resilience.faults import fault_point
 from repro.srl.labeler import Frame, SemanticRoleLabeler
 from repro.textproc.porter import PorterStemmer
 from repro.textproc.word_tokenizer import WordTokenizer
 
 
 class SentenceAnalysis:
-    """Lazy layered view of one sentence."""
+    """Lazy layered view of one sentence.
+
+    Each layer is a named fault point (``analysis.tokenize`` /
+    ``analysis.stem`` / ``analysis.parse`` / ``analysis.srl``) so chaos
+    runs can fail individual layers; the degradation ladder in
+    :mod:`repro.resilience.degrade` turns such failures into fallback
+    classifications instead of aborted documents.
+    """
 
     def __init__(self, text: str, analyzer: "SentenceAnalyzer") -> None:
         self.text = text
@@ -28,19 +36,23 @@ class SentenceAnalysis:
 
     @cached_property
     def tokens(self) -> list[str]:
+        fault_point("analysis.tokenize")
         return self._analyzer.tokenizer.tokenize(self.text)
 
     @cached_property
     def stems(self) -> list[str]:
+        fault_point("analysis.stem")
         stemmer = self._analyzer.stemmer
         return [stemmer.stem(t) for t in self.tokens]
 
     @cached_property
     def graph(self) -> DependencyGraph:
+        fault_point("analysis.parse")
         return self._analyzer.parser.parse(self.tokens)
 
     @cached_property
     def frames(self) -> list[Frame]:
+        fault_point("analysis.srl")
         return self._analyzer.labeler.label(self.graph)
 
 

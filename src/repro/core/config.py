@@ -32,9 +32,23 @@ _KEYWORD_FIELDS = ("flagging_words", "xcomp_governors",
                    "imperative_words", "key_subjects", "key_predicates")
 
 
+#: default cap on request bodies accepted by the web app (8 MiB)
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: default per-request time budget for the web app (10 s)
+DEFAULT_DEADLINE_MS = 10_000
+
+
 @dataclass(frozen=True)
 class EgeriaConfig:
-    """Deployment configuration."""
+    """Deployment configuration.
+
+    The resilience knobs mirror the CLI flags: ``max_retries`` bounds
+    per-batch worker re-dispatch in Stage I, ``deadline_ms`` is the web
+    layer's per-request budget, ``degrade`` toggles the NLP degradation
+    ladder, ``max_body_bytes`` caps uploads, and ``fault_plan`` names a
+    JSON fault-plan file to activate (chaos testing).
+    """
 
     host: str = "127.0.0.1"
     port: int = 8000
@@ -42,6 +56,11 @@ class EgeriaConfig:
     threshold: float = 0.15
     keyword_extensions: dict[str, tuple[str, ...]] = field(
         default_factory=dict)
+    max_retries: int = 2
+    deadline_ms: int = DEFAULT_DEADLINE_MS
+    degrade: bool = True
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    fault_plan: str | None = None
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -59,7 +78,8 @@ class EgeriaConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "EgeriaConfig":
         unknown = set(data) - {"host", "port", "workers", "threshold",
-                               "keywords"}
+                               "keywords", "max_retries", "deadline_ms",
+                               "degrade", "max_body_bytes", "fault_plan"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -79,12 +99,28 @@ class EgeriaConfig:
         workers = int(data.get("workers", 1))
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        max_retries = int(data.get("max_retries", 2))
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        deadline_ms = int(data.get("deadline_ms", DEFAULT_DEADLINE_MS))
+        if deadline_ms < 1:
+            raise ValueError("deadline_ms must be >= 1")
+        max_body_bytes = int(data.get("max_body_bytes",
+                                      DEFAULT_MAX_BODY_BYTES))
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        fault_plan = data.get("fault_plan")
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
             workers=workers,
             threshold=threshold,
             keyword_extensions=keyword_extensions,
+            max_retries=max_retries,
+            deadline_ms=deadline_ms,
+            degrade=bool(data.get("degrade", True)),
+            max_body_bytes=max_body_bytes,
+            fault_plan=None if fault_plan is None else str(fault_plan),
         )
 
     @classmethod
@@ -101,6 +137,11 @@ class EgeriaConfig:
             "keywords": {name: list(values)
                          for name, values in
                          self.keyword_extensions.items()},
+            "max_retries": self.max_retries,
+            "deadline_ms": self.deadline_ms,
+            "degrade": self.degrade,
+            "max_body_bytes": self.max_body_bytes,
+            "fault_plan": self.fault_plan,
         }
 
     def save(self, path: str) -> None:

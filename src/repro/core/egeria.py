@@ -42,20 +42,34 @@ class Egeria:
         selectors: Sequence[Selector] | None = None,
         threshold: float = 0.15,
         workers: int = 1,
+        degrade: bool = True,
+        max_retries: int = 2,
     ) -> None:
         self.keywords = keywords or KeywordConfig()
         self.threshold = threshold
         self.recognizer = AdvisingSentenceRecognizer(
-            keywords=self.keywords, selectors=selectors, workers=workers)
+            keywords=self.keywords, selectors=selectors, workers=workers,
+            degrade=degrade, max_retries=max_retries)
 
     # -- advisor synthesis ---------------------------------------------------
 
     def build_advisor(
         self, document: Document, name: str | None = None
     ) -> AdvisingTool:
-        """Synthesize an advising tool from a loaded document."""
+        """Synthesize an advising tool from a loaded document.
+
+        Stage I degradations (failed NLP layers, worker crashes,
+        quarantined sentences) are carried on the returned tool rather
+        than raised, so a partially degraded build still serves.
+        """
         started = time.perf_counter()
-        advising = self.recognizer.advising_sentences(document)
+        results = self.recognizer.recognize(document)
+        advising = [r.sentence for r in results if r.is_advising]
+        events: list = []
+        for result in results:
+            events.extend(result.events)
+        events.extend(self.recognizer.last_worker_events)
+        quarantined = tuple(r for r in results if r.quarantined)
         elapsed = time.perf_counter() - started
         total = len(document)
         logger.info(
@@ -64,8 +78,14 @@ class Egeria:
             document.title, len(advising), total,
             (total / len(advising)) if advising else float("inf"),
             elapsed)
+        if events or quarantined:
+            logger.warning(
+                "advisor for %r built degraded: %d degradation events, "
+                "%d quarantined sentences",
+                document.title, len(events), len(quarantined))
         return AdvisingTool(
-            document, advising, threshold=self.threshold, name=name)
+            document, advising, threshold=self.threshold, name=name,
+            degradation_events=tuple(events), quarantined=quarantined)
 
     def build_advisor_from_html(
         self, html: str, title: str | None = None

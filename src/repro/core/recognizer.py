@@ -9,10 +9,21 @@ Large guides are embarrassingly parallel across sentences; the
 recognizer supports multiprocessing workers (the artifact's "number of
 worker processes" knob) with per-worker pipeline initialization so the
 NLP components are built once per process, not per sentence.
+
+Resilience: classification runs through the degradation ladder of
+:mod:`repro.resilience.degrade` — a sentence whose NLP layer fails is
+classified by the surviving layers and tagged with
+:class:`~repro.resilience.degrade.DegradationEvent` records; only a
+sentence on which *no* selector can run is quarantined (recorded with
+its exception) rather than aborting the document.  Parallel batch
+dispatch is guarded by a retry policy and a circuit breaker, so a
+dead or hung pool worker triggers inline re-execution of the lost
+batch instead of killing the whole ``advising_sentences`` pass.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -21,15 +32,36 @@ from repro.core.analysis import SentenceAnalyzer
 from repro.core.keywords import KeywordConfig
 from repro.core.selectors import Selector, default_selectors
 from repro.docs.document import Document, Sentence
+from repro.resilience.degrade import (
+    DegradationEvent,
+    DegradationLadder,
+    DegradedClassification,
+)
+from repro.resilience.faults import fault_point
+from repro.resilience.policy import CircuitBreaker, Retry
+
+logger = logging.getLogger("repro.core.recognizer")
 
 
 @dataclass(frozen=True)
 class RecognitionResult:
-    """Per-sentence outcome of Stage I."""
+    """Per-sentence outcome of Stage I.
+
+    ``events`` lists any degradation fallbacks taken while classifying
+    the sentence; ``quarantined`` marks a sentence no selector could
+    run on (``error`` carries the exception text).
+    """
 
     sentence: Sentence
     is_advising: bool
     selector: str | None   # name of the first selector that fired
+    events: tuple[DegradationEvent, ...] = ()
+    quarantined: bool = False
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
 
 
 # -- worker-process machinery (top level so it pickles) -------------------
@@ -39,22 +71,20 @@ _WORKER_STATE: dict[str, object] = {}
 
 def _init_worker(keywords: KeywordConfig) -> None:
     _WORKER_STATE["analyzer"] = SentenceAnalyzer()
-    _WORKER_STATE["selectors"] = default_selectors(keywords)
+    _WORKER_STATE["ladder"] = DegradationLadder(default_selectors(keywords))
 
 
-def _classify_batch(texts: list[str]) -> list[tuple[bool, str | None]]:
+def _classify_batch(
+    batch: tuple[int, list[str]],
+) -> list[DegradedClassification]:
+    """Classify one (offset, texts) batch inside a worker process."""
+    offset, texts = batch
     analyzer: SentenceAnalyzer = _WORKER_STATE["analyzer"]  # type: ignore[assignment]
-    selectors: list[Selector] = _WORKER_STATE["selectors"]  # type: ignore[assignment]
-    out: list[tuple[bool, str | None]] = []
-    for text in texts:
-        analysis = analyzer.analyze(text)
-        fired: str | None = None
-        for selector in selectors:
-            if selector.matches(analysis):
-                fired = selector.name
-                break
-        out.append((fired is not None, fired))
-    return out
+    ladder: DegradationLadder = _WORKER_STATE["ladder"]  # type: ignore[assignment]
+    return [
+        ladder.classify(analyzer.analyze(text), sentence_index=offset + i)
+        for i, text in enumerate(texts)
+    ]
 
 
 class AdvisingSentenceRecognizer:
@@ -66,33 +96,61 @@ class AdvisingSentenceRecognizer:
         selectors: Sequence[Selector] | None = None,
         workers: int = 1,
         cache_size: int = 50_000,
+        degrade: bool = True,
+        max_retries: int = 2,
+        batch_timeout_s: float | None = 120.0,
     ) -> None:
         self.keywords = keywords or KeywordConfig()
         self.selectors = (list(selectors) if selectors is not None
                           else default_selectors(self.keywords))
         self.workers = max(1, workers)
+        self.degrade = degrade
+        self.max_retries = max(0, max_retries)
+        self.batch_timeout_s = batch_timeout_s
         self._analyzer = SentenceAnalyzer()
+        self._ladder = DegradationLadder(self.selectors)
         # guide corpora repeat boilerplate sentences (~35% duplicates
         # in the bundled guides); classification is pure, so memoize
         self._cache: dict[str, tuple[bool, str | None]] = {}
         self._cache_size = cache_size
+        #: document-level events from the last ``recognize`` run
+        #: (worker crashes, pool fallbacks) — per-sentence events live
+        #: on the results themselves.
+        self.last_worker_events: tuple[DegradationEvent, ...] = ()
 
     # -- single sentence ----------------------------------------------------
 
-    def classify(self, text: str) -> tuple[bool, str | None]:
-        """Classify one sentence; returns (is_advising, selector name)."""
+    def classify_ex(self, text: str,
+                    sentence_index: int | None = None
+                    ) -> DegradedClassification:
+        """Classify one sentence through the degradation ladder."""
         cached = self._cache.get(text)
         if cached is not None:
-            return cached
+            return DegradedClassification(
+                is_advising=cached[0], selector=cached[1])
         analysis = self._analyzer.analyze(text)
-        outcome: tuple[bool, str | None] = (False, None)
-        for selector in self.selectors:
-            if selector.matches(analysis):
-                outcome = (True, selector.name)
-                break
-        if len(self._cache) < self._cache_size:
-            self._cache[text] = outcome
+        if self.degrade:
+            outcome = self._ladder.classify(
+                analysis, sentence_index=sentence_index)
+        else:
+            fired: str | None = None
+            for selector in self.selectors:
+                if selector.matches(analysis):
+                    fired = selector.name
+                    break
+            outcome = DegradedClassification(
+                is_advising=fired is not None, selector=fired)
+        # only clean classifications are cacheable: a degraded outcome
+        # must not mask recovery on the next encounter of the text
+        if not outcome.degraded and not outcome.quarantined \
+                and len(self._cache) < self._cache_size:
+            self._cache[text] = (outcome.is_advising, outcome.selector)
         return outcome
+
+    def classify(self, text: str) -> tuple[bool, str | None]:
+        """Classify one sentence; returns (is_advising, selector name)."""
+        outcome = self.classify_ex(text)
+        return (outcome.is_advising, outcome.selector)
 
     def is_advising(self, text: str) -> bool:
         return self.classify(text)[0]
@@ -108,33 +166,124 @@ class AdvisingSentenceRecognizer:
 
     def recognize(self, document: Document) -> list[RecognitionResult]:
         """Classify every sentence of *document* (optionally parallel)."""
+        self.last_worker_events = ()
         sentences = document.sentences
+        if not sentences:   # nothing to do — never spin up a pool
+            return []
         texts = [s.text for s in sentences]
         if self.workers == 1 or len(texts) < 64:
-            outcomes = [self.classify(t) for t in texts]
+            outcomes = [self._classify_isolated(text, i)
+                        for i, text in enumerate(texts)]
         else:
             outcomes = self._recognize_parallel(texts)
         return [
-            RecognitionResult(sentence, advising, selector)
-            for sentence, (advising, selector) in zip(sentences, outcomes)
+            RecognitionResult(
+                sentence,
+                outcome.is_advising,
+                outcome.selector,
+                events=outcome.events,
+                quarantined=outcome.quarantined,
+                error=outcome.error,
+            )
+            for sentence, outcome in zip(sentences, outcomes)
         ]
+
+    def _classify_isolated(self, text: str,
+                           index: int) -> DegradedClassification:
+        """classify_ex with a last-resort quarantine wrapper, so one
+        pathological sentence can never kill a document pass."""
+        try:
+            return self.classify_ex(text, sentence_index=index)
+        except Exception as error:
+            if not self.degrade:
+                raise
+            logger.warning("quarantined sentence %d: %r", index, error)
+            return DegradedClassification(
+                is_advising=False, selector=None,
+                events=(DegradationEvent(
+                    layer="lexical", point="recognizer.classify",
+                    error=repr(error), sentence_index=index),),
+                quarantined=True, error=repr(error))
 
     def _recognize_parallel(
         self, texts: list[str]
-    ) -> list[tuple[bool, str | None]]:
+    ) -> list[DegradedClassification]:
         chunk = max(16, len(texts) // (self.workers * 4))
-        batches = [texts[i:i + chunk] for i in range(0, len(texts), chunk)]
-        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
-        with ctx.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(self.keywords,),
-        ) as pool:
-            results = pool.map(_classify_batch, batches)
-        out: list[tuple[bool, str | None]] = []
-        for batch in results:
-            out.extend(batch)
+        batches = [(i, texts[i:i + chunk])
+                   for i in range(0, len(texts), chunk)]
+        worker_events: list[DegradationEvent] = []
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:          # platform without fork
+            ctx = mp.get_context()
+        try:
+            pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.keywords,),
+            )
+        except Exception as error:
+            logger.warning("worker pool unavailable (%r); running "
+                           "Stage I serially", error)
+            worker_events.append(DegradationEvent(
+                layer="worker", point="recognizer.pool", error=repr(error)))
+            self.last_worker_events = tuple(worker_events)
+            return [self._classify_isolated(t, i)
+                    for i, t in enumerate(texts)]
+
+        # Retry re-dispatches a failed batch to the pool with backoff;
+        # the breaker stops hammering a pool that keeps dying and
+        # routes the remaining batches inline instead.
+        retry = Retry(max_attempts=self.max_retries + 1,
+                      base_delay=0.01, max_delay=0.25,
+                      retry_on=(Exception,))
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=60.0)
+        out: list[DegradedClassification] = []
+        try:
+            for batch in batches:
+                out.extend(self._run_batch(
+                    pool, batch, retry, breaker, worker_events))
+        finally:
+            pool.terminate()
+            pool.join()
+        self.last_worker_events = tuple(worker_events)
         return out
+
+    def _run_batch(
+        self,
+        pool,
+        batch: tuple[int, list[str]],
+        retry: Retry,
+        breaker: CircuitBreaker,
+        worker_events: list[DegradationEvent],
+    ) -> list[DegradedClassification]:
+        offset, texts = batch
+
+        def dispatch() -> list[DegradedClassification]:
+            try:
+                fault_point("recognizer.dispatch")
+                async_result = pool.apply_async(_classify_batch, (batch,))
+                return async_result.get(timeout=self.batch_timeout_s)
+            except Exception as error:
+                # every crash/hang is recorded, even ones a retry heals
+                worker_events.append(DegradationEvent(
+                    layer="worker", point="recognizer.dispatch",
+                    error=repr(error), sentence_index=offset))
+                raise
+
+        if breaker.allow():
+            try:
+                return breaker.call(retry.call, dispatch)
+            except Exception as error:
+                if not self.degrade:
+                    raise
+                logger.warning(
+                    "batch at offset %d lost its worker (%r); "
+                    "re-executing inline", offset, error)
+        # inline re-execution of the lost batch (or of every batch once
+        # the breaker is open)
+        return [self._classify_isolated(text, offset + i)
+                for i, text in enumerate(texts)]
 
     def advising_sentences(self, document: Document) -> list[Sentence]:
         """Just the sentences recognized as advising."""
@@ -145,10 +294,19 @@ class AdvisingSentenceRecognizer:
     ) -> dict[str, int]:
         """Counts per firing selector plus totals (Table 7/8 inputs)."""
         counts: dict[str, int] = {"total": 0, "advising": 0}
+        degraded = quarantined = 0
         for result in results:
             counts["total"] += 1
+            if result.degraded:
+                degraded += 1
+            if result.quarantined:
+                quarantined += 1
             if result.is_advising:
                 counts["advising"] += 1
                 assert result.selector is not None
                 counts[result.selector] = counts.get(result.selector, 0) + 1
+        if degraded:
+            counts["degraded"] = degraded
+        if quarantined:
+            counts["quarantined"] = quarantined
         return counts

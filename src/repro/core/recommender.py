@@ -17,6 +17,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.docs.document import Document, Sentence
+from repro.resilience.faults import fault_point
 from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
 from repro.textproc.normalize import NormalizationPipeline
 
@@ -64,6 +65,7 @@ class KnowledgeRecommender:
 
         An empty list means "No relevant sentences found" (§4.1).
         """
+        fault_point("recommend")
         query_terms = frozenset(self._normalizer(query))
         return [
             Recommendation(

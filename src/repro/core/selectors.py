@@ -35,6 +35,11 @@ class Selector(ABC):
     #: short identifier used in reports and the Table 8 benchmark
     name: str = "selector"
 
+    #: deepest NLP layer the rule consumes ("lexical" | "syntax" |
+    #: "srl") — the degradation ladder uses it to attribute failures
+    #: and pick the surviving rung.
+    layer: str = "syntax"
+
     @abstractmethod
     def matches(self, analysis: SentenceAnalysis) -> bool:
         """True if the sentence satisfies this selector's rule."""
@@ -51,6 +56,7 @@ class KeywordSelector(Selector):
     """
 
     name = "keyword"
+    layer = "lexical"
 
     def __init__(self, keywords: KeywordConfig | None = None,
                  words: frozenset[str] | None = None) -> None:
@@ -152,6 +158,7 @@ class PurposeSelector(Selector):
     """Rule #5 — purpose clause whose predicate is a key predicate."""
 
     name = "purpose"
+    layer = "srl"
 
     def __init__(self, keywords: KeywordConfig | None = None) -> None:
         self._predicates = (keywords or KeywordConfig()).key_predicates

@@ -117,6 +117,9 @@ class HTMLDocumentLoader:
     """Load an HTML string or file into a :class:`Document`."""
 
     def load(self, html: str, title: str | None = None) -> Document:
+        from repro.resilience.faults import fault_point
+
+        fault_point("loader.html")
         parser = _GuideHTMLParser()
         parser.feed(html)
         parser.close()

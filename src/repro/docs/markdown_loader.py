@@ -26,6 +26,9 @@ class MarkdownDocumentLoader:
         self._tokenizer = SentenceTokenizer()
 
     def load(self, text: str, title: str | None = None) -> Document:
+        from repro.resilience.faults import fault_point
+
+        fault_point("loader.markdown")
         root_sections: list[Section] = []
         stack: list[Section] = []
         doc_title = title or "untitled"

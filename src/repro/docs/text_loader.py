@@ -46,6 +46,9 @@ class TextDocumentLoader:
         self._tokenizer = SentenceTokenizer()
 
     def load(self, text: str, title: str | None = None) -> Document:
+        from repro.resilience.faults import fault_point
+
+        fault_point("loader.text")
         root_sections: list[Section] = []
         stack: list[Section] = []
         paragraph: list[str] = []

@@ -22,7 +22,11 @@ from repro.profiler.generator import (
     generate_report,
     case_study_report,
 )
-from repro.profiler.parser import NVVPReportParser, extract_issues
+from repro.profiler.parser import (
+    NVVPReportParser,
+    ReportParseError,
+    extract_issues,
+)
 from repro.profiler.perf_report import HotSpot, PerfReportParser
 from repro.profiler.gpu_model import GPUDevice, GPUKernelModel, OPTIMIZATIONS
 
@@ -34,6 +38,7 @@ __all__ = [
     "generate_report",
     "case_study_report",
     "NVVPReportParser",
+    "ReportParseError",
     "extract_issues",
     "HotSpot",
     "PerfReportParser",

@@ -17,6 +17,15 @@ _OPTIMIZATION_LINE = re.compile(r"^Optimization:\s*(?P<title>.+?)\s*$")
 _SECTION_LINE = re.compile(r"^Section:\s*(?P<name>.+?)\s*$")
 
 
+class ReportParseError(ValueError):
+    """The report text is not a parseable NVVP report.
+
+    Raised instead of letting ``IndexError``/``KeyError``/``TypeError``
+    escape on malformed input, so callers (the web upload path, the
+    CLI ``report`` subcommand) can map it to a clean 400-style error.
+    """
+
+
 class NVVPReportParser:
     """Extract performance issues from NVVP report text."""
 
@@ -25,7 +34,14 @@ class NVVPReportParser:
 
         The description is the indented text following the marker line,
         up to the next marker, section header or blank-line boundary.
+        Raises :class:`ReportParseError` on non-text or binary input
+        and on marker lines without a title.
         """
+        if not isinstance(text, str):
+            raise ReportParseError(
+                f"report must be text, got {type(text).__name__}")
+        if "\x00" in text:
+            raise ReportParseError("report contains binary data")
         issues: list[PerformanceIssue] = []
         title: str | None = None
         description: list[str] = []
@@ -37,10 +53,14 @@ class NVVPReportParser:
                     PerformanceIssue(title, " ".join(description).strip()))
             title, description = None, []
 
-        for line in text.splitlines():
-            marker = _OPTIMIZATION_LINE.match(line.strip()) \
-                if line.strip().startswith("Optimization:") else None
-            if marker:
+        for number, line in enumerate(text.splitlines(), start=1):
+            stripped_line = line.strip()
+            if stripped_line.startswith("Optimization:"):
+                marker = _OPTIMIZATION_LINE.match(stripped_line)
+                if marker is None:
+                    raise ReportParseError(
+                        f"line {number}: 'Optimization:' marker "
+                        "without a title")
                 flush()
                 title = marker.group("title")
                 continue

@@ -1,0 +1,68 @@
+"""Resilience layer: fault injection, retry/deadline/breaker policies,
+and graceful NLP degradation.
+
+Deployed advising tools face failure modes the paper's evaluation never
+exercises: a pathological sentence that crashes one NLP layer, a hung
+or dead multiprocessing worker, an oversized upload, a slow request.
+This package gives the reproduction the same fault-tolerance footing
+that production HPC-support NLP systems treat as a first-class
+requirement:
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable
+  fault-injection harness (chaos testing for the pipeline);
+* :mod:`repro.resilience.policy` — composable ``Retry``, ``Deadline``
+  and ``CircuitBreaker`` primitives;
+* :mod:`repro.resilience.degrade` — the selector-cascade degradation
+  ladder (full keyword+syntax+SRL → keyword+syntax → keyword-only)
+  plus the :class:`DegradationEvent` records carried on results.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.degrade import (
+    DegradationEvent,
+    DegradationLadder,
+    DegradedClassification,
+    LADDER_RUNGS,
+    summarize_events,
+)
+from repro.resilience.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active_injector,
+    fault_point,
+    inject,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    PolicyError,
+    Retry,
+    RetryExhausted,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationEvent",
+    "DegradationLadder",
+    "DegradedClassification",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LADDER_RUNGS",
+    "PolicyError",
+    "Retry",
+    "RetryExhausted",
+    "active_injector",
+    "fault_point",
+    "inject",
+    "summarize_events",
+]

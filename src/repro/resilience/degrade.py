@@ -1,0 +1,148 @@
+"""Graceful degradation of the selector cascade.
+
+The five selectors consume three NLP layers (paper §3.1): the keyword
+selector needs only tokens/stems (*lexical*), the three syntactic
+selectors need the dependency parse (*syntax*), and the purpose
+selector needs semantic role labeling (*srl*).  When a layer fails on
+a sentence — a crash in the parser, an injected fault, a pathological
+input — the ladder falls back to the selectors whose layers still
+work:
+
+    full (keyword+syntax+srl)  →  keyword+syntax  →  keyword  →  quarantine
+
+so a failing NLP layer yields a best-effort classification tagged with
+:class:`DegradationEvent` records instead of an exception.  A sentence
+is *quarantined* only when every selector fails — i.e. not even the
+lexical layer could run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:   # type-only: keeps repro.resilience importable from
+    # inside repro.core without a circular import
+    from repro.core.analysis import SentenceAnalysis
+    from repro.core.selectors import Selector
+
+#: NLP layer order, shallow to deep.
+LAYERS = ("lexical", "syntax", "srl")
+
+#: human-readable rung names, most to least capable.
+LADDER_RUNGS = ("keyword+syntax+srl", "keyword+syntax", "keyword", "none")
+
+_LAYER_LABEL = {"lexical": "keyword", "syntax": "syntax", "srl": "srl"}
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded fallback: which layer failed, where, and why.
+
+    Instances are small, frozen and picklable so they travel from
+    multiprocessing workers back to the parent and out through the web
+    API's JSON views.
+    """
+
+    layer: str                    # "lexical" | "syntax" | "srl" | other
+    point: str                    # e.g. "selector.purpose", "recognizer.dispatch"
+    error: str                    # repr of the underlying exception
+    sentence_index: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "point": self.point,
+            "error": self.error,
+            "sentence_index": self.sentence_index,
+        }
+
+
+@dataclass(frozen=True)
+class DegradedClassification:
+    """Outcome of classifying one sentence through the ladder."""
+
+    is_advising: bool
+    selector: str | None
+    events: tuple[DegradationEvent, ...] = ()
+    quarantined: bool = False
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def rung(self) -> str:
+        """The ladder rung that produced this classification."""
+        if self.quarantined:
+            return "none"
+        failed = {event.layer for event in self.events}
+        surviving = [_LAYER_LABEL[layer] for layer in LAYERS
+                     if layer not in failed]
+        return "+".join(surviving) if surviving else "none"
+
+
+def selector_layer(selector: "Selector") -> str:
+    """The NLP layer a selector depends on (declared on the class)."""
+    return getattr(selector, "layer", "syntax")
+
+
+class DegradationLadder:
+    """Runs a selector cascade with per-layer fallback.
+
+    Every selector is attempted in cascade order; a selector that
+    raises is recorded as a :class:`DegradationEvent` for its layer and
+    the cascade continues with the remaining selectors, so the deepest
+    surviving rung still decides the sentence.
+    """
+
+    def __init__(self, selectors: Sequence["Selector"]) -> None:
+        self.selectors = list(selectors)
+
+    def classify(self, analysis: "SentenceAnalysis",
+                 sentence_index: int | None = None
+                 ) -> DegradedClassification:
+        events: list[DegradationEvent] = []
+        failed_layers: set[str] = set()
+        completed = 0
+        first_error: str | None = None
+        fired: str | None = None
+        for selector in self.selectors:
+            try:
+                matched = selector.matches(analysis)
+            except Exception as error:
+                layer = selector_layer(selector)
+                if first_error is None:
+                    first_error = repr(error)
+                if layer not in failed_layers:
+                    failed_layers.add(layer)
+                    events.append(DegradationEvent(
+                        layer=layer,
+                        point=f"selector.{selector.name}",
+                        error=repr(error),
+                        sentence_index=sentence_index,
+                    ))
+                continue
+            completed += 1
+            if matched:
+                fired = selector.name
+                break
+        if completed == 0:
+            return DegradedClassification(
+                is_advising=False, selector=None, events=tuple(events),
+                quarantined=True, error=first_error)
+        return DegradedClassification(
+            is_advising=fired is not None, selector=fired,
+            events=tuple(events), quarantined=False, error=None)
+
+
+def summarize_events(
+    events: Sequence[DegradationEvent],
+) -> dict[str, int]:
+    """Per-layer event counts (the /healthz degradation counters)."""
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.layer] = counts.get(event.layer, 0) + 1
+    return counts

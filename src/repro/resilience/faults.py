@@ -1,0 +1,272 @@
+"""Deterministic, seedable fault injection for the Egeria pipeline.
+
+The pipeline exposes *fault points* — named hooks placed at the layer
+boundaries that matter operationally (tokenization, tagging/parsing,
+SRL, document loading, retrieval, worker dispatch).  In normal
+operation every hook is a near-free no-op.  Under an active
+:class:`FaultInjector` (installed with :func:`inject`), each hook
+consults the injector, which may add latency or raise an exception
+according to its :class:`FaultPlan`.
+
+Determinism: every fault point gets its own ``random.Random`` stream
+seeded from ``(plan.seed, point name)``, so whether the *k*-th check of
+a given point fires does not depend on how checks of other points
+interleave — the property that makes chaos runs reproducible across
+worker counts and batch orders.
+
+Well-known fault points::
+
+    analysis.tokenize    word tokenization     (lexical layer)
+    analysis.stem        stemming              (lexical layer)
+    analysis.parse       dependency parsing    (syntax layer)
+    analysis.srl         semantic role labeling (SRL layer)
+    loader.html / loader.markdown / loader.text   document loading
+    recommend            Stage II retrieval
+    recognizer.dispatch  per-batch worker dispatch (simulated crash)
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+class FaultError(RuntimeError):
+    """Default exception raised by an injected fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named fault point's failure behaviour.
+
+    ``probability`` is evaluated per check; ``after`` skips the first N
+    checks entirely (deterministic "fail later" faults); ``max_failures``
+    caps how many times the fault fires (``None`` = unlimited);
+    ``latency_s`` sleeps before the (possible) failure, so pure-latency
+    faults use ``probability=0.0`` with a positive latency.
+    """
+
+    point: str
+    probability: float = 1.0
+    exception: type[BaseException] = FaultError
+    latency_s: float = 0.0
+    max_failures: int | None = None
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+
+#: exception names accepted in JSON fault plans
+_EXCEPTION_NAMES: dict[str, type[BaseException]] = {
+    "FaultError": FaultError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+    "OSError": OSError,
+    "TimeoutError": TimeoutError,
+    "MemoryError": MemoryError,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seedable collection of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = "fault-plan"
+
+    def for_point(self, point: str) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.point == point)
+
+    @property
+    def points(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for spec in self.specs:
+            if spec.point not in seen:
+                seen.append(spec.point)
+        return tuple(seen)
+
+    # -- (de)serialization -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        unknown = set(data) - {"name", "seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        specs: list[FaultSpec] = []
+        for entry in data.get("faults", []):
+            bad = set(entry) - {"point", "probability", "exception",
+                                "latency_ms", "max_failures", "after"}
+            if bad:
+                raise ValueError(f"unknown fault keys: {sorted(bad)}")
+            if "point" not in entry:
+                raise ValueError("every fault needs a 'point'")
+            exc_name = entry.get("exception", "FaultError")
+            if exc_name not in _EXCEPTION_NAMES:
+                raise ValueError(
+                    f"unknown exception {exc_name!r}; expected one of "
+                    f"{sorted(_EXCEPTION_NAMES)}")
+            specs.append(FaultSpec(
+                point=str(entry["point"]),
+                probability=float(entry.get("probability", 1.0)),
+                exception=_EXCEPTION_NAMES[exc_name],
+                latency_s=float(entry.get("latency_ms", 0)) / 1000.0,
+                max_failures=(None if entry.get("max_failures") is None
+                              else int(entry["max_failures"])),
+                after=int(entry.get("after", 0)),
+            ))
+        return cls(specs=tuple(specs), seed=int(data.get("seed", 0)),
+                   name=str(data.get("name", "fault-plan")))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [
+                {
+                    "point": s.point,
+                    "probability": s.probability,
+                    "exception": s.exception.__name__,
+                    "latency_ms": s.latency_s * 1000.0,
+                    "max_failures": s.max_failures,
+                    "after": s.after,
+                }
+                for s in self.specs
+            ],
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against named fault points."""
+
+    def __init__(self, plan: FaultPlan,
+                 sleep=time.sleep) -> None:
+        self.plan = plan
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self.checks: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+
+    def _rng(self, point: str) -> random.Random:
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = random.Random(f"{self.plan.seed}:{point}")
+            self._rngs[point] = rng
+        return rng
+
+    def check(self, point: str) -> None:
+        """Evaluate *point*; sleeps/raises per the plan."""
+        specs = self.plan.for_point(point)
+        if not specs:
+            return
+        with self._lock:
+            count = self.checks.get(point, 0)
+            self.checks[point] = count + 1
+            rng = self._rng(point)
+            draws = [rng.random() for _ in specs]
+        for spec, draw in zip(specs, draws):
+            if count < spec.after:
+                continue
+            if spec.latency_s:
+                self._sleep(spec.latency_s)
+            if spec.probability <= 0.0:
+                continue
+            with self._lock:
+                fired = self.fired.get(point, 0)
+                if spec.max_failures is not None \
+                        and fired >= spec.max_failures:
+                    continue
+                if draw >= spec.probability:
+                    continue
+                self.fired[point] = fired + 1
+            raise spec.exception(
+                f"injected fault at {point!r} "
+                f"(check #{count}, plan {self.plan.name!r})")
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-point check/fire counters (for /healthz and reports)."""
+        with self._lock:
+            return {
+                point: {"checks": self.checks.get(point, 0),
+                        "fired": self.fired.get(point, 0)}
+                for point in sorted(set(self.checks) | set(self.fired))
+            }
+
+
+# -- the process-wide active injector --------------------------------------
+#
+# A module-level slot rather than a context variable: the recognizer's
+# fork-based worker pool inherits it at fork time, so faults planned in
+# the parent also fire inside workers.
+
+_ACTIVE: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The currently installed injector, if any."""
+    return _ACTIVE
+
+
+def fault_point(name: str) -> None:
+    """Hook placed in pipeline code; no-op unless an injector is active."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.check(name)
+
+
+@contextmanager
+def inject(plan_or_injector: FaultPlan | FaultInjector | None,
+           ) -> Iterator[FaultInjector | None]:
+    """Install an injector for the duration of the ``with`` block.
+
+    Accepts a plan (wrapped in a fresh injector), an injector, or
+    ``None`` (no-op — convenient for optional chaos paths).  Nested
+    installs restore the previous injector on exit.
+    """
+    global _ACTIVE
+    if plan_or_injector is None:
+        yield None
+        return
+    injector = (plan_or_injector
+                if isinstance(plan_or_injector, FaultInjector)
+                else FaultInjector(plan_or_injector))
+    previous = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def chaos_plan(srl_probability: float = 0.2,
+               worker_crashes: int = 1,
+               seed: int = 0) -> FaultPlan:
+    """The canned chaos plan used by ``make chaos`` and the acceptance
+    scenario: a fraction of SRL-layer failures plus simulated worker
+    crashes on batch dispatch."""
+    return FaultPlan(
+        name="canned-chaos",
+        seed=seed,
+        specs=(
+            FaultSpec(point="analysis.srl", probability=srl_probability),
+            FaultSpec(point="recognizer.dispatch", probability=1.0,
+                      max_failures=worker_crashes),
+        ),
+    )

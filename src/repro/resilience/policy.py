@@ -1,0 +1,214 @@
+"""Composable resilience policies: retry, deadline, circuit breaker.
+
+All three primitives take their clock/sleep/rng as injectable
+callables so tests drive them with fake time — no real sleeping in the
+test suite — and so the recognizer can share one deterministic RNG
+across a chaos run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable, Iterator
+
+
+class PolicyError(RuntimeError):
+    """Base class for policy-raised errors."""
+
+
+class RetryExhausted(PolicyError):
+    """All retry attempts failed; ``last`` is the final exception."""
+
+    def __init__(self, message: str, last: BaseException) -> None:
+        super().__init__(message)
+        self.last = last
+
+
+class DeadlineExceeded(PolicyError):
+    """A time budget ran out."""
+
+
+class CircuitOpenError(PolicyError):
+    """The circuit breaker is open; the call was not attempted."""
+
+
+class Retry:
+    """Exponential backoff with jitter and an exception allowlist.
+
+    ``max_attempts`` counts the first try: ``Retry(max_attempts=3)``
+    runs the callable at most three times.  Delay before attempt *k*
+    (k >= 1) is ``min(max_delay, base_delay * multiplier**(k-1))``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        jitter: float = 0.5,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number *attempt* (1-based), jittered."""
+        raw = min(self.max_delay,
+                  self.base_delay * (self.multiplier ** (attempt - 1)))
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, raw)
+
+    def delays(self) -> Iterator[float]:
+        """The jittered delay sequence (one per retry)."""
+        for attempt in range(1, self.max_attempts):
+            yield self.backoff(attempt)
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run *fn*, retrying allowlisted exceptions with backoff.
+
+        Raises :class:`RetryExhausted` (chaining the last error) when
+        every attempt fails; non-allowlisted exceptions propagate
+        immediately.
+        """
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on as error:
+                last = error
+                if attempt == self.max_attempts:
+                    break
+                self._sleep(self.backoff(attempt))
+        assert last is not None
+        raise RetryExhausted(
+            f"{fn!r} failed after {self.max_attempts} attempts: {last}",
+            last) from last
+
+
+class Deadline:
+    """A monotonic time budget shared across pipeline steps.
+
+    Created at the start of a unit of work (one web request, one
+    document build); long-running loops call :meth:`check` between
+    steps.  ``budget_s=None`` means unlimited (every check passes).
+    """
+
+    def __init__(self, budget_s: float | None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError("budget_s must be positive (or None)")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._started = clock()
+
+    @classmethod
+    def from_ms(cls, budget_ms: float | None,
+                clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(None if budget_ms is None else budget_ms / 1000.0,
+                   clock=clock)
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, label: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            where = f" at {label}" if label else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:.3f}s exceeded{where} "
+                f"({self.elapsed():.3f}s elapsed)")
+
+
+class CircuitBreaker:
+    """Classic three-state breaker guarding a flaky dependency.
+
+    CLOSED → (``failure_threshold`` consecutive failures) → OPEN →
+    (``recovery_time`` elapses) → HALF_OPEN → one probe call: success
+    closes the circuit, failure reopens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5,
+                 recovery_time: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        if self._state == self.OPEN and \
+                self._clock() - self._opened_at >= self.recovery_time:
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?"""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run *fn* through the breaker.
+
+        Raises :class:`CircuitOpenError` without calling when open.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open ({self.recovery_time:.1f}s recovery)")
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

@@ -10,22 +10,34 @@ Routes (mirroring the artifact's web UI):
   multipart form with a ``report`` file field); responds with the
   answer pages for every extracted issue;
 * ``GET /api/query?q=...`` — JSON answers for programmatic use;
-* ``GET /health`` — liveness probe.
+* ``GET /health`` — liveness probe;
+* ``GET /healthz`` — readiness/diagnostics: advisor stats, degradation
+  counters, request counters.
 
 The application object is a standard WSGI callable, so it runs under
 any WSGI server (the bundled :func:`repro.web.server.serve`, gunicorn,
 etc.) and is unit-testable by direct invocation.
+
+Hardening: request bodies are capped (413 on oversize), every request
+runs under a deadline budget (503 on expiry), malformed bodies and
+multipart payloads yield structured JSON 400s, and no handler ever
+leaks a raw traceback — unexpected errors become JSON 500s.
 """
 
 from __future__ import annotations
 
-import html as _html
 import json
+import logging
 import re
 from urllib.parse import parse_qs
 
-from repro.core.advisor import AdvisingTool, Answer
+from repro.core.advisor import AdvisingTool
+from repro.core.config import DEFAULT_DEADLINE_MS, DEFAULT_MAX_BODY_BYTES
 from repro.core.render import render_answer, render_summary
+from repro.resilience.faults import active_injector
+from repro.resilience.policy import Deadline, DeadlineExceeded
+
+logger = logging.getLogger("repro.web.app")
 
 _SEARCH_FORM = """
 <form action="/query" method="get" style="margin:1em 0">
@@ -40,18 +52,48 @@ _SEARCH_FORM = """
 """
 
 
+class HTTPError(Exception):
+    """A handler-raised error rendered as a structured JSON response."""
+
+    def __init__(self, status: str, message: str, **detail) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.detail = detail
+
+
+class MultipartError(ValueError):
+    """The multipart/form-data body could not be parsed."""
+
+
 class AdvisorApp:
     """WSGI app wrapping one :class:`AdvisingTool`."""
 
-    def __init__(self, advisor: AdvisingTool) -> None:
+    def __init__(
+        self,
+        advisor: AdvisingTool,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
+    ) -> None:
         self.advisor = advisor
+        self.max_body_bytes = max_body_bytes
+        self.request_deadline_s = request_deadline_s
         self._summary_html: str | None = None
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "errors": 0,
+            "rejected_payloads": 0,
+            "deadline_expired": 0,
+            "degraded_answers": 0,
+        }
 
     # -- WSGI entry point -----------------------------------------------
 
     def __call__(self, environ, start_response):
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
+        self.counters["requests"] += 1
+        deadline = Deadline(self.request_deadline_s)
         try:
             if path == "/" and method == "GET":
                 return self._respond(start_response, self.summary_page())
@@ -60,18 +102,29 @@ class AdvisorApp:
             if path == "/api/query" and method == "GET":
                 return self._api_query(environ, start_response)
             if path == "/upload" and method == "POST":
-                return self._upload(environ, start_response)
+                return self._upload(environ, start_response, deadline)
             if path == "/health" and method == "GET":
                 return self._respond(start_response, '{"status": "ok"}',
                                      content_type="application/json")
-            return self._respond(start_response, "not found",
-                                 status="404 Not Found",
-                                 content_type="text/plain")
-        except Exception as error:  # pragma: no cover - defensive
-            return self._respond(
-                start_response, f"internal error: {error}",
-                status="500 Internal Server Error",
-                content_type="text/plain")
+            if path == "/healthz" and method == "GET":
+                return self._healthz(start_response)
+            raise HTTPError("404 Not Found", f"no route for {path}")
+        except HTTPError as error:
+            if error.status.startswith("413"):
+                self.counters["rejected_payloads"] += 1
+            return self._json_error(start_response, error.status,
+                                    error.message, **error.detail)
+        except DeadlineExceeded as error:
+            self.counters["deadline_expired"] += 1
+            return self._json_error(
+                start_response, "503 Service Unavailable", str(error))
+        except Exception as error:
+            # never leak a traceback to the client; log it server-side
+            self.counters["errors"] += 1
+            logger.exception("unhandled error serving %s %s", method, path)
+            return self._json_error(
+                start_response, "500 Internal Server Error",
+                "internal error", type=type(error).__name__)
 
     # -- handlers -----------------------------------------------------------
 
@@ -82,45 +135,79 @@ class AdvisorApp:
                 "<h1>", _SEARCH_FORM + "<h1>", 1)
         return self._summary_html
 
+    def _answer(self, query: str):
+        answer = self.advisor.query(query)
+        if answer.degraded:
+            self.counters["degraded_answers"] += 1
+        return answer
+
     def _query(self, environ, start_response):
         query = self._query_param(environ, "q")
         if not query:
-            return self._respond(start_response,
-                                 "missing query parameter 'q'",
-                                 status="400 Bad Request",
-                                 content_type="text/plain")
-        answer = self.advisor.query(query)
+            raise HTTPError("400 Bad Request",
+                            "missing query parameter 'q'")
+        answer = self._answer(query)
         return self._respond(start_response,
                              render_answer(self.advisor, answer))
 
     def _api_query(self, environ, start_response):
         query = self._query_param(environ, "q")
         if not query:
-            return self._respond(start_response,
-                                 json.dumps({"error": "missing 'q'"}),
-                                 status="400 Bad Request",
-                                 content_type="application/json")
-        answer = self.advisor.query(query)
+            raise HTTPError("400 Bad Request",
+                            "missing query parameter 'q'")
+        answer = self._answer(query)
         return self._respond(start_response, json.dumps(answer.to_dict()),
                              content_type="application/json")
 
-    def _upload(self, environ, start_response):
+    def _upload(self, environ, start_response, deadline: Deadline):
         body = self._read_body(environ)
         content_type = environ.get("CONTENT_TYPE", "")
         if content_type.startswith("multipart/form-data"):
-            body = _extract_multipart_file(body, content_type) or b""
+            try:
+                body = _extract_multipart_file(body, content_type)
+            except MultipartError as error:
+                raise HTTPError("400 Bad Request",
+                                f"malformed multipart body: {error}")
+        deadline.check("upload.parse")
         if body.startswith(b"%PDF"):
-            answers = self.advisor.query_report_pdf(body)
+            try:
+                answers = self.advisor.query_report_pdf(body)
+            except Exception as error:
+                raise HTTPError("400 Bad Request",
+                                "could not parse PDF report",
+                                type=type(error).__name__)
         else:
-            answers = self.advisor.query_report(
-                body.decode("utf-8", errors="replace"))
+            try:
+                answers = self.advisor.query_report(
+                    body.decode("utf-8", errors="replace"))
+            except Exception as error:
+                raise HTTPError("400 Bad Request",
+                                "could not parse report",
+                                type=type(error).__name__)
         if not answers:
             return self._respond(
                 start_response,
                 "<p>No performance issues found in the report.</p>")
-        pages = [render_answer(self.advisor, answer) for answer in answers]
+        pages = []
+        for answer in answers:
+            deadline.check("upload.answer")
+            if answer.degraded:
+                self.counters["degraded_answers"] += 1
+            pages.append(render_answer(self.advisor, answer))
         combined = "\n<hr>\n".join(pages)
         return self._respond(start_response, combined)
+
+    def _healthz(self, start_response):
+        payload = self.advisor.health()
+        payload["requests"] = dict(self.counters)
+        injector = active_injector()
+        if injector is not None:
+            payload["fault_injection"] = {
+                "plan": injector.plan.name,
+                "points": injector.stats(),
+            }
+        return self._respond(start_response, json.dumps(payload),
+                             content_type="application/json")
 
     # -- helpers --------------------------------------------------------------
 
@@ -130,14 +217,41 @@ class AdvisorApp:
         values = params.get(name, [])
         return values[0].strip() if values else ""
 
-    @staticmethod
-    def _read_body(environ) -> bytes:
+    def _read_body(self, environ) -> bytes:
+        """Read the request body, enforcing presence, size and
+        completeness of ``Content-Length``."""
+        raw_length = environ.get("CONTENT_LENGTH")
+        if raw_length in (None, ""):
+            raise HTTPError("400 Bad Request",
+                            "missing Content-Length header")
         try:
-            length = int(environ.get("CONTENT_LENGTH") or 0)
-        except ValueError:
-            length = 0
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise HTTPError("400 Bad Request",
+                            f"invalid Content-Length: {raw_length!r}")
+        if length < 0:
+            raise HTTPError("400 Bad Request",
+                            "negative Content-Length")
+        if length > self.max_body_bytes:
+            raise HTTPError(
+                "413 Payload Too Large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+                limit_bytes=self.max_body_bytes)
         stream = environ.get("wsgi.input")
-        return stream.read(length) if (stream and length) else b""
+        if stream is None or length == 0:
+            return b""
+        try:
+            data = stream.read(length)
+        except Exception:
+            raise HTTPError("400 Bad Request",
+                            "could not read request body")
+        if len(data) < length:
+            raise HTTPError(
+                "400 Bad Request",
+                f"truncated request body: got {len(data)} of "
+                f"{length} bytes")
+        return data
 
     @staticmethod
     def _respond(start_response, body: str, status: str = "200 OK",
@@ -149,14 +263,31 @@ class AdvisorApp:
         ])
         return [data]
 
+    def _json_error(self, start_response, status: str, message: str,
+                    **detail):
+        payload: dict = {"error": {"status": status, "message": message}}
+        if detail:
+            payload["error"].update(detail)
+        return self._respond(start_response, json.dumps(payload),
+                             status=status,
+                             content_type="application/json")
 
-def _extract_multipart_file(body: bytes, content_type: str) -> bytes | None:
-    """Pull the first file payload out of a multipart/form-data body."""
+
+def _extract_multipart_file(body: bytes, content_type: str) -> bytes:
+    """Pull the first file payload out of a multipart/form-data body.
+
+    Raises :class:`MultipartError` on a missing boundary declaration,
+    a body that does not contain the boundary, or the absence of any
+    file part — truncated uploads surface as a 400, never a 500.
+    """
     match = re.search(r'boundary="?([^";,\s]+)"?', content_type)
     if match is None:
-        return None
-    boundary = b"--" + match.group(1).encode("ascii")
-    for part in body.split(boundary):
+        raise MultipartError("no boundary in Content-Type")
+    boundary = b"--" + match.group(1).encode("ascii", errors="replace")
+    parts = body.split(boundary)
+    if len(parts) < 2:
+        raise MultipartError("boundary never appears in body")
+    for part in parts:
         header_end = part.find(b"\r\n\r\n")
         if header_end < 0:
             continue
@@ -165,4 +296,4 @@ def _extract_multipart_file(body: bytes, content_type: str) -> bytes | None:
             continue
         payload = part[header_end + 4:]
         return payload.rstrip(b"\r\n-")
-    return None
+    raise MultipartError("no file part in multipart body")

@@ -3,36 +3,69 @@
 Equivalent to the artifact's ``./run.sh`` (which launched the Flask
 app under Gunicorn with a configurable host/port): builds the advisor
 once, then serves it.
+
+Hardening over the stock ``wsgiref`` server: per-connection socket
+timeouts (a stalled client cannot wedge the process), access/error
+lines routed through :mod:`logging` instead of raw stderr, and the
+app-level payload cap and request deadline are configurable here.
 """
 
 from __future__ import annotations
 
-from wsgiref.simple_server import WSGIServer, make_server
+import logging
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.core.advisor import AdvisingTool
+from repro.core.config import DEFAULT_DEADLINE_MS, DEFAULT_MAX_BODY_BYTES
 from repro.web.app import AdvisorApp
+
+logger = logging.getLogger("repro.web.server")
+
+
+class HardenedRequestHandler(WSGIRequestHandler):
+    """Request handler with socket timeouts and quiet logging."""
+
+    #: seconds a connection may sit idle before being dropped
+    timeout = 30
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.info("%s - %s", self.address_string(), format % args)
+
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        logger.warning("%s - %s", self.address_string(), format % args)
 
 
 def serve(
     advisor: AdvisingTool,
     host: str = "127.0.0.1",
     port: int = 8000,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
 ) -> WSGIServer:
     """Create (but do not start) a WSGI server for *advisor*.
 
     Call ``serve_forever()`` on the returned server to run it, or
     ``handle_request()`` to process a single request (useful in
     tests).  Binding to port 0 picks a free port
-    (``server.server_port`` reports it).
+    (``server.server_port`` reports it).  The returned server's
+    ``.application`` is the :class:`AdvisorApp`, so its counters and
+    ``/healthz`` view are reachable from test code.
     """
-    app = AdvisorApp(advisor)
-    return make_server(host, port, app)
+    app = AdvisorApp(advisor, max_body_bytes=max_body_bytes,
+                     request_deadline_s=request_deadline_s)
+    return make_server(host, port, app,
+                       handler_class=HardenedRequestHandler)
 
 
 def run(advisor: AdvisingTool, host: str = "127.0.0.1",
-        port: int = 8000) -> None:  # pragma: no cover - interactive
+        port: int = 8000,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
+        ) -> None:  # pragma: no cover - interactive
     """Serve *advisor* until interrupted."""
-    server = serve(advisor, host, port)
+    server = serve(advisor, host, port,
+                   max_body_bytes=max_body_bytes,
+                   request_deadline_s=request_deadline_s)
     print(f"Serving {advisor.name!r} on http://{host}:{server.server_port}/")
     try:
         server.serve_forever()

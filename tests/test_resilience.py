@@ -1,0 +1,644 @@
+"""Resilience layer: policies, fault injection, degradation, hardening."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import Document, Egeria
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import Selector, default_selectors
+from repro.profiler.parser import NVVPReportParser, ReportParseError
+from repro.resilience.degrade import (
+    DegradationEvent,
+    DegradationLadder,
+    summarize_events,
+)
+from repro.resilience.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    chaos_plan,
+    fault_point,
+    inject,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    Retry,
+    RetryExhausted,
+)
+from repro.web.app import AdvisorApp
+
+
+class FakeClock:
+    """A manually advanced monotonic clock with a matching sleep."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- Retry ----------------------------------------------------------------
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self) -> None:
+        clock = FakeClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        retry = Retry(max_attempts=3, base_delay=0.1, jitter=0.0,
+                      sleep=clock.sleep)
+        assert retry.call(flaky) == "ok"
+        assert len(attempts) == 3
+        # exponential backoff without jitter: 0.1, then 0.2
+        assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_backoff_is_capped(self) -> None:
+        retry = Retry(max_attempts=10, base_delay=1.0, max_delay=3.0,
+                      jitter=0.0, sleep=lambda s: None)
+        assert [retry.backoff(k) for k in (1, 2, 3, 4)] == \
+            [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_stays_within_band(self) -> None:
+        import random
+
+        retry = Retry(max_attempts=2, base_delay=1.0, jitter=0.5,
+                      sleep=lambda s: None, rng=random.Random(7))
+        for _ in range(50):
+            assert 0.5 <= retry.backoff(1) <= 1.5
+
+    def test_exhaustion_raises_and_chains(self) -> None:
+        clock = FakeClock()
+        retry = Retry(max_attempts=2, base_delay=0.01, jitter=0.0,
+                      sleep=clock.sleep)
+
+        def always():
+            raise ValueError("nope")
+
+        with pytest.raises(RetryExhausted) as info:
+            retry.call(always)
+        assert isinstance(info.value.last, ValueError)
+        assert len(clock.sleeps) == 1   # one retry for two attempts
+
+    def test_non_allowlisted_exception_propagates(self) -> None:
+        retry = Retry(max_attempts=5, retry_on=(OSError,),
+                      sleep=lambda s: None)
+        calls = []
+
+        def typed():
+            calls.append(1)
+            raise KeyError("no retry for me")
+
+        with pytest.raises(KeyError):
+            retry.call(typed)
+        assert len(calls) == 1
+
+
+# -- Deadline --------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_expires_with_the_clock(self) -> None:
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        clock.advance(4.0)
+        deadline.check("still fine")
+        clock.advance(1.5)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded, match="render"):
+            deadline.check("render")
+
+    def test_unlimited_budget_never_expires(self) -> None:
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        deadline.check()
+        assert deadline.remaining() == float("inf")
+
+    def test_from_ms(self) -> None:
+        clock = FakeClock()
+        deadline = Deadline.from_ms(250, clock=clock)
+        assert deadline.budget_s == pytest.approx(0.25)
+
+
+# -- CircuitBreaker --------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_state_transitions(self) -> None:
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=10.0,
+                                 clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        # recovery window elapses -> half-open probe allowed
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self) -> None:
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_call_wraps_and_blocks(self) -> None:
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=60.0,
+                                 clock=clock)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never reached")
+
+
+# -- Fault injection -------------------------------------------------------
+
+
+class TestFaultInjection:
+    def test_noop_without_active_injector(self) -> None:
+        fault_point("analysis.srl")   # must not raise
+
+    def test_deterministic_under_fixed_seed(self) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="p", probability=0.3),), seed=42)
+
+        def firing_pattern() -> list[bool]:
+            pattern = []
+            with inject(plan):
+                for _ in range(200):
+                    try:
+                        fault_point("p")
+                        pattern.append(False)
+                    except FaultError:
+                        pattern.append(True)
+            return pattern
+
+        first, second = firing_pattern(), firing_pattern()
+        assert first == second
+        rate = sum(first) / len(first)
+        assert 0.2 < rate < 0.4
+
+    def test_per_point_streams_are_independent(self) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="a", probability=0.5),
+            FaultSpec(point="b", probability=0.5)), seed=1)
+
+        def stream(order: list[str]) -> dict[str, list[bool]]:
+            fired: dict[str, list[bool]] = {"a": [], "b": []}
+            with inject(plan):
+                for point in order:
+                    try:
+                        fault_point(point)
+                        fired[point].append(False)
+                    except FaultError:
+                        fired[point].append(True)
+            return fired
+
+        interleaved = stream(["a", "b"] * 50)
+        grouped = stream(["a"] * 50 + ["b"] * 50)
+        assert interleaved == grouped
+
+    def test_max_failures_and_after(self) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="crash", probability=1.0,
+                      max_failures=2, after=1),), seed=0)
+        outcomes = []
+        with inject(plan) as injector:
+            for _ in range(6):
+                try:
+                    fault_point("crash")
+                    outcomes.append("ok")
+                except FaultError:
+                    outcomes.append("boom")
+        assert outcomes == ["ok", "boom", "boom", "ok", "ok", "ok"]
+        assert injector.stats()["crash"] == {"checks": 6, "fired": 2}
+
+    def test_latency_injection(self) -> None:
+        sleeps: list[float] = []
+        plan = FaultPlan(specs=(
+            FaultSpec(point="slow", probability=0.0, latency_s=0.25),),)
+        injector = FaultInjector(plan, sleep=sleeps.append)
+        with inject(injector):
+            fault_point("slow")
+        assert sleeps == [0.25]
+
+    def test_plan_roundtrip_and_validation(self, tmp_path) -> None:
+        plan = chaos_plan()
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        loaded = FaultPlan.load(str(path))
+        assert loaded.points == plan.points
+        assert loaded.specs == plan.specs
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"fautls": []})
+        with pytest.raises(ValueError, match="unknown exception"):
+            FaultPlan.from_dict(
+                {"faults": [{"point": "p", "exception": "SystemExit"}]})
+
+    def test_nested_inject_restores_previous(self) -> None:
+        outer = FaultPlan(specs=(FaultSpec(point="x"),), name="outer")
+        inner = FaultPlan(specs=(), name="inner")
+        with inject(outer):
+            with inject(inner):
+                fault_point("x")   # inner plan has no faults
+            with pytest.raises(FaultError):
+                fault_point("x")   # outer restored
+
+
+# -- Degradation ladder ----------------------------------------------------
+
+
+class _Fires(Selector):
+    def __init__(self, name: str, layer: str, result: bool = False) -> None:
+        self.name = name
+        self.layer = layer
+        self.result = result
+
+    def matches(self, analysis) -> bool:
+        return self.result
+
+
+class _Boom(Selector):
+    def __init__(self, name: str, layer: str) -> None:
+        self.name = name
+        self.layer = layer
+
+    def matches(self, analysis) -> bool:
+        raise RuntimeError(f"{self.name} exploded")
+
+
+class TestDegradationLadder:
+    def test_full_rung_when_all_layers_work(self) -> None:
+        ladder = DegradationLadder([
+            _Fires("keyword", "lexical"),
+            _Fires("subject", "syntax", result=True)])
+        outcome = ladder.classify(analysis=None)
+        assert outcome.is_advising and outcome.selector == "subject"
+        assert not outcome.degraded and outcome.rung == "keyword+syntax+srl"
+
+    def test_srl_failure_degrades_to_keyword_syntax(self) -> None:
+        ladder = DegradationLadder([
+            _Fires("keyword", "lexical"),
+            _Fires("subject", "syntax"),
+            _Boom("purpose", "srl")])
+        outcome = ladder.classify(analysis=None, sentence_index=7)
+        assert not outcome.is_advising and not outcome.quarantined
+        assert outcome.rung == "keyword+syntax"
+        (event,) = outcome.events
+        assert event.layer == "srl"
+        assert event.point == "selector.purpose"
+        assert event.sentence_index == 7
+
+    def test_syntax_failure_degrades_to_keyword_only(self) -> None:
+        ladder = DegradationLadder([
+            _Fires("keyword", "lexical", result=True),
+            _Boom("comparative", "syntax"),
+            _Boom("purpose", "srl")])
+        outcome = ladder.classify(analysis=None)
+        # keyword fired first: cascade short-circuits before the booms
+        assert outcome.is_advising and outcome.rung == "keyword+syntax+srl"
+
+        ladder = DegradationLadder([
+            _Boom("comparative", "syntax"),
+            _Boom("imperative", "syntax"),
+            _Fires("keyword", "lexical", result=True)])
+        outcome = ladder.classify(analysis=None)
+        assert outcome.is_advising and outcome.selector == "keyword"
+        assert outcome.rung == "keyword+srl"
+        # one event per failed layer, not per failed selector
+        assert len(outcome.events) == 1
+
+    def test_quarantine_only_when_every_selector_fails(self) -> None:
+        ladder = DegradationLadder([
+            _Boom("keyword", "lexical"),
+            _Boom("subject", "syntax")])
+        outcome = ladder.classify(analysis=None, sentence_index=3)
+        assert outcome.quarantined and not outcome.is_advising
+        assert outcome.rung == "none"
+        assert outcome.error and "exploded" in outcome.error
+
+    def test_summarize_events(self) -> None:
+        events = [
+            DegradationEvent(layer="srl", point="p", error="e"),
+            DegradationEvent(layer="srl", point="p", error="e"),
+            DegradationEvent(layer="worker", point="d", error="e"),
+        ]
+        assert summarize_events(events) == {"srl": 2, "worker": 1}
+
+
+# -- Recognizer resilience -------------------------------------------------
+
+
+SENTENCES = [
+    "Use shared memory to reduce global memory traffic.",
+    "The programmer maps the data onto the accelerator.",
+    "The warp size is 32 threads.",
+    "Align data structures for better throughput.",
+]
+
+
+class TestRecognizerResilience:
+    def test_empty_document_returns_empty(self) -> None:
+        recognizer = AdvisingSentenceRecognizer(workers=4)
+        assert recognizer.recognize(Document.from_sentences([])) == []
+
+    def test_layer_fault_degrades_instead_of_raising(self) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="analysis.parse", probability=1.0),), seed=0)
+        recognizer = AdvisingSentenceRecognizer()
+        with inject(plan):
+            results = recognizer.recognize(
+                Document.from_sentences(SENTENCES))
+        assert len(results) == len(SENTENCES)
+        # keyword-layer sentences still classify on the bottom rung
+        by_text = {r.sentence.text: r for r in results}
+        keyworded = by_text[SENTENCES[0]]
+        assert keyworded.is_advising and keyworded.selector == "keyword"
+        # a syntax-only sentence degrades (no quarantine, events attached)
+        subject_only = by_text[SENTENCES[1]]
+        assert not subject_only.quarantined
+        assert subject_only.degraded
+        assert {e.layer for e in subject_only.events} == {"syntax", "srl"}
+
+    def test_quarantine_isolates_poison_sentence(self) -> None:
+        class Poison(Selector):
+            name = "poison"
+            layer = "lexical"
+
+            def matches(self, analysis):
+                if "poison" in analysis.text:
+                    raise RuntimeError("poisoned")
+                return False
+
+        recognizer = AdvisingSentenceRecognizer(selectors=[Poison()])
+        results = recognizer.recognize(Document.from_sentences(
+            ["fine sentence", "the poison pill", "another fine one"]))
+        statuses = [r.quarantined for r in results]
+        assert statuses == [False, True, False]
+        assert results[1].error and "poisoned" in results[1].error
+
+    def test_no_degrade_mode_propagates(self) -> None:
+        class Boom(Selector):
+            name = "boom"
+            layer = "lexical"
+
+            def matches(self, analysis):
+                raise RuntimeError("fail fast")
+
+        recognizer = AdvisingSentenceRecognizer(
+            selectors=[Boom()], degrade=False)
+        with pytest.raises(RuntimeError, match="fail fast"):
+            recognizer.recognize(Document.from_sentences(["x"]))
+
+    def test_worker_crash_recovers_inline(self) -> None:
+        texts = SENTENCES * 40   # enough to trigger the parallel path
+        document = Document.from_sentences(texts)
+        serial = AdvisingSentenceRecognizer().recognize(document)
+        plan = FaultPlan(specs=(
+            FaultSpec(point="recognizer.dispatch", probability=1.0,
+                      max_failures=1),), seed=0)
+        recognizer = AdvisingSentenceRecognizer(workers=2)
+        with inject(plan):
+            parallel = recognizer.recognize(document)
+        assert [r.is_advising for r in parallel] == \
+            [r.is_advising for r in serial]
+        assert recognizer.last_worker_events
+        assert recognizer.last_worker_events[0].layer == "worker"
+
+    def test_build_advisor_survives_chaos(self) -> None:
+        document = Document.from_sentences(SENTENCES * 20)
+        with inject(chaos_plan()):
+            advisor = Egeria(workers=2).build_advisor(document)
+        assert advisor.health()["status"] == "degraded"
+        assert advisor.degradation_events
+        assert not advisor.quarantined
+
+
+# -- Answer degradation ----------------------------------------------------
+
+
+class TestAnswerDegradation:
+    def test_retrieval_fault_degrades_answer(self) -> None:
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        plan = FaultPlan(specs=(
+            FaultSpec(point="recommend", probability=1.0),), seed=0)
+        with inject(plan):
+            answer = advisor.query("how to reduce memory traffic")
+        assert answer.degraded and not answer.found
+        assert answer.degraded_events[0].layer == "retrieval"
+        assert "degraded" in answer.message
+        payload = answer.to_dict()
+        assert payload["degraded"][0]["layer"] == "retrieval"
+        assert advisor.health()["degradation"]["answer_events"] == 1
+
+
+# -- Profiler parser -------------------------------------------------------
+
+
+class TestReportParseError:
+    def test_non_text_input(self) -> None:
+        with pytest.raises(ReportParseError, match="must be text"):
+            NVVPReportParser().extract_issues(b"%PDF binary")
+
+    def test_binary_garbage(self) -> None:
+        with pytest.raises(ReportParseError, match="binary"):
+            NVVPReportParser().extract_issues("Optimization: x\x00y")
+
+    def test_marker_without_title(self) -> None:
+        with pytest.raises(ReportParseError, match="without a title"):
+            NVVPReportParser().extract_issues(
+                "Section: Overview\nOptimization:\n")
+
+    def test_clean_report_still_parses(self) -> None:
+        issues = NVVPReportParser().extract_issues(
+            "Optimization: Divergent Branches\n  Reduce divergence.\n")
+        assert len(issues) == 1
+        assert issues[0].title == "Divergent Branches"
+
+
+# -- Hardened serving path -------------------------------------------------
+
+
+def call(app: AdvisorApp, method: str = "GET", path: str = "/",
+         query: str = "", body: bytes = b"", content_type: str = "",
+         content_length: str | None = "auto"):
+    environ = {
+        "REQUEST_METHOD": method,
+        "PATH_INFO": path,
+        "QUERY_STRING": query,
+        "CONTENT_TYPE": content_type,
+        "wsgi.input": io.BytesIO(body),
+    }
+    if content_length == "auto":
+        environ["CONTENT_LENGTH"] = str(len(body))
+    elif content_length is not None:
+        environ["CONTENT_LENGTH"] = content_length
+    captured: dict = {}
+
+    def start_response(status, headers):
+        captured["status"] = status
+        captured["headers"] = dict(headers)
+
+    chunks = app(environ, start_response)
+    return captured["status"], captured["headers"], \
+        b"".join(chunks).decode("utf-8")
+
+
+@pytest.fixture()
+def app() -> AdvisorApp:
+    advisor = Egeria().build_advisor(
+        Document.from_sentences(SENTENCES, title="Resilience Guide"))
+    return AdvisorApp(advisor)
+
+
+class TestHardenedServing:
+    def test_healthz_reports_counters(self, app) -> None:
+        call(app, query="q=shared+memory", path="/query")
+        status, headers, body = call(app, path="/healthz")
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["degradation"]["build_events"] == 0
+        assert payload["requests"]["requests"] == 2
+        assert payload["requests"]["errors"] == 0
+
+    def test_healthz_shows_degraded_build(self) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="analysis.parse", probability=1.0),), seed=0)
+        with inject(plan):
+            advisor = Egeria().build_advisor(
+                Document.from_sentences(SENTENCES))
+        app = AdvisorApp(advisor)
+        _, _, body = call(app, path="/healthz")
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["degradation"]["build_events"] > 0
+        assert payload["degradation"]["build_by_layer"]["syntax"] > 0
+
+    def test_oversized_upload_rejected_with_json(self, app) -> None:
+        app.max_body_bytes = 1024 * 1024
+        big = b"x" * (10 * 1024 * 1024)
+        status, headers, body = call(app, method="POST", path="/upload",
+                                     body=big, content_type="text/plain")
+        assert status.startswith("413")
+        payload = json.loads(body)
+        assert payload["error"]["limit_bytes"] == 1024 * 1024
+        assert "exceeds" in payload["error"]["message"]
+        assert app.counters["rejected_payloads"] == 1
+
+    def test_missing_content_length_is_400(self, app) -> None:
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=b"data", content_type="text/plain",
+                               content_length=None)
+        assert status == "400 Bad Request"
+        assert "Content-Length" in json.loads(body)["error"]["message"]
+
+    def test_invalid_content_length_is_400(self, app) -> None:
+        status, _, _ = call(app, method="POST", path="/upload",
+                            body=b"data", content_type="text/plain",
+                            content_length="banana")
+        assert status == "400 Bad Request"
+
+    def test_truncated_body_is_400(self, app) -> None:
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=b"short", content_type="text/plain",
+                               content_length="500")
+        assert status == "400 Bad Request"
+        assert "truncated" in json.loads(body)["error"]["message"]
+
+    def test_malformed_multipart_is_400(self, app) -> None:
+        status, _, body = call(
+            app, method="POST", path="/upload",
+            body=b"not multipart at all",
+            content_type="multipart/form-data; boundary=XYZ")
+        assert status == "400 Bad Request"
+        assert "multipart" in json.loads(body)["error"]["message"]
+
+    def test_multipart_without_boundary_is_400(self, app) -> None:
+        status, _, _ = call(app, method="POST", path="/upload",
+                            body=b"--x\r\n\r\ndata",
+                            content_type="multipart/form-data")
+        assert status == "400 Bad Request"
+
+    def test_unhandled_error_is_structured_500(self, app) -> None:
+        def explode(*args, **kwargs):
+            raise RuntimeError("secret internals")
+
+        app.advisor.query = explode
+        status, headers, body = call(app, path="/query",
+                                     query="q=anything")
+        assert status == "500 Internal Server Error"
+        payload = json.loads(body)
+        assert payload["error"]["type"] == "RuntimeError"
+        # the traceback/message must not leak
+        assert "secret internals" not in body
+        assert app.counters["errors"] == 1
+
+    def test_expired_deadline_is_503(self, app) -> None:
+        app.request_deadline_s = 1e-9
+        report = b"Optimization: Divergent Branches\n  fix it\n"
+        status, _, body = call(app, method="POST", path="/upload",
+                               body=report, content_type="text/plain")
+        assert status == "503 Service Unavailable"
+        assert "deadline" in json.loads(body)["error"]["message"]
+        assert app.counters["deadline_expired"] == 1
+
+    def test_degraded_answer_counted(self, app) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="recommend", probability=1.0),), seed=0)
+        with inject(plan):
+            status, _, body = call(app, path="/api/query",
+                                   query="q=memory+traffic")
+        assert status == "200 OK"
+        assert json.loads(body)["degraded"]
+        assert app.counters["degraded_answers"] == 1
+
+    def test_healthz_reports_fault_injection(self, app) -> None:
+        plan = FaultPlan(specs=(
+            FaultSpec(point="recommend", probability=1.0),), seed=0,
+            name="probe")
+        with inject(plan):
+            call(app, path="/api/query", query="q=memory")
+            _, _, body = call(app, path="/healthz")
+        payload = json.loads(body)
+        assert payload["fault_injection"]["plan"] == "probe"
+        assert payload["fault_injection"]["points"]["recommend"]["fired"] == 1

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Minimal CI for the Egeria reproduction.
+#
+#   tools/ci.sh            run the tier-1 suite, then chaos mode
+#   tools/ci.sh --fast     tier-1 suite only
+#
+# Chaos mode = the tier-1 suite plus the fault-injection check of
+# benchmarks/bench_robustness.py under the canned fault plan
+# (tools/chaos_plan.json) — see `make chaos`.
+
+set -e
+cd "$(dirname "$0")/.."
+
+PYTHON="${PYTHON:-python}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+"$PYTHON" -m pytest -x -q
+
+if [ "$1" = "--fast" ]; then
+    exit 0
+fi
+
+echo "== chaos mode: fault-injected robustness check =="
+"$PYTHON" benchmarks/bench_robustness.py --quick \
+    --fault-plan tools/chaos_plan.json
