@@ -60,6 +60,15 @@ def _resolve_resilience(args: argparse.Namespace) -> dict:
     }
 
 
+def _resolve_annotations(args: argparse.Namespace) -> dict:
+    """The annotation-store knobs: CLI flag beats config file."""
+    config = _load_config(args)
+    if getattr(args, "no_annotations_cache", False):
+        return {"use_annotations_store": False}
+    cache_dir = getattr(args, "annotations_cache", None)
+    return {"annotations_cache": cache_dir or config.annotations_cache}
+
+
 def _build_egeria(args: argparse.Namespace,
                   threshold: float | None = None,
                   keywords=None) -> Egeria:
@@ -69,6 +78,7 @@ def _build_egeria(args: argparse.Namespace,
         threshold=threshold if threshold is not None else config.threshold,
         workers=_resolve_workers(args),
         **_resolve_resilience(args),
+        **_resolve_annotations(args),
     )
 
 
@@ -276,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
                         action=argparse.BooleanOptionalAction,
                         help="enable the NLP degradation ladder "
                              "(--no-degrade = fail fast)")
+    parser.add_argument("--annotations-cache", default=None, metavar="DIR",
+                        help="persist sentence annotations to DIR so "
+                             "rebuilds of overlapping documents skip "
+                             "their NLP layers")
+    parser.add_argument("--no-annotations-cache", action="store_true",
+                        help="disable annotation reuse entirely "
+                             "(every build re-runs all NLP layers)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an advisor; print or "

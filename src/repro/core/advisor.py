@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 from repro.core.recommender import KnowledgeRecommender, Recommendation
 from repro.docs.document import Document, Section, Sentence
+from repro.pipeline.annotations import DocumentAnnotations
+from repro.pipeline.store import AnalysisStore
 from repro.profiler.parser import NVVPReportParser
 from repro.resilience.degrade import DegradationEvent, summarize_events
 
@@ -90,6 +92,9 @@ class AdvisingTool:
         name: str | None = None,
         degradation_events: tuple[DegradationEvent, ...] = (),
         quarantined: Sequence = (),
+        annotations: DocumentAnnotations | None = None,
+        provenance: dict[int, str | None] | None = None,
+        store: AnalysisStore | None = None,
     ) -> None:
         self.document = document
         self.advising_sentences = list(advising_sentences)
@@ -100,8 +105,18 @@ class AdvisingTool:
         self.quarantined = tuple(quarantined)
         #: answer-time degradations accumulated across queries
         self.answer_events: list[DegradationEvent] = []
+        #: the shared annotation artifact (index-aligned with the
+        #: document); lets Stage II build with zero re-tokenization
+        self.annotations = annotations
+        #: selector provenance: global sentence index -> the selector
+        #: that recognized it (persisted in v2 files)
+        self.provenance: dict[int, str | None] = dict(provenance or {})
+        #: annotation store shared with the builder (hit/miss counters
+        #: surface through ``health()``); ``extend`` reuses it
+        self.store = store
         self.recommender = KnowledgeRecommender(
-            self.advising_sentences, document=document, threshold=threshold)
+            self.advising_sentences, document=document, threshold=threshold,
+            annotations=annotations)
         self._report_parser = NVVPReportParser()
 
     # -- querying ---------------------------------------------------------
@@ -188,25 +203,42 @@ class AdvisingTool:
         systems"); ``extend`` runs Stage I on the new document only and
         rebuilds the (cheap) Stage II index over the merged collection.
         Returns the number of newly recognized advising sentences.
+
+        New advising sentences are mapped by their *position* within
+        the new document, never by text — a duplicated string must not
+        drag its non-advising twin into the summary.  With an annotation
+        store attached, sentences the store has seen before skip their
+        NLP layers entirely.
         """
         from repro.core.recognizer import AdvisingSentenceRecognizer
 
-        recognizer = recognizer or AdvisingSentenceRecognizer()
+        recognizer = recognizer or AdvisingSentenceRecognizer(
+            store=self.store)
         wrapper = Section(title=document.title, level=1)
         wrapper.subsections = list(document.sections)
         self.document.sections.append(wrapper)
         self.document.reindex()
-        fresh = recognizer.advising_sentences(document)
-        fresh_texts = {s.text for s in fresh}
-        # map new advising sentences onto the merged document's objects
-        added = [
-            sentence for sentence in wrapper.iter_sentences()
-            if sentence.text in fresh_texts
-        ]
+        # the wrapper shares the new document's Section (and Sentence)
+        # objects, so after reindex() the recognition results point
+        # straight at the merged document's sentences, in order —
+        # classification is per-position, immune to duplicate texts
+        results = recognizer.recognize(document)
+        added = [r.sentence for r in results if r.is_advising]
+        for result in results:
+            if result.is_advising:
+                self.provenance[result.sentence.index] = result.selector
         self.advising_sentences.extend(added)
+        # keep the annotation artifact aligned with the merged document
+        if self.annotations is not None \
+                and recognizer.last_annotations is not None \
+                and len(recognizer.last_annotations) == len(results):
+            self.annotations.extend(recognizer.last_annotations)
+        else:
+            self.annotations = None     # alignment lost — fall back
         self.recommender = KnowledgeRecommender(
             self.advising_sentences, document=self.document,
-            threshold=self.recommender.threshold)
+            threshold=self.recommender.threshold,
+            annotations=self.annotations)
         return len(added)
 
     # -- stats -----------------------------------------------------------------
@@ -225,7 +257,7 @@ class AdvisingTool:
         """Resilience view of this tool: build-time and answer-time
         degradation counters (the ``/healthz`` payload core)."""
         build_events = self.degradation_events
-        return {
+        payload = {
             "status": "degraded" if (build_events or self.quarantined)
                       else "ok",
             "advising_sentences": len(self.advising_sentences),
@@ -238,3 +270,11 @@ class AdvisingTool:
                 "answer_by_layer": summarize_events(self.answer_events),
             },
         }
+        if self.annotations is not None:
+            payload["annotations"] = {
+                "sentences": len(self.annotations),
+                "complete_terms": self.annotations.complete_terms,
+            }
+        if self.store is not None:
+            payload["annotation_store"] = self.store.stats()
+        return payload

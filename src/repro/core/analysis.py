@@ -3,67 +3,105 @@
 Selector evaluation is staged exactly like the paper's layers: the
 keyword selector needs only stems; the syntactic selectors need the
 dependency parse; the purpose selector needs SRL.  ``SentenceAnalysis``
-computes each layer lazily and caches it, so a sentence accepted by
-Selector 1 never pays for parsing — the property that makes the
-five-selector cascade cheap on large guides.
+is a thin lazy view over the shared annotation pipeline
+(:mod:`repro.pipeline`): each layer is computed on first access,
+memoized on the underlying
+:class:`~repro.pipeline.annotations.SentenceAnnotations` record, and —
+because the record can come from an
+:class:`~repro.pipeline.store.AnalysisStore` — possibly never computed
+at all.  A sentence accepted by Selector 1 never pays for parsing; a
+sentence ever analyzed before never pays for anything.
 """
 
 from __future__ import annotations
 
-from functools import cached_property
-
 from repro.parsing.graph import DependencyGraph
-from repro.parsing.parser import DependencyParser
-from repro.resilience.faults import fault_point
-from repro.srl.labeler import Frame, SemanticRoleLabeler
-from repro.textproc.porter import PorterStemmer
-from repro.textproc.word_tokenizer import WordTokenizer
+from repro.pipeline.annotations import SentenceAnnotations
+from repro.pipeline.stages import AnnotationPipeline
+from repro.srl.labeler import Frame
 
 
 class SentenceAnalysis:
     """Lazy layered view of one sentence.
 
-    Each layer is a named fault point (``analysis.tokenize`` /
-    ``analysis.stem`` / ``analysis.parse`` / ``analysis.srl``) so chaos
-    runs can fail individual layers; the degradation ladder in
+    Each layer keeps its named fault point (``analysis.tokenize`` /
+    ``analysis.stem`` / ``analysis.parse`` / ``analysis.srl``, now
+    living inside the pipeline stages) so chaos runs can fail
+    individual layers; the degradation ladder in
     :mod:`repro.resilience.degrade` turns such failures into fallback
-    classifications instead of aborted documents.
+    classifications instead of aborted documents.  A failed stage
+    degrades only itself for only this sentence — layers already
+    computed stay valid.
     """
 
-    def __init__(self, text: str, analyzer: "SentenceAnalyzer") -> None:
+    __slots__ = ("text", "_analyzer", "_annotations")
+
+    def __init__(self, text: str, analyzer: "SentenceAnalyzer",
+                 annotations: SentenceAnnotations | None = None) -> None:
         self.text = text
         self._analyzer = analyzer
+        self._annotations = (annotations if annotations is not None
+                             else SentenceAnnotations(text=text))
 
-    @cached_property
+    @property
+    def annotations(self) -> SentenceAnnotations:
+        """The underlying (shareable, persistable) annotation record."""
+        return self._annotations
+
+    @property
     def tokens(self) -> list[str]:
-        fault_point("analysis.tokenize")
-        return self._analyzer.tokenizer.tokenize(self.text)
+        return self._analyzer.pipeline.ensure(self._annotations, "tokens")
 
-    @cached_property
+    @property
     def stems(self) -> list[str]:
-        fault_point("analysis.stem")
-        stemmer = self._analyzer.stemmer
-        return [stemmer.stem(t) for t in self.tokens]
+        return self._analyzer.pipeline.ensure(self._annotations, "stems")
 
-    @cached_property
+    @property
+    def terms(self) -> list[str]:
+        """Normalized retrieval terms (the Stage II vocabulary view)."""
+        return self._analyzer.pipeline.ensure(self._annotations, "terms")
+
+    @property
     def graph(self) -> DependencyGraph:
-        fault_point("analysis.parse")
-        return self._analyzer.parser.parse(self.tokens)
+        return self._analyzer.pipeline.ensure(self._annotations, "graph")
 
-    @cached_property
+    @property
     def frames(self) -> list[Frame]:
-        fault_point("analysis.srl")
-        return self._analyzer.labeler.label(self.graph)
+        return self._analyzer.pipeline.ensure(self._annotations, "frames")
 
 
 class SentenceAnalyzer:
-    """Factory owning the (reusable, stateless) NLP components."""
+    """Factory owning the (reusable, stateless) NLP components.
 
-    def __init__(self) -> None:
-        self.tokenizer = WordTokenizer()
-        self.stemmer = PorterStemmer()
-        self.parser = DependencyParser()
-        self.labeler = SemanticRoleLabeler()
+    The components now live on the stages of an
+    :class:`~repro.pipeline.stages.AnnotationPipeline`; the historical
+    ``tokenizer`` / ``stemmer`` / ``parser`` / ``labeler`` attributes
+    are preserved as views onto those stages.
+    """
 
-    def analyze(self, text: str) -> SentenceAnalysis:
-        return SentenceAnalysis(text, self)
+    def __init__(self, pipeline: AnnotationPipeline | None = None) -> None:
+        self.pipeline = pipeline if pipeline is not None \
+            else AnnotationPipeline()
+
+    @property
+    def tokenizer(self):
+        return self.pipeline.tokenizer
+
+    @property
+    def stemmer(self):
+        return self.pipeline.stemmer
+
+    @property
+    def parser(self):
+        return self.pipeline.parser
+
+    @property
+    def labeler(self):
+        return self.pipeline.labeler
+
+    def analyze(self, text: str,
+                annotations: SentenceAnnotations | None = None
+                ) -> SentenceAnalysis:
+        """A lazy analysis of *text*, optionally over an existing
+        (e.g. store-cached) annotation record."""
+        return SentenceAnalysis(text, self, annotations)

@@ -61,6 +61,9 @@ class EgeriaConfig:
     degrade: bool = True
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     fault_plan: str | None = None
+    #: on-disk tier for the annotation store (``--annotations-cache``);
+    #: None keeps the store in-memory only
+    annotations_cache: str | None = None
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -79,7 +82,8 @@ class EgeriaConfig:
     def from_dict(cls, data: dict) -> "EgeriaConfig":
         unknown = set(data) - {"host", "port", "workers", "threshold",
                                "keywords", "max_retries", "deadline_ms",
-                               "degrade", "max_body_bytes", "fault_plan"}
+                               "degrade", "max_body_bytes", "fault_plan",
+                               "annotations_cache"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -110,6 +114,7 @@ class EgeriaConfig:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
         fault_plan = data.get("fault_plan")
+        annotations_cache = data.get("annotations_cache")
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
@@ -121,6 +126,8 @@ class EgeriaConfig:
             degrade=bool(data.get("degrade", True)),
             max_body_bytes=max_body_bytes,
             fault_plan=None if fault_plan is None else str(fault_plan),
+            annotations_cache=(None if annotations_cache is None
+                               else str(annotations_cache)),
         )
 
     @classmethod
@@ -142,6 +149,7 @@ class EgeriaConfig:
             "degrade": self.degrade,
             "max_body_bytes": self.max_body_bytes,
             "fault_plan": self.fault_plan,
+            "annotations_cache": self.annotations_cache,
         }
 
     def save(self, path: str) -> None:

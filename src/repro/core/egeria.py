@@ -28,6 +28,7 @@ from repro.core.selectors import Selector
 from repro.docs.document import Document
 from repro.docs.html_loader import HTMLDocumentLoader
 from repro.docs.markdown_loader import MarkdownDocumentLoader
+from repro.pipeline.store import AnalysisStore
 
 
 logger = logging.getLogger("repro.core.egeria")
@@ -44,12 +45,30 @@ class Egeria:
         workers: int = 1,
         degrade: bool = True,
         max_retries: int = 2,
+        store: AnalysisStore | None = None,
+        annotations_cache: str | None = None,
+        use_annotations_store: bool = True,
     ) -> None:
+        """Configure the framework.
+
+        ``store`` supplies an existing
+        :class:`~repro.pipeline.store.AnalysisStore`;
+        ``annotations_cache`` adds a persistent on-disk tier to a
+        freshly created one (the ``--annotations-cache`` CLI knob);
+        ``use_annotations_store=False`` disables annotation reuse
+        entirely (``--no-annotations-cache``).
+        """
         self.keywords = keywords or KeywordConfig()
         self.threshold = threshold
+        if store is not None:
+            self.store: AnalysisStore | None = store
+        elif use_annotations_store:
+            self.store = AnalysisStore(cache_dir=annotations_cache)
+        else:
+            self.store = None
         self.recognizer = AdvisingSentenceRecognizer(
             keywords=self.keywords, selectors=selectors, workers=workers,
-            degrade=degrade, max_retries=max_retries)
+            degrade=degrade, max_retries=max_retries, store=self.store)
 
     # -- advisor synthesis ---------------------------------------------------
 
@@ -65,6 +84,9 @@ class Egeria:
         started = time.perf_counter()
         results = self.recognizer.recognize(document)
         advising = [r.sentence for r in results if r.is_advising]
+        provenance = {i: r.selector
+                      for i, r in enumerate(results) if r.is_advising}
+        annotations = self.recognizer.last_annotations
         events: list = []
         for result in results:
             events.extend(result.events)
@@ -85,7 +107,9 @@ class Egeria:
                 document.title, len(events), len(quarantined))
         return AdvisingTool(
             document, advising, threshold=self.threshold, name=name,
-            degradation_events=tuple(events), quarantined=quarantined)
+            degradation_events=tuple(events), quarantined=quarantined,
+            annotations=annotations, provenance=provenance,
+            store=self.store)
 
     def build_advisor_from_html(
         self, html: str, title: str | None = None

@@ -2,21 +2,49 @@
 
 The paper's artifact ships three pre-built advising tools (cuda,
 opencl, xeon) so users don't re-run the NLP pipeline; this module
-provides the equivalent: Stage I's output (the advising sentences with
-their section structure) plus the configuration serialize to a single
-JSON file, and loading rebuilds a working :class:`AdvisingTool`
-(Stage II's TF-IDF index is recomputed on load — it is cheap, unlike
-Stage I).
+provides the equivalent.  Format v2 serializes Stage I's output (the
+advising sentences with their section structure), the configuration,
+selector provenance (which Table 1 rule recognized each sentence),
+build health (degradation events and quarantines survive a save/load
+round-trip), and — optionally — the lexical layers of the shared
+annotation artifact, so ``load_advisor`` warm-starts Stage II with
+**zero** tokenizer or stemmer calls.
+
+Format v1 files (raw text only) still load; they simply pay the
+Stage II normalization cost on load, exactly as before.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 
 from repro.core.advisor import AdvisingTool
 from repro.docs.document import Document, Section, Sentence
+from repro.pipeline.annotations import DocumentAnnotations
+from repro.resilience.degrade import DegradationEvent
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions ``advisor_from_dict`` accepts
+SUPPORTED_VERSIONS = (1, 2)
+
+
+@dataclass(frozen=True)
+class QuarantinedSentence:
+    """Loaded summary of a quarantined build sentence (v2 health block).
+
+    A lightweight stand-in for the original
+    :class:`~repro.core.recognizer.RecognitionResult` — enough for
+    ``health()`` reporting without re-running the build.
+    """
+
+    sentence_index: int | None
+    error: str | None
+
+    @property
+    def quarantined(self) -> bool:
+        return True
 
 
 def _section_to_dict(section: Section) -> dict:
@@ -42,9 +70,25 @@ def _section_from_dict(data: dict) -> Section:
     return section
 
 
-def advisor_to_dict(tool: AdvisingTool) -> dict:
-    """Serialize *tool* to a JSON-compatible dict."""
-    return {
+def _quarantined_to_dict(record) -> dict:
+    """Serialize one quarantined entry (RecognitionResult or loaded
+    :class:`QuarantinedSentence`)."""
+    sentence = getattr(record, "sentence", None)
+    index = (sentence.index if sentence is not None
+             else getattr(record, "sentence_index", None))
+    return {"sentence_index": index,
+            "error": getattr(record, "error", None)}
+
+
+def advisor_to_dict(tool: AdvisingTool,
+                    include_annotations: bool = True) -> dict:
+    """Serialize *tool* to a JSON-compatible dict (format v2).
+
+    ``include_annotations=False`` drops the embedded annotation
+    artifact (smaller file; the loaded advisor re-normalizes on load
+    like a v1 file).
+    """
+    data = {
         "format_version": FORMAT_VERSION,
         "name": tool.name,
         "threshold": tool.recommender.threshold,
@@ -56,12 +100,72 @@ def advisor_to_dict(tool: AdvisingTool) -> dict:
         "advising_sentence_indices": [
             s.index for s in tool.advising_sentences],
     }
+    if tool.provenance:
+        data["selector_provenance"] = [
+            [index, selector]
+            for index, selector in sorted(tool.provenance.items())
+        ]
+    if tool.degradation_events or tool.quarantined:
+        data["build_health"] = {
+            "degradation_events": [
+                e.to_dict() for e in tool.degradation_events],
+            "quarantined": [
+                _quarantined_to_dict(q) for q in tool.quarantined],
+        }
+    if include_annotations and tool.annotations is not None:
+        data["annotations"] = tool.annotations.to_dict()
+    return data
+
+
+def _load_annotations(data: dict,
+                      document: Document) -> DocumentAnnotations | None:
+    payload = data.get("annotations")
+    if payload is None:
+        return None
+    texts = [s.text for s in document.iter_sentences()]
+    return DocumentAnnotations.from_dict(payload, texts)
+
+
+def _load_build_health(
+    data: dict,
+) -> tuple[tuple[DegradationEvent, ...], tuple[QuarantinedSentence, ...]]:
+    health = data.get("build_health") or {}
+    events = tuple(
+        DegradationEvent(
+            layer=str(entry.get("layer", "unknown")),
+            point=str(entry.get("point", "unknown")),
+            error=str(entry.get("error", "")),
+            sentence_index=entry.get("sentence_index"),
+        )
+        for entry in health.get("degradation_events", [])
+    )
+    quarantined = tuple(
+        QuarantinedSentence(
+            sentence_index=entry.get("sentence_index"),
+            error=entry.get("error"),
+        )
+        for entry in health.get("quarantined", [])
+    )
+    return events, quarantined
+
+
+def _load_provenance(data: dict) -> dict[int, str | None]:
+    provenance: dict[int, str | None] = {}
+    for entry in data.get("selector_provenance", []):
+        index, selector = entry
+        provenance[int(index)] = (None if selector is None
+                                  else str(selector))
+    return provenance
 
 
 def advisor_from_dict(data: dict) -> AdvisingTool:
-    """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`."""
+    """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`.
+
+    Accepts the current v2 format and legacy v1 files (which carry no
+    annotations, provenance, or build-health block).
+    """
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported advisor format version: {version!r}")
     document = Document(
@@ -78,21 +182,39 @@ def advisor_from_dict(data: dict) -> AdvisingTool:
     if bad:
         raise ValueError(f"advising indices out of range: {bad[:5]}")
     advising = [sentences[i] for i in indices]
+    if version == 1:
+        return AdvisingTool(
+            document, advising,
+            threshold=data.get("threshold", 0.15),
+            name=data.get("name"),
+        )
+    annotations = _load_annotations(data, document)
+    events, quarantined = _load_build_health(data)
     return AdvisingTool(
         document, advising,
         threshold=data.get("threshold", 0.15),
         name=data.get("name"),
+        degradation_events=events,
+        quarantined=quarantined,
+        annotations=annotations,
+        provenance=_load_provenance(data),
     )
 
 
-def save_advisor(tool: AdvisingTool, path: str) -> None:
+def save_advisor(tool: AdvisingTool, path: str,
+                 include_annotations: bool = True) -> None:
     """Write *tool* to *path* as JSON."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(advisor_to_dict(tool), handle, ensure_ascii=False,
-                  indent=1)
+        json.dump(advisor_to_dict(tool,
+                                  include_annotations=include_annotations),
+                  handle, ensure_ascii=False, indent=1)
 
 
 def load_advisor(path: str) -> AdvisingTool:
-    """Load an advisor previously written by :func:`save_advisor`."""
+    """Load an advisor previously written by :func:`save_advisor`.
+
+    A v2 file with embedded annotations rebuilds its Stage II index
+    without any tokenization; v1 files load exactly as before.
+    """
     with open(path, encoding="utf-8") as handle:
         return advisor_from_dict(json.load(handle))

@@ -5,10 +5,22 @@ output doubles as the "reminding summary of all the essential
 guidelines contained in the input document" (§2) and as the sentence
 collection Stage II retrieves from.
 
+One-pass pipeline: classification runs over shared
+:class:`~repro.pipeline.annotations.SentenceAnnotations` records, and a
+``recognize`` pass leaves behind a
+:class:`~repro.pipeline.annotations.DocumentAnnotations` artifact
+(``last_annotations``) holding every sentence's lexical layers — Stage
+II builds its TF-IDF index straight from it with zero re-tokenization.
+With an :class:`~repro.pipeline.store.AnalysisStore` attached, repeated
+builds, ``extend()`` calls and multi-document merges only analyze
+sentences the store has never seen.
+
 Large guides are embarrassingly parallel across sentences; the
 recognizer supports multiprocessing workers (the artifact's "number of
 worker processes" knob) with per-worker pipeline initialization so the
-NLP components are built once per process, not per sentence.
+NLP components are built once per process, not per sentence.  Workers
+ship their annotation batches back alongside the classifications, so
+the parent never recomputes what a worker already analyzed.
 
 Resilience: classification runs through the degradation ladder of
 :mod:`repro.resilience.degrade` — a sentence whose NLP layer fails is
@@ -32,6 +44,11 @@ from repro.core.analysis import SentenceAnalyzer
 from repro.core.keywords import KeywordConfig
 from repro.core.selectors import Selector, default_selectors
 from repro.docs.document import Document, Sentence
+from repro.pipeline.annotations import (
+    DocumentAnnotations,
+    SentenceAnnotations,
+)
+from repro.pipeline.store import AnalysisStore
 from repro.resilience.degrade import (
     DegradationEvent,
     DegradationLadder,
@@ -76,15 +93,27 @@ def _init_worker(keywords: KeywordConfig) -> None:
 
 def _classify_batch(
     batch: tuple[int, list[str]],
-) -> list[DegradedClassification]:
-    """Classify one (offset, texts) batch inside a worker process."""
+) -> list[tuple[DegradedClassification, dict]]:
+    """Classify one (offset, texts) batch inside a worker process.
+
+    Returns ``(classification, lexical_payload)`` pairs — the payload
+    carries the worker's tokens/stems/terms back to the parent so the
+    annotations are computed exactly once, in exactly one process.
+    """
     offset, texts = batch
     analyzer: SentenceAnalyzer = _WORKER_STATE["analyzer"]  # type: ignore[assignment]
     ladder: DegradationLadder = _WORKER_STATE["ladder"]  # type: ignore[assignment]
-    return [
-        ladder.classify(analyzer.analyze(text), sentence_index=offset + i)
-        for i, text in enumerate(texts)
-    ]
+    out: list[tuple[DegradedClassification, dict]] = []
+    for i, text in enumerate(texts):
+        annotations = SentenceAnnotations(text=text)
+        analysis = analyzer.analyze(text, annotations=annotations)
+        outcome = ladder.classify(analysis, sentence_index=offset + i)
+        try:
+            analyzer.pipeline.ensure(annotations, "terms")
+        except Exception:
+            pass    # lexical layer degraded; parent falls back to raw text
+        out.append((outcome, annotations.lexical_payload()))
+    return out
 
 
 class AdvisingSentenceRecognizer:
@@ -99,6 +128,7 @@ class AdvisingSentenceRecognizer:
         degrade: bool = True,
         max_retries: int = 2,
         batch_timeout_s: float | None = 120.0,
+        store: AnalysisStore | None = None,
     ) -> None:
         self.keywords = keywords or KeywordConfig()
         self.selectors = (list(selectors) if selectors is not None
@@ -107,6 +137,9 @@ class AdvisingSentenceRecognizer:
         self.degrade = degrade
         self.max_retries = max(0, max_retries)
         self.batch_timeout_s = batch_timeout_s
+        #: shared annotation store — sentences seen before (this build
+        #: or any earlier one sharing the store) skip their NLP layers
+        self.store = store
         self._analyzer = SentenceAnalyzer()
         self._ladder = DegradationLadder(self.selectors)
         # guide corpora repeat boilerplate sentences (~35% duplicates
@@ -117,18 +150,32 @@ class AdvisingSentenceRecognizer:
         #: (worker crashes, pool fallbacks) — per-sentence events live
         #: on the results themselves.
         self.last_worker_events: tuple[DegradationEvent, ...] = ()
+        #: the annotation artifact of the last ``recognize`` run, in
+        #: document order (Stage II and persistence consume it)
+        self.last_annotations: DocumentAnnotations | None = None
 
     # -- single sentence ----------------------------------------------------
 
+    def _annotation_for(self, text: str) -> SentenceAnnotations:
+        """A store-cached annotation record for *text*, or a fresh one."""
+        if self.store is not None:
+            cached = self.store.get(text)
+            if cached is not None:
+                return cached
+        return SentenceAnnotations(text=text)
+
     def classify_ex(self, text: str,
-                    sentence_index: int | None = None
+                    sentence_index: int | None = None,
+                    annotations: SentenceAnnotations | None = None,
                     ) -> DegradedClassification:
         """Classify one sentence through the degradation ladder."""
         cached = self._cache.get(text)
         if cached is not None:
             return DegradedClassification(
                 is_advising=cached[0], selector=cached[1])
-        analysis = self._analyzer.analyze(text)
+        if annotations is None:
+            annotations = self._annotation_for(text)
+        analysis = self._analyzer.analyze(text, annotations=annotations)
         if self.degrade:
             outcome = self._ladder.classify(
                 analysis, sentence_index=sentence_index)
@@ -158,24 +205,41 @@ class AdvisingSentenceRecognizer:
     def explain(self, text: str) -> dict[str, bool]:
         """Which selectors fire on *text* (all of them, not just the
         first) — the diagnostic view behind a classification."""
-        analysis = self._analyzer.analyze(text)
+        analysis = self._analyzer.analyze(
+            text, annotations=self._annotation_for(text))
         return {selector.name: selector.matches(analysis)
                 for selector in self.selectors}
 
     # -- documents -------------------------------------------------------------
 
     def recognize(self, document: Document) -> list[RecognitionResult]:
-        """Classify every sentence of *document* (optionally parallel)."""
+        """Classify every sentence of *document* (optionally parallel).
+
+        Besides the returned results, the pass leaves the full
+        annotation artifact on ``last_annotations`` — index-aligned
+        with ``document.sentences`` — so downstream consumers (the
+        Stage II index build, persistence) reuse the NLP work instead
+        of redoing it.
+        """
         self.last_worker_events = ()
+        self.last_annotations = DocumentAnnotations([])
         sentences = document.sentences
         if not sentences:   # nothing to do — never spin up a pool
             return []
         texts = [s.text for s in sentences]
         if self.workers == 1 or len(texts) < 64:
-            outcomes = [self._classify_isolated(text, i)
-                        for i, text in enumerate(texts)]
+            pairs = []
+            for i, text in enumerate(texts):
+                annotations = self._annotation_for(text)
+                pairs.append((
+                    self._classify_isolated(text, i, annotations),
+                    annotations,
+                ))
         else:
-            outcomes = self._recognize_parallel(texts)
+            pairs = self._recognize_parallel(texts)
+        outcomes = [outcome for outcome, _ in pairs]
+        annotations_list = [annotations for _, annotations in pairs]
+        self._finalize_annotations(texts, annotations_list)
         return [
             RecognitionResult(
                 sentence,
@@ -188,12 +252,32 @@ class AdvisingSentenceRecognizer:
             for sentence, outcome in zip(sentences, outcomes)
         ]
 
-    def _classify_isolated(self, text: str,
-                           index: int) -> DegradedClassification:
+    def _finalize_annotations(
+        self,
+        texts: list[str],
+        annotations_list: list[SentenceAnnotations],
+    ) -> None:
+        """Top up the lexical layers Stage II needs and feed the store."""
+        for text, annotations in zip(texts, annotations_list):
+            try:
+                self._analyzer.pipeline.ensure(annotations, "terms")
+            except Exception:
+                # lexical layer degraded for this sentence; Stage II
+                # falls back to normalizing its raw text
+                pass
+            if self.store is not None:
+                self.store.put(text, annotations)
+        self.last_annotations = DocumentAnnotations(annotations_list)
+
+    def _classify_isolated(
+        self, text: str, index: int,
+        annotations: SentenceAnnotations | None = None,
+    ) -> DegradedClassification:
         """classify_ex with a last-resort quarantine wrapper, so one
         pathological sentence can never kill a document pass."""
         try:
-            return self.classify_ex(text, sentence_index=index)
+            return self.classify_ex(text, sentence_index=index,
+                                    annotations=annotations)
         except Exception as error:
             if not self.degrade:
                 raise
@@ -207,7 +291,7 @@ class AdvisingSentenceRecognizer:
 
     def _recognize_parallel(
         self, texts: list[str]
-    ) -> list[DegradedClassification]:
+    ) -> list[tuple[DegradedClassification, SentenceAnnotations]]:
         chunk = max(16, len(texts) // (self.workers * 4))
         batches = [(i, texts[i:i + chunk])
                    for i in range(0, len(texts), chunk)]
@@ -228,7 +312,7 @@ class AdvisingSentenceRecognizer:
             worker_events.append(DegradationEvent(
                 layer="worker", point="recognizer.pool", error=repr(error)))
             self.last_worker_events = tuple(worker_events)
-            return [self._classify_isolated(t, i)
+            return [self._classify_inline(t, i)
                     for i, t in enumerate(texts)]
 
         # Retry re-dispatches a failed batch to the pool with backoff;
@@ -238,7 +322,7 @@ class AdvisingSentenceRecognizer:
                       base_delay=0.01, max_delay=0.25,
                       retry_on=(Exception,))
         breaker = CircuitBreaker(failure_threshold=2, recovery_time=60.0)
-        out: list[DegradedClassification] = []
+        out: list[tuple[DegradedClassification, SentenceAnnotations]] = []
         try:
             for batch in batches:
                 out.extend(self._run_batch(
@@ -249,6 +333,13 @@ class AdvisingSentenceRecognizer:
         self.last_worker_events = tuple(worker_events)
         return out
 
+    def _classify_inline(
+        self, text: str, index: int
+    ) -> tuple[DegradedClassification, SentenceAnnotations]:
+        annotations = self._annotation_for(text)
+        return (self._classify_isolated(text, index, annotations),
+                annotations)
+
     def _run_batch(
         self,
         pool,
@@ -256,10 +347,10 @@ class AdvisingSentenceRecognizer:
         retry: Retry,
         breaker: CircuitBreaker,
         worker_events: list[DegradationEvent],
-    ) -> list[DegradedClassification]:
+    ) -> list[tuple[DegradedClassification, SentenceAnnotations]]:
         offset, texts = batch
 
-        def dispatch() -> list[DegradedClassification]:
+        def dispatch() -> list[tuple[DegradedClassification, dict]]:
             try:
                 fault_point("recognizer.dispatch")
                 async_result = pool.apply_async(_classify_batch, (batch,))
@@ -273,7 +364,12 @@ class AdvisingSentenceRecognizer:
 
         if breaker.allow():
             try:
-                return breaker.call(retry.call, dispatch)
+                shipped = breaker.call(retry.call, dispatch)
+                return [
+                    (outcome,
+                     SentenceAnnotations.from_lexical(text, payload))
+                    for (outcome, payload), text in zip(shipped, texts)
+                ]
             except Exception as error:
                 if not self.degrade:
                     raise
@@ -282,7 +378,7 @@ class AdvisingSentenceRecognizer:
                     "re-executing inline", offset, error)
         # inline re-execution of the lost batch (or of every batch once
         # the breaker is open)
-        return [self._classify_isolated(text, offset + i)
+        return [self._classify_inline(text, offset + i)
                 for i, text in enumerate(texts)]
 
     def advising_sentences(self, document: Document) -> list[Sentence]:
@@ -303,7 +399,15 @@ class AdvisingSentenceRecognizer:
                 quarantined += 1
             if result.is_advising:
                 counts["advising"] += 1
-                assert result.selector is not None
+                if result.selector is None:
+                    # an advising result always carries the selector
+                    # that fired; a missing one would silently corrupt
+                    # the Table 7/8 counts (and `python -O` used to
+                    # strip the old assert that guarded this)
+                    raise ValueError(
+                        "advising RecognitionResult without selector "
+                        f"provenance (sentence index "
+                        f"{result.sentence.index})")
                 counts[result.selector] = counts.get(result.selector, 0) + 1
         if degraded:
             counts["degraded"] = degraded

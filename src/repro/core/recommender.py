@@ -9,6 +9,15 @@ not limit the number of sentences the tool can suggest", §4.1).
 
 Per the artifact description (§A.6), the vocabulary is built on the
 advising summary while IDF statistics come from the whole document.
+
+One-pass pipeline: when a
+:class:`~repro.pipeline.annotations.DocumentAnnotations` artifact is
+supplied (Stage I produces one as a side effect of recognition, and
+persistence v2 embeds one), the index is built from its pre-normalized
+term lists — zero tokenizer or stemmer calls; the scores are identical
+to the re-tokenizing path because the terms stage runs the very same
+normalization pipeline.  Sentences whose terms layer is missing
+(degraded during the build) fall back to normalizing their raw text.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.docs.document import Document, Sentence
+from repro.pipeline.annotations import DocumentAnnotations
 from repro.resilience.faults import fault_point
 from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
 from repro.textproc.normalize import NormalizationPipeline
@@ -41,22 +51,39 @@ class KnowledgeRecommender:
         advising_sentences: Sequence[Sentence],
         document: Document | None = None,
         threshold: float = DEFAULT_THRESHOLD,
+        annotations: DocumentAnnotations | None = None,
     ) -> None:
         self.sentences = list(advising_sentences)
         self.threshold = threshold
+        self.annotations = annotations
         self._normalizer = NormalizationPipeline()
-        fit_corpus = (
-            [s.text for s in document.iter_sentences()]
-            if document is not None else None
-        )
+        sentence_terms = [
+            self._terms_of(s.index, s.text) for s in self.sentences]
+        if document is not None:
+            fit_corpus_terms = [
+                self._terms_of(i, sentence.text)
+                for i, sentence in enumerate(document.iter_sentences())
+            ]
+        else:
+            fit_corpus_terms = None
         self._retriever = SentenceRetriever(
             [s.text for s in self.sentences],
             normalizer=self._normalizer,
-            fit_corpus=fit_corpus,
             threshold=threshold,
+            sentence_terms=sentence_terms,
+            fit_corpus_terms=fit_corpus_terms,
         )
         self._sentence_terms = [
-            frozenset(self._normalizer(s.text)) for s in self.sentences]
+            frozenset(terms) for terms in sentence_terms]
+
+    def _terms_of(self, index: int, text: str) -> list[str]:
+        """Pre-annotated terms for the sentence at global *index*, or a
+        freshly normalized fallback when no annotation covers it."""
+        if self.annotations is not None:
+            terms = self.annotations.terms_for(index)
+            if terms is not None:
+                return terms
+        return self._normalizer(text)
 
     def recommend(
         self, query: str, threshold: float | None = None

@@ -1,0 +1,51 @@
+"""One-pass annotation pipeline: the shared NLP IR and artifact store.
+
+The package spans all three consumers of Egeria's NLP layers:
+
+* Stage I classifies sentences over
+  :class:`~repro.pipeline.annotations.SentenceAnnotations` records
+  produced by an :class:`~repro.pipeline.stages.AnnotationPipeline`;
+* Stage II builds its TF-IDF index from the
+  :class:`~repro.pipeline.annotations.DocumentAnnotations` artifact
+  (zero re-tokenization);
+* persistence v2 embeds the lexical layers so a loaded advisor
+  warm-starts without any NLP at all.
+
+The :class:`~repro.pipeline.store.AnalysisStore` de-duplicates work
+across builds, ``extend()`` calls and multi-document merges by content
+hash.
+"""
+
+from repro.pipeline.annotations import (
+    LAYERS,
+    LEXICAL_LAYERS,
+    DocumentAnnotations,
+    SentenceAnnotations,
+)
+from repro.pipeline.stages import (
+    AnnotationPipeline,
+    ParseStage,
+    SrlStage,
+    Stage,
+    StemStage,
+    TermsStage,
+    TokenizeStage,
+    default_stages,
+)
+from repro.pipeline.store import AnalysisStore
+
+__all__ = [
+    "LAYERS",
+    "LEXICAL_LAYERS",
+    "SentenceAnnotations",
+    "DocumentAnnotations",
+    "Stage",
+    "TokenizeStage",
+    "StemStage",
+    "TermsStage",
+    "ParseStage",
+    "SrlStage",
+    "default_stages",
+    "AnnotationPipeline",
+    "AnalysisStore",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed cache of sentence annotations.
+
+Guide corpora repeat boilerplate heavily (~35% duplicate sentences in
+the bundled guides), advisors are rebuilt and extended with documents
+that mostly overlap their predecessors, and multi-document merges share
+whole chapters.  The :class:`AnalysisStore` makes all of that cheap:
+annotations are keyed by a content hash of the sentence text, held in
+an in-memory LRU (full records, parse trees included) and optionally
+mirrored to an on-disk cache directory (lexical layers only, JSON) that
+survives process restarts.
+
+Hit/miss counters feed ``AdvisingTool.health()`` and ``/healthz`` so
+operators can see whether a deployment is actually reusing work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from repro.pipeline.annotations import SentenceAnnotations
+
+#: on-disk cache entry format (bumped if the payload shape changes)
+DISK_FORMAT = 1
+
+
+class AnalysisStore:
+    """LRU annotation cache keyed by sentence-content hash.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity; the oldest entry is evicted first.
+    cache_dir:
+        Optional directory for the persistent tier.  Created on first
+        write; unreadable or corrupt entries are treated as misses
+        (never raised), so a damaged cache can only cost time.
+    """
+
+    def __init__(self, max_entries: int = 100_000,
+                 cache_dir: str | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, SentenceAnnotations] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        self.disk_writes = 0
+
+    @staticmethod
+    def content_key(text: str) -> str:
+        """Stable content hash of a sentence (the cache key)."""
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, text: str) -> SentenceAnnotations | None:
+        """The cached annotations for *text*, or ``None`` (a miss)."""
+        key = self.content_key(text)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        entry = self._disk_get(key, text)
+        if entry is not None:
+            with self._lock:
+                self.hits += 1
+                self.disk_hits += 1
+                self._insert(key, entry)
+            return entry
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, text: str, annotations: SentenceAnnotations) -> None:
+        """Cache *annotations* under the content key of *text*."""
+        key = self.content_key(text)
+        with self._lock:
+            self._insert(key, annotations)
+        self._disk_put(key, annotations)
+
+    def _insert(self, key: str, annotations: SentenceAnnotations) -> None:
+        self._entries[key] = annotations
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, text: str) -> bool:
+        with self._lock:
+            return self.content_key(text) in self._entries
+
+    # -- the persistent tier --------------------------------------------
+
+    def _disk_path(self, key: str) -> str | None:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def _disk_get(self, key: str,
+                  text: str) -> SentenceAnnotations | None:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("format") != DISK_FORMAT:
+            return None
+        return SentenceAnnotations.from_lexical(
+            text, data.get("layers") or {})
+
+    def _disk_put(self, key: str,
+                  annotations: SentenceAnnotations) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        payload = annotations.lexical_payload()
+        if not payload:
+            return          # nothing lexical computed yet — not worth a file
+        if os.path.exists(path):
+            return          # content-addressed: an existing entry is current
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"format": DISK_FORMAT, "layers": payload},
+                          handle, ensure_ascii=False)
+            os.replace(tmp, path)
+        except OSError:
+            return          # cache write failures must never break a build
+        with self._lock:
+            self.disk_writes += 1
+
+    # -- diagnostics ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot (the ``/healthz`` ``annotation_store`` block)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "disk_hits": self.disk_hits,
+                "disk_writes": self.disk_writes,
+                "evictions": self.evictions,
+                "cache_dir": self.cache_dir,
+            }
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        with self._lock:
+            self.hits = self.misses = 0
+            self.disk_hits = self.disk_writes = self.evictions = 0

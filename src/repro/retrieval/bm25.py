@@ -26,12 +26,27 @@ class BM25:
         normalizer: Callable[[str], list[str]] | None = None,
         k1: float = 1.5,
         b: float = 0.75,
+        sentence_terms: Sequence[list[str]] | None = None,
     ) -> None:
+        """Index *sentences*.
+
+        ``sentence_terms`` optionally supplies pre-normalized term
+        lists (e.g. from a shared annotation artifact) so the build
+        never re-tokenizes; the normalizer is then only used on
+        queries.
+        """
         self.sentences = list(sentences)
         self.normalizer = normalizer or NormalizationPipeline()
         self.k1 = k1
         self.b = b
-        docs = [self.normalizer(s) for s in self.sentences]
+        if sentence_terms is not None \
+                and len(sentence_terms) != len(self.sentences):
+            raise ValueError(
+                f"sentence_terms length {len(sentence_terms)} does "
+                f"not match sentence count {len(self.sentences)}")
+        docs = ([list(terms) for terms in sentence_terms]
+                if sentence_terms is not None
+                else [self.normalizer(s) for s in self.sentences])
         self.dictionary = Dictionary(docs)
         n_docs = max(len(docs), 1)
         n_terms = len(self.dictionary)

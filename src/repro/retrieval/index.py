@@ -30,12 +30,27 @@ class InvertedIndex:
         self,
         sentences: Sequence[str],
         analyzer: Callable[[str], list[str]] | None = None,
+        analyzed_sentences: Sequence[list[str]] | None = None,
     ) -> None:
+        """Index *sentences*.
+
+        ``analyzed_sentences`` optionally supplies pre-analyzed term
+        lists (e.g. from a shared annotation artifact) so the build
+        never re-tokenizes; the analyzer is then only used on queries.
+        """
         self.sentences = list(sentences)
         self.analyzer = analyzer or _default_analyzer
+        if analyzed_sentences is not None \
+                and len(analyzed_sentences) != len(self.sentences):
+            raise ValueError(
+                f"analyzed_sentences length {len(analyzed_sentences)} "
+                f"does not match sentence count {len(self.sentences)}")
         self._postings: dict[str, set[int]] = defaultdict(set)
         for i, sentence in enumerate(self.sentences):
-            for term in self.analyzer(sentence):
+            terms = (analyzed_sentences[i]
+                     if analyzed_sentences is not None
+                     else self.analyzer(sentence))
+            for term in terms:
                 self._postings[term].add(i)
 
     def __len__(self) -> int:

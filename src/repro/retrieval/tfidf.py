@@ -56,6 +56,20 @@ class TfidfModel:
         self.num_docs = self.dictionary.num_docs
         self._idf = self._compute_idf()
 
+    @classmethod
+    def from_annotations(cls, annotations, dictionary=None,
+                         smooth: bool = False) -> "TfidfModel":
+        """Fit on a :class:`~repro.pipeline.annotations.DocumentAnnotations`
+        artifact's pre-normalized term lists — no re-tokenization.
+
+        Sentences whose terms layer is missing contribute an empty
+        document (they carry no weight, matching how a degraded
+        sentence scores in the annotation-fed retriever).
+        """
+        documents = [ann.terms if ann.terms is not None else []
+                     for ann in annotations]
+        return cls(documents, dictionary=dictionary, smooth=smooth)
+
     def _compute_idf(self) -> np.ndarray:
         n_terms = len(self.dictionary)
         idf = np.zeros(n_terms, dtype=np.float64)

@@ -89,15 +89,34 @@ class SentenceRetriever:
         normalizer: Callable[[str], list[str]] | None = None,
         fit_corpus: Sequence[str] | None = None,
         threshold: float = DEFAULT_THRESHOLD,
+        sentence_terms: Sequence[list[str]] | None = None,
+        fit_corpus_terms: Sequence[list[str]] | None = None,
     ) -> None:
+        """Index *sentences*.
+
+        ``sentence_terms`` / ``fit_corpus_terms`` optionally supply
+        pre-normalized term lists (e.g. from a shared
+        :class:`~repro.pipeline.annotations.DocumentAnnotations`
+        artifact); when given, the corresponding texts are never
+        re-tokenized — only queries still pass through the normalizer.
+        """
         self.sentences = list(sentences)
         self.normalizer = normalizer or NormalizationPipeline()
         self.threshold = threshold
-        tokens = [self.normalizer(s) for s in self.sentences]
-        corpus_tokens = (
-            [self.normalizer(s) for s in fit_corpus]
-            if fit_corpus is not None else None
-        )
+        if sentence_terms is not None:
+            if len(sentence_terms) != len(self.sentences):
+                raise ValueError(
+                    f"sentence_terms length {len(sentence_terms)} does "
+                    f"not match sentence count {len(self.sentences)}")
+            tokens = [list(terms) for terms in sentence_terms]
+        else:
+            tokens = [self.normalizer(s) for s in self.sentences]
+        if fit_corpus_terms is not None:
+            corpus_tokens = [list(terms) for terms in fit_corpus_terms]
+        elif fit_corpus is not None:
+            corpus_tokens = [self.normalizer(s) for s in fit_corpus]
+        else:
+            corpus_tokens = None
         self.vsm = VectorSpaceModel(tokens, fit_corpus=corpus_tokens)
 
     def query(

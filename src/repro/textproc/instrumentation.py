@@ -1,0 +1,104 @@
+"""Call counters for the expensive text-processing primitives.
+
+The annotation pipeline's whole point is that tokenization and
+stemming happen once per sentence, ever.  These process-wide counters
+make that claim testable: ``WordTokenizer.tokenize`` and
+``PorterStemmer.stem`` tick them on every call, and the test suite
+asserts that building Stage II from a
+:class:`~repro.pipeline.annotations.DocumentAnnotations` artifact (or
+a v2 advisor file) performs **zero** of either.
+
+The counters are plain integer increments — cheap enough to stay on in
+production — and are never reset by library code; measure with
+:func:`snapshot` deltas (or the :func:`measure` context manager).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+class _Counters:
+    __slots__ = ("tokenize_calls", "stem_calls")
+
+    def __init__(self) -> None:
+        self.tokenize_calls = 0
+        self.stem_calls = 0
+
+
+_COUNTERS = _Counters()
+_LOCK = threading.Lock()
+
+
+def count_tokenize() -> None:
+    """Tick the tokenizer counter (called by ``WordTokenizer``)."""
+    _COUNTERS.tokenize_calls += 1
+
+
+def count_stem() -> None:
+    """Tick the stemmer counter (called by ``PorterStemmer``)."""
+    _COUNTERS.stem_calls += 1
+
+
+@dataclass(frozen=True)
+class CallSnapshot:
+    """Counter values at one instant; subtract to get deltas."""
+
+    tokenize_calls: int
+    stem_calls: int
+
+    def __sub__(self, other: "CallSnapshot") -> "CallSnapshot":
+        return CallSnapshot(
+            tokenize_calls=self.tokenize_calls - other.tokenize_calls,
+            stem_calls=self.stem_calls - other.stem_calls,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.tokenize_calls + self.stem_calls
+
+
+def snapshot() -> CallSnapshot:
+    """Current process-wide counter values."""
+    return CallSnapshot(
+        tokenize_calls=_COUNTERS.tokenize_calls,
+        stem_calls=_COUNTERS.stem_calls,
+    )
+
+
+class _Measurement:
+    """Mutable result of a :func:`measure` block."""
+
+    def __init__(self, start: CallSnapshot) -> None:
+        self._start = start
+        self.tokenize_calls = 0
+        self.stem_calls = 0
+
+    def _finish(self) -> None:
+        delta = snapshot() - self._start
+        self.tokenize_calls = delta.tokenize_calls
+        self.stem_calls = delta.stem_calls
+
+    @property
+    def total(self) -> int:
+        return self.tokenize_calls + self.stem_calls
+
+
+@contextmanager
+def measure():
+    """Count tokenizer/stemmer calls made inside the ``with`` block.
+
+    >>> from repro.textproc.word_tokenizer import word_tokenize
+    >>> with measure() as calls:
+    ...     _ = word_tokenize("Use shared memory.")
+    >>> calls.tokenize_calls
+    1
+    """
+    with _LOCK:
+        measurement = _Measurement(snapshot())
+    try:
+        yield measurement
+    finally:
+        measurement._finish()

@@ -14,6 +14,8 @@ individually.
 
 from __future__ import annotations
 
+from repro.textproc.instrumentation import count_stem
+
 VOWELS = frozenset("aeiouy")
 
 DOUBLES = ("bb", "dd", "ff", "gg", "mm", "nn", "pp", "rr", "tt")
@@ -110,6 +112,7 @@ class PorterStemmer:
 
     def stem(self, word: str) -> str:
         """Return the Porter2 stem of *word* (lowercased first)."""
+        count_stem()
         word = word.lower()
         cached = self._cache.get(word)
         if cached is not None:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import re
 
+from repro.textproc.instrumentation import count_tokenize
+
 # Token classes, ordered by priority.  The big alternation keeps code
 # tokens intact before generic word/punctuation splitting applies.
 _TOKEN_RE = re.compile(
@@ -54,6 +56,7 @@ class WordTokenizer:
     """
 
     def tokenize(self, sentence: str) -> list[str]:
+        count_tokenize()
         tokens: list[str] = []
         for match in _TOKEN_RE.finditer(sentence):
             text = match.group(0)

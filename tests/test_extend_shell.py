@@ -57,6 +57,42 @@ class TestExtend:
         for sentence in advisor.advising_sentences:
             assert advisor.document.sentences[sentence.index] is sentence
 
+    def test_extend_with_duplicated_sentence_text(self) -> None:
+        """Regression: additions are mapped by position, never by text.
+
+        A new document that repeats an advising sentence verbatim (and
+        repeats a sentence already in the base document) must
+        contribute each occurrence exactly once, as its own Sentence
+        object — text-keyed mapping used to collapse duplicates onto
+        the first occurrence.
+        """
+        advisor = self._base()
+        before = len(advisor.advising_sentences)
+        duplicated = "Prefer pinned memory for frequent transfers."
+        added = advisor.extend(Document.from_sentences(
+            [duplicated,
+             "The PCIe bus is 16 lanes wide.",
+             duplicated,                                  # verbatim twin
+             "Use shared memory to cut global traffic."],  # dup of base doc
+            title="v2 Addendum"))
+        assert added == 3
+        assert len(advisor.advising_sentences) == before + 3
+        new = advisor.advising_sentences[before:]
+        # three distinct objects at three distinct merged-doc positions
+        assert len({id(s) for s in new}) == 3
+        assert len({s.index for s in new}) == 3
+        for sentence in new:
+            assert advisor.document.sentences[sentence.index] is sentence
+        # both copies of the duplicated text made it in
+        assert sum(s.text == duplicated for s in new) == 2
+
+    def test_provenance_recorded_for_extension(self) -> None:
+        advisor = self._base()
+        advisor.extend(Document.from_sentences(
+            ["Prefer pinned memory for transfers."], title="v2"))
+        new = advisor.advising_sentences[-1]
+        assert advisor.provenance.get(new.index) is not None
+
 
 class TestShell:
     def test_session(self, tmp_path, capsys, monkeypatch) -> None:

@@ -68,7 +68,7 @@ class TestRoundTrip:
         path = tmp_path / "a.json"
         save_advisor(tool, str(path))
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert payload["format_version"] == 1
+        assert payload["format_version"] == 2
         assert "advising_sentence_indices" in payload
 
     def test_version_check(self) -> None:
@@ -83,6 +83,118 @@ class TestRoundTrip:
         data["advising_sentence_indices"] = [9999]
         with pytest.raises(ValueError):
             advisor_from_dict(data)
+
+
+def strip_to_v1(data: dict) -> dict:
+    """Turn a v2 payload into the exact shape v1 files had on disk."""
+    v1 = {key: data[key] for key in
+          ("name", "threshold", "document", "advising_sentence_indices")}
+    v1["format_version"] = 1
+    return v1
+
+
+class TestFormatV2:
+    def test_v1_files_still_load(self, tmp_path) -> None:
+        tool = build_tool()
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(strip_to_v1(advisor_to_dict(tool))),
+            encoding="utf-8")
+        restored = load_advisor(str(path))
+        assert [s.text for s in restored.advising_sentences] == \
+            [s.text for s in tool.advising_sentences]
+        assert restored.annotations is None
+        assert restored.query("reduce memory traffic").found
+
+    def test_v1_to_v2_round_trip(self, tmp_path) -> None:
+        """Load a v1 file, re-save it, and get a fully valid v2 file."""
+        tool = build_tool()
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps(strip_to_v1(advisor_to_dict(tool))),
+            encoding="utf-8")
+        upgraded = tmp_path / "upgraded.json"
+        save_advisor(load_advisor(str(legacy)), str(upgraded))
+        payload = json.loads(upgraded.read_text(encoding="utf-8"))
+        assert payload["format_version"] == 2
+        restored = load_advisor(str(upgraded))
+        assert restored.query("reduce memory traffic").found
+
+    def test_annotations_embedded_and_restored(self, tmp_path) -> None:
+        tool = build_tool()
+        assert tool.annotations is not None
+        path = tmp_path / "a.json"
+        save_advisor(tool, str(path))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert len(payload["annotations"]["sentences"]) == \
+            len(tool.document)
+        restored = load_advisor(str(path))
+        assert restored.annotations is not None
+        assert len(restored.annotations) == len(restored.document)
+        assert restored.annotations.complete_terms
+
+    def test_annotations_can_be_omitted(self, tmp_path) -> None:
+        tool = build_tool()
+        path = tmp_path / "a.json"
+        save_advisor(tool, str(path), include_annotations=False)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "annotations" not in payload
+        restored = load_advisor(str(path))
+        assert restored.annotations is None
+        assert restored.query("reduce memory traffic").found
+
+    def test_selector_provenance_round_trips(self, tmp_path) -> None:
+        tool = build_tool()
+        assert tool.provenance  # build_advisor records it
+        path = tmp_path / "a.json"
+        save_advisor(tool, str(path))
+        restored = load_advisor(str(path))
+        assert restored.provenance == tool.provenance
+
+    def test_degraded_health_survives_save_load(self, tmp_path) -> None:
+        """A degraded build must not report ``status: ok`` after a
+        save/load round-trip (the silent-recovery bug)."""
+        from repro.resilience.faults import FaultPlan, inject
+
+        document = Document.from_sentences([
+            "Use shared memory to cut global traffic.",
+            "The cache line is 128 bytes.",
+        ])
+        plan = FaultPlan.from_dict(
+            {"faults": [{"point": "analysis.srl", "probability": 1.0}]})
+        with inject(plan):
+            tool = Egeria().build_advisor(document)
+        health = tool.health()
+        assert health["status"] == "degraded"
+        path = tmp_path / "degraded.json"
+        save_advisor(tool, str(path))
+        restored = load_advisor(str(path))
+        restored_health = restored.health()
+        assert restored_health["status"] == "degraded"
+        assert restored_health["degradation"]["build_events"] == \
+            health["degradation"]["build_events"]
+        assert restored_health["degradation"]["build_by_layer"] == \
+            health["degradation"]["build_by_layer"]
+
+    def test_quarantine_survives_save_load(self, tmp_path) -> None:
+        from repro.resilience.faults import FaultPlan, inject
+
+        document = Document.from_sentences([
+            "Use shared memory to cut global traffic.",
+        ])
+        plan = FaultPlan.from_dict(
+            {"faults": [{"point": "analysis.tokenize", "probability": 1.0},
+                        {"point": "analysis.parse", "probability": 1.0},
+                        {"point": "analysis.srl", "probability": 1.0}]})
+        with inject(plan):
+            tool = Egeria().build_advisor(document)
+        assert tool.quarantined
+        path = tmp_path / "quarantined.json"
+        save_advisor(tool, str(path))
+        restored = load_advisor(str(path))
+        assert len(restored.quarantined) == len(tool.quarantined)
+        assert restored.health()["degradation"][
+            "quarantined_sentences"] == len(tool.quarantined)
 
 
 class TestExplain:

@@ -1,12 +1,16 @@
 #!/bin/sh
 # Minimal CI for the Egeria reproduction.
 #
-#   tools/ci.sh            run the tier-1 suite, then chaos mode
+#   tools/ci.sh            tier-1 suite, then chaos mode, then the
+#                          annotation-reuse smoke check
 #   tools/ci.sh --fast     tier-1 suite only
 #
 # Chaos mode = the tier-1 suite plus the fault-injection check of
 # benchmarks/bench_robustness.py under the canned fault plan
-# (tools/chaos_plan.json) — see `make chaos`.
+# (tools/chaos_plan.json) — see `make chaos`.  The reuse smoke check
+# (benchmarks/bench_annotation_reuse.py --quick) asserts that a warm
+# AnalysisStore rebuild beats a cold build and that loading a
+# format-v2 advisor performs zero tokenizer/stemmer calls.
 
 set -e
 cd "$(dirname "$0")/.."
@@ -24,3 +28,6 @@ fi
 echo "== chaos mode: fault-injected robustness check =="
 "$PYTHON" benchmarks/bench_robustness.py --quick \
     --fault-plan tools/chaos_plan.json
+
+echo "== annotation reuse smoke check =="
+"$PYTHON" benchmarks/bench_annotation_reuse.py --quick
