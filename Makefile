@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos ci docs corpora examples clean
+.PHONY: install test lint bench chaos ci docs corpora examples clean
 
 install:
 	pip install -e .[dev]
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# egeria-lint: AST-level invariant checks (see DESIGN.md §8); violations
+# not in tools/lint_baseline.json fail the build
+lint:
+	$(PYTHON) tools/lint.py src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -110,8 +110,12 @@ def _classify_batch(
         outcome = ladder.classify(analysis, sentence_index=offset + i)
         try:
             analyzer.pipeline.ensure(annotations, "terms")
-        except Exception:
-            pass    # lexical layer degraded; parent falls back to raw text
+        except Exception as error:
+            # lexical layer degraded; the parent falls back to
+            # normalizing the raw text — recorded, never dropped
+            logger.debug("worker: terms layer failed for sentence %d "
+                         "(%r); shipping partial payload",
+                         offset + i, error)
         out.append((outcome, annotations.lexical_payload()))
     return out
 
@@ -258,13 +262,17 @@ class AdvisingSentenceRecognizer:
         annotations_list: list[SentenceAnnotations],
     ) -> None:
         """Top up the lexical layers Stage II needs and feed the store."""
-        for text, annotations in zip(texts, annotations_list):
+        for index, (text, annotations) in enumerate(
+                zip(texts, annotations_list)):
             try:
                 self._analyzer.pipeline.ensure(annotations, "terms")
-            except Exception:
+            except Exception as error:
                 # lexical layer degraded for this sentence; Stage II
-                # falls back to normalizing its raw text
-                pass
+                # falls back to normalizing its raw text — recorded so
+                # a systematically failing layer is visible in logs
+                logger.debug("terms layer failed for sentence %d (%r); "
+                             "Stage II will normalize its raw text",
+                             index, error)
             if self.store is not None:
                 self.store.put(text, annotations)
         self.last_annotations = DocumentAnnotations(annotations_list)

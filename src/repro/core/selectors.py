@@ -26,7 +26,9 @@ from abc import ABC, abstractmethod
 
 from repro.core.analysis import SentenceAnalysis
 from repro.core.keywords import KeywordConfig
-from repro.textproc.porter import PorterStemmer
+# stems the *keyword configuration* (Table 1 flagging words), not
+# sentence text — sentences arrive pre-analyzed via SentenceAnalysis
+from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
 
 
 class Selector(ABC):

@@ -168,7 +168,15 @@ def build_guide(spec: GuideSpec) -> LabeledGuide:
     document = Document(title=spec.name, sections=sections)
     document.reindex()
     guide = LabeledGuide(spec=spec, document=document, meta=meta)
-    assert len(guide.meta) == len(document.sentences)
+    if len(guide.meta) != len(document.sentences):
+        # an assert here would vanish under `python -O`, silently
+        # shipping a guide whose ground-truth labels are misaligned
+        # with its sentences — every downstream evaluation number
+        # would be wrong
+        raise RuntimeError(
+            f"guide {spec.name!r} built {len(document.sentences)} "
+            f"sentences but {len(guide.meta)} metadata records; "
+            f"labels would be misaligned")
     return guide
 
 

@@ -20,7 +20,9 @@ from dataclasses import dataclass
 
 from repro.corpus.builder import LabeledGuide
 from repro.docs.document import Sentence
-from repro.textproc.porter import PorterStemmer
+# stems the Table 6 issue specs' characteristic terms (ground-truth
+# relevance criteria), not corpus sentences
+from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
 
 _STEMMER = PorterStemmer()
 

@@ -1,0 +1,10 @@
+"""Developer-facing tooling that ships with the reproduction.
+
+Unlike the library packages, nothing under ``repro.devtools`` runs at
+serving or build time — these are the tools that keep the codebase
+honest:
+
+* :mod:`repro.devtools.lint` — *egeria-lint*, the AST-based invariant
+  checker that enforces the pipeline, resilience, and persistence
+  contracts at CI time (``python tools/lint.py``).
+"""

@@ -1,0 +1,61 @@
+"""egeria-lint — AST-based invariant checker for the reproduction.
+
+The resilience layer (PR 1) and the one-pass annotation pipeline
+(PR 2) each introduced contracts that were, until this package,
+enforced only by convention: every stage hooks a named fault point,
+Stage II never re-tokenizes what the annotation artifact carries,
+runtime invariants raise instead of ``assert``-ing, broad handlers on
+the serving path record failures, and the persistence schema
+round-trips every field.  Each of those conventions had already been
+violated once by the time it was written down — *egeria-lint* turns
+them into CI-time checks.
+
+Usage (see ``tools/lint.py`` for the CLI)::
+
+    from repro.devtools.lint import Linter, Baseline
+
+    result = Linter(baseline=Baseline.load("tools/lint_baseline.json"))\\
+        .lint_paths(["src"], root=".")
+    print(render_text(result))
+
+Suppression: ``# egeria: noqa[rule-id]`` on the offending line (with a
+trailing reason).  Grandfathering: entries in the committed baseline
+file, each carrying a ``justification``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.baseline import Baseline, BaselineEntry
+from repro.devtools.lint.engine import (
+    FileContext,
+    LintResult,
+    Linter,
+    Project,
+    Rule,
+    Violation,
+    default_rules,
+    register,
+    registered_rules,
+)
+from repro.devtools.lint.reporters import (
+    render_json,
+    render_text,
+    report_to_dict,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "LintResult",
+    "Linter",
+    "Project",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+]

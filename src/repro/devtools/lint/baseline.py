@@ -1,0 +1,143 @@
+"""Committed baseline of grandfathered lint violations.
+
+A baseline file lets a new rule land while the codebase still carries
+known, *justified* violations: matched findings are reported separately
+and do not fail the run, while anything new does.  Entries match on the
+violation fingerprint — ``(rule, path, message)``, no line numbers — so
+edits elsewhere in a file never invalidate the baseline.  Matching is
+multiset-style: two identical grandfathered violations need two
+entries, and fixing one of them makes the spare entry *stale* (surfaced
+by :meth:`Baseline.stale_entries` so the file shrinks monotonically).
+
+Every entry carries a ``justification`` string; ``tools/lint.py
+--write-baseline`` stamps new entries with a TODO marker so an
+unjustified grandfathering is visible in review.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.lint.engine import Violation
+
+BASELINE_VERSION = 1
+
+#: justification stamped on freshly written entries
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    rule: str
+    path: str
+    message: str
+    justification: str = TODO_JUSTIFICATION
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path,
+                "message": self.message,
+                "justification": self.justification}
+
+
+class Baseline:
+    """A set of grandfathered violations, loaded from / saved to JSON."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries = list(entries or [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- matching -------------------------------------------------------
+
+    def partition(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """Split *violations* into (new, baselined)."""
+        budget = Counter(entry.fingerprint for entry in self.entries)
+        new: list[Violation] = []
+        matched: list[Violation] = []
+        for violation in violations:
+            fingerprint = violation.fingerprint()
+            if budget.get(fingerprint, 0) > 0:
+                budget[fingerprint] -= 1
+                matched.append(violation)
+            else:
+                new.append(violation)
+        return new, matched
+
+    def stale_entries(
+        self, violations: list[Violation]
+    ) -> list[BaselineEntry]:
+        """Entries no current violation matches (fixed → prune them)."""
+        current = Counter(v.fingerprint() for v in violations)
+        stale: list[BaselineEntry] = []
+        for entry in self.entries:
+            if current.get(entry.fingerprint, 0) > 0:
+                current[entry.fingerprint] -= 1
+            else:
+                stale.append(entry)
+        return stale
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load *path*; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        data = json.loads(file_path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}")
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                message=str(entry["message"]),
+                justification=str(
+                    entry.get("justification", TODO_JUSTIFICATION)),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation],
+                        previous: "Baseline | None" = None) -> "Baseline":
+        """Baseline for the current findings, keeping any justification
+        the *previous* baseline already recorded for a fingerprint."""
+        known: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                known.setdefault(entry.fingerprint, entry.justification)
+        entries = [
+            BaselineEntry(
+                rule=v.rule_id, path=v.path, message=v.message,
+                justification=known.get(v.fingerprint(),
+                                        TODO_JUSTIFICATION),
+            )
+            for v in sorted(violations,
+                            key=lambda v: (v.path, v.rule_id, v.message))
+        ]
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=1, ensure_ascii=False) + "\n",
+            encoding="utf-8")

@@ -1,0 +1,334 @@
+"""The egeria-lint engine: file contexts, rule registry, runner.
+
+The checker is deliberately self-contained (stdlib ``ast`` only) and
+two-phase:
+
+1. every target file is parsed once into a :class:`FileContext`
+   (source, AST, derived module name, ``noqa`` suppressions);
+2. each registered :class:`Rule` runs — per-file rules see one context
+   at a time, project rules see the whole :class:`Project`, which is
+   what lets cross-module invariants (fault-point coverage,
+   persistence schema sync) be checked statically.
+
+Violations are value objects with a stable *fingerprint* —
+``(rule id, path, message)``, deliberately line-number-free so a
+committed baseline survives unrelated edits above a grandfathered
+violation.
+
+Suppressions: a ``# egeria: noqa[rule-id]`` trailing comment silences
+the named rule(s) on that line; bare ``# egeria: noqa`` silences every
+rule on the line.  A ``# egeria: module=<dotted.name>`` pragma near the
+top of a file overrides the module name derived from its path — test
+fixtures use it to impersonate scoped modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+#: the severities a rule may declare (ordering = report ordering)
+SEVERITIES = ("error", "warning")
+
+_NOQA_RE = re.compile(
+    r"#\s*egeria:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\- ]+)\])?")
+_MODULE_PRAGMA_RE = re.compile(
+    r"#\s*egeria:\s*module=(?P<module>[A-Za-z0-9_.]+)")
+#: lines scanned for the module pragma
+_PRAGMA_WINDOW = 10
+
+#: sentinel: a blanket ``# egeria: noqa`` (suppresses every rule)
+NOQA_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one location."""
+
+    rule_id: str
+    path: str           # project-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity}[{self.rule_id}] {self.message}")
+
+
+class FileContext:
+    """One parsed target file, shared by every rule."""
+
+    def __init__(self, path: Path, source: str,
+                 root: Path | None = None) -> None:
+        self.path = Path(path)
+        self.relpath = _relative_posix(self.path, root)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self.module = self._derive_module()
+        self.noqa = self._collect_noqa()
+
+    # -- derivation -----------------------------------------------------
+
+    def _derive_module(self) -> str:
+        pragma = self._module_pragma()
+        if pragma is not None:
+            return pragma
+        parts = list(Path(self.relpath).parts)
+        if "src" in parts:
+            parts = parts[len(parts) - parts[::-1].index("src"):]
+        if not parts:
+            return self.path.stem
+        parts[-1] = Path(parts[-1]).stem
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else self.path.stem
+
+    def _module_pragma(self) -> str | None:
+        for line in self.lines[:_PRAGMA_WINDOW]:
+            match = _MODULE_PRAGMA_RE.search(line)
+            if match:
+                return match.group("module")
+        return None
+
+    def _collect_noqa(self) -> dict[int, set[str]]:
+        suppressions: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                suppressions[lineno] = {NOQA_ALL}
+            else:
+                suppressions[lineno] = {
+                    r.strip() for r in rules.split(",") if r.strip()}
+        return suppressions
+
+    # -- queries --------------------------------------------------------
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        rules = self.noqa.get(violation.line)
+        if not rules:
+            return False
+        return NOQA_ALL in rules or violation.rule_id in rules
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+class Project:
+    """Every :class:`FileContext` of one lint run, module-addressable."""
+
+    def __init__(self, files: Sequence[FileContext]) -> None:
+        self.files = list(files)
+        self._by_module: dict[str, FileContext] = {}
+        for ctx in self.files:
+            self._by_module.setdefault(ctx.module, ctx)
+
+    def module(self, name: str) -> FileContext | None:
+        return self._by_module.get(name)
+
+    def __iter__(self) -> Iterator[FileContext]:
+        return iter(self.files)
+
+
+class Rule:
+    """Base class: one named invariant with a severity.
+
+    Subclasses override :meth:`check_file` (runs once per file) and/or
+    :meth:`check_project` (runs once per lint pass with cross-file
+    visibility).  Register with :func:`register` so the CLI and the
+    default runner pick the rule up.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        return ()
+
+    # -- helper ---------------------------------------------------------
+
+    def violation(self, ctx: FileContext, node: ast.AST | int,
+                  message: str) -> Violation:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Violation(rule_id=self.id, path=ctx.relpath, line=line,
+                         col=col, message=message, severity=self.severity)
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator: add *rule_class* to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(
+            f"{rule_class.__name__}: unknown severity "
+            f"{rule_class.severity!r} (expected one of {SEVERITIES})")
+    existing = _REGISTRY.get(rule_class.id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """Registered rule classes (importing the rules package as a side
+    effect, so the built-in rules self-register)."""
+    import repro.devtools.lint.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def default_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instances of the registered rules, sorted by id.
+
+    ``select`` restricts to the named rule ids (unknown ids raise —
+    a typo in ``--select`` must not silently lint nothing).
+    """
+    registry = registered_rules()
+    if select is not None:
+        wanted = list(select)
+        unknown = [rule_id for rule_id in wanted if rule_id not in registry]
+        if unknown:
+            raise KeyError(
+                f"unknown rule ids {unknown}; known: {sorted(registry)}")
+        return [registry[rule_id]() for rule_id in sorted(set(wanted))]
+    return [cls() for _, cls in sorted(registry.items())]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint pass, partitioned for reporting.
+
+    ``violations`` are the live findings (exit code 1); ``suppressed``
+    were silenced by ``noqa`` comments; ``baselined`` matched the
+    committed baseline; ``broken_files`` could not be parsed (each also
+    yields a synthetic ``syntax-error`` violation).
+    """
+
+    violations: list[Violation]
+    suppressed: list[Violation]
+    baselined: list[Violation]
+    checked_files: int
+    rules: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+
+class Linter:
+    """Runs a rule set over paths, applying noqa and baseline filters."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None,
+                 baseline=None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.baseline = baseline
+
+    def lint_paths(self, paths: Sequence[str | Path],
+                   root: str | Path | None = None) -> LintResult:
+        root_path = Path(root) if root is not None else None
+        contexts: list[FileContext] = []
+        violations: list[Violation] = []
+        checked = 0
+        for path in _iter_python_files(paths):
+            checked += 1
+            source = path.read_text(encoding="utf-8")
+            try:
+                contexts.append(FileContext(path, source, root=root_path))
+            except SyntaxError as error:
+                violations.append(Violation(
+                    rule_id="syntax-error",
+                    path=_relative_posix(path, root_path),
+                    line=error.lineno or 1, col=error.offset or 0,
+                    message=f"file does not parse: {error.msg}",
+                    severity="error"))
+        project = Project(contexts)
+        for rule in self.rules:
+            for ctx in contexts:
+                violations.extend(rule.check_file(ctx))
+            violations.extend(rule.check_project(project))
+        return self._partition(project, violations, checked)
+
+    def _partition(self, project: Project, found: list[Violation],
+                   checked: int) -> LintResult:
+        by_path = {ctx.relpath: ctx for ctx in project}
+        live: list[Violation] = []
+        suppressed: list[Violation] = []
+        for violation in sorted(
+                found, key=lambda v: (v.path, v.line, v.col, v.rule_id)):
+            ctx = by_path.get(violation.path)
+            if ctx is not None and ctx.is_suppressed(violation):
+                suppressed.append(violation)
+            else:
+                live.append(violation)
+        baselined: list[Violation] = []
+        if self.baseline is not None:
+            live, baselined = self.baseline.partition(live)
+        return LintResult(violations=live, suppressed=suppressed,
+                          baselined=baselined, checked_files=checked,
+                          rules=[rule.id for rule in self.rules])
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            candidates: Iterable[Path] = sorted(entry_path.rglob("*.py"))
+        else:
+            candidates = [entry_path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def _relative_posix(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()

@@ -1,0 +1,58 @@
+"""Text and JSON reporters for lint results.
+
+The text reporter is the human CI log view; the JSON reporter is the
+machine contract (schema version pinned, violations carry rule / path /
+line / col / severity / message) consumed by editor integrations and
+asserted by ``tests/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.engine import LintResult
+
+#: schema version of the JSON report
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [violation.render() for violation in result.violations]
+    if verbose:
+        lines.extend(f"{v.render()}  (suppressed by noqa)"
+                     for v in result.suppressed)
+        lines.extend(f"{v.render()}  (baselined)"
+                     for v in result.baselined)
+    summary = (
+        f"egeria-lint: {len(result.violations)} violation(s) in "
+        f"{result.checked_files} file(s) "
+        f"[{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined]")
+    if result.violations:
+        by_rule = ", ".join(f"{rule}={count}" for rule, count in
+                            sorted(result.by_rule().items()))
+        summary += f" — {by_rule}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def report_to_dict(result: LintResult) -> dict:
+    """The JSON report as a dict (see :data:`REPORT_VERSION`)."""
+    return {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "violations": [v.to_dict() for v in result.violations],
+        "summary": {
+            "checked_files": result.checked_files,
+            "violations": len(result.violations),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "by_rule": result.by_rule(),
+            "rules": list(result.rules),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(report_to_dict(result), indent=1, ensure_ascii=False)

@@ -1,0 +1,64 @@
+"""The egeria-lint rule set.
+
+Importing this package registers every built-in rule with the engine
+registry (see :func:`repro.devtools.lint.engine.register`).  Each rule
+encodes one invariant of the existing architecture; the origin story of
+every rule is documented in DESIGN.md §8.
+
+Shared AST helpers live here, *above* the submodule imports at the
+bottom — the rule modules import them back from this package, so they
+must already be bound when the submodules load.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def module_in_scope(module: str, prefixes: tuple[str, ...]) -> bool:
+    """True when *module* is one of *prefixes* or inside one of them.
+
+    Prefixes match on dotted-name boundaries — ``repro.core`` covers
+    ``repro.core.recognizer`` but not ``repro.corpus``.
+    """
+    return any(module == prefix or module.startswith(prefix + ".")
+               for prefix in prefixes)
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef
+                                              | ast.AsyncFunctionDef]:
+    """Every function/method definition in *tree*, any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``foo(...)`` → "foo", ``a.b.foo(...)`` → "foo"."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def string_constant(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+# registration side effects — one module per rule (or rule family);
+# deliberately after the helper definitions (see module docstring)
+from repro.devtools.lint.rules import (  # noqa: E402,F401
+    asserts,
+    determinism,
+    excepts,
+    exports,
+    faultpoints,
+    persistence_sync,
+    tokenize,
+    workers,
+)

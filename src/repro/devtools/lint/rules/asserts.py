@@ -1,0 +1,34 @@
+"""no-bare-assert — runtime invariants must raise, not ``assert``.
+
+Origin: PR 1 shipped ``assert last is not None`` in the retry policy
+and PR 2 found (and fixed) a bare assert guarding the Table 7/8 counts
+in ``recognizer.summary()``.  ``python -O`` strips every assert
+statement, so an invariant guarded this way silently vanishes in
+optimized deployments — exactly the failure mode a serving system
+cannot afford.  Library code must raise a real exception with context
+instead; ``assert`` stays legal in tests (which are not linted) and in
+explicitly suppressed type-narrowing spots.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+
+
+@register
+class NoBareAssertRule(Rule):
+    id = "no-bare-assert"
+    severity = "error"
+    description = ("assert statements vanish under `python -O`; raise an "
+                   "explicit exception for runtime invariants")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    ctx, node,
+                    "bare assert is stripped by `python -O`; raise an "
+                    "explicit exception with context instead")

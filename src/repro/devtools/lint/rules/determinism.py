@@ -1,0 +1,88 @@
+"""no-nondeterminism — the analysis core stays reproducible.
+
+Origin: DESIGN.md §8's standing convention ("every stochastic component
+takes an explicit seed") and the fault injector's per-point seeded RNG
+streams, which exist precisely so chaos runs are reproducible across
+worker counts.  A stray ``random.random()`` or wall-clock ``time.time``
+branch inside the analysis core breaks score-identity between runs —
+the property every benchmark and the annotation-reuse guarantee lean
+on.
+
+Scope: ``repro.core``, ``repro.pipeline``, ``repro.retrieval``.  Flags
+the module-global RNGs (``random.<fn>``, unseeded ``random.Random()``,
+``numpy.random.<fn>`` other than ``default_rng``/``Generator``/
+``SeedSequence``) and wall-clock ``time.time()``.  Monotonic and
+perf-counter clocks stay legal — measuring duration is fine, branching
+on the wall clock is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope
+
+SCOPE_PREFIXES = ("repro.core", "repro.pipeline", "repro.retrieval")
+
+#: numpy.random entry points that take explicit seeds
+_SEEDED_NUMPY = {"default_rng", "Generator", "SeedSequence"}
+
+
+def _numpy_random_attr(func: ast.Attribute) -> str | None:
+    """"np.random.<attr>" / "numpy.random.<attr>" → attr name."""
+    value = func.value
+    if isinstance(value, ast.Attribute) and value.attr == "random" and \
+            isinstance(value.value, ast.Name) and \
+            value.value.id in {"np", "numpy"}:
+        return func.attr
+    return None
+
+
+@register
+class NoNondeterminismRule(Rule):
+    id = "no-nondeterminism"
+    severity = "error"
+    description = ("no module-global RNGs or wall-clock reads in "
+                   "core/pipeline/retrieval; plumb explicit seeds")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if not module_in_scope(ctx.module, SCOPE_PREFIXES):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if isinstance(func.value, ast.Name):
+                if func.value.id == "random":
+                    if func.attr == "Random":
+                        if not node.args and not node.keywords:
+                            yield self.violation(
+                                ctx, node,
+                                "unseeded random.Random() in the analysis "
+                                "core; pass an explicit seed")
+                        continue
+                    if func.attr == "SystemRandom":
+                        continue
+                    yield self.violation(
+                        ctx, node,
+                        f"module-global random.{func.attr}() makes the "
+                        f"analysis core nondeterministic; use a seeded "
+                        f"random.Random instance")
+                    continue
+                if func.value.id == "time" and func.attr == "time":
+                    yield self.violation(
+                        ctx, node,
+                        "wall-clock time.time() in the analysis core; "
+                        "use time.monotonic()/perf_counter() for "
+                        "durations, or plumb the timestamp in")
+                    continue
+            numpy_attr = _numpy_random_attr(func)
+            if numpy_attr is not None and numpy_attr not in _SEEDED_NUMPY:
+                yield self.violation(
+                    ctx, node,
+                    f"numpy.random.{numpy_attr}() uses the global numpy "
+                    f"RNG; create a numpy.random.default_rng(seed)")

@@ -1,0 +1,115 @@
+"""no-silent-except — broad handlers on the serving path must tell
+someone.
+
+Origin: the resilience layer's whole design is that failures are
+*recorded* — as log lines, ``DegradationEvent`` records, or health
+counters — never dropped.  A ``except Exception: pass`` in the
+recognizer or the WSGI app silently converts a failing NLP layer into
+missing data (the pre-PR-3 ``_classify_batch`` did exactly this for the
+terms layer).  This rule scopes to the serving/recognizer path and
+flags any broad handler (bare ``except``, ``except Exception`` /
+``BaseException``) whose body neither raises, logs, records a
+``DegradationEvent``, nor ticks a counter.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope
+
+#: the serving / recognizer path (where silent drops corrupt health
+#: reporting) — everything else may handle errors however it likes
+SCOPE_PREFIXES = (
+    "repro.web",
+    "repro.resilience",
+    "repro.core.recognizer",
+    "repro.core.advisor",
+)
+
+#: exception names considered "broad"
+BROAD_NAMES = {"Exception", "BaseException"}
+
+#: attribute calls that count as recording the failure
+_RECORDING_ATTRS = {
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+    "record_failure", "record_event",
+}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:       # bare except
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [e for e in handler.type.elts]
+    else:
+        names = [handler.type]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in BROAD_NAMES:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in BROAD_NAMES:
+            return True
+    return False
+
+
+def _records_failure(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "DegradationEvent":
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr == "DegradationEvent":
+                    return True
+                value = func.value
+                # logger.warning(...), logging.exception(...), …
+                if func.attr in _RECORDING_ATTRS and (
+                        isinstance(value, ast.Name)
+                        and "log" in value.id.lower()
+                        or isinstance(value, ast.Attribute)
+                        and "log" in value.attr.lower()):
+                    return True
+        # self.counters["errors"] += 1 / counters[...] = …
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript) and \
+                        _mentions_counter(target.value):
+                    return True
+    return False
+
+
+def _mentions_counter(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "counter" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "counter" in node.attr.lower()
+    return False
+
+
+@register
+class NoSilentExceptRule(Rule):
+    id = "no-silent-except"
+    severity = "error"
+    description = ("broad except handlers on the serving/recognizer path "
+                   "must log, record a DegradationEvent, tick a counter, "
+                   "or re-raise")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if not module_in_scope(ctx.module, SCOPE_PREFIXES):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _records_failure(node):
+                yield self.violation(
+                    ctx, node,
+                    "broad except handler drops the failure silently; "
+                    "log it, record a DegradationEvent, tick a health "
+                    "counter, or re-raise")

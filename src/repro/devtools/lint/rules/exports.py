@@ -1,0 +1,98 @@
+"""export-consistency — ``__all__`` is a contract, keep it true.
+
+Origin: every subpackage's ``__init__`` re-exports its public API
+through ``__all__``, and downstream code (docs generation, the CLI's
+lazy loader) trusts it.  A name listed but never defined raises only
+on ``from repro.x import *`` or ``gen_api_docs`` runs — i.e. late; a
+duplicate entry hides drift in review diffs; a public class defined in
+a module that declares ``__all__`` but omits the class silently ships
+private API.
+
+Modules whose ``__all__`` is not a plain literal list of strings (e.g.
+the lazy ``[*_EXPORTS, "__version__"]`` in ``repro/__init__``) are
+skipped — they cannot be verified statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import string_constant
+
+
+def _literal_all(tree: ast.Module) -> tuple[ast.Assign, list[str]] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                return None
+            names = [string_constant(e) for e in node.value.elts]
+            if any(name is None for name in names):
+                return None
+            return node, names  # type: ignore[return-value]
+    return None
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _public_defs(tree: ast.Module) -> set[str]:
+    """Classes/functions *defined* here (imports excluded) that look
+    public."""
+    return {node.name for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef))
+            and not node.name.startswith("_")}
+
+
+@register
+class ExportConsistencyRule(Rule):
+    id = "export-consistency"
+    severity = "error"
+    description = ("__all__ entries must exist, be unique, and cover "
+                   "the module's public defs")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        found = _literal_all(ctx.tree)
+        if found is None:
+            return
+        assign, exported = found
+        defined = _top_level_names(ctx.tree)
+        seen: set[str] = set()
+        for name in exported:
+            if name in seen:
+                yield self.violation(
+                    ctx, assign,
+                    f"__all__ lists {name!r} twice")
+            seen.add(name)
+            if name not in defined and name != "__version__":
+                yield self.violation(
+                    ctx, assign,
+                    f"__all__ exports {name!r} but the module never "
+                    f"defines or imports it; `import *` would raise")
+        for name in sorted(_public_defs(ctx.tree) - seen):
+            yield self.violation(
+                ctx, assign,
+                f"public definition {name!r} is missing from __all__; "
+                f"either export it or rename it _private")

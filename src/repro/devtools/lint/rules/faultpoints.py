@@ -1,0 +1,143 @@
+"""fault-point-coverage — chaos testing only covers what is hooked.
+
+Origin: the resilience layer (PR 1) injects failures at *named* fault
+points, and the one-pass pipeline (PR 2) promised that "every stage
+keeps its historical fault point" so chaos plans written against the
+old layout keep working.  Nothing enforced either claim.  This rule
+does, statically:
+
+* every ``Stage`` class in ``repro.pipeline.stages`` (a class with a
+  ``provides`` attribute and a ``run`` method, excluding the Protocol
+  itself) must call ``fault_point("<literal>")`` inside ``run`` — a new
+  stage without a hook is invisible to every chaos plan;
+* ``fault_point`` must be called with a string literal, so plans can be
+  audited against the source;
+* every point named in a ``FaultSpec(point=...)`` literal (e.g. the
+  canned chaos plan) must have a matching ``fault_point`` call site
+  somewhere in the linted tree — an orphan plan entry tests nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    register,
+)
+from repro.devtools.lint.rules import string_constant
+
+STAGES_MODULE = "repro.pipeline.stages"
+
+
+def _fault_point_calls(ctx: FileContext) -> Iterable[tuple[ast.Call,
+                                                           str | None]]:
+    for node in ctx.walk():
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "fault_point":
+            name = (string_constant(node.args[0])
+                    if node.args else None)
+            yield node, name
+
+
+def _is_protocol(class_def: ast.ClassDef) -> bool:
+    for base in class_def.bases:
+        if isinstance(base, ast.Name) and base.id == "Protocol":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == "Protocol":
+            return True
+        if isinstance(base, ast.Subscript):
+            value = base.value
+            if isinstance(value, ast.Name) and value.id == "Protocol":
+                return True
+    return False
+
+
+def _stage_classes(ctx: FileContext) -> Iterable[ast.ClassDef]:
+    for node in ctx.tree.body:
+        if not isinstance(node, ast.ClassDef) or _is_protocol(node):
+            continue
+        has_provides = any(
+            (isinstance(item, ast.Assign)
+             and any(isinstance(t, ast.Name) and t.id == "provides"
+                     for t in item.targets))
+            or (isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id == "provides")
+            for item in node.body)
+        has_run = any(isinstance(item, ast.FunctionDef)
+                      and item.name == "run" for item in node.body)
+        if has_provides and has_run:
+            yield node
+
+
+@register
+class FaultPointCoverageRule(Rule):
+    id = "fault-point-coverage"
+    severity = "error"
+    description = ("every pipeline Stage must hook a literal fault point; "
+                   "fault plans must not name orphan points")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        hooked: set[str] = set()
+        for ctx in project:
+            for call, name in _fault_point_calls(ctx):
+                if name is None:
+                    yield self.violation(
+                        ctx, call,
+                        "fault_point() must be called with a string "
+                        "literal so chaos plans can be audited against "
+                        "the source")
+                else:
+                    hooked.add(name)
+        stages_ctx = project.module(STAGES_MODULE)
+        if stages_ctx is not None:
+            yield from self._check_stages(stages_ctx)
+        for ctx in project:
+            yield from self._check_spec_points(ctx, hooked)
+
+    def _check_stages(self, ctx: FileContext) -> Iterable[Violation]:
+        for class_def in _stage_classes(ctx):
+            run = next(item for item in class_def.body
+                       if isinstance(item, ast.FunctionDef)
+                       and item.name == "run")
+            has_hook = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "fault_point"
+                and node.args and string_constant(node.args[0]) is not None
+                for node in ast.walk(run))
+            if not has_hook:
+                yield self.violation(
+                    ctx, class_def,
+                    f"stage {class_def.name!r} has no fault_point() hook "
+                    f"in run(); the stage is invisible to every chaos "
+                    f"plan")
+
+    def _check_spec_points(self, ctx: FileContext,
+                           hooked: set[str]) -> Iterable[Violation]:
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "FaultSpec"):
+                continue
+            point: str | None = None
+            point_node: ast.AST = node
+            for keyword in node.keywords:
+                if keyword.arg == "point":
+                    point = string_constant(keyword.value)
+                    point_node = keyword.value
+            if point is None and node.args:
+                point = string_constant(node.args[0])
+                point_node = node.args[0]
+            if point is not None and point not in hooked:
+                yield self.violation(
+                    ctx, point_node,
+                    f"fault plan names point {point!r} but no "
+                    f"fault_point({point!r}) call site exists — the "
+                    f"spec injects nothing")

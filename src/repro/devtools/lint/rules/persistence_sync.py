@@ -1,0 +1,148 @@
+"""persistence-schema-sync — format v2 can't silently drop a layer.
+
+Origin: persistence format v2 (PR 2) embeds the annotation artifact's
+lexical layers so a loaded advisor performs zero tokenizer calls.  The
+round-trip is spread over two modules — the layer tuples and dataclass
+fields in ``repro.pipeline.annotations``, the JSON keys in
+``repro.core.persistence`` — and nothing kept them aligned: adding a
+layer to ``LEXICAL_LAYERS`` without teaching ``from_lexical`` about it,
+or serializing a new advisor field without reading it back, would
+silently drop data on every save/load cycle.
+
+Checks (all static, cross-module):
+
+* every name in ``LAYERS`` is a field of the ``SentenceAnnotations``
+  dataclass, and ``LEXICAL_LAYERS`` ⊆ ``LAYERS``;
+* ``SentenceAnnotations.from_lexical`` mentions every lexical layer by
+  literal, so shipped payloads rebuild completely;
+* every string key the persistence module writes (dict literals,
+  subscript stores) is also read somewhere in it (``.get(...)`` or
+  subscript loads) — a written-but-never-read key is a field the load
+  path silently discards.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    register,
+)
+from repro.devtools.lint.rules import string_constant
+
+ANNOTATIONS_MODULE = "repro.pipeline.annotations"
+PERSISTENCE_MODULE = "repro.core.persistence"
+
+
+def _tuple_literal(ctx: FileContext, name: str) -> list[str] | None:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets):
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                values = [string_constant(e) for e in node.value.elts]
+                if all(v is not None for v in values):
+                    return values  # type: ignore[return-value]
+    return None
+
+
+def _class_def(ctx: FileContext, name: str) -> ast.ClassDef | None:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dataclass_fields(class_def: ast.ClassDef) -> set[str]:
+    return {item.target.id for item in class_def.body
+            if isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)}
+
+
+def _string_literals(node: ast.AST) -> set[str]:
+    return {value for sub in ast.walk(node)
+            if (value := string_constant(sub)) is not None}
+
+
+@register
+class PersistenceSchemaSyncRule(Rule):
+    id = "persistence-schema-sync"
+    severity = "error"
+    description = ("annotation layers and persistence JSON keys must "
+                   "round-trip: no layer or field is written without "
+                   "being read back")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        annotations = project.module(ANNOTATIONS_MODULE)
+        if annotations is not None:
+            yield from self._check_annotations(annotations)
+        persistence = project.module(PERSISTENCE_MODULE)
+        if persistence is not None:
+            yield from self._check_persistence(persistence)
+
+    def _check_annotations(self, ctx: FileContext) -> Iterable[Violation]:
+        layers = _tuple_literal(ctx, "LAYERS")
+        lexical = _tuple_literal(ctx, "LEXICAL_LAYERS")
+        class_def = _class_def(ctx, "SentenceAnnotations")
+        if class_def is None:
+            return
+        fields = _dataclass_fields(class_def)
+        for layer in layers or ():
+            if layer not in fields:
+                yield self.violation(
+                    ctx, class_def,
+                    f"LAYERS names {layer!r} but SentenceAnnotations has "
+                    f"no such field; the layer can never be stored")
+        for layer in lexical or ():
+            if layers is not None and layer not in layers:
+                yield self.violation(
+                    ctx, class_def,
+                    f"LEXICAL_LAYERS names {layer!r} which is not in "
+                    f"LAYERS; the layer serializes but never computes")
+        from_lexical = next(
+            (item for item in class_def.body
+             if isinstance(item, ast.FunctionDef)
+             and item.name == "from_lexical"), None)
+        if from_lexical is not None:
+            mentioned = _string_literals(from_lexical)
+            for layer in lexical or ():
+                if layer not in mentioned:
+                    yield self.violation(
+                        ctx, from_lexical,
+                        f"from_lexical() never reads lexical layer "
+                        f"{layer!r}; worker payloads and v2 files drop "
+                        f"it on load")
+
+    def _check_persistence(self, ctx: FileContext) -> Iterable[Violation]:
+        written: dict[str, ast.AST] = {}
+        read: set[str] = set()
+        for node in ctx.walk():
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    value = string_constant(key) if key is not None else None
+                    if value is not None:
+                        written.setdefault(value, key)
+            elif isinstance(node, ast.Subscript):
+                key = string_constant(node.slice)
+                if key is None:
+                    continue
+                if isinstance(node.ctx, ast.Store):
+                    written.setdefault(key, node)
+                else:
+                    read.add(key)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "get" and node.args:
+                key = string_constant(node.args[0])
+                if key is not None:
+                    read.add(key)
+        for key in sorted(set(written) - read):
+            yield self.violation(
+                ctx, written[key],
+                f"persistence serializes key {key!r} but never reads it "
+                f"back; the field is silently dropped on load")

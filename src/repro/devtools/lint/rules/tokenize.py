@@ -1,0 +1,74 @@
+"""no-direct-tokenize — lexical analysis goes through the pipeline.
+
+Origin: the one-pass annotation pipeline (PR 2) exists because Stage II
+silently re-tokenized every sentence instead of reusing the
+``AnalysisStore`` artifact — the ``extend()``-era regression in
+``retrieval/``.  Re-introducing a direct ``WordTokenizer`` /
+``PorterStemmer`` / ``word_tokenize`` call outside the text-processing
+substrate or the pipeline stages re-opens exactly that hole: work the
+artifact already carries gets recomputed, and the zero-re-tokenization
+persistence guarantee quietly breaks.
+
+Outside ``repro.textproc`` and ``repro.pipeline``, both importing and
+calling the tokenizer/stemmer primitives is flagged.  Legitimate
+boundary uses — analyzing *query* text, raw-sentence entry points like
+the parser and tagger — carry ``# egeria: noqa[no-direct-tokenize]``
+with a reason, which doubles as an inventory of every place lexical
+analysis happens off-pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope
+
+#: modules allowed to touch the primitives directly
+ALLOWED_PREFIXES = ("repro.textproc", "repro.pipeline", "repro.devtools")
+
+#: the guarded primitive names
+PRIMITIVES = {"WordTokenizer", "word_tokenize", "PorterStemmer", "stem"}
+
+#: textproc modules whose imports are guarded
+_TEXTPROC_MODULES = ("repro.textproc", "repro.textproc.word_tokenizer",
+                     "repro.textproc.porter")
+
+
+@register
+class NoDirectTokenizeRule(Rule):
+    id = "no-direct-tokenize"
+    severity = "error"
+    description = ("tokenizer/stemmer primitives outside repro.textproc / "
+                   "repro.pipeline must go through annotation payloads")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if module_in_scope(ctx.module, ALLOWED_PREFIXES):
+            return
+        guarded: set[str] = set()
+        for node in ctx.walk():
+            if isinstance(node, ast.ImportFrom):
+                if node.module not in _TEXTPROC_MODULES:
+                    continue
+                hits = [alias for alias in node.names
+                        if alias.name in PRIMITIVES]
+                for alias in hits:
+                    violation = self.violation(
+                        ctx, node,
+                        f"direct import of {alias.name!r} from "
+                        f"repro.textproc; consume tokens/stems/terms from "
+                        f"the annotation artifact instead")
+                    # a noqa-justified import waives the per-call checks
+                    # too — the justification lives once, at the import
+                    if not ctx.is_suppressed(violation):
+                        guarded.add(alias.asname or alias.name)
+                    yield violation
+        for node in ctx.walk():
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in guarded:
+                yield self.violation(
+                    ctx, node,
+                    f"direct call to {node.func.id!r} re-tokenizes text "
+                    f"the annotation pipeline already analyzed")

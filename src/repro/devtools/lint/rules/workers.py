@@ -1,0 +1,134 @@
+"""worker-shared-state — fork-shipped functions must not mutate module
+globals.
+
+Origin: the recognizer's multiprocessing pool runs top-level functions
+in forked workers.  Worker-side initialization goes through the
+sanctioned ``_init_worker`` initializer into ``_WORKER_STATE``; any
+*other* function mutating module-level mutable state is a latent bug
+twice over — under fork the mutation is invisible to the parent (state
+silently diverges per process), and under threads it is a data race.
+
+Scope: ``repro.core``, ``repro.pipeline``, ``repro.retrieval``.  Flags,
+inside any function not named like an ``_init_worker`` initializer:
+mutations of module-level mutable bindings (subscript stores, mutating
+method calls like ``append``/``update``), and any ``global`` statement
+(rebinding module state from inside a function).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope, walk_functions
+
+SCOPE_PREFIXES = ("repro.core", "repro.pipeline", "repro.retrieval")
+
+#: pool initializers are the one sanctioned place to fill worker state
+ALLOWED_INITIALIZER_PREFIX = "_init_worker"
+
+#: method calls that mutate their receiver
+MUTATOR_METHODS = {"append", "extend", "insert", "add", "update",
+                   "setdefault", "pop", "popitem", "remove", "discard",
+                   "clear", "__setitem__"}
+
+#: value expressions that create module-level mutable state
+_MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                  ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "defaultdict", "Counter",
+                         "OrderedDict", "deque"}
+
+
+def _module_mutables(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        is_mutable = isinstance(value, _MUTABLE_NODES) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_CONSTRUCTORS)
+        if not is_mutable:
+            continue
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _local_shadows(function: ast.AST, name: str) -> bool:
+    """True when *function* rebinds *name* locally (param or assign)."""
+    args = getattr(function, "args", None)
+    if args is not None:
+        all_args = (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else []))
+        if any(a.arg == name for a in all_args):
+            return True
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets):
+            return True
+    return False
+
+
+@register
+class WorkerSharedStateRule(Rule):
+    id = "worker-shared-state"
+    severity = "error"
+    description = ("functions in core/pipeline/retrieval must not mutate "
+                   "module-level mutable state (fork divergence / thread "
+                   "races); only _init_worker initializers may")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if not module_in_scope(ctx.module, SCOPE_PREFIXES):
+            return
+        mutables = _module_mutables(ctx.tree)
+        for function in walk_functions(ctx.tree):
+            if function.name.startswith(ALLOWED_INITIALIZER_PREFIX):
+                continue
+            for node in ast.walk(function):
+                if isinstance(node, ast.Global):
+                    yield self.violation(
+                        ctx, node,
+                        f"`global {', '.join(node.names)}` rebinds module "
+                        f"state from inside {function.name}(); pass state "
+                        f"explicitly or keep it on an instance")
+                    continue
+                target_name = _mutation_target(node, mutables)
+                if target_name is None:
+                    continue
+                if _local_shadows(function, target_name):
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"{function.name}() mutates module-level "
+                    f"{target_name!r}; under forked workers the mutation "
+                    f"never reaches the parent (move it into an "
+                    f"{ALLOWED_INITIALIZER_PREFIX}* initializer or pass "
+                    f"state explicitly)")
+
+
+def _mutation_target(node: ast.AST, mutables: set[str]) -> str | None:
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Subscript) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id in mutables:
+                return target.value.id
+    if isinstance(node, ast.Call) and \
+            isinstance(node.func, ast.Attribute) and \
+            node.func.attr in MUTATOR_METHODS and \
+            isinstance(node.func.value, ast.Name) and \
+            node.func.value.id in mutables:
+        return node.func.value.id
+    return None

@@ -29,7 +29,9 @@ from repro.parsing.graph import ROOT_INDEX, DependencyGraph, Token
 from repro.tagging.tagger import RuleTagger
 from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS, to_wordnet_pos
 from repro.textproc.lemmatizer import Lemmatizer
-from repro.textproc.word_tokenizer import word_tokenize
+# raw-text entry point: parse("…") tokenizes its own input; the
+# pipeline's ParseStage hands in pre-tokenized token lists instead
+from repro.textproc.word_tokenizer import word_tokenize  # egeria: noqa[no-direct-tokenize]
 
 _SUBORDINATORS = frozenset(
     {"if", "because", "since", "while", "whereas", "although", "though",

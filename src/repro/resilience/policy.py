@@ -96,7 +96,14 @@ class Retry:
                 if attempt == self.max_attempts:
                     break
                 self._sleep(self.backoff(attempt))
-        assert last is not None
+        if last is None:
+            # unreachable while max_attempts >= 1 is enforced in
+            # __init__; guarded with a real raise (not an assert, which
+            # `python -O` strips) so a future refactor can't turn this
+            # into `RetryExhausted(..., None)`
+            raise PolicyError(
+                f"retry loop for {fn!r} exited without running any "
+                f"attempt (max_attempts={self.max_attempts})")
         raise RetryExhausted(
             f"{fn!r} failed after {self.max_attempts} attempts: {last}",
             last) from last

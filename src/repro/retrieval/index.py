@@ -10,8 +10,10 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Callable, Sequence
 
-from repro.textproc.porter import PorterStemmer
-from repro.textproc.word_tokenizer import word_tokenize
+# the default analyzer serves *query* text and un-annotated standalone
+# use; index builds reuse the artifact via ``analyzed_sentences``
+from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
+from repro.textproc.word_tokenizer import word_tokenize  # egeria: noqa[no-direct-tokenize]
 
 
 def _default_analyzer(text: str) -> list[str]:

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro.textproc.porter import PorterStemmer
+# stems the synonym *dictionary* and free-text queries — neither is
+# corpus text, so there is no annotation artifact to consume
+from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
 
 #: Clusters of interchangeable guide vocabulary (surface forms).
 SYNONYM_CLUSTERS: tuple[tuple[str, ...], ...] = (

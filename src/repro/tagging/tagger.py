@@ -24,7 +24,9 @@ import re
 from repro.tagging.lexicon import DEFAULT_TAGS, NOUN_VERB_AMBIGUOUS
 from repro.tagging.tagset import NOUN_TAGS, VERB_TAGS
 from repro.textproc.wordlists import BASE_VERBS
-from repro.textproc.word_tokenizer import word_tokenize
+# raw-text entry point: tag_sentence("…") is the convenience API over
+# tag(tokens); pipeline callers pass token lists and never hit this
+from repro.textproc.word_tokenizer import word_tokenize  # egeria: noqa[no-direct-tokenize]
 
 _PUNCT_TAGS = {
     ".": ".", "!": ".", "?": ".",

@@ -85,6 +85,7 @@ class AdvisorApp:
             "rejected_payloads": 0,
             "deadline_expired": 0,
             "degraded_answers": 0,
+            "body_read_errors": 0,
         }
 
     # -- WSGI entry point -----------------------------------------------
@@ -243,9 +244,15 @@ class AdvisorApp:
             return b""
         try:
             data = stream.read(length)
-        except Exception:
+        except (OSError, ValueError) as error:
+            # OSError: client hung up / transport failure; ValueError:
+            # closed or misbehaving stream object.  Anything else is a
+            # server bug and belongs in the 500 path with a traceback,
+            # not a client-blaming 400.
+            self.counters["body_read_errors"] += 1
             raise HTTPError("400 Bad Request",
-                            "could not read request body")
+                            "could not read request body",
+                            type=type(error).__name__)
         if len(data) < length:
             raise HTTPError(
                 "400 Bad Request",

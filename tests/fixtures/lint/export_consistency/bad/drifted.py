@@ -1,0 +1,13 @@
+"""Bad: __all__ exports a ghost name, lists one twice, and omits a
+public class."""
+
+
+def build_index(sentences):
+    return {s: i for i, s in enumerate(sentences)}
+
+
+class Recommender:
+    pass
+
+
+__all__ = ["build_index", "build_index", "RemovedHelper"]

@@ -1,0 +1,16 @@
+"""Good: __all__ lists exactly the public API, every name exists."""
+
+from collections import OrderedDict as _OrderedDict
+
+
+def build_index(sentences):
+    return _OrderedDict((s, i) for i, s in enumerate(sentences))
+
+
+class Recommender:
+    pass
+
+
+_INTERNAL_DEFAULT = 0.15
+
+__all__ = ["Recommender", "build_index"]

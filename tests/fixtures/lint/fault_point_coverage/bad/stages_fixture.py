@@ -1,0 +1,32 @@
+# egeria: module=repro.pipeline.stages
+"""Bad: a stage without a fault-point hook, a non-literal hook name,
+and a fault plan naming an orphan point."""
+
+
+def fault_point(name):
+    pass
+
+
+def FaultSpec(point, probability=1.0):
+    return (point, probability)
+
+
+class UnhookedStage:
+    name = "embed"
+    provides = "embeddings"
+
+    def run(self, annotations):
+        # no fault_point() — invisible to every chaos plan
+        return [0.0 for _ in annotations.text.split()]
+
+
+class DynamicStage:
+    name = "dynamic"
+    provides = "dynamic"
+
+    def run(self, annotations):
+        fault_point("analysis." + self.name)   # not auditable
+        return None
+
+
+PLAN = [FaultSpec(point="analysis.never_hooked", probability=0.5)]

@@ -1,0 +1,33 @@
+# egeria: module=repro.pipeline.stages
+"""Good: every stage hooks a literal fault point; the plan's points
+all have call sites."""
+
+from typing import Protocol
+
+
+def fault_point(name):
+    pass
+
+
+def FaultSpec(point, probability=1.0):
+    return (point, probability)
+
+
+class Stage(Protocol):
+    name: str
+    provides: str
+
+    def run(self, annotations):
+        ...
+
+
+class TokenizeStage:
+    name = "tokenize"
+    provides = "tokens"
+
+    def run(self, annotations):
+        fault_point("analysis.tokenize")
+        return annotations.text.split()
+
+
+PLAN = [FaultSpec(point="analysis.tokenize", probability=0.2)]

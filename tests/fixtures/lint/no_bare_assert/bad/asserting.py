@@ -1,0 +1,5 @@
+"""Bad: a bare assert guards a runtime invariant (`python -O` strips it)."""
+
+
+def check_alignment(meta_count: int, sentence_count: int) -> None:
+    assert meta_count == sentence_count

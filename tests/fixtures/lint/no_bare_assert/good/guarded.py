@@ -1,0 +1,8 @@
+"""Good: runtime invariants raise real exceptions with context."""
+
+
+def check_alignment(meta_count: int, sentence_count: int) -> None:
+    if meta_count != sentence_count:
+        raise RuntimeError(
+            f"metadata records ({meta_count}) misaligned with "
+            f"sentences ({sentence_count})")

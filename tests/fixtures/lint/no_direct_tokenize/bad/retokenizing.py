@@ -1,0 +1,16 @@
+# egeria: module=repro.retrieval.fixture_index
+"""Bad: the extend()-era regression — Stage II re-tokenizes corpus
+sentences the annotation artifact already carries."""
+
+from repro.textproc.porter import PorterStemmer
+from repro.textproc.word_tokenizer import word_tokenize
+
+_STEMMER = PorterStemmer()
+
+
+def build_postings(sentences):
+    postings = {}
+    for i, sentence in enumerate(sentences):
+        for token in word_tokenize(sentence):
+            postings.setdefault(_STEMMER.stem(token), set()).add(i)
+    return postings

@@ -1,0 +1,10 @@
+# egeria: module=repro.retrieval.fixture_index
+"""Good: Stage II consumes pre-analyzed terms from the artifact."""
+
+
+def build_postings(analyzed_sentences):
+    postings = {}
+    for i, terms in enumerate(analyzed_sentences):
+        for term in terms:
+            postings.setdefault(term, set()).add(i)
+    return postings

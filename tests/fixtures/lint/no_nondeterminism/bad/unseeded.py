@@ -1,0 +1,23 @@
+# egeria: module=repro.core.fixture_scoring
+"""Bad: module-global RNGs and wall-clock reads in the analysis core."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample(items):
+    return random.choice(items)
+
+
+def jitter():
+    return random.Random()          # unseeded
+
+
+def noise(n):
+    return np.random.rand(n)        # global numpy RNG
+
+
+def cache_key(query):
+    return (query, time.time())     # wall clock in logic

@@ -1,0 +1,16 @@
+# egeria: module=repro.core.fixture_scoring
+"""Good: explicit seeds and monotonic clocks only."""
+
+import random
+import time
+
+
+def jittered_delays(count, seed):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

@@ -1,0 +1,10 @@
+# egeria: module=repro.web.fixture_app
+"""Bad: a broad handler on the serving path drops the failure."""
+
+
+def serve(handler):
+    try:
+        return handler()
+    except Exception:
+        pass
+    return None

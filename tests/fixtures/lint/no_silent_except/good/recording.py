@@ -1,0 +1,22 @@
+# egeria: module=repro.web.fixture_app
+"""Good: broad handlers on the serving path record the failure."""
+
+import logging
+
+logger = logging.getLogger("fixture")
+
+
+def serve(handler, counters):
+    try:
+        return handler()
+    except Exception as error:
+        counters["errors"] += 1
+        logger.exception("unhandled error: %r", error)
+        return None
+
+
+def narrow(handler):
+    try:
+        return handler()
+    except ValueError:      # narrow handlers may stay quiet
+        return None

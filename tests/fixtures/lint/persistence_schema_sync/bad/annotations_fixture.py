@@ -1,0 +1,21 @@
+# egeria: module=repro.pipeline.annotations
+"""Bad: a layer with no dataclass field, a lexical layer missing from
+LAYERS, and a from_lexical that drops a shipped layer."""
+
+from dataclasses import dataclass
+
+LAYERS = ("tokens", "stems", "phantom")
+LEXICAL_LAYERS = ("tokens", "stems", "embeddings")
+
+
+@dataclass
+class SentenceAnnotations:
+    text: str
+    tokens: list | None = None
+    stems: list | None = None
+
+    @classmethod
+    def from_lexical(cls, text, payload):
+        payload = payload or {}
+        # "stems" and "embeddings" never rebuilt — dropped on load
+        return cls(text=text, tokens=payload.get("tokens"))

@@ -1,0 +1,16 @@
+# egeria: module=repro.core.persistence
+"""Bad: a serialized field the load path never reads back."""
+
+
+def advisor_to_dict(tool):
+    data = {
+        "format_version": 2,
+        "name": tool.name,
+    }
+    data["selector_provenance"] = sorted(tool.provenance.items())
+    return data
+
+
+def advisor_from_dict(data):
+    # "selector_provenance" is silently dropped on load
+    return (data.get("name"), data.get("format_version"))

@@ -1,0 +1,20 @@
+# egeria: module=repro.pipeline.annotations
+"""Good: layer tuples, dataclass fields, and from_lexical agree."""
+
+from dataclasses import dataclass
+
+LAYERS = ("tokens", "stems")
+LEXICAL_LAYERS = ("tokens", "stems")
+
+
+@dataclass
+class SentenceAnnotations:
+    text: str
+    tokens: list | None = None
+    stems: list | None = None
+
+    @classmethod
+    def from_lexical(cls, text, payload):
+        payload = payload or {}
+        return cls(text=text, tokens=payload.get("tokens"),
+                   stems=payload.get("stems"))

@@ -1,0 +1,15 @@
+# egeria: module=repro.core.persistence
+"""Good: every serialized key is read back on load."""
+
+
+def advisor_to_dict(tool):
+    return {
+        "format_version": 2,
+        "name": tool.name,
+        "threshold": tool.threshold,
+    }
+
+
+def advisor_from_dict(data):
+    version = data.get("format_version")
+    return (data.get("name"), data.get("threshold"), version)

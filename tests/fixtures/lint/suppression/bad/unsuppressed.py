@@ -1,0 +1,9 @@
+"""Bad: two violations, neither suppressed."""
+
+
+def first(n):
+    assert n > 0
+
+
+def second(n):
+    assert n < 10

@@ -1,0 +1,9 @@
+"""Good: the same violations, silenced by targeted and blanket noqa."""
+
+
+def first(n):
+    assert n > 0    # egeria: noqa[no-bare-assert] — fixture: tests targeted suppression
+
+
+def second(n):
+    assert n < 10   # egeria: noqa — fixture: tests blanket suppression

@@ -1,0 +1,19 @@
+# egeria: module=repro.core.fixture_workers
+"""Bad: worker functions mutate module-level mutable state — under
+fork the mutation never reaches the parent; under threads it races."""
+
+_RESULTS = []
+_SEEN = {}
+_ACTIVE = None
+
+
+def classify_batch(texts):
+    for text in texts:
+        _SEEN[text] = True              # per-process divergence
+        _RESULTS.append(text)
+    return list(_RESULTS)
+
+
+def install(injector):
+    global _ACTIVE
+    _ACTIVE = injector

@@ -1,0 +1,24 @@
+# egeria: module=repro.core.fixture_workers
+"""Good: worker state filled only by the sanctioned initializer;
+everything else keeps state on instances or passes it explicitly."""
+
+_WORKER_STATE = {}
+
+
+def _init_worker(config):
+    _WORKER_STATE["analyzer"] = object()
+    _WORKER_STATE["config"] = config
+
+
+def classify_batch(texts):
+    analyzer = _WORKER_STATE["analyzer"]    # read-only access is fine
+    return [(text, analyzer) for text in texts]
+
+
+class Recognizer:
+    def __init__(self):
+        self._cache = {}
+
+    def classify(self, text):
+        self._cache[text] = True            # instance state is fine
+        return True

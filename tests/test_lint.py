@@ -1,0 +1,340 @@
+"""egeria-lint: engine, rules, suppressions, baseline, reporters, CLI.
+
+Every rule has a paired good/bad fixture under ``tests/fixtures/lint``;
+the bad member must produce at least one violation of its rule (and the
+CLI must exit non-zero on it), the good member must be completely
+clean.  The repo gate itself — ``python tools/lint.py src/`` exiting 0
+against the committed baseline — is asserted here too, so the tier-1
+suite fails the moment a guarded invariant regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    Baseline,
+    Linter,
+    Violation,
+    default_rules,
+    registered_rules,
+    report_to_dict,
+)
+from repro.devtools.lint.baseline import TODO_JUSTIFICATION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+LINT_CLI = REPO_ROOT / "tools" / "lint.py"
+
+#: fixture directory → the rule its bad member must trigger
+RULE_FIXTURES = {
+    "no_bare_assert": "no-bare-assert",
+    "no_silent_except": "no-silent-except",
+    "no_direct_tokenize": "no-direct-tokenize",
+    "fault_point_coverage": "fault-point-coverage",
+    "persistence_schema_sync": "persistence-schema-sync",
+    "no_nondeterminism": "no-nondeterminism",
+    "worker_shared_state": "worker-shared-state",
+    "export_consistency": "export-consistency",
+}
+
+
+def lint_dir(path: Path, **kwargs) -> "LintResult":
+    return Linter(**kwargs).lint_paths([path], root=REPO_ROOT)
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINT_CLI), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+class TestRegistry:
+    def test_all_rules_registered(self) -> None:
+        assert set(registered_rules()) == set(RULE_FIXTURES.values())
+
+    def test_rules_have_descriptions_and_severities(self) -> None:
+        for rule in default_rules():
+            assert rule.description
+            assert rule.severity in ("error", "warning")
+
+    def test_select_unknown_rule_raises(self) -> None:
+        with pytest.raises(KeyError):
+            default_rules(["no-such-rule"])
+
+    def test_select_subset(self) -> None:
+        rules = default_rules(["no-bare-assert"])
+        assert [rule.id for rule in rules] == ["no-bare-assert"]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("fixture,rule_id",
+                             sorted(RULE_FIXTURES.items()))
+    def test_bad_fixture_violates_its_rule(self, fixture: str,
+                                           rule_id: str) -> None:
+        result = lint_dir(FIXTURES / fixture / "bad")
+        hit_rules = {v.rule_id for v in result.violations}
+        assert rule_id in hit_rules, (
+            f"{fixture}/bad triggered {hit_rules or 'nothing'}, "
+            f"expected {rule_id}")
+
+    @pytest.mark.parametrize("fixture", sorted(RULE_FIXTURES))
+    def test_good_fixture_is_clean(self, fixture: str) -> None:
+        result = lint_dir(FIXTURES / fixture / "good")
+        assert result.violations == [], [
+            v.render() for v in result.violations]
+
+    def test_bad_fixture_details(self) -> None:
+        """Spot-check messages carry actionable context."""
+        result = lint_dir(FIXTURES / "fault_point_coverage" / "bad")
+        messages = "\n".join(v.message for v in result.violations)
+        assert "UnhookedStage" in messages
+        assert "analysis.never_hooked" in messages
+        assert "string literal" in messages
+
+    def test_persistence_bad_names_every_drift(self) -> None:
+        result = lint_dir(FIXTURES / "persistence_schema_sync" / "bad")
+        messages = "\n".join(v.message for v in result.violations)
+        assert "'phantom'" in messages          # layer without a field
+        assert "'embeddings'" in messages       # lexical not in LAYERS
+        assert "'stems'" in messages            # dropped by from_lexical
+        assert "'selector_provenance'" in messages   # written, never read
+
+
+class TestSuppression:
+    def test_unsuppressed_fixture_fails(self) -> None:
+        result = lint_dir(FIXTURES / "suppression" / "bad")
+        assert len(result.violations) == 2
+
+    def test_noqa_suppresses_targeted_and_blanket(self) -> None:
+        result = lint_dir(FIXTURES / "suppression" / "good")
+        assert result.violations == []
+        assert len(result.suppressed) == 2
+
+    def test_targeted_noqa_only_covers_named_rule(self, tmp_path) -> None:
+        target = tmp_path / "mixed.py"
+        target.write_text(
+            "def f(n):\n"
+            "    assert n  # egeria: noqa[no-silent-except]\n",
+            encoding="utf-8")
+        result = lint_dir(target)
+        assert [v.rule_id for v in result.violations] == ["no-bare-assert"]
+
+    def test_noqa_on_tokenize_import_waives_call_sites(self,
+                                                       tmp_path) -> None:
+        target = tmp_path / "boundary.py"
+        target.write_text(
+            "# egeria: module=repro.retrieval.fixture_boundary\n"
+            "from repro.textproc.porter import PorterStemmer"
+            "  # egeria: noqa[no-direct-tokenize]\n"
+            "_S = PorterStemmer()\n",
+            encoding="utf-8")
+        result = lint_dir(target)
+        assert result.violations == []
+        assert len(result.suppressed) == 1
+
+
+class TestBaseline:
+    def _violations(self) -> list[Violation]:
+        result = lint_dir(FIXTURES / "suppression" / "bad")
+        return result.violations
+
+    def test_round_trip_and_matching(self, tmp_path) -> None:
+        violations = self._violations()
+        baseline = Baseline.from_violations(violations)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == len(violations)
+        assert all(e.justification == TODO_JUSTIFICATION
+                   for e in loaded.entries)
+        result = lint_dir(FIXTURES / "suppression" / "bad",
+                          baseline=loaded)
+        assert result.violations == []
+        assert len(result.baselined) == len(violations)
+
+    def test_new_violation_not_masked(self) -> None:
+        violations = self._violations()
+        baseline = Baseline.from_violations(violations[:1])
+        result = lint_dir(FIXTURES / "suppression" / "bad",
+                          baseline=baseline)
+        assert len(result.violations) == len(violations) - 1
+        assert len(result.baselined) == 1
+
+    def test_stale_entries_surface(self) -> None:
+        violations = self._violations()
+        baseline = Baseline.from_violations(violations)
+        stale = baseline.stale_entries(violations[:1])
+        assert len(stale) == len(violations) - 1
+
+    def test_missing_file_is_empty(self, tmp_path) -> None:
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_unknown_version_rejected(self, tmp_path) -> None:
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_write_preserves_justifications(self, tmp_path) -> None:
+        violations = self._violations()
+        first = Baseline.from_violations(violations)
+        first.entries[0] = type(first.entries[0])(
+            rule=first.entries[0].rule, path=first.entries[0].path,
+            message=first.entries[0].message,
+            justification="reviewed: fine")
+        rewritten = Baseline.from_violations(violations, previous=first)
+        kept = [e for e in rewritten.entries
+                if e.justification == "reviewed: fine"]
+        # both fixture asserts share a fingerprint (same rule, path and
+        # message — fingerprints ignore line numbers), so the reviewed
+        # justification carries over to every matching entry
+        assert len(kept) == len(rewritten.entries) == 2
+
+
+class TestReporters:
+    def test_json_schema(self) -> None:
+        result = lint_dir(FIXTURES / "suppression" / "bad")
+        report = report_to_dict(result)
+        assert report["version"] == 1
+        assert report["ok"] is False
+        assert report["summary"]["violations"] == 2
+        assert report["summary"]["checked_files"] == 1
+        assert set(report["summary"]["by_rule"]) == {"no-bare-assert"}
+        for violation in report["violations"]:
+            assert set(violation) == {"rule", "path", "line", "col",
+                                      "severity", "message"}
+            assert violation["severity"] in ("error", "warning")
+            assert violation["path"].startswith("tests/fixtures/lint/")
+
+    def test_json_round_trips_through_json(self) -> None:
+        result = lint_dir(FIXTURES / "suppression" / "bad")
+        parsed = json.loads(json.dumps(report_to_dict(result)))
+        assert parsed["summary"]["violations"] == 2
+
+
+class TestCli:
+    @pytest.mark.parametrize("fixture", sorted(RULE_FIXTURES))
+    def test_exits_nonzero_on_bad_fixture(self, fixture: str) -> None:
+        proc = run_cli(str(FIXTURES / fixture / "bad"), "--no-baseline")
+        assert proc.returncode == 1, proc.stdout
+        assert RULE_FIXTURES[fixture] in proc.stdout
+
+    def test_exits_zero_on_good_fixtures(self) -> None:
+        proc = run_cli(*(str(FIXTURES / f / "good")
+                         for f in sorted(RULE_FIXTURES)),
+                       "--no-baseline")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_repo_gate_is_green(self) -> None:
+        """`python tools/lint.py src/` — the CI gate — passes."""
+        proc = run_cli(str(REPO_ROOT / "src"))
+        assert proc.returncode == 0, proc.stdout
+
+    def test_json_flag(self) -> None:
+        proc = run_cli(str(FIXTURES / "suppression" / "bad"),
+                       "--no-baseline", "--json")
+        report = json.loads(proc.stdout)
+        assert report["summary"]["violations"] == 2
+
+    def test_list_rules(self) -> None:
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in RULE_FIXTURES.values():
+            assert rule_id in proc.stdout
+
+    def test_reintroduced_bare_assert_fails(self, tmp_path) -> None:
+        """The exact PR 1/PR 2 regression class stays fatal."""
+        bad = tmp_path / "regression.py"
+        bad.write_text("def f(x):\n    assert x is not None\n",
+                       encoding="utf-8")
+        proc = run_cli(str(bad), "--no-baseline")
+        assert proc.returncode == 1
+
+    def test_reintroduced_direct_tokenize_fails(self, tmp_path) -> None:
+        bad = tmp_path / "regression.py"
+        bad.write_text(
+            "# egeria: module=repro.retrieval.regression\n"
+            "from repro.textproc.word_tokenizer import word_tokenize\n"
+            "def terms(s):\n"
+            "    return word_tokenize(s)\n",
+            encoding="utf-8")
+        proc = run_cli(str(bad), "--no-baseline")
+        assert proc.returncode == 1
+
+
+class TestOptimizedModeRegressions:
+    """The two former bare asserts must still guard under `python -O`."""
+
+    def _run_optimized(self, snippet: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-O", "-c", snippet],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src"})
+
+    def test_builder_misalignment_raises_under_O(self) -> None:
+        snippet = (
+            "import repro.corpus.builder as b\n"
+            "from repro.corpus.guides import xeon_guide\n"
+            "original = b.LabeledGuide\n"
+            "b.LabeledGuide = (lambda spec, document, meta:\n"
+            "                  original(spec=spec, document=document,\n"
+            "                           meta=meta[:-1]))\n"
+            "from repro.corpus.guides import _XEON_SPEC\n"
+            "try:\n"
+            "    b.build_guide(_XEON_SPEC)\n"
+            "except RuntimeError as error:\n"
+            "    assert 'misaligned' in str(error), error\n"
+            "else:\n"
+            "    raise SystemExit('guard vanished under -O')\n")
+        proc = self._run_optimized(snippet)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_retry_exhaustion_raises_under_O(self) -> None:
+        snippet = (
+            "from repro.resilience.policy import Retry, RetryExhausted\n"
+            "retry = Retry(max_attempts=2, base_delay=0,\n"
+            "              sleep=lambda s: None)\n"
+            "def boom():\n"
+            "    raise ValueError('nope')\n"
+            "try:\n"
+            "    retry.call(boom)\n"
+            "except RetryExhausted as error:\n"
+            "    assert isinstance(error.last, ValueError)\n"
+            "else:\n"
+            "    raise SystemExit('retry error path broken under -O')\n")
+        proc = self._run_optimized(snippet)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestLiveTreeInvariants:
+    """The contracts the rules encode hold on the real tree."""
+
+    def test_src_has_no_bare_asserts(self) -> None:
+        result = Linter(rules=default_rules(["no-bare-assert"])) \
+            .lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.violations == [], [
+            v.render() for v in result.violations]
+
+    def test_src_has_no_silent_excepts(self) -> None:
+        result = Linter(rules=default_rules(["no-silent-except"])) \
+            .lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.violations == [], [
+            v.render() for v in result.violations]
+
+    def test_every_stage_keeps_its_fault_point(self) -> None:
+        result = Linter(rules=default_rules(["fault-point-coverage"])) \
+            .lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.violations == [], [
+            v.render() for v in result.violations]
+
+    def test_persistence_schema_in_sync(self) -> None:
+        result = Linter(rules=default_rules(["persistence-schema-sync"])) \
+            .lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.violations == [], [
+            v.render() for v in result.violations]

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Minimal CI for the Egeria reproduction.
 #
-#   tools/ci.sh            tier-1 suite, then chaos mode, then the
-#                          annotation-reuse smoke check
-#   tools/ci.sh --fast     tier-1 suite only
+#   tools/ci.sh            lint gate + tier-1 suite, then chaos mode,
+#                          then the annotation-reuse smoke check
+#   tools/ci.sh --fast     lint gate + tier-1 suite only
 #
 # Chaos mode = the tier-1 suite plus the fault-injection check of
 # benchmarks/bench_robustness.py under the canned fault plan
@@ -17,6 +17,9 @@ cd "$(dirname "$0")/.."
 
 PYTHON="${PYTHON:-python}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== egeria-lint =="
+"$PYTHON" tools/lint.py src/
 
 echo "== tier-1 test suite =="
 "$PYTHON" -m pytest -x -q

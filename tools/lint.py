@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""egeria-lint CLI — run the AST invariant checker over the tree.
+
+Typical invocations (from the repository root)::
+
+    python tools/lint.py                  # lint src/ against the baseline
+    python tools/lint.py src/repro/web    # lint a subtree
+    python tools/lint.py --json           # machine-readable report
+    python tools/lint.py --list-rules     # the registered rule set
+    python tools/lint.py --write-baseline # grandfather current findings
+
+Exit status: 0 when no new violations (suppressed and baselined
+findings don't count), 1 otherwise.  ``--write-baseline`` rewrites
+``tools/lint_baseline.json`` from the current findings, preserving
+existing justifications and stamping new entries with a TODO marker —
+justify or fix them before committing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.devtools.lint import (  # noqa: E402  (path bootstrap above)
+    Baseline,
+    Linter,
+    default_rules,
+    render_json,
+    render_text,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="egeria-lint",
+        description="AST-based invariant checker for the Egeria repo")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline file (default: %(default)s)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the JSON report")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="also list suppressed/baselined findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    args = parser.parse_args(argv)
+
+    select = ([r.strip() for r in args.select.split(",") if r.strip()]
+              if args.select else None)
+    rules = default_rules(select)
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:26s} {rule.severity:8s} {rule.description}")
+        return 0
+
+    paths = args.paths or [str(REPO_ROOT / "src")]
+    baseline = (None if args.no_baseline
+                else Baseline.load(args.baseline))
+    linter = Linter(rules=rules, baseline=baseline)
+    result = linter.lint_paths(paths, root=REPO_ROOT)
+
+    if args.write_baseline:
+        grandfathered = result.violations + result.baselined
+        new_baseline = Baseline.from_violations(grandfathered,
+                                                previous=baseline)
+        new_baseline.save(args.baseline)
+        print(f"wrote {len(new_baseline)} baseline entries to "
+              f"{args.baseline}")
+        return 0
+
+    print(render_json(result) if args.as_json
+          else render_text(result, verbose=args.verbose))
+
+    if baseline is not None:
+        stale = baseline.stale_entries(result.violations + result.baselined)
+        if stale:
+            print(f"note: {len(stale)} stale baseline entr"
+                  f"{'y' if len(stale) == 1 else 'ies'} (fixed "
+                  f"violations) — rerun with --write-baseline to prune",
+                  file=sys.stderr)
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
