@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench chaos ci docs corpora examples clean
+.PHONY: install test lint bench bench-serving chaos ci docs corpora \
+	examples clean
 
 install:
 	pip install -e .[dev]
@@ -17,6 +18,14 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# full serving-throughput matrix (dense vs pruned vs warm cache at
+# 500/2k/10k sentences) -> BENCH_serving.json, then the regression gate
+bench-serving:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving_throughput.py \
+		--output BENCH_serving.json
+	PYTHONPATH=src $(PYTHON) tools/perf_gate.py \
+		--results BENCH_serving.json
 
 # tier-1 suite + the fault-injection robustness check under the canned
 # fault plan (20% SRL failures + one simulated worker crash)

@@ -1,0 +1,193 @@
+"""Serving throughput — dense vs pruned vs warm-cache hot paths.
+
+Measures the end-to-end recommender latency a served advisor pays per
+query (normalize -> score -> threshold -> top-k -> materialize), for
+the three retrieval configurations the web layer can run:
+
+* **dense** — the reference path: one CSR matvec over every indexed
+  sentence (``cache_size=0, prune=False``);
+* **pruned** — postings-driven candidate pruning, score-identical to
+  dense (``cache_size=0, prune=True``);
+* **warm_cache** — pruning plus the LRU query cache, measured on a
+  second pass over the same workload so repeats hit.
+
+The corpus/workload come from the seeded generators in
+:mod:`repro.retrieval.bench_fixtures` (``BENCH_SEED``), so runs are
+reproducible and the perf gate (``tools/perf_gate.py``) can hold a
+budget against the emitted JSON.
+
+Run the full matrix (writes ``BENCH_serving.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+CI smoke (small sizes, separate output, gated fresh)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
+        --quick --output benchmarks/out/BENCH_serving_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.core.recommender import KnowledgeRecommender
+from repro.docs.document import Document
+from repro.retrieval.bench_fixtures import (
+    BENCH_SEED, query_workload, synthetic_sentences)
+
+FULL_SIZES = (500, 2000, 10_000)
+QUICK_SIZES = (300, 1000)
+
+#: queries per pass; half of them are repeats (see query_workload)
+FULL_QUERIES = 200
+QUICK_QUERIES = 60
+
+#: every path answers with the serving layer's realistic top-k
+LIMIT = 10
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _measure(recommender: KnowledgeRecommender,
+             queries: list[str]) -> dict:
+    """Per-query latency stats for one pass over *queries*."""
+    latencies: list[float] = []
+    answers = 0
+    for query in queries:
+        start = time.perf_counter()
+        result = recommender.recommend(query, limit=LIMIT)
+        latencies.append(time.perf_counter() - start)
+        answers += len(result)
+    latencies.sort()
+    total = sum(latencies)
+    return {
+        "p50_ms": 1e3 * _percentile(latencies, 0.50),
+        "p95_ms": 1e3 * _percentile(latencies, 0.95),
+        "qps": (len(queries) / total) if total else 0.0,
+        "mean_answers": answers / len(queries) if queries else 0.0,
+    }
+
+
+def _candidate_fraction(recommender: KnowledgeRecommender,
+                        queries: list[str], size: int) -> float:
+    """Mean fraction of rows the pruned path actually scores."""
+    vsm = recommender._retriever.vsm
+    unique = sorted(set(queries))
+    touched = 0
+    for query in unique:
+        rows, _ = vsm.candidate_similarities(
+            recommender._normalizer(query))
+        touched += rows.size
+    return (touched / (len(unique) * size)) if unique else 0.0
+
+
+def bench_size(size: int, n_queries: int) -> dict:
+    sentences = synthetic_sentences(size, seed=BENCH_SEED)
+    document = Document.from_sentences(sentences, title=f"bench-{size}")
+    advising = list(document.iter_sentences())
+    queries = query_workload(n_queries, seed=BENCH_SEED,
+                             repeat_fraction=0.5)
+
+    def build(cache_size: int, prune: bool) -> KnowledgeRecommender:
+        return KnowledgeRecommender(
+            advising, document=document, cache_size=cache_size,
+            prune=prune)
+
+    build_start = time.perf_counter()
+    dense = build(cache_size=0, prune=False)
+    build_seconds = time.perf_counter() - build_start
+    pruned = build(cache_size=0, prune=True)
+    cached = build(cache_size=1024, prune=True)
+
+    paths = {
+        "dense": _measure(dense, queries),
+        "pruned": _measure(pruned, queries),
+    }
+    _measure(cached, queries)               # cold pass fills the cache
+    paths["warm_cache"] = _measure(cached, queries)
+    cache_stats = cached.cache_stats() or {}
+    paths["warm_cache"]["hit_rate"] = cache_stats.get("hit_rate", 0.0)
+
+    def _speedup(path: str) -> float:
+        fast = paths[path]["p50_ms"]
+        return (paths["dense"]["p50_ms"] / fast) if fast else 0.0
+
+    return {
+        "queries": len(queries),
+        "limit": LIMIT,
+        "build_seconds": build_seconds,
+        "candidate_fraction": _candidate_fraction(pruned, queries, size),
+        "paths": paths,
+        "speedups": {
+            "pruned_vs_dense": _speedup("pruned"),
+            "warm_cache_vs_dense": _speedup("warm_cache"),
+        },
+    }
+
+
+def run(quick: bool = False) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    n_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    results = {
+        "bench": "serving_throughput",
+        "seed": BENCH_SEED,
+        "quick": quick,
+        "sizes": {},
+    }
+    for size in sizes:
+        results["sizes"][str(size)] = bench_size(size, n_queries)
+    return results
+
+
+def _print_results(results: dict) -> None:
+    header = (f"{'sentences':>10} {'path':<11} {'p50 ms':>9} "
+              f"{'p95 ms':>9} {'qps':>9} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for size, entry in results["sizes"].items():
+        speedups = entry["speedups"]
+        for path, stats in entry["paths"].items():
+            speedup = {"dense": 1.0,
+                       "pruned": speedups["pruned_vs_dense"],
+                       "warm_cache": speedups["warm_cache_vs_dense"],
+                       }[path]
+            print(f"{size:>10} {path:<11} {stats['p50_ms']:>9.3f} "
+                  f"{stats['p95_ms']:>9.3f} {stats['qps']:>9.0f} "
+                  f"{speedup:>7.1f}x")
+        print(f"{'':>10} candidate fraction "
+              f"{entry['candidate_fraction']:.3f}, build "
+              f"{entry['build_seconds']:.2f}s")
+
+
+def _main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / fewer queries (CI smoke)")
+    parser.add_argument("--output", default="BENCH_serving.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    _print_results(results)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"results written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -138,11 +138,11 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     advisor = _build_or_load_advisor(args, threshold=args.threshold)
-    answer = advisor.query(args.question)
+    answer = advisor.query(args.question, limit=args.limit)
     _print_answer(answer)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(render_answer(advisor, answer))
+            handle.write(render_answer(advisor, answer, limit=args.limit))
         print(f"answer page written to {args.output}")
     return 0 if answer.found else 1
 
@@ -174,7 +174,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host or config.host,
         port=args.port or config.port,
         max_body_bytes=config.max_body_bytes,
-        request_deadline_s=deadline_ms / 1000.0)
+        request_deadline_s=deadline_ms / 1000.0,
+        threads=not args.single_thread)
     return 0
 
 
@@ -309,6 +310,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("question")
     p_query.add_argument("-o", "--output", help="write answer HTML here")
     p_query.add_argument("--threshold", type=float, default=None)
+    p_query.add_argument("--limit", type=int, default=None,
+                         help="return only the top-k recommendations "
+                              "(partial selection, not a full sort)")
     p_query.add_argument("--extra-keywords", nargs="*")
     p_query.set_defaults(func=cmd_query)
 
@@ -324,6 +328,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default=None)
     p_serve.add_argument("--port", type=int, default=None)
     p_serve.add_argument("--extra-keywords", nargs="*")
+    p_serve.add_argument("--single-thread", action="store_true",
+                         help="serve requests serially (default: one "
+                              "thread per connection)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="run against a bundled corpus")

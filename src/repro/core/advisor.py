@@ -14,6 +14,7 @@ and can produce the full advising summary grouped by section
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -103,8 +104,11 @@ class AdvisingTool:
         self.degradation_events = tuple(degradation_events)
         #: quarantined RecognitionResults from the build (if any)
         self.quarantined = tuple(quarantined)
-        #: answer-time degradations accumulated across queries
+        #: answer-time degradations accumulated across queries; guarded
+        #: by ``_answer_lock`` — the threading WSGI server answers many
+        #: queries concurrently over one shared advisor
         self.answer_events: list[DegradationEvent] = []
+        self._answer_lock = threading.Lock()
         #: the shared annotation artifact (index-aligned with the
         #: document); lets Stage II build with zero re-tokenization
         self.annotations = annotations
@@ -122,13 +126,16 @@ class AdvisingTool:
     # -- querying ---------------------------------------------------------
 
     def query(self, text: str, threshold: float | None = None,
-              expand_synonyms: bool = False) -> Answer:
+              expand_synonyms: bool = False,
+              limit: int | None = None) -> Answer:
         """Answer a free-text optimization question.
 
         With ``expand_synonyms`` the query is first widened with the
         domain synonym clusters of :mod:`repro.retrieval.synonyms`
         ("thread divergence" also searches "divergent branches") —
-        useful for loosely phrased questions.
+        useful for loosely phrased questions.  ``limit`` caps the
+        answer to the top-k recommendations (partial selection in the
+        retrieval layer, never a full sort).
 
         A retrieval-layer failure yields a degraded :class:`Answer`
         (empty, with the event attached) rather than an exception.
@@ -141,32 +148,36 @@ class AdvisingTool:
             text_for_search = text
         try:
             recommendations = self.recommender.recommend(
-                text_for_search, threshold)
+                text_for_search, threshold, limit=limit)
         except Exception as error:
             event = DegradationEvent(
                 layer="retrieval", point="recommend", error=repr(error))
-            self.answer_events.append(event)
+            with self._answer_lock:
+                self.answer_events.append(event)
             return Answer(text, [], degraded_events=(event,),
                           error=repr(error))
         return Answer(text, recommendations)
 
     def query_report(
-        self, report_text: str, threshold: float | None = None
+        self, report_text: str, threshold: float | None = None,
+        limit: int | None = None,
     ) -> list[Answer]:
         """Answer an NVVP report: one answer per extracted issue."""
         answers: list[Answer] = []
         for issue_query in self._report_parser.extract_queries(report_text):
-            answers.append(self.query(issue_query, threshold))
+            answers.append(self.query(issue_query, threshold, limit=limit))
         return answers
 
     def query_report_pdf(
-        self, pdf_data: bytes, threshold: float | None = None
+        self, pdf_data: bytes, threshold: float | None = None,
+        limit: int | None = None,
     ) -> list[Answer]:
         """Answer an uploaded NVVP report PDF (the paper's §3.2 upload
         path: "a PDF file output from NVIDIA NVPP")."""
         from repro.pdf.reader import extract_text
 
-        return self.query_report(extract_text(pdf_data), threshold)
+        return self.query_report(extract_text(pdf_data), threshold,
+                                 limit=limit)
 
     # -- summary -----------------------------------------------------------
 
@@ -257,6 +268,8 @@ class AdvisingTool:
         """Resilience view of this tool: build-time and answer-time
         degradation counters (the ``/healthz`` payload core)."""
         build_events = self.degradation_events
+        with self._answer_lock:
+            answer_events = tuple(self.answer_events)
         payload = {
             "status": "degraded" if (build_events or self.quarantined)
                       else "ok",
@@ -266,10 +279,13 @@ class AdvisingTool:
                 "build_events": len(build_events),
                 "build_by_layer": summarize_events(build_events),
                 "quarantined_sentences": len(self.quarantined),
-                "answer_events": len(self.answer_events),
-                "answer_by_layer": summarize_events(self.answer_events),
+                "answer_events": len(answer_events),
+                "answer_by_layer": summarize_events(answer_events),
             },
         }
+        cache_stats = self.recommender.cache_stats()
+        if cache_stats is not None:
+            payload["query_cache"] = cache_stats
         if self.annotations is not None:
             payload["annotations"] = {
                 "sentences": len(self.annotations),

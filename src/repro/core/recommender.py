@@ -5,7 +5,8 @@ identify those that are closely related with a given query" (§3.2)
 using VSM representations with TF-IDF weighting and cosine similarity.
 Sentences scoring at least the threshold (default 0.15) are
 recommended, best first; there is no fixed result-count cap ("We do
-not limit the number of sentences the tool can suggest", §4.1).
+not limit the number of sentences the tool can suggest", §4.1) unless
+the caller asks for one (``limit=``, the web layer's top-k knob).
 
 Per the artifact description (§A.6), the vocabulary is built on the
 advising summary while IDF statistics come from the whole document.
@@ -18,6 +19,15 @@ term lists — zero tokenizer or stemmer calls; the scores are identical
 to the re-tokenizing path because the terms stage runs the very same
 normalization pipeline.  Sentences whose terms layer is missing
 (degraded during the build) fall back to normalizing their raw text.
+
+Fast path: queries run through the candidate-pruned scorer of
+:mod:`repro.retrieval.topk` (score-identical to the dense path; set
+``prune=False`` to force the reference matvec) and finished results
+are memoized in a thread-safe LRU keyed on the *normalized* query
+terms plus the effective threshold and limit.  The cache dies with
+the recommender, so any rebuild (``AdvisingTool.extend``) invalidates
+it wholesale; hit/miss/eviction counters surface via
+:meth:`cache_stats` into ``AdvisingTool.health()`` and ``/healthz``.
 """
 
 from __future__ import annotations
@@ -28,8 +38,12 @@ from dataclasses import dataclass
 from repro.docs.document import Document, Sentence
 from repro.pipeline.annotations import DocumentAnnotations
 from repro.resilience.faults import fault_point
+from repro.retrieval.topk import LRUQueryCache
 from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
 from repro.textproc.normalize import NormalizationPipeline
+
+#: default capacity of the per-recommender query-result LRU
+DEFAULT_QUERY_CACHE_SIZE = 1024
 
 
 @dataclass(frozen=True)
@@ -52,11 +66,15 @@ class KnowledgeRecommender:
         document: Document | None = None,
         threshold: float = DEFAULT_THRESHOLD,
         annotations: DocumentAnnotations | None = None,
+        cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        prune: bool = True,
     ) -> None:
         self.sentences = list(advising_sentences)
         self.threshold = threshold
         self.annotations = annotations
+        self.prune = prune
         self._normalizer = NormalizationPipeline()
+        self._cache = LRUQueryCache(cache_size) if cache_size > 0 else None
         sentence_terms = [
             self._terms_of(s.index, s.text) for s in self.sentences]
         if document is not None:
@@ -86,17 +104,42 @@ class KnowledgeRecommender:
         return self._normalizer(text)
 
     def recommend(
-        self, query: str, threshold: float | None = None
+        self, query: str, threshold: float | None = None,
+        limit: int | None = None,
     ) -> list[Recommendation]:
         """Advising sentences relevant to *query*, best first.
 
         An empty list means "No relevant sentences found" (§4.1).
+        ``limit`` caps the answer to the top-k recommendations.
         """
         fault_point("recommend")
-        query_terms = frozenset(self._normalizer(query))
+        cutoff = self.threshold if threshold is None else threshold
+        query_terms = tuple(self._normalizer(query))
+        key = (query_terms, cutoff, limit)
+        rows = self._cache.get(key) if self._cache is not None else None
+        if rows is None:
+            query_set = frozenset(query_terms)
+            rows = tuple(
+                (index, score,
+                 tuple(sorted(query_set & self._sentence_terms[index])))
+                for index, score in self._retriever.query_tokens(
+                    list(query_terms), cutoff, limit=limit,
+                    prune=self.prune)
+            )
+            if self._cache is not None:
+                self._cache.put(key, rows)
         return [
-            Recommendation(
-                self.sentences[index], score,
-                tuple(sorted(query_terms & self._sentence_terms[index])))
-            for index, score in self._retriever.query(query, threshold)
+            Recommendation(self.sentences[index], score, matched)
+            for index, score, matched in rows
         ]
+
+    # -- cache management ---------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop every memoized query result (counters survive)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def cache_stats(self) -> dict | None:
+        """Query-cache counters, or ``None`` when caching is off."""
+        return None if self._cache is None else self._cache.stats()

@@ -86,11 +86,17 @@ def render_summary(tool: AdvisingTool) -> str:
 
 
 def render_answer(
-    tool: AdvisingTool, answer: Answer, with_context: bool = True
+    tool: AdvisingTool, answer: Answer, with_context: bool = True,
+    limit: int | None = None,
 ) -> str:
     """The Figure 7 view: recommended sentences highlighted, optional
     same-subsection advising sentences as context, hyperlinks back to
-    the section anchors of the summary page."""
+    the section anchors of the summary page.
+
+    ``limit`` renders only the top-k recommendations of an unlimited
+    answer; pages built from an already-limited query pass it too so
+    the cap holds whichever layer produced the answer.
+    """
     parts: list[str] = [
         f'<p class="query"><strong>Query:</strong> '
         f"{_html.escape(answer.query)}</p>"
@@ -99,11 +105,13 @@ def render_answer(
         parts.append("<p><em>No relevant sentences found.</em></p>")
         return _PAGE.format(title=_html.escape(tool.name),
                             body="\n".join(parts))
+    recommendations = (answer.recommendations if limit is None
+                       else answer.recommendations[:limit])
 
     # group recommendations by section, preserving rank order per group
     seen_sections: list[str] = []
     by_section: dict[str, list] = {}
-    for rec in answer.recommendations:
+    for rec in recommendations:
         key = rec.sentence.section_path or "(document)"
         if key not in by_section:
             by_section[key] = []

@@ -38,6 +38,11 @@ _RECORDING_ATTRS = {
     "record_failure", "record_event",
 }
 
+#: counter-object methods that count as ticking a health counter
+#: (``ThreadSafeCounters.increment`` replaced ``counters[...] += 1``
+#: on the threaded serving path)
+_COUNTER_METHODS = {"increment"}
+
 
 def _is_broad(handler: ast.ExceptHandler) -> bool:
     if handler.type is None:       # bare except
@@ -65,6 +70,10 @@ def _records_failure(handler: ast.ExceptHandler) -> bool:
                 return True
             if isinstance(func, ast.Attribute):
                 if func.attr == "DegradationEvent":
+                    return True
+                # self.counters.increment("errors")
+                if func.attr in _COUNTER_METHODS and \
+                        _mentions_counter(func.value):
                     return True
                 value = func.value
                 # logger.warning(...), logging.exception(...), …

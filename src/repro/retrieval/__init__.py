@@ -5,6 +5,11 @@ Implements the two techniques Stage II of Egeria is built on (paper
 weighting (Eq. 1), with cosine similarity (Eq. 2) — plus an inverted
 index (for the keywords baseline) and Okapi BM25 (for the ablation
 benchmarks).
+
+The hot-path additions live in :mod:`repro.retrieval.topk`: a
+postings-driven candidate-pruned scorer (:class:`PostingsScorer`),
+exact top-k selection (:func:`select_top_k`), and the thread-safe
+:class:`LRUQueryCache` the recommender memoizes finished answers in.
 """
 
 from repro.retrieval.dictionary import Dictionary
@@ -15,6 +20,7 @@ from repro.retrieval.bm25 import BM25
 from repro.retrieval.lsi import LsiModel
 from repro.retrieval.feedback import RocchioRetriever
 from repro.retrieval.synonyms import SynonymExpander
+from repro.retrieval.topk import LRUQueryCache, PostingsScorer, select_top_k
 
 __all__ = [
     "Dictionary",
@@ -26,4 +32,7 @@ __all__ = [
     "LsiModel",
     "RocchioRetriever",
     "SynonymExpander",
+    "LRUQueryCache",
+    "PostingsScorer",
+    "select_top_k",
 ]

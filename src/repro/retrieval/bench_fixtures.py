@@ -1,0 +1,147 @@
+"""Seeded synthetic corpora and query workloads for the serving bench.
+
+The throughput benchmark (``benchmarks/bench_serving_throughput.py``)
+and the fast-path parity tests need corpora that are
+
+* **reproducible** — every run over the same ``(count, seed)`` yields
+  byte-identical sentences, so BENCH numbers are comparable across
+  machines and the perf gate can hold a budget against them; and
+* **topical** — pruning only helps when a query's terms hit a small
+  slice of the corpus, so sentences draw their jargon from one of
+  ``len(TOPICS)`` disjoint topic pools (a query touching one topic
+  scans roughly ``count / len(TOPICS)`` candidate rows, which is the
+  access pattern real advising corpora show: "coalesce global memory
+  accesses" should not score against MPI collectives).
+
+Everything here takes an explicit seed (default :data:`BENCH_SEED`)
+and builds its own ``random.Random`` — no module-global RNG state is
+read or written (this module is the allowlisted exception to the
+``no-nondeterminism`` lint rule precisely because its seed *is* the
+reproducibility contract).
+
+Self-contained on purpose: importing :mod:`repro.corpus` from inside
+``repro.retrieval`` would be a layering inversion, so the topic pools
+live here.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: the pinned seed every benchmark artifact is generated from —
+#: changing it invalidates BENCH_serving.json comparisons
+BENCH_SEED = 20260805
+
+#: per-topic jargon pools; sentences mix one topic's jargon with glue
+#: words so queries about a topic prune to ~1/len(TOPICS) of the rows
+TOPICS: tuple[tuple[str, ...], ...] = (
+    ("coalesce", "global", "memory", "transaction", "stride", "aligned",
+     "segment", "burst"),
+    ("shared", "bank", "conflict", "padding", "tile", "scratchpad",
+     "broadcast", "smem"),
+    ("warp", "divergence", "branch", "predication", "lockstep", "mask",
+     "reconverge", "simt"),
+    ("occupancy", "register", "spill", "block", "launch", "resident",
+     "multiprocessor", "limiter"),
+    ("texture", "cache", "locality", "fetch", "readonly", "surface",
+     "interpolation", "binding"),
+    ("constant", "uniform", "immediate", "serialize", "halfwarp",
+     "latency", "window", "table"),
+    ("atomic", "contention", "reduction", "privatize", "histogram",
+     "fence", "update", "hotspot"),
+    ("stream", "overlap", "copy", "async", "pinned", "transfer",
+     "engine", "concurrent"),
+    ("unroll", "loop", "pragma", "tripcount", "factor", "pipeline",
+     "dependence", "ilp"),
+    ("vectorize", "simd", "lane", "alignment", "intrinsic", "gather",
+     "scatter", "pack"),
+    ("prefetch", "distance", "hardware", "software", "stride", "hint",
+     "ahead", "stall"),
+    ("numa", "affinity", "socket", "firsttouch", "interleave", "node",
+     "migration", "locality"),
+    ("mpi", "collective", "allreduce", "broadcast", "rank", "latency",
+     "message", "eager"),
+    ("openmp", "schedule", "dynamic", "chunk", "nowait", "barrier",
+     "critical", "taskloop"),
+    ("tiling", "blocking", "reuse", "workingset", "cacheline",
+     "temporal", "spatial", "footprint"),
+    ("precision", "mixed", "fp16", "tensor", "accumulate", "rounding",
+     "throughput", "denormal"),
+    ("instruction", "dual", "issue", "port", "dependency", "fma",
+     "throughput", "scoreboard"),
+    ("synchronization", "barrier", "syncthreads", "grid", "cooperative",
+     "phase", "deadlock", "wait"),
+    ("bandwidth", "peak", "sustained", "roofline", "bound", "arithmetic",
+     "intensity", "bytes"),
+    ("kernel", "fusion", "launch", "overhead", "graph", "capture",
+     "replay", "small"),
+    ("compiler", "flag", "optimization", "inline", "restrict", "alias",
+     "fastmath", "lto"),
+    ("profiler", "counter", "metric", "event", "sampling", "timeline",
+     "hotspot", "trace"),
+    ("page", "fault", "unified", "managed", "oversubscribe", "hint",
+     "advise", "migrate"),
+    ("io", "buffer", "stripe", "lustre", "aggregator", "chunk",
+     "flush", "posix"),
+)
+
+#: advisory verb phrases opening each sentence (keeps the corpus
+#: looking like the advising sentences Stage I selects)
+_OPENERS = (
+    "you should", "it is best to", "consider", "make sure to", "try to",
+    "avoid", "prefer", "remember to", "it is recommended to",
+    "developers must",
+)
+
+#: topic-neutral glue words padding sentences to realistic lengths
+_GLUE = (
+    "the", "performance", "of", "application", "code", "when", "using",
+    "device", "data", "each", "per", "significantly", "improve",
+    "reduce", "overall", "runtime", "cost", "effect", "result",
+)
+
+
+def synthetic_sentences(count: int, seed: int = BENCH_SEED) -> list[str]:
+    """*count* advising-style sentences over the topic pools.
+
+    Each sentence draws 3–5 jargon terms from exactly one topic, so
+    single-topic queries have a small candidate set by construction.
+    """
+    rng = random.Random(seed)
+    sentences: list[str] = []
+    for i in range(count):
+        topic = TOPICS[i % len(TOPICS)]
+        jargon = rng.sample(topic, k=rng.randint(3, 5))
+        glue = rng.sample(_GLUE, k=rng.randint(4, 7))
+        words = jargon + glue
+        rng.shuffle(words)
+        opener = rng.choice(_OPENERS)
+        sentences.append(f"{opener} {' '.join(words)}.")
+    return sentences
+
+
+def query_workload(
+    count: int, seed: int = BENCH_SEED, repeat_fraction: float = 0.5,
+) -> list[str]:
+    """*count* queries over the same topic vocabulary.
+
+    A ``repeat_fraction`` share of the workload re-asks earlier
+    queries (skewed toward recent ones), modelling the repeated
+    questions a served advisor actually sees — this is what gives the
+    warm-cache path its hits.  Fresh queries combine 2–3 terms from
+    one or (occasionally) two topics.
+    """
+    rng = random.Random(seed + 1)
+    queries: list[str] = []
+    for _ in range(count):
+        if queries and rng.random() < repeat_fraction:
+            # zipf-ish recency skew: favor the most recent quarter
+            pool = queries[-max(1, len(queries) // 4):]
+            queries.append(rng.choice(pool))
+            continue
+        topic = rng.choice(TOPICS)
+        terms = rng.sample(topic, k=rng.randint(2, 3))
+        if rng.random() < 0.2:
+            terms.append(rng.choice(rng.choice(TOPICS)))
+        queries.append("how to optimize " + " ".join(terms))
+    return queries

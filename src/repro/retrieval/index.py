@@ -63,11 +63,16 @@ class InvertedIndex:
         return set(self._postings)
 
     def postings(self, term: str) -> set[int]:
-        """Sentence indices containing the analyzed form of *term*."""
-        analyzed = self.analyzer(term)
-        if not analyzed:
-            return set()
-        return set(self._postings.get(analyzed[0], set()))
+        """Sentence indices containing any analyzed token of *term*.
+
+        A multi-word term ("warp execution efficiency") analyzes to
+        several tokens; the union of their postings is returned — not
+        just the first token's, which silently dropped the rest.
+        """
+        result: set[int] = set()
+        for analyzed in self.analyzer(term):
+            result |= self._postings.get(analyzed, set())
+        return result
 
     def search_any(self, query: str) -> list[int]:
         """Sentences containing *any* query term (sorted indices)."""

@@ -1,0 +1,234 @@
+"""Candidate-pruned top-k scoring and query-result caching.
+
+The dense Stage II hot path answers every query with one sparse
+matrix-vector product over *all* indexed sentences (Eq. 2).  That work
+is mostly wasted: a sentence sharing no term with the query has cosine
+similarity exactly 0, which can never reach the paper's 0.15 threshold.
+This module exploits that:
+
+* :class:`PostingsScorer` — a postings-driven scorer built once at
+  index time from the L2-normalized TF-IDF matrix.  An inverted
+  term -> rows map (the matrix's CSC column index) discovers the
+  candidate rows sharing at least one query term; only those rows are
+  then scored, by the very same CSR matvec kernel the dense path uses,
+  over a gathered candidate submatrix (one vectorized index gather —
+  SciPy's generic ``matrix[rows]`` machinery costs more than the
+  matvec it feeds).
+
+* :func:`select_top_k` — thresholding plus optional partial top-k
+  selection (``numpy.argpartition``) that reproduces the dense
+  reference ordering exactly: descending score, ascending sentence
+  index among ties, truncated to ``limit``.
+
+* :class:`LRUQueryCache` — a small thread-safe LRU for fully computed
+  query results, keyed on the *normalized* query representation so
+  textual variants that normalize identically share one entry.
+
+Score identity (the pruning proof).  (1) *Candidates are a superset
+of the nonzero rows*: a row sharing no query term has dense cosine
+exactly ``0.0``, below any positive threshold, so skipping it is
+loss-free; a superfluous candidate scores identically in both paths
+and is filtered by the same cutoff.  (2) *Candidate scores are
+bit-identical*: SciPy's CSR matvec kernel computes each output row
+independently — a sequential loop over that row's stored
+``(column, value)`` pairs against the dense query vector — and the
+gather copies each candidate row's index/data slices verbatim, so
+scoring the gathered submatrix with the same kernel executes, for row
+``j``, the exact instruction sequence of ``(matrix @ x)[rows[j]]``.
+No re-implementation of the kernel means no opportunity for a
+different rounding (an earlier term-at-a-time NumPy accumulator
+differed from the compiled kernel by 1 ulp on some rows — same
+products, differently fused).  Property-tested against randomized
+corpora in ``tests/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+try:                                    # scipy >= 1.8 module layout
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _csr_matvec = None
+
+
+class PostingsScorer:
+    """Candidate-pruned cosine scoring over an inverted term -> row map.
+
+    Built from an already L2-row-normalized sparse matrix (see
+    :class:`~repro.retrieval.vsm.VectorSpaceModel`), so row-vector dot
+    products *are* cosine similarities.  The CSC column index supplies
+    term postings for candidate discovery; scoring reuses SciPy's CSR
+    matvec on the candidate submatrix so every score carries the dense
+    path's exact bits (see the module docstring).
+    """
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        csr = matrix.tocsr()
+        # native index dtype so the gather arithmetic and the kernel
+        # call never re-cast per query
+        self._csr_indptr = csr.indptr.astype(np.intp)
+        self._csr_indices = csr.indices.astype(np.intp)
+        self._csr_data = csr.data
+        csc = csr.tocsc()
+        self._indptr = csc.indptr
+        self._rows = csc.indices
+        self._n_rows, self._n_terms = csc.shape
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def postings_size(self, token_id: int) -> int:
+        """Number of rows containing *token_id* (for diagnostics)."""
+        if not 0 <= token_id < self._n_terms:
+            return 0
+        return int(self._indptr[token_id + 1] - self._indptr[token_id])
+
+    def candidate_rows(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Ascending indices of rows containing >= 1 of *token_ids*."""
+        touched = np.zeros(self._n_rows, dtype=bool)
+        for token_id in token_ids:
+            if not 0 <= token_id < self._n_terms:
+                continue
+            start = self._indptr[token_id]
+            end = self._indptr[token_id + 1]
+            touched[self._rows[start:end]] = True
+        return np.flatnonzero(touched)
+
+    def candidate_scores(
+        self, token_ids: Sequence[int], unit_vector: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scores of every row sharing >= 1 query term.
+
+        ``token_ids`` are the query's weighted term ids and
+        ``unit_vector`` the same L2-normalized dense query vector the
+        reference path feeds its matvec.  Returns ``(rows, scores)``
+        with rows ascending; ``scores[i]`` is bit-identical to the
+        dense similarity of ``rows[i]``.
+        """
+        candidates = self.candidate_rows(token_ids)
+        if candidates.size == 0:
+            return candidates, np.empty(0, dtype=np.float64)
+        # gather the candidate rows' (indices, data) slices verbatim
+        starts = self._csr_indptr[candidates]
+        counts = self._csr_indptr[candidates + 1] - starts
+        sub_indptr = np.empty(candidates.size + 1, dtype=np.intp)
+        sub_indptr[0] = 0
+        np.cumsum(counts, out=sub_indptr[1:])
+        total = int(sub_indptr[-1])
+        gather = np.arange(total, dtype=np.intp) + np.repeat(
+            starts - sub_indptr[:-1], counts)
+        sub_indices = self._csr_indices[gather]
+        sub_data = self._csr_data[gather]
+        if _csr_matvec is not None:
+            scores = np.zeros(candidates.size, dtype=np.float64)
+            _csr_matvec(candidates.size, self._n_terms, sub_indptr,
+                        sub_indices, sub_data, unit_vector, scores)
+            return candidates, scores
+        sub = sp.csr_matrix(                # pragma: no cover - fallback
+            (sub_data, sub_indices, sub_indptr),
+            shape=(candidates.size, self._n_terms))
+        return candidates, sub @ unit_vector
+
+
+def select_top_k(
+    indices: np.ndarray,
+    scores: np.ndarray,
+    cutoff: float,
+    limit: int | None = None,
+) -> list[tuple[int, float]]:
+    """Thresholded (index, score) pairs in the dense reference order.
+
+    Reference semantics: keep scores >= *cutoff*, sort by descending
+    score with ascending index among ties (a stable sort over
+    ascending-index input), then truncate to *limit*.  When ``limit``
+    cuts inside a group of tied scores, the lowest-index members are
+    kept — exactly what truncating the full sorted list does.  Uses
+    ``numpy.argpartition`` so the full sort only ever runs over at
+    most ``limit`` survivors.
+    """
+    if limit is not None and limit < 0:
+        raise ValueError("limit must be >= 0")
+    keep = scores >= cutoff
+    kept_indices = indices[keep]
+    kept_scores = scores[keep]
+    if limit is not None:
+        if limit == 0:
+            return []
+        if limit < kept_scores.size:
+            partition = np.argpartition(-kept_scores, limit - 1)[:limit]
+            boundary = kept_scores[partition].min()
+            above = np.flatnonzero(kept_scores > boundary)
+            ties = np.flatnonzero(kept_scores == boundary)
+            chosen = np.concatenate((above, ties[: limit - above.size]))
+            kept_indices = kept_indices[chosen]
+            kept_scores = kept_scores[chosen]
+    order = np.argsort(-kept_scores, kind="stable")
+    return [(int(kept_indices[i]), float(kept_scores[i])) for i in order]
+
+
+class LRUQueryCache:
+    """Thread-safe LRU cache of computed query results.
+
+    Keys are caller-chosen hashable tuples — the recommender uses
+    ``(normalized query terms, threshold, limit)`` so two phrasings
+    that normalize identically share an entry while a different
+    threshold or limit misses.  Values are treated as immutable; the
+    recommender stores plain tuples and materializes fresh result
+    objects per hit.  Hit/miss/eviction counters feed ``/healthz``.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> object | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are cumulative and survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counter snapshot (the ``/healthz`` ``query_cache`` block)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "evictions": self.evictions,
+            }

@@ -6,9 +6,21 @@ similarities reduce to one sparse matrix-vector product — the
 vectorized formulation the hpc-parallel guides prescribe for the hot
 path (scoring every sentence against every query).
 
+Two query paths share the matrix:
+
+* the **dense reference path** (:meth:`VectorSpaceModel.similarities`)
+  scores every sentence with one CSR matvec;
+* the **pruned fast path** (:meth:`VectorSpaceModel.candidate_similarities`)
+  scores only sentences sharing >= 1 weighted query term via the
+  postings-driven :class:`~repro.retrieval.topk.PostingsScorer` —
+  bit-identical results for any positive threshold (the pruning proof
+  lives in :mod:`repro.retrieval.topk`).
+
 :class:`SentenceRetriever` is the user-facing wrapper that owns the
 normalization pipeline and implements the paper's thresholded
-retrieval (sentences with similarity >= 0.15 are recommended, §3.2).
+retrieval (sentences with similarity >= 0.15 are recommended, §3.2),
+with optional top-k truncation (``limit=``) using partial selection
+instead of a full sort.
 """
 
 from __future__ import annotations
@@ -17,12 +29,17 @@ from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
+import scipy.sparse.linalg as spla
 
 from repro.retrieval.tfidf import TfidfModel
+from repro.retrieval.topk import PostingsScorer, select_top_k
 from repro.textproc.normalize import NormalizationPipeline
 
 #: The paper's default similarity threshold (§3.2 / §A.6).
 DEFAULT_THRESHOLD = 0.15
+
+_EMPTY_ROWS = np.empty(0, dtype=np.intp)
+_EMPTY_SCORES = np.empty(0, dtype=np.float64)
 
 
 class VectorSpaceModel:
@@ -44,32 +61,70 @@ class VectorSpaceModel:
             sentences_tokens)
         self.tfidf = tfidf if tfidf is not None else TfidfModel(corpus)
         self._matrix = self._build_matrix(sentences_tokens)
+        # inverted term -> row postings, built once at index time
+        self._scorer = PostingsScorer(self._matrix)
 
     def _build_matrix(
         self, sentences_tokens: Sequence[list[str]]
     ) -> sp.csr_matrix:
+        n_rows = len(sentences_tokens)
         n_terms = len(self.tfidf.dictionary)
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
+        # COO buffers as NumPy arrays: per-row chunks concatenated once,
+        # row ids expanded with repeat — no quadratic list appends
+        lengths = np.zeros(n_rows, dtype=np.intp)
+        col_chunks: list[np.ndarray] = []
+        data_chunks: list[np.ndarray] = []
         for row, tokens in enumerate(sentences_tokens):
-            for token_id, weight in self.tfidf.transform(tokens):
-                rows.append(row)
-                cols.append(token_id)
-                data.append(weight)
+            pairs = self.tfidf.transform(tokens)
+            lengths[row] = len(pairs)
+            if not pairs:
+                continue
+            col_chunks.append(np.fromiter(
+                (token_id for token_id, _ in pairs),
+                dtype=np.intp, count=len(pairs)))
+            data_chunks.append(np.fromiter(
+                (weight for _, weight in pairs),
+                dtype=np.float64, count=len(pairs)))
+        rows = np.repeat(np.arange(n_rows, dtype=np.intp), lengths)
+        cols = (np.concatenate(col_chunks) if col_chunks else
+                np.empty(0, dtype=np.intp))
+        data = (np.concatenate(data_chunks) if data_chunks else
+                np.empty(0, dtype=np.float64))
         matrix = sp.csr_matrix(
             (data, (rows, cols)),
-            shape=(len(sentences_tokens), n_terms),
+            shape=(n_rows, n_terms),
             dtype=np.float64,
         )
-        # L2-normalize rows once so cosine is a plain dot product
-        norms = np.sqrt(matrix.multiply(matrix).sum(axis=1)).A.ravel()
+        # L2-normalize rows once so cosine is a plain dot product;
+        # sparse-native norm avoids the matrix.multiply(matrix) temporary
+        norms = np.asarray(spla.norm(matrix, axis=1)).ravel()
         norms[norms == 0.0] = 1.0
         inv = sp.diags(1.0 / norms)
         return (inv @ matrix).tocsr()
 
     def __len__(self) -> int:
         return self._matrix.shape[0]
+
+    def _unit_query(
+        self, query_tokens: list[str]
+    ) -> tuple[list[int], np.ndarray] | None:
+        """``(token_ids, unit_vector)`` for the query, or ``None`` for
+        a query with no indexed weight.
+
+        The unit vector is built exactly as the reference path builds
+        it (dense TF-IDF vector divided by its ``np.linalg.norm``), so
+        every entry carries the dense path's bits.
+        """
+        pairs = self.tfidf.transform(query_tokens)
+        if not pairs:
+            return None
+        vector = np.zeros(len(self.tfidf.dictionary), dtype=np.float64)
+        for token_id, weight in pairs:
+            vector[token_id] = weight
+        norm = np.linalg.norm(vector)
+        if norm == 0.0:
+            return None
+        return [token_id for token_id, _ in pairs], vector / norm
 
     def similarities(self, query_tokens: list[str]) -> np.ndarray:
         """Cosine similarity of the query against every sentence."""
@@ -78,6 +133,21 @@ class VectorSpaceModel:
         if norm == 0.0:
             return np.zeros(self._matrix.shape[0])
         return self._matrix @ (vector / norm)
+
+    def candidate_similarities(
+        self, query_tokens: list[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, scores)`` for sentences sharing >= 1 query term.
+
+        Every row absent from ``rows`` has dense similarity exactly
+        0.0; every score is bit-identical to the dense path's value
+        for that row.
+        """
+        unit = self._unit_query(query_tokens)
+        if unit is None:
+            return _EMPTY_ROWS, _EMPTY_SCORES
+        token_ids, unit_vector = unit
+        return self._scorer.candidate_scores(token_ids, unit_vector)
 
 
 class SentenceRetriever:
@@ -120,22 +190,54 @@ class SentenceRetriever:
         self.vsm = VectorSpaceModel(tokens, fit_corpus=corpus_tokens)
 
     def query(
-        self, text: str, threshold: float | None = None
+        self,
+        text: str,
+        threshold: float | None = None,
+        limit: int | None = None,
+        prune: bool = True,
     ) -> list[tuple[int, float]]:
         """Indices and scores of sentences relevant to *text*.
 
         Returns ``(sentence_index, similarity)`` pairs with similarity
         >= threshold, best first.  An empty result means "no relevant
-        sentences found" (paper §4.1).
+        sentences found" (paper §4.1).  ``limit`` caps the result to
+        the top-k pairs (partial selection, never a full sort);
+        ``prune=False`` forces the dense reference path.
         """
+        return self.query_tokens(self.normalizer(text), threshold,
+                                 limit=limit, prune=prune)
+
+    def query_tokens(
+        self,
+        tokens: list[str],
+        threshold: float | None = None,
+        limit: int | None = None,
+        prune: bool = True,
+    ) -> list[tuple[int, float]]:
+        """Like :meth:`query` for an already-normalized token list.
+
+        The recommender feeds its annotation-derived query terms here
+        so the text is normalized exactly once per request.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
         cutoff = self.threshold if threshold is None else threshold
-        scores = self.vsm.similarities(self.normalizer(text))
+        if prune and cutoff > 0.0:
+            # sentences sharing no query term score exactly 0 < cutoff,
+            # so scoring only the candidates is loss-free
+            rows, scores = self.vsm.candidate_similarities(tokens)
+            return select_top_k(rows, scores, cutoff, limit)
+        scores = self.vsm.similarities(tokens)
         hits = np.flatnonzero(scores >= cutoff)
         order = hits[np.argsort(-scores[hits], kind="stable")]
+        if limit is not None:
+            order = order[:limit]
         return [(int(i), float(scores[i])) for i in order]
 
     def query_sentences(
-        self, text: str, threshold: float | None = None
+        self, text: str, threshold: float | None = None,
+        limit: int | None = None,
     ) -> list[str]:
         """Like :meth:`query` but returning the sentence strings."""
-        return [self.sentences[i] for i, _ in self.query(text, threshold)]
+        return [self.sentences[i]
+                for i, _ in self.query(text, threshold, limit=limit)]

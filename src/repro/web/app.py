@@ -10,13 +10,22 @@ Routes (mirroring the artifact's web UI):
   multipart form with a ``report`` file field); responds with the
   answer pages for every extracted issue;
 * ``GET /api/query?q=...`` — JSON answers for programmatic use;
+* ``POST /api/batch`` — many queries answered in one request under a
+  single deadline budget (JSON body ``{"queries": [...]}``);
 * ``GET /health`` — liveness probe;
 * ``GET /healthz`` — readiness/diagnostics: advisor stats, degradation
-  counters, request counters.
+  counters, request counters, query-cache counters.
+
+The query routes accept a ``limit`` parameter capping each answer to
+its top-k recommendations; the cap is pushed down into the retrieval
+layer (partial selection) and honoured by the HTML renderer.
 
 The application object is a standard WSGI callable, so it runs under
 any WSGI server (the bundled :func:`repro.web.server.serve`, gunicorn,
-etc.) and is unit-testable by direct invocation.
+etc.) and is unit-testable by direct invocation.  One instance may be
+driven by many server threads concurrently: the advisor is shared
+read-only and every mutable counter lives in a lock-guarded
+:class:`ThreadSafeCounters`.
 
 Hardening: request bodies are capped (413 on oversize), every request
 runs under a deadline budget (503 on expiry), malformed bodies and
@@ -29,6 +38,7 @@ from __future__ import annotations
 import json
 import logging
 import re
+import threading
 from urllib.parse import parse_qs
 
 from repro.core.advisor import AdvisingTool
@@ -66,6 +76,49 @@ class MultipartError(ValueError):
     """The multipart/form-data body could not be parsed."""
 
 
+class ThreadSafeCounters:
+    """Lock-guarded named counters shared across server threads.
+
+    Mapping-like for reads (``counters["requests"]``, ``snapshot()``)
+    so existing probes keep working; all writes go through
+    :meth:`increment`, which is atomic under the lock — a bare
+    ``dict[key] += 1`` is a read-modify-write race once the WSGI
+    server dispatches handlers on multiple threads.
+    """
+
+    def __init__(self, names: tuple[str, ...]) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = dict.fromkeys(names, 0)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._values[name]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._values)
+
+    def snapshot(self) -> dict[str, int]:
+        """Consistent point-in-time copy (the ``/healthz`` payload)."""
+        with self._lock:
+            return dict(self._values)
+
+
+#: hard cap on queries accepted by one ``/api/batch`` request
+DEFAULT_MAX_BATCH_QUERIES = 256
+
+
 class AdvisorApp:
     """WSGI app wrapping one :class:`AdvisingTool`."""
 
@@ -74,26 +127,30 @@ class AdvisorApp:
         advisor: AdvisingTool,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
+        max_batch_queries: int = DEFAULT_MAX_BATCH_QUERIES,
     ) -> None:
         self.advisor = advisor
         self.max_body_bytes = max_body_bytes
         self.request_deadline_s = request_deadline_s
+        self.max_batch_queries = max_batch_queries
         self._summary_html: str | None = None
-        self.counters: dict[str, int] = {
-            "requests": 0,
-            "errors": 0,
-            "rejected_payloads": 0,
-            "deadline_expired": 0,
-            "degraded_answers": 0,
-            "body_read_errors": 0,
-        }
+        self._summary_lock = threading.Lock()
+        self.counters = ThreadSafeCounters((
+            "requests",
+            "errors",
+            "rejected_payloads",
+            "deadline_expired",
+            "degraded_answers",
+            "body_read_errors",
+            "batch_queries",
+        ))
 
     # -- WSGI entry point -----------------------------------------------
 
     def __call__(self, environ, start_response):
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
-        self.counters["requests"] += 1
+        self.counters.increment("requests")
         deadline = Deadline(self.request_deadline_s)
         try:
             if path == "/" and method == "GET":
@@ -102,6 +159,8 @@ class AdvisorApp:
                 return self._query(environ, start_response)
             if path == "/api/query" and method == "GET":
                 return self._api_query(environ, start_response)
+            if path == "/api/batch" and method == "POST":
+                return self._api_batch(environ, start_response, deadline)
             if path == "/upload" and method == "POST":
                 return self._upload(environ, start_response, deadline)
             if path == "/health" and method == "GET":
@@ -112,16 +171,16 @@ class AdvisorApp:
             raise HTTPError("404 Not Found", f"no route for {path}")
         except HTTPError as error:
             if error.status.startswith("413"):
-                self.counters["rejected_payloads"] += 1
+                self.counters.increment("rejected_payloads")
             return self._json_error(start_response, error.status,
                                     error.message, **error.detail)
         except DeadlineExceeded as error:
-            self.counters["deadline_expired"] += 1
+            self.counters.increment("deadline_expired")
             return self._json_error(
                 start_response, "503 Service Unavailable", str(error))
         except Exception as error:
             # never leak a traceback to the client; log it server-side
-            self.counters["errors"] += 1
+            self.counters.increment("errors")
             logger.exception("unhandled error serving %s %s", method, path)
             return self._json_error(
                 start_response, "500 Internal Server Error",
@@ -130,16 +189,17 @@ class AdvisorApp:
     # -- handlers -----------------------------------------------------------
 
     def summary_page(self) -> str:
-        if self._summary_html is None:
-            summary = render_summary(self.advisor)
-            self._summary_html = summary.replace(
-                "<h1>", _SEARCH_FORM + "<h1>", 1)
-        return self._summary_html
+        with self._summary_lock:
+            if self._summary_html is None:
+                summary = render_summary(self.advisor)
+                self._summary_html = summary.replace(
+                    "<h1>", _SEARCH_FORM + "<h1>", 1)
+            return self._summary_html
 
-    def _answer(self, query: str):
-        answer = self.advisor.query(query)
+    def _answer(self, query: str, limit: int | None = None):
+        answer = self.advisor.query(query, limit=limit)
         if answer.degraded:
-            self.counters["degraded_answers"] += 1
+            self.counters.increment("degraded_answers")
         return answer
 
     def _query(self, environ, start_response):
@@ -147,18 +207,75 @@ class AdvisorApp:
         if not query:
             raise HTTPError("400 Bad Request",
                             "missing query parameter 'q'")
-        answer = self._answer(query)
-        return self._respond(start_response,
-                             render_answer(self.advisor, answer))
+        limit = self._limit_param(environ)
+        answer = self._answer(query, limit)
+        return self._respond(
+            start_response,
+            render_answer(self.advisor, answer, limit=limit))
 
     def _api_query(self, environ, start_response):
         query = self._query_param(environ, "q")
         if not query:
             raise HTTPError("400 Bad Request",
                             "missing query parameter 'q'")
-        answer = self._answer(query)
+        answer = self._answer(query, self._limit_param(environ))
         return self._respond(start_response, json.dumps(answer.to_dict()),
                              content_type="application/json")
+
+    def _api_batch(self, environ, start_response, deadline: Deadline):
+        """Answer many queries in one request under one deadline budget.
+
+        Body: ``{"queries": [...], "threshold": float?, "limit": int?}``.
+        Amortizes connection and parsing overhead for report-style
+        clients that would otherwise fire dozens of ``/api/query``
+        round-trips.
+        """
+        body = self._read_body(environ)
+        try:
+            payload = json.loads(body.decode("utf-8", errors="replace"))
+        except ValueError:
+            raise HTTPError("400 Bad Request", "malformed JSON body")
+        if not isinstance(payload, dict):
+            raise HTTPError("400 Bad Request",
+                            "body must be a JSON object")
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries or not all(
+                isinstance(q, str) and q.strip() for q in queries):
+            raise HTTPError(
+                "400 Bad Request",
+                "'queries' must be a non-empty list of non-empty strings")
+        if len(queries) > self.max_batch_queries:
+            raise HTTPError(
+                "413 Payload Too Large",
+                f"batch of {len(queries)} queries exceeds the "
+                f"{self.max_batch_queries}-query limit",
+                limit_queries=self.max_batch_queries)
+        threshold = payload.get("threshold")
+        if threshold is not None:
+            if not isinstance(threshold, (int, float)) or \
+                    not 0.0 <= float(threshold) <= 1.0:
+                raise HTTPError("400 Bad Request",
+                                "'threshold' must be a number in [0, 1]")
+            threshold = float(threshold)
+        limit = payload.get("limit")
+        if limit is not None and (
+                not isinstance(limit, int) or isinstance(limit, bool)
+                or limit < 0):
+            raise HTTPError("400 Bad Request",
+                            "'limit' must be a non-negative integer")
+        answers = []
+        for query in queries:
+            deadline.check("batch.answer")
+            answer = self.advisor.query(query.strip(),
+                                        threshold=threshold, limit=limit)
+            if answer.degraded:
+                self.counters.increment("degraded_answers")
+            answers.append(answer.to_dict())
+        self.counters.increment("batch_queries", len(queries))
+        return self._respond(
+            start_response,
+            json.dumps({"count": len(answers), "answers": answers}),
+            content_type="application/json")
 
     def _upload(self, environ, start_response, deadline: Deadline):
         body = self._read_body(environ)
@@ -193,14 +310,14 @@ class AdvisorApp:
         for answer in answers:
             deadline.check("upload.answer")
             if answer.degraded:
-                self.counters["degraded_answers"] += 1
+                self.counters.increment("degraded_answers")
             pages.append(render_answer(self.advisor, answer))
         combined = "\n<hr>\n".join(pages)
         return self._respond(start_response, combined)
 
     def _healthz(self, start_response):
         payload = self.advisor.health()
-        payload["requests"] = dict(self.counters)
+        payload["requests"] = self.counters.snapshot()
         injector = active_injector()
         if injector is not None:
             payload["fault_injection"] = {
@@ -217,6 +334,21 @@ class AdvisorApp:
         params = parse_qs(environ.get("QUERY_STRING", ""))
         values = params.get(name, [])
         return values[0].strip() if values else ""
+
+    def _limit_param(self, environ) -> int | None:
+        """The optional ``limit`` query parameter (top-k cap)."""
+        raw = self._query_param(environ, "limit")
+        if not raw:
+            return None
+        try:
+            limit = int(raw)
+        except ValueError:
+            raise HTTPError("400 Bad Request",
+                            f"invalid limit parameter: {raw!r}")
+        if limit < 0:
+            raise HTTPError("400 Bad Request",
+                            "limit must be >= 0")
+        return limit
 
     def _read_body(self, environ) -> bytes:
         """Read the request body, enforcing presence, size and
@@ -249,7 +381,7 @@ class AdvisorApp:
             # closed or misbehaving stream object.  Anything else is a
             # server bug and belongs in the 500 path with a traceback,
             # not a client-blaming 400.
-            self.counters["body_read_errors"] += 1
+            self.counters.increment("body_read_errors")
             raise HTTPError("400 Bad Request",
                             "could not read request body",
                             type=type(error).__name__)

@@ -4,6 +4,13 @@ Equivalent to the artifact's ``./run.sh`` (which launched the Flask
 app under Gunicorn with a configurable host/port): builds the advisor
 once, then serves it.
 
+Concurrency: by default requests are dispatched on one thread per
+connection (:class:`ThreadingWSGIServer`) over a single shared
+:class:`AdvisorApp` — the advisor's index is immutable after build and
+every mutable counter on the serving path is lock-guarded, so the only
+scaling limit is the scoring work itself.  ``threads=False`` restores
+the strictly serial server (useful for step-debugging).
+
 Hardening over the stock ``wsgiref`` server: per-connection socket
 timeouts (a stalled client cannot wedge the process), access/error
 lines routed through :mod:`logging` instead of raw stderr, and the
@@ -13,6 +20,7 @@ app-level payload cap and request deadline are configurable here.
 from __future__ import annotations
 
 import logging
+from socketserver import ThreadingMixIn
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.core.advisor import AdvisingTool
@@ -35,12 +43,24 @@ class HardenedRequestHandler(WSGIRequestHandler):
         logger.warning("%s - %s", self.address_string(), format % args)
 
 
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """WSGI server answering each connection on its own thread.
+
+    ``daemon_threads`` keeps a hung handler from blocking process
+    exit; ``block_on_close`` stays default-True so ``server_close()``
+    in tests joins outstanding handlers before asserting counters.
+    """
+
+    daemon_threads = True
+
+
 def serve(
     advisor: AdvisingTool,
     host: str = "127.0.0.1",
     port: int = 8000,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
+    threads: bool = True,
 ) -> WSGIServer:
     """Create (but do not start) a WSGI server for *advisor*.
 
@@ -49,11 +69,13 @@ def serve(
     tests).  Binding to port 0 picks a free port
     (``server.server_port`` reports it).  The returned server's
     ``.application`` is the :class:`AdvisorApp`, so its counters and
-    ``/healthz`` view are reachable from test code.
+    ``/healthz`` view are reachable from test code.  ``threads``
+    selects the concurrent server (default) or the serial one.
     """
     app = AdvisorApp(advisor, max_body_bytes=max_body_bytes,
                      request_deadline_s=request_deadline_s)
-    return make_server(host, port, app,
+    server_class = ThreadingWSGIServer if threads else WSGIServer
+    return make_server(host, port, app, server_class=server_class,
                        handler_class=HardenedRequestHandler)
 
 
@@ -61,12 +83,16 @@ def run(advisor: AdvisingTool, host: str = "127.0.0.1",
         port: int = 8000,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
+        threads: bool = True,
         ) -> None:  # pragma: no cover - interactive
     """Serve *advisor* until interrupted."""
     server = serve(advisor, host, port,
                    max_body_bytes=max_body_bytes,
-                   request_deadline_s=request_deadline_s)
-    print(f"Serving {advisor.name!r} on http://{host}:{server.server_port}/")
+                   request_deadline_s=request_deadline_s,
+                   threads=threads)
+    mode = "threaded" if threads else "single-threaded"
+    print(f"Serving {advisor.name!r} ({mode}) on "
+          f"http://{host}:{server.server_port}/")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

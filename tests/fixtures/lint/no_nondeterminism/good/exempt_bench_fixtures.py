@@ -1,0 +1,13 @@
+# egeria: module=repro.retrieval.bench_fixtures
+"""Good: the bench fixture module is allowlisted (EXEMPT_MODULES) —
+its pinned BENCH_SEED is the reproducibility contract, so in-scope RNG
+constructs that would otherwise be flagged pass here."""
+
+import random
+import time
+
+
+def sample_workload(count):
+    choices = [random.random() for _ in range(count)]
+    stamp = time.time()
+    return choices, stamp

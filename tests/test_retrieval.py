@@ -206,6 +206,20 @@ class TestInvertedIndex:
         idx = InvertedIndex(SENTS)
         assert idx.postings("warp") == {0, 2}
 
+    def test_postings_multiword_unions_all_tokens(self) -> None:
+        # regression: only the first analyzed token used to survive,
+        # so "warp register" returned just the "warp" postings
+        idx = InvertedIndex(SENTS)
+        assert idx.postings("warp register") == \
+            idx.postings("warp") | idx.postings("register") == {0, 1, 2}
+        # order must not matter
+        assert idx.postings("register warp") == idx.postings("warp register")
+
+    def test_postings_unknown_term_empty(self) -> None:
+        idx = InvertedIndex(SENTS)
+        assert idx.postings("nonexistent") == set()
+        assert idx.postings("warp nonexistent") == idx.postings("warp")
+
 
 class TestBM25:
     def test_relevant_first(self) -> None:

@@ -27,6 +27,23 @@ def app() -> AdvisorApp:
     return AdvisorApp(advisor)
 
 
+#: every sentence is advising (imperative) and shares "memory", so
+#: queries can retrieve several answers — needed by the limit tests
+MEMORY_SENTENCES = [
+    "Use shared memory tiles to improve effective memory bandwidth.",
+    "Avoid uncoalesced global memory accesses in tight loops.",
+    "Consider using pinned memory to speed up host transfers.",
+    "Use constant memory for small read-only lookup tables.",
+]
+
+
+@pytest.fixture(scope="module")
+def multi_app() -> AdvisorApp:
+    advisor = Egeria().build_advisor(
+        Document.from_sentences(MEMORY_SENTENCES, title="Memory Guide"))
+    return AdvisorApp(advisor)
+
+
 def call(app: AdvisorApp, method: str = "GET", path: str = "/",
          query: str = "", body: bytes = b"", content_type: str = ""):
     """Invoke the WSGI app; return (status, headers, body_text)."""
@@ -107,6 +124,108 @@ class TestApiQuery:
         status, _, _ = call(app, path="/api/query")
         assert status == "400 Bad Request"
 
+    def test_limit_caps_answers(self, multi_app) -> None:
+        _, _, full = call(multi_app, path="/api/query",
+                          query="q=global+shared+memory")
+        status, _, limited = call(multi_app, path="/api/query",
+                                  query="q=global+shared+memory&limit=1")
+        assert status == "200 OK"
+        full_answers = json.loads(full)["answers"]
+        limited_answers = json.loads(limited)["answers"]
+        assert len(full_answers) > 1
+        assert limited_answers == full_answers[:1]
+
+    def test_limit_zero(self, multi_app) -> None:
+        _, _, body = call(multi_app, path="/api/query",
+                          query="q=memory&limit=0")
+        assert json.loads(body)["answers"] == []
+
+    def test_limit_invalid(self, app) -> None:
+        for raw in ("abc", "-1", "1.5"):
+            status, _, _ = call(app, path="/api/query",
+                                query=f"q=warp&limit={raw}")
+            assert status == "400 Bad Request", raw
+
+    def test_query_page_respects_limit(self, multi_app) -> None:
+        status, _, body = call(multi_app, path="/query",
+                               query="q=global+shared+memory&limit=1")
+        assert status == "200 OK"
+        assert body.count('class="highlight"') == 1
+
+
+class TestApiBatch:
+    @staticmethod
+    def post(app, payload, **kwargs):
+        body = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode("utf-8"))
+        return call(app, method="POST", path="/api/batch", body=body,
+                    content_type="application/json", **kwargs)
+
+    def test_answers_every_query(self, app) -> None:
+        queries = ["register spilling", "divergent branches",
+                   "shared memory tiles"]
+        status, headers, body = self.post(app, {"queries": queries})
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["count"] == 3
+        # answers come back in request order, each matching its query
+        for query, answer in zip(queries, payload["answers"]):
+            assert answer["query"] == query
+            single = json.loads(
+                call(app, path="/api/query",
+                     query="q=" + query.replace(" ", "+"))[2])
+            assert answer["answers"] == single["answers"]
+
+    def test_batch_threshold_and_limit(self, multi_app) -> None:
+        _, _, body = self.post(multi_app,
+                               {"queries": ["global shared memory"],
+                                "limit": 1, "threshold": 0.05})
+        payload = json.loads(body)
+        assert len(payload["answers"][0]["answers"]) == 1
+
+    def test_malformed_json(self, app) -> None:
+        status, _, body = self.post(app, b"{not json")
+        assert status == "400 Bad Request"
+        assert "malformed JSON" in body
+
+    def test_non_object_body(self, app) -> None:
+        status, _, _ = self.post(app, ["not", "a", "dict"])
+        assert status == "400 Bad Request"
+
+    def test_missing_or_bad_queries(self, app) -> None:
+        for payload in ({}, {"queries": []}, {"queries": "one"},
+                        {"queries": ["ok", ""]}, {"queries": [1, 2]}):
+            status, _, _ = self.post(app, payload)
+            assert status == "400 Bad Request", payload
+
+    def test_invalid_threshold_and_limit(self, app) -> None:
+        for payload in ({"queries": ["q"], "threshold": "high"},
+                        {"queries": ["q"], "threshold": 2.0},
+                        {"queries": ["q"], "limit": -1},
+                        {"queries": ["q"], "limit": True},
+                        {"queries": ["q"], "limit": 1.5}):
+            status, _, _ = self.post(app, payload)
+            assert status == "400 Bad Request", payload
+
+    def test_oversize_batch_rejected(self) -> None:
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        small = AdvisorApp(advisor, max_batch_queries=2)
+        status, _, body = self.post(small, {"queries": ["a", "b", "c"]})
+        assert status == "413 Payload Too Large"
+        assert json.loads(body)["error"]["limit_queries"] == 2
+        assert small.counters["rejected_payloads"] == 1
+
+    def test_batch_counter(self, app) -> None:
+        before = app.counters["batch_queries"]
+        self.post(app, {"queries": ["warp", "registers"]})
+        assert app.counters["batch_queries"] == before + 2
+
+    def test_get_not_allowed(self, app) -> None:
+        status, _, _ = call(app, path="/api/batch")
+        assert status == "404 Not Found"
+
 
 class TestUpload:
     def test_pdf_body(self, app) -> None:
@@ -166,3 +285,84 @@ class TestServer:
         finally:
             thread.join(timeout=5)
             server.server_close()
+
+    def test_default_server_is_threading(self) -> None:
+        from repro.web.server import ThreadingWSGIServer
+
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        server = serve(advisor, port=0)
+        try:
+            assert isinstance(server, ThreadingWSGIServer)
+        finally:
+            server.server_close()
+        serial = serve(advisor, port=0, threads=False)
+        try:
+            assert not isinstance(serial, ThreadingWSGIServer)
+        finally:
+            serial.server_close()
+
+    def test_concurrent_queries_no_cross_talk(self) -> None:
+        import http.client
+        import threading
+
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        server = serve(advisor, port=0)
+        port = server.server_port
+        app = server.get_app()
+        runner = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        runner.start()
+
+        queries = ["register spilling", "divergent branches",
+                   "shared memory tiles", "warp size threads"] * 4
+        results: list[tuple[int, dict] | Exception] = [None] * len(queries)
+
+        def fetch(slot: int, query: str) -> None:
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                  timeout=10)
+                conn.request("GET", "/api/query?limit=2&q="
+                             + query.replace(" ", "+"))
+                response = conn.getresponse()
+                results[slot] = (response.status,
+                                 json.loads(response.read()))
+                conn.close()
+            except Exception as error:
+                results[slot] = error
+
+        requests_before = app.counters["requests"]
+        workers = [threading.Thread(target=fetch, args=(i, q))
+                   for i, q in enumerate(queries)]
+        try:
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=15)
+        finally:
+            server.shutdown()
+            runner.join(timeout=5)
+            server.server_close()
+
+        expected = {q: advisor.query(q, limit=2).to_dict()
+                    for q in set(queries)}
+        for query, result in zip(queries, results):
+            assert not isinstance(result, Exception), result
+            status, payload = result
+            # each response answers exactly the query that asked for it
+            assert status == 200
+            assert payload == expected[query]
+        # lock-guarded counters saw every request exactly once
+        assert app.counters["requests"] == requests_before + len(queries)
+        assert app.counters["errors"] == 0
+
+    def test_healthz_reports_query_cache(self) -> None:
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES))
+        app = AdvisorApp(advisor)
+        call(app, path="/api/query", query="q=warp+threads")
+        call(app, path="/api/query", query="q=warp+threads")
+        _, _, body = call(app, path="/healthz")
+        cache = json.loads(body)["query_cache"]
+        assert cache["hits"] >= 1 and cache["misses"] >= 1

@@ -2,7 +2,8 @@
 # Minimal CI for the Egeria reproduction.
 #
 #   tools/ci.sh            lint gate + tier-1 suite, then chaos mode,
-#                          then the annotation-reuse smoke check
+#                          the annotation-reuse smoke check, and the
+#                          serving perf smoke + regression gate
 #   tools/ci.sh --fast     lint gate + tier-1 suite only
 #
 # Chaos mode = the tier-1 suite plus the fault-injection check of
@@ -10,7 +11,9 @@
 # (tools/chaos_plan.json) — see `make chaos`.  The reuse smoke check
 # (benchmarks/bench_annotation_reuse.py --quick) asserts that a warm
 # AnalysisStore rebuild beats a cold build and that loading a
-# format-v2 advisor performs zero tokenizer/stemmer calls.
+# format-v2 advisor performs zero tokenizer/stemmer calls.  The perf
+# smoke runs the serving throughput bench at small sizes and gates the
+# fresh numbers against tools/perf_budget.json (>2x regression fails).
 
 set -e
 cd "$(dirname "$0")/.."
@@ -34,3 +37,9 @@ echo "== chaos mode: fault-injected robustness check =="
 
 echo "== annotation reuse smoke check =="
 "$PYTHON" benchmarks/bench_annotation_reuse.py --quick
+
+echo "== serving perf smoke + regression gate =="
+"$PYTHON" benchmarks/bench_serving_throughput.py --quick \
+    --output benchmarks/out/BENCH_serving_quick.json
+"$PYTHON" tools/perf_gate.py \
+    --results benchmarks/out/BENCH_serving_quick.json

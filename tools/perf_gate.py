@@ -1,0 +1,101 @@
+"""Perf-regression gate over the serving benchmark's JSON output.
+
+Compares a ``BENCH_serving.json`` produced by
+``benchmarks/bench_serving_throughput.py`` against the checked-in
+budget (``tools/perf_budget.json``) and exits non-zero when the hot
+path regressed:
+
+* **latency budgets** — per size and path, measured p50 must stay
+  within ``budget * factor`` (default factor 2.0, absorbing machine
+  variance; a >2x regression fails CI);
+* **minimum speedups** — ratios are machine-independent, so they gate
+  tightly: the warm cache must beat dense by the budgeted factor
+  (>= 5x at 10k sentences per the acceptance bar) and pruning must
+  stay a net win at scale.
+
+Only sizes present in *both* the results and the budget are checked,
+so the quick CI run (small sizes) and the full run (committed
+``BENCH_serving.json``) share one budget file.
+
+Usage::
+
+    python tools/perf_gate.py [--results BENCH_serving.json]
+        [--budget tools/perf_budget.json] [--factor 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def evaluate(results: dict, budget: dict,
+             factor: float = 2.0) -> list[str]:
+    """Budget violations in *results*; empty means the gate passes."""
+    failures: list[str] = []
+    checked = 0
+    result_sizes = results.get("sizes", {})
+    for size, size_budget in budget.get("sizes", {}).items():
+        entry = result_sizes.get(size)
+        if entry is None:
+            continue
+        for path, budget_p50 in size_budget.get("p50_ms", {}).items():
+            stats = entry.get("paths", {}).get(path)
+            if stats is None:
+                failures.append(
+                    f"size {size}: path {path!r} missing from results")
+                continue
+            checked += 1
+            allowed = budget_p50 * factor
+            if stats["p50_ms"] > allowed:
+                failures.append(
+                    f"size {size}: {path} p50 {stats['p50_ms']:.3f}ms "
+                    f"exceeds {allowed:.3f}ms "
+                    f"(budget {budget_p50}ms x factor {factor})")
+        for name, minimum in size_budget.get("min_speedups", {}).items():
+            measured = entry.get("speedups", {}).get(name)
+            checked += 1
+            if measured is None:
+                failures.append(
+                    f"size {size}: speedup {name!r} missing from results")
+            elif measured < minimum:
+                failures.append(
+                    f"size {size}: speedup {name} {measured:.2f}x below "
+                    f"required {minimum}x")
+    if checked == 0:
+        failures.append(
+            "no overlapping sizes between results and budget — "
+            "nothing was gated")
+    return failures
+
+
+def _main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--results", default="BENCH_serving.json",
+                        help="bench output to gate")
+    parser.add_argument("--budget", default="tools/perf_budget.json",
+                        help="checked-in budget file")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="slack multiplier on latency budgets")
+    args = parser.parse_args()
+
+    results_path = Path(args.results)
+    if not results_path.exists():
+        print(f"perf_gate: results file {results_path} not found; run "
+              f"benchmarks/bench_serving_throughput.py first")
+        return 2
+    results = json.loads(results_path.read_text(encoding="utf-8"))
+    budget = json.loads(Path(args.budget).read_text(encoding="utf-8"))
+
+    failures = evaluate(results, budget, factor=args.factor)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(f"perf gate passed ({results_path}, factor {args.factor})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())
