@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-serving chaos ci docs corpora \
-	examples clean
+.PHONY: install test lint bench bench-serving bench-build chaos ci docs \
+	corpora examples clean
 
 install:
 	pip install -e .[dev]
@@ -26,6 +26,12 @@ bench-serving:
 		--output BENCH_serving.json
 	PYTHONPATH=src $(PYTHON) tools/perf_gate.py \
 		--results BENCH_serving.json
+
+bench-build:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_build_throughput.py \
+		--output BENCH_build.json
+	PYTHONPATH=src $(PYTHON) tools/perf_gate.py --section build \
+		--results BENCH_build.json
 
 # tier-1 suite + the fault-injection robustness check under the canned
 # fault plan (20% SRL failures + one simulated worker crash)

@@ -1,0 +1,223 @@
+"""Build throughput — lazy short-circuit vs eager full-provenance.
+
+Measures the end-to-end advisor build (Stage I classification + the
+Stage II index) in the two cascade modes:
+
+* **eager** — ``provenance="full"``: every selector is evaluated on
+  every sentence, so every NLP layer (parse and SRL included)
+  materializes for the whole corpus.  This is the Table 7/8
+  experiments view — and the behaviour of a non-demand-driven Stage I;
+* **lazy** — the default ``provenance="first"``: the cascade
+  short-circuits at the first firing selector, so a sentence caught by
+  the keyword selector never pays for parsing or SRL.
+
+The corpus is keyword-dense on purpose (~3/4 of the sentences carry a
+Table 2 flagging word), mirroring real HPC guides, where the keyword
+selector decides most advising sentences (paper Table 8) — exactly
+the workload where demand-driven evaluation wins.
+
+Output identity is asserted in-harness on every size: both modes must
+produce the bitwise-identical advising set, ``(index, text, selector)``
+triples included (Stage I is a disjunction over the selectors, §3.1.2,
+so the set — and, with the stable cheapest-first schedule, the firing
+selector — cannot depend on evaluation order).  A mismatch aborts the
+run; the emitted JSON records ``"identical": true`` per size and the
+perf gate (``tools/perf_gate.py --section build``) fails on anything
+else.
+
+Run the full matrix (writes ``BENCH_build.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_build_throughput.py
+
+CI smoke (small sizes, separate output, gated fresh)::
+
+    PYTHONPATH=src python benchmarks/bench_build_throughput.py \\
+        --quick --output benchmarks/out/BENCH_build_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.egeria import Egeria
+from repro.docs.document import Document
+from repro.pipeline.stages import LayerStats
+from repro.retrieval.bench_fixtures import BENCH_SEED, TOPICS, _GLUE
+
+FULL_SIZES = (500, 2000, 10_000)
+QUICK_SIZES = (300, 1000)
+
+FULL_REPEATS = 3
+QUICK_REPEATS = 2
+
+#: fraction of sentences opened with a Table 2 flagging phrase —
+#: keyword-dense, like real guides (Table 8: selector 1 dominates)
+KEYWORD_FRACTION = 0.75
+
+#: openers containing a FLAGGING_WORDS entry (stemmed match)
+_FLAGGED_OPENERS = (
+    "you should", "it is better to", "prefer to", "reduce",
+    "it is a good idea to", "instead of that", "it is important to",
+    "one way to proceed is to", "it can help to", "to benefit",
+)
+
+#: neutral descriptive openers — no flagging word, so the cascade must
+#: go past the keyword selector (parse, maybe SRL) to decide them
+_NEUTRAL_OPENERS = (
+    "the hardware reports", "this section describes", "the runtime keeps",
+    "the figure above shows", "the device exposes", "the table lists",
+)
+
+
+def keyword_dense_sentences(count: int, seed: int = BENCH_SEED
+                            ) -> list[str]:
+    """*count* unique sentences, ~75% carrying a flagging word.
+
+    Uniqueness matters: the recognizer memoizes classifications per
+    text, so duplicate sentences would hide the per-sentence NLP cost
+    this benchmark exists to measure.
+    """
+    rng = random.Random(seed)
+    sentences: list[str] = []
+    seen: set[str] = set()
+    while len(sentences) < count:
+        topic = TOPICS[len(sentences) % len(TOPICS)]
+        jargon = rng.sample(topic, k=rng.randint(3, 5))
+        glue = rng.sample(_GLUE, k=rng.randint(3, 6))
+        words = jargon + glue
+        rng.shuffle(words)
+        if rng.random() < KEYWORD_FRACTION:
+            opener = rng.choice(_FLAGGED_OPENERS)
+        else:
+            opener = rng.choice(_NEUTRAL_OPENERS)
+        sentence = f"{opener} {' '.join(words)}."
+        if sentence in seen:
+            continue
+        seen.add(sentence)
+        sentences.append(sentence)
+    return sentences
+
+
+def _build_once(document: Document, provenance: str
+                ) -> tuple[float, list[tuple[int, str, str]], dict]:
+    """One cold build; returns (seconds, advising set, layer runs)."""
+    egeria = Egeria(provenance=provenance)
+    # observe per-layer stage executions — the direct evidence of what
+    # the cascade actually materialized
+    stats = LayerStats()
+    pipeline = egeria.recognizer._analyzer.pipeline
+    egeria.recognizer._analyzer.pipeline = pipeline.observed(stats)[0]
+    start = time.perf_counter()
+    advisor = egeria.build_advisor(document)
+    seconds = time.perf_counter() - start
+    advising = [(s.index, s.text, advisor.provenance[s.index])
+                for s in advisor.advising_sentences]
+    runs = {layer: entry["runs"]
+            for layer, entry in stats.snapshot().items()}
+    return seconds, advising, runs
+
+
+def bench_size(size: int, repeats: int, seed: int) -> dict:
+    sentences = keyword_dense_sentences(size, seed=seed)
+    document = Document.from_sentences(sentences, title=f"bench-{size}")
+
+    timings: dict[str, list[float]] = {"eager": [], "lazy": []}
+    advising: dict[str, list] = {}
+    layer_runs: dict[str, dict] = {}
+    for _ in range(repeats):
+        for mode, provenance in (("eager", "full"), ("lazy", "first")):
+            seconds, result, runs = _build_once(document, provenance)
+            timings[mode].append(seconds)
+            advising[mode] = result
+            layer_runs[mode] = runs
+
+    identical = advising["eager"] == advising["lazy"]
+    if not identical:
+        raise SystemExit(
+            f"ABORT: lazy and eager advising sets differ at size {size} "
+            f"({len(advising['lazy'])} vs {len(advising['eager'])} "
+            f"sentences)")
+
+    def p50_ms(mode: str) -> float:
+        ordered = sorted(timings[mode])
+        return 1e3 * ordered[len(ordered) // 2]
+
+    eager_p50, lazy_p50 = p50_ms("eager"), p50_ms("lazy")
+    return {
+        "sentences": size,
+        "repeats": repeats,
+        "advising_fraction": len(advising["lazy"]) / size,
+        "identical": identical,
+        "paths": {
+            "eager": {"p50_ms": eager_p50,
+                      "mean_ms": 1e3 * sum(timings["eager"]) / repeats,
+                      "layer_runs": layer_runs["eager"]},
+            "lazy": {"p50_ms": lazy_p50,
+                     "mean_ms": 1e3 * sum(timings["lazy"]) / repeats,
+                     "layer_runs": layer_runs["lazy"]},
+        },
+        "speedups": {
+            "lazy_vs_eager": (eager_p50 / lazy_p50) if lazy_p50 else 0.0,
+        },
+    }
+
+
+def run(quick: bool = False, seed: int = BENCH_SEED) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    results = {
+        "bench": "build_throughput",
+        "seed": seed,
+        "quick": quick,
+        "keyword_fraction": KEYWORD_FRACTION,
+        "sizes": {},
+    }
+    for size in sizes:
+        results["sizes"][str(size)] = bench_size(size, repeats, seed)
+    return results
+
+
+def _print_results(results: dict) -> None:
+    header = (f"{'sentences':>10} {'path':<7} {'p50 ms':>10} "
+              f"{'parses':>8} {'srl':>8} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for size, entry in results["sizes"].items():
+        for path, stats in entry["paths"].items():
+            speedup = (1.0 if path == "eager"
+                       else entry["speedups"]["lazy_vs_eager"])
+            runs = stats["layer_runs"]
+            print(f"{size:>10} {path:<7} {stats['p50_ms']:>10.1f} "
+                  f"{runs.get('graph', 0):>8} {runs.get('frames', 0):>8} "
+                  f"{speedup:>7.2f}x")
+        print(f"{'':>10} advising fraction "
+              f"{entry['advising_fraction']:.3f}, identical: "
+              f"{entry['identical']}")
+
+
+def _main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / fewer repeats (CI smoke)")
+    parser.add_argument("--output", default="BENCH_build.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    _print_results(results)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"results written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -73,10 +73,14 @@ def _build_egeria(args: argparse.Namespace,
                   threshold: float | None = None,
                   keywords=None) -> Egeria:
     config = _load_config(args)
+    provenance = getattr(args, "provenance", None)
     return Egeria(
         keywords=keywords if keywords is not None else _load_keywords(args),
         threshold=threshold if threshold is not None else config.threshold,
         workers=_resolve_workers(args),
+        provenance=provenance or config.provenance,
+        worker_min_sentences=config.worker_min_sentences,
+        worker_chunk_size=config.worker_chunk_size,
         **_resolve_resilience(args),
         **_resolve_annotations(args),
     )
@@ -116,6 +120,10 @@ def cmd_build(args: argparse.Namespace) -> int:
     print(f"{document.title}: {stats['document_sentences']:.0f} sentences, "
           f"{stats['advising_sentences']:.0f} advising "
           f"(ratio {stats['ratio']:.1f})")
+    if stats.get("selector_matches"):
+        counts = ", ".join(f"{name}={count}" for name, count in
+                           sorted(stats["selector_matches"].items()))
+        print(f"selector matches: {counts}")
     if advisor.degradation_events or advisor.quarantined:
         print(f"degraded build: {len(advisor.degradation_events)} events, "
               f"{len(advisor.quarantined)} quarantined sentences")
@@ -294,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-annotations-cache", action="store_true",
                         help="disable annotation reuse entirely "
                              "(every build re-runs all NLP layers)")
+    parser.add_argument("--provenance", default=None,
+                        choices=("first", "full"),
+                        help="'first' short-circuits the selector cascade "
+                             "at the first fire (fast, the default); "
+                             "'full' evaluates every selector and keeps "
+                             "per-selector match vectors (Table 8 mode)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an advisor; print or "

@@ -95,6 +95,7 @@ class AdvisingTool:
         quarantined: Sequence = (),
         annotations: DocumentAnnotations | None = None,
         provenance: dict[int, str | None] | None = None,
+        match_vectors: dict[int, dict[str, bool]] | None = None,
         store: AnalysisStore | None = None,
     ) -> None:
         self.document = document
@@ -115,6 +116,11 @@ class AdvisingTool:
         #: selector provenance: global sentence index -> the selector
         #: that recognized it (persisted in v2 files)
         self.provenance: dict[int, str | None] = dict(provenance or {})
+        #: full-provenance match vectors (sentence index -> selector
+        #: name -> matched?), populated only when the tool was built
+        #: with ``provenance="full"`` — the Table 8 raw data
+        self.match_vectors: dict[int, dict[str, bool]] | None = (
+            dict(match_vectors) if match_vectors is not None else None)
         #: annotation store shared with the builder (hit/miss counters
         #: surface through ``health()``); ``extend`` reuses it
         self.store = store
@@ -254,15 +260,33 @@ class AdvisingTool:
 
     # -- stats -----------------------------------------------------------------
 
-    def selection_stats(self) -> dict[str, float]:
-        """Document vs selection sizes (paper Table 7)."""
+    def selection_stats(self) -> dict:
+        """Document vs selection sizes (paper Table 7).
+
+        When the tool was built with ``provenance="full"`` the payload
+        additionally carries ``selector_matches`` — per-selector match
+        counts over the whole document (the Table 8 columns) — and
+        ``exclusive_matches``, the sentences only that selector caught.
+        """
         total = len(self.document)
         selected = len(self.advising_sentences)
-        return {
+        stats: dict = {
             "document_sentences": total,
             "advising_sentences": selected,
             "ratio": (total / selected) if selected else float("inf"),
         }
+        if self.match_vectors is not None:
+            per_selector: dict[str, int] = {}
+            exclusive: dict[str, int] = {}
+            for vector in self.match_vectors.values():
+                fired = [name for name, matched in vector.items() if matched]
+                for name in fired:
+                    per_selector[name] = per_selector.get(name, 0) + 1
+                if len(fired) == 1:
+                    exclusive[fired[0]] = exclusive.get(fired[0], 0) + 1
+            stats["selector_matches"] = per_selector
+            stats["exclusive_matches"] = exclusive
+        return stats
 
     def health(self) -> dict:
         """Resilience view of this tool: build-time and answer-time

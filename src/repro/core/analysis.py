@@ -11,12 +11,23 @@ because the record can come from an
 :class:`~repro.pipeline.store.AnalysisStore` — possibly never computed
 at all.  A sentence accepted by Selector 1 never pays for parsing; a
 sentence ever analyzed before never pays for anything.
+
+Demand-driven failure memos: a stage that raises (a crash, an injected
+fault) is remembered on the analysis — asking for the same layer again
+re-raises the *original* exception instead of re-running the stage, and
+a layer whose prerequisite failed is blocked the same way.  Without the
+memo, a dead parser was re-executed once per syntactic selector on
+every sentence; with it, the degradation ladder pays for each broken
+layer exactly once.  The memo lives on the analysis view, never on the
+(shareable, persistable) annotation record, so a store-cached sentence
+is free to retry a transiently failed layer on its next encounter.
 """
 
 from __future__ import annotations
 
 from repro.parsing.graph import DependencyGraph
 from repro.pipeline.annotations import SentenceAnnotations
+from repro.pipeline.layers import LayerMask, selector_needs
 from repro.pipeline.stages import AnnotationPipeline
 from repro.srl.labeler import Frame
 
@@ -31,10 +42,11 @@ class SentenceAnalysis:
     :mod:`repro.resilience.degrade` turns such failures into fallback
     classifications instead of aborted documents.  A failed stage
     degrades only itself for only this sentence — layers already
-    computed stay valid.
+    computed stay valid, and the failure is memoized so no stage runs
+    twice for one classification.
     """
 
-    __slots__ = ("text", "_analyzer", "_annotations")
+    __slots__ = ("text", "_analyzer", "_annotations", "_failures")
 
     def __init__(self, text: str, analyzer: "SentenceAnalyzer",
                  annotations: SentenceAnnotations | None = None) -> None:
@@ -42,6 +54,7 @@ class SentenceAnalysis:
         self._analyzer = analyzer
         self._annotations = (annotations if annotations is not None
                              else SentenceAnnotations(text=text))
+        self._failures: dict[str, BaseException] = {}
 
     @property
     def annotations(self) -> SentenceAnnotations:
@@ -49,25 +62,84 @@ class SentenceAnalysis:
         return self._annotations
 
     @property
+    def mask(self) -> LayerMask:
+        """The layers materialized on this sentence so far."""
+        return LayerMask.from_layers(self._annotations.computed_layers)
+
+    @property
+    def failed_layers(self) -> tuple[str, ...]:
+        """Annotation layers whose stage raised on this analysis."""
+        return tuple(self._failures)
+
+    def blocking_failure(self, layer: str) -> BaseException | None:
+        """The memoized exception blocking *layer*, if any.
+
+        A layer is blocked by its own recorded failure or by a failed
+        (transitive) prerequisite — per the pipeline's stage graph, so
+        a failed stemmer does not block parsing (the parse consumes raw
+        tokens), but a failed tokenizer blocks everything.
+        """
+        if self._annotations.get(layer) is not None:
+            return None     # already materialized — nothing can block it
+        error = self._failures.get(layer)
+        if error is not None:
+            return error
+        stage = self._analyzer.pipeline.stage_for(layer)
+        if stage is None:
+            return None
+        for requirement in stage.requires:
+            error = self.blocking_failure(requirement)
+            if error is not None:
+                return error
+        return None
+
+    def selector_blocker(self, selector_layer: str) -> BaseException | None:
+        """The memoized failure blocking a selector of *selector_layer*
+        (``lexical`` | ``syntax`` | ``srl``), if any."""
+        for layer in selector_needs(selector_layer):
+            error = self.blocking_failure(layer)
+            if error is not None:
+                return error
+        return None
+
+    def _ensure(self, layer: str):
+        if self._annotations.get(layer) is not None:
+            return self._annotations.get(layer)
+        blocker = self.blocking_failure(layer)
+        if blocker is not None:
+            raise blocker
+        # materialize prerequisites through the memo first, so a
+        # failure is recorded against the stage that actually raised
+        stage = self._analyzer.pipeline.stage_for(layer)
+        if stage is not None:
+            for requirement in stage.requires:
+                self._ensure(requirement)
+        try:
+            return self._analyzer.pipeline.ensure(self._annotations, layer)
+        except Exception as error:
+            self._failures[layer] = error
+            raise
+
+    @property
     def tokens(self) -> list[str]:
-        return self._analyzer.pipeline.ensure(self._annotations, "tokens")
+        return self._ensure("tokens")
 
     @property
     def stems(self) -> list[str]:
-        return self._analyzer.pipeline.ensure(self._annotations, "stems")
+        return self._ensure("stems")
 
     @property
     def terms(self) -> list[str]:
         """Normalized retrieval terms (the Stage II vocabulary view)."""
-        return self._analyzer.pipeline.ensure(self._annotations, "terms")
+        return self._ensure("terms")
 
     @property
     def graph(self) -> DependencyGraph:
-        return self._analyzer.pipeline.ensure(self._annotations, "graph")
+        return self._ensure("graph")
 
     @property
     def frames(self) -> list[Frame]:
-        return self._analyzer.pipeline.ensure(self._annotations, "frames")
+        return self._ensure("frames")
 
 
 class SentenceAnalyzer:

@@ -64,6 +64,15 @@ class EgeriaConfig:
     #: on-disk tier for the annotation store (``--annotations-cache``);
     #: None keeps the store in-memory only
     annotations_cache: str | None = None
+    #: Stage I dispatch: batches smaller than this stay on the in-process
+    #: path even when ``workers > 1`` (pool startup dominates tiny jobs)
+    worker_min_sentences: int = 64
+    #: Stage I dispatch: sentences per worker chunk; None picks
+    #: ``max(16, n // (workers * 4))`` adaptively
+    worker_chunk_size: int | None = None
+    #: "first" short-circuits the cascade at the first firing selector;
+    #: "full" evaluates every selector and keeps the match vectors
+    provenance: str = "first"
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -83,7 +92,8 @@ class EgeriaConfig:
         unknown = set(data) - {"host", "port", "workers", "threshold",
                                "keywords", "max_retries", "deadline_ms",
                                "degrade", "max_body_bytes", "fault_plan",
-                               "annotations_cache"}
+                               "annotations_cache", "worker_min_sentences",
+                               "worker_chunk_size", "provenance"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -115,6 +125,17 @@ class EgeriaConfig:
             raise ValueError("max_body_bytes must be >= 1")
         fault_plan = data.get("fault_plan")
         annotations_cache = data.get("annotations_cache")
+        worker_min_sentences = int(data.get("worker_min_sentences", 64))
+        if worker_min_sentences < 1:
+            raise ValueError("worker_min_sentences must be >= 1")
+        worker_chunk_size = data.get("worker_chunk_size")
+        if worker_chunk_size is not None:
+            worker_chunk_size = int(worker_chunk_size)
+            if worker_chunk_size < 1:
+                raise ValueError("worker_chunk_size must be >= 1 or null")
+        provenance = str(data.get("provenance", "first"))
+        if provenance not in ("first", "full"):
+            raise ValueError('provenance must be "first" or "full"')
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
@@ -128,6 +149,9 @@ class EgeriaConfig:
             fault_plan=None if fault_plan is None else str(fault_plan),
             annotations_cache=(None if annotations_cache is None
                                else str(annotations_cache)),
+            worker_min_sentences=worker_min_sentences,
+            worker_chunk_size=worker_chunk_size,
+            provenance=provenance,
         )
 
     @classmethod
@@ -150,6 +174,9 @@ class EgeriaConfig:
             "max_body_bytes": self.max_body_bytes,
             "fault_plan": self.fault_plan,
             "annotations_cache": self.annotations_cache,
+            "worker_min_sentences": self.worker_min_sentences,
+            "worker_chunk_size": self.worker_chunk_size,
+            "provenance": self.provenance,
         }
 
     def save(self, path: str) -> None:

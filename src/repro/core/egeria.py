@@ -48,6 +48,9 @@ class Egeria:
         store: AnalysisStore | None = None,
         annotations_cache: str | None = None,
         use_annotations_store: bool = True,
+        provenance: str = "first",
+        worker_min_sentences: int = 64,
+        worker_chunk_size: int | None = None,
     ) -> None:
         """Configure the framework.
 
@@ -57,6 +60,13 @@ class Egeria:
         freshly created one (the ``--annotations-cache`` CLI knob);
         ``use_annotations_store=False`` disables annotation reuse
         entirely (``--no-annotations-cache``).
+
+        ``provenance="full"`` evaluates every selector per sentence
+        (no short-circuit) and keeps the all-selector match vectors
+        for :meth:`AdvisingTool.selection_stats` — the Table 8
+        experiment mode; the default ``"first"`` short-circuits at
+        the first firing selector.  ``worker_min_sentences`` and
+        ``worker_chunk_size`` tune the multiprocessing dispatch path.
         """
         self.keywords = keywords or KeywordConfig()
         self.threshold = threshold
@@ -68,7 +78,10 @@ class Egeria:
             self.store = None
         self.recognizer = AdvisingSentenceRecognizer(
             keywords=self.keywords, selectors=selectors, workers=workers,
-            degrade=degrade, max_retries=max_retries, store=self.store)
+            degrade=degrade, max_retries=max_retries, store=self.store,
+            provenance=provenance,
+            worker_min_sentences=worker_min_sentences,
+            worker_chunk_size=worker_chunk_size)
 
     # -- advisor synthesis ---------------------------------------------------
 
@@ -86,6 +99,9 @@ class Egeria:
         advising = [r.sentence for r in results if r.is_advising]
         provenance = {i: r.selector
                       for i, r in enumerate(results) if r.is_advising}
+        match_vectors = {i: dict(r.matches)
+                         for i, r in enumerate(results)
+                         if r.matches is not None} or None
         annotations = self.recognizer.last_annotations
         events: list = []
         for result in results:
@@ -109,7 +125,7 @@ class Egeria:
             document, advising, threshold=self.threshold, name=name,
             degradation_events=tuple(events), quarantined=quarantined,
             annotations=annotations, provenance=provenance,
-            store=self.store)
+            match_vectors=match_vectors, store=self.store)
 
     def build_advisor_from_html(
         self, html: str, title: str | None = None

@@ -42,7 +42,11 @@ from dataclasses import dataclass
 
 from repro.core.analysis import SentenceAnalyzer
 from repro.core.keywords import KeywordConfig
-from repro.core.selectors import Selector, default_selectors
+from repro.core.selectors import (
+    Selector,
+    default_selectors,
+    schedule_selectors,
+)
 from repro.docs.document import Document, Sentence
 from repro.pipeline.annotations import (
     DocumentAnnotations,
@@ -75,6 +79,9 @@ class RecognitionResult:
     events: tuple[DegradationEvent, ...] = ()
     quarantined: bool = False
     error: str | None = None
+    #: all-selector match vector — populated only under
+    #: ``provenance="full"`` (the Table 7/8 experiments view)
+    matches: tuple[tuple[str, bool], ...] | None = None
 
     @property
     def degraded(self) -> bool:
@@ -86,9 +93,15 @@ class RecognitionResult:
 _WORKER_STATE: dict[str, object] = {}
 
 
-def _init_worker(keywords: KeywordConfig) -> None:
+def _init_worker(keywords: KeywordConfig,
+                 collect_matches: bool = False,
+                 schedule: bool = True) -> None:
+    selectors: list[Selector] = default_selectors(keywords)
+    if schedule:
+        selectors = schedule_selectors(selectors)
     _WORKER_STATE["analyzer"] = SentenceAnalyzer()
-    _WORKER_STATE["ladder"] = DegradationLadder(default_selectors(keywords))
+    _WORKER_STATE["ladder"] = DegradationLadder(selectors)
+    _WORKER_STATE["collect_matches"] = collect_matches
 
 
 def _classify_batch(
@@ -99,15 +112,20 @@ def _classify_batch(
     Returns ``(classification, lexical_payload)`` pairs — the payload
     carries the worker's tokens/stems/terms back to the parent so the
     annotations are computed exactly once, in exactly one process.
+    Only the layers the cascade actually materialized (plus the terms
+    layer Stage II always needs) travel back, so lazy-mode payloads
+    stay small.
     """
     offset, texts = batch
     analyzer: SentenceAnalyzer = _WORKER_STATE["analyzer"]  # type: ignore[assignment]
     ladder: DegradationLadder = _WORKER_STATE["ladder"]  # type: ignore[assignment]
+    collect = bool(_WORKER_STATE.get("collect_matches", False))
     out: list[tuple[DegradedClassification, dict]] = []
     for i, text in enumerate(texts):
         annotations = SentenceAnnotations(text=text)
         analysis = analyzer.analyze(text, annotations=annotations)
-        outcome = ladder.classify(analysis, sentence_index=offset + i)
+        outcome = ladder.classify(analysis, sentence_index=offset + i,
+                                  collect_matches=collect)
         try:
             analyzer.pipeline.ensure(annotations, "terms")
         except Exception as error:
@@ -133,7 +151,18 @@ class AdvisingSentenceRecognizer:
         max_retries: int = 2,
         batch_timeout_s: float | None = 120.0,
         store: AnalysisStore | None = None,
+        provenance: str = "first",
+        schedule: bool = True,
+        worker_min_sentences: int = 64,
+        worker_chunk_size: int | None = None,
     ) -> None:
+        if provenance not in ("first", "full"):
+            raise ValueError(
+                f"provenance must be 'first' or 'full', got {provenance!r}")
+        if worker_min_sentences < 1:
+            raise ValueError("worker_min_sentences must be >= 1")
+        if worker_chunk_size is not None and worker_chunk_size < 1:
+            raise ValueError("worker_chunk_size must be >= 1 or None")
         self.keywords = keywords or KeywordConfig()
         self.selectors = (list(selectors) if selectors is not None
                           else default_selectors(self.keywords))
@@ -141,14 +170,30 @@ class AdvisingSentenceRecognizer:
         self.degrade = degrade
         self.max_retries = max(0, max_retries)
         self.batch_timeout_s = batch_timeout_s
+        #: ``"first"`` = lazy cascade, short-circuiting at the first
+        #: firing selector (deeper layers never materialize);
+        #: ``"full"`` = eager all-selector match vectors (the Table 7/8
+        #: experiments view — every sentence pays for every layer)
+        self.provenance = provenance
+        #: order the cascade cheapest-layer-first (a stable no-op for
+        #: the paper's default selector order)
+        self.schedule = schedule
+        #: below this sentence count the worker pool is never spun up
+        self.worker_min_sentences = worker_min_sentences
+        #: fixed per-batch size for the worker path (``None`` = the
+        #: adaptive ``max(16, n // (workers * 4))`` heuristic)
+        self.worker_chunk_size = worker_chunk_size
         #: shared annotation store — sentences seen before (this build
         #: or any earlier one sharing the store) skip their NLP layers
         self.store = store
         self._analyzer = SentenceAnalyzer()
-        self._ladder = DegradationLadder(self.selectors)
+        self._scheduled = (schedule_selectors(self.selectors) if schedule
+                           else list(self.selectors))
+        self._ladder = DegradationLadder(self._scheduled)
         # guide corpora repeat boilerplate sentences (~35% duplicates
         # in the bundled guides); classification is pure, so memoize
-        self._cache: dict[str, tuple[bool, str | None]] = {}
+        self._cache: dict[str, tuple[
+            bool, str | None, tuple[tuple[str, bool], ...] | None]] = {}
         self._cache_size = cache_size
         #: document-level events from the last ``recognize`` run
         #: (worker crashes, pool fallbacks) — per-sentence events live
@@ -173,29 +218,40 @@ class AdvisingSentenceRecognizer:
                     annotations: SentenceAnnotations | None = None,
                     ) -> DegradedClassification:
         """Classify one sentence through the degradation ladder."""
+        collect = self.provenance == "full"
         cached = self._cache.get(text)
-        if cached is not None:
+        if cached is not None and (not collect or cached[2] is not None):
             return DegradedClassification(
-                is_advising=cached[0], selector=cached[1])
+                is_advising=cached[0], selector=cached[1],
+                matches=cached[2] if collect else None)
         if annotations is None:
             annotations = self._annotation_for(text)
         analysis = self._analyzer.analyze(text, annotations=annotations)
         if self.degrade:
             outcome = self._ladder.classify(
-                analysis, sentence_index=sentence_index)
+                analysis, sentence_index=sentence_index,
+                collect_matches=collect)
         else:
             fired: str | None = None
-            for selector in self.selectors:
-                if selector.matches(analysis):
-                    fired = selector.name
-                    break
+            matches: list[tuple[str, bool]] = []
+            for selector in self._scheduled:
+                matched = selector.matches(analysis)
+                if collect:
+                    matches.append((selector.name, matched))
+                if matched:
+                    if fired is None:
+                        fired = selector.name
+                    if not collect:
+                        break
             outcome = DegradedClassification(
-                is_advising=fired is not None, selector=fired)
+                is_advising=fired is not None, selector=fired,
+                matches=tuple(matches) if collect else None)
         # only clean classifications are cacheable: a degraded outcome
         # must not mask recovery on the next encounter of the text
         if not outcome.degraded and not outcome.quarantined \
                 and len(self._cache) < self._cache_size:
-            self._cache[text] = (outcome.is_advising, outcome.selector)
+            self._cache[text] = (outcome.is_advising, outcome.selector,
+                                 outcome.matches)
         return outcome
 
     def classify(self, text: str) -> tuple[bool, str | None]:
@@ -208,11 +264,25 @@ class AdvisingSentenceRecognizer:
 
     def explain(self, text: str) -> dict[str, bool]:
         """Which selectors fire on *text* (all of them, not just the
-        first) — the diagnostic view behind a classification."""
-        analysis = self._analyzer.analyze(
-            text, annotations=self._annotation_for(text))
-        return {selector.name: selector.matches(analysis)
-                for selector in self.selectors}
+        first) — the diagnostic view behind a classification.
+
+        Routed through the annotation store: a sentence seen by a
+        ``recognize`` pass (or an earlier ``explain``) reuses its
+        cached layers instead of re-analyzing from scratch, and any
+        layer materialized here upgrades the stored record in place.
+        Under ``provenance="full"`` a memoized match vector answers
+        without touching the NLP layers at all.
+        """
+        cached = self._cache.get(text)
+        if cached is not None and cached[2] is not None:
+            return dict(cached[2])
+        annotations = self._annotation_for(text)
+        analysis = self._analyzer.analyze(text, annotations=annotations)
+        explained = {selector.name: selector.matches(analysis)
+                     for selector in self.selectors}
+        if self.store is not None:
+            self.store.put(text, annotations)
+        return explained
 
     # -- documents -------------------------------------------------------------
 
@@ -231,7 +301,7 @@ class AdvisingSentenceRecognizer:
         if not sentences:   # nothing to do — never spin up a pool
             return []
         texts = [s.text for s in sentences]
-        if self.workers == 1 or len(texts) < 64:
+        if self.workers == 1 or len(texts) < self.worker_min_sentences:
             pairs = []
             for i, text in enumerate(texts):
                 annotations = self._annotation_for(text)
@@ -252,6 +322,7 @@ class AdvisingSentenceRecognizer:
                 events=outcome.events,
                 quarantined=outcome.quarantined,
                 error=outcome.error,
+                matches=outcome.matches,
             )
             for sentence, outcome in zip(sentences, outcomes)
         ]
@@ -300,7 +371,9 @@ class AdvisingSentenceRecognizer:
     def _recognize_parallel(
         self, texts: list[str]
     ) -> list[tuple[DegradedClassification, SentenceAnnotations]]:
-        chunk = max(16, len(texts) // (self.workers * 4))
+        chunk = (self.worker_chunk_size
+                 if self.worker_chunk_size is not None
+                 else max(16, len(texts) // (self.workers * 4)))
         batches = [(i, texts[i:i + chunk])
                    for i in range(0, len(texts), chunk)]
         worker_events: list[DegradationEvent] = []
@@ -312,7 +385,8 @@ class AdvisingSentenceRecognizer:
             pool = ctx.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(self.keywords,),
+                initargs=(self.keywords, self.provenance == "full",
+                          self.schedule),
             )
         except Exception as error:
             logger.warning("worker pool unavailable (%r); running "

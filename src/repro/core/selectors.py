@@ -23,9 +23,11 @@ Each selector implements one Table 1 rule:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from repro.core.analysis import SentenceAnalysis
 from repro.core.keywords import KeywordConfig
+from repro.pipeline.layers import selector_cost
 # stems the *keyword configuration* (Table 1 flagging words), not
 # sentence text — sentences arrive pre-analyzed via SentenceAnalysis
 from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
@@ -75,9 +77,14 @@ class KeywordSelector(Selector):
 
     def matches(self, analysis: SentenceAnalysis) -> bool:
         stems = analysis.stems
-        if any(s in self._singles for s in stems):
+        if not self._singles.isdisjoint(stems):
             return True
+        if not self._multi:
+            return False
+        present = set(stems)
         for phrase in self._multi:
+            if phrase[0] not in present:
+                continue
             k = len(phrase)
             for i in range(len(stems) - k + 1):
                 if tuple(stems[i:i + k]) == phrase:
@@ -193,3 +200,20 @@ def default_selectors(
         SubjectSelector(config),
         PurposeSelector(config),
     ]
+
+
+def schedule_selectors(selectors: Sequence[Selector]) -> list[Selector]:
+    """Order *selectors* cheapest NLP layer first (the demand-driven
+    cascade schedule).
+
+    The sort is stable, so selectors on the same layer keep their given
+    relative order, and the paper's default cascade — already arranged
+    lexical → syntax → syntax → syntax → srl — comes back unchanged.
+    Because Stage I is a disjunction over the selectors (§3.1.2: "as
+    long as the sentence meets the condition of one of the selectors"),
+    the advising-sentence *set* is invariant under any evaluation
+    order; scheduling only moves expensive layers behind cheap
+    short-circuits.
+    """
+    return sorted(selectors,
+                  key=lambda s: selector_cost(getattr(s, "layer", "syntax")))

@@ -68,6 +68,9 @@ def _records_failure(handler: ast.ExceptHandler) -> bool:
             func = node.func
             if isinstance(func, ast.Name) and func.id == "DegradationEvent":
                 return True
+            # a local recording helper: record_failure(selector, error)
+            if isinstance(func, ast.Name) and func.id in _RECORDING_ATTRS:
+                return True
             if isinstance(func, ast.Attribute):
                 if func.attr == "DegradationEvent":
                     return True

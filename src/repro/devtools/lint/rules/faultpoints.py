@@ -9,7 +9,12 @@ does, statically:
 * every ``Stage`` class in ``repro.pipeline.stages`` (a class with a
   ``provides`` attribute and a ``run`` method, excluding the Protocol
   itself) must call ``fault_point("<literal>")`` inside ``run`` — a new
-  stage without a hook is invisible to every chaos plan;
+  stage without a hook is invisible to every chaos plan.  A *wrapper*
+  stage that delegates — ``self.<attr>.run(annotations)`` inside its
+  own ``run`` — counts as hooked through the stage it wraps (the
+  per-layer lazy wrapper pattern: ``ObservedStage`` times the inner
+  stage, whose own ``fault_point`` still fires), so wrapping never
+  orphans a layer's fault point;
 * ``fault_point`` must be called with a string literal, so plans can be
   audited against the source;
 * every point named in a ``FaultSpec(point=...)`` literal (e.g. the
@@ -55,6 +60,22 @@ def _is_protocol(class_def: ast.ClassDef) -> bool:
             value = base.value
             if isinstance(value, ast.Name) and value.id == "Protocol":
                 return True
+    return False
+
+
+def _delegates_run(run: ast.FunctionDef) -> bool:
+    """True when *run* calls ``self.<attr>.run(...)`` — a wrapper stage
+    whose fault point lives in the stage it wraps."""
+    for node in ast.walk(run):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "run"):
+            continue
+        inner = node.func.value
+        if isinstance(inner, ast.Attribute) \
+                and isinstance(inner.value, ast.Name) \
+                and inner.value.id == "self":
+            return True
     return False
 
 
@@ -112,12 +133,13 @@ class FaultPointCoverageRule(Rule):
                 and node.func.id == "fault_point"
                 and node.args and string_constant(node.args[0]) is not None
                 for node in ast.walk(run))
-            if not has_hook:
+            if not has_hook and not _delegates_run(run):
                 yield self.violation(
                     ctx, class_def,
                     f"stage {class_def.name!r} has no fault_point() hook "
-                    f"in run(); the stage is invisible to every chaos "
-                    f"plan")
+                    f"in run() and does not delegate to a wrapped "
+                    f"stage's run(); the stage is invisible to every "
+                    f"chaos plan")
 
     def _check_spec_points(self, ctx: FileContext,
                            hooked: set[str]) -> Iterable[Violation]:

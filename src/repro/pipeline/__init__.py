@@ -22,8 +22,17 @@ from repro.pipeline.annotations import (
     DocumentAnnotations,
     SentenceAnnotations,
 )
+from repro.pipeline.layers import (
+    SELECTOR_LAYER_COST,
+    SELECTOR_LAYER_NEEDS,
+    LayerMask,
+    selector_cost,
+    selector_needs,
+)
 from repro.pipeline.stages import (
     AnnotationPipeline,
+    LayerStats,
+    ObservedStage,
     ParseStage,
     SrlStage,
     Stage,
@@ -39,12 +48,19 @@ __all__ = [
     "LEXICAL_LAYERS",
     "SentenceAnnotations",
     "DocumentAnnotations",
+    "LayerMask",
+    "SELECTOR_LAYER_COST",
+    "SELECTOR_LAYER_NEEDS",
+    "selector_cost",
+    "selector_needs",
     "Stage",
     "TokenizeStage",
     "StemStage",
     "TermsStage",
     "ParseStage",
     "SrlStage",
+    "ObservedStage",
+    "LayerStats",
     "default_stages",
     "AnnotationPipeline",
     "AnalysisStore",

@@ -1,0 +1,135 @@
+"""Layer masks — the demand-driven Stage I contract.
+
+The paper's three NLP layers (keyword matching, dependency parsing,
+SRL; §3.1) map onto five annotation layers (``tokens``/``stems``/
+``terms``/``graph``/``frames``).  A :class:`LayerMask` is a tiny
+immutable bitset over those layers: it records *which layers a
+consumer actually touched*, so the recognizer can prove statements
+like "this sentence was decided with nothing deeper than stems" and
+workers can ship exactly the layers they computed.
+
+The module also centralizes the cost model the selector scheduler
+uses: each selector declares the NLP layer it consumes (``lexical`` |
+``syntax`` | ``srl``), :data:`SELECTOR_LAYER_COST` orders those
+cheapest first, and :data:`SELECTOR_LAYER_NEEDS` maps each to the
+annotation layers it materializes.  Dependencies between the NLP
+layers are *not* a straight chain: the dependency parse consumes raw
+tokens, not stems, so a failed stemmer still leaves every syntactic
+selector runnable (the degradation ladder relies on this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.pipeline.annotations import LAYERS
+
+_BITS = {layer: 1 << index for index, layer in enumerate(LAYERS)}
+
+#: cascade cost of each selector-facing NLP layer, cheapest first
+SELECTOR_LAYER_COST = {"lexical": 0, "syntax": 1, "srl": 2}
+
+#: annotation layers each selector-facing NLP layer materializes
+SELECTOR_LAYER_NEEDS = {
+    "lexical": ("tokens", "stems"),
+    "syntax": ("tokens", "graph"),
+    "srl": ("tokens", "graph", "frames"),
+}
+
+
+class LayerMask:
+    """Immutable set of annotation layers, backed by one int.
+
+    >>> mask = LayerMask.of("tokens", "stems")
+    >>> "stems" in mask and "graph" not in mask
+    True
+    >>> (mask | LayerMask.of("graph")).layers
+    ('tokens', 'stems', 'graph')
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: int = 0) -> None:
+        self._bits = bits & (1 << len(LAYERS)) - 1
+
+    @classmethod
+    def of(cls, *layers: str) -> "LayerMask":
+        bits = 0
+        for layer in layers:
+            try:
+                bits |= _BITS[layer]
+            except KeyError:
+                raise KeyError(f"unknown annotation layer {layer!r}") \
+                    from None
+        return cls(bits)
+
+    @classmethod
+    def from_layers(cls, layers: Iterable[str]) -> "LayerMask":
+        return cls.of(*layers)
+
+    @classmethod
+    def full(cls) -> "LayerMask":
+        return cls((1 << len(LAYERS)) - 1)
+
+    @classmethod
+    def empty(cls) -> "LayerMask":
+        return cls(0)
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def layers(self) -> tuple[str, ...]:
+        """Member layers, shallow to deep."""
+        return tuple(layer for layer in LAYERS
+                     if self._bits & _BITS[layer])
+
+    def __contains__(self, layer: str) -> bool:
+        bit = _BITS.get(layer)
+        if bit is None:
+            raise KeyError(f"unknown annotation layer {layer!r}")
+        return bool(self._bits & bit)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __bool__(self) -> bool:
+        return bool(self._bits)
+
+    def __or__(self, other: "LayerMask") -> "LayerMask":
+        return LayerMask(self._bits | other._bits)
+
+    def __and__(self, other: "LayerMask") -> "LayerMask":
+        return LayerMask(self._bits & other._bits)
+
+    def __sub__(self, other: "LayerMask") -> "LayerMask":
+        return LayerMask(self._bits & ~other._bits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LayerMask) and other._bits == self._bits
+
+    def __hash__(self) -> int:
+        return hash(("LayerMask", self._bits))
+
+    def __repr__(self) -> str:
+        return f"LayerMask({', '.join(self.layers)})"
+
+    def covers(self, other: "LayerMask") -> bool:
+        """True when every layer of *other* is in this mask."""
+        return (other._bits & ~self._bits) == 0
+
+
+def selector_cost(layer: str) -> int:
+    """Scheduler cost of a selector-facing NLP layer (unknown layers
+    sort with syntax, the historical default)."""
+    return SELECTOR_LAYER_COST.get(layer, SELECTOR_LAYER_COST["syntax"])
+
+
+def selector_needs(layer: str) -> tuple[str, ...]:
+    """Annotation layers a selector on *layer* materializes."""
+    return SELECTOR_LAYER_NEEDS.get(layer,
+                                    SELECTOR_LAYER_NEEDS["syntax"])

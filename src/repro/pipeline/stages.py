@@ -20,6 +20,8 @@ per-layer fallback.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Protocol, runtime_checkable
 
 from repro.pipeline.annotations import SentenceAnnotations
@@ -90,21 +92,44 @@ class TermsStage:
     construction identical to ``NormalizationPipeline()(text)``, which
     is what makes annotation-fed retrieval score-identical to the old
     re-tokenizing path.
+
+    Demand-driven fast path: with the default stemmer and normalizer,
+    the terms of a sentence whose ``stems`` layer is already present
+    are *derived* rather than recomputed — the normalizer's steps are
+    punct-drop, stopword-drop (both on the raw token), lowercase, stem,
+    and ``PorterStemmer.stem`` lowercases its input itself, so the
+    surviving tokens' terms are exactly their already-computed stems.
+    This removes the second stemming pass Stage I used to pay on every
+    sentence (the stems layer for keyword matching, then a full re-stem
+    for retrieval terms).  ``derive_from_stems`` is only enabled by
+    :func:`default_stages` when both components are the defaults; any
+    custom stemmer or normalizer keeps the reference path.
     """
 
     name = "terms"
     requires = ("tokens",)
     provides = "terms"
 
-    def __init__(self, normalizer=None) -> None:
+    def __init__(self, normalizer=None,
+                 derive_from_stems: bool = False) -> None:
         if normalizer is None:
             from repro.textproc.normalize import NormalizationPipeline
 
             normalizer = NormalizationPipeline()
         self.normalizer = normalizer
+        self.derive_from_stems = derive_from_stems
 
     def run(self, annotations: SentenceAnnotations) -> list[str]:
         fault_point("analysis.terms")
+        stems = annotations.stems
+        if self.derive_from_stems and stems is not None:
+            from repro.textproc.normalize import _is_punct
+            from repro.textproc.stopwords import is_stopword
+
+            return [stemmed
+                    for token, stemmed in zip(annotations.tokens, stems)
+                    if stemmed and not _is_punct(token)
+                    and not is_stopword(token)]
         return self.normalizer.normalize_tokens(annotations.tokens)
 
 
@@ -148,14 +173,100 @@ class SrlStage:
 
 def default_stages(tokenizer=None, stemmer=None, normalizer=None,
                    parser=None, labeler=None) -> list[Stage]:
-    """The five standard stages: tokenize → stem/terms → parse → SRL."""
+    """The five standard stages: tokenize → stem/terms → parse → SRL.
+
+    With the default stemmer *and* normalizer the terms stage derives
+    its output from an already-present stems layer (see
+    :class:`TermsStage`); any custom component disables the shortcut
+    because the two passes are no longer guaranteed to agree.
+    """
     return [
         TokenizeStage(tokenizer),
         StemStage(stemmer),
-        TermsStage(normalizer),
+        TermsStage(normalizer,
+                   derive_from_stems=stemmer is None and normalizer is None),
         ParseStage(parser),
         SrlStage(labeler),
     ]
+
+
+class LayerStats:
+    """Thread-safe per-layer materialization counters.
+
+    One instance is shared by every :class:`ObservedStage` of an
+    observed pipeline; ``snapshot()`` reports, per annotation layer,
+    how many times its stage actually ran, failed, and how long it
+    took — the evidence behind "the lazy cascade parsed only 18% of
+    the sentences".
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runs: dict[str, int] = {}
+        self.failures: dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+
+    def record(self, layer: str, seconds: float,
+               failed: bool = False) -> None:
+        with self._lock:
+            self.runs[layer] = self.runs.get(layer, 0) + 1
+            self.seconds[layer] = self.seconds.get(layer, 0.0) + seconds
+            if failed:
+                self.failures[layer] = self.failures.get(layer, 0) + 1
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                layer: {
+                    "runs": self.runs.get(layer, 0),
+                    "failures": self.failures.get(layer, 0),
+                    "seconds": self.seconds.get(layer, 0.0),
+                }
+                for layer in sorted(self.runs)
+            }
+
+
+class ObservedStage:
+    """Per-layer lazy stage wrapper: delegates to the wrapped stage
+    and records the layer-level outcome on a shared
+    :class:`LayerStats`.
+
+    The wrapped stage's own fault point fires at materialization time
+    (inside the delegated ``run``), so the wrapper never needs — and
+    must not add — a second hook for the same layer.
+    """
+
+    # mirrored from the wrapped stage per instance; the class-level
+    # defaults exist so the wrapper satisfies the Stage protocol
+    name = "observed"
+    requires: tuple[str, ...] = ()
+    provides = ""
+
+    def __init__(self, inner: Stage, stats: LayerStats) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.requires = inner.requires
+        self.provides = inner.provides
+        self._stats = stats
+
+    def __getattr__(self, attribute: str):
+        # component views (tokenizer/stemmer/...) pass through; the
+        # "inner" guard keeps unpickling from recursing before state
+        # is restored
+        if attribute == "inner":
+            raise AttributeError(attribute)
+        return getattr(self.inner, attribute)
+
+    def run(self, annotations: SentenceAnnotations):
+        started = time.perf_counter()
+        try:
+            value = self.inner.run(annotations)
+        except Exception:
+            self._stats.record(self.provides,
+                               time.perf_counter() - started, failed=True)
+            raise
+        self._stats.record(self.provides, time.perf_counter() - started)
+        return value
 
 
 class AnnotationPipeline:
@@ -252,6 +363,17 @@ class AnnotationPipeline:
         if self.store is not None:
             self.store.put(text, annotations)
         return annotations
+
+    def observed(self, stats: LayerStats | None = None
+                 ) -> tuple["AnnotationPipeline", LayerStats]:
+        """A pipeline whose stages report into a shared
+        :class:`LayerStats` — same components, same fault points, plus
+        per-layer materialization accounting."""
+        stats = stats if stats is not None else LayerStats()
+        wrapped = [stage if isinstance(stage, ObservedStage)
+                   else ObservedStage(stage, stats)
+                   for stage in self.stages]
+        return AnnotationPipeline(wrapped, store=self.store), stats
 
     def describe(self) -> list[dict]:
         """Stage graph as data (diagnostics / DESIGN.md §7 example)."""

@@ -21,7 +21,7 @@ import os
 import threading
 from collections import OrderedDict
 
-from repro.pipeline.annotations import SentenceAnnotations
+from repro.pipeline.annotations import LAYERS, SentenceAnnotations
 
 #: on-disk cache entry format (bumped if the payload shape changes)
 DISK_FORMAT = 1
@@ -53,6 +53,7 @@ class AnalysisStore:
         self.disk_hits = 0
         self.evictions = 0
         self.disk_writes = 0
+        self.upgrades = 0
 
     @staticmethod
     def content_key(text: str) -> str:
@@ -82,10 +83,33 @@ class AnalysisStore:
         return None
 
     def put(self, text: str, annotations: SentenceAnnotations) -> None:
-        """Cache *annotations* under the content key of *text*."""
+        """Cache *annotations* under the content key of *text*.
+
+        Entries are keyed per layer: putting a record for a text the
+        store already holds *merges* — any layer the incoming record
+        has and the stored one lacks upgrades the stored record in
+        place (the stored object keeps its identity, so every analysis
+        sharing it sees the new layers), and layers already present are
+        never overwritten.  A partial record therefore converges layer
+        by layer toward a full one instead of being recomputed or
+        clobbered.
+        """
         key = self.content_key(text)
         with self._lock:
-            self._insert(key, annotations)
+            existing = self._entries.get(key)
+            if existing is not None and existing is not annotations:
+                upgraded = False
+                for layer in LAYERS:
+                    if existing.get(layer) is None \
+                            and annotations.get(layer) is not None:
+                        existing.set(layer, annotations.get(layer))
+                        upgraded = True
+                if upgraded:
+                    self.upgrades += 1
+                self._entries.move_to_end(key)
+                annotations = existing
+            else:
+                self._insert(key, annotations)
         self._disk_put(key, annotations)
 
     def _insert(self, key: str, annotations: SentenceAnnotations) -> None:
@@ -133,8 +157,20 @@ class AnalysisStore:
         payload = annotations.lexical_payload()
         if not payload:
             return          # nothing lexical computed yet — not worth a file
-        if os.path.exists(path):
-            return          # content-addressed: an existing entry is current
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = None
+        if data is not None and data.get("format") == DISK_FORMAT:
+            # content-addressed, keyed per layer: merge any layer the
+            # file lacks; rewrite only when the entry actually grew.
+            stored = data.get("layers") or {}
+            missing = {layer: value for layer, value in payload.items()
+                       if stored.get(layer) is None}
+            if not missing:
+                return
+            payload = {**stored, **missing}
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}"
@@ -162,6 +198,7 @@ class AnalysisStore:
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
                 "evictions": self.evictions,
+                "upgrades": self.upgrades,
                 "cache_dir": self.cache_dir,
             }
 
@@ -170,3 +207,4 @@ class AnalysisStore:
         with self._lock:
             self.hits = self.misses = 0
             self.disk_hits = self.disk_writes = self.evictions = 0
+            self.upgrades = 0

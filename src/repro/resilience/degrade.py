@@ -61,13 +61,20 @@ class DegradationEvent:
 
 @dataclass(frozen=True)
 class DegradedClassification:
-    """Outcome of classifying one sentence through the ladder."""
+    """Outcome of classifying one sentence through the ladder.
+
+    ``matches`` is the all-selector match vector — only populated in
+    full-provenance mode (``collect_matches=True``), where every
+    selector is evaluated instead of short-circuiting at the first
+    fire; ``None`` under the default lazy cascade.
+    """
 
     is_advising: bool
     selector: str | None
     events: tuple[DegradationEvent, ...] = ()
     quarantined: bool = False
     error: str | None = None
+    matches: tuple[tuple[str, bool], ...] | None = None
 
     @property
     def degraded(self) -> bool:
@@ -92,50 +99,84 @@ def selector_layer(selector: "Selector") -> str:
 class DegradationLadder:
     """Runs a selector cascade with per-layer fallback.
 
-    Every selector is attempted in cascade order; a selector that
+    Every selector is attempted in the given order; a selector that
     raises is recorded as a :class:`DegradationEvent` for its layer and
     the cascade continues with the remaining selectors, so the deepest
     surviving rung still decides the sentence.
+
+    Layer-level outcomes: when the analysis carries a memoized stage
+    failure (see :class:`repro.core.analysis.SentenceAnalysis`), a
+    selector whose NLP layer is already known to be broken is *skipped*
+    — recorded exactly as if it had raised the memoized exception, but
+    without re-running the dead stage.  Without this, a failed parser
+    was re-executed once per syntactic selector on every sentence.
     """
 
     def __init__(self, selectors: Sequence["Selector"]) -> None:
         self.selectors = list(selectors)
 
     def classify(self, analysis: "SentenceAnalysis",
-                 sentence_index: int | None = None
+                 sentence_index: int | None = None,
+                 collect_matches: bool = False,
                  ) -> DegradedClassification:
+        """Classify one sentence.
+
+        With ``collect_matches`` (full-provenance mode) every selector
+        is evaluated — no short-circuit — and the resulting match
+        vector is attached to the classification; ``selector`` is still
+        the first firing one, so provenance agrees with the lazy
+        cascade.
+        """
         events: list[DegradationEvent] = []
         failed_layers: set[str] = set()
         completed = 0
         first_error: str | None = None
         fired: str | None = None
+        matches: list[tuple[str, bool]] = []
+        blocker_of = getattr(analysis, "selector_blocker", None)
+
+        def record_failure(selector, error: BaseException) -> None:
+            nonlocal first_error
+            layer = selector_layer(selector)
+            if first_error is None:
+                first_error = repr(error)
+            if layer not in failed_layers:
+                failed_layers.add(layer)
+                events.append(DegradationEvent(
+                    layer=layer,
+                    point=f"selector.{selector.name}",
+                    error=repr(error),
+                    sentence_index=sentence_index,
+                ))
+
         for selector in self.selectors:
+            if blocker_of is not None:
+                blocked = blocker_of(selector_layer(selector))
+                if blocked is not None:
+                    record_failure(selector, blocked)
+                    continue
             try:
                 matched = selector.matches(analysis)
             except Exception as error:
-                layer = selector_layer(selector)
-                if first_error is None:
-                    first_error = repr(error)
-                if layer not in failed_layers:
-                    failed_layers.add(layer)
-                    events.append(DegradationEvent(
-                        layer=layer,
-                        point=f"selector.{selector.name}",
-                        error=repr(error),
-                        sentence_index=sentence_index,
-                    ))
+                record_failure(selector, error)
                 continue
             completed += 1
+            if collect_matches:
+                matches.append((selector.name, bool(matched)))
             if matched:
-                fired = selector.name
-                break
+                if fired is None:
+                    fired = selector.name
+                if not collect_matches:
+                    break
         if completed == 0:
             return DegradedClassification(
                 is_advising=False, selector=None, events=tuple(events),
-                quarantined=True, error=first_error)
+                quarantined=True, error=first_error,
+                matches=tuple(matches) if collect_matches else None)
         return DegradedClassification(
             is_advising=fired is not None, selector=fired,
-            events=tuple(events), quarantined=False, error=None)
+            events=tuple(events), quarantined=False, error=None,
+            matches=tuple(matches) if collect_matches else None)
 
 
 def summarize_events(

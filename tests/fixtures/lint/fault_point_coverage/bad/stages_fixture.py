@@ -29,4 +29,19 @@ class DynamicStage:
         return None
 
 
+class OpaqueWrapper:
+    """A wrapper that swallows the inner stage instead of delegating —
+    the inner fault point never fires, so this is NOT hooked."""
+
+    name = "opaque"
+    provides = "opaque"
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def run(self, annotations):
+        # re-implements instead of calling self.inner.run(annotations)
+        return list(annotations.text)
+
+
 PLAN = [FaultSpec(point="analysis.never_hooked", probability=0.5)]

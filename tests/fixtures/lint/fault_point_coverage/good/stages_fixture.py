@@ -30,4 +30,17 @@ class TokenizeStage:
         return annotations.text.split()
 
 
+class TimedStage:
+    """A per-layer wrapper: delegation keeps the inner stage's hook."""
+
+    name = "timed"
+    provides = "tokens"
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def run(self, annotations):
+        return self.inner.run(annotations)
+
+
 PLAN = [FaultSpec(point="analysis.tokenize", probability=0.2)]

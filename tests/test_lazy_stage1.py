@@ -1,0 +1,483 @@
+"""Demand-driven Stage I: layer masks, short-circuiting, store
+upgrades, full-provenance mode, and lazy/eager equivalence."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Document, Egeria
+from repro.core.analysis import SentenceAnalyzer
+from repro.core.config import EgeriaConfig
+from repro.core.recognizer import AdvisingSentenceRecognizer
+from repro.core.selectors import default_selectors, schedule_selectors
+from repro.pipeline.annotations import LAYERS, SentenceAnnotations
+from repro.pipeline.layers import LayerMask, selector_cost, selector_needs
+from repro.pipeline.stages import AnnotationPipeline, LayerStats
+from repro.pipeline.store import AnalysisStore
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.textproc import instrumentation
+from repro.textproc.normalize import NormalizationPipeline
+
+ADVISING = "Use shared memory to reduce global memory traffic."
+NEUTRAL = "The warp size is 32 threads."
+
+
+# -- LayerMask ----------------------------------------------------------
+
+
+class TestLayerMask:
+    def test_of_and_contains(self) -> None:
+        mask = LayerMask.of("tokens", "graph")
+        assert "tokens" in mask
+        assert "graph" in mask
+        assert "stems" not in mask
+
+    def test_unknown_layer_raises(self) -> None:
+        with pytest.raises(KeyError):
+            LayerMask.of("embeddings")
+        with pytest.raises(KeyError):
+            "embeddings" in LayerMask.full()  # noqa: B015
+
+    def test_full_and_empty(self) -> None:
+        assert LayerMask.full().layers == LAYERS
+        assert not LayerMask.empty()
+        assert len(LayerMask.full()) == len(LAYERS)
+
+    def test_set_algebra(self) -> None:
+        lexical = LayerMask.of("tokens", "stems")
+        syntax = LayerMask.of("tokens", "graph")
+        assert (lexical | syntax).layers == ("tokens", "stems", "graph")
+        assert (lexical & syntax) == LayerMask.of("tokens")
+        assert (lexical - syntax) == LayerMask.of("stems")
+
+    def test_covers(self) -> None:
+        assert LayerMask.full().covers(LayerMask.of("frames"))
+        assert not LayerMask.of("tokens").covers(LayerMask.of("stems"))
+
+    def test_layers_ordered_shallow_to_deep(self) -> None:
+        mask = LayerMask.of("frames", "tokens")
+        assert mask.layers == ("tokens", "frames")
+
+    def test_hash_and_eq(self) -> None:
+        assert LayerMask.of("tokens") == LayerMask.of("tokens")
+        assert len({LayerMask.of("tokens"), LayerMask.of("tokens")}) == 1
+
+    def test_cost_model(self) -> None:
+        assert selector_cost("lexical") < selector_cost("syntax")
+        assert selector_cost("syntax") < selector_cost("srl")
+        assert selector_cost("unknown") == selector_cost("syntax")
+        assert selector_needs("lexical") == ("tokens", "stems")
+        assert "frames" in selector_needs("srl")
+
+
+# -- short-circuiting laziness ------------------------------------------
+
+
+class TestLazyShortCircuit:
+    def test_keyword_sentence_never_parses(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        annotations = SentenceAnnotations(text=ADVISING)
+        outcome = recognizer.classify_ex(ADVISING, annotations=annotations)
+        assert outcome.is_advising and outcome.selector == "keyword"
+        mask = LayerMask.from_layers(annotations.computed_layers)
+        assert "graph" not in mask and "frames" not in mask
+
+    def test_analysis_mask_tracks_materialization(self) -> None:
+        analysis = SentenceAnalyzer().analyze(NEUTRAL)
+        assert analysis.mask == LayerMask.empty()
+        analysis.stems
+        assert analysis.mask == LayerMask.of("tokens", "stems")
+        analysis.graph
+        assert "graph" in analysis.mask
+
+    def test_scheduler_is_stable_noop_for_default_cascade(self) -> None:
+        selectors = default_selectors()
+        assert [s.name for s in schedule_selectors(selectors)] \
+            == [s.name for s in selectors]
+
+    def test_scheduler_moves_cheap_layers_first(self) -> None:
+        selectors = default_selectors()
+        reordered = [selectors[4], selectors[1], selectors[0]]
+        scheduled = schedule_selectors(reordered)
+        assert [s.layer for s in scheduled] == ["lexical", "syntax", "srl"]
+        # stability: same-layer selectors keep their given order
+        two_syntax = [selectors[3], selectors[2]]
+        assert [s.name for s in schedule_selectors(two_syntax)] \
+            == [s.name for s in two_syntax]
+
+    def test_failure_memo_blocks_without_rerun(self) -> None:
+        analysis = SentenceAnalyzer().analyze(NEUTRAL)
+        plan = FaultPlan(specs=(FaultSpec(point="analysis.parse"),))
+        with inject(plan):
+            with pytest.raises(Exception) as first:
+                analysis.graph
+        # outside the chaos window the memo still blocks — the dead
+        # stage is never re-executed for this analysis
+        with pytest.raises(Exception) as second:
+            analysis.graph
+        assert second.value is first.value
+        assert "graph" in analysis.failed_layers
+        assert analysis.selector_blocker("syntax") is first.value
+        assert analysis.selector_blocker("srl") is first.value
+        assert analysis.selector_blocker("lexical") is None
+
+    def test_failed_stemmer_does_not_block_syntax(self) -> None:
+        analysis = SentenceAnalyzer().analyze(NEUTRAL)
+        plan = FaultPlan(specs=(FaultSpec(point="analysis.stem"),))
+        with inject(plan):
+            with pytest.raises(Exception):
+                analysis.stems
+        # the parse consumes raw tokens, not stems
+        assert analysis.selector_blocker("syntax") is None
+        assert analysis.graph is not None
+
+
+# -- terms-from-stems fast path -----------------------------------------
+
+
+class TestTermsDerivation:
+    @pytest.mark.parametrize("text", [
+        ADVISING,
+        NEUTRAL,
+        "It is best to avoid, where possible, bank conflicts!",
+        "A B C the of and 1 2 3 -- ...",
+        "",
+        "Punctuation-only: ?!.,;",
+    ])
+    def test_derived_terms_match_normalizer(self, text: str) -> None:
+        pipeline = AnnotationPipeline()
+        annotations = SentenceAnnotations(text=text)
+        derived = pipeline.ensure(annotations, "terms")
+        tokens = pipeline.ensure(annotations, "tokens")
+        assert derived == NormalizationPipeline().normalize_tokens(tokens)
+
+    def test_terms_reuse_stems_zero_extra_stem_calls(self) -> None:
+        pipeline = AnnotationPipeline()
+        annotations = SentenceAnnotations(text=ADVISING)
+        pipeline.ensure(annotations, "stems")
+        before = instrumentation.snapshot()
+        pipeline.ensure(annotations, "terms")
+        delta = instrumentation.snapshot() - before
+        assert delta.stem_calls == 0
+        assert delta.tokenize_calls == 0
+
+
+# -- store upgrade semantics --------------------------------------------
+
+
+class TestStoreUpgrades:
+    def test_put_merges_missing_layers_in_place(self) -> None:
+        store = AnalysisStore()
+        partial = SentenceAnnotations(text=ADVISING, tokens=["Use"])
+        store.put(ADVISING, partial)
+        richer = SentenceAnnotations(
+            text=ADVISING, tokens=["SHOULD", "NOT", "WIN"], stems=["use"])
+        store.put(ADVISING, richer)
+        merged = store.get(ADVISING)
+        assert merged is partial            # identity preserved
+        assert merged.tokens == ["Use"]     # present layers never clobbered
+        assert merged.stems == ["use"]      # missing layer filled in
+        assert store.upgrades == 1
+        assert store.stats()["upgrades"] == 1
+
+    def test_put_same_object_is_not_an_upgrade(self) -> None:
+        store = AnalysisStore()
+        record = SentenceAnnotations(text=ADVISING, tokens=["Use"])
+        store.put(ADVISING, record)
+        store.put(ADVISING, record)
+        assert store.upgrades == 0
+
+    def test_disk_entry_grows_with_new_layers(self, tmp_path) -> None:
+        cache = str(tmp_path / "cache")
+        store = AnalysisStore(cache_dir=cache)
+        store.put(ADVISING, SentenceAnnotations(
+            text=ADVISING, tokens=["Use"]))
+        key = AnalysisStore.content_key(ADVISING)
+        path = os.path.join(cache, key[:2], f"{key}.json")
+        with open(path, encoding="utf-8") as handle:
+            assert set(json.load(handle)["layers"]) == {"tokens"}
+        store.put(ADVISING, SentenceAnnotations(
+            text=ADVISING, tokens=["IGNORED"], stems=["use"]))
+        with open(path, encoding="utf-8") as handle:
+            layers = json.load(handle)["layers"]
+        assert set(layers) == {"tokens", "stems"}
+        assert layers["tokens"] == ["Use"]  # disk keeps the first value
+
+    def test_disk_entry_not_rewritten_without_growth(self, tmp_path) -> None:
+        cache = str(tmp_path / "cache")
+        store = AnalysisStore(cache_dir=cache)
+        record = SentenceAnnotations(text=ADVISING, tokens=["Use"])
+        store.put(ADVISING, record)
+        writes = store.disk_writes
+        store.put(ADVISING, SentenceAnnotations(
+            text=ADVISING, tokens=["Use"]))
+        assert store.disk_writes == writes
+
+    def test_upgraded_record_visible_to_disk_tier(self, tmp_path) -> None:
+        """A second-process store sees the merged layer set."""
+        cache = str(tmp_path / "cache")
+        first = AnalysisStore(cache_dir=cache)
+        first.put(ADVISING, SentenceAnnotations(
+            text=ADVISING, tokens=["Use"], stems=["use"]))
+        second = AnalysisStore(cache_dir=cache)
+        entry = second.get(ADVISING)
+        assert entry is not None and entry.stems == ["use"]
+
+
+# -- full-provenance mode ----------------------------------------------
+
+
+class TestFullProvenance:
+    def test_recognizer_validates_provenance(self) -> None:
+        with pytest.raises(ValueError):
+            AdvisingSentenceRecognizer(provenance="sometimes")
+
+    def test_match_vectors_cover_every_selector(self) -> None:
+        recognizer = AdvisingSentenceRecognizer(provenance="full")
+        outcome = recognizer.classify_ex(ADVISING)
+        assert outcome.matches is not None
+        assert [name for name, _ in outcome.matches] \
+            == [s.name for s in default_selectors()]
+        assert dict(outcome.matches)["keyword"] is True
+
+    def test_lazy_mode_carries_no_vectors(self) -> None:
+        recognizer = AdvisingSentenceRecognizer()
+        assert recognizer.classify_ex(ADVISING).matches is None
+
+    def test_first_fired_selector_agrees_across_modes(self) -> None:
+        lazy = AdvisingSentenceRecognizer()
+        full = AdvisingSentenceRecognizer(provenance="full")
+        for text in (ADVISING, NEUTRAL,
+                     "You should coalesce global memory accesses."):
+            assert lazy.classify(text) == full.classify(text)
+
+    def test_selection_stats_gains_selector_counts(self) -> None:
+        doc = Document.from_sentences([ADVISING, NEUTRAL])
+        lazy_stats = Egeria().build_advisor(doc).selection_stats()
+        full_stats = Egeria(provenance="full") \
+            .build_advisor(doc).selection_stats()
+        assert "selector_matches" not in lazy_stats
+        assert full_stats["selector_matches"]["keyword"] == 1
+        # the shared Table 7 keys are unchanged by the mode
+        for key in ("document_sentences", "advising_sentences", "ratio"):
+            assert lazy_stats[key] == full_stats[key]
+
+    def test_cached_vector_answers_explain(self) -> None:
+        recognizer = AdvisingSentenceRecognizer(provenance="full")
+        recognizer.classify_ex(ADVISING)
+        before = instrumentation.snapshot()
+        explained = recognizer.explain(ADVISING)
+        assert (instrumentation.snapshot() - before).total == 0
+        assert explained["keyword"] is True
+
+
+# -- explain() rides the annotation store -------------------------------
+
+
+class TestExplainReuse:
+    def test_explain_after_build_is_a_cache_hit(self) -> None:
+        store = AnalysisStore()
+        recognizer = AdvisingSentenceRecognizer(store=store)
+        document = Document.from_sentences([ADVISING, NEUTRAL])
+        recognizer.recognize(document)
+        before = instrumentation.snapshot()
+        recognizer.explain(ADVISING)
+        delta = instrumentation.snapshot() - before
+        assert delta.tokenize_calls == 0
+        assert delta.stem_calls == 0
+
+    def test_explain_upgrades_the_stored_record(self) -> None:
+        store = AnalysisStore()
+        recognizer = AdvisingSentenceRecognizer(store=store)
+        recognizer.recognize(Document.from_sentences([ADVISING]))
+        # the keyword short-circuit left the record without a parse;
+        # explain() materializes it and upgrades the store in place
+        entry = store.get(ADVISING)
+        assert entry is not None and entry.graph is None
+        recognizer.explain(ADVISING)
+        assert entry.graph is not None
+
+    def test_repeated_explain_reuses_layers(self) -> None:
+        store = AnalysisStore()
+        recognizer = AdvisingSentenceRecognizer(store=store)
+        recognizer.explain(NEUTRAL)
+        before = instrumentation.snapshot()
+        recognizer.explain(NEUTRAL)
+        assert (instrumentation.snapshot() - before).total == 0
+
+
+# -- worker-path configuration ------------------------------------------
+
+
+class TestWorkerKnobs:
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            AdvisingSentenceRecognizer(worker_min_sentences=0)
+        with pytest.raises(ValueError):
+            AdvisingSentenceRecognizer(worker_chunk_size=0)
+
+    def test_min_sentences_keeps_small_batches_inline(self, monkeypatch
+                                                      ) -> None:
+        recognizer = AdvisingSentenceRecognizer(
+            workers=4, worker_min_sentences=1000)
+
+        def boom(texts):
+            raise AssertionError("pool must not spin up below the floor")
+
+        monkeypatch.setattr(recognizer, "_recognize_parallel", boom)
+        document = Document.from_sentences([ADVISING, NEUTRAL] * 40)
+        results = recognizer.recognize(document)
+        assert len(results) == 80
+
+    def test_low_floor_routes_through_worker_path(self, monkeypatch
+                                                  ) -> None:
+        recognizer = AdvisingSentenceRecognizer(
+            workers=2, worker_min_sentences=2, worker_chunk_size=3)
+        seen: dict[str, object] = {}
+
+        def fake_parallel(texts):
+            seen["texts"] = list(texts)
+            return [recognizer._classify_inline(t, i)
+                    for i, t in enumerate(texts)]
+
+        monkeypatch.setattr(recognizer, "_recognize_parallel",
+                            fake_parallel)
+        recognizer.recognize(Document.from_sentences([ADVISING, NEUTRAL]))
+        assert len(seen["texts"]) == 2
+
+    def test_chunk_size_splits_batches(self) -> None:
+        recognizer = AdvisingSentenceRecognizer(
+            workers=2, worker_chunk_size=5)
+        texts = [f"sentence number {i}" for i in range(12)]
+        chunk = recognizer.worker_chunk_size
+        batches = [(i, texts[i:i + chunk])
+                   for i in range(0, len(texts), chunk)]
+        assert [len(b) for _, b in batches] == [5, 5, 2]
+
+    def test_config_knobs_round_trip(self) -> None:
+        config = EgeriaConfig.from_dict({
+            "worker_min_sentences": 8,
+            "worker_chunk_size": 32,
+            "provenance": "full",
+        })
+        assert config.worker_min_sentences == 8
+        assert config.worker_chunk_size == 32
+        assert config.provenance == "full"
+        again = EgeriaConfig.from_dict(config.to_dict())
+        assert again == config
+
+    def test_config_defaults_and_validation(self) -> None:
+        config = EgeriaConfig.from_dict({})
+        assert config.worker_min_sentences == 64
+        assert config.worker_chunk_size is None
+        assert config.provenance == "first"
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"worker_min_sentences": 0})
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"worker_chunk_size": 0})
+        with pytest.raises(ValueError):
+            EgeriaConfig.from_dict({"provenance": "sometimes"})
+
+    def test_egeria_passes_knobs_to_recognizer(self) -> None:
+        egeria = Egeria(provenance="full", worker_min_sentences=7,
+                        worker_chunk_size=9)
+        assert egeria.recognizer.provenance == "full"
+        assert egeria.recognizer.worker_min_sentences == 7
+        assert egeria.recognizer.worker_chunk_size == 9
+
+
+# -- layer observation --------------------------------------------------
+
+
+class TestObservedPipeline:
+    def test_observed_counts_only_demanded_layers(self) -> None:
+        pipeline, stats = AnnotationPipeline().observed()
+        annotations = SentenceAnnotations(text=ADVISING)
+        pipeline.ensure(annotations, "stems")
+        snap = stats.snapshot()
+        assert snap["tokens"]["runs"] == 1
+        assert snap["stems"]["runs"] == 1
+        assert "graph" not in snap
+
+    def test_observed_records_failures(self) -> None:
+        pipeline, stats = AnnotationPipeline().observed()
+        annotations = SentenceAnnotations(text=NEUTRAL)
+        plan = FaultPlan(specs=(FaultSpec(point="analysis.parse"),))
+        with inject(plan):
+            with pytest.raises(Exception):
+                pipeline.ensure(annotations, "graph")
+        assert stats.snapshot()["graph"]["failures"] == 1
+
+    def test_observed_is_idempotent(self) -> None:
+        stats = LayerStats()
+        pipeline, first = AnnotationPipeline().observed(stats)
+        again, second = pipeline.observed(stats)
+        assert first is stats and second is stats
+        assert [type(s).__name__ for s in again.stages] \
+            == [type(s).__name__ for s in pipeline.stages]
+
+
+# -- property: lazy and eager agree -------------------------------------
+
+
+WORDS = ["use", "shared", "memory", "avoid", "bank", "conflicts", "the",
+         "warp", "size", "is", "threads", "you", "should", "coalesce",
+         "global", "accesses", "to", "reduce", "traffic", "kernel",
+         "performance", "better", "programmer", "one", "must", "consider",
+         "in", "order", "improve", "occupancy", "32", "best"]
+
+
+@st.composite
+def sentences(draw):
+    words = draw(st.lists(st.sampled_from(WORDS), min_size=1, max_size=12))
+    return " ".join(words) + "."
+
+
+class TestLazyEagerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(sentences(), min_size=1, max_size=12))
+    def test_advising_set_identical(self, texts: list[str]) -> None:
+        document = Document.from_sentences(texts)
+        lazy = AdvisingSentenceRecognizer().recognize(document)
+        eager = AdvisingSentenceRecognizer(
+            provenance="full").recognize(document)
+        assert [(r.sentence.index, r.is_advising, r.selector)
+                for r in lazy] \
+            == [(r.sentence.index, r.is_advising, r.selector)
+                for r in eager]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(sentences(), min_size=1, max_size=8),
+           st.sampled_from(["analysis.parse", "analysis.srl",
+                            "analysis.stem"]))
+    def test_agreement_under_total_layer_faults(self, texts: list[str],
+                                                point: str) -> None:
+        """With a deterministic (p=1.0) dead layer, both modes see the
+        same surviving selectors, so the advising sets still agree."""
+        document = Document.from_sentences(texts)
+        plan = FaultPlan(specs=(FaultSpec(point=point, probability=1.0),))
+        with inject(plan):
+            lazy = AdvisingSentenceRecognizer().recognize(document)
+        with inject(plan):
+            eager = AdvisingSentenceRecognizer(
+                provenance="full").recognize(document)
+        assert [(r.sentence.index, r.is_advising) for r in lazy] \
+            == [(r.sentence.index, r.is_advising) for r in eager]
+
+    def test_disjunction_is_order_invariant(self) -> None:
+        """§3.1.2: the advising *set* does not depend on selector
+        order — the formal basis of the short-circuit proof."""
+        texts = [ADVISING, NEUTRAL,
+                 "You should coalesce global memory accesses.",
+                 "In order to improve occupancy, reduce register use."]
+        document = Document.from_sentences(texts)
+        forward = AdvisingSentenceRecognizer()
+        backward = AdvisingSentenceRecognizer(
+            selectors=list(reversed(default_selectors())), schedule=False)
+        assert [r.is_advising for r in forward.recognize(document)] \
+            == [r.is_advising for r in backward.recognize(document)]

@@ -3,7 +3,8 @@
 #
 #   tools/ci.sh            lint gate + tier-1 suite, then chaos mode,
 #                          the annotation-reuse smoke check, and the
-#                          serving perf smoke + regression gate
+#                          serving + build perf smokes with their
+#                          regression gates
 #   tools/ci.sh --fast     lint gate + tier-1 suite only
 #
 # Chaos mode = the tier-1 suite plus the fault-injection check of
@@ -43,3 +44,9 @@ echo "== serving perf smoke + regression gate =="
     --output benchmarks/out/BENCH_serving_quick.json
 "$PYTHON" tools/perf_gate.py \
     --results benchmarks/out/BENCH_serving_quick.json
+
+echo "== build perf smoke + regression gate (lazy vs eager) =="
+"$PYTHON" benchmarks/bench_build_throughput.py --quick \
+    --output benchmarks/out/BENCH_build_quick.json
+"$PYTHON" tools/perf_gate.py --section build \
+    --results benchmarks/out/BENCH_build_quick.json

@@ -1,26 +1,33 @@
-"""Perf-regression gate over the serving benchmark's JSON output.
+"""Perf-regression gate over the benchmarks' JSON outputs.
 
-Compares a ``BENCH_serving.json`` produced by
-``benchmarks/bench_serving_throughput.py`` against the checked-in
-budget (``tools/perf_budget.json``) and exits non-zero when the hot
-path regressed:
+Compares a benchmark result file against the checked-in budget
+(``tools/perf_budget.json``) and exits non-zero on a regression:
 
 * **latency budgets** — per size and path, measured p50 must stay
   within ``budget * factor`` (default factor 2.0, absorbing machine
   variance; a >2x regression fails CI);
 * **minimum speedups** — ratios are machine-independent, so they gate
   tightly: the warm cache must beat dense by the budgeted factor
-  (>= 5x at 10k sentences per the acceptance bar) and pruning must
-  stay a net win at scale.
+  (>= 5x at 10k sentences per the acceptance bar), pruning must stay
+  a net win at scale, and the lazy Stage I cascade must beat the
+  eager full-provenance build (>= 2x at 10k sentences);
+* **output identity** — a size entry carrying ``"identical": false``
+  fails unconditionally: the build benchmark asserts the lazy and
+  eager advising sets match, and a speedup bought with different
+  output is a bug, not a win.
 
-Only sizes present in *both* the results and the budget are checked,
-so the quick CI run (small sizes) and the full run (committed
-``BENCH_serving.json``) share one budget file.
+The budget file holds one section per benchmark: the legacy root
+``sizes`` block budgets ``BENCH_serving.json``; ``--section build``
+selects the ``build`` block for ``BENCH_build.json``.  Only sizes
+present in *both* the results and the budget are checked, so the
+quick CI run (small sizes) and the full run (committed artifacts)
+share one budget file.
 
 Usage::
 
     python tools/perf_gate.py [--results BENCH_serving.json]
         [--budget tools/perf_budget.json] [--factor 2.0]
+    python tools/perf_gate.py --section build --results BENCH_build.json
 """
 
 from __future__ import annotations
@@ -41,6 +48,11 @@ def evaluate(results: dict, budget: dict,
         entry = result_sizes.get(size)
         if entry is None:
             continue
+        if entry.get("identical") is False:
+            checked += 1
+            failures.append(
+                f"size {size}: output identity violated — the compared "
+                f"paths produced different results")
         for path, budget_p50 in size_budget.get("p50_ms", {}).items():
             stats = entry.get("paths", {}).get(path)
             if stats is None:
@@ -79,21 +91,32 @@ def _main() -> int:
                         help="checked-in budget file")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="slack multiplier on latency budgets")
+    parser.add_argument("--section", default=None,
+                        help="budget section to gate against (e.g. "
+                             "'build'); default: the root serving block")
     args = parser.parse_args()
 
     results_path = Path(args.results)
     if not results_path.exists():
         print(f"perf_gate: results file {results_path} not found; run "
-              f"benchmarks/bench_serving_throughput.py first")
+              f"the matching benchmark first")
         return 2
     results = json.loads(results_path.read_text(encoding="utf-8"))
     budget = json.loads(Path(args.budget).read_text(encoding="utf-8"))
+    if args.section is not None:
+        section = budget.get(args.section)
+        if section is None:
+            print(f"perf_gate: budget has no section {args.section!r}")
+            return 2
+        budget = section
 
     failures = evaluate(results, budget, factor=args.factor)
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:
-        print(f"perf gate passed ({results_path}, factor {args.factor})")
+        section = args.section or "serving"
+        print(f"perf gate passed ({results_path}, section {section}, "
+              f"factor {args.factor})")
     return 1 if failures else 0
 
 
