@@ -39,6 +39,8 @@ chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -x -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_robustness.py --quick \
 		--fault-plan tools/chaos_plan.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_robustness.py --quick \
+		--crash-safety
 
 ci:
 	sh tools/ci.sh

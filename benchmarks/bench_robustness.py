@@ -212,6 +212,107 @@ def test_query_paraphrase_stability(benchmark, cuda_advisor):
     assert improvements >= 1
 
 
+def run_crash_safety(root: str, sentences: int = 60) -> dict:
+    """Kill snapshot saves at every fault offset and corrupt committed
+    payloads; the store must recover the last good snapshot with
+    identical answers every time.  Returns the stats the crash-safety
+    assertions need."""
+    from repro.corpus import xeon_guide
+    from repro.core.snapshots import SnapshotStore
+    from repro.docs.document import Document
+    from repro.resilience.faults import FaultSpec
+
+    document = Document.from_sentences(
+        [s.text for s in xeon_guide().document.sentences[:sentences]],
+        title="Xeon guide (crash slice)")
+    document.reindex()
+    advisor = Egeria().build_advisor(document)
+    store = SnapshotStore(root, keep=1000)
+    store.save(advisor)
+
+    queries = ("how to improve vectorization",
+               "memory alignment for the coprocessor")
+
+    def answers(tool) -> list:
+        result = []
+        for query in queries:
+            payload = tool.query(query).to_dict()
+            for entry in payload.get("answers", []):
+                entry.pop("section", None)
+            result.append(payload)
+        return result
+
+    baseline = answers(store.load())
+    kills = 0
+    recoveries = 0
+    identical = 0
+    for point in ("snapshot.write", "snapshot.commit"):
+        probe = FaultPlan(specs=(
+            FaultSpec(point=point, probability=0.0),))
+        with inject(probe) as injector:
+            store.save(advisor)
+        checks = injector.checks.get(point, 0)
+        for offset in range(checks):
+            plan = FaultPlan(
+                name=f"kill-{point}@{offset}",
+                specs=(FaultSpec(point=point, exception=OSError,
+                                 after=offset, max_failures=1),))
+            kills += 1
+            with inject(plan):
+                try:
+                    store.save(advisor)
+                except OSError:
+                    pass
+            try:
+                recovered = answers(store.load())
+            except Exception:
+                continue
+            recoveries += 1
+            identical += recovered == baseline
+
+    # flip a byte in the committed payload; load must route around it
+    import os as _os
+
+    current = store.current_version()
+    payload_path = _os.path.join(store.root, f"snapshot-{current}",
+                                 "advisor.json")
+    with open(payload_path, "r+b") as handle:
+        handle.seek(20)
+        byte = handle.read(1)
+        handle.seek(20)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    tool, report = store.load_with_report()
+    return {
+        "kills": kills,
+        "recoveries": recoveries,
+        "identical": identical,
+        "corruption_recovered": report.recovered,
+        "corruption_answers_ok": answers(tool) == baseline,
+        "versions": len(store.versions()),
+    }
+
+
+def check_crash_safety(stats: dict) -> list[str]:
+    """The crash-safety acceptance assertions."""
+    failures: list[str] = []
+    if stats["kills"] == 0:
+        failures.append("no kill points exercised")
+    if stats["recoveries"] != stats["kills"]:
+        failures.append(
+            f"store was unloadable after "
+            f"{stats['kills'] - stats['recoveries']} of "
+            f"{stats['kills']} killed saves")
+    if stats["identical"] != stats["recoveries"]:
+        failures.append(
+            f"{stats['recoveries'] - stats['identical']} recoveries "
+            f"served answers that differ from the committed snapshot")
+    if not stats["corruption_recovered"]:
+        failures.append("flipped payload byte was not detected")
+    if not stats["corruption_answers_ok"]:
+        failures.append("corruption fallback served wrong answers")
+    return failures
+
+
 def _main(argv: list[str] | None = None) -> int:
     """Standalone chaos check (no pytest) — the ``make chaos`` entry."""
     import argparse
@@ -228,7 +329,33 @@ def _main(argv: list[str] | None = None) -> int:
                         help="JSON fault-plan file (default: the canned "
                              "20%% SRL + 1 worker-crash plan)")
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--crash-safety", action="store_true",
+                        help="run the snapshot crash-safety scenario "
+                             "instead: kill saves at every fault "
+                             "offset, corrupt payloads, assert recovery")
     args = parser.parse_args(argv)
+
+    if args.crash_safety:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as root:
+            stats = run_crash_safety(
+                root, sentences=60 if args.quick else 150)
+        print_table(
+            "Snapshot crash safety (kill-mid-save + corruption)",
+            ["kills", "recovered", "identical", "corruption ok",
+             "versions"],
+            [[stats["kills"], stats["recoveries"], stats["identical"],
+              stats["corruption_recovered"]
+              and stats["corruption_answers_ok"], stats["versions"]]],
+        )
+        failures = check_crash_safety(stats)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print("crash-safety check passed: every killed save "
+                  "recovered, corruption detected and routed around")
+        return 1 if failures else 0
 
     document = xeon_guide().document
     if args.quick:

@@ -9,7 +9,9 @@ Subcommands:
 * ``egeria report GUIDE.html REPORT.txt`` — answer an NVVP-style
   profiler report;
 * ``egeria demo [cuda|opencl|xeon]`` — build an advisor from one of
-  the bundled corpora and answer a sample query.
+  the bundled corpora and answer a sample query;
+* ``egeria snapshots [list|verify|gc] DIR`` — inspect, verify, or
+  garbage-collect a versioned snapshot store.
 """
 
 from __future__ import annotations
@@ -132,6 +134,12 @@ def cmd_build(args: argparse.Namespace) -> int:
 
         save_advisor(advisor, args.save)
         print(f"advisor saved to {args.save}")
+    if args.save_snapshot:
+        from repro.core.snapshots import SnapshotStore
+
+        info = SnapshotStore(args.save_snapshot).save(advisor)
+        print(f"snapshot {info.version} committed to {args.save_snapshot} "
+              f"({info.payload_bytes} bytes)")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(render_summary(advisor))
@@ -176,14 +184,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.web.server import run
 
     config = _load_config(args)
-    advisor = _build_or_load_advisor(args)
+    snapshots_dir = args.snapshots or config.snapshots
+    store = None
+    if snapshots_dir:
+        from repro.core.snapshots import SnapshotStore
+
+        store = SnapshotStore(snapshots_dir, keep=config.snapshot_keep)
+    if args.guide is None:
+        if store is None:
+            print("serve: provide a guide file or --snapshots DIR",
+                  file=sys.stderr)
+            return 2
+        advisor = store.load()
+        report = store.last_report
+        print(f"loaded snapshot {report.version}"
+              + (" (recovered from corruption)" if report.recovered
+                 else ""))
+    else:
+        advisor = _build_or_load_advisor(args)
+        if store is not None and not store.versions():
+            # seed the store so /api/reload and SIGHUP work from the
+            # first request on
+            store.save(advisor)
     deadline_ms = args.deadline_ms or config.deadline_ms
     run(advisor,
         host=args.host or config.host,
         port=args.port or config.port,
         max_body_bytes=config.max_body_bytes,
         request_deadline_s=deadline_ms / 1000.0,
-        threads=not args.single_thread)
+        threads=not args.single_thread,
+        max_in_flight=args.max_in_flight or config.max_in_flight,
+        snapshot_store=store,
+        drain_timeout_s=config.drain_timeout_ms / 1000.0)
+    return 0
+
+
+def cmd_snapshots(args: argparse.Namespace) -> int:
+    from repro.core.snapshots import SnapshotStore
+
+    store = SnapshotStore(args.root)
+    if args.action == "list":
+        versions = store.versions()
+        if not versions:
+            print(f"{args.root}: empty store")
+            return 1
+        current = store.current_version()
+        for version in versions:
+            marker = "*" if version == current else " "
+            print(f"{marker} snapshot-{version}")
+        return 0
+    if args.action == "verify":
+        failures = 0
+        for version in store.versions():
+            ok = store.verify(version)
+            print(f"snapshot-{version}: {'ok' if ok else 'CORRUPT'}")
+            failures += 0 if ok else 1
+        return 1 if failures else 0
+    removed = store.gc(keep=args.keep)
+    if removed:
+        print("removed " + ", ".join(f"snapshot-{v}" for v in removed))
+    else:
+        print("nothing to remove")
     return 0
 
 
@@ -315,6 +376,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("guide", help="guide file (.html/.md/.txt)")
     p_build.add_argument("-o", "--output", help="write summary HTML here")
     p_build.add_argument("--save", help="persist the advisor as JSON")
+    p_build.add_argument("--save-snapshot", metavar="DIR",
+                         help="commit the advisor to a versioned "
+                              "snapshot store (crash-safe)")
     p_build.add_argument("--extra-keywords", nargs="*",
                          help="extra flagging keywords/phrases")
     p_build.set_defaults(func=cmd_build)
@@ -338,14 +402,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.set_defaults(func=cmd_report)
 
     p_serve = sub.add_parser("serve", help="serve an advisor as a website")
-    p_serve.add_argument("guide")
+    p_serve.add_argument("guide", nargs="?", default=None,
+                         help="guide file or saved advisor .json; may be "
+                              "omitted when --snapshots points at a "
+                              "populated store")
     p_serve.add_argument("--host", default=None)
     p_serve.add_argument("--port", type=int, default=None)
     p_serve.add_argument("--extra-keywords", nargs="*")
     p_serve.add_argument("--single-thread", action="store_true",
                          help="serve requests serially (default: one "
                               "thread per connection)")
+    p_serve.add_argument("--snapshots", default=None, metavar="DIR",
+                         help="versioned snapshot store backing "
+                              "POST /api/reload, SIGHUP hot reload, and "
+                              "the SIGTERM final snapshot")
+    p_serve.add_argument("--max-in-flight", type=int, default=None,
+                         help="admission-control cap on concurrent "
+                              "requests (default from config: 64)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_snap = sub.add_parser(
+        "snapshots", help="inspect a versioned snapshot store")
+    p_snap.add_argument("action", choices=("list", "verify", "gc"),
+                        help="list versions, verify checksums, or "
+                             "garbage-collect old versions")
+    p_snap.add_argument("root", help="snapshot store directory")
+    p_snap.add_argument("--keep", type=int, default=None,
+                        help="versions retained by 'gc' (default: "
+                             "the store's own retention knob)")
+    p_snap.set_defaults(func=cmd_snapshots)
 
     p_demo = sub.add_parser("demo", help="run against a bundled corpus")
     p_demo.add_argument("corpus", choices=("cuda", "opencl", "xeon", "mpi"))

@@ -25,6 +25,8 @@ from repro.core.recognizer import AdvisingSentenceRecognizer, RecognitionResult
 from repro.core.recommender import KnowledgeRecommender, Recommendation
 from repro.core.advisor import AdvisingTool, Answer
 from repro.core.egeria import Egeria
+from repro.core.persistence import PersistenceError
+from repro.core.snapshots import SnapshotError, SnapshotStore
 
 __all__ = [
     "KeywordConfig",
@@ -45,4 +47,7 @@ __all__ = [
     "AdvisingTool",
     "Answer",
     "Egeria",
+    "PersistenceError",
+    "SnapshotError",
+    "SnapshotStore",
 ]

@@ -15,7 +15,8 @@ and can produce the full advising summary grouped by section
 from __future__ import annotations
 
 import threading
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.recommender import KnowledgeRecommender, Recommendation
@@ -82,6 +83,28 @@ class Answer:
         return payload
 
 
+@dataclass(frozen=True)
+class _IndexState:
+    """The advisor's immutable query-path state.
+
+    Everything a query touches — the advising sentences, the Stage II
+    recommender (matrix, postings, query cache), the annotation
+    artifact, and the provenance map — lives behind one reference.
+    ``extend()`` and reload paths build a *new* state off to the side
+    and publish it with a single attribute assignment (atomic under
+    the GIL), so in-flight queries finish on the index they started
+    with and never observe a half-rebuilt recommender or a sentence
+    list that grows mid-iteration.  ``generation`` increments on every
+    swap; the web layer keys its rendered-summary cache on it.
+    """
+
+    advising: tuple[Sentence, ...]
+    recommender: KnowledgeRecommender
+    annotations: DocumentAnnotations | None
+    provenance: dict[int, str | None]
+    generation: int = 0
+
+
 class AdvisingTool:
     """A synthesized advising tool for one HPC document."""
 
@@ -99,7 +122,6 @@ class AdvisingTool:
         store: AnalysisStore | None = None,
     ) -> None:
         self.document = document
-        self.advising_sentences = list(advising_sentences)
         self.name = name or f"{document.title} Adviser"
         #: Stage I degradations recorded while this tool was built
         self.degradation_events = tuple(degradation_events)
@@ -110,12 +132,10 @@ class AdvisingTool:
         #: queries concurrently over one shared advisor
         self.answer_events: list[DegradationEvent] = []
         self._answer_lock = threading.Lock()
-        #: the shared annotation artifact (index-aligned with the
-        #: document); lets Stage II build with zero re-tokenization
-        self.annotations = annotations
-        #: selector provenance: global sentence index -> the selector
-        #: that recognized it (persisted in v2 files)
-        self.provenance: dict[int, str | None] = dict(provenance or {})
+        #: serializes index writers (``extend``, snapshot saves via
+        #: :meth:`freeze`); readers never take it — they snapshot
+        #: ``_index`` once per operation
+        self._reload_lock = threading.RLock()
         #: full-provenance match vectors (sentence index -> selector
         #: name -> matched?), populated only when the tool was built
         #: with ``provenance="full"`` — the Table 8 raw data
@@ -124,10 +144,58 @@ class AdvisingTool:
         #: annotation store shared with the builder (hit/miss counters
         #: surface through ``health()``); ``extend`` reuses it
         self.store = store
-        self.recommender = KnowledgeRecommender(
-            self.advising_sentences, document=document, threshold=threshold,
-            annotations=annotations)
+        self._index = _IndexState(
+            advising=tuple(advising_sentences),
+            recommender=KnowledgeRecommender(
+                list(advising_sentences), document=document,
+                threshold=threshold, annotations=annotations),
+            annotations=annotations,
+            provenance=dict(provenance or {}),
+        )
         self._report_parser = NVVPReportParser()
+
+    # -- the immutable index handle ----------------------------------------
+
+    @property
+    def advising_sentences(self) -> tuple[Sentence, ...]:
+        """The recognized advising sentences of the current index."""
+        return self._index.advising
+
+    @property
+    def recommender(self) -> KnowledgeRecommender:
+        """The Stage II retriever of the current index."""
+        return self._index.recommender
+
+    @property
+    def annotations(self) -> DocumentAnnotations | None:
+        """The shared annotation artifact (index-aligned with the
+        document); lets Stage II build with zero re-tokenization."""
+        return self._index.annotations
+
+    @property
+    def provenance(self) -> dict[int, str | None]:
+        """Selector provenance: global sentence index -> the selector
+        that recognized it (persisted in v2 files)."""
+        return self._index.provenance
+
+    @property
+    def generation(self) -> int:
+        """Monotonic index-swap counter (0 for a fresh build); bumps on
+        every ``extend()`` so caches keyed on it invalidate exactly when
+        the answers could change."""
+        return self._index.generation
+
+    @contextmanager
+    def freeze(self) -> Iterator[_IndexState]:
+        """Hold the index stable for a multi-read operation.
+
+        Snapshot saves serialize under this lock so a concurrent
+        ``extend()`` lands entirely before or entirely after the
+        persisted state — the document, sentence list, annotations,
+        and provenance it reads all belong to one generation.
+        """
+        with self._reload_lock:
+            yield self._index
 
     # -- querying ---------------------------------------------------------
 
@@ -152,8 +220,11 @@ class AdvisingTool:
             text_for_search = SynonymExpander().expand(text)
         else:
             text_for_search = text
+        # one read of the handle: the whole query runs on this index
+        # even if extend()/reload publishes a new one mid-flight
+        index = self._index
         try:
-            recommendations = self.recommender.recommend(
+            recommendations = index.recommender.recommend(
                 text_for_search, threshold, limit=limit)
         except Exception as error:
             event = DegradationEvent(
@@ -214,7 +285,7 @@ class AdvisingTool:
 
     def extend(self, document: Document,
                recognizer=None) -> int:
-        """Fold another document into this advisor.
+        """Fold another document into this advisor, without downtime.
 
         HPC guides evolve quickly (§1: "rapid changes ... of modern
         systems"); ``extend`` runs Stage I on the new document only and
@@ -226,36 +297,58 @@ class AdvisingTool:
         drag its non-advising twin into the summary.  With an annotation
         store attached, sentences the store has seen before skip their
         NLP layers entirely.
+
+        Concurrency contract: the new sentence tuple, provenance map,
+        annotations, and recommender are all built off to the side and
+        published as one :class:`_IndexState` swap at the very end.
+        Queries in flight on the threaded server keep scoring against
+        the pre-extend index (and its still-valid query cache) until
+        the swap lands; writers are serialized by the reload lock.
         """
         from repro.core.recognizer import AdvisingSentenceRecognizer
 
         recognizer = recognizer or AdvisingSentenceRecognizer(
             store=self.store)
-        wrapper = Section(title=document.title, level=1)
-        wrapper.subsections = list(document.sections)
-        self.document.sections.append(wrapper)
-        self.document.reindex()
-        # the wrapper shares the new document's Section (and Sentence)
-        # objects, so after reindex() the recognition results point
-        # straight at the merged document's sentences, in order —
-        # classification is per-position, immune to duplicate texts
-        results = recognizer.recognize(document)
-        added = [r.sentence for r in results if r.is_advising]
-        for result in results:
-            if result.is_advising:
-                self.provenance[result.sentence.index] = result.selector
-        self.advising_sentences.extend(added)
-        # keep the annotation artifact aligned with the merged document
-        if self.annotations is not None \
-                and recognizer.last_annotations is not None \
-                and len(recognizer.last_annotations) == len(results):
-            self.annotations.extend(recognizer.last_annotations)
-        else:
-            self.annotations = None     # alignment lost — fall back
-        self.recommender = KnowledgeRecommender(
-            self.advising_sentences, document=self.document,
-            threshold=self.recommender.threshold,
-            annotations=self.annotations)
+        with self._reload_lock:
+            index = self._index
+            wrapper = Section(title=document.title, level=1)
+            wrapper.subsections = list(document.sections)
+            # appending at the tail and reindexing preserves every
+            # existing sentence's global index, so the old index state
+            # (and any in-flight query holding it) stays coherent
+            self.document.sections.append(wrapper)
+            self.document.reindex()
+            # the wrapper shares the new document's Section (and
+            # Sentence) objects, so after reindex() the recognition
+            # results point straight at the merged document's
+            # sentences, in order — classification is per-position,
+            # immune to duplicate texts
+            results = recognizer.recognize(document)
+            added = [r.sentence for r in results if r.is_advising]
+            provenance = dict(index.provenance)
+            for result in results:
+                if result.is_advising:
+                    provenance[result.sentence.index] = result.selector
+            advising = index.advising + tuple(added)
+            # keep the annotation artifact aligned with the merged
+            # document; extended on a copy so the old index's artifact
+            # stays frozen at its own generation
+            annotations = index.annotations
+            if annotations is not None \
+                    and recognizer.last_annotations is not None \
+                    and len(recognizer.last_annotations) == len(results):
+                annotations = annotations.copy()
+                annotations.extend(recognizer.last_annotations)
+            else:
+                annotations = None      # alignment lost — fall back
+            recommender = KnowledgeRecommender(
+                list(advising), document=self.document,
+                threshold=index.recommender.threshold,
+                annotations=annotations)
+            self._index = _IndexState(
+                advising=advising, recommender=recommender,
+                annotations=annotations, provenance=provenance,
+                generation=index.generation + 1)
         return len(added)
 
     # -- stats -----------------------------------------------------------------
@@ -294,11 +387,13 @@ class AdvisingTool:
         build_events = self.degradation_events
         with self._answer_lock:
             answer_events = tuple(self.answer_events)
+        index = self._index     # one consistent generation throughout
         payload = {
             "status": "degraded" if (build_events or self.quarantined)
                       else "ok",
-            "advising_sentences": len(self.advising_sentences),
+            "advising_sentences": len(index.advising),
             "document_sentences": len(self.document),
+            "index_generation": index.generation,
             "degradation": {
                 "build_events": len(build_events),
                 "build_by_layer": summarize_events(build_events),
@@ -307,13 +402,13 @@ class AdvisingTool:
                 "answer_by_layer": summarize_events(answer_events),
             },
         }
-        cache_stats = self.recommender.cache_stats()
+        cache_stats = index.recommender.cache_stats()
         if cache_stats is not None:
             payload["query_cache"] = cache_stats
-        if self.annotations is not None:
+        if index.annotations is not None:
             payload["annotations"] = {
-                "sentences": len(self.annotations),
-                "complete_terms": self.annotations.complete_terms,
+                "sentences": len(index.annotations),
+                "complete_terms": index.annotations.complete_terms,
             }
         if self.store is not None:
             payload["annotation_store"] = self.store.stats()

@@ -24,6 +24,7 @@ Example ``egeria.json``::
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 
 from repro.core.keywords import KeywordConfig
@@ -37,6 +38,15 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: default per-request time budget for the web app (10 s)
 DEFAULT_DEADLINE_MS = 10_000
+
+#: default cap on concurrently executing (gated) requests
+DEFAULT_MAX_IN_FLIGHT = 64
+
+#: ``Retry-After`` hint (seconds) on 429/503 load-shedding responses
+DEFAULT_RETRY_AFTER_S = 1
+
+#: default budget for the SIGTERM graceful drain (10 s)
+DEFAULT_DRAIN_TIMEOUT_MS = 10_000
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,15 @@ class EgeriaConfig:
     #: "first" short-circuits the cascade at the first firing selector;
     #: "full" evaluates every selector and keeps the match vectors
     provenance: str = "first"
+    #: root directory of the versioned snapshot store (``serve
+    #: --snapshots``); None disables crash-safe persistence and reload
+    snapshots: str | None = None
+    #: committed snapshot versions retained after each save
+    snapshot_keep: int = 3
+    #: admission-control cap on concurrently executing requests
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT
+    #: how long SIGTERM waits for in-flight requests before hard stop
+    drain_timeout_ms: int = DEFAULT_DRAIN_TIMEOUT_MS
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -93,7 +112,9 @@ class EgeriaConfig:
                                "keywords", "max_retries", "deadline_ms",
                                "degrade", "max_body_bytes", "fault_plan",
                                "annotations_cache", "worker_min_sentences",
-                               "worker_chunk_size", "provenance"}
+                               "worker_chunk_size", "provenance",
+                               "snapshots", "snapshot_keep",
+                               "max_in_flight", "drain_timeout_ms"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -136,6 +157,18 @@ class EgeriaConfig:
         provenance = str(data.get("provenance", "first"))
         if provenance not in ("first", "full"):
             raise ValueError('provenance must be "first" or "full"')
+        snapshots = data.get("snapshots")
+        snapshot_keep = int(data.get("snapshot_keep", 3))
+        if snapshot_keep < 1:
+            raise ValueError("snapshot_keep must be >= 1")
+        max_in_flight = int(data.get("max_in_flight",
+                                     DEFAULT_MAX_IN_FLIGHT))
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        drain_timeout_ms = int(data.get("drain_timeout_ms",
+                                        DEFAULT_DRAIN_TIMEOUT_MS))
+        if drain_timeout_ms < 0:
+            raise ValueError("drain_timeout_ms must be >= 0")
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
@@ -152,6 +185,10 @@ class EgeriaConfig:
             worker_min_sentences=worker_min_sentences,
             worker_chunk_size=worker_chunk_size,
             provenance=provenance,
+            snapshots=None if snapshots is None else str(snapshots),
+            snapshot_keep=snapshot_keep,
+            max_in_flight=max_in_flight,
+            drain_timeout_ms=drain_timeout_ms,
         )
 
     @classmethod
@@ -177,8 +214,23 @@ class EgeriaConfig:
             "worker_min_sentences": self.worker_min_sentences,
             "worker_chunk_size": self.worker_chunk_size,
             "provenance": self.provenance,
+            "snapshots": self.snapshots,
+            "snapshot_keep": self.snapshot_keep,
+            "max_in_flight": self.max_in_flight,
+            "drain_timeout_ms": self.drain_timeout_ms,
         }
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        # stage-and-rename, not truncate-in-place: a crash mid-dump
+        # must not destroy the deployment's only config file
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, path)

@@ -12,22 +12,115 @@ annotation artifact, so ``load_advisor`` warm-starts Stage II with
 
 Format v1 files (raw text only) still load; they simply pay the
 Stage II normalization cost on load, exactly as before.
+
+Durability: :func:`save_advisor` never writes in place.  All writes go
+through :func:`atomic_write_bytes` — write to a same-directory temp
+file in bounded chunks (each preceded by the ``snapshot.write`` fault
+point, so chaos plans can kill a save at any byte-offset class), fsync,
+then publish with a single atomic ``os.replace`` guarded by the
+``snapshot.commit`` fault point.  A crash at any point leaves either
+the old file or the new file, never a torn hybrid.  Load failures are
+wrapped in a typed :class:`PersistenceError` carrying the path and
+format-version context instead of leaking raw ``JSONDecodeError``/
+``KeyError`` to callers.  (Versioned multi-snapshot stores with
+corruption fallback live one layer up, in :mod:`repro.core.snapshots`.)
 """
 
 from __future__ import annotations
 
 import json
+import os
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.advisor import AdvisingTool
 from repro.docs.document import Document, Section, Sentence
 from repro.pipeline.annotations import DocumentAnnotations
 from repro.resilience.degrade import DegradationEvent
+from repro.resilience.faults import fault_point
 
 FORMAT_VERSION = 2
 
 #: versions ``advisor_from_dict`` accepts
 SUPPORTED_VERSIONS = (1, 2)
+
+#: bytes written between ``snapshot.write`` fault-point checks; small
+#: enough that chaos plans can kill a save at the start, middle, or
+#: tail of any realistically sized advisor file
+ATOMIC_WRITE_CHUNK = 16 * 1024
+
+
+class PersistenceError(ValueError):
+    """A saved advisor could not be loaded (or written).
+
+    Carries the file ``path`` and the payload ``format_version`` when
+    known, so operators see *which* artifact failed and *why* instead
+    of a raw ``JSONDecodeError``/``KeyError`` pointing at nothing.
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` from ``advisor_from_dict`` keep working.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 format_version: object = None) -> None:
+        context = []
+        if path is not None:
+            context.append(f"path={path!r}")
+        if format_version is not None:
+            context.append(f"format_version={format_version!r}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(message + suffix)
+        self.path = path
+        self.format_version = format_version
+
+
+def atomic_write_bytes(path: str, data: bytes,
+                       chunk_size: int = ATOMIC_WRITE_CHUNK) -> None:
+    """Crash-safely replace *path* with *data*.
+
+    Write-to-temp → fsync → atomic-rename → fsync-directory.  The
+    temp file lives in the target's directory (``os.replace`` must not
+    cross filesystems) and is unlinked on any failure, so a killed
+    save never leaves a torn file where a loader could find it.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            for offset in range(0, len(data), chunk_size):
+                fault_point("snapshot.write")
+                handle.write(data[offset:offset + chunk_size])
+            fault_point("snapshot.write")
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("snapshot.commit")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a rename to disk; best-effort on platforms/filesystems
+    that refuse O_RDONLY directory handles."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass(frozen=True)
@@ -86,8 +179,17 @@ def advisor_to_dict(tool: AdvisingTool,
 
     ``include_annotations=False`` drops the embedded annotation
     artifact (smaller file; the loaded advisor re-normalizes on load
-    like a v1 file).
+    like a v1 file).  The reads run under the advisor's freeze lock,
+    so a concurrent ``extend()`` lands entirely before or after the
+    serialized state — never halfway through it.
     """
+    freeze = getattr(tool, "freeze", None)
+    with (freeze() if freeze is not None else nullcontext()):
+        return _advisor_to_dict_frozen(tool, include_annotations)
+
+
+def _advisor_to_dict_frozen(tool: AdvisingTool,
+                            include_annotations: bool) -> dict:
     data = {
         "format_version": FORMAT_VERSION,
         "name": tool.name,
@@ -158,16 +260,35 @@ def _load_provenance(data: dict) -> dict[int, str | None]:
     return provenance
 
 
-def advisor_from_dict(data: dict) -> AdvisingTool:
+def advisor_from_dict(data: dict, path: str | None = None) -> AdvisingTool:
     """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`.
 
     Accepts the current v2 format and legacy v1 files (which carry no
-    annotations, provenance, or build-health block).
+    annotations, provenance, or build-health block).  Every malformed
+    payload — unsupported version, missing keys, out-of-range indices,
+    wrong value shapes — surfaces as a :class:`PersistenceError`
+    carrying *path* (when known) and the payload's declared version.
     """
+    if not isinstance(data, dict):
+        raise PersistenceError(
+            f"advisor payload must be a JSON object, got "
+            f"{type(data).__name__}", path=path)
     version = data.get("format_version")
     if version not in SUPPORTED_VERSIONS:
-        raise ValueError(
-            f"unsupported advisor format version: {version!r}")
+        raise PersistenceError(
+            f"unsupported advisor format version (supported: "
+            f"{SUPPORTED_VERSIONS})", path=path, format_version=version)
+    try:
+        return _advisor_from_dict_unchecked(data, version)
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise PersistenceError(
+            f"malformed advisor payload: {type(error).__name__}: {error}",
+            path=path, format_version=version) from error
+
+
+def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
     document = Document(
         title=data["document"]["title"],
         pages=data["document"].get("pages", 0),
@@ -201,13 +322,29 @@ def advisor_from_dict(data: dict) -> AdvisingTool:
     )
 
 
+def advisor_to_json(tool: AdvisingTool,
+                    include_annotations: bool = True) -> str:
+    """The exact serialized text :func:`save_advisor` writes.
+
+    Exposed so the snapshot store can checksum the same bytes it
+    persists; the encoding is deterministic for a given tool state.
+    """
+    return json.dumps(
+        advisor_to_dict(tool, include_annotations=include_annotations),
+        ensure_ascii=False, indent=1)
+
+
 def save_advisor(tool: AdvisingTool, path: str,
                  include_annotations: bool = True) -> None:
-    """Write *tool* to *path* as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(advisor_to_dict(tool,
-                                  include_annotations=include_annotations),
-                  handle, ensure_ascii=False, indent=1)
+    """Write *tool* to *path* as JSON, crash-safely.
+
+    The payload is serialized in memory first, then published with
+    :func:`atomic_write_bytes`: a save killed at any point leaves
+    either the previous file intact or the complete new file — never
+    a truncated JSON document.
+    """
+    atomic_write_text(
+        path, advisor_to_json(tool, include_annotations=include_annotations))
 
 
 def load_advisor(path: str) -> AdvisingTool:
@@ -215,6 +352,19 @@ def load_advisor(path: str) -> AdvisingTool:
 
     A v2 file with embedded annotations rebuilds its Stage II index
     without any tokenization; v1 files load exactly as before.
+    Unreadable or corrupt files raise :class:`PersistenceError` with
+    the offending path rather than a raw ``JSONDecodeError``.
     """
-    with open(path, encoding="utf-8") as handle:
-        return advisor_from_dict(json.load(handle))
+    fault_point("snapshot.load")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise PersistenceError(
+            f"advisor file is not valid JSON: {error}",
+            path=path) from error
+    except UnicodeDecodeError as error:
+        raise PersistenceError(
+            f"advisor file is not valid UTF-8: {error}",
+            path=path) from error
+    return advisor_from_dict(data, path=path)

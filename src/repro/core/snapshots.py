@@ -1,0 +1,372 @@
+"""Versioned, crash-safe advisor snapshot store.
+
+The ROADMAP's serving items (multi-tenant registries, segment indexes,
+mmap prefork) all assume the index is a *production artifact*: it must
+survive crashes mid-save and be replaceable under live traffic.  This
+module provides that durability substrate.
+
+Layout of a store rooted at ``DIR``::
+
+    DIR/
+      CURRENT            the committed version ("snapshot-7"), flipped
+                         atomically — the single commit point readers
+                         trust
+      snapshot-7/
+        MANIFEST.json    {"format": 1, "version": 7,
+                          "checksum": "sha256:...", "payload":
+                          "advisor.json", "payload_bytes": N}
+        advisor.json     the persistence-v2 advisor payload
+
+Write protocol (:meth:`SnapshotStore.save`):
+
+1. serialize the advisor under its reload lock (a concurrent
+   ``extend()`` can never tear the payload);
+2. stage everything in a dot-prefixed temp directory — payload first,
+   then the MANIFEST carrying the payload's SHA-256 — using the
+   chunked atomic writer of :mod:`repro.core.persistence`, whose
+   ``snapshot.write``/``snapshot.commit`` fault points let chaos plans
+   kill the save at any byte-offset class;
+3. rename the staged directory to ``snapshot-<n>`` (invisible until
+   complete: directory scans ignore dot-entries);
+4. flip ``CURRENT`` atomically, then garbage-collect old versions
+   beyond the retention knob.
+
+A crash anywhere in 1–3 leaves at worst an ignored temp directory; a
+crash before 4 leaves ``CURRENT`` on the previous good version.  Load
+(:meth:`SnapshotStore.load`) verifies the manifest checksum against
+the payload bytes and falls back, newest first, to the last snapshot
+that verifies — flipped bits on disk are detected, logged, and routed
+around instead of crashing the service.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import shutil
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.core.advisor import AdvisingTool
+from repro.core.persistence import (
+    PersistenceError,
+    advisor_from_dict,
+    advisor_to_json,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.resilience.faults import fault_point
+
+logger = logging.getLogger("repro.core.snapshots")
+
+#: manifest schema version (independent of the advisor format version)
+MANIFEST_FORMAT = 1
+
+SNAPSHOT_PREFIX = "snapshot-"
+CURRENT_NAME = "CURRENT"
+MANIFEST_NAME = "MANIFEST.json"
+PAYLOAD_NAME = "advisor.json"
+
+#: committed versions retained after a save (the newest always stays)
+DEFAULT_KEEP = 3
+
+
+class SnapshotError(PersistenceError):
+    """No usable snapshot: the store is empty, or every candidate
+    version failed verification."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """One committed snapshot version."""
+
+    version: int
+    path: str
+    checksum: str
+    payload_bytes: int
+
+    @property
+    def name(self) -> str:
+        return f"{SNAPSHOT_PREFIX}{self.version}"
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """How a :meth:`SnapshotStore.load` found its advisor.
+
+    ``recovered`` is True when the version ``CURRENT`` pointed at (or
+    the newest version, if ``CURRENT`` was missing/corrupt) failed
+    verification and an older snapshot was served instead; ``skipped``
+    lists every rejected ``(version, error)`` pair, newest first.
+    """
+
+    version: int
+    current_version: int | None
+    recovered: bool
+    skipped: tuple[tuple[int, str], ...] = ()
+
+
+def _checksum(data: bytes) -> str:
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+class SnapshotStore:
+    """A directory of monotonically versioned advisor snapshots.
+
+    One store serves one advisor lineage.  Saves from multiple threads
+    of one process are serialized by an internal lock; multi-process
+    writers need external coordination (each save is still atomic, but
+    two processes may race for the same version number).
+    """
+
+    def __init__(self, root: str, keep: int = DEFAULT_KEEP) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.root = root
+        self.keep = keep
+        self._lock = threading.Lock()
+        self.last_report: LoadReport | None = None
+        os.makedirs(root, exist_ok=True)
+
+    # -- naming / scanning ------------------------------------------------
+
+    def _dir(self, version: int) -> str:
+        return os.path.join(self.root, f"{SNAPSHOT_PREFIX}{version}")
+
+    def versions(self) -> list[int]:
+        """Committed versions (directories with a manifest), ascending."""
+        found: list[int] = []
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        for entry in entries:
+            if not entry.startswith(SNAPSHOT_PREFIX):
+                continue
+            suffix = entry[len(SNAPSHOT_PREFIX):]
+            if not suffix.isdigit():
+                continue
+            if os.path.exists(os.path.join(self.root, entry, MANIFEST_NAME)):
+                found.append(int(suffix))
+        return sorted(found)
+
+    def current_version(self) -> int | None:
+        """The version ``CURRENT`` points at, or ``None`` when absent
+        or unparseable (load then falls back to the newest version)."""
+        try:
+            with open(os.path.join(self.root, CURRENT_NAME),
+                      encoding="utf-8") as handle:
+                name = handle.read().strip()
+        except OSError:
+            return None
+        if not name.startswith(SNAPSHOT_PREFIX):
+            return None
+        suffix = name[len(SNAPSHOT_PREFIX):]
+        return int(suffix) if suffix.isdigit() else None
+
+    # -- saving -----------------------------------------------------------
+
+    def save(self, tool: AdvisingTool, include_annotations: bool = True,
+             keep: int | None = None) -> SnapshotInfo:
+        """Commit *tool* as the next snapshot version and flip
+        ``CURRENT`` to it; returns the committed :class:`SnapshotInfo`.
+
+        The advisor is serialized under its reload lock, so a
+        concurrent ``extend()`` either lands entirely before or
+        entirely after the snapshot — never halfway.
+        """
+        freeze = getattr(tool, "freeze", None)
+        with (freeze() if freeze is not None else nullcontext()):
+            payload = advisor_to_json(
+                tool, include_annotations=include_annotations
+            ).encode("utf-8")
+        checksum = _checksum(payload)
+        with self._lock:
+            version = self._next_version()
+            staging = os.path.join(
+                self.root, f".staging-{version}.{os.getpid()}")
+            final = self._dir(version)
+            try:
+                os.makedirs(staging)
+                atomic_write_bytes(
+                    os.path.join(staging, PAYLOAD_NAME), payload)
+                atomic_write_text(
+                    os.path.join(staging, MANIFEST_NAME),
+                    json.dumps({
+                        "format": MANIFEST_FORMAT,
+                        "version": version,
+                        "payload": PAYLOAD_NAME,
+                        "payload_bytes": len(payload),
+                        "checksum": checksum,
+                    }, indent=1))
+                os.rename(staging, final)
+            except BaseException:
+                shutil.rmtree(staging, ignore_errors=True)
+                raise
+            # the commit point: readers only trust CURRENT
+            atomic_write_text(
+                os.path.join(self.root, CURRENT_NAME),
+                f"{SNAPSHOT_PREFIX}{version}\n")
+            self._gc_locked(self.keep if keep is None else keep)
+        logger.info("snapshot %d committed (%d bytes, %s)",
+                    version, len(payload), checksum[:19])
+        return SnapshotInfo(version=version, path=final,
+                            checksum=checksum, payload_bytes=len(payload))
+
+    def _next_version(self) -> int:
+        """One past the highest version present — committed or not, so
+        a crashed save's leftovers are never reused."""
+        highest = 0
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            entries = []
+        for entry in entries:
+            if entry.startswith(SNAPSHOT_PREFIX):
+                suffix = entry[len(SNAPSHOT_PREFIX):]
+                if suffix.isdigit():
+                    highest = max(highest, int(suffix))
+        return highest + 1
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self) -> AdvisingTool:
+        """The advisor of the last-good snapshot (see
+        :meth:`load_with_report`)."""
+        tool, _ = self.load_with_report()
+        return tool
+
+    def load_with_report(self) -> tuple[AdvisingTool, LoadReport]:
+        """Load the committed snapshot, falling back on corruption.
+
+        Tries the ``CURRENT`` version first, then every other
+        committed version newest-first; the first one whose checksum
+        and payload verify wins.  Raises :class:`SnapshotError` when
+        the store has no loadable snapshot at all.
+        """
+        current = self.current_version()
+        candidates = sorted(self.versions(), reverse=True)
+        if current is not None and current in candidates:
+            candidates.remove(current)
+            candidates.insert(0, current)
+        skipped: list[tuple[int, str]] = []
+        for version in candidates:
+            try:
+                tool = self._load_version(version)
+            except (PersistenceError, OSError) as error:
+                logger.warning(
+                    "snapshot %d failed verification (%s); falling back",
+                    version, error)
+                skipped.append((version, str(error)))
+                continue
+            report = LoadReport(
+                version=version, current_version=current,
+                recovered=bool(skipped), skipped=tuple(skipped))
+            self.last_report = report
+            return tool, report
+        raise SnapshotError(
+            f"no loadable snapshot among versions "
+            f"{sorted(candidates)}" if candidates
+            else "snapshot store is empty",
+            path=self.root)
+
+    def _load_version(self, version: int) -> AdvisingTool:
+        """Verify and load one version; raises on any inconsistency."""
+        manifest = self._manifest(version)
+        payload_path = os.path.join(
+            self._dir(version), manifest.get("payload", PAYLOAD_NAME))
+        fault_point("snapshot.load")
+        with open(payload_path, "rb") as handle:
+            payload = handle.read()
+        declared = manifest.get("checksum")
+        if _checksum(payload) != declared:
+            raise SnapshotError(
+                f"checksum mismatch: manifest declares {declared!r}",
+                path=payload_path, format_version=version)
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise SnapshotError(
+                f"payload verified but does not parse: {error}",
+                path=payload_path, format_version=version) from error
+        return advisor_from_dict(data, path=payload_path)
+
+    def _manifest(self, version: int) -> dict:
+        path = os.path.join(self._dir(version), MANIFEST_NAME)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SnapshotError(
+                f"unreadable manifest: {error}", path=path,
+                format_version=version) from error
+        if not isinstance(manifest, dict) \
+                or manifest.get("format") != MANIFEST_FORMAT:
+            raise SnapshotError(
+                "manifest has wrong shape or format", path=path,
+                format_version=version)
+        return manifest
+
+    def verify(self, version: int) -> bool:
+        """True when *version* loads cleanly end to end."""
+        try:
+            self._load_version(version)
+        except (PersistenceError, OSError):
+            return False
+        return True
+
+    # -- retention --------------------------------------------------------
+
+    def gc(self, keep: int | None = None) -> list[int]:
+        """Remove committed versions beyond the newest *keep*; the
+        ``CURRENT`` target is always retained.  Returns the removed
+        versions."""
+        with self._lock:
+            return self._gc_locked(self.keep if keep is None else keep)
+
+    def _gc_locked(self, keep: int) -> list[int]:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        versions = self.versions()
+        protected = set(versions[-keep:])
+        current = self.current_version()
+        if current is not None:
+            protected.add(current)
+        removed: list[int] = []
+        for version in versions:
+            if version in protected:
+                continue
+            target = self._dir(version)
+            # drop the manifest first: scans and loads treat the
+            # directory as uncommitted the moment it is gone, so a
+            # crash mid-rmtree cannot produce a half-deleted candidate
+            try:
+                os.unlink(os.path.join(target, MANIFEST_NAME))
+            except OSError:
+                continue
+            shutil.rmtree(target, ignore_errors=True)
+            removed.append(version)
+        return removed
+
+    # -- diagnostics ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The ``/healthz`` ``snapshots`` block."""
+        versions = self.versions()
+        payload: dict = {
+            "root": self.root,
+            "versions": versions,
+            "current_version": self.current_version(),
+            "keep": self.keep,
+        }
+        if self.last_report is not None:
+            payload["last_load"] = {
+                "version": self.last_report.version,
+                "recovered": self.last_report.recovered,
+                "skipped": [list(entry)
+                            for entry in self.last_report.skipped],
+            }
+        return payload

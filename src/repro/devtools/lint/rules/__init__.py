@@ -54,6 +54,7 @@ def string_constant(node: ast.AST) -> str | None:
 # deliberately after the helper definitions (see module docstring)
 from repro.devtools.lint.rules import (  # noqa: E402,F401
     asserts,
+    atomicwrite,
     determinism,
     excepts,
     exports,

@@ -1,0 +1,109 @@
+"""atomic-write — persistence writers must not truncate in place.
+
+Origin: the crash-safety work on the snapshot store.  A bare
+``open(path, "w")`` truncates the destination *before* the new bytes
+land, so a crash mid-write leaves a torn or empty file where a good
+one used to be — exactly the failure the write-to-temp → fsync →
+``os.replace`` protocol in :mod:`repro.core.persistence` exists to
+prevent.  Durability is only as strong as the sloppiest writer in the
+persistence layer, so every writer there must either go through the
+atomic helpers or implement the same rename dance itself.
+
+Scope: the modules that own durable on-disk state —
+``repro.core.persistence``, ``repro.core.snapshots``,
+``repro.core.config``, and ``repro.pipeline.store``.  Flags any
+write-mode ``open()`` (mode containing ``w``/``a``/``x``/``+``) unless
+the enclosing function is itself an atomic-write primitive (its name
+contains ``atomic``) or performs the rename commit (calls
+``os.replace``/``os.rename`` somewhere in its body).  Read-mode opens
+and opens elsewhere in the tree are none of this rule's business.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope, string_constant
+
+SCOPE_MODULES = (
+    "repro.core.persistence",
+    "repro.core.snapshots",
+    "repro.core.config",
+    "repro.pipeline.store",
+)
+
+_WRITE_MODE_CHARS = set("wax+")
+_COMMIT_CALLS = {"replace", "rename"}
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The mode of an ``open()`` call, if statically known."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    if len(node.args) >= 2:
+        return string_constant(node.args[1])
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return string_constant(keyword.value)
+    return "r"  # open() with no mode defaults to read
+
+
+def _commits_via_rename(func: ast.AST) -> bool:
+    """True when *func* calls ``os.replace``/``os.rename`` itself."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _COMMIT_CALLS and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == "os":
+            return True
+    return False
+
+
+@register
+class AtomicWriteRule(Rule):
+    id = "atomic-write"
+    severity = "error"
+    description = ("write-mode open() in the persistence layer must go "
+                   "through the atomic write-temp-then-rename helpers")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if not module_in_scope(ctx.module, SCOPE_MODULES):
+            return
+        # attribute each write-mode open to its *innermost* enclosing
+        # function (module level counts as no function — always flagged)
+        flagged: list[Violation] = []
+
+        def visit(node: ast.AST, enclosing) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = node
+            if isinstance(node, ast.Call) and self._is_write_open(node):
+                atomic = enclosing is not None and (
+                    "atomic" in enclosing.name.lower()
+                    or _commits_via_rename(enclosing))
+                if not atomic:
+                    flagged.append(self._flag(
+                        ctx, node,
+                        enclosing.name if enclosing is not None
+                        else "<module>"))
+            for child in ast.iter_child_nodes(node):
+                visit(child, enclosing)
+
+        visit(ctx.tree, None)
+        yield from flagged
+
+    @staticmethod
+    def _is_write_open(node: ast.Call) -> bool:
+        mode = _open_mode(node)
+        return mode is not None and bool(set(mode) & _WRITE_MODE_CHARS)
+
+    def _flag(self, ctx: FileContext, node: ast.Call,
+              where: str) -> Violation:
+        return self.violation(
+            ctx, node,
+            f"write-mode open() in {where}() truncates in place; a "
+            f"crash mid-write corrupts the file — use "
+            f"atomic_write_text/atomic_write_bytes or stage to a temp "
+            f"path and os.replace() it")

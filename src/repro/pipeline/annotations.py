@@ -143,6 +143,16 @@ class DocumentAnnotations:
         """Append *other*'s sentences (a document merged after ours)."""
         self.sentences.extend(other.sentences)
 
+    def copy(self) -> "DocumentAnnotations":
+        """A shallow copy whose sentence *list* is independent.
+
+        ``AdvisingTool.extend`` appends onto the copy so the pre-swap
+        index keeps an artifact frozen at its own length; the
+        per-sentence entries are shared (they are immutable as far as
+        the query path is concerned).
+        """
+        return DocumentAnnotations(sentences=list(self.sentences))
+
     @property
     def complete_terms(self) -> bool:
         """True when every sentence has its terms layer — the condition

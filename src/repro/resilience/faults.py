@@ -23,6 +23,10 @@ Well-known fault points::
     loader.html / loader.markdown / loader.text   document loading
     recommend            Stage II retrieval
     recognizer.dispatch  per-batch worker dispatch (simulated crash)
+    snapshot.write       each chunk of an atomic persistence write
+                         (kill-mid-write crash tests)
+    snapshot.commit      just before the os.replace rename commit
+    snapshot.load        snapshot payload read (simulated disk errors)
 """
 
 from __future__ import annotations

@@ -12,9 +12,13 @@ Routes (mirroring the artifact's web UI):
 * ``GET /api/query?q=...`` — JSON answers for programmatic use;
 * ``POST /api/batch`` — many queries answered in one request under a
   single deadline budget (JSON body ``{"queries": [...]}``);
+* ``POST /api/reload`` — swap in the advisor of the latest good
+  snapshot without dropping in-flight queries (requires a configured
+  snapshot store);
 * ``GET /health`` — liveness probe;
 * ``GET /healthz`` — readiness/diagnostics: advisor stats, degradation
-  counters, request counters, query-cache counters.
+  counters, request counters, per-status response counters, admission
+  gate state, snapshot-store state, query-cache counters.
 
 The query routes accept a ``limit`` parameter capping each answer to
 its top-k recommendations; the cap is pushed down into the retrieval
@@ -31,6 +35,22 @@ Hardening: request bodies are capped (413 on oversize), every request
 runs under a deadline budget (503 on expiry), malformed bodies and
 multipart payloads yield structured JSON 400s, and no handler ever
 leaks a raw traceback — unexpected errors become JSON 500s.
+
+Lifecycle (this layer's durability contract):
+
+* **admission control** — at most ``max_in_flight`` requests execute
+  concurrently; excess load is shed immediately with a 429 +
+  ``Retry-After`` instead of queueing into deadline expiry.  Probe
+  routes (``/health``, ``/healthz``) and the reload endpoint bypass
+  the gate so observability survives saturation;
+* **zero-downtime reload** — every request captures the advisor
+  reference once at dispatch, so :meth:`AdvisorApp.reload` (driven by
+  ``POST /api/reload`` or SIGHUP) swaps in a freshly loaded snapshot
+  while in-flight queries finish on the old index;
+* **graceful drain** — :meth:`AdvisorApp.begin_drain` sheds new work
+  with 503 + ``Retry-After`` and :meth:`AdvisorApp.drain` waits (under
+  a deadline) for in-flight requests to finish, the SIGTERM sequence
+  of :mod:`repro.web.server`.
 """
 
 from __future__ import annotations
@@ -39,10 +59,17 @@ import json
 import logging
 import re
 import threading
+import time
 from urllib.parse import parse_qs
 
 from repro.core.advisor import AdvisingTool
-from repro.core.config import DEFAULT_DEADLINE_MS, DEFAULT_MAX_BODY_BYTES
+from repro.core.config import (
+    DEFAULT_DEADLINE_MS,
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_RETRY_AFTER_S,
+)
+from repro.core.persistence import PersistenceError
 from repro.core.render import render_answer, render_summary
 from repro.resilience.faults import active_injector
 from repro.resilience.policy import Deadline, DeadlineExceeded
@@ -84,14 +111,23 @@ class ThreadSafeCounters:
     :meth:`increment`, which is atomic under the lock — a bare
     ``dict[key] += 1`` is a read-modify-write race once the WSGI
     server dispatches handlers on multiple threads.
+
+    ``extensible=True`` lets :meth:`increment` create keys on first
+    use — the per-status response counters can't know every status
+    line up front; the fixed default keeps the typo protection for
+    the named request counters.
     """
 
-    def __init__(self, names: tuple[str, ...]) -> None:
+    def __init__(self, names: tuple[str, ...] = (),
+                 extensible: bool = False) -> None:
         self._lock = threading.Lock()
+        self._extensible = extensible
         self._values: dict[str, int] = dict.fromkeys(names, 0)
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
+            if self._extensible and name not in self._values:
+                self._values[name] = 0
             self._values[name] += amount
 
     def __getitem__(self, name: str) -> int:
@@ -120,7 +156,18 @@ DEFAULT_MAX_BATCH_QUERIES = 256
 
 
 class AdvisorApp:
-    """WSGI app wrapping one :class:`AdvisingTool`."""
+    """WSGI app wrapping one :class:`AdvisingTool`.
+
+    The advisor reference itself is mutable state: :meth:`reload`
+    publishes a replacement with a single attribute assignment (atomic
+    under the GIL), and every request captures the reference exactly
+    once at dispatch — a request never observes two different indexes.
+    """
+
+    #: routes that bypass admission control and draining — probes and
+    #: the reload endpoint must keep answering while the gate is
+    #: saturated or the server is shutting down
+    _UNGATED = frozenset({"/health", "/healthz", "/api/reload"})
 
     def __init__(
         self,
@@ -128,22 +175,90 @@ class AdvisorApp:
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
         max_batch_queries: int = DEFAULT_MAX_BATCH_QUERIES,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        retry_after_s: int = DEFAULT_RETRY_AFTER_S,
+        snapshot_store=None,
     ) -> None:
-        self.advisor = advisor
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self._advisor = advisor
         self.max_body_bytes = max_body_bytes
         self.request_deadline_s = request_deadline_s
         self.max_batch_queries = max_batch_queries
+        self.max_in_flight = max_in_flight
+        self.retry_after_s = retry_after_s
+        self.snapshot_store = snapshot_store
         self._summary_html: str | None = None
+        self._summary_key: tuple[int, int] | None = None
         self._summary_lock = threading.Lock()
+        self._gate = threading.Condition()
+        self._in_flight = 0
+        self._draining = False
         self.counters = ThreadSafeCounters((
             "requests",
             "errors",
             "rejected_payloads",
+            "rejected_admission",
+            "rejected_draining",
             "deadline_expired",
             "degraded_answers",
             "body_read_errors",
             "batch_queries",
+            "reloads",
         ))
+        self.status_counters = ThreadSafeCounters(extensible=True)
+
+    @property
+    def advisor(self) -> AdvisingTool:
+        """The currently published advisor (swapped by :meth:`reload`)."""
+        return self._advisor
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reload(self, advisor: AdvisingTool) -> int:
+        """Publish *advisor* as the serving index.
+
+        A single reference swap: requests dispatched after this line
+        see the new advisor, in-flight requests finish on the old one.
+        Returns the new advisor's index generation.
+        """
+        self._advisor = advisor
+        self.counters.increment("reloads")
+        logger.info("advisor reloaded (generation %d, %d sentences)",
+                    advisor.generation, len(advisor.advising_sentences))
+        return advisor.generation
+
+    def begin_drain(self) -> None:
+        """Stop admitting gated work; probes keep answering."""
+        with self._gate:
+            self._draining = True
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Begin draining and wait for in-flight requests to finish.
+
+        Returns True when the gate emptied within *timeout_s*, False
+        when requests were still running at the deadline (the caller
+        decides whether to hard-stop anyway).
+        """
+        self.begin_drain()
+        end = time.monotonic() + timeout_s
+        with self._gate:
+            while self._in_flight > 0:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._gate.wait(remaining)
+        return True
+
+    @property
+    def draining(self) -> bool:
+        with self._gate:
+            return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        with self._gate:
+            return self._in_flight
 
     # -- WSGI entry point -----------------------------------------------
 
@@ -151,23 +266,55 @@ class AdvisorApp:
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
         self.counters.increment("requests")
+        if path in self._UNGATED:
+            return self._dispatch(environ, start_response, method, path)
+        with self._gate:
+            if self._draining:
+                self.counters.increment("rejected_draining")
+                return self._json_error(
+                    start_response, "503 Service Unavailable",
+                    "server is draining", retry_after=True)
+            if self._in_flight >= self.max_in_flight:
+                self.counters.increment("rejected_admission")
+                return self._json_error(
+                    start_response, "429 Too Many Requests",
+                    f"{self._in_flight} requests already in flight "
+                    f"(limit {self.max_in_flight})", retry_after=True,
+                    limit_in_flight=self.max_in_flight)
+            self._in_flight += 1
+        try:
+            return self._dispatch(environ, start_response, method, path)
+        finally:
+            with self._gate:
+                self._in_flight -= 1
+                self._gate.notify_all()
+
+    def _dispatch(self, environ, start_response, method: str, path: str):
+        # one capture per request: reload() may swap self._advisor at
+        # any point, but this request sticks with what it saw here
+        advisor = self._advisor
         deadline = Deadline(self.request_deadline_s)
         try:
             if path == "/" and method == "GET":
-                return self._respond(start_response, self.summary_page())
+                return self._respond(start_response,
+                                     self.summary_page(advisor))
             if path == "/query" and method == "GET":
-                return self._query(environ, start_response)
+                return self._query(advisor, environ, start_response)
             if path == "/api/query" and method == "GET":
-                return self._api_query(environ, start_response)
+                return self._api_query(advisor, environ, start_response)
             if path == "/api/batch" and method == "POST":
-                return self._api_batch(environ, start_response, deadline)
+                return self._api_batch(advisor, environ, start_response,
+                                       deadline)
             if path == "/upload" and method == "POST":
-                return self._upload(environ, start_response, deadline)
+                return self._upload(advisor, environ, start_response,
+                                    deadline)
+            if path == "/api/reload" and method == "POST":
+                return self._api_reload(start_response)
             if path == "/health" and method == "GET":
                 return self._respond(start_response, '{"status": "ok"}',
                                      content_type="application/json")
             if path == "/healthz" and method == "GET":
-                return self._healthz(start_response)
+                return self._healthz(advisor, start_response)
             raise HTTPError("404 Not Found", f"no route for {path}")
         except HTTPError as error:
             if error.status.startswith("413"):
@@ -177,7 +324,8 @@ class AdvisorApp:
         except DeadlineExceeded as error:
             self.counters.increment("deadline_expired")
             return self._json_error(
-                start_response, "503 Service Unavailable", str(error))
+                start_response, "503 Service Unavailable", str(error),
+                retry_after=True)
         except Exception as error:
             # never leak a traceback to the client; log it server-side
             self.counters.increment("errors")
@@ -188,41 +336,67 @@ class AdvisorApp:
 
     # -- handlers -----------------------------------------------------------
 
-    def summary_page(self) -> str:
+    def summary_page(self, advisor: AdvisingTool | None = None) -> str:
+        advisor = advisor if advisor is not None else self._advisor
+        key = (id(advisor), advisor.generation)
         with self._summary_lock:
-            if self._summary_html is None:
-                summary = render_summary(self.advisor)
+            if self._summary_html is None or self._summary_key != key:
+                summary = render_summary(advisor)
                 self._summary_html = summary.replace(
                     "<h1>", _SEARCH_FORM + "<h1>", 1)
+                self._summary_key = key
             return self._summary_html
 
-    def _answer(self, query: str, limit: int | None = None):
-        answer = self.advisor.query(query, limit=limit)
+    def _answer(self, advisor: AdvisingTool, query: str,
+                limit: int | None = None):
+        answer = advisor.query(query, limit=limit)
         if answer.degraded:
             self.counters.increment("degraded_answers")
         return answer
 
-    def _query(self, environ, start_response):
+    def _query(self, advisor, environ, start_response):
         query = self._query_param(environ, "q")
         if not query:
             raise HTTPError("400 Bad Request",
                             "missing query parameter 'q'")
         limit = self._limit_param(environ)
-        answer = self._answer(query, limit)
+        answer = self._answer(advisor, query, limit)
         return self._respond(
             start_response,
-            render_answer(self.advisor, answer, limit=limit))
+            render_answer(advisor, answer, limit=limit))
 
-    def _api_query(self, environ, start_response):
+    def _api_query(self, advisor, environ, start_response):
         query = self._query_param(environ, "q")
         if not query:
             raise HTTPError("400 Bad Request",
                             "missing query parameter 'q'")
-        answer = self._answer(query, self._limit_param(environ))
+        answer = self._answer(advisor, query, self._limit_param(environ))
         return self._respond(start_response, json.dumps(answer.to_dict()),
                              content_type="application/json")
 
-    def _api_batch(self, environ, start_response, deadline: Deadline):
+    def _api_reload(self, start_response):
+        """Load the latest good snapshot and swap it in."""
+        if self.snapshot_store is None:
+            raise HTTPError("409 Conflict",
+                            "no snapshot store configured")
+        try:
+            tool, report = self.snapshot_store.load_with_report()
+        except PersistenceError as error:
+            raise HTTPError("503 Service Unavailable",
+                            f"reload failed: {error}")
+        generation = self.reload(tool)
+        return self._respond(
+            start_response,
+            json.dumps({
+                "status": "reloaded",
+                "snapshot_version": report.version,
+                "recovered": report.recovered,
+                "generation": generation,
+            }),
+            content_type="application/json")
+
+    def _api_batch(self, advisor, environ, start_response,
+                   deadline: Deadline):
         """Answer many queries in one request under one deadline budget.
 
         Body: ``{"queries": [...], "threshold": float?, "limit": int?}``.
@@ -266,8 +440,8 @@ class AdvisorApp:
         answers = []
         for query in queries:
             deadline.check("batch.answer")
-            answer = self.advisor.query(query.strip(),
-                                        threshold=threshold, limit=limit)
+            answer = advisor.query(query.strip(),
+                                   threshold=threshold, limit=limit)
             if answer.degraded:
                 self.counters.increment("degraded_answers")
             answers.append(answer.to_dict())
@@ -277,7 +451,8 @@ class AdvisorApp:
             json.dumps({"count": len(answers), "answers": answers}),
             content_type="application/json")
 
-    def _upload(self, environ, start_response, deadline: Deadline):
+    def _upload(self, advisor, environ, start_response,
+                deadline: Deadline):
         body = self._read_body(environ)
         content_type = environ.get("CONTENT_TYPE", "")
         if content_type.startswith("multipart/form-data"):
@@ -289,14 +464,14 @@ class AdvisorApp:
         deadline.check("upload.parse")
         if body.startswith(b"%PDF"):
             try:
-                answers = self.advisor.query_report_pdf(body)
+                answers = advisor.query_report_pdf(body)
             except Exception as error:
                 raise HTTPError("400 Bad Request",
                                 "could not parse PDF report",
                                 type=type(error).__name__)
         else:
             try:
-                answers = self.advisor.query_report(
+                answers = advisor.query_report(
                     body.decode("utf-8", errors="replace"))
             except Exception as error:
                 raise HTTPError("400 Bad Request",
@@ -311,13 +486,22 @@ class AdvisorApp:
             deadline.check("upload.answer")
             if answer.degraded:
                 self.counters.increment("degraded_answers")
-            pages.append(render_answer(self.advisor, answer))
+            pages.append(render_answer(advisor, answer))
         combined = "\n<hr>\n".join(pages)
         return self._respond(start_response, combined)
 
-    def _healthz(self, start_response):
-        payload = self.advisor.health()
+    def _healthz(self, advisor, start_response):
+        payload = advisor.health()
         payload["requests"] = self.counters.snapshot()
+        payload["responses"] = self.status_counters.snapshot()
+        with self._gate:
+            payload["admission"] = {
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "draining": self._draining,
+            }
+        if self.snapshot_store is not None:
+            payload["snapshots"] = self.snapshot_store.stats()
         injector = active_injector()
         if injector is not None:
             payload["fault_injection"] = {
@@ -392,24 +576,30 @@ class AdvisorApp:
                 f"{length} bytes")
         return data
 
-    @staticmethod
-    def _respond(start_response, body: str, status: str = "200 OK",
-                 content_type: str = "text/html; charset=utf-8"):
+    def _respond(self, start_response, body: str, status: str = "200 OK",
+                 content_type: str = "text/html; charset=utf-8",
+                 extra_headers: tuple = ()):
         data = body.encode("utf-8")
-        start_response(status, [
+        self.status_counters.increment(status.split(" ", 1)[0])
+        headers = [
             ("Content-Type", content_type),
             ("Content-Length", str(len(data))),
-        ])
+        ]
+        headers.extend(extra_headers)
+        start_response(status, headers)
         return [data]
 
     def _json_error(self, start_response, status: str, message: str,
-                    **detail):
+                    retry_after: bool = False, **detail):
         payload: dict = {"error": {"status": status, "message": message}}
         if detail:
             payload["error"].update(detail)
+        extra = (("Retry-After", str(self.retry_after_s)),) \
+            if retry_after else ()
         return self._respond(start_response, json.dumps(payload),
                              status=status,
-                             content_type="application/json")
+                             content_type="application/json",
+                             extra_headers=extra)
 
 
 def _extract_multipart_file(body: bytes, content_type: str) -> bytes:

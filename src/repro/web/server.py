@@ -6,25 +6,44 @@ once, then serves it.
 
 Concurrency: by default requests are dispatched on one thread per
 connection (:class:`ThreadingWSGIServer`) over a single shared
-:class:`AdvisorApp` — the advisor's index is immutable after build and
-every mutable counter on the serving path is lock-guarded, so the only
-scaling limit is the scoring work itself.  ``threads=False`` restores
-the strictly serial server (useful for step-debugging).
+:class:`AdvisorApp` — the advisor's index is published as an immutable
+handle and every mutable counter on the serving path is lock-guarded,
+so the only scaling limit is the scoring work itself.
+``threads=False`` restores the strictly serial server (useful for
+step-debugging).
 
 Hardening over the stock ``wsgiref`` server: per-connection socket
 timeouts (a stalled client cannot wedge the process), access/error
 lines routed through :mod:`logging` instead of raw stderr, and the
 app-level payload cap and request deadline are configurable here.
+
+Lifecycle signals (:func:`run`):
+
+* **SIGTERM** — graceful drain: the app stops admitting gated work
+  (503 + ``Retry-After``), in-flight requests get ``drain_timeout_s``
+  to finish, a final snapshot is saved when a store is configured,
+  then the server exits;
+* **SIGHUP** — zero-downtime reload: the latest good snapshot is
+  loaded off the serving path and swapped in atomically (same code
+  path as ``POST /api/reload``).
 """
 
 from __future__ import annotations
 
 import logging
+import signal
+import threading
 from socketserver import ThreadingMixIn
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.core.advisor import AdvisingTool
-from repro.core.config import DEFAULT_DEADLINE_MS, DEFAULT_MAX_BODY_BYTES
+from repro.core.config import (
+    DEFAULT_DEADLINE_MS,
+    DEFAULT_DRAIN_TIMEOUT_MS,
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_IN_FLIGHT,
+)
+from repro.core.persistence import PersistenceError
 from repro.web.app import AdvisorApp
 
 logger = logging.getLogger("repro.web.server")
@@ -61,6 +80,8 @@ def serve(
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
     threads: bool = True,
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    snapshot_store=None,
 ) -> WSGIServer:
     """Create (but do not start) a WSGI server for *advisor*.
 
@@ -68,15 +89,44 @@ def serve(
     ``handle_request()`` to process a single request (useful in
     tests).  Binding to port 0 picks a free port
     (``server.server_port`` reports it).  The returned server's
-    ``.application`` is the :class:`AdvisorApp`, so its counters and
-    ``/healthz`` view are reachable from test code.  ``threads``
-    selects the concurrent server (default) or the serial one.
+    ``.application`` is the :class:`AdvisorApp`, so its counters,
+    lifecycle methods and ``/healthz`` view are reachable from test
+    code.  ``threads`` selects the concurrent server (default) or the
+    serial one.  ``snapshot_store`` enables ``POST /api/reload`` and
+    the SIGHUP/SIGTERM snapshot behavior of :func:`run`.
     """
     app = AdvisorApp(advisor, max_body_bytes=max_body_bytes,
-                     request_deadline_s=request_deadline_s)
+                     request_deadline_s=request_deadline_s,
+                     max_in_flight=max_in_flight,
+                     snapshot_store=snapshot_store)
     server_class = ThreadingWSGIServer if threads else WSGIServer
     return make_server(host, port, app, server_class=server_class,
                        handler_class=HardenedRequestHandler)
+
+
+def shutdown_gracefully(server: WSGIServer, app: AdvisorApp,
+                        drain_timeout_s: float,
+                        save_snapshot: bool = True) -> bool:
+    """The SIGTERM sequence, callable directly from tests.
+
+    Sheds new work, waits up to *drain_timeout_s* for in-flight
+    requests, saves a final snapshot when the app has a store, then
+    stops the accept loop.  Returns True when the drain completed
+    before the deadline.
+    """
+    drained = app.drain(drain_timeout_s)
+    if not drained:
+        logger.warning("drain deadline expired with %d requests "
+                       "in flight; stopping anyway", app.in_flight)
+    if save_snapshot and app.snapshot_store is not None:
+        try:
+            info = app.snapshot_store.save(app.advisor)
+            logger.info("final snapshot %d saved", info.version)
+        except (PersistenceError, OSError):
+            logger.exception("final snapshot failed; last committed "
+                             "snapshot remains current")
+    server.shutdown()
+    return drained
 
 
 def run(advisor: AdvisingTool, host: str = "127.0.0.1",
@@ -84,18 +134,58 @@ def run(advisor: AdvisingTool, host: str = "127.0.0.1",
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         request_deadline_s: float | None = DEFAULT_DEADLINE_MS / 1000.0,
         threads: bool = True,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        snapshot_store=None,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_MS / 1000.0,
         ) -> None:  # pragma: no cover - interactive
-    """Serve *advisor* until interrupted."""
+    """Serve *advisor* until interrupted (SIGTERM drains gracefully,
+    SIGHUP hot-reloads the latest snapshot)."""
     server = serve(advisor, host, port,
                    max_body_bytes=max_body_bytes,
                    request_deadline_s=request_deadline_s,
-                   threads=threads)
+                   threads=threads,
+                   max_in_flight=max_in_flight,
+                   snapshot_store=snapshot_store)
+    app: AdvisorApp = server.get_app()
+
+    def _on_sigterm(signum, frame) -> None:
+        # shutdown() blocks until serve_forever() returns, so the
+        # sequence runs off the signal handler's thread
+        threading.Thread(
+            target=shutdown_gracefully,
+            args=(server, app, drain_timeout_s),
+            name="drain", daemon=True).start()
+
+    def _on_sighup(signum, frame) -> None:
+        if app.snapshot_store is None:
+            logger.warning("SIGHUP ignored: no snapshot store")
+            return
+
+        def _reload() -> None:
+            try:
+                tool = app.snapshot_store.load()
+            except (PersistenceError, OSError):
+                logger.exception("SIGHUP reload failed; serving the "
+                                 "previous advisor")
+                return
+            app.reload(tool)
+
+        threading.Thread(target=_reload, name="reload",
+                         daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+        signal.signal(signal.SIGHUP, _on_sighup)
+    except ValueError:
+        # not the main thread (embedded run); signals stay default
+        logger.debug("signal handlers not installed")
+
     mode = "threaded" if threads else "single-threaded"
     print(f"Serving {advisor.name!r} ({mode}) on "
           f"http://{host}:{server.server_port}/")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        app.begin_drain()
     finally:
         server.server_close()

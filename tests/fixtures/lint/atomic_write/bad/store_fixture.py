@@ -1,0 +1,16 @@
+# egeria: module=repro.core.snapshots
+"""Bad: truncate-in-place writers in the persistence layer."""
+
+import json
+
+
+def save_manifest(path, manifest):
+    # truncates the old manifest before the new bytes land — a crash
+    # here leaves a torn file where a good one used to be
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+def save_payload(path, data):
+    with open(path, mode="wb") as handle:
+        handle.write(data)

@@ -1,0 +1,7 @@
+# egeria: module=repro.web.render_cache
+"""Good: write-mode open outside the persistence layer is not flagged."""
+
+
+def dump_debug_page(path, html):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)

@@ -1,0 +1,24 @@
+# egeria: module=repro.core.snapshots
+"""Good: every writer either is an atomic primitive or rename-commits."""
+
+import json
+import os
+
+
+def atomic_write_text(path, text):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+def save_manifest(path, manifest):
+    staged = path + ".staging"
+    with open(staged, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    os.replace(staged, path)
+
+
+def read_manifest(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

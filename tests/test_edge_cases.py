@@ -90,7 +90,7 @@ class TestPdfEdges:
 class TestAdvisorEdges:
     def test_empty_document_advisor(self) -> None:
         advisor = Egeria().build_advisor(Document(title="empty"))
-        assert advisor.advising_sentences == []
+        assert advisor.advising_sentences == ()
         assert not advisor.query("anything").found
         assert advisor.selection_stats()["ratio"] == float("inf")
 

@@ -33,6 +33,7 @@ LINT_CLI = REPO_ROOT / "tools" / "lint.py"
 
 #: fixture directory → the rule its bad member must trigger
 RULE_FIXTURES = {
+    "atomic_write": "atomic-write",
     "no_bare_assert": "no-bare-assert",
     "no_silent_except": "no-silent-except",
     "no_direct_tokenize": "no-direct-tokenize",

@@ -36,6 +36,9 @@ echo "== chaos mode: fault-injected robustness check =="
 "$PYTHON" benchmarks/bench_robustness.py --quick \
     --fault-plan tools/chaos_plan.json
 
+echo "== crash safety: kill-mid-save + corruption recovery =="
+"$PYTHON" benchmarks/bench_robustness.py --quick --crash-safety
+
 echo "== annotation reuse smoke check =="
 "$PYTHON" benchmarks/bench_annotation_reuse.py --quick
 
