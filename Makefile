@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-serving bench-build chaos ci docs \
-	corpora examples clean
+.PHONY: install test lint bench bench-serving bench-build \
+	bench-incremental chaos ci docs corpora examples clean
 
 install:
 	pip install -e .[dev]
@@ -32,6 +32,14 @@ bench-build:
 		--output BENCH_build.json
 	PYTHONPATH=src $(PYTHON) tools/perf_gate.py --section build \
 		--results BENCH_build.json
+
+# ingest-while-serving matrix (segment sealing vs rebuild-the-world at
+# 2k/10k sentences) -> BENCH_incremental.json, then the regression gate
+bench-incremental:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_incremental.py \
+		--output BENCH_incremental.json
+	PYTHONPATH=src $(PYTHON) tools/perf_gate.py --section incremental \
+		--results BENCH_incremental.json
 
 # tier-1 suite + the fault-injection robustness check under the canned
 # fault plan (20% SRL failures + one simulated worker crash)

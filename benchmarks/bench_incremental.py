@@ -1,0 +1,250 @@
+"""Incremental ingestion — segment sealing vs rebuild-the-world.
+
+Measures the write path of the segmented index (DESIGN.md §12) under
+an ingest-while-serving workload: a half-built advisor keeps answering
+queries while the other half of the corpus streams in batch by batch.
+Two arms ingest the identical batch schedule:
+
+* **segment** — ``extend()`` seals each batch as one immutable
+  segment (frozen IDF, no existing row rebuilt, warm cache repaired
+  per entry);
+* **rebuild** — ``extend(refit=True)``, the legacy path: a
+  from-scratch Stage II build per batch plus a wholesale cache flush.
+
+Reported per corpus size: ingest latency for both arms (the
+``segment_vs_rebuild_ingest`` speedup is the acceptance bar — >= 5x
+at 10k sentences), serving p50/p95 *during* ingestion on the segment
+arm, and an ``identical`` flag proving the speedup changed no output:
+warm-cache entries repaired across the extends must equal a
+cache-cleared recompute bit for bit, and after a full compaction the
+segment arm must answer exactly like the rebuild arm.
+
+Stage I runs through a stub recognizer that marks every sentence
+advising, so the numbers isolate the index write path from NLP cost.
+Corpus and workload come from the seeded generators in
+:mod:`repro.retrieval.bench_fixtures` (``BENCH_SEED``).
+
+Run the full matrix (writes ``BENCH_incremental.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+
+CI smoke (small size, separate output, gated fresh)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \\
+        --quick --output benchmarks/out/BENCH_incremental_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import time
+from pathlib import Path
+
+from repro.core.advisor import AdvisingTool
+from repro.docs.document import Document
+from repro.retrieval.bench_fixtures import (
+    BENCH_SEED, query_workload, synthetic_sentences)
+
+FULL_SIZES = (2000, 10_000)
+QUICK_SIZES = (500,)
+
+FULL_QUERIES = 160
+QUICK_QUERIES = 48
+
+#: ingestion batches per run — every size streams in the same shape
+N_BATCHES = 8
+
+#: warm queries checked for bit-identical cache repair
+N_WARM = 8
+
+LIMIT = 10
+
+
+class _StubResult:
+    """Recognition result for the stub path: always advising."""
+
+    __slots__ = ("sentence",)
+    is_advising = True
+    selector = "keyword"
+    events = ()
+    quarantined = False
+    matches = None
+
+    def __init__(self, sentence) -> None:
+        self.sentence = sentence
+
+
+class _StubRecognizer:
+    """Marks every sentence advising without running the NLP stack,
+    so ingest latency measures the index write path alone."""
+
+    last_annotations = None
+
+    def recognize(self, document):
+        return [_StubResult(s) for s in document.iter_sentences()]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def _rows(advisor: AdvisingTool, query: str) -> list:
+    """Bit-faithful answer signature: (index, score bits, evidence)."""
+    return [(r.sentence.index, struct.pack("<d", r.score).hex(),
+             r.matched_terms)
+            for r in advisor.recommender.recommend(query, limit=LIMIT)]
+
+
+def _build(base: list[str], size: int) -> AdvisingTool:
+    document = Document.from_sentences(base, title=f"bench-base-{size}")
+    return AdvisingTool(document, list(document.iter_sentences()),
+                        auto_compaction=False)
+
+
+def bench_size(size: int, n_queries: int) -> dict:
+    sentences = synthetic_sentences(size, seed=BENCH_SEED)
+    base, tail = sentences[:size // 2], sentences[size // 2:]
+    batch_size = max(1, len(tail) // N_BATCHES)
+    batches = [tail[i:i + batch_size]
+               for i in range(0, len(tail), batch_size)]
+    queries = query_workload(n_queries, seed=BENCH_SEED,
+                             repeat_fraction=0.5)
+    per_batch = max(1, len(queries) // len(batches))
+    recognizer = _StubRecognizer()
+
+    # -- segment arm: seal a segment per batch, serve between batches
+    segment = _build(base, size)
+    warm = sorted(set(queries))[:N_WARM]
+    for query in warm:
+        segment.recommender.recommend(query, limit=LIMIT)
+    segment_ingest: list[float] = []
+    latencies: list[float] = []
+    cursor = 0
+    for position, batch in enumerate(batches):
+        document = Document.from_sentences(batch,
+                                           title=f"batch-{position}")
+        start = time.perf_counter()
+        segment.extend(document, recognizer=recognizer)
+        segment_ingest.append(time.perf_counter() - start)
+        for query in queries[cursor:cursor + per_batch]:
+            begin = time.perf_counter()
+            segment.recommender.recommend(query, limit=LIMIT)
+            latencies.append(time.perf_counter() - begin)
+        cursor += per_batch
+    segments_after = segment.recommender.index.n_segments
+
+    # warm entries survived every extend via per-entry repair; they
+    # must match a cache-cleared recompute bit for bit
+    repaired = [_rows(segment, q) for q in warm]
+    segment.recommender.clear_cache()
+    repair_identical = repaired == [_rows(segment, q) for q in warm]
+
+    # -- rebuild arm: the same schedule through refit-every-batch
+    rebuild = _build(base, size)
+    rebuild_ingest: list[float] = []
+    for position, batch in enumerate(batches):
+        document = Document.from_sentences(batch,
+                                           title=f"batch-{position}")
+        start = time.perf_counter()
+        rebuild.extend(document, recognizer=recognizer, refit=True)
+        rebuild_ingest.append(time.perf_counter() - start)
+
+    # after a full compaction the segment arm is a from-scratch build
+    # over the same merged corpus — answers must match the rebuild arm
+    assert segment.compact(full=True) == "refitted"
+    unique = sorted(set(queries))
+    merged_identical = all(
+        _rows(segment, q) == _rows(rebuild, q) for q in unique)
+
+    latencies.sort()
+    serving_total = sum(latencies)
+    segment_total = sum(segment_ingest)
+    rebuild_total = sum(rebuild_ingest)
+    return {
+        "queries": len(queries),
+        "limit": LIMIT,
+        "base_sentences": len(base),
+        "batches": len(batches),
+        "batch_sentences": batch_size,
+        "segments_after_ingest": segments_after,
+        "identical": repair_identical and merged_identical,
+        "ingest": {
+            "segment_total_s": segment_total,
+            "rebuild_total_s": rebuild_total,
+            "segment_mean_ms": 1e3 * segment_total / len(batches),
+            "rebuild_mean_ms": 1e3 * rebuild_total / len(batches),
+        },
+        "paths": {
+            "serving_during_ingest": {
+                "p50_ms": 1e3 * _percentile(latencies, 0.50),
+                "p95_ms": 1e3 * _percentile(latencies, 0.95),
+                "qps": (len(latencies) / serving_total)
+                       if serving_total else 0.0,
+            },
+        },
+        "speedups": {
+            "segment_vs_rebuild_ingest":
+                (rebuild_total / segment_total) if segment_total else 0.0,
+        },
+    }
+
+
+def run(quick: bool = False) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    n_queries = QUICK_QUERIES if quick else FULL_QUERIES
+    results = {
+        "bench": "incremental",
+        "seed": BENCH_SEED,
+        "quick": quick,
+        "sizes": {},
+    }
+    for size in sizes:
+        results["sizes"][str(size)] = bench_size(size, n_queries)
+    return results
+
+
+def _print_results(results: dict) -> None:
+    header = (f"{'sentences':>10} {'seg ingest':>11} {'rebuild':>11} "
+              f"{'speedup':>8} {'serve p50':>10} {'serve p95':>10} "
+              f"{'identical':>9}")
+    print(header)
+    print("-" * len(header))
+    for size, entry in results["sizes"].items():
+        ingest = entry["ingest"]
+        serving = entry["paths"]["serving_during_ingest"]
+        print(f"{size:>10} {ingest['segment_mean_ms']:>9.1f}ms "
+              f"{ingest['rebuild_mean_ms']:>9.1f}ms "
+              f"{entry['speedups']['segment_vs_rebuild_ingest']:>7.1f}x "
+              f"{serving['p50_ms']:>8.3f}ms {serving['p95_ms']:>8.3f}ms "
+              f"{str(entry['identical']):>9}")
+
+
+def _main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small size / fewer queries (CI smoke)")
+    parser.add_argument("--output", default="BENCH_incremental.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+
+    results = run(quick=args.quick)
+    _print_results(results)
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"results written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -81,11 +81,11 @@ def _measure(recommender: KnowledgeRecommender,
 def _candidate_fraction(recommender: KnowledgeRecommender,
                         queries: list[str], size: int) -> float:
     """Mean fraction of rows the pruned path actually scores."""
-    vsm = recommender._retriever.vsm
+    index = recommender.index
     unique = sorted(set(queries))
     touched = 0
     for query in unique:
-        rows, _ = vsm.candidate_similarities(
+        rows, _ = index.candidate_similarities(
             recommender._normalizer(query))
         touched += rows.size
     return (touched / (len(unique) * size)) if unique else 0.0

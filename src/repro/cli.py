@@ -71,6 +71,20 @@ def _resolve_annotations(args: argparse.Namespace) -> dict:
     return {"annotations_cache": cache_dir or config.annotations_cache}
 
 
+def _resolve_segments(args: argparse.Namespace) -> dict:
+    """The segmented-index knobs: CLI flag beats config file."""
+    config = _load_config(args)
+    target = getattr(args, "segment_target_size", None)
+    ratio = getattr(args, "compaction_ratio", None)
+    auto = (False if getattr(args, "no_compaction", False)
+            else config.compaction)
+    return {
+        "segment_target_size": target or config.segment_target_size,
+        "compaction_ratio": ratio or config.compaction_ratio,
+        "auto_compaction": auto,
+    }
+
+
 def _build_egeria(args: argparse.Namespace,
                   threshold: float | None = None,
                   keywords=None) -> Egeria:
@@ -85,6 +99,7 @@ def _build_egeria(args: argparse.Namespace,
         worker_chunk_size=config.worker_chunk_size,
         **_resolve_resilience(args),
         **_resolve_annotations(args),
+        **_resolve_segments(args),
     )
 
 
@@ -236,8 +251,14 @@ def cmd_snapshots(args: argparse.Namespace) -> int:
     if args.action == "verify":
         failures = 0
         for version in store.versions():
-            ok = store.verify(version)
+            report = store.verify_report(version)
+            ok = all(entry["ok"] for entry in report)
             print(f"snapshot-{version}: {'ok' if ok else 'CORRUPT'}")
+            for entry in report:
+                if entry["ok"]:
+                    continue
+                print(f"  {entry['name']}: expected {entry['expected']}, "
+                      f"actual {entry['actual']}")
             failures += 0 if ok else 1
         return 1 if failures else 0
     removed = store.gc(keep=args.keep)
@@ -369,6 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "at the first fire (fast, the default); "
                              "'full' evaluates every selector and keeps "
                              "per-selector match vectors (Table 8 mode)")
+    parser.add_argument("--segment-target-size", type=int, default=None,
+                        help="target rows per freshly sealed index "
+                             "segment (default from config: 256)")
+    parser.add_argument("--compaction-ratio", type=int, default=None,
+                        help="adjacent same-tier segments merged per "
+                             "compaction step (default from config: 4)")
+    parser.add_argument("--no-compaction", action="store_true",
+                        help="disable background segment compaction "
+                             "after extend()")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an advisor; print or "

@@ -14,6 +14,7 @@ and can produce the full advising summary grouped by section
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
@@ -25,6 +26,13 @@ from repro.pipeline.annotations import DocumentAnnotations
 from repro.pipeline.store import AnalysisStore
 from repro.profiler.parser import NVVPReportParser
 from repro.resilience.degrade import DegradationEvent, summarize_events
+from repro.retrieval.segments import (
+    DEFAULT_COMPACTION_RATIO,
+    DEFAULT_SEGMENT_TARGET_SIZE,
+    plan_compaction,
+)
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -120,6 +128,10 @@ class AdvisingTool:
         provenance: dict[int, str | None] | None = None,
         match_vectors: dict[int, dict[str, bool]] | None = None,
         store: AnalysisStore | None = None,
+        segment_target_size: int = DEFAULT_SEGMENT_TARGET_SIZE,
+        compaction_ratio: int = DEFAULT_COMPACTION_RATIO,
+        auto_compaction: bool = True,
+        index_layout: dict | None = None,
     ) -> None:
         self.document = document
         self.name = name or f"{document.title} Adviser"
@@ -144,15 +156,69 @@ class AdvisingTool:
         #: annotation store shared with the builder (hit/miss counters
         #: surface through ``health()``); ``extend`` reuses it
         self.store = store
+        #: segment write-path knobs (DESIGN §12): target rows per fresh
+        #: segment and the tiered-merge fan-in; ``auto_compaction``
+        #: gates the background worker extend() kicks off
+        self.segment_target_size = segment_target_size
+        self.compaction_ratio = compaction_ratio
+        self.auto_compaction = auto_compaction
+        self._compaction_lock = threading.Lock()
+        self._compaction_stats = {"merges": 0, "refits": 0, "aborted": 0}
+        self._compaction_thread: threading.Thread | None = None
+        if index_layout is None:
+            recommender = KnowledgeRecommender(
+                list(advising_sentences), document=document,
+                threshold=threshold, annotations=annotations)
+        else:
+            recommender = self._replay_layout(
+                index_layout, list(advising_sentences), document,
+                threshold, annotations)
         self._index = _IndexState(
             advising=tuple(advising_sentences),
-            recommender=KnowledgeRecommender(
-                list(advising_sentences), document=document,
-                threshold=threshold, annotations=annotations),
+            recommender=recommender,
             annotations=annotations,
             provenance=dict(provenance or {}),
         )
         self._report_parser = NVVPReportParser()
+
+    @staticmethod
+    def _replay_layout(
+        index_layout: dict,
+        advising: list[Sentence],
+        document: Document,
+        threshold: float,
+        annotations: DocumentAnnotations | None,
+    ) -> KnowledgeRecommender:
+        """Reconstruct a segmented recommender from a persisted growth
+        layout (persistence v3): the base build is fitted on the first
+        batch's document prefix, then every later batch is replayed as
+        an :meth:`KnowledgeRecommender.extended` growth step — the
+        rebuilt model carries exactly the weights the saved advisor
+        served with."""
+        batches = list(index_layout["segments"])
+        epoch = int(index_layout.get("weight_epoch", 0))
+        sentences = document.sentences
+        base_advising, base_docs = batches[0]
+        recommender = KnowledgeRecommender(
+            advising[:base_advising], document=document,
+            threshold=threshold, annotations=annotations,
+            fit_docs=base_docs, epoch=epoch)
+        consumed_advising, consumed_docs = base_advising, base_docs
+        for batch_advising, batch_docs in batches[1:]:
+            recommender = recommender.extended(
+                advising[consumed_advising:
+                         consumed_advising + batch_advising],
+                sentences[consumed_docs:consumed_docs + batch_docs],
+                annotations=annotations)
+            consumed_advising += batch_advising
+            consumed_docs += batch_docs
+        if consumed_advising != len(advising) \
+                or consumed_docs != len(sentences):
+            raise ValueError(
+                f"index layout covers {consumed_advising} advising / "
+                f"{consumed_docs} document sentences, advisor has "
+                f"{len(advising)} / {len(sentences)}")
+        return recommender
 
     # -- the immutable index handle ----------------------------------------
 
@@ -284,13 +350,25 @@ class AdvisingTool:
     # -- incremental updates -----------------------------------------------
 
     def extend(self, document: Document,
-               recognizer=None) -> int:
+               recognizer=None, refit: bool = False) -> int:
         """Fold another document into this advisor, without downtime.
 
         HPC guides evolve quickly (§1: "rapid changes ... of modern
         systems"); ``extend`` runs Stage I on the new document only and
-        rebuilds the (cheap) Stage II index over the merged collection.
-        Returns the number of newly recognized advising sentences.
+        **seals its advising sentences as one small immutable segment**
+        (DESIGN §12): the TF-IDF model grows append-only (existing
+        terms keep their frozen IDF, new vocabulary is indexed and
+        immediately queryable), no existing matrix row is rebuilt, and
+        the warm query cache survives intact.  Returns the number of
+        newly recognized advising sentences.
+
+        ``refit=True`` forces the legacy rebuild-the-world path — a
+        from-scratch Stage II build whose IDF reflects the merged
+        corpus exactly, at the price of a wholesale cache flush.  The
+        background compaction worker applies the same refit
+        automatically once enough growth has accumulated (stale
+        documents >= fitted documents), so frozen-IDF drift is bounded
+        without ever paying the rebuild on the ingest path.
 
         New advising sentences are mapped by their *position* within
         the new document, never by text — a duplicated string must not
@@ -341,15 +419,123 @@ class AdvisingTool:
                 annotations.extend(recognizer.last_annotations)
             else:
                 annotations = None      # alignment lost — fall back
-            recommender = KnowledgeRecommender(
-                list(advising), document=self.document,
-                threshold=index.recommender.threshold,
-                annotations=annotations)
+            if refit:
+                recommender = self._refit_recommender(
+                    index.recommender, list(advising), annotations)
+            else:
+                recommender = index.recommender.extended(
+                    added, [result.sentence for result in results],
+                    annotations=annotations)
             self._index = _IndexState(
                 advising=advising, recommender=recommender,
                 annotations=annotations, provenance=provenance,
                 generation=index.generation + 1)
+        if not refit and self.auto_compaction:
+            self._maybe_compact_async()
         return len(added)
+
+    # -- segment compaction ------------------------------------------------
+
+    def _refit_recommender(
+        self,
+        old: KnowledgeRecommender,
+        advising: list[Sentence],
+        annotations: DocumentAnnotations | None,
+    ) -> KnowledgeRecommender:
+        """A from-scratch Stage II build over the merged corpus — the
+        one event that changes existing weights, so the shared query
+        cache is flushed wholesale and the weight epoch bumps (stale
+        entries put by in-flight queries are rejected on read)."""
+        if old.cache is not None:
+            old.cache.invalidate_wholesale()
+        return KnowledgeRecommender(
+            advising, document=self.document, threshold=old.threshold,
+            annotations=annotations, cache_size=0, cache=old.cache,
+            prune=old.prune, epoch=old.epoch + 1)
+
+    def _should_refit(self, recommender: KnowledgeRecommender) -> bool:
+        """Doubling rule: refit once the documents ingested since the
+        last fit match the documents the IDF was fitted on."""
+        return recommender.stale_docs >= max(recommender.fit_docs, 1)
+
+    def compact(self, full: bool = False) -> str:
+        """One synchronous compaction step; returns what happened.
+
+        ``"merged"`` — a tiered merge collapsed adjacent segments
+        (structural: scores and warm cache untouched); ``"refitted"``
+        — the index was rebuilt from scratch (``full=True`` or the
+        staleness rule fired), flushing the cache and bumping the
+        weight epoch; ``"noop"`` — the layout is already compact;
+        ``"aborted"`` — a concurrent writer published a new generation
+        while the replacement was being built, so it was discarded.
+
+        The expensive build runs *off* the reload lock; publication
+        re-checks the generation under the lock, so compaction never
+        blocks ingestion or serving and never overwrites newer state.
+        """
+        index = self._index
+        recommender = index.recommender
+        if full or self._should_refit(recommender):
+            replacement = self._refit_recommender(
+                recommender, list(index.advising), index.annotations)
+            outcome = "refitted"
+        else:
+            plan = plan_compaction(
+                recommender.index.segment_sizes,
+                self.segment_target_size, self.compaction_ratio)
+            if plan is None:
+                return "noop"
+            replacement = recommender.with_merged(*plan)
+            outcome = "merged"
+        with self._reload_lock:
+            if self._index.generation != index.generation:
+                with self._compaction_lock:
+                    self._compaction_stats["aborted"] += 1
+                return "aborted"
+            self._index = _IndexState(
+                advising=index.advising, recommender=replacement,
+                annotations=index.annotations,
+                provenance=index.provenance,
+                generation=index.generation + 1)
+        with self._compaction_lock:
+            self._compaction_stats[
+                "refits" if outcome == "refitted" else "merges"] += 1
+        return outcome
+
+    def _maybe_compact_async(self) -> None:
+        """Kick the background compaction worker if the layout needs
+        it and no worker is already running (at most one at a time)."""
+        recommender = self._index.recommender
+        needed = self._should_refit(recommender) or plan_compaction(
+            recommender.index.segment_sizes,
+            self.segment_target_size, self.compaction_ratio) is not None
+        if not needed:
+            return
+        with self._compaction_lock:
+            if self._compaction_thread is not None \
+                    and self._compaction_thread.is_alive():
+                return
+            thread = threading.Thread(
+                target=self._compaction_worker,
+                name="egeria-compaction", daemon=True)
+            self._compaction_thread = thread
+        thread.start()
+
+    def _compaction_worker(self) -> None:
+        try:
+            # cascade: a merge can create a new same-tier run (or tip
+            # the staleness rule), so keep stepping until quiescent; an
+            # abort means a newer writer owns the layout now — its own
+            # post-extend kick will resume compaction
+            while self.compact() in ("merged", "refitted"):
+                pass
+        except Exception:
+            logger.exception("background compaction failed")
+
+    def compaction_stats(self) -> dict:
+        """Cumulative compaction counters (the ``/healthz`` block)."""
+        with self._compaction_lock:
+            return dict(self._compaction_stats)
 
     # -- stats -----------------------------------------------------------------
 
@@ -401,6 +587,15 @@ class AdvisingTool:
                 "answer_events": len(answer_events),
                 "answer_by_layer": summarize_events(answer_events),
             },
+        }
+        segmented = index.recommender.index
+        payload["index"] = {
+            "segments": segmented.n_segments,
+            "segment_sizes": list(segmented.segment_sizes),
+            "weight_epoch": index.recommender.epoch,
+            "fit_docs": index.recommender.fit_docs,
+            "stale_docs": index.recommender.stale_docs,
+            "compactions": self.compaction_stats(),
         }
         cache_stats = index.recommender.cache_stats()
         if cache_stats is not None:

@@ -92,6 +92,15 @@ class EgeriaConfig:
     max_in_flight: int = DEFAULT_MAX_IN_FLIGHT
     #: how long SIGTERM waits for in-flight requests before hard stop
     drain_timeout_ms: int = DEFAULT_DRAIN_TIMEOUT_MS
+    #: target rows per freshly sealed index segment (tier 0 of the
+    #: compaction policy); ``--segment-target-size``
+    segment_target_size: int = 256
+    #: tiered-merge fan-in: adjacent same-tier segments merged per
+    #: compaction step; ``--compaction-ratio``
+    compaction_ratio: int = 4
+    #: background segment compaction after ``extend()``
+    #: (``--no-compaction`` disables it)
+    compaction: bool = True
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -114,7 +123,9 @@ class EgeriaConfig:
                                "annotations_cache", "worker_min_sentences",
                                "worker_chunk_size", "provenance",
                                "snapshots", "snapshot_keep",
-                               "max_in_flight", "drain_timeout_ms"}
+                               "max_in_flight", "drain_timeout_ms",
+                               "segment_target_size", "compaction_ratio",
+                               "compaction"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -169,6 +180,12 @@ class EgeriaConfig:
                                         DEFAULT_DRAIN_TIMEOUT_MS))
         if drain_timeout_ms < 0:
             raise ValueError("drain_timeout_ms must be >= 0")
+        segment_target_size = int(data.get("segment_target_size", 256))
+        if segment_target_size < 1:
+            raise ValueError("segment_target_size must be >= 1")
+        compaction_ratio = int(data.get("compaction_ratio", 4))
+        if compaction_ratio < 2:
+            raise ValueError("compaction_ratio must be >= 2")
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
@@ -189,6 +206,9 @@ class EgeriaConfig:
             snapshot_keep=snapshot_keep,
             max_in_flight=max_in_flight,
             drain_timeout_ms=drain_timeout_ms,
+            segment_target_size=segment_target_size,
+            compaction_ratio=compaction_ratio,
+            compaction=bool(data.get("compaction", True)),
         )
 
     @classmethod
@@ -218,6 +238,9 @@ class EgeriaConfig:
             "snapshot_keep": self.snapshot_keep,
             "max_in_flight": self.max_in_flight,
             "drain_timeout_ms": self.drain_timeout_ms,
+            "segment_target_size": self.segment_target_size,
+            "compaction_ratio": self.compaction_ratio,
+            "compaction": self.compaction,
         }
 
     def save(self, path: str) -> None:

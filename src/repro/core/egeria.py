@@ -29,6 +29,10 @@ from repro.docs.document import Document
 from repro.docs.html_loader import HTMLDocumentLoader
 from repro.docs.markdown_loader import MarkdownDocumentLoader
 from repro.pipeline.store import AnalysisStore
+from repro.retrieval.segments import (
+    DEFAULT_COMPACTION_RATIO,
+    DEFAULT_SEGMENT_TARGET_SIZE,
+)
 
 
 logger = logging.getLogger("repro.core.egeria")
@@ -51,6 +55,9 @@ class Egeria:
         provenance: str = "first",
         worker_min_sentences: int = 64,
         worker_chunk_size: int | None = None,
+        segment_target_size: int = DEFAULT_SEGMENT_TARGET_SIZE,
+        compaction_ratio: int = DEFAULT_COMPACTION_RATIO,
+        auto_compaction: bool = True,
     ) -> None:
         """Configure the framework.
 
@@ -67,9 +74,17 @@ class Egeria:
         experiment mode; the default ``"first"`` short-circuits at
         the first firing selector.  ``worker_min_sentences`` and
         ``worker_chunk_size`` tune the multiprocessing dispatch path.
+
+        ``segment_target_size``/``compaction_ratio`` parameterize the
+        tiered merge policy of the segmented index write path, and
+        ``auto_compaction=False`` (``--no-compaction``) keeps
+        ``extend()`` from scheduling background merges.
         """
         self.keywords = keywords or KeywordConfig()
         self.threshold = threshold
+        self.segment_target_size = segment_target_size
+        self.compaction_ratio = compaction_ratio
+        self.auto_compaction = auto_compaction
         if store is not None:
             self.store: AnalysisStore | None = store
         elif use_annotations_store:
@@ -125,7 +140,10 @@ class Egeria:
             document, advising, threshold=self.threshold, name=name,
             degradation_events=tuple(events), quarantined=quarantined,
             annotations=annotations, provenance=provenance,
-            match_vectors=match_vectors, store=self.store)
+            match_vectors=match_vectors, store=self.store,
+            segment_target_size=self.segment_target_size,
+            compaction_ratio=self.compaction_ratio,
+            auto_compaction=self.auto_compaction)
 
     def build_advisor_from_html(
         self, html: str, title: str | None = None

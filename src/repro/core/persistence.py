@@ -2,16 +2,21 @@
 
 The paper's artifact ships three pre-built advising tools (cuda,
 opencl, xeon) so users don't re-run the NLP pipeline; this module
-provides the equivalent.  Format v2 serializes Stage I's output (the
+provides the equivalent.  Format v3 serializes Stage I's output (the
 advising sentences with their section structure), the configuration,
 selector provenance (which Table 1 rule recognized each sentence),
 build health (degradation events and quarantines survive a save/load
-round-trip), and — optionally — the lexical layers of the shared
-annotation artifact, so ``load_advisor`` warm-starts Stage II with
-**zero** tokenizer or stemmer calls.
+round-trip), optionally the lexical layers of the shared annotation
+artifact (so ``load_advisor`` warm-starts Stage II with **zero**
+tokenizer or stemmer calls), and — new in v3 — the segmented index's
+growth layout (``index`` block: weight epoch plus one
+``{advising, doc_sentences}`` entry per growth batch), which the
+loader replays so the rebuilt index serves the exact frozen-IDF
+weights the saved advisor did (DESIGN §12).
 
-Format v1 files (raw text only) still load; they simply pay the
-Stage II normalization cost on load, exactly as before.
+Format v2 files load as a single segment; format v1 files (raw text
+only) still load too — they simply pay the Stage II normalization
+cost on load, exactly as before.
 
 Durability: :func:`save_advisor` never writes in place.  All writes go
 through :func:`atomic_write_bytes` — write to a same-directory temp
@@ -39,10 +44,10 @@ from repro.pipeline.annotations import DocumentAnnotations
 from repro.resilience.degrade import DegradationEvent
 from repro.resilience.faults import fault_point
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: versions ``advisor_from_dict`` accepts
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: bytes written between ``snapshot.write`` fault-point checks; small
 #: enough that chaos plans can kill a save at the start, middle, or
@@ -216,6 +221,21 @@ def _advisor_to_dict_frozen(tool: AdvisingTool,
         }
     if include_annotations and tool.annotations is not None:
         data["annotations"] = tool.annotations.to_dict()
+    recommender = tool.recommender
+    batches = getattr(recommender, "batches", None)
+    if batches:
+        # v3 index layout: the *growth batches* (one per build/extend),
+        # not the physical segments — merges erase physical boundaries,
+        # but replaying the batches reconstructs the grown TF-IDF model
+        # (frozen per-batch IDF) exactly; see DESIGN §12
+        data["index"] = {
+            "weight_epoch": getattr(recommender, "epoch", 0),
+            "segments": [
+                {"advising": batch["advising"],
+                 "doc_sentences": batch["doc_sentences"]}
+                for batch in batches
+            ],
+        }
     return data
 
 
@@ -260,11 +280,48 @@ def _load_provenance(data: dict) -> dict[int, str | None]:
     return provenance
 
 
+def _load_index_layout(data: dict, n_advising: int,
+                       n_sentences: int) -> dict | None:
+    """Validate and normalize the v3 ``index`` block into the growth
+    layout :class:`AdvisingTool` replays; ``None`` (pre-v3 payloads or
+    a missing block) means "load as a single segment"."""
+    layout = data.get("index")
+    if layout is None:
+        return None
+    if not isinstance(layout, dict):
+        raise ValueError("index block must be a JSON object")
+    entries = layout.get("segments")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("index block needs a non-empty segments list")
+    batches: list[tuple[int, int]] = []
+    for entry in entries:
+        advising = entry.get("advising")
+        doc_sentences = entry.get("doc_sentences")
+        if not isinstance(advising, int) or advising < 0 \
+                or not isinstance(doc_sentences, int) or doc_sentences < 0:
+            raise ValueError(
+                f"malformed segment entry: {entry!r}")
+        batches.append((advising, doc_sentences))
+    total_advising = sum(advising for advising, _ in batches)
+    total_docs = sum(docs for _, docs in batches)
+    if total_advising != n_advising or total_docs != n_sentences:
+        raise ValueError(
+            f"index layout covers {total_advising} advising / "
+            f"{total_docs} document sentences, payload has "
+            f"{n_advising} / {n_sentences}")
+    epoch = layout.get("weight_epoch", 0)
+    if not isinstance(epoch, int) or epoch < 0:
+        raise ValueError(f"malformed weight_epoch: {epoch!r}")
+    return {"weight_epoch": epoch, "segments": batches}
+
+
 def advisor_from_dict(data: dict, path: str | None = None) -> AdvisingTool:
     """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`.
 
-    Accepts the current v2 format and legacy v1 files (which carry no
-    annotations, provenance, or build-health block).  Every malformed
+    Accepts the current v3 format (whose ``index`` block records the
+    segment growth layout), v2 files (loaded as a single segment), and
+    legacy v1 files (which carry no annotations, provenance, or
+    build-health block).  Every malformed
     payload — unsupported version, missing keys, out-of-range indices,
     wrong value shapes — surfaces as a :class:`PersistenceError`
     carrying *path* (when known) and the payload's declared version.
@@ -311,6 +368,11 @@ def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
         )
     annotations = _load_annotations(data, document)
     events, quarantined = _load_build_health(data)
+    # v2 payloads carry no layout and load as a single segment; v3
+    # replays the recorded growth batches so the rebuilt index serves
+    # the exact weights the saved advisor did
+    index_layout = (_load_index_layout(data, len(advising), n)
+                    if version >= 3 else None)
     return AdvisingTool(
         document, advising,
         threshold=data.get("threshold", 0.15),
@@ -319,6 +381,7 @@ def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
         quarantined=quarantined,
         annotations=annotations,
         provenance=_load_provenance(data),
+        index_layout=index_layout,
     )
 
 

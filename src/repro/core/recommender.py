@@ -14,20 +14,33 @@ advising summary while IDF statistics come from the whole document.
 One-pass pipeline: when a
 :class:`~repro.pipeline.annotations.DocumentAnnotations` artifact is
 supplied (Stage I produces one as a side effect of recognition, and
-persistence v2 embeds one), the index is built from its pre-normalized
+persistence v2+ embeds one), the index is built from its pre-normalized
 term lists — zero tokenizer or stemmer calls; the scores are identical
 to the re-tokenizing path because the terms stage runs the very same
 normalization pipeline.  Sentences whose terms layer is missing
 (degraded during the build) fall back to normalizing their raw text.
 
-Fast path: queries run through the candidate-pruned scorer of
-:mod:`repro.retrieval.topk` (score-identical to the dense path; set
-``prune=False`` to force the reference matvec) and finished results
-are memoized in a thread-safe LRU keyed on the *normalized* query
-terms plus the effective threshold and limit.  The cache dies with
-the recommender, so any rebuild (``AdvisingTool.extend``) invalidates
-it wholesale; hit/miss/eviction counters surface via
-:meth:`cache_stats` into ``AdvisingTool.health()`` and ``/healthz``.
+Segmented write path (DESIGN §12): the index is a
+:class:`~repro.retrieval.segments.SegmentedIndex` of immutable
+segments.  :meth:`extended` returns a *new* recommender that grows the
+TF-IDF model append-only (frozen IDF for existing terms) and seals the
+new advising sentences as one more segment — the published recommender
+keeps serving untouched, and a warm query cache survives because no
+existing row or weight changed.
+
+Cache repair instead of wholesale flush: the shared
+:class:`~repro.retrieval.topk.LRUQueryCache` outlives individual
+recommenders.  Each entry records the weight epoch, the number of rows
+it covered, and the vocabulary width at store time.  On a hit the
+recommender *repairs* an entry that predates newer segments by scoring
+only the uncovered tail rows and merging — exact, because
+``select_top_k`` over (cached top-k ∪ tail) equals top-k over the full
+row set (any dropped cached row was dominated by ``limit``
+earlier-ranked rows that are still present).  Only two events force a
+recompute: a refit (weight-epoch bump → wholesale flush) or a query
+term that entered the vocabulary after the entry was cached (the
+query vector itself changed → targeted per-entry drop, counted as
+``invalidations_segment``).
 """
 
 from __future__ import annotations
@@ -35,11 +48,15 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.docs.document import Document, Sentence
 from repro.pipeline.annotations import DocumentAnnotations
 from repro.resilience.faults import fault_point
-from repro.retrieval.topk import LRUQueryCache
-from repro.retrieval.vsm import DEFAULT_THRESHOLD, SentenceRetriever
+from repro.retrieval.segments import SegmentedIndex, grow_tfidf
+from repro.retrieval.tfidf import TfidfModel
+from repro.retrieval.topk import LRUQueryCache, select_top_k
+from repro.retrieval.vsm import DEFAULT_THRESHOLD
 from repro.textproc.normalize import NormalizationPipeline
 
 #: default capacity of the per-recommender query-result LRU
@@ -68,31 +85,56 @@ class KnowledgeRecommender:
         annotations: DocumentAnnotations | None = None,
         cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
         prune: bool = True,
+        fit_docs: int | None = None,
+        cache: LRUQueryCache | None = None,
+        epoch: int = 0,
     ) -> None:
+        """Build a fresh (single-segment) recommender.
+
+        ``fit_docs`` limits IDF fitting to the first N document
+        sentences — the snapshot-replay path uses it to reconstruct
+        the model exactly as it was fitted before later growth
+        batches.  ``cache`` shares an existing query cache across a
+        refit (its entries are epoch-checked, never trusted blindly);
+        ``epoch`` is the weight epoch this build represents.
+        """
         self.sentences = list(advising_sentences)
         self.threshold = threshold
         self.annotations = annotations
         self.prune = prune
+        self.epoch = epoch
         self._normalizer = NormalizationPipeline()
-        self._cache = LRUQueryCache(cache_size) if cache_size > 0 else None
+        if cache is not None:
+            self._cache: LRUQueryCache | None = cache
+        else:
+            self._cache = (LRUQueryCache(cache_size)
+                           if cache_size > 0 else None)
         sentence_terms = [
             self._terms_of(s.index, s.text) for s in self.sentences]
         if document is not None:
-            fit_corpus_terms = [
-                self._terms_of(i, sentence.text)
-                for i, sentence in enumerate(document.iter_sentences())
-            ]
+            corpus: list[list[str]] = []
+            for i, sentence in enumerate(document.iter_sentences()):
+                if fit_docs is not None and i >= fit_docs:
+                    break
+                corpus.append(self._terms_of(i, sentence.text))
         else:
-            fit_corpus_terms = None
-        self._retriever = SentenceRetriever(
-            [s.text for s in self.sentences],
-            normalizer=self._normalizer,
-            threshold=threshold,
-            sentence_terms=sentence_terms,
-            fit_corpus_terms=fit_corpus_terms,
-        )
+            corpus = [list(terms) for terms in sentence_terms]
+        tfidf = TfidfModel(corpus)
+        base = SegmentedIndex(tfidf, (), threshold=threshold)
+        self._index = base.with_sealed(
+            [list(terms) for terms in sentence_terms], tfidf)
         self._sentence_terms = [
             frozenset(terms) for terms in sentence_terms]
+        self.fit_docs = len(corpus)
+        self.stale_docs = 0
+        # growth batches: the logical segment layout persistence v3
+        # records, one entry per build/extend (physical segments may be
+        # merged away; batches are what snapshot replay needs to
+        # reconstruct the grown model batch by batch)
+        self._batches: list[dict[str, int]] = [
+            {"advising": len(self.sentences),
+             "doc_sentences": self.fit_docs},
+        ]
 
     def _terms_of(self, index: int, text: str) -> list[str]:
         """Pre-annotated terms for the sentence at global *index*, or a
@@ -102,6 +144,87 @@ class KnowledgeRecommender:
             if terms is not None:
                 return terms
         return self._normalizer(text)
+
+    # -- segmented growth ---------------------------------------------
+
+    @property
+    def index(self) -> SegmentedIndex:
+        """The segmented index serving this recommender."""
+        return self._index
+
+    @property
+    def cache(self) -> LRUQueryCache | None:
+        """The shared query cache (``None`` when caching is off)."""
+        return self._cache
+
+    @property
+    def batches(self) -> tuple[dict[str, int], ...]:
+        """Growth-batch layout for persistence v3 (copies)."""
+        return tuple(dict(batch) for batch in self._batches)
+
+    def extended(
+        self,
+        new_sentences: Sequence[Sentence],
+        corpus_sentences: Sequence[Sentence],
+        annotations: DocumentAnnotations | None = None,
+    ) -> "KnowledgeRecommender":
+        """A new recommender with *new_sentences* sealed as one more
+        segment.
+
+        *corpus_sentences* are **all** sentences of the newly ingested
+        document (§A.6: IDF statistics come from whole documents) —
+        they grow the TF-IDF model append-only before the segment is
+        sealed, so every new sentence's vocabulary is indexed and
+        immediately queryable.  The receiver is left untouched: its
+        published index keeps serving mid-swap.  The query cache and
+        normalizer are shared; warm entries stay valid and are
+        repaired lazily (see the module docstring).
+        """
+        clone = KnowledgeRecommender.__new__(KnowledgeRecommender)
+        clone.threshold = self.threshold
+        clone.prune = self.prune
+        clone.epoch = self.epoch
+        clone.annotations = (annotations if annotations is not None
+                             else self.annotations)
+        clone._normalizer = self._normalizer
+        clone._cache = self._cache
+        clone.sentences = self.sentences + list(new_sentences)
+        corpus_terms = [
+            clone._terms_of(s.index, s.text) for s in corpus_sentences]
+        new_terms = [
+            clone._terms_of(s.index, s.text) for s in new_sentences]
+        grown = grow_tfidf(self._index.tfidf, corpus_terms)
+        clone._index = self._index.with_sealed(new_terms, grown)
+        clone._sentence_terms = self._sentence_terms + [
+            frozenset(terms) for terms in new_terms]
+        clone.fit_docs = self.fit_docs
+        clone.stale_docs = self.stale_docs + len(corpus_terms)
+        clone._batches = self._batches + [
+            {"advising": len(new_terms),
+             "doc_sentences": len(corpus_terms)},
+        ]
+        return clone
+
+    def with_merged(self, start: int, stop: int) -> "KnowledgeRecommender":
+        """A new recommender whose physical segments ``[start:stop)``
+        are merged into one — structural, bit-identical scores, warm
+        cache untouched (row ids and weights are unchanged)."""
+        clone = KnowledgeRecommender.__new__(KnowledgeRecommender)
+        clone.threshold = self.threshold
+        clone.prune = self.prune
+        clone.epoch = self.epoch
+        clone.annotations = self.annotations
+        clone._normalizer = self._normalizer
+        clone._cache = self._cache
+        clone.sentences = self.sentences
+        clone._sentence_terms = self._sentence_terms
+        clone._index = self._index.merged(start, stop)
+        clone.fit_docs = self.fit_docs
+        clone.stale_docs = self.stale_docs
+        clone._batches = self._batches
+        return clone
+
+    # -- serving -------------------------------------------------------
 
     def recommend(
         self, query: str, threshold: float | None = None,
@@ -116,22 +239,111 @@ class KnowledgeRecommender:
         cutoff = self.threshold if threshold is None else threshold
         query_terms = tuple(self._normalizer(query))
         key = (query_terms, cutoff, limit)
-        rows = self._cache.get(key) if self._cache is not None else None
+        total = len(self._index)
+        n_terms = len(self._index.tfidf.dictionary)
+        rows: tuple | None = None
+        store = self._cache is not None
+        entry = self._cache.get(key) if self._cache is not None else None
+        if entry is not None:
+            epoch, covered, vocab_width, cached_rows = entry
+            if epoch != self.epoch or covered > total:
+                # another weight epoch, or an entry written by a newer
+                # recommender sharing this cache — unusable here; drop
+                # it and recompute (the current lineage will re-put)
+                self._cache.reject(key)
+            elif self._query_outgrew(query_terms, vocab_width):
+                # a query term entered the vocabulary after this entry
+                # was cached: the query vector itself changed, so the
+                # cached scores are for a different query — targeted
+                # per-entry invalidation, not a flush
+                self._cache.reject(key, segment=True)
+            elif covered == total:
+                rows = cached_rows
+                store = False
+            else:
+                rows = self._repair(cached_rows, covered, query_terms,
+                                    cutoff, limit)
+                self._cache.count_repair()
         if rows is None:
-            query_set = frozenset(query_terms)
-            rows = tuple(
-                (index, score,
-                 tuple(sorted(query_set & self._sentence_terms[index])))
-                for index, score in self._retriever.query_tokens(
-                    list(query_terms), cutoff, limit=limit,
-                    prune=self.prune)
-            )
-            if self._cache is not None:
-                self._cache.put(key, rows)
+            rows = self._compute(query_terms, cutoff, limit)
+        if store and self._cache is not None:
+            self._cache.put(key, (self.epoch, total, n_terms, rows))
         return [
             Recommendation(self.sentences[index], score, matched)
             for index, score, matched in rows
         ]
+
+    def _query_outgrew(
+        self, query_terms: tuple[str, ...], vocab_width: int
+    ) -> bool:
+        """Whether any query term was assigned a dictionary id at or
+        beyond *vocab_width* (i.e. after the cache entry was stored)."""
+        token2id = self._index.tfidf.dictionary.token2id
+        for term in query_terms:
+            token_id = token2id.get(term)
+            if token_id is not None and token_id >= vocab_width:
+                return True
+        return False
+
+    def _compute(
+        self, query_terms: tuple[str, ...], cutoff: float,
+        limit: int | None,
+    ) -> tuple:
+        query_set = frozenset(query_terms)
+        return tuple(
+            (index, score,
+             tuple(sorted(query_set & self._sentence_terms[index])))
+            for index, score in self._index.query_tokens(
+                list(query_terms), cutoff, limit=limit,
+                prune=self.prune)
+        )
+
+    def _repair(
+        self,
+        cached_rows: tuple,
+        covered: int,
+        query_terms: tuple[str, ...],
+        cutoff: float,
+        limit: int | None,
+    ) -> tuple:
+        """Merge a warm entry with scores over the rows sealed after it
+        was cached.
+
+        Exact: the cached rows are the reference result over rows
+        ``[0, covered)`` and the tail rows are scored by the very same
+        kernels, so ``select_top_k`` over their union reproduces the
+        full recompute bit for bit (tie order is preserved because
+        cached rows — all with ids below ``covered`` — precede tail
+        rows in the stable sort's input).
+        """
+        tokens = list(query_terms)
+        if self.prune and cutoff > 0.0:
+            tail_rows, tail_scores = self._index.candidate_similarities(
+                tokens, start_row=covered)
+        else:
+            dense = self._index.similarities(tokens)
+            tail_rows = np.arange(covered, dense.size, dtype=np.intp)
+            tail_scores = dense[covered:]
+        cached_indices = np.fromiter(
+            (row[0] for row in cached_rows), dtype=np.intp,
+            count=len(cached_rows))
+        cached_scores = np.fromiter(
+            (row[1] for row in cached_rows), dtype=np.float64,
+            count=len(cached_rows))
+        merged = select_top_k(
+            np.concatenate((cached_indices, tail_rows)),
+            np.concatenate((cached_scores, tail_scores)),
+            cutoff, limit)
+        matched_by_row = {row[0]: row[2] for row in cached_rows}
+        query_set = frozenset(query_terms)
+        result = []
+        for index, score in merged:
+            matched = matched_by_row.get(index)
+            if matched is None:
+                matched = tuple(
+                    sorted(query_set & self._sentence_terms[index]))
+            result.append((index, score, matched))
+        return tuple(result)
 
     # -- cache management ---------------------------------------------
 

@@ -12,10 +12,17 @@ Layout of a store rooted at ``DIR``::
                          atomically — the single commit point readers
                          trust
       snapshot-7/
-        MANIFEST.json    {"format": 1, "version": 7,
-                          "checksum": "sha256:...", "payload":
-                          "advisor.json", "payload_bytes": N}
-        advisor.json     the persistence-v2 advisor payload
+        MANIFEST.json    {"format": 2, "version": 7, "payload":
+                          "advisor.json", "files": [{"name": ...,
+                          "bytes": N, "checksum": "sha256:..."}, ...]}
+        advisor.json     the persistence-v3 advisor payload (its
+                         ``index.segments`` list split out below)
+        segment-0.json   one growth-batch entry per file, so segment
+        segment-1.json   metadata is independently checksummed and
+        ...              ``verify`` can name the exact corrupt file
+
+Format-1 stores (single payload + top-level ``checksum``/
+``payload_bytes``) still load and verify.
 
 Write protocol (:meth:`SnapshotStore.save`):
 
@@ -54,7 +61,7 @@ from repro.core.advisor import AdvisingTool
 from repro.core.persistence import (
     PersistenceError,
     advisor_from_dict,
-    advisor_to_json,
+    advisor_to_dict,
     atomic_write_bytes,
     atomic_write_text,
 )
@@ -63,7 +70,10 @@ from repro.resilience.faults import fault_point
 logger = logging.getLogger("repro.core.snapshots")
 
 #: manifest schema version (independent of the advisor format version)
-MANIFEST_FORMAT = 1
+MANIFEST_FORMAT = 2
+
+#: manifest schema versions the loader accepts
+SUPPORTED_MANIFEST_FORMATS = (1, 2)
 
 SNAPSHOT_PREFIX = "snapshot-"
 CURRENT_NAME = "CURRENT"
@@ -81,12 +91,18 @@ class SnapshotError(PersistenceError):
 
 @dataclass(frozen=True)
 class SnapshotInfo:
-    """One committed snapshot version."""
+    """One committed snapshot version.
+
+    ``checksum``/``payload_bytes`` describe the main advisor payload;
+    ``files`` counts every checksummed file in the snapshot directory
+    (payload plus per-segment files).
+    """
 
     version: int
     path: str
     checksum: str
     payload_bytes: int
+    files: int = 1
 
     @property
     def name(self) -> str:
@@ -176,13 +192,29 @@ class SnapshotStore:
 
         The advisor is serialized under its reload lock, so a
         concurrent ``extend()`` either lands entirely before or
-        entirely after the snapshot — never halfway.
+        entirely after the snapshot — never halfway.  The v3 payload's
+        ``index.segments`` list is split into one ``segment-<k>.json``
+        per growth batch, each independently checksummed in the
+        manifest's ``files`` list.
         """
         freeze = getattr(tool, "freeze", None)
         with (freeze() if freeze is not None else nullcontext()):
-            payload = advisor_to_json(
-                tool, include_annotations=include_annotations
-            ).encode("utf-8")
+            data = advisor_to_dict(
+                tool, include_annotations=include_annotations)
+        blobs: list[tuple[str, bytes]] = []
+        index_block = data.get("index")
+        if isinstance(index_block, dict):
+            entries = index_block.pop("segments", None)
+            if entries is not None:
+                index_block["segment_count"] = len(entries)
+                for position, entry in enumerate(entries):
+                    blobs.append((
+                        f"segment-{position}.json",
+                        json.dumps({"segment": position, **entry},
+                                   indent=1).encode("utf-8")))
+        payload = json.dumps(
+            data, ensure_ascii=False, indent=1).encode("utf-8")
+        blobs.insert(0, (PAYLOAD_NAME, payload))
         checksum = _checksum(payload)
         with self._lock:
             version = self._next_version()
@@ -191,16 +223,22 @@ class SnapshotStore:
             final = self._dir(version)
             try:
                 os.makedirs(staging)
-                atomic_write_bytes(
-                    os.path.join(staging, PAYLOAD_NAME), payload)
+                manifest_files = []
+                for name, blob in blobs:
+                    atomic_write_bytes(
+                        os.path.join(staging, name), blob)
+                    manifest_files.append({
+                        "name": name,
+                        "bytes": len(blob),
+                        "checksum": _checksum(blob),
+                    })
                 atomic_write_text(
                     os.path.join(staging, MANIFEST_NAME),
                     json.dumps({
                         "format": MANIFEST_FORMAT,
                         "version": version,
                         "payload": PAYLOAD_NAME,
-                        "payload_bytes": len(payload),
-                        "checksum": checksum,
+                        "files": manifest_files,
                     }, indent=1))
                 os.rename(staging, final)
             except BaseException:
@@ -211,10 +249,11 @@ class SnapshotStore:
                 os.path.join(self.root, CURRENT_NAME),
                 f"{SNAPSHOT_PREFIX}{version}\n")
             self._gc_locked(self.keep if keep is None else keep)
-        logger.info("snapshot %d committed (%d bytes, %s)",
-                    version, len(payload), checksum[:19])
+        logger.info("snapshot %d committed (%d files, %d bytes, %s)",
+                    version, len(blobs), len(payload), checksum[:19])
         return SnapshotInfo(version=version, path=final,
-                            checksum=checksum, payload_bytes=len(payload))
+                            checksum=checksum, payload_bytes=len(payload),
+                            files=len(blobs))
 
     def _next_version(self) -> int:
         """One past the highest version present — committed or not, so
@@ -276,23 +315,102 @@ class SnapshotStore:
     def _load_version(self, version: int) -> AdvisingTool:
         """Verify and load one version; raises on any inconsistency."""
         manifest = self._manifest(version)
-        payload_path = os.path.join(
-            self._dir(version), manifest.get("payload", PAYLOAD_NAME))
-        fault_point("snapshot.load")
-        with open(payload_path, "rb") as handle:
-            payload = handle.read()
-        declared = manifest.get("checksum")
-        if _checksum(payload) != declared:
+        payload_name = manifest.get("payload", PAYLOAD_NAME)
+        payload_path = os.path.join(self._dir(version), payload_name)
+        if manifest.get("format") == 1:
+            payload = self._read_verified(
+                payload_path, manifest.get("checksum"), None, version)
+            data = self._parse_payload(payload, payload_path, version)
+            return advisor_from_dict(data, path=payload_path)
+        declared_version = manifest.get("version")
+        if declared_version != version:
             raise SnapshotError(
-                f"checksum mismatch: manifest declares {declared!r}",
+                f"manifest declares version {declared_version!r}",
                 path=payload_path, format_version=version)
+        blobs: dict[str, bytes] = {}
+        for entry in self._manifest_files(manifest, version):
+            name = str(entry.get("name"))
+            path = os.path.join(self._dir(version), name)
+            blobs[name] = self._read_verified(
+                path, entry.get("checksum"), entry.get("bytes"), version)
+        if payload_name not in blobs:
+            raise SnapshotError(
+                f"manifest lists no payload file {payload_name!r}",
+                path=payload_path, format_version=version)
+        data = self._parse_payload(
+            blobs[payload_name], payload_path, version)
+        self._reassemble_segments(data, blobs, payload_name,
+                                  payload_path, version)
+        return advisor_from_dict(data, path=payload_path)
+
+    def _read_verified(self, path: str, declared_checksum: object,
+                       declared_bytes: object, version: int) -> bytes:
+        """Read one snapshot file and verify its manifest entry."""
+        fault_point("snapshot.load")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if declared_bytes is not None and len(blob) != declared_bytes:
+            raise SnapshotError(
+                f"size mismatch: manifest declares {declared_bytes} "
+                f"bytes, file has {len(blob)}",
+                path=path, format_version=version)
+        if _checksum(blob) != declared_checksum:
+            raise SnapshotError(
+                f"checksum mismatch: manifest declares "
+                f"{declared_checksum!r}",
+                path=path, format_version=version)
+        return blob
+
+    @staticmethod
+    def _parse_payload(payload: bytes, path: str, version: int) -> dict:
         try:
-            data = json.loads(payload.decode("utf-8"))
+            return json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise SnapshotError(
                 f"payload verified but does not parse: {error}",
-                path=payload_path, format_version=version) from error
-        return advisor_from_dict(data, path=payload_path)
+                path=path, format_version=version) from error
+
+    @staticmethod
+    def _manifest_files(manifest: dict, version: int) -> list[dict]:
+        entries = manifest.get("files")
+        if not isinstance(entries, list) or not entries \
+                or not all(isinstance(entry, dict) for entry in entries):
+            raise SnapshotError(
+                "manifest files list has wrong shape",
+                format_version=version)
+        return entries
+
+    def _reassemble_segments(self, data: dict, blobs: dict[str, bytes],
+                             payload_name: str, payload_path: str,
+                             version: int) -> None:
+        """Rebuild ``data["index"]["segments"]`` from the per-segment
+        files the save split out, in ``segment`` order."""
+        segments = []
+        for name, blob in blobs.items():
+            if name == payload_name:
+                continue
+            entry = self._parse_payload(
+                blob, os.path.join(self._dir(version), name), version)
+            segments.append(entry)
+        segments.sort(key=lambda entry: entry.get("segment", 0))
+        index_block = data.get("index")
+        if index_block is None:
+            if segments:
+                raise SnapshotError(
+                    "segment files present but payload has no index "
+                    "block", path=payload_path, format_version=version)
+            return
+        declared_count = index_block.pop("segment_count", None)
+        if declared_count != len(segments):
+            raise SnapshotError(
+                f"payload declares {declared_count!r} segment files, "
+                f"manifest carries {len(segments)}",
+                path=payload_path, format_version=version)
+        index_block["segments"] = [
+            {"advising": entry.get("advising"),
+             "doc_sentences": entry.get("doc_sentences")}
+            for entry in segments
+        ]
 
     def _manifest(self, version: int) -> dict:
         path = os.path.join(self._dir(version), MANIFEST_NAME)
@@ -304,7 +422,7 @@ class SnapshotStore:
                 f"unreadable manifest: {error}", path=path,
                 format_version=version) from error
         if not isinstance(manifest, dict) \
-                or manifest.get("format") != MANIFEST_FORMAT:
+                or manifest.get("format") not in SUPPORTED_MANIFEST_FORMATS:
             raise SnapshotError(
                 "manifest has wrong shape or format", path=path,
                 format_version=version)
@@ -317,6 +435,63 @@ class SnapshotStore:
         except (PersistenceError, OSError):
             return False
         return True
+
+    def verify_report(self, version: int) -> list[dict]:
+        """Per-file integrity report for one version.
+
+        One entry per manifest-listed file: ``{"name", "ok",
+        "expected", "actual"}`` where expected/actual are sha256
+        checksums (or byte counts / error text when that is what
+        differs).  An unreadable manifest yields a single failing
+        entry for ``MANIFEST.json`` — the CLI's ``snapshots verify``
+        prints exactly the failing rows.
+        """
+        try:
+            manifest = self._manifest(version)
+        except SnapshotError as error:
+            return [{"name": MANIFEST_NAME, "ok": False,
+                     "expected": "a readable manifest",
+                     "actual": str(error)}]
+        if manifest.get("format") == 1:
+            entries: list[dict] = [{
+                "name": manifest.get("payload", PAYLOAD_NAME),
+                "bytes": manifest.get("payload_bytes"),
+                "checksum": manifest.get("checksum"),
+            }]
+        else:
+            try:
+                entries = self._manifest_files(manifest, version)
+            except SnapshotError as error:
+                return [{"name": MANIFEST_NAME, "ok": False,
+                         "expected": "a manifest files list",
+                         "actual": str(error)}]
+        report: list[dict] = []
+        for entry in entries:
+            name = str(entry.get("name", PAYLOAD_NAME))
+            expected = entry.get("checksum")
+            path = os.path.join(self._dir(version), name)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+            except OSError as error:
+                report.append({"name": name, "ok": False,
+                               "expected": expected,
+                               "actual": f"unreadable: {error}"})
+                continue
+            declared_bytes = entry.get("bytes")
+            actual = _checksum(blob)
+            if actual != expected:
+                report.append({"name": name, "ok": False,
+                               "expected": expected, "actual": actual})
+            elif declared_bytes is not None \
+                    and len(blob) != declared_bytes:
+                report.append({"name": name, "ok": False,
+                               "expected": f"{declared_bytes} bytes",
+                               "actual": f"{len(blob)} bytes"})
+            else:
+                report.append({"name": name, "ok": True,
+                               "expected": expected, "actual": actual})
+        return report
 
     # -- retention --------------------------------------------------------
 

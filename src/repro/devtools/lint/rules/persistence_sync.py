@@ -18,7 +18,12 @@ Checks (all static, cross-module):
 * every string key the persistence module writes (dict literals,
   subscript stores) is also read somewhere in it (``.get(...)`` or
   subscript loads) — a written-but-never-read key is a field the load
-  path silently discards.
+  path silently discards;
+* every manifest/segment key the snapshot store's ``save()`` writes
+  (``repro.core.snapshots``: manifest format 2 with per-segment files)
+  is read somewhere in the module — a manifest field the load/verify
+  path never consults is dead weight at best and a checksum hole at
+  worst.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.devtools.lint.rules import string_constant
 
 ANNOTATIONS_MODULE = "repro.pipeline.annotations"
 PERSISTENCE_MODULE = "repro.core.persistence"
+SNAPSHOTS_MODULE = "repro.core.snapshots"
 
 
 def _tuple_literal(ctx: FileContext, name: str) -> list[str] | None:
@@ -84,6 +90,9 @@ class PersistenceSchemaSyncRule(Rule):
         persistence = project.module(PERSISTENCE_MODULE)
         if persistence is not None:
             yield from self._check_persistence(persistence)
+        snapshots = project.module(SNAPSHOTS_MODULE)
+        if snapshots is not None:
+            yield from self._check_snapshots(snapshots)
 
     def _check_annotations(self, ctx: FileContext) -> Iterable[Violation]:
         layers = _tuple_literal(ctx, "LAYERS")
@@ -146,3 +155,49 @@ class PersistenceSchemaSyncRule(Rule):
                 ctx, written[key],
                 f"persistence serializes key {key!r} but never reads it "
                 f"back; the field is silently dropped on load")
+
+    def _check_snapshots(self, ctx: FileContext) -> Iterable[Violation]:
+        """Manifest/segment keys written by ``save()`` must be read
+        somewhere in the module (load, verify, or stats).
+
+        Scoped to ``save`` on the write side: the snapshot module also
+        builds plenty of non-schema dict literals (stats payloads,
+        verify reports) whose keys are consumed by callers, not by the
+        module itself.
+        """
+        written: dict[str, ast.AST] = {}
+        read: set[str] = set()
+        for node in ctx.walk():
+            if isinstance(node, ast.FunctionDef) and node.name == "save":
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Dict):
+                        for key in sub.keys:
+                            value = string_constant(key) \
+                                if key is not None else None
+                            if value is not None:
+                                written.setdefault(value, key)
+                    elif isinstance(sub, ast.Subscript) and \
+                            isinstance(sub.ctx, ast.Store):
+                        value = string_constant(sub.slice)
+                        if value is not None:
+                            written.setdefault(value, sub)
+            elif isinstance(node, ast.Subscript) and \
+                    not isinstance(node.ctx, ast.Store):
+                key = string_constant(node.slice)
+                if key is not None:
+                    read.add(key)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("get", "pop") and node.args:
+                # .pop(key) is how the load path consumes-and-strips
+                # reshaping keys (e.g. segment_count), so it counts
+                # as a read
+                key = string_constant(node.args[0])
+                if key is not None:
+                    read.add(key)
+        for key in sorted(set(written) - read):
+            yield self.violation(
+                ctx, written[key],
+                f"snapshot save() writes manifest key {key!r} but the "
+                f"module never reads it; the load/verify path silently "
+                f"ignores the field")

@@ -21,6 +21,12 @@ from repro.retrieval.lsi import LsiModel
 from repro.retrieval.feedback import RocchioRetriever
 from repro.retrieval.synonyms import SynonymExpander
 from repro.retrieval.topk import LRUQueryCache, PostingsScorer, select_top_k
+from repro.retrieval.segments import (
+    IndexSegment,
+    SegmentedIndex,
+    grow_tfidf,
+    plan_compaction,
+)
 
 __all__ = [
     "Dictionary",
@@ -35,4 +41,8 @@ __all__ = [
     "LRUQueryCache",
     "PostingsScorer",
     "select_top_k",
+    "IndexSegment",
+    "SegmentedIndex",
+    "grow_tfidf",
+    "plan_compaction",
 ]

@@ -192,6 +192,13 @@ class LRUQueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # segment-aware invalidation accounting (DESIGN §12): wholesale
+        # counts refit-driven full flushes, segment counts targeted
+        # per-entry drops, repairs counts entries upgraded in place by
+        # scoring only the rows sealed after the entry was cached
+        self.invalidations_wholesale = 0
+        self.invalidations_segment = 0
+        self.repairs = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -220,6 +227,31 @@ class LRUQueryCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_wholesale(self) -> None:
+        """Drop every entry because the index weights changed (refit):
+        no cached result is repairable under the new weight epoch."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations_wholesale += 1
+
+    def reject(self, key: Hashable, segment: bool = False) -> None:
+        """Retract an entry :meth:`get` just returned: the caller found
+        it unusable (stale epoch, or — with ``segment=True`` — a query
+        term that entered the vocabulary after the entry was cached).
+        Reclassifies the lookup as a miss and drops the entry.
+        """
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self.hits -= 1
+                self.misses += 1
+                if segment:
+                    self.invalidations_segment += 1
+
+    def count_repair(self) -> None:
+        """Record one cache-entry repair (tail rows merged in place)."""
+        with self._lock:
+            self.repairs += 1
+
     def stats(self) -> dict:
         """Counter snapshot (the ``/healthz`` ``query_cache`` block)."""
         with self._lock:
@@ -231,4 +263,7 @@ class LRUQueryCache:
                 "misses": self.misses,
                 "hit_rate": (self.hits / total) if total else 0.0,
                 "evictions": self.evictions,
+                "invalidations_wholesale": self.invalidations_wholesale,
+                "invalidations_segment": self.invalidations_segment,
+                "repairs": self.repairs,
             }

@@ -105,6 +105,16 @@ class VectorSpaceModel:
     def __len__(self) -> int:
         return self._matrix.shape[0]
 
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The L2-row-normalized TF-IDF matrix (treat as immutable)."""
+        return self._matrix
+
+    @property
+    def scorer(self) -> PostingsScorer:
+        """The postings-driven candidate scorer built over the matrix."""
+        return self._scorer
+
     def _unit_query(
         self, query_tokens: list[str]
     ) -> tuple[list[int], np.ndarray] | None:

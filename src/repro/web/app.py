@@ -12,6 +12,10 @@ Routes (mirroring the artifact's web UI):
 * ``GET /api/query?q=...`` — JSON answers for programmatic use;
 * ``POST /api/batch`` — many queries answered in one request under a
   single deadline budget (JSON body ``{"queries": [...]}``);
+* ``POST /api/extend`` — streaming ingestion: analyze a new guide
+  (JSON body ``{"text": ..., "title": ...?, "refit": ...?}``), seal
+  its advising sentences as a fresh index segment and publish the
+  extended advisor without interrupting readers;
 * ``POST /api/reload`` — swap in the advisor of the latest good
   snapshot without dropping in-flight queries (requires a configured
   snapshot store);
@@ -71,6 +75,7 @@ from repro.core.config import (
 )
 from repro.core.persistence import PersistenceError
 from repro.core.render import render_answer, render_summary
+from repro.docs.document import Document
 from repro.resilience.faults import active_injector
 from repro.resilience.policy import Deadline, DeadlineExceeded
 
@@ -205,6 +210,7 @@ class AdvisorApp:
             "body_read_errors",
             "batch_queries",
             "reloads",
+            "extends",
         ))
         self.status_counters = ThreadSafeCounters(extensible=True)
 
@@ -310,6 +316,8 @@ class AdvisorApp:
                                     deadline)
             if path == "/api/reload" and method == "POST":
                 return self._api_reload(start_response)
+            if path == "/api/extend" and method == "POST":
+                return self._api_extend(advisor, environ, start_response)
             if path == "/health" and method == "GET":
                 return self._respond(start_response, '{"status": "ok"}',
                                      content_type="application/json")
@@ -392,6 +400,49 @@ class AdvisorApp:
                 "snapshot_version": report.version,
                 "recovered": report.recovered,
                 "generation": generation,
+            }),
+            content_type="application/json")
+
+    def _api_extend(self, advisor, environ, start_response):
+        """Streaming ingestion: fold a new guide into the advisor.
+
+        Body: ``{"text": ..., "title": str?, "refit": bool?}``.  The
+        new document's advising sentences are sealed as one immutable
+        index segment (``refit=True`` forces the rebuild-the-world
+        path), so readers keep serving from their captured index until
+        the extended one is published.
+        """
+        body = self._read_body(environ)
+        try:
+            payload = json.loads(body.decode("utf-8", errors="replace"))
+        except ValueError:
+            raise HTTPError("400 Bad Request", "malformed JSON body")
+        if not isinstance(payload, dict):
+            raise HTTPError("400 Bad Request",
+                            "body must be a JSON object")
+        text = payload.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise HTTPError("400 Bad Request",
+                            "'text' must be a non-empty string")
+        title = payload.get("title")
+        if title is not None and not isinstance(title, str):
+            raise HTTPError("400 Bad Request", "'title' must be a string")
+        refit = payload.get("refit", False)
+        if not isinstance(refit, bool):
+            raise HTTPError("400 Bad Request", "'refit' must be a boolean")
+        document = Document.from_text(text, title=title or "Extension")
+        added = advisor.extend(document, refit=refit)
+        self.counters.increment("extends")
+        index = advisor.recommender.index
+        return self._respond(
+            start_response,
+            json.dumps({
+                "status": "extended",
+                "added": added,
+                "refit": refit,
+                "generation": advisor.generation,
+                "segments": index.n_segments,
+                "advising_sentences": len(advisor.advising_sentences),
             }),
             content_type="application/json")
 

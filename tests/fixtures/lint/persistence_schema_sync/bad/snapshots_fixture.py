@@ -1,0 +1,25 @@
+# egeria: module=repro.core.snapshots
+"""Bad: save() records a per-file checksum the module never checks."""
+import json
+
+
+def save(store, payload):
+    manifest = {
+        "format": 2,
+        "payload": "advisor.json",
+        "files": [{"name": "advisor.json",
+                   "checksum": store.digest(payload)}],
+    }
+    manifest["version"] = store.next_version()
+    return json.dumps(manifest)
+
+
+def load(store, manifest):
+    # "checksum" is written above but never verified here: corruption
+    # would load silently
+    if manifest.get("format") != 2:
+        raise ValueError("unsupported manifest")
+    version = manifest["version"]
+    for entry in manifest["files"]:
+        store.read(entry["name"])
+    return manifest.get("payload"), version

@@ -1,0 +1,22 @@
+# egeria: module=repro.core.snapshots
+"""Good: every manifest key save() writes is read by load/verify."""
+import json
+
+
+def save(store, payload):
+    manifest = {
+        "format": 2,
+        "payload": "advisor.json",
+        "files": [{"name": "advisor.json", "bytes": len(payload)}],
+    }
+    manifest["version"] = store.next_version()
+    return json.dumps(manifest)
+
+
+def load(store, manifest):
+    if manifest.get("format") != 2:
+        raise ValueError("unsupported manifest")
+    version = manifest["version"]
+    for entry in manifest["files"]:
+        store.read(entry["name"], entry.pop("bytes"))
+    return manifest.get("payload"), version

@@ -116,3 +116,70 @@ class TestReport:
         report = tmp_path / "report.txt"
         report.write_text("nothing here\n", encoding="utf-8")
         assert main(["report", md_guide, str(report)]) == 1
+
+
+class TestSegmentFlags:
+    def test_flags_parse(self) -> None:
+        args = build_parser().parse_args(
+            ["--segment-target-size", "64", "--compaction-ratio", "3",
+             "--no-compaction", "build", "g.md"])
+        assert args.segment_target_size == 64
+        assert args.compaction_ratio == 3
+        assert args.no_compaction is True
+
+    def test_flags_reach_the_advisor(self, md_guide, capsys) -> None:
+        from repro.cli import _build_egeria
+
+        args = build_parser().parse_args(
+            ["--segment-target-size", "64", "--compaction-ratio", "3",
+             "--no-compaction", "build", md_guide])
+        egeria = _build_egeria(args)
+        assert egeria.segment_target_size == 64
+        assert egeria.compaction_ratio == 3
+        assert egeria.auto_compaction is False
+
+
+class TestSnapshotsVerify:
+    def _seed_store(self, tmp_path):
+        from repro import Document, Egeria
+        from repro.core.snapshots import SnapshotStore
+
+        advisor = Egeria().build_advisor(Document.from_sentences(
+            ["Use shared memory tiles for reuse.",
+             "Avoid divergent branches in warps."],
+            title="CLI Guide"))
+        advisor.auto_compaction = False
+        advisor.extend(Document.from_sentences(
+            ["Use pinned memory for frequent transfers."],
+            title="Extension"))
+        store = SnapshotStore(str(tmp_path / "snaps"))
+        store.save(advisor)
+        return store
+
+    def test_verify_ok_prints_no_detail(self, tmp_path, capsys) -> None:
+        store = self._seed_store(tmp_path)
+        assert main(["snapshots", "verify", store.root]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot-1: ok" in out
+        assert "expected" not in out
+
+    def test_verify_names_corrupt_file_and_checksums(
+            self, tmp_path, capsys) -> None:
+        import hashlib
+        import os
+
+        store = self._seed_store(tmp_path)
+        path = os.path.join(store.root, "snapshot-1", "segment-0.json")
+        with open(path, "rb") as handle:
+            original = handle.read()
+        tampered = original.replace(b"advising", b"advizing", 1)
+        assert len(tampered) == len(original)   # checksum path, not size
+        with open(path, "wb") as handle:
+            handle.write(tampered)
+        assert main(["snapshots", "verify", store.root]) == 1
+        out = capsys.readouterr().out
+        assert "snapshot-1: CORRUPT" in out
+        assert (f"segment-0.json: "
+                f"expected sha256:{hashlib.sha256(original).hexdigest()}, "
+                f"actual sha256:{hashlib.sha256(tampered).hexdigest()}") \
+            in out

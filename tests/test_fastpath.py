@@ -184,18 +184,78 @@ class TestQueryCache:
         assert [(r.sentence.index, r.score) for r in limited] == \
             [(r.sentence.index, r.score) for r in full[:3]]
 
-    def test_extend_invalidates_via_rebuild(self) -> None:
+    def test_warm_cache_survives_extend(self) -> None:
+        # the PR 4 wholesale flush is gone: sealing a segment keeps
+        # every warm entry, and a post-extend hit is *repaired* (only
+        # the new segment's rows are scored and merged) — bit-identical
+        # to recomputing against the extended index from scratch
         from repro.core.egeria import Egeria
 
+        # every term of this query is already in the seed vocabulary,
+        # so the extension below cannot change its query vector
+        query = "coalesce global memory"
         sentences = synthetic_sentences(40)
         advisor = Egeria().build_advisor(Document.from_sentences(sentences))
-        advisor.query("optimize warp divergence")
+        advisor.auto_compaction = False
+        advisor.query(query)
         old_recommender = advisor.recommender
         advisor.extend(Document.from_sentences(synthetic_sentences(10,
                                                                    seed=5)))
         assert advisor.recommender is not old_recommender
+        # same cache object, entry still warm
+        assert advisor.recommender.cache is old_recommender.cache
         stats = advisor.recommender.cache_stats()
-        assert stats["entries"] == 0 and stats["hits"] == 0
+        assert stats["entries"] > 0
+        assert stats["invalidations_wholesale"] == 0
+        repaired = advisor.query(query)
+        stats = advisor.recommender.cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["repairs"] >= 1
+        advisor.recommender.clear_cache()
+        recomputed = advisor.query(query)
+        assert_bit_identical(
+            [(r.sentence.index, r.score) for r in repaired.recommendations],
+            [(r.sentence.index, r.score)
+             for r in recomputed.recommendations])
+        assert [r.matched_terms for r in repaired.recommendations] == \
+            [r.matched_terms for r in recomputed.recommendations]
+
+    def test_query_term_entering_vocabulary_drops_only_its_entry(
+            self) -> None:
+        # "diverg" is absent from the seed corpus but present in the
+        # extension: its cached query vector is stale, so that one
+        # entry is rejected (counted as a segment invalidation) while
+        # other warm entries survive untouched
+        from repro.core.egeria import Egeria
+
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(synthetic_sentences(40)))
+        advisor.auto_compaction = False
+        advisor.query("optimize warp divergence")
+        advisor.query("coalesce global memory")
+        advisor.extend(Document.from_sentences(synthetic_sentences(10,
+                                                                   seed=5)))
+        advisor.query("optimize warp divergence")
+        stats = advisor.recommender.cache_stats()
+        assert stats["invalidations_segment"] == 1
+        assert stats["invalidations_wholesale"] == 0
+        assert stats["entries"] == 2
+
+    def test_refit_flushes_wholesale(self) -> None:
+        # a forced refit is the one event that rewrites weights, so it
+        # must flush the shared cache and count a wholesale invalidation
+        from repro.core.egeria import Egeria
+
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(synthetic_sentences(40)))
+        advisor.auto_compaction = False
+        advisor.query("optimize warp divergence")
+        advisor.extend(Document.from_sentences(synthetic_sentences(10,
+                                                                   seed=5)),
+                       refit=True)
+        stats = advisor.recommender.cache_stats()
+        assert stats["entries"] == 0
+        assert stats["invalidations_wholesale"] == 1
 
 
 class TestLRUQueryCache:

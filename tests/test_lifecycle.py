@@ -73,6 +73,9 @@ class TestAtomicIndexSwap:
         repeatedly; every observed index handle must be internally
         consistent (generation and sentence count move together)."""
         advisor = _advisor()
+        # background compaction also publishes generations; keep this
+        # test's generation→count ledger driven by extend() alone
+        advisor.auto_compaction = False
         # generation → expected advising-sentence count, filled in by
         # the writer as each extend() publishes
         expected = {advisor.generation: len(advisor.advising_sentences)}

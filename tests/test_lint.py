@@ -106,6 +106,20 @@ class TestRuleFixtures:
         assert "'stems'" in messages            # dropped by from_lexical
         assert "'selector_provenance'" in messages   # written, never read
 
+    def test_snapshot_manifest_drift_is_flagged(self) -> None:
+        """A manifest field save() writes but load/verify never reads
+        (here: an unchecked per-file checksum) is named precisely."""
+        result = lint_dir(FIXTURES / "persistence_schema_sync" / "bad")
+        snapshot_messages = [
+            v.message for v in result.violations
+            if "snapshot save()" in v.message]
+        assert any("'checksum'" in m for m in snapshot_messages)
+        # keys that ARE consumed (format via .get, version via
+        # subscript, bytes via .pop in the good fixture) stay quiet
+        good = lint_dir(FIXTURES / "persistence_schema_sync" / "good")
+        assert [v for v in good.violations
+                if "snapshot" in v.message] == []
+
 
 class TestSuppression:
     def test_unsuppressed_fixture_fails(self) -> None:

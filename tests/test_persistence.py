@@ -68,8 +68,9 @@ class TestRoundTrip:
         path = tmp_path / "a.json"
         save_advisor(tool, str(path))
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         assert "advising_sentence_indices" in payload
+        assert payload["index"]["segments"]
 
     def test_version_check(self) -> None:
         tool = build_tool()
@@ -106,8 +107,9 @@ class TestFormatV2:
         assert restored.annotations is None
         assert restored.query("reduce memory traffic").found
 
-    def test_v1_to_v2_round_trip(self, tmp_path) -> None:
-        """Load a v1 file, re-save it, and get a fully valid v2 file."""
+    def test_v1_to_current_round_trip(self, tmp_path) -> None:
+        """Load a v1 file, re-save it, and get a fully valid current
+        (v3) file."""
         tool = build_tool()
         legacy = tmp_path / "legacy.json"
         legacy.write_text(
@@ -116,7 +118,7 @@ class TestFormatV2:
         upgraded = tmp_path / "upgraded.json"
         save_advisor(load_advisor(str(legacy)), str(upgraded))
         payload = json.loads(upgraded.read_text(encoding="utf-8"))
-        assert payload["format_version"] == 2
+        assert payload["format_version"] == 3
         restored = load_advisor(str(upgraded))
         assert restored.query("reduce memory traffic").found
 

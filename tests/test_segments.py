@@ -1,0 +1,266 @@
+"""Segmented-index tests: bit-identity across random growth and
+compaction schedules (DESIGN.md §12).
+
+The contract under test: however a corpus is split into sealed
+segments, and whatever sequence of tiered merges compaction applies,
+``SegmentedIndex`` answers every query bit-identically to a
+monolithic index over the same rows — and a full refit
+(``compact(full=True)``) answers exactly like an advisor built from
+scratch over the merged corpus.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.advisor import AdvisingTool
+from repro.docs.document import Document
+from repro.retrieval.bench_fixtures import TOPICS
+from repro.retrieval.segments import (
+    IndexSegment,
+    SegmentedIndex,
+    grow_tfidf,
+    plan_compaction,
+    segment_tier,
+)
+from repro.retrieval.tfidf import TfidfModel
+from repro.retrieval.vsm import VectorSpaceModel
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def assert_rows_bit_identical(left, right):
+    assert len(left) == len(right)
+    for (i1, s1), (i2, s2) in zip(left, right):
+        assert i1 == i2
+        assert bits(s1) == bits(s2)
+
+
+WORDS = st.sampled_from(sorted({w for topic in TOPICS for w in topic}))
+TERMS = st.lists(WORDS, min_size=1, max_size=8)
+CORPUS = st.lists(TERMS, min_size=2, max_size=30)
+
+
+def _split(term_lists, cut_points):
+    """Split *term_lists* into contiguous non-empty batches at the
+    (deduplicated, sorted) cut points."""
+    cuts = sorted({c % len(term_lists) for c in cut_points} - {0})
+    bounds = [0, *cuts, len(term_lists)]
+    return [term_lists[a:b] for a, b in zip(bounds, bounds[1:])
+            if term_lists[a:b]]
+
+
+def _grown_index(batches, threshold=0.15):
+    """Replay *batches* through the incremental write path: fit on the
+    first batch, grow-and-seal for each later one."""
+    tfidf = TfidfModel(batches[0])
+    index = SegmentedIndex(tfidf, (), threshold).with_sealed(
+        batches[0], tfidf)
+    for batch in batches[1:]:
+        tfidf = grow_tfidf(tfidf, batch)
+        index = index.with_sealed(batch, tfidf)
+    return index
+
+
+def _apply_merges(index, merge_seed):
+    """Apply a random-but-valid sequence of merges drawn from the
+    seed, interleaving policy-driven and arbitrary adjacent merges."""
+    for value in merge_seed:
+        if index.n_segments <= 1:
+            break
+        plan = plan_compaction(index.segment_sizes, target_size=2,
+                               ratio=2)
+        if value % 2 == 0 and plan is not None:
+            index = index.merged(*plan)
+        else:
+            start = value % (index.n_segments - 1)
+            index = index.merged(start, start + 2)
+    return index
+
+
+class TestSegmentedBitIdentity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        corpus=CORPUS,
+        cut_points=st.lists(st.integers(min_value=0, max_value=1000),
+                            max_size=5),
+        merge_seed=st.lists(st.integers(min_value=0, max_value=1000),
+                            max_size=6),
+        query=st.lists(WORDS, min_size=1, max_size=5),
+        threshold=st.sampled_from((0.05, 0.15, 0.5)),
+    )
+    def test_random_splits_and_merges_match_monolithic(
+            self, corpus, cut_points, merge_seed, query,
+            threshold) -> None:
+        batches = _split(corpus, cut_points)
+        index = _grown_index(batches, threshold)
+        index = _apply_merges(index, merge_seed)
+        assert len(index) == len(corpus)
+
+        # the monolithic reference: every row weighted under the same
+        # final grown model, in one matrix
+        mono = VectorSpaceModel(list(corpus), tfidf=index.tfidf)
+        reference = SegmentedIndex(
+            index.tfidf,
+            (IndexSegment(0, mono.matrix, mono.scorer),),
+            threshold)
+
+        for prune in (True, False):
+            assert_rows_bit_identical(
+                index.query_tokens(list(query), prune=prune),
+                reference.query_tokens(list(query), prune=prune))
+        for limit in (0, 1, 3):
+            assert index.query_tokens(list(query), limit=limit) == \
+                reference.query_tokens(list(query), limit=limit)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        corpus=CORPUS,
+        cut_points=st.lists(st.integers(min_value=0, max_value=1000),
+                            max_size=5),
+        query=st.lists(WORDS, min_size=1, max_size=5),
+    )
+    def test_merging_never_changes_scores(self, corpus, cut_points,
+                                          query) -> None:
+        """Any single adjacent merge is structural: scores survive bit
+        for bit, only the segment count drops."""
+        batches = _split(corpus, cut_points)
+        index = _grown_index(batches)
+        before = index.query_tokens(list(query))
+        while index.n_segments > 1:
+            index = index.merged(0, 2)
+            assert_rows_bit_identical(index.query_tokens(list(query)),
+                                      before)
+        assert index.n_segments == 1
+
+
+class TestMergePolicy:
+    def test_tier_boundaries(self) -> None:
+        assert segment_tier(1, 256, 4) == 0
+        assert segment_tier(256, 256, 4) == 0
+        assert segment_tier(257, 256, 4) == 1
+        assert segment_tier(1024, 256, 4) == 1
+        assert segment_tier(1025, 256, 4) == 2
+
+    def test_plan_picks_earliest_full_run(self) -> None:
+        assert plan_compaction([1, 1, 1, 1], 256, 4) == (0, 4)
+        assert plan_compaction([2000, 1, 1, 1, 1], 256, 4) == (1, 5)
+
+    def test_no_plan_when_compact(self) -> None:
+        assert plan_compaction([], 256, 4) is None
+        assert plan_compaction([1, 1, 1], 256, 4) is None
+        assert plan_compaction([2000, 1, 1, 1], 256, 4) is None
+
+    def test_run_must_share_a_tier(self) -> None:
+        # tiers 0,0,1,0 — no run of 2 until the two tier-0 neighbours
+        assert plan_compaction([1, 300, 1], 256, 2) is None
+        assert plan_compaction([1, 1, 300], 256, 2) == (0, 2)
+
+    def test_cascade_rolls_up(self) -> None:
+        """Repeated application collapses many flushes Lucene-style."""
+        sizes = [10] * 8
+        merges = 0
+        while (plan := plan_compaction(sizes, 16, 2)) is not None:
+            start, stop = plan
+            sizes[start:stop] = [sum(sizes[start:stop])]
+            merges += 1
+        assert sizes == [80]
+        assert merges == 7
+
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ValueError):
+            plan_compaction([1], 0, 4)
+        with pytest.raises(ValueError):
+            plan_compaction([1], 256, 1)
+
+
+class _StubResult:
+    __slots__ = ("sentence",)
+    is_advising = True
+    selector = "keyword"
+    events = ()
+    quarantined = False
+    matches = None
+
+    def __init__(self, sentence) -> None:
+        self.sentence = sentence
+
+
+class _StubRecognizer:
+    last_annotations = None
+
+    def recognize(self, document):
+        return [_StubResult(s) for s in document.iter_sentences()]
+
+
+def _advisor(sentences) -> AdvisingTool:
+    document = Document.from_sentences(sentences, title="Segments")
+    return AdvisingTool(document, list(document.iter_sentences()),
+                        auto_compaction=False)
+
+
+def _signature(advisor, queries):
+    return [[(r.sentence.index, bits(r.score), r.matched_terms)
+             for r in advisor.recommender.recommend(q)]
+            for q in queries]
+
+
+SENTENCE = st.lists(WORDS, min_size=1, max_size=8).map(" ".join)
+
+
+class TestFullCompactionParity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        base=st.lists(SENTENCE, min_size=2, max_size=12),
+        extensions=st.lists(
+            st.lists(SENTENCE, min_size=1, max_size=6),
+            min_size=1, max_size=3),
+        queries=st.lists(st.lists(WORDS, min_size=1, max_size=4)
+                         .map(" ".join), min_size=1, max_size=4),
+    )
+    def test_refit_matches_from_scratch_build(
+            self, base, extensions, queries) -> None:
+        """extend* -> compact(full=True) answers exactly like an
+        advisor built from scratch over the concatenated corpus."""
+        advisor = _advisor(base)
+        recognizer = _StubRecognizer()
+        for position, batch in enumerate(extensions):
+            advisor.extend(
+                Document.from_sentences(batch, title=f"ext-{position}"),
+                recognizer=recognizer)
+        assert advisor.compact(full=True) == "refitted"
+        fresh = _advisor([t for batch in [base, *extensions]
+                          for t in batch])
+        assert _signature(advisor, queries) == _signature(fresh, queries)
+        assert advisor.recommender.index.n_segments == 1
+
+    def test_tiered_compaction_is_invisible_to_answers(self) -> None:
+        # base large enough that the staleness rule (stale_docs >=
+        # fit_docs) stays quiet: only structural merges may run here
+        advisor = _advisor(["coalesce global memory access",
+                            "tile shared memory reuse"] +
+                           [f"pad array bank {i} conflict"
+                            for i in range(10)])
+        recognizer = _StubRecognizer()
+        for position in range(5):
+            advisor.extend(
+                Document.from_sentences(
+                    [f"overlap stream {position} transfer compute",
+                     "avoid warp divergence branch"],
+                    title=f"ext-{position}"),
+                recognizer=recognizer)
+        queries = ["memory access", "warp divergence", "stream overlap"]
+        before = _signature(advisor, queries)
+        advisor.recommender.clear_cache()
+        while advisor.compact() == "merged":
+            pass
+        assert advisor.recommender.index.n_segments < 6
+        assert _signature(advisor, queries) == before
+        stats = advisor.compaction_stats()
+        assert stats["merges"] >= 1

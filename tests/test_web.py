@@ -227,6 +227,66 @@ class TestApiBatch:
         assert status == "404 Not Found"
 
 
+class TestApiExtend:
+    @staticmethod
+    def post(app, payload, **kwargs):
+        body = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode("utf-8"))
+        return call(app, method="POST", path="/api/extend", body=body,
+                    content_type="application/json", **kwargs)
+
+    def _fresh_app(self) -> AdvisorApp:
+        advisor = Egeria().build_advisor(
+            Document.from_sentences(SENTENCES, title="Extend Guide"))
+        advisor.auto_compaction = False   # deterministic segment count
+        return AdvisorApp(advisor)
+
+    def test_extend_seals_a_segment_and_serves_it(self) -> None:
+        app = self._fresh_app()
+        status, headers, body = self.post(app, {
+            "text": "Use pinned memory to accelerate host transfers.",
+            "title": "Streaming Update"})
+        assert status == "200 OK"
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "extended"
+        assert payload["added"] == 1
+        assert payload["segments"] == 2
+        assert payload["generation"] == 1
+        assert app.counters["extends"] == 1
+        # the new sentence answers queries immediately
+        _, _, answer = call(app, path="/api/query",
+                            query="q=pinned+memory+transfers")
+        assert "pinned memory" in answer
+        # and shows up in the index health block
+        _, _, health = call(app, path="/healthz")
+        assert json.loads(health)["index"]["segments"] == 2
+
+    def test_refit_collapses_segments(self) -> None:
+        app = self._fresh_app()
+        self.post(app, {"text": "Use streams to overlap transfers."})
+        status, _, body = self.post(app, {
+            "text": "Prefer warp-level primitives for reductions.",
+            "refit": True})
+        assert status == "200 OK"
+        assert json.loads(body)["segments"] == 1
+
+    def test_bad_bodies_are_400(self) -> None:
+        app = self._fresh_app()
+        for payload in ({}, {"text": ""}, {"text": 3},
+                        {"text": "ok", "title": 7},
+                        {"text": "ok", "refit": "yes"},
+                        ["not", "a", "dict"]):
+            status, _, _ = self.post(app, payload)
+            assert status == "400 Bad Request", payload
+        status, _, _ = self.post(app, b"{not json")
+        assert status == "400 Bad Request"
+
+    def test_get_not_allowed(self, app) -> None:
+        status, _, _ = call(app, path="/api/extend")
+        assert status == "404 Not Found"
+
+
 class TestUpload:
     def test_pdf_body(self, app) -> None:
         pdf = report_to_pdf(case_study_report())

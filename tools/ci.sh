@@ -53,3 +53,9 @@ echo "== build perf smoke + regression gate (lazy vs eager) =="
     --output benchmarks/out/BENCH_build_quick.json
 "$PYTHON" tools/perf_gate.py --section build \
     --results benchmarks/out/BENCH_build_quick.json
+
+echo "== incremental ingest smoke + regression gate (segment vs rebuild) =="
+"$PYTHON" benchmarks/bench_incremental.py --quick \
+    --output benchmarks/out/BENCH_incremental_quick.json
+"$PYTHON" tools/perf_gate.py --section incremental \
+    --results benchmarks/out/BENCH_incremental_quick.json

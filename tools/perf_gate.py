@@ -53,19 +53,20 @@ def evaluate(results: dict, budget: dict,
             failures.append(
                 f"size {size}: output identity violated — the compared "
                 f"paths produced different results")
-        for path, budget_p50 in size_budget.get("p50_ms", {}).items():
-            stats = entry.get("paths", {}).get(path)
-            if stats is None:
-                failures.append(
-                    f"size {size}: path {path!r} missing from results")
-                continue
-            checked += 1
-            allowed = budget_p50 * factor
-            if stats["p50_ms"] > allowed:
-                failures.append(
-                    f"size {size}: {path} p50 {stats['p50_ms']:.3f}ms "
-                    f"exceeds {allowed:.3f}ms "
-                    f"(budget {budget_p50}ms x factor {factor})")
+        for stat in ("p50_ms", "p95_ms"):
+            for path, budget_value in size_budget.get(stat, {}).items():
+                stats = entry.get("paths", {}).get(path)
+                if stats is None:
+                    failures.append(
+                        f"size {size}: path {path!r} missing from results")
+                    continue
+                checked += 1
+                allowed = budget_value * factor
+                if stats[stat] > allowed:
+                    failures.append(
+                        f"size {size}: {path} {stat[:3]} "
+                        f"{stats[stat]:.3f}ms exceeds {allowed:.3f}ms "
+                        f"(budget {budget_value}ms x factor {factor})")
         for name, minimum in size_budget.get("min_speedups", {}).items():
             measured = entry.get("speedups", {}).get(name)
             checked += 1
