@@ -11,10 +11,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# egeria-lint: AST-level invariant checks (see DESIGN.md §8); violations
-# not in tools/lint_baseline.json fail the build
+# egeria-lint: AST + flow-aware invariant checks (DESIGN.md §8/§13);
+# violations not in tools/lint_baseline.json fail the build
 lint:
-	$(PYTHON) tools/lint.py src/
+	$(PYTHON) tools/lint.py src/ benchmarks/ tools/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -142,6 +142,7 @@ class AdvisingTool:
         #: answer-time degradations accumulated across queries; guarded
         #: by ``_answer_lock`` — the threading WSGI server answers many
         #: queries concurrently over one shared advisor
+        # egeria: guarded-by[self._answer_lock]
         self.answer_events: list[DegradationEvent] = []
         self._answer_lock = threading.Lock()
         #: serializes index writers (``extend``, snapshot saves via
@@ -163,7 +164,9 @@ class AdvisingTool:
         self.compaction_ratio = compaction_ratio
         self.auto_compaction = auto_compaction
         self._compaction_lock = threading.Lock()
+        # egeria: guarded-by[self._compaction_lock]
         self._compaction_stats = {"merges": 0, "refits": 0, "aborted": 0}
+        # egeria: guarded-by[self._compaction_lock]
         self._compaction_thread: threading.Thread | None = None
         if index_layout is None:
             recommender = KnowledgeRecommender(
@@ -173,6 +176,8 @@ class AdvisingTool:
             recommender = self._replay_layout(
                 index_layout, list(advising_sentences), document,
                 threshold, annotations)
+        # egeria: guarded-by[self._reload_lock] — writers swap the
+        # frozen handle under the lock; readers snapshot it lock-free
         self._index = _IndexState(
             advising=tuple(advising_sentences),
             recommender=recommender,

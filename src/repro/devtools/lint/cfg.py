@@ -1,0 +1,293 @@
+"""Intraprocedural control-flow graphs over ``ast`` function bodies.
+
+The flow-aware concurrency rules (DESIGN.md §13) need to know, at each
+program point, which locks are *definitely* held — a property that a
+per-node AST visitor cannot answer the moment control flow branches.
+This module lowers one function body into a lightweight CFG the
+held-locks dataflow of :mod:`repro.devtools.lint.dataflow` runs over.
+
+Shape
+-----
+A :class:`CFG` is a list of :class:`Block`\\ s connected by successor
+edges.  Each block holds an ordered list of :class:`Step`\\ s — atomic
+program points.  Most steps are plain statements (``kind="stmt"``);
+``with`` statements are desugared into explicit ``with-enter`` /
+``with-exit`` steps around their body so a lock acquired by
+``with self._lock:`` is visibly scoped to exactly the statements the
+body executes:
+
+* an early ``return`` inside the body jumps straight to the exit
+  block, *before* the ``with-exit`` step — statements after the
+  ``with`` are only reachable through the normal fall-through path
+  where the release fires;
+* ``try``/``finally`` routes the pre-``try`` state into the
+  ``finally`` block too (an exception may fire before any ``try``
+  statement ran), so a ``release()`` in a ``finally`` is met with
+  every state it can actually observe.
+
+Approximations (deliberate, documented):
+
+* ``raise`` edges go to the function exit, not to enclosing handlers —
+  a handler is instead seeded from both the state *entering* its
+  ``try`` block and the state at the end of it, the meet of which
+  under-approximates held locks (safe for a must-hold analysis);
+* loops conservatively get a head→after edge even for ``while True``;
+* nested function/class definitions are single opaque statements
+  (the analysis is intraprocedural; rules visit nested functions
+  separately).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: step kinds
+STMT = "stmt"
+WITH_ENTER = "with-enter"
+WITH_EXIT = "with-exit"
+
+#: compound statements whose bodies become separate blocks; their step
+#: covers only the header expression(s) listed by :func:`header_exprs`
+_COMPOUND = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.With,
+             ast.AsyncWith, ast.Try, ast.TryStar, ast.Match)
+
+
+@dataclass
+class Step:
+    """One atomic program point inside a block."""
+
+    node: ast.AST              #: anchoring AST node (linenos, identity)
+    kind: str = STMT           #: STMT, WITH_ENTER or WITH_EXIT
+    context: ast.expr | None = None  #: with-enter/exit: the ctx manager
+
+
+@dataclass
+class Block:
+    """A straight-line run of steps with a set of successor blocks."""
+
+    index: int
+    steps: list[Step] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._new_block().index
+        self.exit = self._new_block().index
+
+    def _new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> dict[int, set[int]]:
+        preds: dict[int, set[int]] = {b.index: set() for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].add(block.index)
+        return preds
+
+
+def header_exprs(node: ast.stmt) -> list[ast.AST]:
+    """The sub-expressions a compound statement's own step evaluates
+    (its body statements are separate steps in separate blocks)."""
+    if isinstance(node, (ast.If, ast.While)):
+        return [node.test]
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter, node.target]
+    if isinstance(node, ast.Match):
+        return [node.subject]
+    return []
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower *func*'s body into a :class:`CFG`."""
+    return _Builder(func).build()
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG(func)
+        self.current: Block | None = self.cfg.blocks[self.cfg.entry]
+        #: (continue target, break target) per enclosing loop
+        self.loops: list[tuple[int, int]] = []
+
+    # -- plumbing -------------------------------------------------------
+
+    def build(self) -> CFG:
+        self._lower_body(self.cfg.func.body)
+        if self.current is not None:
+            self._edge(self.current, self.cfg.exit)
+        return self.cfg
+
+    def _edge(self, src: Block, dst: int) -> None:
+        src.successors.add(dst)
+
+    def _block(self) -> Block:
+        return self.cfg._new_block()
+
+    def _emit(self, step: Step) -> None:
+        if self.current is None:
+            # unreachable code still gets a (predecessor-less) block so
+            # every statement owns a program point
+            self.current = self._block()
+        self.current.steps.append(step)
+
+    def _join(self, ends: list[Block | None]) -> None:
+        """Continue in a fresh block fed by every non-dead *end*."""
+        live = [end for end in ends if end is not None]
+        if not live:
+            self.current = None
+            return
+        after = self._block()
+        for end in live:
+            self._edge(end, after.index)
+        self.current = after
+
+    # -- statement lowering ---------------------------------------------
+
+    def _lower_body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._lower(stmt)
+
+    def _lower(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._lower_if(node)
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            self._lower_loop(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._lower_with(node)
+        elif isinstance(node, (ast.Try, ast.TryStar)):
+            self._lower_try(node)
+        elif isinstance(node, ast.Match):
+            self._lower_match(node)
+        elif isinstance(node, (ast.Return, ast.Raise)):
+            self._emit(Step(node))
+            if self.current is not None:
+                self._edge(self.current, self.cfg.exit)
+            self.current = None
+        elif isinstance(node, ast.Break):
+            self._emit(Step(node))
+            if self.loops and self.current is not None:
+                self._edge(self.current, self.loops[-1][1])
+            self.current = None
+        elif isinstance(node, ast.Continue):
+            self._emit(Step(node))
+            if self.loops and self.current is not None:
+                self._edge(self.current, self.loops[-1][0])
+            self.current = None
+        else:
+            # simple statements — including nested function/class
+            # definitions, which stay opaque single steps
+            self._emit(Step(node))
+
+    def _lower_if(self, node: ast.If) -> None:
+        self._emit(Step(node))
+        cond = self.current
+        assert_block = self._block()
+        self._edge(cond, assert_block.index)
+        self.current = assert_block
+        self._lower_body(node.body)
+        then_end = self.current
+        if node.orelse:
+            else_block = self._block()
+            self._edge(cond, else_block.index)
+            self.current = else_block
+            self._lower_body(node.orelse)
+            self._join([then_end, self.current])
+        else:
+            self._join([then_end, cond])
+
+    def _lower_loop(self, node: ast.While | ast.For | ast.AsyncFor) -> None:
+        head = self._block()
+        if self.current is not None:
+            self._edge(self.current, head.index)
+        self.current = head
+        self._emit(Step(node))
+        head = self.current        # (still the head; _emit never splits)
+        body = self._block()
+        after = self._block()
+        self._edge(head, body.index)
+        self.loops.append((head.index, after.index))
+        self.current = body
+        self._lower_body(node.body)
+        if self.current is not None:
+            self._edge(self.current, head.index)
+        self.loops.pop()
+        if node.orelse:
+            else_block = self._block()
+            self._edge(head, else_block.index)
+            self.current = else_block
+            self._lower_body(node.orelse)
+            if self.current is not None:
+                self._edge(self.current, after.index)
+        else:
+            # conservative: even `while True` gets a fall-through edge
+            self._edge(head, after.index)
+        self.current = after
+
+    def _lower_with(self, node: ast.With | ast.AsyncWith) -> None:
+        for item in node.items:
+            self._emit(Step(item.context_expr, WITH_ENTER,
+                            context=item.context_expr))
+        self._lower_body(node.body)
+        if self.current is not None:
+            # only the normal fall-through path releases here; early
+            # exits left the region via their own edges already
+            for item in reversed(node.items):
+                self._emit(Step(node, WITH_EXIT,
+                                context=item.context_expr))
+
+    def _lower_try(self, node: ast.Try | ast.TryStar) -> None:
+        if self.current is None:
+            self.current = self._block()
+        pre = self.current
+        try_entry = self._block()
+        self._edge(pre, try_entry.index)
+        self.current = try_entry
+        self._lower_body(node.body)
+        try_end = self.current
+        handler_ends: list[Block | None] = []
+        for handler in node.handlers:
+            handler_block = self._block()
+            # an exception may fire before any try statement ran, or
+            # after all of them — seed the handler from both states
+            self._edge(try_entry, handler_block.index)
+            if try_end is not None:
+                self._edge(try_end, handler_block.index)
+            self.current = handler_block
+            self._lower_body(handler.body)
+            handler_ends.append(self.current)
+        else_end = try_end
+        if node.orelse and try_end is not None:
+            self.current = try_end
+            self._lower_body(node.orelse)
+            else_end = self.current
+        if node.finalbody:
+            final_block = self._block()
+            self._edge(try_entry, final_block.index)  # uncaught path
+            for end in [else_end, *handler_ends]:
+                if end is not None:
+                    self._edge(end, final_block.index)
+            self.current = final_block
+            self._lower_body(node.finalbody)
+            self._join([self.current])
+        else:
+            self._join([else_end, *handler_ends])
+
+    def _lower_match(self, node: ast.Match) -> None:
+        self._emit(Step(node))
+        head = self.current
+        ends: list[Block | None] = [head]   # no case may match
+        for case in node.cases:
+            case_block = self._block()
+            self._edge(head, case_block.index)
+            self.current = case_block
+            self._lower_body(case.body)
+            ends.append(self.current)
+        self._join(ends)

@@ -1,0 +1,351 @@
+"""Project-wide concurrency registries shared by the flow-aware rules.
+
+Three cross-file harvests feed the concurrency rule family
+(DESIGN.md §13), assembled once per lint pass and cached on the
+:class:`~repro.devtools.lint.engine.Project`:
+
+* **lock registry** — every ``threading.Lock()`` / ``RLock()`` /
+  ``Condition()`` / ``Semaphore()`` construction, module-level or
+  ``self.attr`` in an ``__init__``, keyed by terminal name.  It powers
+  the ``is_lock`` predicate of the dataflow (so ``with self._gate:``
+  counts as a lock region even though the name never says "lock") and
+  records reentrancy, which the lock-order rule needs to tell an RLock
+  re-entry from a self-deadlock.
+
+* **guarded-by registry** — ``# egeria: guarded-by[self._lock]``
+  pragmas on attribute initializations.  The declaration is the
+  source-level contract ("writers of this attribute hold that lock");
+  the lock-discipline and unguarded-counter rules check it against
+  the dataflow facts.  Declarations are inherited by subclasses
+  (matched through base-class names project-wide).
+
+* **frozen registry** — classes that promise immutability after
+  construction: every ``@dataclass(frozen=True)`` plus any class whose
+  ``class`` line carries a ``# egeria: frozen`` pragma (for
+  ``__slots__`` classes sealed by hand, like ``IndexSegment``).
+  The frozen-state-mutation rule enforces the promise statically;
+  ``IndexSegment.__setattr__`` enforces it dynamically.
+
+The model also memoizes one :class:`FunctionFlow` per function so the
+three rules that need dataflow share a single analysis pass per
+function — the whole-tree budget is the ISSUE's <5s gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.devtools.lint.dataflow import (
+    FunctionFlow,
+    analyze_function,
+    lockish_name,
+)
+from repro.devtools.lint.engine import FileContext, Project
+
+#: threading constructors that create a lock-like object
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                  "BoundedSemaphore"}
+
+#: factories whose objects may be re-acquired by the holding thread
+#: (Condition() wraps an RLock by default)
+REENTRANT_FACTORIES = {"RLock", "Condition"}
+
+#: method calls that mutate their receiver in place
+MUTATOR_METHODS = {"append", "extend", "insert", "add", "update",
+                   "setdefault", "pop", "popitem", "remove", "discard",
+                   "clear", "move_to_end", "sort", "reverse"}
+
+_GUARD_RE = re.compile(
+    r"#\s*egeria:\s*guarded-by\[(?P<lock>[A-Za-z0-9_.]+)\]")
+_FROZEN_RE = re.compile(r"#\s*egeria:\s*frozen\b")
+
+#: value expressions that create a mutable container (whose reads can
+#: tear without the lock — the unguarded-counter rule's scope)
+_MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                  ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "defaultdict", "Counter",
+                         "OrderedDict", "deque"}
+
+
+#: methods where attribute assignment is construction, not mutation
+CONSTRUCTOR_METHODS = {"__init__", "__post_init__", "__new__",
+                       "__setstate__"}
+
+#: suffix marking helpers whose *caller* holds the lock (the existing
+#: ``SnapshotStore._gc_locked`` convention) — the intraprocedural
+#: analysis trusts the name instead of inlining the caller
+LOCKED_SUFFIX = "_locked"
+
+
+def holds(held: frozenset[str] | None, lock: str) -> bool:
+    """Does the dataflow fact *held* satisfy declared lock *lock*?
+
+    ``TOP`` (unreachable code) satisfies everything.  Matching is by
+    exact dotted name first, then by terminal name — a declaration
+    written ``self._lock`` is satisfied by ``cls._lock`` or a
+    module-level ``_LOCK`` alias of the same terminal spelling.
+    """
+    if held is None:
+        return True
+    if lock in held:
+        return True
+    term = lock.rsplit(".", 1)[-1]
+    return any(h.rsplit(".", 1)[-1] == term for h in held)
+
+
+def caller_holds_lock(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return func.name.endswith(LOCKED_SUFFIX)
+
+
+def walk_point(root: ast.AST):
+    """``ast.walk`` that never descends into a nested function, class
+    or lambda — their bodies run at *call* time, under whatever locks
+    the caller then holds, so the enclosing point's facts don't apply."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """One ``guarded-by`` declaration: attr *attr* of class
+    *class_name* is protected by lock expression *lock*."""
+
+    class_name: str
+    attr: str
+    lock: str            #: as written, e.g. ``self._answer_lock``
+    mutable: bool        #: initializer builds a mutable container
+    path: str
+    line: int
+
+
+def classes(tree: ast.AST) -> list[ast.ClassDef]:
+    return [node for node in ast.walk(tree)
+            if isinstance(node, ast.ClassDef)]
+
+
+def methods(classdef: ast.ClassDef) -> list[ast.FunctionDef
+                                            | ast.AsyncFunctionDef]:
+    return [node for node in classdef.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``self.X`` → ``"X"`` (any expression context)."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _call_factory(value: ast.AST) -> str | None:
+    """``threading.RLock()`` / ``RLock()`` → ``"RLock"``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name if name in LOCK_FACTORIES else None
+
+
+def _is_mutable_value(value: ast.AST | None) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, _MUTABLE_NODES):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _is_frozen_dataclass(classdef: ast.ClassDef) -> bool:
+    for decorator in classdef.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" and \
+                    isinstance(keyword.value, ast.Constant) and \
+                    keyword.value.value is True:
+                return True
+    return False
+
+
+class ConcurrencyModel:
+    """The harvested registries plus a per-function dataflow cache."""
+
+    def __init__(self, project: Project) -> None:
+        #: terminal lock name → factory kinds it was built with
+        self.lock_kinds: dict[str, set[str]] = {}
+        #: class name → {attr → GuardDecl}
+        self.guards: dict[str, dict[str, GuardDecl]] = {}
+        #: class name → list of base-class terminal names
+        self.bases: dict[str, list[str]] = {}
+        #: class names promising immutability after construction
+        self.frozen: set[str] = set()
+        #: class name → {attr → frozen class it always holds}
+        self.frozen_attrs: dict[str, dict[str, str]] = {}
+        self._flows: dict[int, FunctionFlow] = {}
+        for ctx in project:
+            self._harvest_file(ctx)
+        # attrs only ever assigned FrozenCls(...) — second pass so the
+        # frozen set is complete before inference consults it
+        for ctx in project:
+            self._infer_frozen_attrs(ctx)
+
+    # -- harvesting -----------------------------------------------------
+
+    def _harvest_file(self, ctx: FileContext) -> None:
+        for node in ctx.tree.body:
+            for target in _assign_targets(node):
+                if isinstance(target, ast.Name):
+                    kind = _call_factory(getattr(node, "value", None))
+                    if kind is not None:
+                        self.lock_kinds.setdefault(
+                            target.id, set()).add(kind)
+        for classdef in classes(ctx.tree):
+            self.bases[classdef.name] = [
+                base.attr if isinstance(base, ast.Attribute) else base.id
+                for base in classdef.bases
+                if isinstance(base, (ast.Name, ast.Attribute))]
+            if _is_frozen_dataclass(classdef) or _FROZEN_RE.search(
+                    ctx.lines[classdef.lineno - 1]):
+                self.frozen.add(classdef.name)
+            for func in methods(classdef):
+                for stmt in ast.walk(func):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    for target in _assign_targets(stmt):
+                        attr = self_attr(target)
+                        if attr is None:
+                            continue
+                        value = stmt.value
+                        kind = _call_factory(value)
+                        if kind is not None:
+                            self.lock_kinds.setdefault(
+                                attr, set()).add(kind)
+                        self._harvest_guard(ctx, classdef, stmt, attr,
+                                            value)
+
+    def _harvest_guard(self, ctx: FileContext, classdef: ast.ClassDef,
+                       stmt: ast.stmt, attr: str,
+                       value: ast.AST | None) -> None:
+        end = getattr(stmt, "end_lineno", stmt.lineno) or stmt.lineno
+        for lineno in range(stmt.lineno, end + 1):
+            match = _GUARD_RE.search(ctx.lines[lineno - 1])
+            if match:
+                break
+        else:
+            # also accept the pragma on a pure-comment line directly
+            # above the assignment (long initializers)
+            above = ctx.lines[stmt.lineno - 2].strip() \
+                if stmt.lineno >= 2 else ""
+            match = _GUARD_RE.search(above) \
+                if above.startswith("#") else None
+            if match is None:
+                return
+        decl = GuardDecl(
+            class_name=classdef.name, attr=attr,
+            lock=match.group("lock"),
+            mutable=_is_mutable_value(value),
+            path=ctx.relpath, line=stmt.lineno)
+        self.guards.setdefault(classdef.name, {})[attr] = decl
+
+    def _infer_frozen_attrs(self, ctx: FileContext) -> None:
+        for classdef in classes(ctx.tree):
+            per_attr: dict[str, set[str | None]] = {}
+            for func in methods(classdef):
+                for stmt in ast.walk(func):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    for target in _assign_targets(stmt):
+                        attr = self_attr(target)
+                        if attr is None:
+                            continue
+                        per_attr.setdefault(attr, set()).add(
+                            self._frozen_constructor(stmt.value))
+            inferred = {
+                attr: sources.pop()
+                for attr, sources in per_attr.items()
+                if len(sources) == 1 and None not in sources}
+            if inferred:
+                self.frozen_attrs.setdefault(
+                    classdef.name, {}).update(inferred)
+
+    def _frozen_constructor(self, value: ast.AST | None) -> str | None:
+        """``_IndexState(...)`` → ``"_IndexState"`` if frozen."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        return name if name in self.frozen else None
+
+    # -- queries --------------------------------------------------------
+
+    def is_lock(self, dotted: str) -> bool:
+        return dotted.rsplit(".", 1)[-1] in self.lock_kinds \
+            or lockish_name(dotted)
+
+    def is_reentrant(self, terminal: str) -> bool:
+        """False only when the name was harvested and every factory it
+        was built with is non-reentrant; unharvested names stay safe."""
+        kinds = self.lock_kinds.get(terminal)
+        if not kinds:
+            return True
+        return bool(kinds & REENTRANT_FACTORIES)
+
+    def guards_for(self, class_name: str) -> dict[str, GuardDecl]:
+        """Declarations for *class_name*, base classes included
+        (nearest declaration wins)."""
+        merged: dict[str, GuardDecl] = {}
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            for attr, decl in self.guards.get(name, {}).items():
+                merged.setdefault(attr, decl)
+            queue.extend(self.bases.get(name, []))
+        return merged
+
+    def flow(self, func: ast.FunctionDef
+             | ast.AsyncFunctionDef) -> FunctionFlow:
+        cached = self._flows.get(id(func))
+        if cached is None:
+            cached = analyze_function(func, self.is_lock)
+            self._flows[id(func)] = cached
+        return cached
+
+
+def model_for(project: Project) -> ConcurrencyModel:
+    """The (cached) concurrency model of this lint pass."""
+    model = getattr(project, "_concurrency_model", None)
+    if model is None:
+        model = ConcurrencyModel(project)
+        project._concurrency_model = model
+    return model

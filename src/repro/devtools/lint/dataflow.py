@@ -1,0 +1,243 @@
+"""Reaching held-locks dataflow over the lint CFG.
+
+A forward *must*-analysis: the fact at a program point is the set of
+lock expressions that are **definitely held** on every path reaching
+it.  The lattice is sets of dotted lock names ordered by ⊇, the meet
+at join points is set intersection (a lock only counts as held if it
+is held on *all* incoming paths), and ``TOP`` (represented as
+``None``) is the state of unreachable code — the neutral element of
+the meet, and treated by the rules as "assume anything", so dead code
+never raises a false alarm.
+
+Transfer functions:
+
+* a ``with-enter`` step whose context manager is a lock expression
+  adds it (and records an *acquisition event* carrying the locks held
+  at that moment — the raw material of the lock-order graph);
+* the matching ``with-exit`` removes it;
+* a ``lock.acquire()`` call adds, ``lock.release()`` removes — which
+  is what makes ``acquire()``/``try:``/``finally: release()`` regions
+  track correctly through branches and early returns.
+
+Locks are identified purely syntactically, by the dotted source
+expression (``self._lock``, ``store._lock``, ``_REGISTRY_LOCK``);
+aliasing through a local (``lock = self._lock; with lock:``) is out of
+scope and simply tracked under the alias's own name.  Which dotted
+names *are* locks is the caller's business — rules pass a predicate
+built from the project-wide lock registry of
+:mod:`repro.devtools.lint.concurrency` plus a conservative
+name-pattern fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.devtools.lint.cfg import (
+    STMT,
+    WITH_ENTER,
+    WITH_EXIT,
+    CFG,
+    Step,
+    build_cfg,
+    header_exprs,
+)
+
+#: fallback predicate: a terminal name that *looks* like a lock
+_LOCKISH_RE = re.compile(r"lock|mutex|semaphore", re.IGNORECASE)
+
+#: the meet identity / state of unreachable code
+TOP = None
+
+
+def dotted_name(expr: ast.AST) -> str | None:
+    """``self._lock`` → ``"self._lock"``; non-name chains → ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(dotted: str) -> str:
+    """The final segment of a dotted name (``self._lock`` → ``_lock``)."""
+    return dotted.rsplit(".", 1)[-1]
+
+
+def lockish_name(dotted: str) -> bool:
+    """Name-pattern fallback for code outside the harvested registry."""
+    return _LOCKISH_RE.search(terminal_name(dotted)) is not None
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition event (a ``with`` entry or ``acquire()``)."""
+
+    lock: str                    #: dotted lock expression as written
+    held: frozenset[str]         #: locks already held at this point
+    node: ast.AST                #: anchor for line/col reporting
+
+
+class FunctionFlow:
+    """Held-locks facts for one analyzed function."""
+
+    def __init__(self, func: ast.AST, cfg: CFG) -> None:
+        self.func = func
+        self.cfg = cfg
+        #: id(stmt node) → locks definitely held *before* it (or TOP)
+        self._before: dict[int, frozenset[str] | None] = {}
+        self.acquisitions: list[Acquisition] = []
+
+    def held_before(self, node: ast.AST) -> frozenset[str] | None:
+        """Locks definitely held entering *node*'s program point.
+
+        ``TOP`` (``None``) means the point was never reached by the
+        analysis — callers should treat it as "anything may be held".
+        """
+        return self._before.get(id(node), TOP)
+
+    def points(self) -> Iterator[tuple[frozenset[str], list[ast.AST]]]:
+        """Every reachable program point as ``(held, nodes)``.
+
+        ``nodes`` are the AST nodes evaluated *at* that point: a whole
+        simple statement (safe to ``ast.walk`` — simple statements
+        contain no nested statements), a compound statement's header
+        expressions, or a ``with`` item's context-manager expression.
+        Unreachable points (state ``TOP``) are skipped.
+        """
+        for block in self.cfg.blocks:
+            for step in block.steps:
+                held = self._before.get(id(step.node), TOP)
+                if held is TOP:
+                    continue
+                if step.kind == WITH_ENTER:
+                    yield held, [step.context]
+                elif step.kind == STMT:
+                    headers = header_exprs(step.node)
+                    if headers:
+                        yield held, headers
+                    elif not isinstance(step.node, (
+                            ast.With, ast.AsyncWith, ast.Try,
+                            ast.TryStar)):
+                        yield held, [step.node]
+
+
+def analyze_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    is_lock: Callable[[str], bool] = lockish_name,
+) -> FunctionFlow:
+    """Run the held-locks analysis over *func*.
+
+    *is_lock* decides whether a dotted context-manager / receiver
+    expression participates in the lock lattice at all; everything
+    else (``with open(...)``, ``with self.freeze()``) is ignored.
+    """
+    cfg = build_cfg(func)
+    flow = FunctionFlow(func, cfg)
+    preds = cfg.predecessors()
+    n = len(cfg.blocks)
+    in_state: list[frozenset[str] | None] = [TOP] * n
+    out_state: list[frozenset[str] | None] = [TOP] * n
+    in_state[cfg.entry] = frozenset()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            state = in_state[block.index]
+            if block.index != cfg.entry:
+                state = TOP
+                for pred in preds[block.index]:
+                    pred_out = out_state[pred]
+                    if pred_out is TOP:
+                        continue
+                    state = pred_out if state is TOP \
+                        else (state & pred_out)
+                if in_state[block.index] != state:
+                    in_state[block.index] = state
+                    changed = True
+            new_out = _transfer(block.steps, state, is_lock, record=None)
+            if out_state[block.index] != new_out:
+                out_state[block.index] = new_out
+                changed = True
+
+    # facts stable — one recording pass fills per-step states/events
+    for block in cfg.blocks:
+        _transfer(block.steps, in_state[block.index], is_lock,
+                  record=flow)
+    return flow
+
+
+def _transfer(
+    steps: list[Step],
+    state: frozenset[str] | None,
+    is_lock: Callable[[str], bool],
+    record: FunctionFlow | None,
+) -> frozenset[str] | None:
+    if state is TOP:
+        return TOP
+    for step in steps:
+        if record is not None:
+            record._before[id(step.node)] = state
+        if step.kind == WITH_ENTER:
+            lock = _lock_expr(step.context, is_lock)
+            if lock is not None:
+                if record is not None:
+                    record.acquisitions.append(
+                        Acquisition(lock, state, step.context))
+                state = state | {lock}
+        elif step.kind == WITH_EXIT:
+            lock = _lock_expr(step.context, is_lock)
+            if lock is not None:
+                state = state - {lock}
+        else:
+            state = _apply_calls(step, state, is_lock, record)
+    return state
+
+
+def _apply_calls(
+    step: Step,
+    state: frozenset[str],
+    is_lock: Callable[[str], bool],
+    record: FunctionFlow | None,
+) -> frozenset[str]:
+    """Fold ``x.acquire()`` / ``x.release()`` calls of one statement."""
+    scan = header_exprs(step.node) or [step.node]
+    if isinstance(step.node, (ast.With, ast.AsyncWith, ast.Try,
+                              ast.TryStar)):
+        return state
+    for root in scan:
+        for node in ast.walk(root):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("acquire", "release"):
+                continue
+            lock = _lock_expr(node.func.value, is_lock)
+            if lock is None:
+                continue
+            if node.func.attr == "acquire":
+                if record is not None:
+                    record.acquisitions.append(
+                        Acquisition(lock, state, node))
+                state = state | {lock}
+            else:
+                state = state - {lock}
+    return state
+
+
+def _lock_expr(expr: ast.AST | None,
+               is_lock: Callable[[str], bool]) -> str | None:
+    if expr is None:
+        return None
+    dotted = dotted_name(expr)
+    if dotted is None or not is_lock(dotted):
+        return None
+    return dotted

@@ -59,7 +59,11 @@ from repro.devtools.lint.rules import (  # noqa: E402,F401
     excepts,
     exports,
     faultpoints,
+    frozenstate,
+    lockdiscipline,
+    lockorder,
     persistence_sync,
     tokenize,
+    unguarded,
     workers,
 )

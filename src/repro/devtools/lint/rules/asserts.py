@@ -6,8 +6,12 @@ in ``recognizer.summary()``.  ``python -O`` strips every assert
 statement, so an invariant guarded this way silently vanishes in
 optimized deployments — exactly the failure mode a serving system
 cannot afford.  Library code must raise a real exception with context
-instead; ``assert`` stays legal in tests (which are not linted) and in
-explicitly suppressed type-narrowing spots.
+instead; ``assert`` stays legal in tests (which are not linted), in
+explicitly suppressed type-narrowing spots, and in ``benchmarks/`` —
+the benches are self-checking harnesses whose asserts *are* the
+measurement contract (correctness cross-checks between variants), are
+never run under ``-O``, and are exempted so the CI gate can lint the
+directory for every other rule.
 """
 
 from __future__ import annotations
@@ -16,6 +20,10 @@ import ast
 from collections.abc import Iterable
 
 from repro.devtools.lint.engine import FileContext, Rule, Violation, register
+from repro.devtools.lint.rules import module_in_scope
+
+#: self-checking harnesses: asserts are the point, never run under -O
+EXEMPT_PREFIXES = ("benchmarks",)
 
 
 @register
@@ -23,9 +31,12 @@ class NoBareAssertRule(Rule):
     id = "no-bare-assert"
     severity = "error"
     description = ("assert statements vanish under `python -O`; raise an "
-                   "explicit exception for runtime invariants")
+                   "explicit exception for runtime invariants "
+                   "(benchmarks/ exempt: self-checking harnesses)")
 
     def check_file(self, ctx: FileContext) -> Iterable[Violation]:
+        if module_in_scope(ctx.module, EXEMPT_PREFIXES):
+            return
         for node in ctx.walk():
             if isinstance(node, ast.Assert):
                 yield self.violation(

@@ -1,0 +1,140 @@
+"""frozen-state-mutation — no attribute assignment on frozen state
+after construction; publication only by reference swap.
+
+Origin: the zero-downtime reload design (PR 6/7) hinges on one rule —
+the served index handle (``_IndexState``, ``IndexSegment``) is deeply
+immutable, and a writer publishes changes by building a *new* instance
+and swapping one reference under the GIL.  A single in-place mutation
+reintroduces every torn-read bug the design eliminated, and nothing
+checked for it: ``@dataclass(frozen=True)`` raises only at runtime and
+only through ``setattr``, while hand-sealed ``__slots__`` classes had
+no guard at all.
+
+The rule makes the promise static.  A class is *frozen* when declared
+``@dataclass(frozen=True)`` or when its ``class`` line carries a
+``# egeria: frozen`` pragma.  Flagged:
+
+* ``self.attr = ...`` inside a frozen class's own methods outside the
+  constructor set (``__init__``/``__post_init__``/``__new__``/
+  ``__setstate__``, which build the not-yet-shared object — sealed
+  ``__slots__`` classes assign there via ``object.__setattr__``);
+* ``self.x.attr = ...`` where ``x`` is an attribute every assignment
+  of which (project-wide, per class) constructs a frozen class;
+* ``name.attr = ...`` where local ``name`` is only ever bound to a
+  frozen-class construction in the enclosing function.
+
+Purely syntactic type inference, deliberately conservative: an
+attribute or local with *any* non-construction binding is not tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.devtools.lint.concurrency import (
+    CONSTRUCTOR_METHODS,
+    classes,
+    methods,
+    model_for,
+    self_attr,
+)
+from repro.devtools.lint.engine import FileContext, Project, Rule, \
+    Violation, register
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _frozen_locals(func: ast.AST, model) -> dict[str, str]:
+    """Locals of *func* bound exclusively to frozen constructions."""
+    bindings: dict[str, set[str | None]] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        for target in _assign_targets(node):
+            if isinstance(target, ast.Name):
+                bindings.setdefault(target.id, set()).add(
+                    model._frozen_constructor(node.value))
+    return {name: next(iter(sources))
+            for name, sources in bindings.items()
+            if len(sources) == 1 and None not in sources}
+
+
+@register
+class FrozenStateMutationRule(Rule):
+    id = "frozen-state-mutation"
+    severity = "error"
+    description = ("no attribute assignment on frozen state "
+                   "(`@dataclass(frozen=True)` or `# egeria: frozen`) "
+                   "after construction; publish a new instance and "
+                   "swap the reference")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        model = model_for(project)
+        if not model.frozen:
+            return
+        for ctx in project:
+            yield from self._check_own_methods(ctx, model)
+            yield from self._check_held_instances(ctx, model)
+
+    # self.attr = ... inside the frozen class itself
+    def _check_own_methods(self, ctx: FileContext,
+                           model) -> Iterator[Violation]:
+        for classdef in classes(ctx.tree):
+            if classdef.name not in model.frozen:
+                continue
+            for func in methods(classdef):
+                if func.name in CONSTRUCTOR_METHODS:
+                    continue
+                for node in ast.walk(func):
+                    if not isinstance(node, (ast.Assign, ast.AugAssign,
+                                             ast.AnnAssign)):
+                        continue
+                    for target in _assign_targets(node):
+                        attr = self_attr(target)
+                        if attr is None:
+                            continue
+                        yield self.violation(
+                            ctx, node,
+                            f"frozen class {classdef.name} mutates "
+                            f"self.{attr} in {func.name}(); frozen "
+                            f"state is sealed at construction — build "
+                            f"a new instance instead")
+
+    # name.attr = ... / self.x.attr = ... through frozen-typed handles
+    def _check_held_instances(self, ctx: FileContext,
+                              model) -> Iterator[Violation]:
+        for classdef in classes(ctx.tree):
+            frozen_attrs = model.frozen_attrs.get(classdef.name, {})
+            for func in methods(classdef):
+                frozen_locals = _frozen_locals(func, model)
+                for node in ast.walk(func):
+                    if not isinstance(node, (ast.Assign, ast.AugAssign,
+                                             ast.AnnAssign)):
+                        continue
+                    for target in _assign_targets(node):
+                        if not isinstance(target, ast.Attribute):
+                            continue
+                        owner = target.value
+                        hit: tuple[str, str] | None = None
+                        attr = self_attr(owner)
+                        if attr is not None and attr in frozen_attrs:
+                            hit = (f"self.{attr}", frozen_attrs[attr])
+                        elif isinstance(owner, ast.Name) and \
+                                owner.id in frozen_locals:
+                            hit = (owner.id, frozen_locals[owner.id])
+                        if hit is None:
+                            continue
+                        handle, frozen_class = hit
+                        yield self.violation(
+                            ctx, node,
+                            f"{classdef.name}.{func.name}() assigns "
+                            f".{target.attr} on {handle}, a frozen "
+                            f"{frozen_class} instance; publish a new "
+                            f"{frozen_class} and swap the reference")

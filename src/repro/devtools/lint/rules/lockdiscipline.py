@@ -1,0 +1,115 @@
+"""lock-discipline — writes to ``guarded-by``-declared attributes must
+be dominated by the declared lock.
+
+Origin: PR 4–7 grew a genuinely concurrent core (threaded WSGI, an
+RLock-serialized ``extend()``, a background compaction daemon), and
+every one of those paths relies on a "writers hold lock X" contract
+that lived only in prose.  A ``# egeria: guarded-by[self._lock]``
+pragma on the attribute's initialization turns the contract into data;
+this rule checks it with the held-locks dataflow: at every write to a
+declared attribute — rebinding, item store, ``del``, or an in-place
+mutator call — the declared lock must be *definitely held* on every
+path reaching the write.
+
+Flow-aware on purpose: ``if fast: return`` before the ``with`` block,
+a ``release()`` in one branch but not the other, or a write hoisted
+above the ``with`` are exactly the shapes a per-node visitor blesses
+and this analysis flags.
+
+Exemptions: constructor methods (``__init__`` and friends — the object
+is not yet shared) and ``*_locked`` helpers (the suffix asserts the
+caller holds the lock; see DESIGN.md §13).  Declarations are inherited
+by subclasses.  Writes inside functions nested in a method run under
+the *caller's* locks and are out of intraprocedural scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.devtools.lint.concurrency import (
+    CONSTRUCTOR_METHODS,
+    MUTATOR_METHODS,
+    GuardDecl,
+    caller_holds_lock,
+    classes,
+    holds,
+    methods,
+    model_for,
+    self_attr,
+    walk_point,
+)
+from repro.devtools.lint.engine import Project, Rule, Violation, register
+
+
+def guarded_writes(root: ast.AST,
+                   guards: dict[str, GuardDecl]) -> Iterator[
+                       tuple[str, ast.AST, str]]:
+    """Yield ``(attr, anchor, how)`` for every write *root* performs to
+    a declared attribute."""
+    for sub in walk_point(root):
+        if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (sub.targets if isinstance(sub, ast.Assign)
+                       else [sub.target])
+            for target in targets:
+                attr = self_attr(target)
+                if attr in guards:
+                    yield attr, sub, "assigns"
+                if isinstance(target, ast.Subscript):
+                    attr = self_attr(target.value)
+                    if attr in guards:
+                        yield attr, sub, "stores into"
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = self_attr(target.value)
+                    if attr in guards:
+                        yield attr, sub, "deletes from"
+        elif isinstance(sub, ast.Call) and \
+                isinstance(sub.func, ast.Attribute) and \
+                sub.func.attr in MUTATOR_METHODS:
+            attr = self_attr(sub.func.value)
+            if attr in guards:
+                yield attr, sub, f"calls .{sub.func.attr}() on"
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    severity = "error"
+    description = ("writes to attributes declared "
+                   "`# egeria: guarded-by[lock]` must happen with the "
+                   "declared lock definitely held on every path "
+                   "(constructors and *_locked helpers exempt)")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        model = model_for(project)
+        for ctx in project:
+            for classdef in classes(ctx.tree):
+                guards = model.guards_for(classdef.name)
+                if not guards:
+                    continue
+                for func in methods(classdef):
+                    if func.name in CONSTRUCTOR_METHODS or \
+                            caller_holds_lock(func):
+                        continue
+                    yield from self._check_method(
+                        ctx, model, classdef.name, func, guards)
+
+    def _check_method(self, ctx, model, class_name, func,
+                      guards) -> Iterator[Violation]:
+        flow = model.flow(func)
+        for held, nodes in flow.points():
+            for root in nodes:
+                for attr, anchor, how in guarded_writes(root, guards):
+                    decl = guards[attr]
+                    if holds(held, decl.lock):
+                        continue
+                    yield self.violation(
+                        ctx, anchor,
+                        f"{class_name}.{func.name}() {how} self.{attr} "
+                        f"without holding {decl.lock} (declared "
+                        f"guarded-by at {decl.path}); take the lock, or "
+                        f"suffix the helper `_locked` if the caller "
+                        f"holds it")

@@ -1,0 +1,158 @@
+"""lock-order — the cross-file lock-acquisition graph must be acyclic.
+
+Origin: ``compact()`` acquires ``_reload_lock`` then, nested,
+``_compaction_lock`` — the repo's one sanctioned lock nesting.  The
+moment any other path takes the same two locks in the *reverse* order,
+two threads can each hold one lock and wait forever on the other; the
+bug only manifests under contention and is invisible to any per-file,
+per-node check.
+
+The dataflow already records every acquisition event together with the
+locks held at that moment (``with`` entries and bare ``acquire()``
+calls alike).  This rule folds those events, project-wide, into a
+directed graph on terminal lock names — an edge A→B meaning "B was
+acquired while A was held" — and flags every edge that participates in
+a strongly-connected component of more than one lock: each such edge
+is part of an acquisition cycle, i.e. a potential deadlock.  Two-lock
+inversions and longer cycles fall out of the same machinery.
+
+Also flagged: re-acquiring a lock already held when the project's lock
+registry shows it was constructed *non-reentrant* (``Lock`` /
+``Semaphore``) — guaranteed self-deadlock.  ``RLock`` and
+``Condition`` (which wraps an RLock) re-entries stay quiet, as do
+locks the registry never saw.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.devtools.lint.concurrency import model_for
+from repro.devtools.lint.dataflow import terminal_name
+from repro.devtools.lint.engine import FileContext, Project, Rule, \
+    Violation, register
+from repro.devtools.lint.rules import walk_functions
+
+
+def _sccs(nodes: set[str],
+          edges: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's strongly-connected components, iteratively."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[set[str]] = []
+    counter = [0]
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work: list[tuple[str, list[str]]] = [
+            (root, sorted(edges.get(root, ())))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            while successors:
+                succ = successors.pop(0)
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+@register
+class LockOrderRule(Rule):
+    id = "lock-order"
+    severity = "error"
+    description = ("nested lock acquisitions must follow one global "
+                   "order: any cycle in the project-wide acquisition "
+                   "graph (A held while taking B, B held while taking "
+                   "A) is a potential deadlock; re-acquiring a "
+                   "non-reentrant lock is flagged too")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        model = model_for(project)
+        # edge (A, B): B acquired while A held; witnesses keep the
+        # first anchor per (file, edge) for stable, deduped reports
+        edges: dict[str, set[str]] = {}
+        witnesses: dict[tuple[str, str, str],
+                        tuple[FileContext, ast.AST, str]] = {}
+        reacquires: list[tuple[FileContext, ast.AST, str, str]] = []
+        for ctx in project:
+            for func in walk_functions(ctx.tree):
+                flow = model.flow(func)
+                for event in flow.acquisitions:
+                    taken = terminal_name(event.lock)
+                    held_terms = {terminal_name(h) for h in event.held}
+                    if taken in held_terms:
+                        if not model.is_reentrant(taken):
+                            reacquires.append(
+                                (ctx, event.node, taken, func.name))
+                        held_terms.discard(taken)
+                    for held in held_terms:
+                        edges.setdefault(held, set()).add(taken)
+                        witnesses.setdefault(
+                            (ctx.relpath, held, taken),
+                            (ctx, event.node, func.name))
+
+        nodes = set(edges)
+        for targets in edges.values():
+            nodes |= targets
+        cyclic = [scc for scc in _sccs(nodes, edges) if len(scc) > 1]
+        in_cycle: dict[str, set[str]] = {}
+        for scc in cyclic:
+            for member in scc:
+                in_cycle[member] = scc
+
+        for (path, held, taken), (ctx, node, func_name) in sorted(
+                witnesses.items(),
+                key=lambda item: (item[0][0], item[0][1], item[0][2])):
+            scc = in_cycle.get(held)
+            if scc is None or taken not in scc:
+                continue
+            members = ", ".join(sorted(scc))
+            yield self.violation(
+                ctx, node,
+                f"{func_name}() acquires {taken} while holding {held}, "
+                f"an edge in a lock-order cycle among {{{members}}}; "
+                f"impose one global acquisition order (DESIGN.md §13)")
+
+        seen_reacquire: set[tuple[str, str, str]] = set()
+        for ctx, node, taken, func_name in reacquires:
+            key = (ctx.relpath, taken, func_name)
+            if key in seen_reacquire:
+                continue
+            seen_reacquire.add(key)
+            yield self.violation(
+                ctx, node,
+                f"{func_name}() re-acquires {taken}, a non-reentrant "
+                f"lock already held on every path here — guaranteed "
+                f"self-deadlock; use an RLock or split the critical "
+                f"section")

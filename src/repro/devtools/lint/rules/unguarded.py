@@ -1,0 +1,106 @@
+"""unguarded-counter — stats/health read paths must not read mutable
+guarded state outside its lock.
+
+Origin: the observability surfaces — ``LRUQueryCache.stats()``,
+``AdvisingTool.health()``, the WSGI ``/healthz`` handler — report
+counters that worker threads update concurrently.  A read outside the
+lock can tear: ``hits`` sampled before an update, ``misses`` after,
+and the reported ratios are nonsense precisely when traffic is heavy
+enough for someone to be looking.  These paths regress easily because
+they *look* read-only and harmless.
+
+Scope: methods whose name says they report state (``stats``,
+``health``, ``healthz``, ``metrics``, ``status``, ``snapshot``,
+``counters``).  In those, every **read** of an attribute declared
+``# egeria: guarded-by[lock]`` *with a mutable initializer* (dict /
+list / set / Counter / OrderedDict / …) must sit at a program point
+where the dataflow proves the declared lock held.  Immutable-typed
+guarded attributes (an int generation, a swapped frozen handle) read
+atomically under the GIL and stay out of scope — as do writes, which
+are lock-discipline's business.
+
+Exemption: ``*_locked`` helpers (caller holds the lock).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.devtools.lint.concurrency import (
+    GuardDecl,
+    caller_holds_lock,
+    classes,
+    holds,
+    methods,
+    model_for,
+    self_attr,
+    walk_point,
+)
+from repro.devtools.lint.engine import Project, Rule, Violation, register
+
+#: method names that constitute a reporting/read path
+READ_PATH_RE = re.compile(
+    r"stats|health|metrics|status|snapshot|counters", re.IGNORECASE)
+
+
+def _guarded_reads(root: ast.AST,
+                   guards: dict[str, GuardDecl]) -> Iterator[
+                       tuple[str, ast.AST]]:
+    for sub in walk_point(root):
+        if not isinstance(sub, ast.Attribute):
+            continue
+        if not isinstance(sub.ctx, ast.Load):
+            continue
+        attr = self_attr(sub)
+        if attr is None:
+            continue
+        decl = guards.get(attr)
+        if decl is not None and decl.mutable:
+            yield attr, sub
+
+
+@register
+class UnguardedCounterRule(Rule):
+    id = "unguarded-counter"
+    severity = "error"
+    description = ("stats()/health()/healthz-style read paths must "
+                   "read mutable guarded-by attributes (counter dicts, "
+                   "event lists) only with the declared lock held — "
+                   "unlocked reads tear mid-update")
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        model = model_for(project)
+        for ctx in project:
+            for classdef in classes(ctx.tree):
+                guards = {
+                    attr: decl
+                    for attr, decl in
+                    model.guards_for(classdef.name).items()
+                    if decl.mutable}
+                if not guards:
+                    continue
+                for func in methods(classdef):
+                    if not READ_PATH_RE.search(func.name):
+                        continue
+                    if caller_holds_lock(func):
+                        continue
+                    yield from self._check_method(
+                        ctx, model, classdef.name, func, guards)
+
+    def _check_method(self, ctx, model, class_name, func,
+                      guards) -> Iterator[Violation]:
+        flow = model.flow(func)
+        for held, nodes in flow.points():
+            for root in nodes:
+                for attr, anchor in _guarded_reads(root, guards):
+                    decl = guards[attr]
+                    if holds(held, decl.lock):
+                        continue
+                    yield self.violation(
+                        ctx, anchor,
+                        f"{class_name}.{func.name}() reads self.{attr} "
+                        f"(mutable, guarded by {decl.lock}) outside "
+                        f"the lock; snapshot it under the lock so the "
+                        f"report can't tear mid-update")

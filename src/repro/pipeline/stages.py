@@ -202,9 +202,9 @@ class LayerStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.runs: dict[str, int] = {}
-        self.failures: dict[str, int] = {}
-        self.seconds: dict[str, float] = {}
+        self.runs: dict[str, int] = {}      # egeria: guarded-by[self._lock]
+        self.failures: dict[str, int] = {}  # egeria: guarded-by[self._lock]
+        self.seconds: dict[str, float] = {}  # egeria: guarded-by[self._lock]
 
     def record(self, layer: str, seconds: float,
                failed: bool = False) -> None:

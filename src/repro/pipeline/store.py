@@ -47,13 +47,14 @@ class AnalysisStore:
         self.max_entries = max_entries
         self.cache_dir = cache_dir
         self._lock = threading.Lock()
+        # egeria: guarded-by[self._lock]
         self._entries: OrderedDict[str, SentenceAnnotations] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.evictions = 0
-        self.disk_writes = 0
-        self.upgrades = 0
+        self.hits = 0         # egeria: guarded-by[self._lock]
+        self.misses = 0       # egeria: guarded-by[self._lock]
+        self.disk_hits = 0    # egeria: guarded-by[self._lock]
+        self.evictions = 0    # egeria: guarded-by[self._lock]
+        self.disk_writes = 0  # egeria: guarded-by[self._lock]
+        self.upgrades = 0     # egeria: guarded-by[self._lock]
 
     @staticmethod
     def content_key(text: str) -> str:
@@ -76,7 +77,7 @@ class AnalysisStore:
             with self._lock:
                 self.hits += 1
                 self.disk_hits += 1
-                self._insert(key, entry)
+                self._insert_locked(key, entry)
             return entry
         with self._lock:
             self.misses += 1
@@ -109,10 +110,13 @@ class AnalysisStore:
                 self._entries.move_to_end(key)
                 annotations = existing
             else:
-                self._insert(key, annotations)
+                self._insert_locked(key, annotations)
         self._disk_put(key, annotations)
 
-    def _insert(self, key: str, annotations: SentenceAnnotations) -> None:
+    def _insert_locked(self, key: str,
+                       annotations: SentenceAnnotations) -> None:
+        # caller holds self._lock (`_locked` suffix convention,
+        # DESIGN.md §13)
         self._entries[key] = annotations
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:

@@ -99,16 +99,19 @@ def grow_tfidf(model: TfidfModel,
     return grown
 
 
-class IndexSegment:
+class IndexSegment:  # egeria: frozen
     """One immutable slab of the index.
 
     Owns an L2-row-normalized CSR matrix over the segment's sentences,
     the postings-driven scorer built from it, and ``doc_base`` — the
     global row id its local row 0 maps to.  Never mutated after
     construction; growth and compaction always build *new* segments.
+    The promise is enforced twice: statically by the
+    frozen-state-mutation lint rule, and at runtime by the
+    :meth:`__setattr__` seal below.
     """
 
-    __slots__ = ("doc_base", "matrix", "scorer")
+    __slots__ = ("doc_base", "matrix", "scorer", "_sealed")
 
     def __init__(self, doc_base: int, matrix: sp.csr_matrix,
                  scorer: PostingsScorer | None = None) -> None:
@@ -116,6 +119,14 @@ class IndexSegment:
         self.matrix = matrix
         self.scorer = scorer if scorer is not None else \
             PostingsScorer(matrix)
+        self._sealed = True
+
+    def __setattr__(self, name: str, value) -> None:
+        if getattr(self, "_sealed", False):
+            raise AttributeError(
+                f"IndexSegment is sealed; cannot assign {name!r} — "
+                f"build a new segment instead")
+        object.__setattr__(self, name, value)
 
     @property
     def size(self) -> int:
@@ -153,7 +164,7 @@ class IndexSegment:
             shape=(self.size, n_terms))
 
 
-class SegmentedIndex:
+class SegmentedIndex:  # egeria: frozen
     """Merged top-k retrieval across immutable segments.
 
     Serves the same contract as the monolithic

@@ -188,17 +188,18 @@ class LRUQueryCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._lock = threading.Lock()
+        # egeria: guarded-by[self._lock]
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0         # egeria: guarded-by[self._lock]
+        self.misses = 0       # egeria: guarded-by[self._lock]
+        self.evictions = 0    # egeria: guarded-by[self._lock]
         # segment-aware invalidation accounting (DESIGN §12): wholesale
         # counts refit-driven full flushes, segment counts targeted
         # per-entry drops, repairs counts entries upgraded in place by
         # scoring only the rows sealed after the entry was cached
-        self.invalidations_wholesale = 0
-        self.invalidations_segment = 0
-        self.repairs = 0
+        self.invalidations_wholesale = 0  # egeria: guarded-by[self._lock]
+        self.invalidations_segment = 0    # egeria: guarded-by[self._lock]
+        self.repairs = 0                  # egeria: guarded-by[self._lock]
 
     def __len__(self) -> int:
         with self._lock:

@@ -127,6 +127,7 @@ class ThreadSafeCounters:
                  extensible: bool = False) -> None:
         self._lock = threading.Lock()
         self._extensible = extensible
+        # egeria: guarded-by[self._lock]
         self._values: dict[str, int] = dict.fromkeys(names, 0)
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -193,12 +194,14 @@ class AdvisorApp:
         self.max_in_flight = max_in_flight
         self.retry_after_s = retry_after_s
         self.snapshot_store = snapshot_store
+        # egeria: guarded-by[self._summary_lock]
         self._summary_html: str | None = None
+        # egeria: guarded-by[self._summary_lock]
         self._summary_key: tuple[int, int] | None = None
         self._summary_lock = threading.Lock()
         self._gate = threading.Condition()
-        self._in_flight = 0
-        self._draining = False
+        self._in_flight = 0   # egeria: guarded-by[self._gate]
+        self._draining = False  # egeria: guarded-by[self._gate]
         self.counters = ThreadSafeCounters((
             "requests",
             "errors",

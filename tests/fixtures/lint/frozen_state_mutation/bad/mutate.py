@@ -1,0 +1,22 @@
+"""In-place mutation of frozen state — every shape the rule flags."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenHandle:
+    generation: int
+    entries: tuple
+
+    def bump(self) -> None:
+        self.generation += 1        # mutation inside the frozen class
+
+
+class InPlacePublisher:
+    def __init__(self) -> None:
+        self._handle = FrozenHandle(generation=0, entries=())
+
+    def publish(self, entries) -> None:
+        handle = FrozenHandle(generation=1, entries=())
+        handle.entries = tuple(entries)   # local frozen instance
+        self._handle.generation = 2       # frozen attr through self

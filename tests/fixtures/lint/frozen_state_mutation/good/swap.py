@@ -1,0 +1,34 @@
+"""Frozen state is published by building a new instance and swapping
+one reference — never mutated in place."""
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenView:
+    generation: int
+    payload: tuple
+
+
+class SealedBox:  # egeria: frozen
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def replaced(self, value) -> "SealedBox":
+        return SealedBox(value)
+
+
+class Publisher:
+    def __init__(self) -> None:
+        self._swap_lock = threading.Lock()
+        self._view = FrozenView(generation=0, payload=())
+
+    def publish(self, payload) -> None:
+        with self._swap_lock:
+            current = self._view
+            self._view = FrozenView(
+                generation=current.generation + 1,
+                payload=tuple(payload))

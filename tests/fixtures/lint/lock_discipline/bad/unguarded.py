@@ -1,0 +1,25 @@
+"""Writes to guarded attributes that escape the declared lock."""
+
+import threading
+
+
+class RacyCounters:
+    def __init__(self) -> None:
+        self._racy_lock = threading.Lock()
+        self._events = []   # egeria: guarded-by[self._racy_lock]
+        self._total = 0     # egeria: guarded-by[self._racy_lock]
+
+    def record(self, event) -> None:
+        self._events.append(event)  # no lock at all
+
+    def record_fast(self, event, fast) -> None:
+        if fast:
+            self._total += 1        # the fast branch skips the lock
+            return
+        with self._racy_lock:
+            self._total += 1
+
+    def reset(self) -> None:
+        self._racy_lock.acquire()
+        self._racy_lock.release()
+        self._events = []           # lock already released

@@ -1,0 +1,29 @@
+"""Writers hold the declared lock on every path to the write."""
+
+import threading
+
+
+class GuardedCounters:
+    def __init__(self) -> None:
+        self._disc_lock = threading.Lock()
+        self._events = []   # egeria: guarded-by[self._disc_lock]
+        self._total = 0     # egeria: guarded-by[self._disc_lock]
+
+    def record(self, event) -> None:
+        with self._disc_lock:
+            self._events.append(event)
+            self._total += 1
+
+    def record_many(self, events) -> None:
+        if not events:
+            return
+        self._disc_lock.acquire()
+        try:
+            self._events.extend(events)
+            self._total += len(events)
+        finally:
+            self._disc_lock.release()
+
+    def _trim_locked(self) -> None:
+        # suffix convention: the caller holds self._disc_lock
+        self._events = self._events[-10:]

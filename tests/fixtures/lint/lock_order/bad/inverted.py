@@ -1,0 +1,27 @@
+"""The seeded two-lock inversion: compact() and reload() take the same
+pair of locks in opposite orders — classic ABBA deadlock — plus a
+self-deadlocking re-acquire of a non-reentrant Lock."""
+
+import threading
+
+
+class InvertedLocks:
+    def __init__(self) -> None:
+        self._reload_mtx = threading.Lock()
+        self._compact_mtx = threading.Lock()
+        self._segments = []
+
+    def compact(self) -> None:
+        with self._reload_mtx:
+            with self._compact_mtx:
+                self._segments.clear()
+
+    def reload(self) -> None:
+        with self._compact_mtx:
+            with self._reload_mtx:      # reverse of compact()
+                self._segments.clear()
+
+    def depth(self) -> int:
+        with self._reload_mtx:
+            with self._reload_mtx:      # plain Lock: self-deadlock
+                return len(self._segments)

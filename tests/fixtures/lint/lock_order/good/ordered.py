@@ -1,0 +1,28 @@
+"""Every nested acquisition follows one global order, and RLock
+re-entry is fine."""
+
+import threading
+
+
+class OrderedLocks:
+    def __init__(self) -> None:
+        self._outer_mtx = threading.Lock()
+        self._inner_mtx = threading.Lock()
+        self._rentry_mtx = threading.RLock()
+        self._pending = []
+        self._active = []
+
+    def drain(self) -> None:
+        with self._outer_mtx:
+            with self._inner_mtx:
+                self._active.extend(self._pending)
+
+    def merge(self) -> None:
+        with self._outer_mtx:
+            with self._inner_mtx:
+                self._pending.clear()
+
+    def nested_reentry(self) -> int:
+        with self._rentry_mtx:
+            with self._rentry_mtx:   # RLock: reentrant, allowed
+                return len(self._active)

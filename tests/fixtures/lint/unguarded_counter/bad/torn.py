@@ -1,0 +1,23 @@
+"""Reporting paths that read mutable counters outside their lock."""
+
+import threading
+
+
+class TornStats:
+    def __init__(self) -> None:
+        self._torn_lock = threading.Lock()
+        # egeria: guarded-by[self._torn_lock]
+        self._counts = {"hits": 0, "misses": 0}
+
+    def record(self, hit) -> None:
+        with self._torn_lock:
+            key = "hits" if hit else "misses"
+            self._counts[key] += 1
+
+    def stats(self) -> dict:
+        return dict(self._counts)    # unlocked read can tear
+
+    def health(self) -> bool:
+        with self._torn_lock:
+            total = sum(self._counts.values())
+        return total >= 0 and len(self._counts) == 2   # after release

@@ -1,0 +1,19 @@
+"""Reporting paths snapshot mutable counters under their lock."""
+
+import threading
+
+
+class CacheWithStats:
+    def __init__(self) -> None:
+        self._stats_lock = threading.Lock()
+        # egeria: guarded-by[self._stats_lock]
+        self._tallies = {"hits": 0, "misses": 0}
+
+    def record(self, hit) -> None:
+        with self._stats_lock:
+            key = "hits" if hit else "misses"
+            self._tallies[key] += 1
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return dict(self._tallies)

@@ -1,0 +1,210 @@
+"""Threaded stress tests: the runtime cross-check of the static
+concurrency rules (DESIGN.md §13).
+
+The flow-aware lint rules prove lock discipline *statically*; this
+suite hammers the same invariants dynamically — concurrent ``query`` /
+``extend`` / ``compact`` / ``health`` traffic over one shared advisor
+must never observe a torn ``_IndexState``, a generation that moves
+backwards, or inconsistent cache statistics.  A failure here with a
+green lint gate means the analyzer's model of the code has drifted
+from reality; a failure in both means a real regression.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.advisor import AdvisingTool
+from repro.docs.document import Document
+from repro.retrieval.segments import IndexSegment
+from repro.retrieval.topk import LRUQueryCache
+
+
+class _StubResult:
+    is_advising = True
+    selector = "keyword"
+    events = ()
+    quarantined = False
+    matches = None
+
+    def __init__(self, sentence) -> None:
+        self.sentence = sentence
+
+
+class _StubRecognizer:
+    last_annotations = None
+
+    def recognize(self, document):
+        return [_StubResult(s) for s in document.iter_sentences()]
+
+
+BASE_SENTENCES = [
+    "coalesce global memory access",
+    "tile shared memory reuse",
+    "avoid warp divergence branch",
+    "overlap stream transfer compute",
+] + [f"pad array bank {i} conflict" for i in range(8)]
+
+QUERIES = ["memory access", "warp divergence", "stream overlap",
+           "bank conflict"]
+
+
+def _advisor() -> AdvisingTool:
+    document = Document.from_sentences(BASE_SENTENCES, title="Stress")
+    return AdvisingTool(document, list(document.iter_sentences()),
+                        auto_compaction=False)
+
+
+def _run_workers(workers) -> list[BaseException]:
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    start = threading.Barrier(len(workers))
+
+    def shell(worker):
+        try:
+            start.wait(timeout=10)
+            worker()
+        except BaseException as error:   # collected, reported by the test
+            with lock:
+                errors.append(error)
+
+    threads = [threading.Thread(target=shell, args=(w,), daemon=True)
+               for w in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return errors
+
+
+class TestAdvisorUnderContention:
+    def test_query_extend_compact_health_storm(self) -> None:
+        advisor = _advisor()
+        recognizer = _StubRecognizer()
+        stop = threading.Event()
+
+        def check_state() -> None:
+            # one snapshot must be internally consistent: the frozen
+            # handle's corpus, index rows and generation belong together
+            state = advisor._index
+            rows = sum(
+                segment.size
+                for segment in state.recommender.index.segments)
+            assert rows == len(state.advising), (
+                f"torn state: {rows} index rows vs "
+                f"{len(state.advising)} advising sentences")
+
+        def querier() -> None:
+            last_generation = -1
+            while not stop.is_set():
+                for query in QUERIES:
+                    answer = advisor.query(query)
+                    assert answer is not None
+                check_state()
+                generation = advisor.generation
+                assert generation >= last_generation, (
+                    f"generation moved backwards: "
+                    f"{last_generation} -> {generation}")
+                last_generation = generation
+
+        def health_reader() -> None:
+            while not stop.is_set():
+                payload = advisor.health()
+                degradation = payload["degradation"]
+                assert degradation["answer_events"] >= 0
+                cache = payload.get("query_cache")
+                if cache is not None:
+                    assert cache["hits"] >= 0
+                    assert cache["misses"] >= 0
+                    assert 0.0 <= cache["hit_rate"] <= 1.0
+
+        def extender() -> None:
+            for position in range(6):
+                advisor.extend(
+                    Document.from_sentences(
+                        [f"stream {position} depth copy engine",
+                         f"occupancy register {position} pressure"],
+                        title=f"ext-{position}"),
+                    recognizer=recognizer)
+
+        def compactor() -> None:
+            while not stop.is_set():
+                advisor.compact()
+
+        def writers() -> None:
+            try:
+                extender()
+            finally:
+                stop.set()
+
+        errors = _run_workers(
+            [querier, querier, health_reader, compactor, writers])
+        assert errors == [], [repr(e) for e in errors]
+
+        # after the storm: all six extends landed, exactly once each
+        final = advisor._index
+        expected = len(BASE_SENTENCES) + 6 * 2
+        assert len(final.advising) == expected
+        assert advisor.generation >= 6
+
+    def test_generation_is_monotone_across_compactions(self) -> None:
+        advisor = _advisor()
+        recognizer = _StubRecognizer()
+        seen: list[int] = []
+        for position in range(4):
+            advisor.extend(
+                Document.from_sentences(
+                    [f"prefetch line {position} stride"],
+                    title=f"ext-{position}"),
+                recognizer=recognizer)
+            seen.append(advisor.generation)
+            advisor.compact()
+            seen.append(advisor.generation)
+        assert seen == sorted(seen)
+
+
+class TestCacheStatsUnderContention:
+    def test_counters_stay_consistent(self) -> None:
+        cache = LRUQueryCache(max_entries=32)
+        stop = threading.Event()
+
+        def writer(seed: int) -> None:
+            for i in range(400):
+                cache.put((seed, i % 48), ("value", i))
+                cache.get((seed, (i + 1) % 48))
+            stop.set()
+
+        def reader() -> None:
+            while not stop.is_set():
+                stats = cache.stats()
+                assert stats["entries"] >= 0
+                assert stats["entries"] <= 32
+                assert stats["hits"] >= 0
+                assert stats["misses"] >= 0
+                assert 0.0 <= stats["hit_rate"] <= 1.0
+                assert stats["evictions"] >= 0
+
+        errors = _run_workers(
+            [lambda: writer(1), lambda: writer(2), reader, reader])
+        assert errors == [], [repr(e) for e in errors]
+        final = cache.stats()
+        assert final["hits"] + final["misses"] > 0
+
+
+class TestFrozenSealAtRuntime:
+    def test_index_segment_rejects_mutation(self) -> None:
+        advisor = _advisor()
+        segment = advisor._index.recommender.index.segments[0]
+        assert isinstance(segment, IndexSegment)
+        with pytest.raises(AttributeError, match="sealed"):
+            segment.doc_base = 99
+        with pytest.raises(AttributeError, match="sealed"):
+            segment.matrix = None
+
+    def test_index_state_is_frozen(self) -> None:
+        advisor = _advisor()
+        state = advisor._index
+        with pytest.raises(AttributeError):
+            state.generation = 42

@@ -42,6 +42,10 @@ RULE_FIXTURES = {
     "no_nondeterminism": "no-nondeterminism",
     "worker_shared_state": "worker-shared-state",
     "export_consistency": "export-consistency",
+    "lock_discipline": "lock-discipline",
+    "frozen_state_mutation": "frozen-state-mutation",
+    "lock_order": "lock-order",
+    "unguarded_counter": "unguarded-counter",
 }
 
 
@@ -71,6 +75,21 @@ class TestRegistry:
     def test_select_subset(self) -> None:
         rules = default_rules(["no-bare-assert"])
         assert [rule.id for rule in rules] == ["no-bare-assert"]
+
+    def test_every_rule_has_good_and_bad_fixtures(self) -> None:
+        """CI satellite: a rule without both fixture members is
+        unproven in both directions — fail the suite."""
+        by_rule = {rule_id: fixture
+                   for fixture, rule_id in RULE_FIXTURES.items()}
+        for rule_id in registered_rules():
+            fixture = by_rule.get(rule_id)
+            assert fixture is not None, (
+                f"rule {rule_id} has no fixture directory mapping")
+            for member in ("good", "bad"):
+                member_dir = FIXTURES / fixture / member
+                assert list(member_dir.glob("*.py")), (
+                    f"rule {rule_id} lacks a {member} fixture under "
+                    f"{member_dir}")
 
 
 class TestRuleFixtures:
@@ -256,6 +275,26 @@ class TestCli:
                        "--no-baseline", "--json")
         report = json.loads(proc.stdout)
         assert report["summary"]["violations"] == 2
+
+    def test_json_output_writes_artifact(self, tmp_path) -> None:
+        out = tmp_path / "artifacts" / "lint.json"
+        proc = run_cli(str(FIXTURES / "suppression" / "bad"),
+                       "--no-baseline", "--json-output", str(out))
+        assert proc.returncode == 1
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["summary"]["violations"] == 2
+
+    def test_update_baseline_regenerates(self, tmp_path) -> None:
+        path = tmp_path / "baseline.json"
+        proc = run_cli(str(FIXTURES / "suppression" / "bad"),
+                       "--baseline", str(path), "--update-baseline")
+        assert proc.returncode == 0, proc.stdout
+        entries = json.loads(path.read_text(encoding="utf-8"))["entries"]
+        assert len(entries) == 2
+        # a second run against the regenerated baseline is green
+        proc = run_cli(str(FIXTURES / "suppression" / "bad"),
+                       "--baseline", str(path))
+        assert proc.returncode == 0, proc.stdout
 
     def test_list_rules(self) -> None:
         proc = run_cli("--list-rules")

@@ -1,0 +1,324 @@
+"""The flow-aware analysis layer under egeria-lint: CFG construction,
+held-locks dataflow, the concurrency harvest, and the <5s perf budget
+of the full gate.
+
+These tests pin the *semantics* the concurrency rules rely on — branch
+meets, early returns bypassing ``with`` exits, try/finally release
+paths, acquisition events — independently of any rule, so a rule
+regression and an analysis regression fail differently.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from pathlib import Path
+
+from repro.devtools.lint import Baseline, Linter, default_rules
+from repro.devtools.lint.cfg import build_cfg
+from repro.devtools.lint.concurrency import (
+    ConcurrencyModel,
+    holds,
+    model_for,
+)
+from repro.devtools.lint.dataflow import (
+    TOP,
+    analyze_function,
+    dotted_name,
+    lockish_name,
+)
+from repro.devtools.lint.engine import FileContext, Project
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _func(source: str) -> ast.FunctionDef:
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in snippet")
+
+
+def _flow(source: str):
+    return analyze_function(_func(source))
+
+
+def _stmt(func: ast.FunctionDef, marker: str) -> ast.stmt:
+    """The statement whose source segment contains *marker*."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and marker in ast.unparse(node):
+            candidates = [
+                child for child in ast.walk(node)
+                if isinstance(child, ast.stmt)
+                and marker in ast.unparse(child)]
+            return min(candidates,
+                       key=lambda n: len(ast.unparse(n)))
+    raise AssertionError(f"no statement matching {marker!r}")
+
+
+class TestCfg:
+    def test_linear_body_single_path(self) -> None:
+        cfg = build_cfg(_func("def f():\n    a = 1\n    b = 2\n"))
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.steps) == 2
+        assert entry.successors == {cfg.exit}
+
+    def test_if_branches_rejoin(self) -> None:
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"))
+        preds = cfg.predecessors()
+        # the join block (holding `return a`) has two predecessors
+        join = [b for b in cfg.blocks
+                if b.steps and isinstance(b.steps[0].node, ast.Return)]
+        assert len(join) == 1
+        assert len(preds[join[0].index]) == 2
+
+    def test_return_edges_to_exit(self) -> None:
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"))
+        preds = cfg.predecessors()
+        assert len(preds[cfg.exit]) == 2
+
+    def test_loop_has_back_edge_and_fallthrough(self) -> None:
+        cfg = build_cfg(_func(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        use(x)\n"
+            "    done()\n"))
+        head = next(b for b in cfg.blocks
+                    if b.steps and isinstance(b.steps[0].node, ast.For))
+        preds = cfg.predecessors()
+        # body loops back to the head; head also falls through
+        assert head.index in {
+            p for ps in preds.values() for p in ps}
+        assert len(head.successors) == 2
+
+    def test_unreachable_code_gets_predecessorless_block(self) -> None:
+        cfg = build_cfg(_func(
+            "def f():\n"
+            "    return 1\n"
+            "    dead()\n"))
+        preds = cfg.predecessors()
+        dead = [b for b in cfg.blocks
+                if b.steps and isinstance(b.steps[0].node, ast.Expr)]
+        assert dead and preds[dead[0].index] == set()
+
+
+class TestHeldLocksDataflow:
+    def test_with_region_scopes_the_lock(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    before = 1\n"
+            "    with self._lock:\n"
+            "        inside = 2\n"
+            "    after = 3\n")
+        flow = _flow(src)
+        func = flow.cfg.func
+        assert flow.held_before(_stmt(func, "before = 1")) == frozenset()
+        assert flow.held_before(_stmt(func, "inside = 2")) == {
+            "self._lock"}
+        assert flow.held_before(_stmt(func, "after = 3")) == frozenset()
+
+    def test_branch_meet_is_intersection(self) -> None:
+        src = (
+            "def f(self, fast):\n"
+            "    if fast:\n"
+            "        self._lock.acquire()\n"
+            "    touch = 1\n")
+        flow = _flow(src)
+        assert flow.held_before(
+            _stmt(flow.cfg.func, "touch = 1")) == frozenset()
+
+    def test_acquire_release_pairs_track(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    self._lock.acquire()\n"
+            "    try:\n"
+            "        inside = 1\n"
+            "    finally:\n"
+            "        self._lock.release()\n"
+            "    after = 2\n")
+        flow = _flow(src)
+        func = flow.cfg.func
+        assert flow.held_before(_stmt(func, "inside = 1")) == {
+            "self._lock"}
+        assert flow.held_before(_stmt(func, "after = 2")) == frozenset()
+
+    def test_early_return_bypasses_with_exit(self) -> None:
+        src = (
+            "def f(self, x):\n"
+            "    with self._lock:\n"
+            "        if x:\n"
+            "            return 1\n"
+            "        inside = 2\n"
+            "    after = 3\n")
+        flow = _flow(src)
+        func = flow.cfg.func
+        assert flow.held_before(_stmt(func, "inside = 2")) == {
+            "self._lock"}
+        # the normal fall-through still releases before `after`
+        assert flow.held_before(_stmt(func, "after = 3")) == frozenset()
+
+    def test_nested_with_accumulates(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    with self._outer_lock:\n"
+            "        with self._inner_lock:\n"
+            "            inside = 1\n")
+        flow = _flow(src)
+        assert flow.held_before(_stmt(flow.cfg.func, "inside = 1")) == {
+            "self._outer_lock", "self._inner_lock"}
+
+    def test_acquisition_events_record_held_sets(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    with self._outer_lock:\n"
+            "        with self._inner_lock:\n"
+            "            pass\n")
+        flow = _flow(src)
+        events = {e.lock: e.held for e in flow.acquisitions}
+        assert events["self._outer_lock"] == frozenset()
+        assert events["self._inner_lock"] == {"self._outer_lock"}
+
+    def test_unreachable_code_is_top(self) -> None:
+        src = (
+            "def f(self):\n"
+            "    return 1\n"
+            "    dead = 2\n")
+        flow = _flow(src)
+        assert flow.held_before(_stmt(flow.cfg.func, "dead = 2")) is TOP
+
+    def test_loop_body_keeps_lock_from_outside(self) -> None:
+        src = (
+            "def f(self, xs):\n"
+            "    with self._lock:\n"
+            "        for x in xs:\n"
+            "            body = 1\n")
+        flow = _flow(src)
+        assert flow.held_before(_stmt(flow.cfg.func, "body = 1")) == {
+            "self._lock"}
+
+    def test_non_lock_context_ignored(self) -> None:
+        src = (
+            "def f(self, path):\n"
+            "    with open(path) as fh:\n"
+            "        inside = 1\n")
+        flow = _flow(src)
+        assert flow.held_before(
+            _stmt(flow.cfg.func, "inside = 1")) == frozenset()
+
+    def test_dotted_and_lockish_names(self) -> None:
+        expr = ast.parse("self._reload_lock", mode="eval").body
+        assert dotted_name(expr) == "self._reload_lock"
+        assert lockish_name("self._reload_lock")
+        assert lockish_name("store.mutex")
+        assert not lockish_name("self._entries")
+
+
+class TestHoldsPredicate:
+    def test_exact_and_terminal_matching(self) -> None:
+        assert holds(frozenset({"self._lock"}), "self._lock")
+        assert holds(frozenset({"cls._lock"}), "self._lock")
+        assert not holds(frozenset({"self._other"}), "self._lock")
+        assert holds(TOP, "self._lock")   # unreachable: no alarm
+
+
+class TestConcurrencyHarvest:
+    def _model(self, source: str) -> ConcurrencyModel:
+        ctx = FileContext(Path("snippet.py"), source)
+        return model_for(Project([ctx]))
+
+    def test_condition_harvested_as_lock(self) -> None:
+        model = self._model(
+            "import threading\n"
+            "class App:\n"
+            "    def __init__(self):\n"
+            "        self._gate = threading.Condition()\n")
+        assert model.is_lock("self._gate")
+        assert model.is_reentrant("_gate")
+
+    def test_plain_lock_not_reentrant(self) -> None:
+        model = self._model(
+            "import threading\n"
+            "class App:\n"
+            "    def __init__(self):\n"
+            "        self._mtx = threading.Lock()\n")
+        assert not model.is_reentrant("_mtx")
+        # unharvested names stay safe (assumed reentrant)
+        assert model.is_reentrant("_unknown")
+
+    def test_guard_pragma_trailing_and_above(self) -> None:
+        model = self._model(
+            "import threading\n"
+            "class App:\n"
+            "    def __init__(self):\n"
+            "        self._lk = threading.Lock()\n"
+            "        self._events = []  # egeria: guarded-by[self._lk]\n"
+            "        # egeria: guarded-by[self._lk]\n"
+            "        self._tallies = {'hits': 0}\n"
+            "        self._plain = 0\n")
+        guards = model.guards_for("App")
+        assert set(guards) == {"_events", "_tallies"}
+        assert guards["_events"].mutable
+        assert guards["_tallies"].lock == "self._lk"
+
+    def test_frozen_pragma_and_dataclass(self) -> None:
+        model = self._model(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class State:\n"
+            "    generation: int\n"
+            "class Sealed:  # egeria: frozen\n"
+            "    pass\n"
+            "class Plain:\n"
+            "    pass\n")
+        assert model.frozen == {"State", "Sealed"}
+
+    def test_frozen_attr_inference(self) -> None:
+        model = self._model(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class State:\n"
+            "    generation: int\n"
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self._state = State(generation=0)\n"
+            "    def swap(self):\n"
+            "        self._state = State(generation=1)\n"
+            "    def other(self):\n"
+            "        self._misc = []\n")
+        assert model.frozen_attrs.get("Holder") == {"_state": "State"}
+
+    def test_guard_inherited_by_subclass(self) -> None:
+        model = self._model(
+            "import threading\n"
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self._lk = threading.Lock()\n"
+            "        self._events = []  # egeria: guarded-by[self._lk]\n"
+            "class Child(Base):\n"
+            "    pass\n")
+        assert "_events" in model.guards_for("Child")
+
+
+class TestPerformanceBudget:
+    def test_full_lint_under_five_seconds(self) -> None:
+        """ISSUE 8 acceptance: the flow-aware gate stays cheap enough
+        to run first in CI."""
+        baseline = Baseline.load(
+            REPO_ROOT / "tools" / "lint_baseline.json")
+        start = time.monotonic()
+        result = Linter(rules=default_rules(), baseline=baseline) \
+            .lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        elapsed = time.monotonic() - start
+        assert result.checked_files > 100
+        assert elapsed < 5.0, f"lint took {elapsed:.2f}s (budget 5s)"

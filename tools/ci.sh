@@ -23,7 +23,10 @@ PYTHON="${PYTHON:-python}"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== egeria-lint =="
-"$PYTHON" tools/lint.py src/
+# the gate covers the library, the benches and the tooling; the JSON
+# report is the machine-readable CI artifact
+"$PYTHON" tools/lint.py src/ benchmarks/ tools/ \
+    --json-output benchmarks/out/lint_report.json
 
 echo "== tier-1 test suite =="
 "$PYTHON" -m pytest -x -q

@@ -6,14 +6,18 @@ Typical invocations (from the repository root)::
     python tools/lint.py                  # lint src/ against the baseline
     python tools/lint.py src/repro/web    # lint a subtree
     python tools/lint.py --json           # machine-readable report
+    python tools/lint.py --json-output out/lint.json  # report artifact
     python tools/lint.py --list-rules     # the registered rule set
-    python tools/lint.py --write-baseline # grandfather current findings
+    python tools/lint.py --update-baseline  # regenerate the baseline
 
 Exit status: 0 when no new violations (suppressed and baselined
-findings don't count), 1 otherwise.  ``--write-baseline`` rewrites
-``tools/lint_baseline.json`` from the current findings, preserving
-existing justifications and stamping new entries with a TODO marker —
-justify or fix them before committing.
+findings don't count), 1 otherwise.  ``--update-baseline`` (alias:
+``--write-baseline``) regenerates ``tools/lint_baseline.json`` from
+the current findings, preserving existing justifications and stamping
+new entries with a TODO marker — justify or fix them before
+committing.  ``--json-output PATH`` writes the JSON report to *PATH*
+in addition to the normal console output; CI emits it as the lint
+artifact.
 """
 
 from __future__ import annotations
@@ -46,12 +50,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline file (default: %(default)s)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the baseline file")
-    parser.add_argument("--write-baseline", action="store_true",
-                        help="rewrite the baseline from current findings")
+    parser.add_argument("--update-baseline", "--write-baseline",
+                        action="store_true", dest="update_baseline",
+                        help="regenerate the baseline from current "
+                             "findings (keeps existing justifications)")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the JSON report")
+    parser.add_argument("--json-output", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH "
+                             "(directories are created)")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="also list suppressed/baselined findings")
     parser.add_argument("--list-rules", action="store_true",
@@ -73,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     linter = Linter(rules=rules, baseline=baseline)
     result = linter.lint_paths(paths, root=REPO_ROOT)
 
-    if args.write_baseline:
+    if args.update_baseline:
         grandfathered = result.violations + result.baselined
         new_baseline = Baseline.from_violations(grandfathered,
                                                 previous=baseline)
@@ -81,6 +90,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(new_baseline)} baseline entries to "
               f"{args.baseline}")
         return 0
+
+    if args.json_output:
+        out_path = Path(args.json_output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(render_json(result) + "\n", encoding="utf-8")
 
     print(render_json(result) if args.as_json
           else render_text(result, verbose=args.verbose))
