@@ -16,6 +16,24 @@ The corpus/workload come from the seeded generators in
 reproducible and the perf gate (``tools/perf_gate.py``) can hold a
 budget against the emitted JSON.
 
+Below :data:`repro.retrieval.topk.DENSE_CUTOVER_ROWS` the pruned
+configuration's query path runs the dense kernel anyway (the adaptive
+cutover — gather overhead beats one small matvec), so the ``pruned``
+row is reported as a copy of ``dense`` with speedup exactly 1.0 and a
+``note``; measuring two identical code paths against each other would
+only gate timer noise.
+
+The **scale block** (full runs; skipped by ``--quick``) exercises the
+100k-sentence acceptance bar end to end: v3 JSON load vs v4 mmap load
+(with a bit-identity check over the query workload), then a threaded
+server vs an N-worker prefork server — both serving the same binary
+snapshot store via the real CLI in subprocesses — under a
+multi-threaded HTTP load generator, recording QPS and
+cold-start-to-first-query time.  On hosts with fewer than
+``--prefork-workers`` CPUs the multiprocess QPS ratio is physically
+unmeasurable, so the block records a ``waivers`` entry that
+``tools/perf_gate.py`` reports as WAIVED instead of failing.
+
 Run the full matrix (writes ``BENCH_serving.json`` at the repo root)::
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py
@@ -30,13 +48,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
 import time
+import urllib.request
 from pathlib import Path
+from urllib.parse import quote
 
 from repro.core.recommender import KnowledgeRecommender
 from repro.docs.document import Document
 from repro.retrieval.bench_fixtures import (
     BENCH_SEED, query_workload, synthetic_sentences)
+from repro.retrieval.topk import DENSE_CUTOVER_ROWS
 
 FULL_SIZES = (500, 2000, 10_000)
 QUICK_SIZES = (300, 1000)
@@ -47,6 +76,12 @@ QUICK_QUERIES = 60
 
 #: every path answers with the serving layer's realistic top-k
 LIMIT = 10
+
+#: the scale block's corpus size and HTTP workload
+SCALE_SIZE = 100_000
+SCALE_QUERIES = 800
+SCALE_CLIENT_THREADS = 8
+SCALE_PREFORK_WORKERS = 4
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -109,10 +144,19 @@ def bench_size(size: int, n_queries: int) -> dict:
     pruned = build(cache_size=0, prune=True)
     cached = build(cache_size=1024, prune=True)
 
-    paths = {
-        "dense": _measure(dense, queries),
-        "pruned": _measure(pruned, queries),
-    }
+    paths = {"dense": _measure(dense, queries)}
+    if size >= DENSE_CUTOVER_ROWS:
+        paths["pruned"] = _measure(pruned, queries)
+    else:
+        # below the adaptive cutover the pruned config executes the
+        # dense kernel (repro.retrieval.topk.DENSE_CUTOVER_ROWS), so
+        # the two paths are the same code — report that instead of
+        # gating timer noise between identical runs
+        paths["pruned"] = dict(paths["dense"])
+        paths["pruned"]["note"] = (
+            f"size {size} is below DENSE_CUTOVER_ROWS "
+            f"({DENSE_CUTOVER_ROWS}): the pruned config runs the "
+            f"dense kernel; row copied from dense")
     _measure(cached, queries)               # cold pass fills the cache
     paths["warm_cache"] = _measure(cached, queries)
     cache_stats = cached.cache_stats() or {}
@@ -129,13 +173,204 @@ def bench_size(size: int, n_queries: int) -> dict:
         "candidate_fraction": _candidate_fraction(pruned, queries, size),
         "paths": paths,
         "speedups": {
-            "pruned_vs_dense": _speedup("pruned"),
+            "pruned_vs_dense": (_speedup("pruned")
+                                if size >= DENSE_CUTOVER_ROWS else 1.0),
             "warm_cache_vs_dense": _speedup("warm_cache"),
         },
     }
 
 
-def run(quick: bool = False) -> dict:
+# -- scale block: mmap warm start + prefork throughput -------------------
+
+def _answer_signature(recommender, queries: list[str]) -> list:
+    """Bit-exact fingerprint of the answers to *queries*."""
+    signature = []
+    for query in queries:
+        signature.append([
+            (r.sentence.index,
+             struct.pack("<d", r.score).hex(),
+             tuple(r.matched_terms))
+            for r in recommender.recommend(query, limit=LIMIT)])
+    return signature
+
+
+def _free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _first_query_s(port: int, query: str,
+                   deadline_s: float = 300.0) -> float:
+    """Seconds until the server answers its first real query."""
+    url = (f"http://127.0.0.1:{port}/api/query?q={quote(query)}"
+           f"&limit={LIMIT}")
+    start = time.perf_counter()
+    while time.perf_counter() - start < deadline_s:
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                if response.status == 200:
+                    response.read()
+                    return time.perf_counter() - start
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError(f"server on port {port} never answered a query")
+
+
+def _generate_load(port: int, queries: list[str],
+                   client_threads: int) -> dict:
+    """Hammer the server from *client_threads* concurrent clients.
+
+    Queries are pre-partitioned so no client-side locking skews the
+    measurement; the bundled server speaks HTTP/1.0, so each request
+    is its own connection (as a prefork-balanced client would be).
+    """
+    chunks = [queries[i::client_threads] for i in range(client_threads)]
+    answered = [0] * client_threads
+    errors = [0] * client_threads
+
+    def _client(worker: int) -> None:
+        for query in chunks[worker]:
+            url = (f"http://127.0.0.1:{port}/api/query"
+                   f"?q={quote(query)}&limit={LIMIT}")
+            try:
+                with urllib.request.urlopen(url, timeout=60) as response:
+                    response.read()
+                    answered[worker] += 1
+            except OSError:
+                errors[worker] += 1
+
+    threads = [threading.Thread(target=_client, args=(i,), daemon=True)
+               for i in range(client_threads)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    total = sum(answered)
+    return {
+        "queries": total,
+        "errors": sum(errors),
+        "wall_s": wall,
+        "qps": (total / wall) if wall else 0.0,
+        "client_threads": client_threads,
+    }
+
+
+def _bench_server(store_dir: str, workers: int, queries: list[str],
+                  client_threads: int) -> dict:
+    """Cold-start and sustained QPS of one CLI-served configuration."""
+    port = _free_port()
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--snapshots", store_dir, "--port", str(port)]
+    if workers > 1:
+        command += ["--workers", str(workers)]
+    process = subprocess.Popen(command, stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+    try:
+        cold_start_s = _first_query_s(port, queries[0])
+        stats = _generate_load(port, queries, client_threads)
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+    stats["cold_start_s"] = cold_start_s
+    stats["workers"] = workers
+    return stats
+
+
+def _cpu_count() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def bench_scale(size: int = SCALE_SIZE,
+                n_queries: int = SCALE_QUERIES,
+                prefork_workers: int = SCALE_PREFORK_WORKERS,
+                client_threads: int = SCALE_CLIENT_THREADS) -> dict:
+    from repro.core.advisor import AdvisingTool
+    from repro.core.persistence import load_advisor, save_advisor
+    from repro.core.snapshots import SnapshotStore
+
+    sentences = synthetic_sentences(size, seed=BENCH_SEED)
+    document = Document.from_sentences(sentences,
+                                       title=f"bench-scale-{size}")
+    advising = list(document.iter_sentences())
+    queries = query_workload(n_queries, seed=BENCH_SEED,
+                             repeat_fraction=0.5)
+    identity_queries = sorted(set(queries))[:50]
+
+    build_start = time.perf_counter()
+    tool = AdvisingTool(document, advising, auto_compaction=False)
+    build_seconds = time.perf_counter() - build_start
+
+    entry: dict = {
+        "size": size,
+        "queries": n_queries,
+        "limit": LIMIT,
+        "build_seconds": build_seconds,
+        "cpu_count": _cpu_count(),
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "advisor_v3.json")
+        binary_path = os.path.join(tmp, "advisor_v4.json")
+        save_advisor(tool, json_path)
+        save_advisor(tool, binary_path, binary=True)
+        entry["json_bytes"] = os.path.getsize(json_path)
+        entry["sidecar_bytes"] = os.path.getsize(
+            os.path.splitext(binary_path)[0] + ".bin")
+
+        start = time.perf_counter()
+        json_tool = load_advisor(json_path)
+        entry["json_load_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        mmap_tool = load_advisor(binary_path)
+        entry["mmap_load_s"] = time.perf_counter() - start
+
+        entry["identical"] = (
+            _answer_signature(json_tool.recommender, identity_queries)
+            == _answer_signature(mmap_tool.recommender,
+                                 identity_queries))
+        del json_tool, mmap_tool
+
+        store_dir = os.path.join(tmp, "snapshots")
+        SnapshotStore(store_dir, binary=True).save(tool)
+        del tool  # keep the bench process lean before forking servers
+
+        entry["paths"] = {
+            "threaded": _bench_server(store_dir, 1, queries,
+                                      client_threads),
+            "prefork": _bench_server(store_dir, prefork_workers,
+                                     queries, client_threads),
+        }
+
+    threaded_qps = entry["paths"]["threaded"]["qps"]
+    entry["speedups"] = {
+        "mmap_vs_json_load": (entry["json_load_s"]
+                              / entry["mmap_load_s"]
+                              if entry["mmap_load_s"] else 0.0),
+        "prefork_vs_threaded": (entry["paths"]["prefork"]["qps"]
+                                / threaded_qps if threaded_qps
+                                else 0.0),
+    }
+    if entry["cpu_count"] < prefork_workers:
+        entry["waivers"] = {
+            "prefork_vs_threaded":
+                f"host exposes {entry['cpu_count']} CPU(s); "
+                f"{prefork_workers} workers cannot express a "
+                f"multiprocess speedup without {prefork_workers} cores",
+        }
+    return entry
+
+
+def run(quick: bool = False, scale: bool | None = None) -> dict:
     sizes = QUICK_SIZES if quick else FULL_SIZES
     n_queries = QUICK_QUERIES if quick else FULL_QUERIES
     results = {
@@ -146,6 +381,10 @@ def run(quick: bool = False) -> dict:
     }
     for size in sizes:
         results["sizes"][str(size)] = bench_size(size, n_queries)
+    if scale if scale is not None else not quick:
+        results["scale"] = {
+            "sizes": {str(SCALE_SIZE): bench_scale()},
+        }
     return results
 
 
@@ -167,17 +406,38 @@ def _print_results(results: dict) -> None:
         print(f"{'':>10} candidate fraction "
               f"{entry['candidate_fraction']:.3f}, build "
               f"{entry['build_seconds']:.2f}s")
+    for size, entry in results.get("scale", {}).get("sizes", {}).items():
+        print(f"\n[scale {size}] json load {entry['json_load_s']:.2f}s, "
+              f"mmap load {entry['mmap_load_s']:.2f}s "
+              f"({entry['speedups']['mmap_vs_json_load']:.1f}x), "
+              f"identical={entry['identical']}")
+        for path, stats in entry["paths"].items():
+            print(f"[scale {size}] {path} ({stats['workers']} worker"
+                  f"{'s' if stats['workers'] != 1 else ''}): "
+                  f"{stats['qps']:.0f} qps, cold start "
+                  f"{stats['cold_start_s']:.2f}s, "
+                  f"{stats['errors']} errors")
+        print(f"[scale {size}] prefork_vs_threaded "
+              f"{entry['speedups']['prefork_vs_threaded']:.2f}x "
+              f"(cpu_count={entry['cpu_count']}"
+              + (", WAIVED: " + entry["waivers"]["prefork_vs_threaded"]
+                 if "waivers" in entry else "") + ")")
 
 
 def _main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="small sizes / fewer queries (CI smoke)")
+    parser.add_argument("--scale", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="force the 100k scale block on or off "
+                             "(default: on for full runs, off for "
+                             "--quick)")
     parser.add_argument("--output", default="BENCH_serving.json",
                         help="where to write the JSON results")
     args = parser.parse_args()
 
-    results = run(quick=args.quick)
+    results = run(quick=args.quick, scale=args.scale)
     _print_results(results)
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)

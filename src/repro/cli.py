@@ -147,12 +147,14 @@ def cmd_build(args: argparse.Namespace) -> int:
     if args.save:
         from repro.core.persistence import save_advisor
 
-        save_advisor(advisor, args.save)
-        print(f"advisor saved to {args.save}")
+        save_advisor(advisor, args.save, binary=args.binary)
+        print(f"advisor saved to {args.save}"
+              + (" (+ binary sidecar)" if args.binary else ""))
     if args.save_snapshot:
         from repro.core.snapshots import SnapshotStore
 
-        info = SnapshotStore(args.save_snapshot).save(advisor)
+        info = SnapshotStore(args.save_snapshot,
+                             binary=args.binary or None).save(advisor)
         print(f"snapshot {info.version} committed to {args.save_snapshot} "
               f"({info.payload_bytes} bytes)")
     if args.output:
@@ -196,6 +198,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.web.server import run
 
     config = _load_config(args)
@@ -204,7 +208,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if snapshots_dir:
         from repro.core.snapshots import SnapshotStore
 
-        store = SnapshotStore(snapshots_dir, keep=config.snapshot_keep)
+        # an explicit --binary forces v4 saves; otherwise the store's
+        # sticky default keeps the format of the newest snapshot
+        store = SnapshotStore(snapshots_dir, keep=config.snapshot_keep,
+                              binary=args.binary or None)
+    workers = args.serve_workers or config.workers
+    if workers > 1 and not hasattr(os, "fork"):
+        print("serve: prefork needs os.fork(); serving threaded instead",
+              file=sys.stderr)
+        workers = 1
+    deadline_ms = args.deadline_ms or config.deadline_ms
+    host = args.host or config.host
+    # an explicit --port 0 means "pick a free port" — `or` would
+    # silently fall back to the configured port
+    port = config.port if args.port is None else args.port
+    if workers > 1:
+        # prefork: the master never loads an index — workers map the
+        # shared snapshot, so a populated store is the one requirement
+        from repro.web.prefork import run_prefork
+
+        if store is None:
+            print("serve: --workers needs --snapshots DIR (workers "
+                  "load the shared snapshot)", file=sys.stderr)
+            return 2
+        name = None
+        if args.guide is not None:
+            # commit the guide as the snapshot the workers will map —
+            # serving an older version than what was asked for on the
+            # command line would be a silent surprise
+            advisor = _build_or_load_advisor(args)
+            info = store.save(advisor)
+            name = advisor.name
+            print(f"snapshot {info.version} committed to "
+                  f"{snapshots_dir}")
+        elif not store.versions():
+            print(f"serve: snapshot store {snapshots_dir} is empty; "
+                  "provide a guide file or run 'build --save-snapshot'",
+                  file=sys.stderr)
+            return 2
+        return run_prefork(
+            store,
+            host=host,
+            port=port,
+            workers=workers,
+            name=name,
+            max_body_bytes=config.max_body_bytes,
+            request_deadline_s=deadline_ms / 1000.0,
+            max_in_flight=args.max_in_flight or config.max_in_flight,
+            drain_timeout_s=config.drain_timeout_ms / 1000.0)
     if args.guide is None:
         if store is None:
             print("serve: provide a guide file or --snapshots DIR",
@@ -221,10 +272,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             # seed the store so /api/reload and SIGHUP work from the
             # first request on
             store.save(advisor)
-    deadline_ms = args.deadline_ms or config.deadline_ms
     run(advisor,
-        host=args.host or config.host,
-        port=args.port or config.port,
+        host=host,
+        port=port,
         max_body_bytes=config.max_body_bytes,
         request_deadline_s=deadline_ms / 1000.0,
         threads=not args.single_thread,
@@ -409,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--save-snapshot", metavar="DIR",
                          help="commit the advisor to a versioned "
                               "snapshot store (crash-safe)")
+    p_build.add_argument("--binary", action="store_true",
+                         help="write the v4 binary index format (a "
+                              ".bin sidecar loaded via mmap: near-"
+                              "instant warm starts, shared pages "
+                              "across prefork workers)")
     p_build.add_argument("--extra-keywords", nargs="*",
                          help="extra flagging keywords/phrases")
     p_build.set_defaults(func=cmd_build)
@@ -449,6 +504,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-in-flight", type=int, default=None,
                          help="admission-control cap on concurrent "
                               "requests (default from config: 64)")
+    # dest avoids clobbering the root parser's Stage-I --workers:
+    # argparse writes subparser defaults over parent values sharing
+    # a dest, so "serve" would always reset args.workers to None
+    p_serve.add_argument("--workers", type=int, default=None,
+                         dest="serve_workers", metavar="N",
+                         help="serve with N prefork worker processes "
+                              "mapping the shared snapshot (requires "
+                              "--snapshots; default from config: 1)")
+    p_serve.add_argument("--binary", action="store_true",
+                         help="commit snapshots in the v4 binary "
+                              "format (mmap warm starts)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_snap = sub.add_parser(

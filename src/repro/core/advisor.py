@@ -132,6 +132,7 @@ class AdvisingTool:
         compaction_ratio: int = DEFAULT_COMPACTION_RATIO,
         auto_compaction: bool = True,
         index_layout: dict | None = None,
+        recommender: KnowledgeRecommender | None = None,
     ) -> None:
         self.document = document
         self.name = name or f"{document.title} Adviser"
@@ -168,7 +169,11 @@ class AdvisingTool:
         self._compaction_stats = {"merges": 0, "refits": 0, "aborted": 0}
         # egeria: guarded-by[self._compaction_lock]
         self._compaction_thread: threading.Thread | None = None
-        if index_layout is None:
+        if recommender is not None:
+            # a fully restored recommender (the binary-sidecar mmap
+            # load path) bypasses both the fresh build and the replay
+            pass
+        elif index_layout is None:
             recommender = KnowledgeRecommender(
                 list(advising_sentences), document=document,
                 threshold=threshold, annotations=annotations)

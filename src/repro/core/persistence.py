@@ -38,6 +38,7 @@ import os
 from contextlib import nullcontext
 from dataclasses import dataclass
 
+from repro.core import binindex
 from repro.core.advisor import AdvisingTool
 from repro.docs.document import Document, Section, Sentence
 from repro.pipeline.annotations import DocumentAnnotations
@@ -46,8 +47,18 @@ from repro.resilience.faults import fault_point
 
 FORMAT_VERSION = 3
 
+#: format of a header + ``.bin`` sidecar pair (DESIGN §14): the JSON
+#: payload keeps every v3 block (so the growth layout survives for
+#: provenance and future extends) and adds an ``index_binary`` block
+#: describing the mmap-able sidecar next to it
+BINARY_FORMAT_VERSION = 4
+
 #: versions ``advisor_from_dict`` accepts
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+#: the sidecar written next to a v4 header shares its stem:
+#: ``advisor.json`` + ``advisor.bin``
+BINARY_SIDECAR_SUFFIX = ".bin"
 
 #: bytes written between ``snapshot.write`` fault-point checks; small
 #: enough that chaos plans can kill a save at the start, middle, or
@@ -239,6 +250,30 @@ def _advisor_to_dict_frozen(tool: AdvisingTool,
     return data
 
 
+def advisor_to_binary(
+    tool: AdvisingTool,
+    include_annotations: bool = True,
+    sidecar_name: str = "advisor" + BINARY_SIDECAR_SUFFIX,
+) -> tuple[dict, bytes]:
+    """Serialize *tool* as a format-v4 ``(header, sidecar)`` pair.
+
+    The header is the full v3 JSON payload (document, provenance,
+    health, annotations, growth layout) with ``format_version`` 4 and
+    an ``index_binary`` block naming *sidecar_name*; the sidecar holds
+    every index array in the mmap-able layout of
+    :mod:`repro.core.binindex`.  Both halves are produced under one
+    freeze so they describe the same index generation.
+    """
+    freeze = getattr(tool, "freeze", None)
+    with (freeze() if freeze is not None else nullcontext()):
+        data = _advisor_to_dict_frozen(tool, include_annotations)
+        block, sidecar = binindex.pack_index(tool.recommender)
+    data["format_version"] = BINARY_FORMAT_VERSION
+    block["sidecar"] = sidecar_name
+    data["index_binary"] = block
+    return data, sidecar
+
+
 def _load_annotations(data: dict,
                       document: Document) -> DocumentAnnotations | None:
     payload = data.get("annotations")
@@ -315,16 +350,20 @@ def _load_index_layout(data: dict, n_advising: int,
     return {"weight_epoch": epoch, "segments": batches}
 
 
-def advisor_from_dict(data: dict, path: str | None = None) -> AdvisingTool:
+def advisor_from_dict(data: dict, path: str | None = None,
+                      mmap: bool = True) -> AdvisingTool:
     """Rebuild an :class:`AdvisingTool` from :func:`advisor_to_dict`.
 
-    Accepts the current v3 format (whose ``index`` block records the
-    segment growth layout), v2 files (loaded as a single segment), and
-    legacy v1 files (which carry no annotations, provenance, or
-    build-health block).  Every malformed
+    Accepts the v4 header format (whose ``index_binary`` block points
+    at a mmap-able sidecar next to *path*), the v3 format (whose
+    ``index`` block records the segment growth layout), v2 files
+    (loaded as a single segment), and legacy v1 files (which carry no
+    annotations, provenance, or build-health block).  Every malformed
     payload — unsupported version, missing keys, out-of-range indices,
     wrong value shapes — surfaces as a :class:`PersistenceError`
     carrying *path* (when known) and the payload's declared version.
+    ``mmap`` only affects v4 loads: ``False`` reads the sidecar into
+    private memory instead of mapping it.
     """
     if not isinstance(data, dict):
         raise PersistenceError(
@@ -336,7 +375,7 @@ def advisor_from_dict(data: dict, path: str | None = None) -> AdvisingTool:
             f"unsupported advisor format version (supported: "
             f"{SUPPORTED_VERSIONS})", path=path, format_version=version)
     try:
-        return _advisor_from_dict_unchecked(data, version)
+        return _advisor_from_dict_unchecked(data, version, path, mmap)
     except PersistenceError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as error:
@@ -345,7 +384,42 @@ def advisor_from_dict(data: dict, path: str | None = None) -> AdvisingTool:
             path=path, format_version=version) from error
 
 
-def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
+def _restore_binary(data: dict, path: str | None, advising: list,
+                    annotations, index_layout: dict | None,
+                    mmap: bool):
+    """Restore a v4 payload's recommender off its ``.bin`` sidecar."""
+    block = data.get("index_binary")
+    if not isinstance(block, dict):
+        raise ValueError("format v4 payload has no index_binary block")
+    if path is None:
+        raise ValueError(
+            "a v4 payload needs its file path to locate the sidecar")
+    directory = os.path.dirname(os.path.abspath(path))
+    sidecar = block.get("sidecar")
+    if isinstance(sidecar, str) and os.path.basename(sidecar) == sidecar:
+        sidecar_path = os.path.join(directory, sidecar)
+        if (not os.path.exists(sidecar_path)
+                or os.path.getsize(sidecar_path)
+                != block.get("sidecar_bytes")):
+            raise ValueError(
+                f"sidecar {sidecar!r} is missing or does not match "
+                f"the header (expected "
+                f"{block.get('sidecar_bytes')!r} bytes)")
+    batches = None
+    if index_layout is not None:
+        batches = [{"advising": advising_count,
+                    "doc_sentences": doc_count}
+                   for advising_count, doc_count
+                   in index_layout["segments"]]
+    return binindex.restore_recommender(
+        block, directory, advising=advising, annotations=annotations,
+        threshold=data.get("threshold", 0.15), batches=batches,
+        mmap=mmap)
+
+
+def _advisor_from_dict_unchecked(
+        data: dict, version: int, path: str | None = None,
+        mmap: bool = True) -> AdvisingTool:
     document = Document(
         title=data["document"]["title"],
         pages=data["document"].get("pages", 0),
@@ -370,9 +444,13 @@ def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
     events, quarantined = _load_build_health(data)
     # v2 payloads carry no layout and load as a single segment; v3
     # replays the recorded growth batches so the rebuilt index serves
-    # the exact weights the saved advisor did
+    # the exact weights the saved advisor did; v4 skips the replay
+    # entirely and maps the sealed arrays from the sidecar
     index_layout = (_load_index_layout(data, len(advising), n)
                     if version >= 3 else None)
+    recommender = (_restore_binary(data, path, advising, annotations,
+                                   index_layout, mmap)
+                   if version >= 4 else None)
     return AdvisingTool(
         document, advising,
         threshold=data.get("threshold", 0.15),
@@ -381,7 +459,8 @@ def _advisor_from_dict_unchecked(data: dict, version: int) -> AdvisingTool:
         quarantined=quarantined,
         annotations=annotations,
         provenance=_load_provenance(data),
-        index_layout=index_layout,
+        index_layout=None if recommender is not None else index_layout,
+        recommender=recommender,
     )
 
 
@@ -398,25 +477,46 @@ def advisor_to_json(tool: AdvisingTool,
 
 
 def save_advisor(tool: AdvisingTool, path: str,
-                 include_annotations: bool = True) -> None:
+                 include_annotations: bool = True,
+                 binary: bool = False) -> None:
     """Write *tool* to *path* as JSON, crash-safely.
 
     The payload is serialized in memory first, then published with
     :func:`atomic_write_bytes`: a save killed at any point leaves
     either the previous file intact or the complete new file — never
     a truncated JSON document.
+
+    ``binary=True`` writes the format-v4 pair: the ``.bin`` sidecar
+    (``path`` with its extension swapped for ``.bin``) lands first,
+    the header second, so a crash between the two leaves an old
+    header that never references the new sidecar; a *stale* header
+    next to a *new* sidecar fails loudly at load time via the
+    header's ``sidecar_bytes``/checksum record.  Versioned rollback
+    on top of that is the snapshot store's job.
     """
+    if binary:
+        sidecar_path = os.path.splitext(path)[0] + BINARY_SIDECAR_SUFFIX
+        data, sidecar = advisor_to_binary(
+            tool, include_annotations=include_annotations,
+            sidecar_name=os.path.basename(sidecar_path))
+        atomic_write_bytes(sidecar_path, sidecar)
+        atomic_write_text(
+            path, json.dumps(data, ensure_ascii=False, indent=1))
+        return
     atomic_write_text(
         path, advisor_to_json(tool, include_annotations=include_annotations))
 
 
-def load_advisor(path: str) -> AdvisingTool:
+def load_advisor(path: str, mmap: bool = True) -> AdvisingTool:
     """Load an advisor previously written by :func:`save_advisor`.
 
     A v2 file with embedded annotations rebuilds its Stage II index
-    without any tokenization; v1 files load exactly as before.
-    Unreadable or corrupt files raise :class:`PersistenceError` with
-    the offending path rather than a raw ``JSONDecodeError``.
+    without any tokenization; v1 files load exactly as before.  A v4
+    header maps its ``.bin`` sidecar read-only (``mmap=False`` reads
+    it into private memory instead) — no tokenization *and* no array
+    deserialization.  Unreadable or corrupt files raise
+    :class:`PersistenceError` with the offending path rather than a
+    raw ``JSONDecodeError``.
     """
     fault_point("snapshot.load")
     try:
@@ -430,4 +530,4 @@ def load_advisor(path: str) -> AdvisingTool:
         raise PersistenceError(
             f"advisor file is not valid UTF-8: {error}",
             path=path) from error
-    return advisor_from_dict(data, path=path)
+    return advisor_from_dict(data, path=path, mmap=mmap)

@@ -136,6 +136,50 @@ class KnowledgeRecommender:
              "doc_sentences": self.fit_docs},
         ]
 
+    @classmethod
+    def restore(
+        cls,
+        advising_sentences: Sequence[Sentence],
+        index: SegmentedIndex,
+        sentence_terms: Sequence[frozenset[str]],
+        *,
+        annotations: DocumentAnnotations | None = None,
+        prune: bool = True,
+        cache_size: int = DEFAULT_QUERY_CACHE_SIZE,
+        epoch: int = 0,
+        fit_docs: int = 0,
+        stale_docs: int = 0,
+        batches: Sequence[dict[str, int]] | None = None,
+    ) -> "KnowledgeRecommender":
+        """Rehydrate a recommender around a prebuilt *index*.
+
+        The binary-sidecar load path (``core/binindex.py``) arrives
+        here with the segmented index and the per-sentence term sets
+        already reconstructed — possibly memmap-backed and lazy — so
+        no tokenization, fitting, or sealing happens.  ``batches``
+        restores the logical growth layout; omitted, the whole corpus
+        is recorded as one batch.
+        """
+        self = cls.__new__(cls)
+        self.sentences = list(advising_sentences)
+        self.threshold = index.threshold
+        self.annotations = annotations
+        self.prune = prune
+        self.epoch = epoch
+        self._normalizer = NormalizationPipeline()
+        self._cache = (LRUQueryCache(cache_size)
+                       if cache_size > 0 else None)
+        self._index = index
+        self._sentence_terms = sentence_terms
+        self.fit_docs = fit_docs
+        self.stale_docs = stale_docs
+        if batches:
+            self._batches = [dict(batch) for batch in batches]
+        else:
+            self._batches = [{"advising": len(self.sentences),
+                              "doc_sentences": fit_docs}]
+        return self
+
     def _terms_of(self, index: int, text: str) -> list[str]:
         """Pre-annotated terms for the sentence at global *index*, or a
         freshly normalized fallback when no annotation covers it."""

@@ -57,10 +57,12 @@ import threading
 from contextlib import nullcontext
 from dataclasses import dataclass
 
+from repro.core import binindex
 from repro.core.advisor import AdvisingTool
 from repro.core.persistence import (
     PersistenceError,
     advisor_from_dict,
+    advisor_to_binary,
     advisor_to_dict,
     atomic_write_bytes,
     atomic_write_text,
@@ -72,13 +74,19 @@ logger = logging.getLogger("repro.core.snapshots")
 #: manifest schema version (independent of the advisor format version)
 MANIFEST_FORMAT = 2
 
+#: manifest schema version of snapshots carrying a binary ``.bin``
+#: sidecar: its manifest file entry additionally records the header's
+#: per-array checksum table, so ``verify`` can name the corrupt array
+MANIFEST_FORMAT_BINARY = 3
+
 #: manifest schema versions the loader accepts
-SUPPORTED_MANIFEST_FORMATS = (1, 2)
+SUPPORTED_MANIFEST_FORMATS = (1, 2, 3)
 
 SNAPSHOT_PREFIX = "snapshot-"
 CURRENT_NAME = "CURRENT"
 MANIFEST_NAME = "MANIFEST.json"
 PAYLOAD_NAME = "advisor.json"
+SIDECAR_NAME = "advisor.bin"
 
 #: committed versions retained after a save (the newest always stays)
 DEFAULT_KEEP = 3
@@ -138,11 +146,21 @@ class SnapshotStore:
     two processes may race for the same version number).
     """
 
-    def __init__(self, root: str, keep: int = DEFAULT_KEEP) -> None:
+    def __init__(self, root: str, keep: int = DEFAULT_KEEP,
+                 binary: bool | None = None) -> None:
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.root = root
         self.keep = keep
+        #: default payload format for saves: ``True`` writes format-v4
+        #: header + ``.bin`` sidecar pairs (manifest format 3) so
+        #: loads — and every prefork worker — mmap the index instead
+        #: of replaying the growth layout.  ``None`` (the default) is
+        #: *sticky*: saves match the newest committed snapshot's
+        #: format, so a writer that did not pass the flag cannot
+        #: silently demote a binary store back to JSON (which would
+        #: cost every later load the mmap warm start)
+        self.binary = binary
         self._lock = threading.Lock()
         self.last_report: LoadReport | None = None
         os.makedirs(root, exist_ok=True)
@@ -183,10 +201,24 @@ class SnapshotStore:
         suffix = name[len(SNAPSHOT_PREFIX):]
         return int(suffix) if suffix.isdigit() else None
 
+    def _latest_is_binary(self) -> bool:
+        """Whether the newest committed snapshot carries a binary
+        sidecar — the sticky default for saves without an explicit
+        format choice."""
+        versions = self.versions()
+        if not versions:
+            return False
+        try:
+            manifest = self._manifest(versions[-1])
+        except SnapshotError:
+            return False
+        return manifest.get("format") == MANIFEST_FORMAT_BINARY
+
     # -- saving -----------------------------------------------------------
 
     def save(self, tool: AdvisingTool, include_annotations: bool = True,
-             keep: int | None = None) -> SnapshotInfo:
+             keep: int | None = None,
+             binary: bool | None = None) -> SnapshotInfo:
         """Commit *tool* as the next snapshot version and flip
         ``CURRENT`` to it; returns the committed :class:`SnapshotInfo`.
 
@@ -195,13 +227,28 @@ class SnapshotStore:
         entirely after the snapshot — never halfway.  The v3 payload's
         ``index.segments`` list is split into one ``segment-<k>.json``
         per growth batch, each independently checksummed in the
-        manifest's ``files`` list.
+        manifest's ``files`` list.  ``binary`` (defaulting to the
+        store-level flag, which itself defaults to matching the newest
+        committed snapshot's format) writes a v4 header plus the
+        ``advisor.bin`` sidecar; the sidecar's manifest entry carries
+        the per-array checksum table so verification names corrupt
+        arrays.
         """
-        freeze = getattr(tool, "freeze", None)
-        with (freeze() if freeze is not None else nullcontext()):
-            data = advisor_to_dict(
-                tool, include_annotations=include_annotations)
-        blobs: list[tuple[str, bytes]] = []
+        if binary is None:
+            binary = self.binary
+        if binary is None:
+            binary = self._latest_is_binary()
+        sidecar = None
+        if binary:
+            data, sidecar = advisor_to_binary(
+                tool, include_annotations=include_annotations,
+                sidecar_name=SIDECAR_NAME)
+        else:
+            freeze = getattr(tool, "freeze", None)
+            with (freeze() if freeze is not None else nullcontext()):
+                data = advisor_to_dict(
+                    tool, include_annotations=include_annotations)
+        blobs: list[tuple[str, bytes, dict | None]] = []
         index_block = data.get("index")
         if isinstance(index_block, dict):
             entries = index_block.pop("segments", None)
@@ -211,10 +258,24 @@ class SnapshotStore:
                     blobs.append((
                         f"segment-{position}.json",
                         json.dumps({"segment": position, **entry},
-                                   indent=1).encode("utf-8")))
+                                   indent=1).encode("utf-8"),
+                        None))
         payload = json.dumps(
             data, ensure_ascii=False, indent=1).encode("utf-8")
-        blobs.insert(0, (PAYLOAD_NAME, payload))
+        blobs.insert(0, (PAYLOAD_NAME, payload, None))
+        if sidecar is not None:
+            # the manifest entry mirrors the header's per-array
+            # checksum table so `snapshots verify` can name the
+            # corrupt array without re-parsing the payload
+            blobs.insert(1, (SIDECAR_NAME, sidecar, {
+                "arrays": [
+                    {"name": array["name"],
+                     "offset": array["offset"],
+                     "nbytes": array["nbytes"],
+                     "checksum": array["checksum"]}
+                    for array in data["index_binary"]["arrays"]
+                ],
+            }))
         checksum = _checksum(payload)
         with self._lock:
             version = self._next_version()
@@ -224,18 +285,22 @@ class SnapshotStore:
             try:
                 os.makedirs(staging)
                 manifest_files = []
-                for name, blob in blobs:
+                for name, blob, extra in blobs:
                     atomic_write_bytes(
                         os.path.join(staging, name), blob)
-                    manifest_files.append({
+                    entry = {
                         "name": name,
                         "bytes": len(blob),
                         "checksum": _checksum(blob),
-                    })
+                    }
+                    if extra:
+                        entry.update(extra)
+                    manifest_files.append(entry)
                 atomic_write_text(
                     os.path.join(staging, MANIFEST_NAME),
                     json.dumps({
-                        "format": MANIFEST_FORMAT,
+                        "format": (MANIFEST_FORMAT_BINARY if binary
+                                   else MANIFEST_FORMAT),
                         "version": version,
                         "payload": PAYLOAD_NAME,
                         "files": manifest_files,
@@ -387,7 +452,7 @@ class SnapshotStore:
         files the save split out, in ``segment`` order."""
         segments = []
         for name, blob in blobs.items():
-            if name == payload_name:
+            if name == payload_name or not name.startswith("segment-"):
                 continue
             entry = self._parse_payload(
                 blob, os.path.join(self._dir(version), name), version)
@@ -483,6 +548,8 @@ class SnapshotStore:
             if actual != expected:
                 report.append({"name": name, "ok": False,
                                "expected": expected, "actual": actual})
+                report.extend(
+                    self._sidecar_detail(version, name, entry, blob))
             elif declared_bytes is not None \
                     and len(blob) != declared_bytes:
                 report.append({"name": name, "ok": False,
@@ -492,6 +559,68 @@ class SnapshotStore:
                 report.append({"name": name, "ok": True,
                                "expected": expected, "actual": actual})
         return report
+
+    def _sidecar_detail(self, version: int, name: str, entry: dict,
+                        blob: bytes) -> list[dict]:
+        """Per-array rows for a corrupt binary sidecar.
+
+        When a manifest entry carrying an ``arrays`` table fails its
+        whole-file checksum, descend into the sidecar and name the
+        damaged array (``advisor.bin[segment0/data]``).  The deep
+        probe in :func:`binindex.verify_sidecar` runs when the payload
+        still parses; otherwise the manifest's own per-array checksum
+        table is enough to localize the damage.
+        """
+        arrays = entry.get("arrays")
+        if not isinstance(arrays, list) or not arrays:
+            return []
+        block = None
+        try:
+            payload_path = os.path.join(
+                self._dir(version), PAYLOAD_NAME)
+            with open(payload_path, "rb") as handle:
+                payload = handle.read()
+            candidate = json.loads(
+                payload.decode("utf-8")).get("index_binary")
+            if isinstance(candidate, dict):
+                block = candidate
+        except (OSError, ValueError):
+            block = None
+        rows: list[dict] = []
+        if block is not None:
+            try:
+                for row in binindex.verify_sidecar(blob, block):
+                    if not row.get("ok"):
+                        rows.append({
+                            "name": f"{name}[{row['name']}]",
+                            "ok": False,
+                            "expected": row.get("expected"),
+                            "actual": row.get("actual"),
+                        })
+                return rows
+            except (ValueError, KeyError, TypeError):
+                rows = []
+        for row in arrays:
+            try:
+                array_name = str(row["name"])
+                offset = int(row["offset"])
+                nbytes = int(row["nbytes"])
+                expected = row["checksum"]
+            except (KeyError, TypeError, ValueError):
+                continue
+            chunk = blob[offset:offset + nbytes]
+            if len(chunk) != nbytes:
+                rows.append({"name": f"{name}[{array_name}]",
+                             "ok": False,
+                             "expected": f"{nbytes} bytes",
+                             "actual": f"{len(chunk)} bytes"})
+                continue
+            actual = binindex._checksum(chunk)
+            if actual != expected:
+                rows.append({"name": f"{name}[{array_name}]",
+                             "ok": False,
+                             "expected": expected, "actual": actual})
+        return rows
 
     # -- retention --------------------------------------------------------
 

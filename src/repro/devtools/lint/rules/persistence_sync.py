@@ -23,7 +23,14 @@ Checks (all static, cross-module):
   (``repro.core.snapshots``: manifest format 2 with per-segment files)
   is read somewhere in the module — a manifest field the load/verify
   path never consults is dead weight at best and a checksum hole at
-  worst.
+  worst;
+* every array name the binary index header schema declares
+  (``repro.core.binindex``: ``SEGMENT_ARRAYS`` + ``GLOBAL_ARRAYS``,
+  the v4 sidecar's array-name table) is both written by
+  ``pack_index()`` and read by ``restore_recommender()`` — a declared
+  array the pack side never emits fails every load's name-set
+  validation, and one the restore side never consumes is bytes that
+  round-trip to nowhere.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from repro.devtools.lint.rules import string_constant
 ANNOTATIONS_MODULE = "repro.pipeline.annotations"
 PERSISTENCE_MODULE = "repro.core.persistence"
 SNAPSHOTS_MODULE = "repro.core.snapshots"
+BININDEX_MODULE = "repro.core.binindex"
 
 
 def _tuple_literal(ctx: FileContext, name: str) -> list[str] | None:
@@ -60,6 +68,13 @@ def _tuple_literal(ctx: FileContext, name: str) -> list[str] | None:
 def _class_def(ctx: FileContext, name: str) -> ast.ClassDef | None:
     for node in ctx.tree.body:
         if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _function_def(ctx: FileContext, name: str) -> ast.FunctionDef | None:
+    for node in ctx.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
             return node
     return None
 
@@ -93,6 +108,9 @@ class PersistenceSchemaSyncRule(Rule):
         snapshots = project.module(SNAPSHOTS_MODULE)
         if snapshots is not None:
             yield from self._check_snapshots(snapshots)
+        binindex = project.module(BININDEX_MODULE)
+        if binindex is not None:
+            yield from self._check_binindex(binindex)
 
     def _check_annotations(self, ctx: FileContext) -> Iterable[Violation]:
         layers = _tuple_literal(ctx, "LAYERS")
@@ -201,3 +219,35 @@ class PersistenceSchemaSyncRule(Rule):
                 f"snapshot save() writes manifest key {key!r} but the "
                 f"module never reads it; the load/verify path silently "
                 f"ignores the field")
+
+    def _check_binindex(self, ctx: FileContext) -> Iterable[Violation]:
+        """Every array the binary header schema declares must be
+        written by ``pack_index`` and read by ``restore_recommender``.
+
+        Scoped to those two functions by name: the module-level
+        ``ARRAY_DTYPES`` table mentions every array too, so a
+        module-wide literal scan would satisfy both sides trivially
+        and the check would never fire.
+        """
+        declared = ((_tuple_literal(ctx, "SEGMENT_ARRAYS") or [])
+                    + (_tuple_literal(ctx, "GLOBAL_ARRAYS") or []))
+        if not declared:
+            return
+        pack = _function_def(ctx, "pack_index")
+        restore = _function_def(ctx, "restore_recommender")
+        packed = _string_literals(pack) if pack is not None else None
+        restored = (_string_literals(restore)
+                    if restore is not None else None)
+        for name in declared:
+            if packed is not None and name not in packed:
+                yield self.violation(
+                    ctx, pack,
+                    f"binary header schema declares array {name!r} but "
+                    f"pack_index() never writes it; every load fails "
+                    f"the sidecar's array-name-set validation")
+            if restored is not None and name not in restored:
+                yield self.violation(
+                    ctx, restore,
+                    f"binary header schema declares array {name!r} but "
+                    f"restore_recommender() never reads it; the bytes "
+                    f"round-trip to nowhere")

@@ -47,7 +47,8 @@ import scipy.sparse as sp
 
 from repro.retrieval.dictionary import Dictionary
 from repro.retrieval.tfidf import TfidfModel
-from repro.retrieval.topk import PostingsScorer, select_top_k
+from repro.retrieval.topk import (DENSE_CUTOVER_ROWS, PostingsScorer,
+                                  select_top_k)
 
 #: rows per freshly sealed segment the compaction policy aims for;
 #: segments at or under this size sit in tier 0 of the merge policy
@@ -321,15 +322,21 @@ class SegmentedIndex:  # egeria: frozen
         threshold: float | None = None,
         limit: int | None = None,
         prune: bool = True,
+        min_prune_rows: int | None = None,
     ) -> list[tuple[int, float]]:
         """Thresholded ``(row, score)`` pairs, best first — the exact
         semantics of
         :meth:`~repro.retrieval.vsm.SentenceRetriever.query_tokens`
-        over the merged row space."""
+        over the merged row space.  Below the adaptive cutover the
+        dense reference path answers even prune-enabled queries (same
+        results either way; see ``DENSE_CUTOVER_ROWS``);
+        ``min_prune_rows=0`` forces the pruned kernel."""
         if limit is not None and limit < 0:
             raise ValueError("limit must be >= 0")
         cutoff = self.threshold if threshold is None else threshold
-        if prune and cutoff > 0.0:
+        floor = (DENSE_CUTOVER_ROWS if min_prune_rows is None
+                 else min_prune_rows)
+        if prune and cutoff > 0.0 and len(self) >= floor:
             rows, scores = self.candidate_similarities(tokens)
             return select_top_k(rows, scores, cutoff, limit)
         scores = self.similarities(tokens)

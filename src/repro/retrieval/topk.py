@@ -56,6 +56,15 @@ try:                                    # scipy >= 1.8 module layout
 except ImportError:  # pragma: no cover - exercised via monkeypatch
     _csr_matvec = None
 
+#: below this many indexed rows the dense matvec beats candidate
+#: discovery + gather: the postings walk, boolean mask, and submatrix
+#: assembly are per-query overhead the tiny matrix amortizes away
+#: (BENCH_serving measured pruned at 0.68x dense for 500 rows and
+#: 0.83x for 2000 before the cutover).  Query paths that accept
+#: ``min_prune_rows`` use this as the default floor for taking the
+#: pruned path; pass ``min_prune_rows=0`` to force pruning (tests).
+DENSE_CUTOVER_ROWS = 4096
+
 
 class PostingsScorer:
     """Candidate-pruned cosine scoring over an inverted term -> row map.
@@ -79,6 +88,35 @@ class PostingsScorer:
         self._indptr = csc.indptr
         self._rows = csc.indices
         self._n_rows, self._n_terms = csc.shape
+
+    @classmethod
+    def from_arrays(
+        cls,
+        csr_indptr: np.ndarray,
+        csr_indices: np.ndarray,
+        csr_data: np.ndarray,
+        csc_indptr: np.ndarray,
+        csc_rows: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "PostingsScorer":
+        """Rehydrate a scorer from precomputed arrays without building
+        (or copying) anything — the binary-sidecar mmap load path.
+
+        The arrays may be read-only ``numpy.memmap`` views; the kernel
+        only ever reads them (the gather copies candidate slices into
+        fresh private arrays).  Index arrays stored as little-endian
+        int64 cast to ``intp`` for free on 64-bit hosts.
+        """
+        scorer = cls.__new__(cls)
+        scorer._csr_indptr = np.asarray(csr_indptr).astype(
+            np.intp, copy=False)
+        scorer._csr_indices = np.asarray(csr_indices).astype(
+            np.intp, copy=False)
+        scorer._csr_data = np.asarray(csr_data)
+        scorer._indptr = np.asarray(csc_indptr)
+        scorer._rows = np.asarray(csc_rows)
+        scorer._n_rows, scorer._n_terms = shape
+        return scorer
 
     def __len__(self) -> int:
         return self._n_rows

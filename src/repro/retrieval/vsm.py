@@ -32,7 +32,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.retrieval.tfidf import TfidfModel
-from repro.retrieval.topk import PostingsScorer, select_top_k
+from repro.retrieval.topk import (DENSE_CUTOVER_ROWS, PostingsScorer,
+                                  select_top_k)
 from repro.textproc.normalize import NormalizationPipeline
 
 #: The paper's default similarity threshold (§3.2 / §A.6).
@@ -205,6 +206,7 @@ class SentenceRetriever:
         threshold: float | None = None,
         limit: int | None = None,
         prune: bool = True,
+        min_prune_rows: int | None = None,
     ) -> list[tuple[int, float]]:
         """Indices and scores of sentences relevant to *text*.
 
@@ -212,10 +214,16 @@ class SentenceRetriever:
         >= threshold, best first.  An empty result means "no relevant
         sentences found" (paper §4.1).  ``limit`` caps the result to
         the top-k pairs (partial selection, never a full sort);
-        ``prune=False`` forces the dense reference path.
+        ``prune=False`` forces the dense reference path.  Even with
+        ``prune=True`` the dense path is taken below an adaptive
+        corpus-size cutover (both paths return identical results —
+        the small matrix just amortizes the per-query candidate setup
+        away); ``min_prune_rows`` overrides the cutover, with ``0``
+        forcing the pruned kernel regardless of size.
         """
         return self.query_tokens(self.normalizer(text), threshold,
-                                 limit=limit, prune=prune)
+                                 limit=limit, prune=prune,
+                                 min_prune_rows=min_prune_rows)
 
     def query_tokens(
         self,
@@ -223,6 +231,7 @@ class SentenceRetriever:
         threshold: float | None = None,
         limit: int | None = None,
         prune: bool = True,
+        min_prune_rows: int | None = None,
     ) -> list[tuple[int, float]]:
         """Like :meth:`query` for an already-normalized token list.
 
@@ -232,7 +241,9 @@ class SentenceRetriever:
         if limit is not None and limit < 0:
             raise ValueError("limit must be >= 0")
         cutoff = self.threshold if threshold is None else threshold
-        if prune and cutoff > 0.0:
+        floor = (DENSE_CUTOVER_ROWS if min_prune_rows is None
+                 else min_prune_rows)
+        if prune and cutoff > 0.0 and len(self.vsm) >= floor:
             # sentences sharing no query term score exactly 0 < cutoff,
             # so scoring only the candidates is loss-free
             rows, scores = self.vsm.candidate_similarities(tokens)

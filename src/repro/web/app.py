@@ -184,10 +184,15 @@ class AdvisorApp:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         retry_after_s: int = DEFAULT_RETRY_AFTER_S,
         snapshot_store=None,
+        allow_extend: bool = True,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         self._advisor = advisor
+        # prefork workers serve a shared read-only mapping: in-place
+        # extension would diverge the siblings, so ingestion is
+        # refused with a 409 pointing at the build-and-reload path
+        self.allow_extend = allow_extend
         self.max_body_bytes = max_body_bytes
         self.request_deadline_s = request_deadline_s
         self.max_batch_queries = max_batch_queries
@@ -415,6 +420,12 @@ class AdvisorApp:
         path), so readers keep serving from their captured index until
         the extended one is published.
         """
+        if not self.allow_extend:
+            raise HTTPError(
+                "409 Conflict",
+                "extension is disabled on this worker (prefork workers "
+                "serve a shared read-only index; rebuild a snapshot and "
+                "reload instead)")
         body = self._read_body(environ)
         try:
             payload = json.loads(body.decode("utf-8", errors="replace"))

@@ -182,7 +182,7 @@ def run(advisor: AdvisingTool, host: str = "127.0.0.1",
 
     mode = "threaded" if threads else "single-threaded"
     print(f"Serving {advisor.name!r} ({mode}) on "
-          f"http://{host}:{server.server_port}/")
+          f"http://{host}:{server.server_port}/", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

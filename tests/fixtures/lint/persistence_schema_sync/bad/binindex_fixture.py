@@ -1,0 +1,34 @@
+# egeria: module=repro.core.binindex
+"""Bad: ``norms`` is declared and packed but never restored, and
+``csc_rows`` is declared but appears on neither side."""
+
+SEGMENT_ARRAYS = ("data", "indices", "norms", "csc_rows")
+GLOBAL_ARRAYS = ("idf",)
+
+ARRAY_DTYPES = {
+    "data": "<f8",
+    "indices": "<i8",
+    "norms": "<f8",
+    "csc_rows": "<i8",
+    "idf": "<f8",
+}
+
+
+def pack_index(recommender):
+    arrays = []
+    for k, segment in enumerate(recommender.segments):
+        arrays.append({
+            "data": segment.matrix.data,
+            "indices": segment.matrix.indices,
+            "norms": segment.norms,
+        })
+    arrays.append({"idf": recommender.idf})
+    return arrays
+
+
+def restore_recommender(block, directory):
+    segments = []
+    for seg in block["segments"]:
+        segments.append((seg["data"], seg["indices"]))
+    idf = block["arrays"]["idf"]
+    return segments, idf

@@ -1,0 +1,32 @@
+# egeria: module=repro.core.binindex
+"""Good: every declared array is packed and restored by name."""
+
+SEGMENT_ARRAYS = ("data", "indices", "norms")
+GLOBAL_ARRAYS = ("idf",)
+
+ARRAY_DTYPES = {
+    "data": "<f8",
+    "indices": "<i8",
+    "norms": "<f8",
+    "idf": "<f8",
+}
+
+
+def pack_index(recommender):
+    arrays = []
+    for k, segment in enumerate(recommender.segments):
+        arrays.append({
+            "data": segment.matrix.data,
+            "indices": segment.matrix.indices,
+            "norms": segment.norms,
+        })
+    arrays.append({"idf": recommender.idf})
+    return arrays
+
+
+def restore_recommender(block, directory):
+    segments = []
+    for seg in block["segments"]:
+        segments.append((seg["data"], seg["indices"], seg["norms"]))
+    idf = block["arrays"]["idf"]
+    return segments, idf

@@ -12,6 +12,7 @@ from __future__ import annotations
 import importlib.util
 import json
 import struct
+import subprocess
 import sys
 import threading
 from pathlib import Path
@@ -56,13 +57,17 @@ class TestPrunedParity:
     )
     def test_randomized_corpora_bit_identical(
             self, sentences, query, threshold) -> None:
+        # min_prune_rows=0 forces the pruned kernel: these corpora sit
+        # below DENSE_CUTOVER_ROWS, where prune=True alone would take
+        # the dense path and the parity check would compare dense to
+        # itself
         retriever = SentenceRetriever(sentences, threshold=threshold)
         dense = retriever.query(query, prune=False)
-        pruned = retriever.query(query, prune=True)
+        pruned = retriever.query(query, prune=True, min_prune_rows=0)
         assert_bit_identical(pruned, dense)
         for limit in (0, 1, 3, len(sentences) + 5):
-            assert retriever.query(query, limit=limit, prune=True) \
-                == dense[:limit]
+            assert retriever.query(query, limit=limit, prune=True,
+                                   min_prune_rows=0) == dense[:limit]
             assert retriever.query(query, limit=limit, prune=False) \
                 == dense[:limit]
 
@@ -70,8 +75,31 @@ class TestPrunedParity:
         retriever = SentenceRetriever(synthetic_sentences(400))
         assert retriever.threshold == 0.15
         for query in query_workload(80, seed=3, repeat_fraction=0.0):
-            assert_bit_identical(retriever.query(query, prune=True),
-                                 retriever.query(query, prune=False))
+            assert_bit_identical(
+                retriever.query(query, prune=True, min_prune_rows=0),
+                retriever.query(query, prune=False))
+
+    def test_small_corpus_cutover_takes_dense_path(self, monkeypatch) -> None:
+        """Below DENSE_CUTOVER_ROWS, ``prune=True`` skips the postings
+        kernel entirely (the pruned path lost to dense at 500–2000
+        rows); ``min_prune_rows=0`` re-enables it."""
+        from repro.retrieval import topk
+
+        retriever = SentenceRetriever(synthetic_sentences(60))
+        calls = []
+        original = topk.PostingsScorer.candidate_scores
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(topk.PostingsScorer, "candidate_scores",
+                            counting)
+        retriever.query("coalesce global memory", prune=True)
+        assert calls == []  # cutover: dense path, no postings walk
+        retriever.query("coalesce global memory", prune=True,
+                        min_prune_rows=0)
+        assert calls  # forced: pruned kernel ran
 
     def test_nonpositive_threshold_falls_back_to_dense(self) -> None:
         # at cutoff <= 0 the dense path includes zero-score rows, so
@@ -379,6 +407,49 @@ class TestPerfGate:
         gate = _load_perf_gate()
         failures = gate.evaluate({"sizes": {"7": {}}}, self.BUDGET)
         assert any("no overlapping sizes" in f for f in failures)
+
+    def test_waiver_suppresses_speedup_failure(self) -> None:
+        # a self-waived speedup (host can't express it, e.g. prefork
+        # on a 1-core box) is reported but never fails the gate
+        gate = _load_perf_gate()
+        results = json.loads(json.dumps(self.RESULTS))
+        entry = results["sizes"]["10000"]
+        entry["speedups"]["warm_cache_vs_dense"] = 0.5
+        entry["waivers"] = {"warm_cache_vs_dense": "only 1 core"}
+        waived: list[str] = []
+        failures = gate.evaluate(results, self.BUDGET, factor=2.0,
+                                 waived=waived)
+        assert failures == []
+        assert len(waived) == 1
+        assert "only 1 core" in waived[0]
+
+    def test_multi_check_reports_every_violation(self, tmp_path) -> None:
+        """One ``--check`` run surfaces failures from every section
+        instead of stopping at the first bad file."""
+        serving = json.loads(json.dumps(self.RESULTS))
+        serving["sizes"]["10000"]["paths"]["pruned"]["p50_ms"] = 9.0
+        scale = {"sizes": {"10000": {
+            "speedups": {"warm_cache_vs_dense": 1.0}}}}
+        results = {"sizes": serving["sizes"], "scale": scale}
+        results_path = tmp_path / "results.json"
+        results_path.write_text(json.dumps(results), encoding="utf-8")
+        budget_path = tmp_path / "budget.json"
+        budget_path.write_text(json.dumps({
+            "sizes": self.BUDGET["sizes"],
+            "scale": {"sizes": {"10000": {
+                "min_speedups": {"warm_cache_vs_dense": 5.0}}}},
+        }), encoding="utf-8")
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(root / "tools" / "perf_gate.py"),
+             "--budget", str(budget_path),
+             "--check", f"serving={results_path}",
+             "--check", f"scale={results_path}"],
+            capture_output=True, text=True)
+        assert proc.returncode == 1
+        out = proc.stdout + proc.stderr
+        assert "[serving @" in out and "pruned p50" in out
+        assert "[scale @" in out and "warm_cache_vs_dense" in out
 
     def test_checked_in_budget_accepts_shipped_results(self) -> None:
         root = Path(__file__).resolve().parent.parent

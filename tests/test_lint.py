@@ -125,6 +125,22 @@ class TestRuleFixtures:
         assert "'stems'" in messages            # dropped by from_lexical
         assert "'selector_provenance'" in messages   # written, never read
 
+    def test_binindex_array_drift_is_flagged(self) -> None:
+        """A declared sidecar array that pack_index() never writes or
+        restore_recommender() never reads is named precisely."""
+        result = lint_dir(FIXTURES / "persistence_schema_sync" / "bad")
+        binary_messages = [
+            v.message for v in result.violations
+            if "binary header schema" in v.message]
+        assert any("'csc_rows'" in m and "pack_index" in m
+                   for m in binary_messages)
+        assert any("'norms'" in m and "restore_recommender" in m
+                   for m in binary_messages)
+        # arrays present on both sides stay quiet
+        good = lint_dir(FIXTURES / "persistence_schema_sync" / "good")
+        assert [v for v in good.violations
+                if "binary header" in v.message] == []
+
     def test_snapshot_manifest_drift_is_flagged(self) -> None:
         """A manifest field save() writes but load/verify never reads
         (here: an unchecked per-file checksum) is named precisely."""

@@ -23,6 +23,26 @@ present in *both* the results and the budget are checked, so the
 quick CI run (small sizes) and the full run (committed artifacts)
 share one budget file.
 
+**Multi-check mode** gates several benchmark outputs in one
+invocation and reports *every* violation before exiting — a CI run
+should surface all regressions at once, not one per push::
+
+    python tools/perf_gate.py \
+        --check serving=BENCH_serving.json \
+        --check scale=BENCH_serving.json \
+        --check build=BENCH_build.json
+
+``serving`` names the root ``sizes`` block; any other section is
+looked up in the budget, and in the results file too when it carries
+a matching sub-block (so one results file can hold several gated
+sections).
+
+**Waivers**: a size entry may carry ``"waivers": {name: reason}``
+recorded by the benchmark itself for checks the measuring host cannot
+meaningfully run (e.g. a multi-core speedup gate on a single-core
+machine).  Waived checks are reported loudly as ``WAIVED`` but do not
+fail the gate — the committed artifact still shows the measured value.
+
 Usage::
 
     python tools/perf_gate.py [--results BENCH_serving.json]
@@ -38,9 +58,14 @@ import sys
 from pathlib import Path
 
 
-def evaluate(results: dict, budget: dict,
-             factor: float = 2.0) -> list[str]:
-    """Budget violations in *results*; empty means the gate passes."""
+def evaluate(results: dict, budget: dict, factor: float = 2.0,
+             waived: list[str] | None = None) -> list[str]:
+    """Budget violations in *results*; empty means the gate passes.
+
+    When *waived* is a list, checks named in a size entry's
+    ``waivers`` map are appended to it (as explanatory strings)
+    instead of failing.
+    """
     failures: list[str] = []
     checked = 0
     result_sizes = results.get("sizes", {})
@@ -70,6 +95,15 @@ def evaluate(results: dict, budget: dict,
         for name, minimum in size_budget.get("min_speedups", {}).items():
             measured = entry.get("speedups", {}).get(name)
             checked += 1
+            waiver = entry.get("waivers", {}).get(name)
+            if waiver is not None:
+                if waived is not None:
+                    shown = ("unmeasured" if measured is None
+                             else f"{measured:.2f}x")
+                    waived.append(
+                        f"size {size}: speedup {name} >= {minimum}x "
+                        f"waived ({waiver}; measured {shown})")
+                continue
             if measured is None:
                 failures.append(
                     f"size {size}: speedup {name!r} missing from results")
@@ -84,6 +118,46 @@ def evaluate(results: dict, budget: dict,
     return failures
 
 
+def _select(data: dict, section: str | None) -> dict:
+    """The block of *data* holding the gated ``sizes`` for *section*.
+
+    The root block serves the legacy/default ``serving`` section; a
+    named section is used when the file carries a matching sub-block
+    (one results file can hold several gated sections).
+    """
+    if section in (None, "serving"):
+        return data
+    nested = data.get(section)
+    if isinstance(nested, dict) and "sizes" in nested:
+        return nested
+    return data
+
+
+def run_check(section: str | None, results_path: Path, budget_all: dict,
+              factor: float) -> tuple[list[str], list[str]]:
+    """Gate one (section, results file) pair.
+
+    Returns ``(failures, waived)`` with every message prefixed by the
+    section and file so multi-check output stays attributable.
+    """
+    label = f"[{section or 'serving'} @ {results_path}]"
+    if not results_path.exists():
+        return ([f"{label} results file not found; run the matching "
+                 f"benchmark first"], [])
+    results = json.loads(results_path.read_text(encoding="utf-8"))
+    if section in (None, "serving"):
+        budget = budget_all
+    else:
+        budget = budget_all.get(section)
+        if budget is None:
+            return ([f"{label} budget has no section {section!r}"], [])
+    waived: list[str] = []
+    failures = evaluate(_select(results, section), budget,
+                        factor=factor, waived=waived)
+    return ([f"{label} {failure}" for failure in failures],
+            [f"{label} {note}" for note in waived])
+
+
 def _main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--results", default="BENCH_serving.json",
@@ -95,30 +169,42 @@ def _main() -> int:
     parser.add_argument("--section", default=None,
                         help="budget section to gate against (e.g. "
                              "'build'); default: the root serving block")
+    parser.add_argument("--check", action="append", default=None,
+                        metavar="SECTION=RESULTS",
+                        help="gate SECTION against RESULTS; repeatable "
+                             "— all checks run and every violation is "
+                             "reported before the single exit code")
     args = parser.parse_args()
 
-    results_path = Path(args.results)
-    if not results_path.exists():
-        print(f"perf_gate: results file {results_path} not found; run "
-              f"the matching benchmark first")
-        return 2
-    results = json.loads(results_path.read_text(encoding="utf-8"))
-    budget = json.loads(Path(args.budget).read_text(encoding="utf-8"))
-    if args.section is not None:
-        section = budget.get(args.section)
-        if section is None:
-            print(f"perf_gate: budget has no section {args.section!r}")
-            return 2
-        budget = section
+    budget_all = json.loads(Path(args.budget).read_text(encoding="utf-8"))
+    if args.check:
+        checks = []
+        for spec in args.check:
+            section, sep, path = spec.partition("=")
+            if not sep or not section or not path:
+                print(f"perf_gate: malformed --check {spec!r} "
+                      f"(expected SECTION=RESULTS)")
+                return 2
+            checks.append((section, Path(path)))
+    else:
+        checks = [(args.section, Path(args.results))]
 
-    failures = evaluate(results, budget, factor=args.factor)
-    for failure in failures:
+    all_failures: list[str] = []
+    all_waived: list[str] = []
+    for section, results_path in checks:
+        failures, waived = run_check(section, results_path, budget_all,
+                                     args.factor)
+        all_failures.extend(failures)
+        all_waived.extend(waived)
+    for note in all_waived:
+        print(f"WAIVED: {note}")
+    for failure in all_failures:
         print(f"FAIL: {failure}")
-    if not failures:
-        section = args.section or "serving"
-        print(f"perf gate passed ({results_path}, section {section}, "
-              f"factor {args.factor})")
-    return 1 if failures else 0
+    if not all_failures:
+        ran = ", ".join(f"{section or 'serving'} @ {path}"
+                        for section, path in checks)
+        print(f"perf gate passed ({ran}, factor {args.factor})")
+    return 1 if all_failures else 0
 
 
 if __name__ == "__main__":
