@@ -85,6 +85,32 @@ def _resolve_segments(args: argparse.Namespace) -> dict:
     }
 
 
+def _resolve_prefilter(args: argparse.Namespace) -> dict:
+    """The Stage I pre-filter knobs: CLI flag beats config file.
+
+    Returns ``{"prefilter": AdvicePrefilter}`` when a trained model is
+    configured and enabled, ``{}`` otherwise (the pure cascade).
+    """
+    config = _load_config(args)
+    enabled = config.prefilter
+    flag = getattr(args, "prefilter", None)
+    if flag is not None:
+        enabled = flag
+    path = (getattr(args, "prefilter_model", None)
+            or config.prefilter_model)
+    if not enabled or not path:
+        return {}
+    from repro.stage1.model import AdvicePrefilter
+
+    model = AdvicePrefilter.load(path)
+    slack = getattr(args, "prefilter_slack", None)
+    if slack is None:
+        slack = config.prefilter_margin_slack
+    if slack:
+        model.margin_slack = float(slack)
+    return {"prefilter": model}
+
+
 def _build_egeria(args: argparse.Namespace,
                   threshold: float | None = None,
                   keywords=None) -> Egeria:
@@ -100,6 +126,7 @@ def _build_egeria(args: argparse.Namespace,
         **_resolve_resilience(args),
         **_resolve_annotations(args),
         **_resolve_segments(args),
+        **_resolve_prefilter(args),
     )
 
 
@@ -166,6 +193,58 @@ def cmd_build(args: argparse.Namespace) -> int:
             print(f"\n[{heading}]")
             for sentence in sentences:
                 print(f"  - {sentence.text}")
+    return 0
+
+
+def cmd_train_prefilter(args: argparse.Namespace) -> int:
+    """Distill + calibrate a Stage I pre-filter from a guide.
+
+    Bundled corpus names (``cuda``/``opencl``/``xeon``/``mpi``) train
+    against the generated guide *with* its generation labels; a guide
+    file trains against the selector cascade's own decisions
+    (self-distillation).  Refuses to save a model whose calibrated
+    recall is not exactly 1.0.
+    """
+    import json as _json
+
+    from repro.stage1.model import train_prefilter_for_document
+
+    labels = None
+    if args.guide in ("cuda", "opencl", "xeon", "mpi"):
+        from repro.corpus import guides as corpus_guides
+
+        guide = getattr(corpus_guides, f"{args.guide}_guide")()
+        document, labels = guide.document, guide.labels()
+    else:
+        document = _load_document(args.guide)
+    keywords = _load_keywords(args)
+    prefilter, calibration, eval_report = train_prefilter_for_document(
+        document, keywords=keywords, labels=labels,
+        iterations=args.iterations, seed=args.seed,
+        margin_slack=args.slack)
+    print(f"{document.title}: calibrated on {calibration.sentences} "
+          f"sentences ({calibration.positives} positive) — "
+          f"tau={calibration.tau:.4f}, "
+          f"{calibration.defer_tokens} evidence tokens, "
+          f"skip rate {calibration.skip_rate:.1%}, "
+          f"recall {calibration.recall:.3f}")
+    if eval_report.recall_vs_labels < 1.0 \
+            or eval_report.recall_vs_cascade < 1.0:
+        print("train-prefilter: calibrated recall below 1.0 "
+              f"(labels={eval_report.recall_vs_labels:.4f}, "
+              f"cascade={eval_report.recall_vs_cascade:.4f}); "
+              "refusing to save", file=sys.stderr)
+        return 1
+    prefilter.save(args.output)
+    print(f"model saved to {args.output} "
+          f"(checksum {prefilter.checksum[:12]}…)")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump({"calibration": calibration.to_dict(),
+                        "eval": eval_report.to_dict()},
+                       handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"calibration/eval report written to {args.report}")
     return 0
 
 
@@ -449,6 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-compaction", action="store_true",
                         help="disable background segment compaction "
                              "after extend()")
+    parser.add_argument("--prefilter", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="enable the learned Stage I pre-filter "
+                             "(needs --prefilter-model or the "
+                             "prefilter_model config key; "
+                             "--no-prefilter forces the pure cascade)")
+    parser.add_argument("--prefilter-model", default=None, metavar="FILE",
+                        help="trained pre-filter artifact "
+                             "(train-prefilter output)")
+    parser.add_argument("--prefilter-slack", type=float, default=None,
+                        metavar="MARGIN",
+                        help="extra conservatism subtracted from the "
+                             "calibrated skip threshold (normalized-"
+                             "margin units; default 0.0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_build = sub.add_parser("build", help="build an advisor; print or "
@@ -467,6 +560,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--extra-keywords", nargs="*",
                          help="extra flagging keywords/phrases")
     p_build.set_defaults(func=cmd_build)
+
+    p_train = sub.add_parser(
+        "train-prefilter",
+        help="distill + calibrate a recall-safe Stage I pre-filter")
+    p_train.add_argument("guide",
+                         help="guide file, or a bundled corpus name "
+                              "(cuda/opencl/xeon/mpi — trains with "
+                              "generation labels)")
+    p_train.add_argument("-o", "--output", required=True,
+                         help="write the trained model artifact here")
+    p_train.add_argument("--report", default=None, metavar="FILE",
+                         help="write the calibration + eval report "
+                              "JSON here")
+    p_train.add_argument("--iterations", type=int, default=10,
+                         help="perceptron training epochs (default 10)")
+    p_train.add_argument("--seed", type=int, default=1,
+                         help="training shuffle seed (default 1)")
+    p_train.add_argument("--slack", type=float, default=0.0,
+                         help="margin slack baked into the saved model "
+                              "(default 0.0)")
+    p_train.add_argument("--extra-keywords", nargs="*")
+    p_train.set_defaults(func=cmd_train_prefilter)
 
     p_query = sub.add_parser("query", help="ask a guide a question")
     p_query.add_argument("guide")

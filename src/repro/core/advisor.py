@@ -133,9 +133,20 @@ class AdvisingTool:
         auto_compaction: bool = True,
         index_layout: dict | None = None,
         recommender: KnowledgeRecommender | None = None,
+        prefilter=None,
+        prefilter_stats: dict[str, int] | None = None,
     ) -> None:
         self.document = document
         self.name = name or f"{document.title} Adviser"
+        #: the calibrated Stage I pre-filter the tool was built with
+        #: (``None`` = pure cascade); persists alongside the index and
+        #: is reused by :meth:`extend`
+        self.prefilter = prefilter
+        #: cumulative pre-filter rung counters from the build (plus any
+        #: extends) — surfaced through :meth:`health` / ``/healthz``
+        self.prefilter_stats: dict[str, int] = dict(
+            prefilter_stats
+            or {"skipped": 0, "deferred": 0, "keyword_fast_path": 0})
         #: Stage I degradations recorded while this tool was built
         self.degradation_events = tuple(degradation_events)
         #: quarantined RecognitionResults from the build (if any)
@@ -396,9 +407,13 @@ class AdvisingTool:
         from repro.core.recognizer import AdvisingSentenceRecognizer
 
         recognizer = recognizer or AdvisingSentenceRecognizer(
-            store=self.store)
+            store=self.store, prefilter=self.prefilter)
         with self._reload_lock:
             index = self._index
+            # the recognizer's counters are cumulative across its own
+            # lifetime; only this extend's delta belongs to the tool
+            stats_before = dict(
+                getattr(recognizer, "prefilter_stats", None) or {})
             wrapper = Section(title=document.title, level=1)
             wrapper.subsections = list(document.sections)
             # appending at the tail and reindexing preserves every
@@ -440,6 +455,12 @@ class AdvisingTool:
                 advising=advising, recommender=recommender,
                 annotations=annotations, provenance=provenance,
                 generation=index.generation + 1)
+            for key, count in (getattr(
+                    recognizer, "prefilter_stats", None) or {}).items():
+                delta = count - stats_before.get(key, 0)
+                if delta:
+                    self.prefilter_stats[key] = (
+                        self.prefilter_stats.get(key, 0) + delta)
         if not refit and self.auto_compaction:
             self._maybe_compact_async()
         return len(added)
@@ -617,4 +638,17 @@ class AdvisingTool:
             }
         if self.store is not None:
             payload["annotation_store"] = self.store.stats()
+        if self.prefilter is not None:
+            payload["prefilter"] = {
+                "enabled": True,
+                "prefilter_skipped": self.prefilter_stats.get(
+                    "skipped", 0),
+                "prefilter_deferred": self.prefilter_stats.get(
+                    "deferred", 0),
+                "keyword_fast_path": self.prefilter_stats.get(
+                    "keyword_fast_path", 0),
+                "tau": self.prefilter.tau,
+                "defer_tokens": len(self.prefilter.defer_tokens),
+                "checksum": self.prefilter.checksum,
+            }
         return payload

@@ -101,6 +101,17 @@ class EgeriaConfig:
     #: background segment compaction after ``extend()``
     #: (``--no-compaction`` disables it)
     compaction: bool = True
+    #: learned Stage I pre-filter (``--prefilter``/``--no-prefilter``):
+    #: confidently-negative sentences skip the selector cascade; needs
+    #: ``prefilter_model`` to take effect
+    prefilter: bool = True
+    #: path to a trained pre-filter artifact (``train-prefilter``
+    #: output; the ``--prefilter-model`` CLI knob)
+    prefilter_model: str | None = None
+    #: extra conservatism subtracted from the calibrated margin
+    #: threshold (``--prefilter-slack``); 0.0 serves the calibration
+    #: exactly as fitted
+    prefilter_margin_slack: float = 0.0
 
     def keyword_config(self, base: KeywordConfig | None = None
                        ) -> KeywordConfig:
@@ -125,7 +136,9 @@ class EgeriaConfig:
                                "snapshots", "snapshot_keep",
                                "max_in_flight", "drain_timeout_ms",
                                "segment_target_size", "compaction_ratio",
-                               "compaction"}
+                               "compaction", "prefilter",
+                               "prefilter_model",
+                               "prefilter_margin_slack"}
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
         keyword_extensions: dict[str, tuple[str, ...]] = {}
@@ -186,6 +199,11 @@ class EgeriaConfig:
         compaction_ratio = int(data.get("compaction_ratio", 4))
         if compaction_ratio < 2:
             raise ValueError("compaction_ratio must be >= 2")
+        prefilter_model = data.get("prefilter_model")
+        prefilter_margin_slack = float(
+            data.get("prefilter_margin_slack", 0.0))
+        if prefilter_margin_slack < 0.0:
+            raise ValueError("prefilter_margin_slack must be >= 0")
         return cls(
             host=str(data.get("host", "127.0.0.1")),
             port=int(data.get("port", 8000)),
@@ -209,6 +227,10 @@ class EgeriaConfig:
             segment_target_size=segment_target_size,
             compaction_ratio=compaction_ratio,
             compaction=bool(data.get("compaction", True)),
+            prefilter=bool(data.get("prefilter", True)),
+            prefilter_model=(None if prefilter_model is None
+                             else str(prefilter_model)),
+            prefilter_margin_slack=prefilter_margin_slack,
         )
 
     @classmethod
@@ -241,6 +263,9 @@ class EgeriaConfig:
             "segment_target_size": self.segment_target_size,
             "compaction_ratio": self.compaction_ratio,
             "compaction": self.compaction,
+            "prefilter": self.prefilter,
+            "prefilter_model": self.prefilter_model,
+            "prefilter_margin_slack": self.prefilter_margin_slack,
         }
 
     def save(self, path: str) -> None:

@@ -58,6 +58,8 @@ class Egeria:
         segment_target_size: int = DEFAULT_SEGMENT_TARGET_SIZE,
         compaction_ratio: int = DEFAULT_COMPACTION_RATIO,
         auto_compaction: bool = True,
+        prefilter=None,
+        prefilter_path: str | None = None,
     ) -> None:
         """Configure the framework.
 
@@ -79,8 +81,20 @@ class Egeria:
         tiered merge policy of the segmented index write path, and
         ``auto_compaction=False`` (``--no-compaction``) keeps
         ``extend()`` from scheduling background merges.
+
+        ``prefilter`` attaches a calibrated Stage I pre-filter
+        (:class:`repro.stage1.model.AdvicePrefilter`);
+        ``prefilter_path`` loads one from a trained artifact (the
+        ``--prefilter-model`` CLI knob).  Confidently-negative
+        sentences then skip the selector cascade entirely — see
+        DESIGN.md §15 for the recall-safety contract.
         """
         self.keywords = keywords or KeywordConfig()
+        if prefilter is None and prefilter_path is not None:
+            from repro.stage1.model import AdvicePrefilter
+
+            prefilter = AdvicePrefilter.load(prefilter_path)
+        self.prefilter = prefilter
         self.threshold = threshold
         self.segment_target_size = segment_target_size
         self.compaction_ratio = compaction_ratio
@@ -96,7 +110,8 @@ class Egeria:
             degrade=degrade, max_retries=max_retries, store=self.store,
             provenance=provenance,
             worker_min_sentences=worker_min_sentences,
-            worker_chunk_size=worker_chunk_size)
+            worker_chunk_size=worker_chunk_size,
+            prefilter=self.prefilter)
 
     # -- advisor synthesis ---------------------------------------------------
 
@@ -143,7 +158,9 @@ class Egeria:
             match_vectors=match_vectors, store=self.store,
             segment_target_size=self.segment_target_size,
             compaction_ratio=self.compaction_ratio,
-            auto_compaction=self.auto_compaction)
+            auto_compaction=self.auto_compaction,
+            prefilter=self.prefilter,
+            prefilter_stats=dict(self.recognizer.prefilter_stats))
 
     def build_advisor_from_html(
         self, html: str, title: str | None = None

@@ -91,6 +91,32 @@ class KeywordConfig:
                 | self.imperative_words | self.key_subjects
                 | self.key_predicates)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (sorted lists — deterministic bytes).
+
+        Embeds into the Stage I pre-filter artifact
+        (:mod:`repro.stage1.model`) so a trained filter carries the
+        exact keyword configuration it was distilled against.
+        """
+        return {
+            "flagging_words": sorted(self.flagging_words),
+            "xcomp_governors": sorted(self.xcomp_governors),
+            "imperative_words": sorted(self.imperative_words),
+            "key_subjects": sorted(self.key_subjects),
+            "key_predicates": sorted(self.key_predicates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KeywordConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            flagging_words=frozenset(data["flagging_words"]),
+            xcomp_governors=frozenset(data["xcomp_governors"]),
+            imperative_words=frozenset(data["imperative_words"]),
+            key_subjects=frozenset(data["key_subjects"]),
+            key_predicates=frozenset(data["key_predicates"]),
+        )
+
 
 #: The paper's default configuration.
 DEFAULT_KEYWORDS = KeywordConfig()

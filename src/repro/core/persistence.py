@@ -247,6 +247,11 @@ def _advisor_to_dict_frozen(tool: AdvisingTool,
                 for batch in batches
             ],
         }
+    prefilter = getattr(tool, "prefilter", None)
+    if prefilter is not None:
+        # the trained Stage I pre-filter travels with the index it was
+        # distilled for (self-checksummed payload; see repro.stage1)
+        data["prefilter"] = prefilter.to_dict()
     return data
 
 
@@ -461,7 +466,24 @@ def _advisor_from_dict_unchecked(
         provenance=_load_provenance(data),
         index_layout=None if recommender is not None else index_layout,
         recommender=recommender,
+        prefilter=_load_prefilter(data, path),
     )
+
+
+def _load_prefilter(data: dict, path: str | None):
+    """Rebuild the embedded pre-filter (checksum-verified), if any."""
+    payload = data.get("prefilter")
+    if payload is None:
+        return None
+    from repro.stage1.model import AdvicePrefilter, PrefilterError
+
+    try:
+        return AdvicePrefilter.from_dict(payload)
+    except PrefilterError as error:
+        raise PersistenceError(
+            f"embedded prefilter failed validation: {error}",
+            path=path, format_version=data.get("format_version"),
+        ) from error
 
 
 def advisor_to_json(tool: AdvisingTool,

@@ -82,6 +82,9 @@ class RecognitionResult:
     #: all-selector match vector — populated only under
     #: ``provenance="full"`` (the Table 7/8 experiments view)
     matches: tuple[tuple[str, bool], ...] | None = None
+    #: the Stage I pre-filter short-circuited this sentence as
+    #: confidently negative — the cascade never ran on it
+    prefilter_skipped: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -95,37 +98,65 @@ _WORKER_STATE: dict[str, object] = {}
 
 def _init_worker(keywords: KeywordConfig,
                  collect_matches: bool = False,
-                 schedule: bool = True) -> None:
+                 schedule: bool = True,
+                 prefilter_payload: dict | None = None) -> None:
     selectors: list[Selector] = default_selectors(keywords)
     if schedule:
         selectors = schedule_selectors(selectors)
     _WORKER_STATE["analyzer"] = SentenceAnalyzer()
     _WORKER_STATE["ladder"] = DegradationLadder(selectors)
     _WORKER_STATE["collect_matches"] = collect_matches
+    prefilter = None
+    if prefilter_payload is not None:
+        # rebuilt from the checksummed payload rather than pickling the
+        # live object: the artifact dict is the one canonical wire form
+        from repro.stage1.model import AdvicePrefilter
+
+        prefilter = AdvicePrefilter.from_dict(prefilter_payload)
+    _WORKER_STATE["prefilter"] = prefilter
+    _WORKER_STATE["prefilter_keyword_ok"] = (
+        prefilter is not None and prefilter.keywords == keywords)
 
 
 def _classify_batch(
     batch: tuple[int, list[str]],
-) -> list[tuple[DegradedClassification, dict]]:
+) -> tuple[list[tuple[DegradedClassification, dict]], dict[str, int]]:
     """Classify one (offset, texts) batch inside a worker process.
 
-    Returns ``(classification, lexical_payload)`` pairs — the payload
-    carries the worker's tokens/stems/terms back to the parent so the
-    annotations are computed exactly once, in exactly one process.
-    Only the layers the cascade actually materialized (plus the terms
-    layer Stage II always needs) travel back, so lazy-mode payloads
-    stay small.
+    Returns ``(pairs, prefilter_counts)`` where pairs are
+    ``(classification, lexical_payload)`` — the payload carries the
+    worker's tokens/stems/terms back to the parent so the annotations
+    are computed exactly once, in exactly one process.  Only the layers
+    the cascade actually materialized (plus the terms layer Stage II
+    always needs) travel back; a pre-filter-skipped sentence ships
+    tokens only.
     """
     offset, texts = batch
     analyzer: SentenceAnalyzer = _WORKER_STATE["analyzer"]  # type: ignore[assignment]
     ladder: DegradationLadder = _WORKER_STATE["ladder"]  # type: ignore[assignment]
     collect = bool(_WORKER_STATE.get("collect_matches", False))
+    prefilter = _WORKER_STATE.get("prefilter")
+    counts = {"skipped": 0, "deferred": 0, "keyword_fast_path": 0}
     out: list[tuple[DegradedClassification, dict]] = []
     for i, text in enumerate(texts):
         annotations = SentenceAnnotations(text=text)
         analysis = analyzer.analyze(text, annotations=annotations)
-        outcome = ladder.classify(analysis, sentence_index=offset + i,
-                                  collect_matches=collect)
+        if prefilter is not None:
+            outcome = _apply_prefilter(
+                prefilter, analysis, ladder.selectors, collect, counts,
+                keyword_ok=bool(
+                    _WORKER_STATE.get("prefilter_keyword_ok")))
+            if outcome is not None and outcome.prefilter_skipped:
+                # skipped: tokens-only payload, no terms top-up — the
+                # whole point of the filter is that nothing deeper
+                # materializes for these sentences
+                out.append((outcome, annotations.lexical_payload()))
+                continue
+        else:
+            outcome = None
+        if outcome is None:
+            outcome = ladder.classify(analysis, sentence_index=offset + i,
+                                      collect_matches=collect)
         try:
             analyzer.pipeline.ensure(annotations, "terms")
         except Exception as error:
@@ -135,7 +166,57 @@ def _classify_batch(
                          "(%r); shipping partial payload",
                          offset + i, error)
         out.append((outcome, annotations.lexical_payload()))
-    return out
+    return out, counts
+
+
+def _apply_prefilter(
+    prefilter,
+    analysis,
+    scheduled: Sequence[Selector],
+    collect: bool,
+    counts: dict[str, int],
+    keyword_ok: bool = True,
+) -> DegradedClassification | None:
+    """Run the pre-filter rungs on one sentence.
+
+    Returns a finished classification when a rung decides the sentence
+    (skip, or — first-provenance only — the exact-keyword fast path),
+    ``None`` when the sentence falls through to the full cascade.  Any
+    exception (a failing tokens layer, a pathological input) defers:
+    the degradation ladder owns error handling, the filter never does.
+
+    ``keyword_ok`` gates the fast-positive rung: it must be False
+    whenever the filter's embedded keyword config differs from the
+    recognizer's (the skip rungs stay valid — they were calibrated
+    end-to-end — but rule #1 provenance would not match).
+    """
+    try:
+        decision = prefilter.decide(analysis.tokens)
+    except Exception as error:
+        logger.debug("prefilter deferred on error (%r); the ladder "
+                     "will classify the sentence", error)
+        counts["deferred"] += 1
+        return None
+    if decision == "skip":
+        counts["skipped"] += 1
+        # cascade-negative ⇒ every selector is false, so the full-
+        # provenance vector is synthesizable without running any of
+        # them; ordered like the eager ladder's append order
+        matches = (tuple((s.name, False) for s in scheduled)
+                   if collect else None)
+        return DegradedClassification(
+            is_advising=False, selector=None, matches=matches,
+            prefilter_skipped=True)
+    if decision == "keyword" and not collect and keyword_ok \
+            and scheduled and scheduled[0].name == "keyword":
+        # rule #1 fired on the filter's memoized stems — identical to
+        # the lazy cascade's first rung, so provenance agrees; in full
+        # mode the whole match vector is needed and the ladder runs
+        counts["keyword_fast_path"] += 1
+        return DegradedClassification(
+            is_advising=True, selector="keyword", matches=None)
+    counts["deferred"] += 1
+    return None
 
 
 class AdvisingSentenceRecognizer:
@@ -155,6 +236,7 @@ class AdvisingSentenceRecognizer:
         schedule: bool = True,
         worker_min_sentences: int = 64,
         worker_chunk_size: int | None = None,
+        prefilter=None,
     ) -> None:
         if provenance not in ("first", "full"):
             raise ValueError(
@@ -186,6 +268,16 @@ class AdvisingSentenceRecognizer:
         #: shared annotation store — sentences seen before (this build
         #: or any earlier one sharing the store) skip their NLP layers
         self.store = store
+        #: calibrated Stage I pre-filter
+        #: (:class:`repro.stage1.model.AdvicePrefilter`) or ``None``;
+        #: when set, confidently-negative sentences skip the cascade
+        #: and materialize nothing beyond tokens
+        self.prefilter = prefilter
+        #: cumulative pre-filter rung outcomes across every
+        #: classification this recognizer has run (surfaced through
+        #: ``AdvisingTool.health()`` / ``/healthz``)
+        self.prefilter_stats: dict[str, int] = {
+            "skipped": 0, "deferred": 0, "keyword_fast_path": 0}
         self._analyzer = SentenceAnalyzer()
         self._scheduled = (schedule_selectors(self.selectors) if schedule
                            else list(self.selectors))
@@ -193,7 +285,8 @@ class AdvisingSentenceRecognizer:
         # guide corpora repeat boilerplate sentences (~35% duplicates
         # in the bundled guides); classification is pure, so memoize
         self._cache: dict[str, tuple[
-            bool, str | None, tuple[tuple[str, bool], ...] | None]] = {}
+            bool, str | None, tuple[tuple[str, bool], ...] | None,
+            bool]] = {}
         self._cache_size = cache_size
         #: document-level events from the last ``recognize`` run
         #: (worker crashes, pool fallbacks) — per-sentence events live
@@ -223,10 +316,22 @@ class AdvisingSentenceRecognizer:
         if cached is not None and (not collect or cached[2] is not None):
             return DegradedClassification(
                 is_advising=cached[0], selector=cached[1],
-                matches=cached[2] if collect else None)
+                matches=cached[2] if collect else None,
+                prefilter_skipped=cached[3])
         if annotations is None:
             annotations = self._annotation_for(text)
         analysis = self._analyzer.analyze(text, annotations=annotations)
+        if self.prefilter is not None:
+            outcome = _apply_prefilter(
+                self.prefilter, analysis, self._scheduled, collect,
+                self.prefilter_stats,
+                keyword_ok=self.prefilter.keywords == self.keywords)
+            if outcome is not None:
+                if len(self._cache) < self._cache_size:
+                    self._cache[text] = (
+                        outcome.is_advising, outcome.selector,
+                        outcome.matches, outcome.prefilter_skipped)
+                return outcome
         if self.degrade:
             outcome = self._ladder.classify(
                 analysis, sentence_index=sentence_index,
@@ -251,7 +356,7 @@ class AdvisingSentenceRecognizer:
         if not outcome.degraded and not outcome.quarantined \
                 and len(self._cache) < self._cache_size:
             self._cache[text] = (outcome.is_advising, outcome.selector,
-                                 outcome.matches)
+                                 outcome.matches, False)
         return outcome
 
     def classify(self, text: str) -> tuple[bool, str | None]:
@@ -313,7 +418,7 @@ class AdvisingSentenceRecognizer:
             pairs = self._recognize_parallel(texts)
         outcomes = [outcome for outcome, _ in pairs]
         annotations_list = [annotations for _, annotations in pairs]
-        self._finalize_annotations(texts, annotations_list)
+        self._finalize_annotations(texts, annotations_list, outcomes)
         return [
             RecognitionResult(
                 sentence,
@@ -323,6 +428,7 @@ class AdvisingSentenceRecognizer:
                 quarantined=outcome.quarantined,
                 error=outcome.error,
                 matches=outcome.matches,
+                prefilter_skipped=outcome.prefilter_skipped,
             )
             for sentence, outcome in zip(sentences, outcomes)
         ]
@@ -331,19 +437,30 @@ class AdvisingSentenceRecognizer:
         self,
         texts: list[str],
         annotations_list: list[SentenceAnnotations],
+        outcomes: list[DegradedClassification] | None = None,
     ) -> None:
-        """Top up the lexical layers Stage II needs and feed the store."""
+        """Top up the lexical layers Stage II needs and feed the store.
+
+        Pre-filter-skipped sentences are exempt from the terms top-up:
+        they are not advising, Stage II never indexes them, and
+        materializing anything beyond tokens would erase the skip's
+        entire saving.  They still feed the store (a tokens-only record
+        upgrades in place if a later pass needs more).
+        """
         for index, (text, annotations) in enumerate(
                 zip(texts, annotations_list)):
-            try:
-                self._analyzer.pipeline.ensure(annotations, "terms")
-            except Exception as error:
-                # lexical layer degraded for this sentence; Stage II
-                # falls back to normalizing its raw text — recorded so
-                # a systematically failing layer is visible in logs
-                logger.debug("terms layer failed for sentence %d (%r); "
-                             "Stage II will normalize its raw text",
-                             index, error)
+            skipped = (outcomes is not None
+                       and outcomes[index].prefilter_skipped)
+            if not skipped:
+                try:
+                    self._analyzer.pipeline.ensure(annotations, "terms")
+                except Exception as error:
+                    # lexical layer degraded for this sentence; Stage II
+                    # falls back to normalizing its raw text — recorded
+                    # so a systematically failing layer shows in logs
+                    logger.debug("terms layer failed for sentence %d "
+                                 "(%r); Stage II will normalize its raw "
+                                 "text", index, error)
             if self.store is not None:
                 self.store.put(text, annotations)
         self.last_annotations = DocumentAnnotations(annotations_list)
@@ -386,7 +503,9 @@ class AdvisingSentenceRecognizer:
                 processes=self.workers,
                 initializer=_init_worker,
                 initargs=(self.keywords, self.provenance == "full",
-                          self.schedule),
+                          self.schedule,
+                          self.prefilter.to_dict()
+                          if self.prefilter is not None else None),
             )
         except Exception as error:
             logger.warning("worker pool unavailable (%r); running "
@@ -432,7 +551,8 @@ class AdvisingSentenceRecognizer:
     ) -> list[tuple[DegradedClassification, SentenceAnnotations]]:
         offset, texts = batch
 
-        def dispatch() -> list[tuple[DegradedClassification, dict]]:
+        def dispatch() -> tuple[
+                list[tuple[DegradedClassification, dict]], dict[str, int]]:
             try:
                 fault_point("recognizer.dispatch")
                 async_result = pool.apply_async(_classify_batch, (batch,))
@@ -446,7 +566,11 @@ class AdvisingSentenceRecognizer:
 
         if breaker.allow():
             try:
-                shipped = breaker.call(retry.call, dispatch)
+                shipped, prefilter_counts = breaker.call(
+                    retry.call, dispatch)
+                for key, count in prefilter_counts.items():
+                    self.prefilter_stats[key] = (
+                        self.prefilter_stats.get(key, 0) + count)
                 return [
                     (outcome,
                      SentenceAnnotations.from_lexical(text, payload))

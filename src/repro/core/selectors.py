@@ -76,7 +76,16 @@ class KeywordSelector(Selector):
         self._multi = [p for p in self._phrases if len(p) > 1]
 
     def matches(self, analysis: SentenceAnalysis) -> bool:
-        stems = analysis.stems
+        return self.matches_stems(analysis.stems)
+
+    def matches_stems(self, stems: Sequence[str]) -> bool:
+        """Rule #1 over a pre-stemmed sentence.
+
+        Exposed separately from :meth:`matches` so consumers that
+        already hold stems — the Stage I pre-filter's exact keyword
+        rung (:mod:`repro.stage1`) — evaluate the *identical* rule
+        without building a :class:`SentenceAnalysis`.
+        """
         if not self._singles.isdisjoint(stems):
             return True
         if not self._multi:

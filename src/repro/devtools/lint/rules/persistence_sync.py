@@ -30,7 +30,13 @@ Checks (all static, cross-module):
   ``pack_index()`` and read by ``restore_recommender()`` — a declared
   array the pack side never emits fails every load's name-set
   validation, and one the restore side never consumes is bytes that
-  round-trip to nowhere.
+  round-trip to nowhere;
+* every key the trained pre-filter artifact's writer emits
+  (``repro.stage1.model``: ``AdvicePrefilter.to_dict``) is read back by
+  ``from_dict`` — a written-but-never-read model field silently
+  degrades the filter on every save/load cycle, and because the
+  payload is checksummed, a reader that recomputes the checksum over
+  different keys than the writer bricks every artifact.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ ANNOTATIONS_MODULE = "repro.pipeline.annotations"
 PERSISTENCE_MODULE = "repro.core.persistence"
 SNAPSHOTS_MODULE = "repro.core.snapshots"
 BININDEX_MODULE = "repro.core.binindex"
+STAGE1_MODULE = "repro.stage1.model"
 
 
 def _tuple_literal(ctx: FileContext, name: str) -> list[str] | None:
@@ -111,6 +118,9 @@ class PersistenceSchemaSyncRule(Rule):
         binindex = project.module(BININDEX_MODULE)
         if binindex is not None:
             yield from self._check_binindex(binindex)
+        stage1 = project.module(STAGE1_MODULE)
+        if stage1 is not None:
+            yield from self._check_stage1_model(stage1)
 
     def _check_annotations(self, ctx: FileContext) -> Iterable[Violation]:
         layers = _tuple_literal(ctx, "LAYERS")
@@ -219,6 +229,57 @@ class PersistenceSchemaSyncRule(Rule):
                 f"snapshot save() writes manifest key {key!r} but the "
                 f"module never reads it; the load/verify path silently "
                 f"ignores the field")
+
+    def _check_stage1_model(self, ctx: FileContext) -> Iterable[Violation]:
+        """Every key ``AdvicePrefilter.to_dict`` writes must be read by
+        ``from_dict`` (subscript load or ``.get(...)``).
+
+        Scoped to the two methods: the module also builds training
+        metadata dicts whose keys are consumed elsewhere, and a
+        module-wide scan would satisfy the check trivially.
+        """
+        class_def = _class_def(ctx, "AdvicePrefilter")
+        if class_def is None:
+            return
+        to_dict = next((item for item in class_def.body
+                        if isinstance(item, ast.FunctionDef)
+                        and item.name == "to_dict"), None)
+        from_dict = next((item for item in class_def.body
+                          if isinstance(item, ast.FunctionDef)
+                          and item.name == "from_dict"), None)
+        if to_dict is None or from_dict is None:
+            return
+        written: dict[str, ast.AST] = {}
+        for node in ast.walk(to_dict):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    value = string_constant(key) if key is not None else None
+                    if value is not None:
+                        written.setdefault(value, key)
+            elif isinstance(node, ast.Subscript) and \
+                    isinstance(node.ctx, ast.Store):
+                value = string_constant(node.slice)
+                if value is not None:
+                    written.setdefault(value, node)
+        read: set[str] = set()
+        for node in ast.walk(from_dict):
+            if isinstance(node, ast.Subscript) and \
+                    not isinstance(node.ctx, ast.Store):
+                key = string_constant(node.slice)
+                if key is not None:
+                    read.add(key)
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "get" and node.args:
+                key = string_constant(node.args[0])
+                if key is not None:
+                    read.add(key)
+        for key in sorted(set(written) - read):
+            yield self.violation(
+                ctx, written[key],
+                f"AdvicePrefilter.to_dict() writes artifact key {key!r} "
+                f"but from_dict() never reads it; the field is silently "
+                f"dropped on every model load")
 
     def _check_binindex(self, ctx: FileContext) -> Iterable[Violation]:
         """Every array the binary header schema declares must be

@@ -36,6 +36,13 @@ SELECTOR_LAYER_NEEDS = {
     "srl": ("tokens", "graph", "frames"),
 }
 
+#: annotation layers the learned Stage I pre-filter
+#: (:mod:`repro.stage1`) consumes before a skip decision — deliberately
+#: the shallowest possible footprint.  A sentence the pre-filter skips
+#: materializes nothing beyond this mask: no stems layer (the filter
+#: stems through its own vocabulary memo), no terms, no parse, no SRL.
+PREFILTER_LAYER_NEEDS = ("tokens",)
+
 
 class LayerMask:
     """Immutable set of annotation layers, backed by one int.
@@ -133,3 +140,14 @@ def selector_needs(layer: str) -> tuple[str, ...]:
     """Annotation layers a selector on *layer* materializes."""
     return SELECTOR_LAYER_NEEDS.get(layer,
                                     SELECTOR_LAYER_NEEDS["syntax"])
+
+
+def prefilter_mask() -> LayerMask:
+    """The deepest mask a pre-filter-skipped sentence may carry.
+
+    The recall-safety property test asserts every skipped sentence's
+    materialized layers are covered by this mask — the layer-level
+    statement of "short-circuited sentences never touch the NLP
+    stack".
+    """
+    return LayerMask.of(*PREFILTER_LAYER_NEEDS)

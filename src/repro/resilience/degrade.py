@@ -75,6 +75,11 @@ class DegradedClassification:
     quarantined: bool = False
     error: str | None = None
     matches: tuple[tuple[str, bool], ...] | None = None
+    #: the sentence was short-circuited as confidently negative by the
+    #: Stage I pre-filter (:mod:`repro.stage1`) — the cascade never
+    #: ran.  Downstream finalization uses it to skip the terms top-up:
+    #: a skipped sentence materializes nothing beyond tokens.
+    prefilter_skipped: bool = False
 
     @property
     def degraded(self) -> bool:

@@ -1,0 +1,41 @@
+"""Learned Stage I pre-filter — a recall-safe advice classifier.
+
+"Help! Need Advice on Identifying Advice" (PAPERS.md) treats advice
+identification as supervised classification; this package distills the
+five-selector cascade into a cheap token/stem linear classifier that
+runs *before* the NLP layers and short-circuits confidently-negative
+sentences, so parse/SRL — and the cascade itself — are never touched
+for them.
+
+Recall safety is the contract: the pre-filter only ever *skips*
+(declares non-advising) or *defers* (falls through to the full
+cascade); the calibration harness (:mod:`repro.stage1.calibration`)
+sweeps the decision threshold against labels and picks the most
+aggressive margin with zero false negatives, so on the calibration
+corpus the recognized-advice set with the pre-filter enabled is
+bit-identical to the pure-cascade path.  See DESIGN.md §15.
+"""
+
+from repro.stage1.calibration import CalibrationReport, calibrate
+from repro.stage1.eval import EvalReport, evaluate_prefilter
+from repro.stage1.features import PrefilterFeaturizer
+from repro.stage1.model import (
+    PREFILTER_FORMAT_VERSION,
+    AdvicePrefilter,
+    PrefilterError,
+    train_prefilter,
+    train_prefilter_for_document,
+)
+
+__all__ = [
+    "PREFILTER_FORMAT_VERSION",
+    "AdvicePrefilter",
+    "CalibrationReport",
+    "EvalReport",
+    "PrefilterError",
+    "PrefilterFeaturizer",
+    "calibrate",
+    "evaluate_prefilter",
+    "train_prefilter",
+    "train_prefilter_for_document",
+]

@@ -1,0 +1,72 @@
+"""Token/stem feature extraction for the Stage I pre-filter.
+
+The featurizer consumes exactly the layers named by
+:data:`repro.pipeline.layers.PREFILTER_LAYER_NEEDS` — raw tokens.
+Stems are derived through a *vocabulary memo*: each distinct lowercased
+token is stemmed at most once per featurizer, so on Zipf-distributed
+guide text the per-sentence stemming cost collapses to dict lookups and
+the pipeline's stems layer never has to materialize for a sentence the
+filter skips.
+
+Features are sparse and binary: ``w=<token>`` unigrams over lowercased
+tokens, ``s=<stem>`` unigrams over their memoized stems, plus a
+``bias`` term — the same feature family the averaged perceptron of
+:mod:`repro.tagging.perceptron` consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.pipeline.layers import PREFILTER_LAYER_NEEDS  # noqa: F401 (contract re-export)
+# stems single *vocabulary entries* through a memo, not sentence text —
+# sentences arrive pre-tokenized from the pipeline's tokens layer
+from repro.textproc.porter import PorterStemmer  # egeria: noqa[no-direct-tokenize]
+
+#: feature-name prefixes (single source for model/calibration/tests)
+TOKEN_PREFIX = "w="
+STEM_PREFIX = "s="
+BIAS_FEATURE = "bias"
+
+
+class PrefilterFeaturizer:
+    """Sparse binary features over tokens, with memoized stemming."""
+
+    def __init__(self) -> None:
+        self._stemmer = PorterStemmer()
+        self._stem_memo: dict[str, str] = {}
+
+    def stem(self, token: str) -> str:
+        """The Porter stem of one lowercased token, memoized."""
+        cached = self._stem_memo.get(token)
+        if cached is None:
+            cached = self._stemmer.stem(token)
+            self._stem_memo[token] = cached
+        return cached
+
+    def lowers(self, tokens: Sequence[str]) -> list[str]:
+        return [token.lower() for token in tokens]
+
+    def stems(self, lowers: Sequence[str]) -> list[str]:
+        """Memoized stems for an already-lowercased token sequence.
+
+        Identical output to the pipeline's stems layer (same Porter
+        implementation over the same tokens) — the exact-keyword rung
+        relies on this equivalence.
+        """
+        return [self.stem(token) for token in lowers]
+
+    def features(self, lowers: Sequence[str],
+                 stems: Sequence[str]) -> set[str]:
+        """The binary feature set of one sentence."""
+        names: set[str] = {BIAS_FEATURE}
+        for token in lowers:
+            names.add(TOKEN_PREFIX + token)
+        for stem in stems:
+            names.add(STEM_PREFIX + stem)
+        return names
+
+    def features_of_tokens(self, tokens: Sequence[str]) -> set[str]:
+        """Convenience: lowercase, stem, and featurize in one call."""
+        lowers = self.lowers(tokens)
+        return self.features(lowers, self.stems(lowers))

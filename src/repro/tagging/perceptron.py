@@ -55,8 +55,11 @@ class AveragedPerceptron:
                 continue
             for label, weight in self.weights[feat].items():
                 scores[label] += value * weight
-        # deterministic tie-break on label name
-        return max(self.classes, key=lambda label: (scores[label], label))
+        # scan classes in sorted order with a name tie-break: the
+        # winning label is then a pure function of the scores, never of
+        # set iteration order (which varies with PYTHONHASHSEED)
+        return max(sorted(self.classes),
+                   key=lambda label: (scores[label], label))
 
     def update(self, truth: str, guess: str, features: dict[str, int]) -> None:
         self.i += 1
@@ -74,15 +77,23 @@ class AveragedPerceptron:
         self.weights[feat][label] = weight + delta
 
     def average_weights(self) -> None:
-        for feat, weights in self.weights.items():
+        # sorted feature/label iteration: the averaged table is rebuilt
+        # in canonical key order, so two trainings from the same seed
+        # serialize to byte-identical JSON regardless of the insertion
+        # order the update path happened to produce
+        averaged_table: dict[str, dict[str, float]] = {}
+        for feat in sorted(self.weights):
+            weights = self.weights[feat]
             new: dict[str, float] = {}
-            for label, weight in weights.items():
+            for label in sorted(weights):
+                weight = weights[label]
                 key = (feat, label)
                 total = self._totals[key] + (self.i - self._tstamps[key]) * weight
                 averaged = round(total / max(self.i, 1), 3)
                 if averaged:
                     new[label] = averaged
-            self.weights[feat] = new
+            averaged_table[feat] = new
+        self.weights = averaged_table
 
 
 class PerceptronTagger:
@@ -169,7 +180,11 @@ class PerceptronTagger:
             "tagdict": self.tagdict,
         }
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            # canonical key order — byte-stable across runs and
+            # PYTHONHASHSEED values (average_weights already rebuilds
+            # the table sorted; sort_keys makes the file contract
+            # independent of that implementation detail)
+            json.dump(payload, handle, sort_keys=True)
 
     @classmethod
     def load(cls, path: str) -> "PerceptronTagger":

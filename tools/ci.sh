@@ -49,6 +49,19 @@ echo "== annotation reuse smoke check =="
 echo "== prefork + v4 binary index smoke =="
 "$PYTHON" tools/prefork_smoke.py
 
+echo "== pre-filter train -> calibrate -> eval smoke =="
+# distill a Stage I pre-filter from the bundled CUDA guide and refuse
+# the commit unless the calibrated model is provably recall-safe: the
+# report must exist and both the calibration recall and the eval
+# recall (vs labels AND vs the cascade) must be exactly 1.0
+PREFILTER_TMP="$(mktemp -d)"
+trap 'rm -rf "$PREFILTER_TMP"' EXIT
+"$PYTHON" -m repro train-prefilter cuda \
+    -o "$PREFILTER_TMP/model.json" \
+    --report "$PREFILTER_TMP/report.json"
+"$PYTHON" tools/prefilter_smoke.py "$PREFILTER_TMP/report.json" \
+    "$PREFILTER_TMP/model.json"
+
 echo "== perf smokes (serving / build / incremental) =="
 "$PYTHON" benchmarks/bench_serving_throughput.py --quick \
     --output benchmarks/out/BENCH_serving_quick.json

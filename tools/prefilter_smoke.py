@@ -1,0 +1,74 @@
+"""CI gate for the trained Stage I pre-filter artifact.
+
+Consumes the ``train-prefilter --report`` JSON plus the saved model and
+fails the build unless the distilled filter is provably recall-safe on
+its calibration corpus:
+
+* the report file exists and carries both the calibration and the eval
+  blocks;
+* calibration recall is exactly 1.0 with zero false negatives;
+* eval recall is exactly 1.0 both against the gold labels and against
+  the selector cascade's own decisions (zero false skips on each);
+* the saved model loads back with a verifying checksum and a
+  calibrated margin threshold.
+
+Usage::
+
+    PYTHONPATH=src python tools/prefilter_smoke.py REPORT.json MODEL.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.stage1 import AdvicePrefilter
+
+
+def _fail(message: str) -> "int":
+    print(f"prefilter smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        return _fail("usage: prefilter_smoke.py REPORT.json MODEL.json")
+    report_path, model_path = Path(argv[1]), Path(argv[2])
+
+    if not report_path.is_file():
+        return _fail(f"eval report missing: {report_path}")
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    calibration = report.get("calibration")
+    evaluation = report.get("eval")
+    if not isinstance(calibration, dict) or not isinstance(evaluation, dict):
+        return _fail("report lacks 'calibration'/'eval' blocks")
+
+    if calibration.get("recall") != 1.0:
+        return _fail(f"calibration recall {calibration.get('recall')!r} "
+                     f"!= 1.0")
+    if calibration.get("false_negatives") != 0:
+        return _fail(f"calibration reports "
+                     f"{calibration.get('false_negatives')!r} false "
+                     f"negatives")
+    for key in ("recall_vs_labels", "recall_vs_cascade"):
+        if evaluation.get(key) != 1.0:
+            return _fail(f"eval {key} {evaluation.get(key)!r} != 1.0")
+    for key in ("false_skips_vs_labels", "false_skips_vs_cascade"):
+        if evaluation.get(key) != 0:
+            return _fail(f"eval reports {evaluation.get(key)!r} {key}")
+
+    # the artifact itself must round-trip: checksum verified on load
+    prefilter = AdvicePrefilter.load(str(model_path))
+    if prefilter.tau is None:
+        return _fail("saved model has no calibrated margin threshold")
+
+    print(f"prefilter smoke passed: skip rate "
+          f"{calibration.get('skip_rate', 0.0):.3f}, "
+          f"{calibration.get('defer_tokens', 0)} evidence tokens, "
+          f"recall 1.0 (labels and cascade)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
